@@ -1,0 +1,82 @@
+//! Degree-distribution statistics (used to sanity-check the synthetic
+//! datasets against their real-world counterparts' shapes).
+
+use graphdance_common::{FxHashMap, Label};
+use graphdance_storage::{Direction, Graph, TS_LIVE};
+
+/// Histogram of out-degrees: `degree -> vertex count`, computed in parallel
+/// over partitions.
+pub fn degree_histogram(graph: &Graph, label: Label) -> FxHashMap<usize, u64> {
+    let ts = TS_LIVE - 1;
+    let parts: Vec<_> = graph.partitioner().parts().collect();
+    let partials: Vec<FxHashMap<usize, u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|&p| {
+                let graph = &graph;
+                scope.spawn(move || {
+                    let part = graph.read(p);
+                    let mut h: FxHashMap<usize, u64> = FxHashMap::default();
+                    for v in part.scan_all(ts) {
+                        let d = part
+                            .degree(v, Direction::Out, label, ts)
+                            .expect("scanned vertex exists");
+                        *h.entry(d).or_insert(0) += 1;
+                    }
+                    h
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    let mut out: FxHashMap<usize, u64> = FxHashMap::default();
+    for p in partials {
+        for (d, c) in p {
+            *out.entry(d).or_insert(0) += c;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::{Partitioner, VertexId};
+    use graphdance_storage::GraphBuilder;
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let l = b.schema_mut().register_vertex_label("V");
+        let e = b.schema_mut().register_edge_label("E");
+        for i in 0..6u64 {
+            b.add_vertex(VertexId(i), l, vec![]).unwrap();
+        }
+        // v0: degree 3, v1: degree 1, rest: 0
+        for d in [1u64, 2, 3] {
+            b.add_edge(VertexId(0), e, VertexId(d), vec![]).unwrap();
+        }
+        b.add_edge(VertexId(1), e, VertexId(2), vec![]).unwrap();
+        let g = b.finish();
+        let h = degree_histogram(&g, Label::ANY);
+        assert_eq!(h.get(&3), Some(&1));
+        assert_eq!(h.get(&1), Some(&1));
+        assert_eq!(h.get(&0), Some(&4));
+        assert_eq!(h.values().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn power_law_dataset_has_heavy_tail() {
+        use graphdance_datagen::{KhopDataset, KhopParams};
+        let d = KhopDataset::generate(KhopParams::fs_sim(1500));
+        let g = d.build(Partitioner::new(1, 2)).unwrap();
+        let link = g.schema().edge_label("link").unwrap();
+        let h = degree_histogram(&g, link);
+        let max_deg = h.keys().max().copied().unwrap_or(0);
+        let avg = d.num_edges() as f64 / 1500.0;
+        assert!(
+            max_deg as f64 > avg * 3.0,
+            "heavy tail expected: max {max_deg}, avg {avg}"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! # graphdance-analytics
+//!
+//! Offline whole-graph analytics — the third workload class of the paper's
+//! Table I ("PageRank, community detection, graph coloring"; dense access,
+//! ~100% of the graph, minute-to-hour latency class at production scale).
+//!
+//! Algorithms run directly over the partitioned storage with one thread
+//! per partition and superstep barriers — the classic iterative
+//! vertex-program shape (§II-A), deliberately *not* the PSTM traverser
+//! model, to measure the contrast Table I describes.
+
+pub mod degree;
+pub mod pagerank;
+pub mod wcc;
+
+pub use degree::degree_histogram;
+pub use pagerank::{pagerank, PageRankConfig};
+pub use wcc::weakly_connected_components;

@@ -1,0 +1,192 @@
+//! Parallel PageRank over the partitioned graph.
+//!
+//! One thread per partition; each iteration scatters `rank/out_degree`
+//! along out-edges into per-partition accumulators and gathers with the
+//! damping update, separated by barriers — the BSP iterative-analytics
+//! pattern of §II-A.
+
+use std::sync::Barrier;
+
+use graphdance_common::{FxHashMap, Label, VertexId};
+use graphdance_storage::{Direction, Graph, TS_LIVE};
+
+use parking_lot::Mutex;
+
+/// PageRank parameters.
+#[derive(Debug, Clone)]
+pub struct PageRankConfig {
+    /// Damping factor (0.85 in the original paper).
+    pub damping: f64,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Edge label to walk ([`Label::ANY`] for the whole graph).
+    pub label: Label,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig { damping: 0.85, iterations: 20, label: Label::ANY }
+    }
+}
+
+/// Run PageRank; returns `(vertex, rank)` for every vertex. Ranks sum to
+/// ~1 (dangling mass is redistributed uniformly).
+pub fn pagerank(graph: &Graph, config: &PageRankConfig) -> FxHashMap<VertexId, f64> {
+    let parts: Vec<_> = graph.partitioner().parts().collect();
+    let ts = TS_LIVE - 1;
+    // Per-partition vertex lists and out-degrees.
+    let locals: Vec<Vec<(VertexId, usize)>> = parts
+        .iter()
+        .map(|&p| {
+            let part = graph.read(p);
+            part.scan_all(ts)
+                .map(|v| {
+                    let deg = part
+                        .degree(v, Direction::Out, config.label, ts)
+                        .expect("scanned vertex exists");
+                    (v, deg)
+                })
+                .collect()
+        })
+        .collect();
+    let n: usize = locals.iter().map(Vec::len).sum();
+    if n == 0 {
+        return FxHashMap::default();
+    }
+
+    // rank maps per partition, double-buffered.
+    let mut ranks: Vec<FxHashMap<VertexId, f64>> = locals
+        .iter()
+        .map(|l| l.iter().map(|(v, _)| (*v, 1.0 / n as f64)).collect())
+        .collect();
+
+    let barrier = Barrier::new(parts.len());
+    for _ in 0..config.iterations {
+        // Scatter into per-partition inboxes (locked; contention is part of
+        // the dense-workload profile).
+        let inboxes: Vec<Mutex<FxHashMap<VertexId, f64>>> =
+            parts.iter().map(|_| Mutex::new(FxHashMap::default())).collect();
+        let dangling = Mutex::new(0.0f64);
+        std::thread::scope(|scope| {
+            for (pi, &p) in parts.iter().enumerate() {
+                let locals = &locals[pi];
+                let ranks = &ranks[pi];
+                let inboxes = &inboxes;
+                let barrier = &barrier;
+                let dangling = &dangling;
+                let graph = &graph;
+                let label = config.label;
+                scope.spawn(move || {
+                    let part = graph.read(p);
+                    let mut local_dangling = 0.0;
+                    // Buffer contributions per destination partition to
+                    // bound lock traffic.
+                    let mut outbufs: Vec<FxHashMap<VertexId, f64>> =
+                        (0..inboxes.len()).map(|_| FxHashMap::default()).collect();
+                    for (v, deg) in locals {
+                        let r = ranks[v];
+                        if *deg == 0 {
+                            local_dangling += r;
+                            continue;
+                        }
+                        let share = r / *deg as f64;
+                        for e in part
+                            .edges(*v, Direction::Out, label, TS_LIVE - 1)
+                            .expect("vertex exists")
+                        {
+                            let dest = graph.part_of(e.neighbor).as_usize();
+                            *outbufs[dest].entry(e.neighbor).or_insert(0.0) += share;
+                        }
+                    }
+                    for (dest, buf) in outbufs.into_iter().enumerate() {
+                        if !buf.is_empty() {
+                            let mut inbox = inboxes[dest].lock();
+                            for (v, c) in buf {
+                                *inbox.entry(v).or_insert(0.0) += c;
+                            }
+                        }
+                    }
+                    *dangling.lock() += local_dangling;
+                    barrier.wait();
+                });
+            }
+        });
+        // Gather.
+        let dangling_share = dangling.into_inner() / n as f64;
+        let base = (1.0 - config.damping) / n as f64;
+        for (pi, inbox) in inboxes.into_iter().enumerate() {
+            let inbox = inbox.into_inner();
+            for (v, _) in &locals[pi] {
+                let incoming = inbox.get(v).copied().unwrap_or(0.0);
+                ranks[pi].insert(
+                    *v,
+                    base + config.damping * (incoming + dangling_share),
+                );
+            }
+        }
+    }
+    ranks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::Partitioner;
+    use graphdance_storage::GraphBuilder;
+
+    fn star(n: u64) -> Graph {
+        // spokes all point at hub 0
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let l = b.schema_mut().register_vertex_label("V");
+        let e = b.schema_mut().register_edge_label("E");
+        for i in 0..n {
+            b.add_vertex(VertexId(i), l, vec![]).unwrap();
+        }
+        for i in 1..n {
+            b.add_edge(VertexId(i), e, VertexId(0), vec![]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = star(20);
+        let ranks = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = ranks.values().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn hub_dominates_a_star() {
+        let g = star(20);
+        let ranks = pagerank(&g, &PageRankConfig::default());
+        let hub = ranks[&VertexId(0)];
+        for i in 1..20u64 {
+            assert!(hub > ranks[&VertexId(i)] * 3.0, "hub should dominate");
+        }
+    }
+
+    #[test]
+    fn ring_is_uniform() {
+        let mut b = GraphBuilder::new(Partitioner::new(1, 2));
+        let l = b.schema_mut().register_vertex_label("V");
+        let e = b.schema_mut().register_edge_label("E");
+        for i in 0..10u64 {
+            b.add_vertex(VertexId(i), l, vec![]).unwrap();
+        }
+        for i in 0..10u64 {
+            b.add_edge(VertexId(i), e, VertexId((i + 1) % 10), vec![]).unwrap();
+        }
+        let g = b.finish();
+        let ranks = pagerank(&g, &PageRankConfig::default());
+        for (_, r) in ranks {
+            assert!((r - 0.1).abs() < 1e-9, "symmetric ring rank {r}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(Partitioner::single()).finish();
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+    }
+}

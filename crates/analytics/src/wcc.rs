@@ -1,0 +1,138 @@
+//! Weakly connected components via parallel label propagation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use graphdance_common::{FxHashMap, Label, VertexId};
+use graphdance_storage::{Direction, Graph, TS_LIVE};
+
+use parking_lot::Mutex;
+
+/// Compute weakly connected components over edges with `label`
+/// ([`Label::ANY`] for all). Returns `vertex -> component id` where the
+/// component id is the minimum vertex id in the component.
+pub fn weakly_connected_components(graph: &Graph, label: Label) -> FxHashMap<VertexId, VertexId> {
+    let ts = TS_LIVE - 1;
+    let parts: Vec<_> = graph.partitioner().parts().collect();
+    // Global label map, sharded per partition.
+    let shards: Vec<Mutex<FxHashMap<VertexId, VertexId>>> = parts
+        .iter()
+        .map(|&p| {
+            let part = graph.read(p);
+            Mutex::new(part.scan_all(ts).map(|v| (v, v)).collect())
+        })
+        .collect();
+
+    let changed = AtomicBool::new(true);
+    let mut rounds = 0usize;
+    while changed.swap(false, Ordering::Relaxed) {
+        rounds += 1;
+        assert!(rounds < 10_000, "label propagation must converge");
+        std::thread::scope(|scope| {
+            for (pi, &p) in parts.iter().enumerate() {
+                let shards = &shards;
+                let changed = &changed;
+                let graph = &graph;
+                scope.spawn(move || {
+                    let part = graph.read(p);
+                    let vertices: Vec<VertexId> = shards[pi].lock().keys().copied().collect();
+                    for v in vertices {
+                        let mine = *shards[pi].lock().get(&v).expect("known vertex");
+                        let mut best = mine;
+                        for e in part
+                            .edges(v, Direction::Both, label, ts)
+                            .expect("vertex exists")
+                        {
+                            let other_shard = graph.part_of(e.neighbor).as_usize();
+                            if let Some(theirs) = shards[other_shard].lock().get(&e.neighbor) {
+                                if *theirs < best {
+                                    best = *theirs;
+                                }
+                            }
+                        }
+                        if best < mine {
+                            shards[pi].lock().insert(v, best);
+                            changed.store(true, Ordering::Relaxed);
+                            // Push to neighbours eagerly (min propagation).
+                            for e in part
+                                .edges(v, Direction::Both, label, ts)
+                                .expect("vertex exists")
+                            {
+                                let os = graph.part_of(e.neighbor).as_usize();
+                                let mut shard = shards[os].lock();
+                                if let Some(t) = shard.get_mut(&e.neighbor) {
+                                    if best < *t {
+                                        *t = best;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    shards.into_iter().flat_map(|s| s.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::Partitioner;
+    use graphdance_storage::GraphBuilder;
+
+    #[test]
+    fn two_components() {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let l = b.schema_mut().register_vertex_label("V");
+        let e = b.schema_mut().register_edge_label("E");
+        for i in 0..10u64 {
+            b.add_vertex(VertexId(i), l, vec![]).unwrap();
+        }
+        // component A: 0-1-2-3-4 chain; component B: 5-6-7-8-9 ring
+        for i in 0..4u64 {
+            b.add_edge(VertexId(i), e, VertexId(i + 1), vec![]).unwrap();
+        }
+        for i in 5..10u64 {
+            b.add_edge(VertexId(i), e, VertexId(5 + (i - 5 + 1) % 5), vec![]).unwrap();
+        }
+        let g = b.finish();
+        let cc = weakly_connected_components(&g, Label::ANY);
+        for i in 0..5u64 {
+            assert_eq!(cc[&VertexId(i)], VertexId(0), "vertex {i}");
+        }
+        for i in 5..10u64 {
+            assert_eq!(cc[&VertexId(i)], VertexId(5), "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let mut b = GraphBuilder::new(Partitioner::single());
+        let l = b.schema_mut().register_vertex_label("V");
+        b.schema_mut().register_edge_label("E");
+        for i in 0..3u64 {
+            b.add_vertex(VertexId(i), l, vec![]).unwrap();
+        }
+        let g = b.finish();
+        let cc = weakly_connected_components(&g, Label::ANY);
+        for i in 0..3u64 {
+            assert_eq!(cc[&VertexId(i)], VertexId(i));
+        }
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // a -> b and c -> b: all weakly connected despite directions.
+        let mut b = GraphBuilder::new(Partitioner::new(1, 2));
+        let l = b.schema_mut().register_vertex_label("V");
+        let e = b.schema_mut().register_edge_label("E");
+        for i in 0..3u64 {
+            b.add_vertex(VertexId(i), l, vec![]).unwrap();
+        }
+        b.add_edge(VertexId(0), e, VertexId(1), vec![]).unwrap();
+        b.add_edge(VertexId(2), e, VertexId(1), vec![]).unwrap();
+        let g = b.finish();
+        let cc = weakly_connected_components(&g, Label::ANY);
+        assert!(cc.values().all(|c| *c == VertexId(0)));
+    }
+}

@@ -1,0 +1,689 @@
+//! The BSP baseline engine (§II-C1, Fig. 2b) — the execution model of
+//! TigerGraph-class systems.
+//!
+//! Queries execute in supersteps: every worker processes its whole frontier
+//! for the current depth, exchanges traversers, and waits at a **global
+//! barrier** before the next depth starts. The barrier is driven by the
+//! submitting thread: after all workers report `BspStepDone`, the driver
+//! probes parked weights until every in-flight traverser has landed, then
+//! broadcasts the next `RunStep`. One query runs at a time — concurrent
+//! submissions serialize on the driver lock, which is precisely the
+//! concurrency weakness the paper attributes to BSP systems.
+//!
+//! The engine shares the storage, plan interpreter, memo semantics, and the
+//! simulated network fabric with GraphDance, so latency differences isolate
+//! BSP-vs-asynchronous scheduling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+
+use graphdance_common::{
+    FxHashMap, GdError, GdResult, NodeId, PartId, QueryId, Value, WorkerId,
+};
+use graphdance_engine::config::EngineConfig;
+use graphdance_engine::messages::{BspSignal, CoordMsg, QueryCtx, WorkerMsg};
+use graphdance_engine::net::{Fabric, NetStatsSnapshot, Outbox};
+use graphdance_engine::QueryResult;
+use graphdance_pstm::{AggState, Interpreter, Memo, Row, Traverser, Weight};
+use graphdance_query::plan::{Plan, SourceSpec};
+use graphdance_storage::Graph;
+
+use crate::traits::QueryEngine;
+
+/// Build an interpreter over disjoint borrows (keeps `&mut self.rng` and
+/// `&mut self.memo` usable alongside it).
+fn make_interp<'a>(graph: &'a Graph, ctx: &'a QueryCtx, stage: u16) -> Interpreter<'a> {
+    Interpreter {
+        graph,
+        plan: &ctx.plan,
+        stage_idx: stage as usize,
+        query: ctx.query,
+        params: &ctx.params,
+        read_ts: ctx.read_ts,
+    }
+}
+
+/// Per-query state at a BSP worker.
+#[derive(Default)]
+struct BspQuery {
+    parked: Vec<Traverser>,
+    parked_weight: Weight,
+}
+
+struct BspWorker {
+    id: WorkerId,
+    graph: Graph,
+    inbox: Receiver<WorkerMsg>,
+    outbox: Outbox,
+    memo: Memo,
+    queries: FxHashMap<QueryId, (Arc<QueryCtx>, u16)>,
+    state: FxHashMap<QueryId, BspQuery>,
+    rng: SmallRng,
+}
+
+impl BspWorker {
+    fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                WorkerMsg::Shutdown => return,
+                other => self.handle(other),
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: WorkerMsg) {
+        match msg {
+            WorkerMsg::QueryBegin { ctx, stage } => {
+                let q = ctx.query;
+                self.queries.insert(q, (ctx, stage));
+                self.state.entry(q).or_default();
+            }
+            WorkerMsg::StageBegin { query, stage } => {
+                if let Some((_, s)) = self.queries.get_mut(&query) {
+                    *s = stage;
+                }
+                let _ = self.memo.query_mut(query).take_stage_state();
+                self.state.insert(query, BspQuery::default());
+            }
+            WorkerMsg::Batch(ts) => {
+                for t in ts {
+                    let s = self.state.entry(t.query).or_default();
+                    s.parked_weight.absorb(t.weight);
+                    s.parked.push(t);
+                }
+            }
+            WorkerMsg::StartSource { query, pipeline, weight } => {
+                self.start_source(query, pipeline, weight);
+            }
+            WorkerMsg::Bsp(BspSignal::RunStep { query, depth }) => {
+                self.run_step(query, depth);
+            }
+            WorkerMsg::Bsp(BspSignal::Probe { query, round }) => {
+                let parked = self.state.get(&query).map_or(Weight::ZERO, |s| s.parked_weight);
+                self.outbox.send_ctrl_coord(CoordMsg::BspParked {
+                    query,
+                    part: self.id.part(),
+                    parked,
+                    round,
+                });
+            }
+            WorkerMsg::GatherAgg { query } => {
+                let state = self.memo.query_mut(query).take_stage_state();
+                self.outbox.send_ctrl_coord(CoordMsg::AggPartial {
+                    query,
+                    part: self.id.part(),
+                    state: state.map(Box::new),
+                });
+            }
+            WorkerMsg::QueryEnd { query } => {
+                self.memo.clear_query(query);
+                self.queries.remove(&query);
+                self.state.remove(&query);
+            }
+            WorkerMsg::Shutdown => unreachable!("handled in run()"),
+        }
+    }
+
+
+    fn start_source(&mut self, query: QueryId, pipeline: u16, weight: Weight) {
+        let Some((ctx, stage)) = self.queries.get(&query) else { return };
+        let (ctx, stage) = (Arc::clone(ctx), *stage);
+        let interp = make_interp(&self.graph, &ctx, stage);
+        let out = {
+            let part = self.graph.read(self.id.part());
+            interp.run_source(pipeline, weight, &part, &mut self.rng)
+        };
+        match out {
+            Ok(out) => {
+                let mut issued = Weight::ZERO;
+                let mut count = 0u64;
+                let s = self.state.entry(query).or_default();
+                for (_, t) in out.spawned {
+                    issued.absorb(t.weight);
+                    s.parked_weight.absorb(t.weight);
+                    s.parked.push(t);
+                    count += 1;
+                }
+                self.outbox.send_ctrl_coord(CoordMsg::BspStepDone {
+                    query,
+                    part: self.id.part(),
+                    finished: out.finished,
+                    issued,
+                    count,
+                });
+            }
+            Err(e) => self
+                .outbox
+                .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+        }
+    }
+
+    /// Execute every parked traverser *of the current depth* for one
+    /// superstep (compute phase), then flush (communication phase) and
+    /// report (barrier).
+    ///
+    /// Traversers deeper than `depth` stay parked: a fast peer's superstep
+    /// output (data path) can overtake this worker's own `RunStep` signal
+    /// (control path), and executing those early would consume weight the
+    /// driver still counts as issued-for-the-next-step, wedging the
+    /// delivery barrier.
+    fn run_step(&mut self, query: QueryId, depth: u32) {
+        let Some((ctx, stage)) = self.queries.get(&query) else { return };
+        let (ctx, stage) = (Arc::clone(ctx), *stage);
+        let mut queue = {
+            let s = self.state.entry(query).or_default();
+            let all = std::mem::take(&mut s.parked);
+            let (runnable, keep): (Vec<_>, Vec<_>) =
+                all.into_iter().partition(|t| t.depth <= depth);
+            s.parked_weight = keep
+                .iter()
+                .fold(Weight::ZERO, |acc, t| acc.add(t.weight));
+            s.parked = keep;
+            runnable
+        };
+        let mut finished = Weight::ZERO;
+        let mut issued = Weight::ZERO;
+        let mut count = 0u64;
+        while let Some(t) = queue.pop() {
+            let interp = make_interp(&self.graph, &ctx, stage);
+            let out = {
+                let part = self.graph.read(self.id.part());
+                interp.run_traverser(t, &part, self.memo.query_mut(query), &mut self.rng)
+            };
+            let out = match out {
+                Ok(o) => o,
+                Err(e) => {
+                    self.outbox
+                        .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
+                    return;
+                }
+            };
+            for (dest, t) in out.spawned {
+                if dest == self.id.part() && t.depth <= depth {
+                    // Same superstep (e.g. a LoopEnd fork continuing the
+                    // current frontier's expansion).
+                    queue.push(t);
+                } else if dest == self.id.part() {
+                    issued.absorb(t.weight);
+                    count += 1;
+                    let s = self.state.entry(query).or_default();
+                    s.parked_weight.absorb(t.weight);
+                    s.parked.push(t);
+                } else {
+                    issued.absorb(t.weight);
+                    count += 1;
+                    self.outbox
+                        .send_traverser(self.graph.partitioner().worker_of_part(dest), t);
+                }
+            }
+            if !out.emitted.is_empty() {
+                self.outbox.send_rows(query, out.emitted);
+            }
+            finished.absorb(out.finished);
+        }
+        // Communication phase: push everything out, then the barrier report.
+        self.outbox.flush_all();
+        self.outbox.send_ctrl_coord(CoordMsg::BspStepDone {
+            query,
+            part: self.id.part(),
+            finished,
+            issued,
+            count,
+        });
+    }
+}
+
+/// Driver-side mutable state (one query at a time).
+struct Driver {
+    coord_rx: Receiver<CoordMsg>,
+    outbox: Outbox,
+    rng: SmallRng,
+}
+
+/// The BSP baseline engine.
+pub struct BspEngine {
+    graph: Graph,
+    fabric: Arc<Fabric>,
+    worker_tx: Vec<crossbeam::channel::Sender<WorkerMsg>>,
+    driver: Mutex<Driver>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_qid: AtomicU64,
+    timeout: Duration,
+}
+
+impl BspEngine {
+    /// Start the BSP cluster (same topology semantics as
+    /// [`graphdance_engine::GraphDance::start`]).
+    pub fn start(graph: Graph, config: EngineConfig) -> BspEngine {
+        assert_eq!(graph.partitioner().num_parts(), config.num_parts());
+        let p = config.num_parts() as usize;
+        let mut worker_tx = Vec::with_capacity(p);
+        let mut worker_rx = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            worker_tx.push(tx);
+            worker_rx.push(rx);
+        }
+        let (coord_tx, coord_rx) = unbounded();
+        let (fabric, mut threads) = Fabric::new(&config, worker_tx.clone(), coord_tx);
+        for (i, inbox) in worker_rx.into_iter().enumerate() {
+            let id = WorkerId(i as u32);
+            let worker = BspWorker {
+                id,
+                graph: graph.clone(),
+                inbox,
+                outbox: fabric.outbox(fabric.partitioner().node_of_worker(id)),
+                memo: Memo::new(),
+                queries: FxHashMap::default(),
+                state: FxHashMap::default(),
+                rng: graphdance_common::rng::derive(config.seed, 0x1000 + i as u64),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("bsp-worker-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn bsp worker"),
+            );
+        }
+        let driver = Driver {
+            coord_rx,
+            outbox: fabric.outbox(NodeId(0)),
+            rng: graphdance_common::rng::derive(config.seed, 0xD21),
+        };
+        BspEngine {
+            graph,
+            fabric,
+            worker_tx,
+            driver: Mutex::new(driver),
+            threads: Mutex::new(threads),
+            next_qid: AtomicU64::new(1),
+            timeout: config.query_timeout,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Stop all threads.
+    pub fn shutdown(&self) {
+        for tx in &self.worker_tx {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        self.fabric.shutdown();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn num_parts(&self) -> u32 {
+        self.fabric.partitioner().num_parts()
+    }
+
+    fn broadcast(&self, d: &mut Driver, f: impl Fn() -> WorkerMsg) {
+        for w in 0..self.num_parts() {
+            d.outbox.send_ctrl_worker(WorkerId(w), f());
+        }
+    }
+
+    fn run_query(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult> {
+        plan.validate().map_err(GdError::InvalidProgram)?;
+        if params.len() < plan.num_params {
+            return Err(GdError::InvalidProgram(format!(
+                "plan needs {} params, got {}",
+                plan.num_params,
+                params.len()
+            )));
+        }
+        let started = Instant::now();
+        let deadline = started + self.timeout;
+        let query = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed) | (1 << 62));
+        let ctx = Arc::new(QueryCtx {
+            query,
+            plan: plan.clone(),
+            params,
+            read_ts: graphdance_storage::TS_LIVE - 1,
+        });
+        let mut d = self.driver.lock();
+        // Drain any stale messages from a previously aborted query.
+        while d.coord_rx.try_recv().is_ok() {}
+        self.broadcast(&mut d, || WorkerMsg::QueryBegin { ctx: Arc::clone(&ctx), stage: 0 });
+        let mut rows = Vec::new();
+        let result = (|| -> GdResult<Vec<Row>> {
+            let mut stage_rows: Vec<Row> = Vec::new();
+            for stage_idx in 0..ctx.plan.stages.len() {
+                if stage_idx > 0 {
+                    self.broadcast(&mut d, || WorkerMsg::StageBegin {
+                        query,
+                        stage: stage_idx as u16,
+                    });
+                }
+                stage_rows =
+                    self.run_stage(&mut d, &ctx, stage_idx, stage_rows, deadline)?;
+            }
+            Ok(stage_rows)
+        })();
+        self.broadcast(&mut d, || WorkerMsg::QueryEnd { query });
+        match result {
+            Ok(r) => {
+                rows.extend(r);
+                Ok(QueryResult { query, rows, latency: started.elapsed(), steps_executed: 0 })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Execute one stage as a sequence of supersteps.
+    fn run_stage(
+        &self,
+        d: &mut Driver,
+        ctx: &Arc<QueryCtx>,
+        stage_idx: usize,
+        prev_rows: Vec<Row>,
+        deadline: Instant,
+    ) -> GdResult<Vec<Row>> {
+        let query = ctx.query;
+        let stage = &ctx.plan.stages[stage_idx];
+        let parts: Vec<PartId> = self.fabric.partitioner().parts().collect();
+        let pipe_weights = Weight::ROOT.split(stage.pipelines.len(), &mut d.rng);
+        let mut source_reports_expected = 0usize;
+        let mut total_finished = Weight::ZERO;
+        let mut expected_weight = Weight::ZERO;
+        let mut expected_count = 0u64;
+        for (pi, pw) in pipe_weights.into_iter().enumerate() {
+            match &stage.pipelines[pi].source {
+                SourceSpec::Param { param } => {
+                    let v = ctx.params.get(*param).and_then(Value::as_vertex).ok_or_else(
+                        || GdError::InvalidProgram(format!("param {param} is not a vertex")),
+                    )?;
+                    let owner = self.fabric.partitioner().worker_of(v);
+                    d.outbox.send_ctrl_worker(
+                        owner,
+                        WorkerMsg::StartSource { query, pipeline: pi as u16, weight: pw },
+                    );
+                    source_reports_expected += 1;
+                }
+                SourceSpec::IndexLookup { .. } | SourceSpec::ScanLabel { .. } => {
+                    let shares = pw.split(parts.len(), &mut d.rng);
+                    for (p, w) in parts.iter().zip(shares) {
+                        d.outbox.send_ctrl_worker(
+                            self.fabric.partitioner().worker_of_part(*p),
+                            WorkerMsg::StartSource { query, pipeline: pi as u16, weight: w },
+                        );
+                        source_reports_expected += 1;
+                    }
+                }
+                SourceSpec::PrevRows { .. } => {
+                    let interp = Interpreter {
+                        graph: &self.graph,
+                        plan: &ctx.plan,
+                        stage_idx,
+                        query,
+                        params: &ctx.params,
+                        read_ts: ctx.read_ts,
+                    };
+                    let out = interp.seed_prev_rows(pi as u16, &prev_rows, pw, &mut d.rng)?;
+                    for (dest, t) in out.spawned {
+                        expected_weight.absorb(t.weight);
+                        expected_count += 1;
+                        d.outbox
+                            .send_traverser(self.fabric.partitioner().worker_of_part(dest), t);
+                    }
+                    total_finished.absorb(out.finished);
+                    d.outbox.flush_all();
+                }
+            }
+        }
+
+        let mut rows: Vec<Row> = Vec::new();
+        // Collect source reports.
+        let mut got = 0usize;
+        while got < source_reports_expected {
+            if let CoordMsg::BspStepDone { query: q, finished, issued, count, .. } =
+                self.next_msg(d, query, deadline, &mut rows)?
+            {
+                if q == query {
+                    total_finished.absorb(finished);
+                    expected_weight.absorb(issued);
+                    expected_count += count;
+                    got += 1;
+                }
+            }
+        }
+
+        // Superstep loop.
+        let dbg = std::env::var("BSP_DEBUG").is_ok();
+        let num_parts = self.num_parts() as usize;
+        let mut depth = 0u32;
+        while expected_count > 0 {
+            if dbg {
+                eprintln!("[bsp {query:?}] step {depth}: expecting {expected_count} traversers, weight {expected_weight:?}");
+            }
+            // Delivery barrier: wait until every issued traverser has been
+            // parked somewhere. Each probe round is tagged so straggler
+            // replies from a previous round are ignored.
+            let mut round = depth as u64 * 1_000_000;
+            let mut backoff = Duration::from_micros(100);
+            loop {
+                round += 1;
+                self.broadcast(d, || WorkerMsg::Bsp(BspSignal::Probe { query, round }));
+                let mut parked = Weight::ZERO;
+                let mut replies = 0;
+                let mut per_part: Vec<(u32, Weight)> = Vec::new();
+                while replies < num_parts {
+                    if let CoordMsg::BspParked { query: q, parked: p, round: r, part } =
+                        self.next_msg(d, query, deadline, &mut rows)?
+                    {
+                        if q == query && r == round {
+                            parked.absorb(p);
+                            per_part.push((part.0, p));
+                            replies += 1;
+                        }
+                    }
+                }
+                if dbg && parked != expected_weight {
+                    per_part.sort_unstable_by_key(|x| x.0);
+                    eprintln!("[bsp {query:?}] per-part parked: {per_part:?}");
+                }
+                if parked == expected_weight {
+                    break;
+                }
+                if dbg {
+                    eprintln!("[bsp {query:?}] step {depth}: parked {parked:?} != expected {expected_weight:?}");
+                }
+                // Exponential backoff keeps probe traffic from amplifying
+                // load when deliveries are slow (oversubscribed hosts).
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(20));
+            }
+            // Compute phase.
+            self.broadcast(d, || WorkerMsg::Bsp(BspSignal::RunStep { query, depth }));
+            let mut next_weight = Weight::ZERO;
+            let mut next_count = 0u64;
+            let mut replies = 0;
+            while replies < num_parts {
+                if let CoordMsg::BspStepDone { query: q, finished, issued, count, .. } =
+                    self.next_msg(d, query, deadline, &mut rows)?
+                {
+                    if q == query {
+                        total_finished.absorb(finished);
+                        next_weight.absorb(issued);
+                        next_count += count;
+                        replies += 1;
+                    }
+                }
+            }
+            expected_weight = next_weight;
+            expected_count = next_count;
+            depth += 1;
+        }
+        debug_assert_eq!(total_finished, Weight::ROOT, "BSP weight conservation");
+
+        // Drain straggling row messages (all weights are accounted for, but
+        // the row batches travel on the data path and may still be in
+        // flight; probe-style barrier ensures traversers landed — rows are
+        // flushed before the StepDone of the same worker, so they are here).
+        while let Ok(msg) = d.coord_rx.try_recv() {
+            self.absorb_rows(query, msg, &mut rows)?;
+        }
+
+        if let Some(agg) = &stage.agg {
+            self.broadcast(d, || WorkerMsg::GatherAgg { query });
+            let mut partials: Vec<Option<Box<AggState>>> = Vec::new();
+            while partials.len() < num_parts {
+                if let CoordMsg::AggPartial { query: q, state, .. } =
+                    self.next_msg(d, query, deadline, &mut rows)?
+                {
+                    if q == query {
+                        partials.push(state);
+                    }
+                }
+            }
+            let mut merged: Option<AggState> = None;
+            for p in partials.into_iter().flatten() {
+                match &mut merged {
+                    None => merged = Some(*p),
+                    Some(m) => m.merge(&agg.func, *p)?,
+                }
+            }
+            return Ok(merged.unwrap_or_else(|| AggState::new(&agg.func)).finalize(&agg.func));
+        }
+        Ok(rows)
+    }
+
+    /// Receive the next message, folding row deliveries and surfacing
+    /// worker errors / deadline violations.
+    fn next_msg(
+        &self,
+        d: &mut Driver,
+        query: QueryId,
+        deadline: Instant,
+        rows: &mut Vec<Row>,
+    ) -> GdResult<CoordMsg> {
+        loop {
+            if Instant::now() >= deadline {
+                return Err(GdError::QueryTimeout(query));
+            }
+            match d.coord_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(CoordMsg::WorkerError { query: q, error }) => {
+                    if q == query {
+                        return Err(error);
+                    }
+                }
+                Ok(CoordMsg::Rows { query: q, rows: r }) => {
+                    if q == query {
+                        rows.extend(r);
+                    }
+                }
+                Ok(msg) => return Ok(msg),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(GdError::EngineClosed)
+                }
+            }
+        }
+    }
+
+    fn absorb_rows(&self, query: QueryId, msg: CoordMsg, rows: &mut Vec<Row>) -> GdResult<()> {
+        match msg {
+            CoordMsg::Rows { query: q, rows: r } if q == query => rows.extend(r),
+            CoordMsg::WorkerError { error, .. } => return Err(error),
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+impl QueryEngine for BspEngine {
+    fn name(&self) -> &str {
+        "BSP (TigerGraph-sim)"
+    }
+
+    fn query_timed(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult> {
+        self.run_query(plan, params)
+    }
+
+    fn net_stats(&self) -> NetStatsSnapshot {
+        self.fabric.stats().snapshot()
+    }
+
+    fn stop(self: Box<Self>) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::{Partitioner, VertexId};
+    use graphdance_query::QueryBuilder;
+    use graphdance_storage::GraphBuilder;
+
+    fn ring(n: u64) -> Graph {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let person = b.schema_mut().register_vertex_label("Person");
+        let knows = b.schema_mut().register_edge_label("knows");
+        let weight = b.schema_mut().register_prop("weight");
+        for i in 0..n {
+            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64))]).unwrap();
+        }
+        for i in 0..n {
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn bsp_khop_matches_expectation() {
+        let g = ring(32);
+        let engine = BspEngine::start(g.clone(), EngineConfig::new(2, 2));
+        let mut b = QueryBuilder::new(g.schema());
+        b.v_param(0);
+        let c = b.alloc_slot();
+        b.repeat(1, 3, c, |r| {
+            r.out("knows");
+        });
+        b.dedup();
+        let plan = b.compile().unwrap();
+        let mut rows = engine.query_timed(&plan, vec![Value::Vertex(VertexId(0))]).unwrap().rows;
+        rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        let got: Vec<u64> = rows.iter().map(|r| r[0].as_vertex().unwrap().0).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn bsp_count_aggregation() {
+        let g = ring(16);
+        let engine = BspEngine::start(g.clone(), EngineConfig::new(2, 2));
+        let mut b = QueryBuilder::new(g.schema());
+        b.v().has_label("Person").count();
+        let plan = b.compile().unwrap();
+        let rows = engine.query_timed(&plan, vec![]).unwrap().rows;
+        assert_eq!(rows, vec![vec![Value::Int(16)]]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn bsp_sequential_queries_reuse_cluster() {
+        let g = ring(16);
+        let engine = BspEngine::start(g.clone(), EngineConfig::new(2, 2));
+        let mut b = QueryBuilder::new(g.schema());
+        b.v_param(0).out("knows");
+        let plan = b.compile().unwrap();
+        for i in 0..6u64 {
+            let rows = engine
+                .query_timed(&plan, vec![Value::Vertex(VertexId(i))])
+                .unwrap()
+                .rows;
+            assert_eq!(rows, vec![vec![Value::Vertex(VertexId((i + 1) % 16))]]);
+        }
+        engine.shutdown();
+    }
+}

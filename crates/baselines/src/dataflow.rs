@@ -1,0 +1,373 @@
+//! Dataflow-engine simulations: **GAIA-sim** and **Banyan-sim** (§V-B).
+//!
+//! Both systems instantiate every dataflow operator in every worker thread,
+//! so scheduling and progress-tracking overhead grows linearly with the
+//! worker count (the paper's explanation for their limited scalability in
+//! Fig. 9). We model this with a per-traverser, per-operator polling cost
+//! charged in the worker loop (`sched_overhead_per_op`).
+//!
+//! * **GAIA-sim** additionally (a) reports progress per task rather than
+//!   coalesced (fine-grained dataflow punctuation), and (b) "executes the
+//!   final aggregation step in a centralized worker": the final stage's
+//!   aggregation is stripped from the plan, every candidate row is shipped
+//!   to one point, and the fold happens there.
+//! * **Banyan-sim** keeps scoped, batched progress bookkeeping (coalescing
+//!   on) and partitioned aggregation, with a smaller per-operator cost —
+//!   the paper found Banyan slightly faster than GraphDance at low thread
+//!   counts but similarly scale-limited by per-worker operator instances.
+
+use std::time::Duration;
+
+use graphdance_common::{GdResult, Value, VertexId};
+use graphdance_engine::config::EngineConfig;
+use graphdance_engine::{GraphDance, NetStatsSnapshot, QueryResult};
+use graphdance_pstm::AggState;
+use graphdance_query::expr::{EvalCtx, Expr};
+use graphdance_query::plan::{AggFunc, Plan};
+use graphdance_storage::Graph;
+
+use crate::traits::QueryEngine;
+
+/// Rewrite the final stage so its aggregation happens client-side: the
+/// stage emits the raw columns the aggregation needs, and the returned
+/// [`AggFunc`] (re-targeted at those columns) folds them centrally.
+pub fn centralize_final_agg(plan: &Plan) -> (Plan, Option<AggFunc>) {
+    let mut plan = plan.clone();
+    let last = plan.stages.last_mut().expect("validated plans have stages");
+    let Some(agg) = last.agg.take() else {
+        return (plan, None);
+    };
+    let slot = |i: usize| Expr::Slot(i as u8);
+    let client = match agg.func {
+        AggFunc::Count => {
+            last.output = vec![Expr::Const(Value::Int(1))];
+            AggFunc::Count
+        }
+        AggFunc::Sum(e) => {
+            last.output = vec![e];
+            AggFunc::Sum(slot(0))
+        }
+        AggFunc::Min(e) => {
+            last.output = vec![e];
+            AggFunc::Min(slot(0))
+        }
+        AggFunc::Max(e) => {
+            last.output = vec![e];
+            AggFunc::Max(slot(0))
+        }
+        AggFunc::Avg(e) => {
+            last.output = vec![e];
+            AggFunc::Avg(slot(0))
+        }
+        AggFunc::TopK { k, sort, output } => {
+            let mut cols: Vec<Expr> = sort.iter().map(|(e, _)| e.clone()).collect();
+            let sort_len = cols.len();
+            cols.extend(output.iter().cloned());
+            let out_len = output.len();
+            last.output = cols;
+            AggFunc::TopK {
+                k,
+                sort: sort
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (_, dir))| (slot(i), dir))
+                    .collect(),
+                output: (0..out_len).map(|j| slot(sort_len + j)).collect(),
+            }
+        }
+        AggFunc::GroupCount { key, order, limit } => {
+            last.output = vec![key];
+            AggFunc::GroupCount { key: slot(0), order, limit }
+        }
+        AggFunc::GroupSum { key, value, order, limit } => {
+            last.output = vec![key, value];
+            AggFunc::GroupSum { key: slot(0), value: slot(1), order, limit }
+        }
+        AggFunc::Collect { output, limit } => {
+            let n = output.len();
+            last.output = output;
+            AggFunc::Collect { output: (0..n).map(slot).collect(), limit }
+        }
+    };
+    (plan, Some(client))
+}
+
+/// Fold raw rows with a client-side aggregation function.
+pub fn fold_client_side(func: &AggFunc, rows: Vec<Vec<Value>>) -> GdResult<Vec<Vec<Value>>> {
+    let mut state = AggState::new(func);
+    for row in &rows {
+        let ctx = EvalCtx {
+            vertex: VertexId::INVALID,
+            record: None,
+            locals: row,
+            params: &[],
+        };
+        state.insert(func, &ctx)?;
+    }
+    Ok(state.finalize(func))
+}
+
+/// GAIA-sim (see module docs).
+pub struct GaiaSim {
+    inner: GraphDance,
+}
+
+impl GaiaSim {
+    /// Per-operator polling cost modelling GAIA's per-worker operator
+    /// instances.
+    pub const POLL_COST: Duration = Duration::from_nanos(700);
+
+    /// Start a GAIA-sim cluster.
+    pub fn start(graph: Graph, mut config: EngineConfig) -> Self {
+        config.sched_overhead_per_op = Self::POLL_COST;
+        config.weight_coalescing = false; // fine-grained punctuation traffic
+        GaiaSim { inner: GraphDance::start(graph, config) }
+    }
+
+    /// Stop the engine.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
+impl QueryEngine for GaiaSim {
+    fn name(&self) -> &str {
+        "GAIA-sim"
+    }
+
+    fn query_timed(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult> {
+        let (stripped, client) = centralize_final_agg(plan);
+        let mut r = self.inner.query_timed(&stripped, params)?;
+        if let Some(func) = client {
+            // Centralized final aggregation: all candidate rows were shipped
+            // here; fold them now (part of the measured query, so re-time).
+            let fold_started = std::time::Instant::now();
+            r.rows = fold_client_side(&func, r.rows)?;
+            r.latency += fold_started.elapsed();
+        }
+        Ok(r)
+    }
+
+    fn net_stats(&self) -> NetStatsSnapshot {
+        self.inner.net_stats()
+    }
+
+    fn stop(self: Box<Self>) {
+        self.inner.shutdown();
+    }
+}
+
+/// Banyan-sim (see module docs).
+pub struct BanyanSim {
+    inner: GraphDance,
+}
+
+impl BanyanSim {
+    /// Smaller per-operator cost than GAIA (scoped dataflow's lighter task
+    /// control).
+    pub const POLL_COST: Duration = Duration::from_nanos(300);
+
+    /// Start a Banyan-sim cluster.
+    pub fn start(graph: Graph, mut config: EngineConfig) -> Self {
+        config.sched_overhead_per_op = Self::POLL_COST;
+        config.weight_coalescing = true; // scoped refcount batching
+        BanyanSim { inner: GraphDance::start(graph, config) }
+    }
+
+    /// Stop the engine.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
+impl QueryEngine for BanyanSim {
+    fn name(&self) -> &str {
+        "Banyan-sim"
+    }
+
+    fn query_timed(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult> {
+        self.inner.query_timed(plan, params)
+    }
+
+    fn net_stats(&self) -> NetStatsSnapshot {
+        self.inner.net_stats()
+    }
+
+    fn stop(self: Box<Self>) {
+        self.inner.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::{Partitioner, VertexId};
+    use graphdance_query::plan::Order;
+    use graphdance_query::QueryBuilder;
+    use graphdance_storage::GraphBuilder;
+
+    fn ring(n: u64) -> Graph {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let person = b.schema_mut().register_vertex_label("Person");
+        let knows = b.schema_mut().register_edge_label("knows");
+        let weight = b.schema_mut().register_prop("weight");
+        for i in 0..n {
+            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64))]).unwrap();
+        }
+        for i in 0..n {
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn topk_plan(g: &Graph) -> Plan {
+        let w = g.schema().prop("weight").unwrap();
+        let mut b = QueryBuilder::new(g.schema());
+        b.v_param(0);
+        let c = b.alloc_slot();
+        b.repeat(1, 4, c, |r| {
+            r.out("knows");
+        });
+        b.dedup();
+        b.top_k(
+            2,
+            vec![(Expr::Prop(w), Order::Desc)],
+            vec![Expr::VertexId, Expr::Prop(w)],
+        );
+        b.compile().unwrap()
+    }
+
+    #[test]
+    fn centralize_strips_final_agg() {
+        let g = ring(16);
+        let plan = topk_plan(&g);
+        let (stripped, client) = centralize_final_agg(&plan);
+        assert!(stripped.stages.last().unwrap().agg.is_none());
+        assert!(matches!(client, Some(AggFunc::TopK { k: 2, .. })));
+        // The stripped stage now emits sort + output columns.
+        assert_eq!(stripped.stages.last().unwrap().output.len(), 3);
+    }
+
+    #[test]
+    fn gaia_results_match_graphdance() {
+        let g = ring(16);
+        let plan = topk_plan(&g);
+        let reference = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+        let expected = reference.query(&plan, vec![Value::Vertex(VertexId(3))]).unwrap();
+        reference.shutdown();
+
+        let gaia = GaiaSim::start(g.clone(), EngineConfig::new(2, 2));
+        let got = gaia.query_timed(&plan, vec![Value::Vertex(VertexId(3))]).unwrap().rows;
+        assert_eq!(got, expected);
+        gaia.shutdown();
+    }
+
+    #[test]
+    fn banyan_results_match_graphdance() {
+        let g = ring(16);
+        let plan = topk_plan(&g);
+        let banyan = BanyanSim::start(g.clone(), EngineConfig::new(2, 2));
+        let got = banyan.query_timed(&plan, vec![Value::Vertex(VertexId(3))]).unwrap().rows;
+        // 4 hops from 3 reaches {4,5,6,7}; top-2 by weight: 7, 6.
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Vertex(VertexId(7)), Value::Int(7)],
+                vec![Value::Vertex(VertexId(6)), Value::Int(6)],
+            ]
+        );
+        banyan.shutdown();
+    }
+
+    #[test]
+    fn fold_client_side_group_count() {
+        let func = AggFunc::GroupCount {
+            key: Expr::Slot(0),
+            order: graphdance_query::plan::GroupOrder::CountDesc,
+            limit: 10,
+        };
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(1)],
+        ];
+        let out = fold_client_side(&func, rows).unwrap();
+        assert_eq!(out[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+}
+
+#[cfg(test)]
+mod multistage_tests {
+    use super::*;
+    use graphdance_common::{Partitioner, VertexId};
+    use graphdance_query::expr::Expr;
+    use graphdance_query::plan::{AggSpec, Pipeline, Plan, PlanStep, SourceSpec, Stage};
+    use graphdance_storage::{Direction, GraphBuilder};
+
+    /// GAIA-sim must centralize only the *final* aggregation; an
+    /// intermediate stage's aggregation stays partitioned, and results must
+    /// still match GraphDance exactly.
+    #[test]
+    fn gaia_multistage_matches_reference() {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let n = b.schema_mut().register_vertex_label("N");
+        let e = b.schema_mut().register_edge_label("e");
+        for i in 0..12u64 {
+            b.add_vertex(VertexId(i), n, vec![]).unwrap();
+        }
+        for i in 0..12u64 {
+            b.add_edge(VertexId(i), e, VertexId((i + 1) % 12), vec![]).unwrap();
+            b.add_edge(VertexId(i), e, VertexId((i + 5) % 12), vec![]).unwrap();
+        }
+        let g = b.finish();
+        // Stage 1: collect 1-hop neighbours (intermediate Collect agg);
+        // stage 2: expand again and count (final agg — centralized on GAIA).
+        let plan = Plan {
+            stages: vec![
+                Stage {
+                    pipelines: vec![Pipeline {
+                        source: SourceSpec::Param { param: 0 },
+                        steps: vec![PlanStep::Expand {
+                            dir: Direction::Out,
+                            label: e,
+                            edge_loads: vec![],
+                        }],
+                    }],
+                    joins: vec![],
+                    output: vec![],
+                    agg: Some(AggSpec {
+                        func: AggFunc::Collect { output: vec![Expr::VertexId], limit: 100 },
+                    }),
+                    num_slots: 1,
+                },
+                Stage {
+                    pipelines: vec![Pipeline {
+                        source: SourceSpec::PrevRows { vertex_col: 0, seed: vec![] },
+                        steps: vec![PlanStep::Expand {
+                            dir: Direction::Out,
+                            label: e,
+                            edge_loads: vec![],
+                        }],
+                    }],
+                    joins: vec![],
+                    output: vec![],
+                    agg: Some(AggSpec { func: AggFunc::Count }),
+                    num_slots: 1,
+                },
+            ],
+            num_params: 1,
+        };
+        let (stripped, client) = centralize_final_agg(&plan);
+        assert!(stripped.stages[0].agg.is_some(), "intermediate agg untouched");
+        assert!(stripped.stages[1].agg.is_none(), "final agg centralized");
+        assert!(matches!(client, Some(AggFunc::Count)));
+
+        let reference = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+        let want = reference.query(&plan, vec![Value::Vertex(VertexId(3))]).unwrap();
+        reference.shutdown();
+        let gaia = GaiaSim::start(g, EngineConfig::new(2, 2));
+        let got = gaia.query_timed(&plan, vec![Value::Vertex(VertexId(3))]).unwrap().rows;
+        assert_eq!(got, want);
+        gaia.shutdown();
+    }
+}

@@ -1,0 +1,226 @@
+//! Hybrid Sync/Async execution — the paper's future-work direction
+//! (§VI-c): "integrating Sync mode or PowerSwitch's hybrid approach in
+//! GraphDance could further improve the performance of long-running
+//! queries".
+//!
+//! The paper observes (Fig. 9) that BSP wins on the *largest* traversals —
+//! barrier costs amortize over huge frontiers — while the asynchronous
+//! engine wins everywhere else. This engine keeps both runtimes warm over
+//! the same graph and picks per query using a frontier-size estimate from
+//! [`GraphStats`] fan-outs, PowerSwitch-style.
+
+use graphdance_common::{GdResult, Value};
+use graphdance_engine::config::EngineConfig;
+use graphdance_engine::{GraphDance, NetStatsSnapshot, QueryResult};
+use graphdance_query::plan::{Plan, PlanStep, SourceSpec};
+use graphdance_storage::{Graph, GraphStats};
+
+use crate::bsp::BspEngine;
+use crate::traits::QueryEngine;
+
+/// Which runtime a plan was routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Async,
+    Sync,
+}
+
+/// Hybrid engine: per-query Sync/Async selection.
+pub struct HybridEngine {
+    async_engine: GraphDance,
+    sync_engine: BspEngine,
+    stats: GraphStats,
+    /// Queries whose estimated total frontier exceeds this run on the BSP
+    /// runtime.
+    threshold: f64,
+}
+
+impl HybridEngine {
+    /// Start both runtimes over (clones of) the same graph.
+    pub fn start(graph: Graph, config: EngineConfig) -> Self {
+        let stats = graph.stats();
+        HybridEngine {
+            async_engine: GraphDance::start(graph.clone(), config.clone()),
+            sync_engine: BspEngine::start(graph, config),
+            stats,
+            threshold: 200_000.0,
+        }
+    }
+
+    /// Override the switch threshold (estimated traverser count).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Estimate the total number of traversers a plan will create, using
+    /// per-label fan-outs. Loops multiply their body fan by the maximum
+    /// iteration count; scans start with the full label population.
+    pub fn estimate_traversers(&self, plan: &Plan) -> f64 {
+        let mut total = 0.0;
+        for stage in &plan.stages {
+            for pipe in &stage.pipelines {
+                let mut frontier: f64 = match &pipe.source {
+                    SourceSpec::Param { .. } => 1.0,
+                    SourceSpec::PrevRows { .. } => 32.0, // unknowable; modest guess
+                    SourceSpec::IndexLookup { .. } => 4.0,
+                    SourceSpec::ScanLabel { label } => {
+                        *self.stats.vertices_by_label.get(label).unwrap_or(&1) as f64
+                    }
+                };
+                total += frontier;
+                let mut i = 0usize;
+                while i < pipe.steps.len() {
+                    match &pipe.steps[i] {
+                        PlanStep::Expand { label, .. } => {
+                            let e = *self.stats.edges_by_label.get(label).unwrap_or(&0) as f64;
+                            let src =
+                                *self.stats.src_by_label.get(label).unwrap_or(&1) as f64;
+                            frontier *= (e / src.max(1.0)).max(0.1);
+                            total += frontier;
+                        }
+                        PlanStep::LoopEnd { min: _, max, back_to, .. } => {
+                            // Re-charge the loop body (max - 1) more times,
+                            // capped by the vertex population (MinDist/Dedup
+                            // bound real frontiers by |V| per iteration).
+                            let body_fan = {
+                                let mut f = 1.0f64;
+                                for s in &pipe.steps[*back_to as usize..i] {
+                                    if let PlanStep::Expand { label, .. } = s {
+                                        let e = *self
+                                            .stats
+                                            .edges_by_label
+                                            .get(label)
+                                            .unwrap_or(&0)
+                                            as f64;
+                                        let src = *self
+                                            .stats
+                                            .src_by_label
+                                            .get(label)
+                                            .unwrap_or(&1)
+                                            as f64;
+                                        f *= (e / src.max(1.0)).max(0.1);
+                                    }
+                                }
+                                f
+                            };
+                            let cap = self.stats.num_vertices.max(1) as f64;
+                            for _ in 1..*max {
+                                frontier = (frontier * body_fan).min(cap);
+                                total += frontier;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// The mode this plan would run in.
+    pub fn mode_for(&self, plan: &Plan) -> Mode {
+        if self.estimate_traversers(plan) >= self.threshold {
+            Mode::Sync
+        } else {
+            Mode::Async
+        }
+    }
+
+    /// Stop both runtimes.
+    pub fn shutdown(self) {
+        self.async_engine.shutdown();
+        self.sync_engine.shutdown();
+    }
+}
+
+impl QueryEngine for HybridEngine {
+    fn name(&self) -> &str {
+        "Hybrid (PowerSwitch-style)"
+    }
+
+    fn query_timed(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult> {
+        match self.mode_for(plan) {
+            Mode::Async => self.async_engine.query_timed(plan, params),
+            Mode::Sync => self.sync_engine.query_timed(plan, params),
+        }
+    }
+
+    fn net_stats(&self) -> NetStatsSnapshot {
+        self.async_engine.net_stats()
+    }
+
+    fn stop(self: Box<Self>) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::{Partitioner, VertexId};
+    use graphdance_query::QueryBuilder;
+    use graphdance_storage::GraphBuilder;
+
+    fn ring(n: u64) -> Graph {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let person = b.schema_mut().register_vertex_label("Person");
+        let knows = b.schema_mut().register_edge_label("knows");
+        for i in 0..n {
+            b.add_vertex(VertexId(i), person, vec![]).unwrap();
+        }
+        for i in 0..n {
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn khop(g: &Graph, k: i64) -> Plan {
+        let mut b = QueryBuilder::new(g.schema());
+        b.v_param(0);
+        let c = b.alloc_slot();
+        b.repeat(1, k, c, |r| {
+            r.out("knows");
+        });
+        b.dedup();
+        b.compile().unwrap()
+    }
+
+    #[test]
+    fn small_queries_route_async_large_route_sync() {
+        let g = ring(64);
+        let engine = HybridEngine::start(g.clone(), EngineConfig::new(2, 2)).with_threshold(50.0);
+        let small = khop(&g, 1);
+        let large = khop(&g, 60);
+        assert_eq!(engine.mode_for(&small), Mode::Async);
+        assert_eq!(engine.mode_for(&large), Mode::Sync, "estimate: {}", engine.estimate_traversers(&large));
+        // Both still answer correctly.
+        let rows = engine.query(&small, vec![Value::Vertex(VertexId(5))]).unwrap();
+        assert_eq!(rows, vec![vec![Value::Vertex(VertexId(6))]]);
+        let rows = engine.query(&large, vec![Value::Vertex(VertexId(0))]).unwrap();
+        assert_eq!(rows.len(), 60, "60 distinct vertices within 60 hops on a ring");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn estimate_grows_with_hops() {
+        let g = ring(64);
+        let engine = HybridEngine::start(g.clone(), EngineConfig::new(2, 2));
+        let e2 = engine.estimate_traversers(&khop(&g, 2));
+        let e5 = engine.estimate_traversers(&khop(&g, 5));
+        assert!(e5 > e2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn scan_sources_estimate_by_label_population() {
+        let g = ring(64);
+        let engine = HybridEngine::start(g.clone(), EngineConfig::new(2, 2));
+        let mut b = QueryBuilder::new(g.schema());
+        b.v().has_label("Person").count();
+        let scan = b.compile().unwrap();
+        assert!(engine.estimate_traversers(&scan) >= 64.0);
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,38 @@
+//! # graphdance-baselines
+//!
+//! The comparison systems of the paper's evaluation (§V), each built on the
+//! *same* storage, plan interpreter, and simulated cluster network as
+//! GraphDance, so that measured differences isolate the execution model:
+//!
+//! * [`bsp`] — a **BSP engine** with global superstep barriers (stands in
+//!   for TigerGraph-class systems, §II-C1/Fig. 2b).
+//! * [`non_partitioned`] — GraphDance with the **non-partitioned graph
+//!   model**: threads of a node share one work queue and one latched memo
+//!   (§V-A2 ablation).
+//! * [`single_node`] — a **single-node engine** (GraphScope stand-in,
+//!   §V-A3): all workers on one node (no network path) plus a simulated
+//!   DRAM-capacity limit that charges swap penalties when the dataset
+//!   exceeds node memory.
+//! * [`dataflow`] — **GAIA-sim** and **Banyan-sim**: asynchronous dataflow
+//!   engines that instantiate every operator in every worker (modelled as
+//!   per-operator scheduling overhead) and, for GAIA, run the final
+//!   aggregation centralized (§V-B).
+//! * [`hybrid`] — the paper's future-work extension (§VI-c): PowerSwitch-
+//!   style per-query Sync/Async selection from a frontier-size estimate.
+//!
+//! All engines implement [`QueryEngine`], so the LDBC driver and the
+//! benchmark harnesses treat them uniformly.
+
+pub mod bsp;
+pub mod dataflow;
+pub mod hybrid;
+pub mod non_partitioned;
+pub mod single_node;
+pub mod traits;
+
+pub use bsp::BspEngine;
+pub use dataflow::{BanyanSim, GaiaSim};
+pub use hybrid::HybridEngine;
+pub use non_partitioned::NonPartitionedEngine;
+pub use single_node::SingleNodeEngine;
+pub use traits::QueryEngine;

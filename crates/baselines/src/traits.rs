@@ -1,0 +1,46 @@
+//! The engine abstraction used by the LDBC driver and benchmark harnesses.
+
+use graphdance_common::{GdResult, Value};
+use graphdance_engine::{GraphDance, NetStatsSnapshot, QueryResult};
+use graphdance_pstm::Row;
+use graphdance_query::plan::Plan;
+
+/// A query engine under test.
+pub trait QueryEngine: Send + Sync {
+    /// Human-readable engine name (used in benchmark output).
+    fn name(&self) -> &str;
+
+    /// Execute a query and measure its latency.
+    fn query_timed(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult>;
+
+    /// Execute a query, returning only the rows.
+    fn query(&self, plan: &Plan, params: Vec<Value>) -> GdResult<Vec<Row>> {
+        Ok(self.query_timed(plan, params)?.rows)
+    }
+
+    /// Network counters, if the engine runs on the simulated fabric.
+    fn net_stats(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot::default()
+    }
+
+    /// Stop all engine threads.
+    fn stop(self: Box<Self>);
+}
+
+impl QueryEngine for GraphDance {
+    fn name(&self) -> &str {
+        "GraphDance"
+    }
+
+    fn query_timed(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult> {
+        GraphDance::query_timed(self, plan, params)
+    }
+
+    fn net_stats(&self) -> NetStatsSnapshot {
+        GraphDance::net_stats(self)
+    }
+
+    fn stop(self: Box<Self>) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,58 @@
+//! Extension experiment (paper §VI-c future work): the PowerSwitch-style
+//! hybrid Sync/Async engine. For each k-hop size, shows the frontier
+//! estimate, the mode the hybrid engine picks, and the measured latency of
+//! pure-async, pure-BSP, and hybrid execution.
+//!
+//! Expected shape: the hybrid engine tracks whichever pure mode is better
+//! at each query size, switching to Sync once the estimate crosses the
+//! threshold (the paper observed BSP winning on the largest traversals).
+
+use graphdance_baselines::{BspEngine, HybridEngine, QueryEngine};
+use graphdance_bench::*;
+use graphdance_engine::{EngineConfig, GraphDance};
+
+fn main() {
+    let quick = quick_mode();
+    let trials = if quick { 2 } else { 5 };
+    let data = if quick { fs_dataset(true) } else { fs_dataset(false) };
+    let n = data.params().vertices;
+    let (nodes, wpn) = (2u32, 2u32);
+
+    // Threshold chosen between the 2-hop and 4-hop frontier estimates.
+    let threshold = 3.0 * n as f64;
+    println!(
+        "=== Hybrid Sync/Async (§VI-c extension) on {}, threshold = {:.0} est. traversers ===",
+        data.params().name, threshold
+    );
+    header(&["hops", "estimate  ", "mode ", "async (ms)", "bsp (ms)", "hybrid (ms)"]);
+    for k in [2i64, 3, 4, 6] {
+        let g = build_khop_graph(&data, nodes, wpn);
+        let plan = khop_topk_plan(&g, k);
+
+        let hybrid =
+            HybridEngine::start(g.clone(), EngineConfig::new(nodes, wpn)).with_threshold(threshold);
+        let est = hybrid.estimate_traversers(&plan);
+        let mode = format!("{:?}", hybrid.mode_for(&plan));
+        let hybrid_lat = run_khop_avg(&hybrid, &plan, n, trials, 42);
+        Box::new(hybrid).stop();
+
+        let async_engine = GraphDance::start(g.clone(), EngineConfig::new(nodes, wpn));
+        let async_lat = run_khop_avg(&async_engine, &plan, n, trials, 42);
+        async_engine.shutdown();
+
+        let bsp = BspEngine::start(g, EngineConfig::new(nodes, wpn));
+        let bsp_lat = run_khop_avg(&bsp, &plan, n, trials, 42);
+        bsp.shutdown();
+
+        println!(
+            "{:4} | {:10.0} | {:5} | {} | {} | {}",
+            k,
+            est,
+            mode,
+            ms(async_lat),
+            ms(bsp_lat),
+            ms(hybrid_lat)
+        );
+    }
+    println!("\n(The hybrid engine should track min(async, bsp) at every size.)");
+}

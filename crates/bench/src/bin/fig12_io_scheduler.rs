@@ -1,0 +1,57 @@
+//! Fig. 12 — the two-tiered I/O scheduler ablation.
+//!
+//! Modes: `Sync` (every message is its own wire packet), `+TLC`
+//! (thread-level combining only), `+TLC+NLC` (full two-tier scheduler).
+//! Expected shape: TLC is the dominant win, largest on the biggest queries
+//! (the paper reports 15.9× on Friendster 4-hop); NLC adds a minor
+//! improvement on large queries and can slightly hurt tiny latency-bound
+//! ones.
+
+use graphdance_bench::*;
+use graphdance_engine::{EngineConfig, GraphDance, IoMode};
+
+fn main() {
+    let quick = quick_mode();
+    let trials = if quick { 2 } else { 5 };
+    let hops: &[i64] = if quick { &[2, 3] } else { &[2, 3, 4] };
+    let datasets = if quick {
+        vec![("lj-sim", lj_dataset(true))]
+    } else {
+        vec![("lj-sim", lj_dataset(false)), ("fs-sim", fs_dataset(false))]
+    };
+    let (nodes, wpn) = (2u32, 4u32);
+
+    println!("=== Fig. 12: two-tier I/O scheduler, {nodes} nodes x {wpn} workers ===");
+    header(&["dataset ", "hops", "Sync (ms)", "+TLC (ms)", "+TLC+NLC (ms)", "TLC speedup", "wire pkts S/T/N"]);
+    for (dname, data) in &datasets {
+        let n = data.params().vertices;
+        for &k in hops {
+            let mut lat = Vec::new();
+            let mut pkts = Vec::new();
+            for mode in [IoMode::Sync, IoMode::ThreadCombining, IoMode::TwoTier] {
+                let g = build_khop_graph(data, nodes, wpn);
+                let plan = khop_topk_plan(&g, k);
+                let cfg = EngineConfig::new(nodes, wpn).with_io_mode(mode);
+                let engine = GraphDance::start(g, cfg);
+                let before = engine.net_stats();
+                lat.push(run_khop_avg(&engine, &plan, n, trials, 42));
+                pkts.push(engine.net_stats().since(&before).wire_packets);
+                engine.shutdown();
+            }
+            let speedup = lat[0].as_secs_f64() / lat[1].as_secs_f64().max(1e-9);
+            println!(
+                "{:8} | {:4} | {} | {} | {}      | {:6.2}x | {}/{}/{}",
+                dname,
+                k,
+                ms(lat[0]),
+                ms(lat[1]),
+                ms(lat[2]),
+                speedup,
+                pkts[0],
+                pkts[1],
+                pkts[2]
+            );
+        }
+    }
+    println!("\n(Paper: TLC dominates — up to 15.9x on fs 4-hop; NLC is a minor extra win on large queries.)");
+}

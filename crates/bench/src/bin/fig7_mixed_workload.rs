@@ -1,0 +1,81 @@
+//! Fig. 7 — mixed LDBC SNB Interactive workload: average and P99 latency
+//! of IC and IS queries at TCR ∈ {3, 0.3, 0.03}, GraphDance vs the BSP
+//! baseline (TigerGraph-sim).
+//!
+//! Per the paper, IC3, IC9 and IC14 are excluded for the BSP system (the
+//! queries TigerGraph timed out on), and the BSP system is expected to
+//! fail to sustain the TCR 0.03 issue rate.
+
+use graphdance_baselines::BspEngine;
+use graphdance_bench::*;
+use graphdance_common::Partitioner;
+use graphdance_engine::{EngineConfig, GraphDance};
+use graphdance_ldbc::{build_ic_plans, build_is_plans, run_mixed, TcrConfig};
+use graphdance_txn::TxnSystem;
+use std::time::Duration;
+
+fn main() {
+    let quick = quick_mode();
+    let data = sf300_dataset(quick);
+    let (nodes, wpn) = (2u32, 4u32);
+    let tcrs = if quick { vec![3.0, 0.3] } else { vec![3.0, 0.3, 0.03] };
+    // The paper's TCRs are defined against its hardware's capacity. Our
+    // simulated ICs are ~100x slower than the paper's testbed, so the base
+    // rate is recalibrated such that TCR 3 and 0.3 are sustainable for an
+    // asynchronous engine and TCR 0.03 stresses past BSP's capacity —
+    // preserving the figure's meaning.
+    let base_rate = 6.0;
+
+    println!("=== Fig. 7: mixed SNB interactive workload on {} ===", data.params().name);
+    header(&["engine    ", "TCR  ", "IC avg/p99", "IS avg/p99", "UP avg/p99", "sustained"]);
+
+    for tcr in tcrs {
+        // GraphDance: full IC set.
+        {
+            let graph = data.build(Partitioner::new(nodes, wpn)).expect("builds");
+            let schema = std::sync::Arc::clone(graph.schema());
+            let engine = GraphDance::start(graph, EngineConfig::new(nodes, wpn));
+            let ic = build_ic_plans(&schema).expect("plans");
+            let is_ = build_is_plans(&schema).expect("plans");
+            let mut cfg = TcrConfig::new(tcr);
+            cfg.base_ops_per_sec = base_rate;
+            cfg.clients = 32;
+            cfg.duration = if quick { Duration::from_millis(1200) } else { Duration::from_secs(4) };
+            let r = run_mixed(&engine, engine.txn(), &schema, &data, &ic, &is_, &cfg);
+            println!(
+                "GraphDance | {:5} | {} | {} | {} | {}",
+                tcr,
+                r.ic.fmt_ms(),
+                r.is.fmt_ms(),
+                r.up.fmt_ms(),
+                r.sustained
+            );
+            engine.shutdown();
+        }
+        // BSP: IC3/IC9/IC14 excluded (indices 2, 8, 13).
+        {
+            let graph = data.build(Partitioner::new(nodes, wpn)).expect("builds");
+            let schema = std::sync::Arc::clone(graph.schema());
+            let txn = TxnSystem::new(graph.clone());
+            let engine = BspEngine::start(graph, EngineConfig::new(nodes, wpn));
+            let ic = build_ic_plans(&schema).expect("plans");
+            let is_ = build_is_plans(&schema).expect("plans");
+            let mut cfg = TcrConfig::new(tcr);
+            cfg.base_ops_per_sec = base_rate;
+            cfg.clients = 32;
+            cfg.duration = if quick { Duration::from_millis(1200) } else { Duration::from_secs(4) };
+            cfg.ic_subset = (0..14).filter(|i| ![2usize, 8, 13].contains(i)).collect();
+            let r = run_mixed(&engine, &txn, &schema, &data, &ic, &is_, &cfg);
+            println!(
+                "BSP        | {:5} | {} | {} | {} | {}",
+                tcr,
+                r.ic.fmt_ms(),
+                r.is.fmt_ms(),
+                r.up.fmt_ms(),
+                r.sustained
+            );
+            engine.shutdown();
+        }
+    }
+    println!("\n(Paper: GraphDance ~89-92% lower latency; TigerGraph fails at TCR 0.03.)");
+}

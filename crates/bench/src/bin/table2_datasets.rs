@@ -1,0 +1,43 @@
+//! Table II — summaries of the evaluation datasets.
+//!
+//! Prints vertex/edge counts and in-memory size for the four scaled-down
+//! datasets (see DESIGN.md §1 for the paper-to-simulation mapping).
+
+use graphdance_bench::*;
+use graphdance_common::Partitioner;
+
+fn main() {
+    let quick = quick_mode();
+    println!("=== Table II: dataset summaries (scaled-down simulations) ===");
+    header(&["dataset     ", "vertices", "edges   ", "raw size (MB)", "paper original"]);
+
+    let sf300 = sf300_dataset(quick);
+    let sf1000 = sf1000_dataset(quick);
+    for (data, paper) in [(&sf300, "969.9M v / 6.73B e / 256 GB"), (&sf1000, "2.93B v / 20.7B e / 862 GB")] {
+        let s = data.summary();
+        let g = data.build(Partitioner::new(1, 2)).expect("builds");
+        println!(
+            "{:12} | {:8} | {:8} | {:13.1} | {}",
+            s.name,
+            s.vertices,
+            s.edges,
+            g.approx_bytes() as f64 / 1e6,
+            paper
+        );
+    }
+    for (data, paper) in [
+        (lj_dataset(quick), "4.00M v / 34.7M e / 464 MB"),
+        (fs_dataset(quick), "65.6M v / 1.81B e / 31 GB"),
+    ] {
+        let s = data.summary();
+        let g = data.build(Partitioner::new(1, 2)).expect("builds");
+        println!(
+            "{:12} | {:8} | {:8} | {:13.1} | {}",
+            s.name,
+            s.vertices,
+            s.edges,
+            g.approx_bytes() as f64 / 1e6,
+            paper
+        );
+    }
+}

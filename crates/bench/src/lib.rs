@@ -1,0 +1,271 @@
+//! # graphdance-bench
+//!
+//! Benchmark harnesses reproducing every table and figure of the paper's
+//! evaluation (§V). Each figure/table is a binary under `src/bin/`; run
+//! with e.g.
+//!
+//! ```text
+//! cargo run --release -p graphdance-bench --bin fig9_scalability
+//! ```
+//!
+//! Binaries accept `--quick` for a reduced sweep (used by CI and the
+//! recorded outputs in EXPERIMENTS.md). Criterion micro-benchmarks of the
+//! core data structures live under `benches/`.
+//!
+//! This library crate holds the shared harness plumbing: dataset caching,
+//! engine construction, the k-hop query of Fig. 1, and table formatting.
+
+use std::time::Duration;
+
+use graphdance_baselines::{BanyanSim, BspEngine, GaiaSim, NonPartitionedEngine, QueryEngine};
+use graphdance_common::rng::seeded;
+use graphdance_common::{Partitioner, Value, VertexId};
+use graphdance_datagen::{KhopDataset, KhopParams, SnbDataset, SnbParams};
+use graphdance_engine::{EngineConfig, GraphDance};
+use graphdance_query::expr::Expr;
+use graphdance_query::plan::{Order, Plan};
+use graphdance_query::QueryBuilder;
+use graphdance_storage::Graph;
+
+use rand::Rng;
+
+/// Default vertex counts for the scaled-down k-hop datasets. Sized so the
+/// large queries (fs-sim 3/4-hop) run long enough for parallelism and
+/// batching effects to dominate fixed per-query costs, as in the paper.
+pub const LJ_VERTICES: u64 = 40_000;
+pub const FS_VERTICES: u64 = 16_000;
+
+/// Quick-mode sizes.
+pub const LJ_VERTICES_QUICK: u64 = 4_000;
+pub const FS_VERTICES_QUICK: u64 = 2_000;
+
+/// Is `--quick` on the command line?
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Generate (once) the lj-sim dataset.
+pub fn lj_dataset(quick: bool) -> KhopDataset {
+    KhopDataset::generate(KhopParams::lj_sim(if quick { LJ_VERTICES_QUICK } else { LJ_VERTICES }))
+}
+
+/// Generate (once) the fs-sim dataset.
+pub fn fs_dataset(quick: bool) -> KhopDataset {
+    KhopDataset::generate(KhopParams::fs_sim(if quick { FS_VERTICES_QUICK } else { FS_VERTICES }))
+}
+
+/// Generate the SF300-sim SNB dataset (scaled further down in quick mode).
+pub fn sf300_dataset(quick: bool) -> SnbDataset {
+    let mut p = SnbParams::sf300_sim();
+    if quick {
+        p.persons /= 4;
+    }
+    SnbDataset::generate(p)
+}
+
+/// Generate the SF1000-sim SNB dataset.
+pub fn sf1000_dataset(quick: bool) -> SnbDataset {
+    let mut p = SnbParams::sf1000_sim();
+    if quick {
+        p.persons /= 4;
+    }
+    SnbDataset::generate(p)
+}
+
+/// The Fig. 1 k-hop query: all vertices within `k` hops of `$0`, top 10 by
+/// vertex weight (ties by id).
+pub fn khop_topk_plan(graph: &Graph, k: i64) -> Plan {
+    let w = graph.schema().prop("weight").expect("khop graphs carry weights");
+    let mut b = QueryBuilder::new(graph.schema());
+    b.v_param(0);
+    let c = b.alloc_slot();
+    let d = b.alloc_slot();
+    b.repeat(1, k, c, |r| {
+        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.out("link");
+        r.min_dist(d);
+    });
+    b.dedup();
+    b.top_k(
+        10,
+        vec![(Expr::Prop(w), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![Expr::VertexId, Expr::Prop(w)],
+    );
+    b.compile().expect("khop plan compiles")
+}
+
+/// Run the k-hop query from `trials` random start vertices and return the
+/// average latency (the paper's methodology: random starts, averaged).
+pub fn run_khop_avg(
+    engine: &dyn QueryEngine,
+    plan: &Plan,
+    num_vertices: u64,
+    trials: usize,
+    seed: u64,
+) -> Duration {
+    let mut rng = seeded(seed);
+    let mut total = Duration::ZERO;
+    let mut ok = 0u32;
+    for _ in 0..trials {
+        let start = VertexId(rng.gen_range(0..num_vertices));
+        match engine.query_timed(plan, vec![Value::Vertex(start)]) {
+            Ok(r) => {
+                total += r.latency;
+                ok += 1;
+            }
+            Err(e) => eprintln!("  [warn] {}: {e}", engine.name()),
+        }
+    }
+    if ok == 0 {
+        Duration::MAX
+    } else {
+        total / ok
+    }
+}
+
+/// Engines compared in the scalability studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    GraphDance,
+    Bsp,
+    NonPartitioned,
+    GaiaSim,
+    BanyanSim,
+}
+
+impl EngineKind {
+    /// Printable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::GraphDance => "GraphDance",
+            EngineKind::Bsp => "BSP",
+            EngineKind::NonPartitioned => "NonPart",
+            EngineKind::GaiaSim => "GAIA-sim",
+            EngineKind::BanyanSim => "Banyan-sim",
+        }
+    }
+
+    /// Build the engine over a freshly-materialized graph.
+    pub fn start(&self, graph: Graph, config: EngineConfig) -> Box<dyn QueryEngine> {
+        match self {
+            EngineKind::GraphDance => Box::new(GraphDance::start(graph, config)),
+            EngineKind::Bsp => Box::new(BspEngine::start(graph, config)),
+            EngineKind::NonPartitioned => Box::new(NonPartitionedEngine::start(graph, config)),
+            EngineKind::GaiaSim => Box::new(GaiaSim::start(graph, config)),
+            EngineKind::BanyanSim => Box::new(BanyanSim::start(graph, config)),
+        }
+    }
+}
+
+/// Build a graph for a topology from a k-hop dataset.
+pub fn build_khop_graph(data: &KhopDataset, nodes: u32, wpn: u32) -> Graph {
+    data.build(Partitioner::new(nodes, wpn)).expect("dataset builds")
+}
+
+/// Closed-loop throughput: `clients` threads issue queries back-to-back
+/// for `window`; returns completed queries per second. `make_params` draws
+/// fresh parameters per call (thread-safe via per-client seeds).
+pub fn run_throughput(
+    engine: &dyn QueryEngine,
+    plan: &Plan,
+    make_params: &(dyn Fn(&mut rand::rngs::SmallRng) -> Vec<Value> + Sync),
+    clients: usize,
+    window: Duration,
+) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let done = AtomicU64::new(0);
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let done = &done;
+            scope.spawn(move || {
+                let mut rng = seeded(0xBEEF ^ c as u64);
+                while start.elapsed() < window {
+                    let params = make_params(&mut rng);
+                    if engine.query_timed(plan, params).is_ok() {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    done.load(std::sync::atomic::Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Average sequential latency of a plan over `trials` parameter draws.
+pub fn run_latency_avg(
+    engine: &dyn QueryEngine,
+    plan: &Plan,
+    make_params: &mut dyn FnMut() -> Vec<Value>,
+    trials: usize,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    let mut ok = 0u32;
+    for _ in 0..trials {
+        match engine.query_timed(plan, make_params()) {
+            Ok(r) => {
+                total += r.latency;
+                ok += 1;
+            }
+            Err(e) => eprintln!("  [warn] {}: {e}", engine.name()),
+        }
+    }
+    if ok == 0 {
+        Duration::MAX
+    } else {
+        total / ok
+    }
+}
+
+/// Format a duration in ms with 3 decimals.
+pub fn ms(d: Duration) -> String {
+    if d == Duration::MAX {
+        "   FAIL ".into()
+    } else {
+        format!("{:8.3}", d.as_secs_f64() * 1e3)
+    }
+}
+
+/// Print a table header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join(" | "));
+    println!("{}", "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn khop_plan_builds_for_khop_graphs() {
+        let d = lj_dataset(true);
+        let g = build_khop_graph(&d, 1, 2);
+        let plan = khop_topk_plan(&g, 2);
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn engine_kinds_start_and_answer() {
+        let d = KhopDataset::generate(KhopParams::lj_sim(300));
+        for kind in [
+            EngineKind::GraphDance,
+            EngineKind::Bsp,
+            EngineKind::NonPartitioned,
+            EngineKind::GaiaSim,
+            EngineKind::BanyanSim,
+        ] {
+            let g = build_khop_graph(&d, 1, 2);
+            let plan = khop_topk_plan(&g, 2);
+            let engine = kind.start(g, EngineConfig::new(1, 2));
+            let avg = run_khop_avg(engine.as_ref(), &plan, 300, 2, 7);
+            assert!(avg < Duration::from_secs(10), "{} answered", kind.name());
+            engine.stop();
+        }
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(Duration::from_millis(1)), "   1.000");
+        assert_eq!(ms(Duration::MAX), "   FAIL ");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types shared across GraphDance crates.
+
+use std::fmt;
+
+use crate::ids::{QueryId, VertexId};
+
+/// Result alias used throughout GraphDance.
+pub type GdResult<T> = Result<T, GdError>;
+
+/// Top-level error type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdError {
+    /// A vertex id was not present in the graph.
+    VertexNotFound(VertexId),
+    /// A label or property key string was not registered in the schema.
+    UnknownSymbol(String),
+    /// A query program failed validation (e.g. a Join probe side references
+    /// an undefined alias, or an aggregate appears in a non-tail position).
+    InvalidProgram(String),
+    /// Parse error in the Gremlin-like text DSL, with byte offset.
+    Parse { offset: usize, message: String },
+    /// Type mismatch during evaluation (e.g. comparing a string to an int
+    /// with an arithmetic predicate).
+    TypeError(String),
+    /// The engine rejected a query submission (e.g. shut down).
+    EngineClosed,
+    /// A query exceeded its deadline and was aborted (mirrors the 50 ms
+    /// time-budget abort policy cited in §II-A).
+    QueryTimeout(QueryId),
+    /// A transaction was aborted by concurrency control.
+    TxnAborted(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for GdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdError::VertexNotFound(v) => write!(f, "vertex {v:?} not found"),
+            GdError::UnknownSymbol(s) => write!(f, "unknown label/property symbol: {s}"),
+            GdError::InvalidProgram(m) => write!(f, "invalid traversal program: {m}"),
+            GdError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            GdError::TypeError(m) => write!(f, "type error: {m}"),
+            GdError::EngineClosed => write!(f, "engine is shut down"),
+            GdError::QueryTimeout(q) => write!(f, "query {q:?} timed out"),
+            GdError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            GdError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GdError::VertexNotFound(VertexId(3)).to_string(),
+            "vertex v3 not found"
+        );
+        assert!(GdError::Parse { offset: 4, message: "x".into() }
+            .to_string()
+            .contains("byte 4"));
+        assert!(GdError::QueryTimeout(QueryId(1)).to_string().contains("q1"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GdError::EngineClosed);
+    }
+}

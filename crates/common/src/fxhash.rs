@@ -1,0 +1,147 @@
+//! A fast non-cryptographic hasher (the FxHash algorithm used by rustc).
+//!
+//! Graph query execution hashes vertex ids on every `Expand`, `Dedup`, and
+//! memo access; SipHash would dominate profiles. This is a self-contained
+//! reimplementation so we stay within the approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Used for all hot-path maps (memoranda,
+/// dedup sets, join tables).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64` to a well-mixed `u64` (used by the partitioner).
+#[inline]
+pub fn hash_u64(v: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(v);
+    // One extra finalization round: FxHash's raw output keeps low-entropy in
+    // the low bits for sequential keys, which would skew modulo partitioning.
+    let x = h.finish();
+    let x = x ^ (x >> 33);
+    let x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^ (x >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = FxHasher::default();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // 7-, 8-, 9-byte strings exercise the chunk remainder path.
+        assert_ne!(hash_of(&"1234567"), hash_of(&"12345678"));
+        assert_ne!(hash_of(&"12345678"), hash_of(&"123456789"));
+    }
+
+    #[test]
+    fn hash_u64_spreads_sequential_keys() {
+        // Sequential ids must land in different buckets mod small n.
+        let n = 8u64;
+        let mut counts = [0usize; 8];
+        for i in 0..8000u64 {
+            counts[(hash_u64(i) % n) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 500, "bucket too empty: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fx_map_basic() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Strongly-typed identifiers used throughout GraphDance.
+//!
+//! All identifiers are thin newtypes over integers so that they are `Copy`,
+//! hash quickly with [`crate::fxhash::FxHasher`], and cannot be confused with
+//! one another at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in the property graph.
+///
+/// Vertex ids are globally unique across the whole graph (not per-partition);
+/// the partition owning a vertex is derived via [`crate::Partitioner`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VertexId(pub u64);
+
+impl VertexId {
+    /// The distinguished invalid vertex id, used as a sentinel.
+    pub const INVALID: VertexId = VertexId(u64::MAX);
+
+    /// Returns `true` if this id is the invalid sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+/// Identifier of a directed edge.
+///
+/// Edge ids are unique within the partition that owns the edge's source
+/// vertex (edges are stored with their source, matching the shared-nothing
+/// layout of §IV).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct EdgeId(pub u64);
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a graph partition (`PartId = {0, 1, .., n_parts - 1}`,
+/// paper §II-C). Each partition is owned by exactly one worker thread.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PartId(pub u32);
+
+impl PartId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a (simulated) cluster node. A node hosts several workers and
+/// one network thread (§IV-B).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a worker thread. Workers map 1:1 to partitions, so a
+/// `WorkerId` and a `PartId` carry the same number; the distinct types keep
+/// the runtime plumbing honest about which concept it is handling.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The partition owned by this worker (1:1 mapping).
+    #[inline]
+    pub fn part(self) -> PartId {
+        PartId(self.0)
+    }
+}
+
+impl fmt::Debug for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Identifier of a running query. Assigned by the coordinator; unique for the
+/// lifetime of the cluster. Memoranda entries are keyed by `QueryId` so they
+/// can be reclaimed when the query terminates (§III-B).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct QueryId(pub u64);
+
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of a progress-tracking scope within a query.
+///
+/// Scope 0 is the root traversal; each aggregation subquery opens a fresh
+/// scope with its own weight domain (§III-C). Scope ids are assigned by the
+/// query compiler, not at runtime, so all workers agree on them.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ScopeId(pub u32);
+
+impl ScopeId {
+    /// The root scope of every query.
+    pub const ROOT: ScopeId = ScopeId(0);
+}
+
+impl fmt::Debug for ScopeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interned vertex/edge label (e.g. `Person`, `KNOWS`). Schemas are small,
+/// so a `u16` suffices; the schema object owns the string table.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Label(pub u16);
+
+impl Label {
+    /// Wildcard label used by `Expand` steps that traverse any edge type.
+    pub const ANY: Label = Label(u16::MAX);
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Label::ANY {
+            write!(f, "L*")
+        } else {
+            write!(f, "L{}", self.0)
+        }
+    }
+}
+
+/// An interned property key (the `Key` of `λ : (V ⊎ E) × Key -> Value`,
+/// §II-B). The schema object owns the string table.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PropKey(pub u16);
+
+impl fmt::Debug for PropKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_sentinel() {
+        assert!(!VertexId::INVALID.is_valid());
+        assert!(VertexId(0).is_valid());
+        assert!(VertexId(u64::MAX - 1).is_valid());
+    }
+
+    #[test]
+    fn worker_part_mapping_is_identity() {
+        for i in [0u32, 1, 7, 255] {
+            assert_eq!(WorkerId(i).part(), PartId(i));
+        }
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", VertexId(5)), "v5");
+        assert_eq!(format!("{:?}", EdgeId(9)), "e9");
+        assert_eq!(format!("{:?}", PartId(2)), "p2");
+        assert_eq!(format!("{:?}", NodeId(1)), "n1");
+        assert_eq!(format!("{:?}", QueryId(3)), "q3");
+        assert_eq!(format!("{:?}", ScopeId(0)), "s0");
+        assert_eq!(format!("{:?}", Label::ANY), "L*");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(QueryId(10) > QueryId(9));
+    }
+}

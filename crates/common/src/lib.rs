@@ -1,0 +1,23 @@
+//! # graphdance-common
+//!
+//! Foundation types shared by every GraphDance crate: identifiers, property
+//! values, error types, a fast non-cryptographic hasher, deterministic RNG
+//! helpers, and the graph partitioning function `H : V -> PartId` from the
+//! PSTM paper (§II-C).
+//!
+//! Nothing in this crate depends on the storage or execution layers; it is
+//! the bottom of the dependency graph.
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod partition;
+pub mod rng;
+pub mod time;
+pub mod value;
+
+pub use error::{GdError, GdResult};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{EdgeId, Label, NodeId, PartId, PropKey, QueryId, ScopeId, VertexId, WorkerId};
+pub use partition::Partitioner;
+pub use value::Value;

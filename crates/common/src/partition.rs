@@ -1,0 +1,164 @@
+//! The graph partitioning function `H : V -> PartId` (paper §II-C) and the
+//! cluster topology that maps partitions onto workers and nodes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fxhash::hash_u64;
+use crate::ids::{NodeId, PartId, VertexId, WorkerId};
+
+/// Hash partitioner over vertex ids, plus the node/worker topology.
+///
+/// The topology is fixed for the lifetime of a cluster: `nodes` simulated
+/// machines, each hosting `workers_per_node` single-threaded workers, one
+/// graph partition per worker (shared-nothing, §IV). Partition `p` lives on
+/// worker `p`, which lives on node `p / workers_per_node`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioner {
+    nodes: u32,
+    workers_per_node: u32,
+}
+
+impl Partitioner {
+    /// Create a topology of `nodes × workers_per_node` partitions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nodes: u32, workers_per_node: u32) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        assert!(workers_per_node > 0, "node needs at least one worker");
+        Partitioner { nodes, workers_per_node }
+    }
+
+    /// A single-partition topology, used by tests and the single-node
+    /// baseline.
+    pub fn single() -> Self {
+        Partitioner::new(1, 1)
+    }
+
+    /// Number of simulated cluster nodes.
+    #[inline]
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Number of workers (= partitions) per node.
+    #[inline]
+    pub fn workers_per_node(&self) -> u32 {
+        self.workers_per_node
+    }
+
+    /// Total number of partitions (`n_parts`).
+    #[inline]
+    pub fn num_parts(&self) -> u32 {
+        self.nodes * self.workers_per_node
+    }
+
+    /// The partitioning function `H(v)`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> PartId {
+        PartId((hash_u64(v.0) % self.num_parts() as u64) as u32)
+    }
+
+    /// The worker owning a partition (1:1).
+    #[inline]
+    pub fn worker_of_part(&self, p: PartId) -> WorkerId {
+        WorkerId(p.0)
+    }
+
+    /// The worker owning a vertex.
+    #[inline]
+    pub fn worker_of(&self, v: VertexId) -> WorkerId {
+        self.worker_of_part(self.part_of(v))
+    }
+
+    /// The node hosting a worker.
+    #[inline]
+    pub fn node_of_worker(&self, w: WorkerId) -> NodeId {
+        NodeId(w.0 / self.workers_per_node)
+    }
+
+    /// The node hosting a vertex's partition.
+    #[inline]
+    pub fn node_of(&self, v: VertexId) -> NodeId {
+        self.node_of_worker(self.worker_of(v))
+    }
+
+    /// Iterate over all workers hosted on `node`.
+    pub fn workers_on(&self, node: NodeId) -> impl Iterator<Item = WorkerId> {
+        let base = node.0 * self.workers_per_node;
+        (base..base + self.workers_per_node).map(WorkerId)
+    }
+
+    /// Iterate over all partitions.
+    pub fn parts(&self) -> impl Iterator<Item = PartId> {
+        (0..self.num_parts()).map(PartId)
+    }
+
+    /// Hash-partition an arbitrary 64-bit key (used by partitionable steps
+    /// whose `h_ψ` keys on something other than the current vertex, e.g. a
+    /// join key, §III-A).
+    #[inline]
+    pub fn part_of_key(&self, key: u64) -> PartId {
+        PartId((hash_u64(key) % self.num_parts() as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        Partitioner::new(0, 4);
+    }
+
+    #[test]
+    fn topology_arithmetic() {
+        let p = Partitioner::new(2, 4);
+        assert_eq!(p.num_parts(), 8);
+        assert_eq!(p.node_of_worker(WorkerId(0)), NodeId(0));
+        assert_eq!(p.node_of_worker(WorkerId(3)), NodeId(0));
+        assert_eq!(p.node_of_worker(WorkerId(4)), NodeId(1));
+        assert_eq!(p.node_of_worker(WorkerId(7)), NodeId(1));
+        let on_n1: Vec<_> = p.workers_on(NodeId(1)).collect();
+        assert_eq!(on_n1, vec![WorkerId(4), WorkerId(5), WorkerId(6), WorkerId(7)]);
+    }
+
+    #[test]
+    fn partitioning_is_stable_and_in_range() {
+        let p = Partitioner::new(3, 5);
+        for i in 0..1000u64 {
+            let v = VertexId(i);
+            let part = p.part_of(v);
+            assert!(part.0 < p.num_parts());
+            assert_eq!(part, p.part_of(v), "H must be a pure function");
+            assert_eq!(p.node_of(v), p.node_of_worker(p.worker_of(v)));
+        }
+    }
+
+    #[test]
+    fn partitioning_is_balanced() {
+        let p = Partitioner::new(2, 4);
+        let mut counts = vec![0usize; p.num_parts() as usize];
+        let n = 80_000u64;
+        for i in 0..n {
+            counts[p.part_of(VertexId(i)).as_usize()] += 1;
+        }
+        let expect = n as usize / counts.len();
+        for c in &counts {
+            // within 10% of perfectly balanced
+            assert!(
+                (*c as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+                "imbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parts_enumeration() {
+        let p = Partitioner::new(2, 2);
+        let parts: Vec<_> = p.parts().collect();
+        assert_eq!(parts, vec![PartId(0), PartId(1), PartId(2), PartId(3)]);
+    }
+}

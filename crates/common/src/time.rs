@@ -1,0 +1,106 @@
+//! Date/time helpers.
+//!
+//! LDBC SNB properties (`creationDate`, `birthday`, `joinDate`, ...) are
+//! timestamps. We store them as epoch milliseconds inside [`crate::Value::Int`]
+//! and provide just enough calendar arithmetic for the benchmark queries
+//! (which filter by date ranges and by birthday month/day).
+
+/// Milliseconds in one day.
+pub const MILLIS_PER_DAY: i64 = 24 * 60 * 60 * 1000;
+
+/// Epoch milliseconds for midnight UTC on the given date.
+///
+/// Uses the standard civil-from-days algorithm (proleptic Gregorian).
+/// Valid for all dates the benchmark generates (2002..2013).
+pub fn date_millis(year: i32, month: u32, day: u32) -> i64 {
+    days_from_civil(year, month, day) * MILLIS_PER_DAY
+}
+
+/// (year, month, day) for the given epoch milliseconds (UTC midnight-based).
+pub fn civil_from_millis(ms: i64) -> (i32, u32, u32) {
+    civil_from_days(ms.div_euclid(MILLIS_PER_DAY))
+}
+
+/// The month (1..=12) of an epoch-millis timestamp.
+pub fn month_of(ms: i64) -> u32 {
+    civil_from_millis(ms).1
+}
+
+/// The day-of-month (1..=31) of an epoch-millis timestamp.
+pub fn day_of(ms: i64) -> u32 {
+    civil_from_millis(ms).2
+}
+
+// Howard Hinnant's `days_from_civil`: days since 1970-01-01.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+// Inverse of `days_from_civil`.
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date_millis(1970, 1, 1), 0);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2010-01-01 is 14610 days after epoch.
+        assert_eq!(date_millis(2010, 1, 1), 14_610 * MILLIS_PER_DAY);
+        assert_eq!(civil_from_millis(date_millis(2010, 1, 1)), (2010, 1, 1));
+    }
+
+    #[test]
+    fn roundtrip_many_dates() {
+        for year in [1970, 1999, 2000, 2004, 2010, 2012, 2013] {
+            for month in 1..=12u32 {
+                for day in [1u32, 15, 28] {
+                    let ms = date_millis(year, month, day);
+                    assert_eq!(civil_from_millis(ms), (year, month, day));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let feb29 = date_millis(2012, 2, 29);
+        assert_eq!(civil_from_millis(feb29), (2012, 2, 29));
+        assert_eq!(civil_from_millis(feb29 + MILLIS_PER_DAY), (2012, 3, 1));
+    }
+
+    #[test]
+    fn month_day_extractors() {
+        let ms = date_millis(2011, 7, 21) + 5 * 60 * 60 * 1000; // 5am
+        assert_eq!(month_of(ms), 7);
+        assert_eq!(day_of(ms), 21);
+    }
+
+    #[test]
+    fn ordering_matches_calendar() {
+        assert!(date_millis(2010, 5, 3) < date_millis(2010, 5, 4));
+        assert!(date_millis(2009, 12, 31) < date_millis(2010, 1, 1));
+    }
+}

@@ -1,0 +1,222 @@
+//! Power-law graphs for the k-hop scalability studies (LiveJournal- and
+//! Friendster-shaped, Table II).
+//!
+//! Out-degrees follow a bounded power law; edge targets are drawn from a
+//! power-law popularity distribution over a permuted vertex space, giving
+//! the hub-dominated structure of real social graphs. "As all these graphs
+//! are unweighted, we assign a random integer weight to each vertex for
+//! aggregation queries" (§V) — we do the same.
+
+use rand::Rng;
+
+use graphdance_common::rng::{derive, PowerLaw};
+use graphdance_common::{GdResult, Partitioner, Value, VertexId};
+use graphdance_storage::{Graph, GraphBuilder};
+
+use crate::DatasetSummary;
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct KhopParams {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Average out-degree target.
+    pub avg_degree: f64,
+    /// Power-law exponent for both degrees and target popularity.
+    pub alpha: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl KhopParams {
+    /// LiveJournal-shaped graph (original: 4.0 M vertices, 34.7 M edges,
+    /// avg degree ≈ 8.7) scaled down to `vertices`.
+    pub fn lj_sim(vertices: u64) -> Self {
+        KhopParams {
+            name: "lj-sim".into(),
+            vertices,
+            avg_degree: 8.7,
+            alpha: 1.7,
+            seed: 0x11_AE90,
+        }
+    }
+
+    /// Friendster-shaped graph (original: 65.6 M vertices, 1.81 B edges,
+    /// avg degree ≈ 27.5) scaled down to `vertices`.
+    pub fn fs_sim(vertices: u64) -> Self {
+        KhopParams {
+            name: "fs-sim".into(),
+            vertices,
+            avg_degree: 27.5,
+            alpha: 1.6,
+            seed: 0xF2_EE5D,
+        }
+    }
+}
+
+/// A generated k-hop dataset (edge list kept so it can be materialized for
+/// any partitioning).
+pub struct KhopDataset {
+    params: KhopParams,
+    edges: Vec<(u64, u64)>,
+    weights: Vec<i64>,
+}
+
+impl KhopDataset {
+    /// Generate deterministically from the parameters.
+    pub fn generate(params: KhopParams) -> Self {
+        let n = params.vertices as usize;
+        let mut rng = derive(params.seed, 1);
+        // Degree distribution: power law over 1..max_deg scaled to hit the
+        // average. Sample raw shape first, then scale.
+        let max_deg = ((params.avg_degree * 40.0) as usize).clamp(8, n.max(8));
+        let deg_dist = PowerLaw::new(max_deg, params.alpha);
+        let mut degs: Vec<usize> = (0..n).map(|_| deg_dist.sample(&mut rng) + 1).collect();
+        let raw_avg = degs.iter().sum::<usize>() as f64 / n as f64;
+        let scale = params.avg_degree / raw_avg;
+        for d in &mut degs {
+            let scaled = (*d as f64 * scale).round() as usize;
+            *d = scaled.clamp(1, n.saturating_sub(1).max(1));
+        }
+        // Target popularity: power law over a permuted id space so hubs are
+        // spread across the hash partitions.
+        let pop = PowerLaw::new(n, params.alpha - 0.5);
+        let mut perm: Vec<u64> = (0..params.vertices).collect();
+        // Fisher-Yates with the seeded rng.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut edges = Vec::with_capacity((n as f64 * params.avg_degree) as usize);
+        for (src, &d) in degs.iter().enumerate() {
+            let mut emitted = 0;
+            let mut attempts = 0;
+            while emitted < d && attempts < d * 4 {
+                attempts += 1;
+                let dst = perm[pop.sample(&mut rng)];
+                if dst != src as u64 {
+                    edges.push((src as u64, dst));
+                    emitted += 1;
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut wrng = derive(params.seed, 2);
+        let weights = (0..n).map(|_| wrng.gen_range(0..1_000_000i64)).collect();
+        KhopDataset { params, edges, weights }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &KhopParams {
+        &self.params
+    }
+
+    /// Directed edge count.
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Materialize for a cluster topology.
+    pub fn build(&self, partitioner: Partitioner) -> GdResult<Graph> {
+        let mut b = GraphBuilder::new(partitioner);
+        let node = b.schema_mut().register_vertex_label("Node");
+        let link = b.schema_mut().register_edge_label("link");
+        let weight = b.schema_mut().register_prop("weight");
+        for v in 0..self.params.vertices {
+            b.add_vertex(
+                VertexId(v),
+                node,
+                vec![(weight, Value::Int(self.weights[v as usize]))],
+            )?;
+        }
+        for &(s, d) in &self.edges {
+            b.add_edge(VertexId(s), link, VertexId(d), vec![])?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Table II summary (bytes measured on a single-partition build).
+    pub fn summary(&self) -> DatasetSummary {
+        DatasetSummary {
+            name: self.params.name.clone(),
+            vertices: self.params.vertices,
+            edges: self.num_edges(),
+            raw_bytes: 0, // filled by callers that built the graph
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_storage::Direction;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KhopDataset::generate(KhopParams::lj_sim(500));
+        let b = KhopDataset::generate(KhopParams::lj_sim(500));
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p = KhopParams::lj_sim(500);
+        let a = KhopDataset::generate(p.clone());
+        p.seed ^= 1;
+        let b = KhopDataset::generate(p);
+        assert_ne!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn average_degree_roughly_matches() {
+        let d = KhopDataset::generate(KhopParams::lj_sim(2000));
+        let avg = d.num_edges() as f64 / 2000.0;
+        assert!(avg > 4.0 && avg < 14.0, "avg degree {avg}");
+        let fs = KhopDataset::generate(KhopParams::fs_sim(2000));
+        let fs_avg = fs.num_edges() as f64 / 2000.0;
+        assert!(fs_avg > avg, "fs should be denser: {fs_avg} vs {avg}");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let d = KhopDataset::generate(KhopParams::lj_sim(2000));
+        let mut indeg = vec![0usize; 2000];
+        for &(_, dst) in &d.edges {
+            indeg[dst as usize] += 1;
+        }
+        indeg.sort_unstable_by(|a, b| b.cmp(a));
+        let top_share: usize = indeg[..20].iter().sum();
+        assert!(
+            top_share * 5 > d.edges.len(),
+            "top-1% of vertices should attract >20% of edges ({top_share}/{})",
+            d.edges.len()
+        );
+    }
+
+    #[test]
+    fn builds_into_graph() {
+        let d = KhopDataset::generate(KhopParams::lj_sim(300));
+        let g = d.build(Partitioner::new(2, 2)).unwrap();
+        assert_eq!(g.total_vertices(), 300);
+        assert_eq!(g.total_edges(), d.num_edges());
+        // weights readable
+        let w = g.schema().prop("weight").unwrap();
+        assert!(g.vertex_prop(VertexId(0), w).unwrap().unwrap().as_int().is_some());
+        // edges traversable
+        let link = g.schema().edge_label("link").unwrap();
+        let deg: usize = (0..300)
+            .map(|v| g.neighbors(VertexId(v), Direction::Out, link, 1).unwrap().len())
+            .sum();
+        assert_eq!(deg as u64, d.num_edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let d = KhopDataset::generate(KhopParams::fs_sim(500));
+        assert!(d.edges.iter().all(|(s, t)| s != t));
+    }
+}

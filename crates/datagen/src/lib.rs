@@ -1,0 +1,39 @@
+//! # graphdance-datagen
+//!
+//! Deterministic dataset generators for the evaluation (§V, Table II).
+//!
+//! The paper's datasets are not redistributable at their original scale
+//! (LDBC SNB SF300/SF1000 are 256 GB / 862 GB; LiveJournal and Friendster
+//! are external snapshots), so this crate generates scaled-down synthetic
+//! equivalents with the same *shape* (see DESIGN.md §1):
+//!
+//! * [`snb`] — a full LDBC SNB-like social network (Persons, knows, Forums,
+//!   Posts, Comments, Tags, Places, Organisations with every property the
+//!   14 IC queries touch), with power-law degree and activity distributions.
+//! * [`khop`] — power-law graphs shaped like LiveJournal (`lj_sim`, avg
+//!   degree ≈ 8.7) and Friendster (`fs_sim`, avg degree ≈ 27.5) for the
+//!   k-hop scalability studies, with the random integer vertex weights the
+//!   paper adds for aggregation queries.
+//!
+//! All generators are seeded and produce identical datasets run-to-run;
+//! `build(partitioner)` materializes a [`graphdance_storage::Graph`] for
+//! any cluster topology, so every engine configuration sees the same data.
+
+pub mod khop;
+pub mod snb;
+
+pub use khop::{KhopDataset, KhopParams};
+pub use snb::{SnbDataset, SnbParams};
+
+/// Summary row for the Table II report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name as reported.
+    pub name: String,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Directed edge count.
+    pub edges: u64,
+    /// Approximate in-memory bytes once built.
+    pub raw_bytes: u64,
+}

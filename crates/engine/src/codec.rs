@@ -1,0 +1,246 @@
+//! Compact binary wire codec for traverser batches.
+//!
+//! Messages crossing simulated node boundaries are *really* serialized and
+//! deserialized (same-node messages take the shared-memory shortcut and
+//! skip this entirely, §IV-B). Hand-rolled rather than a serde format so
+//! the byte layout — and therefore the network cost model and the 8 KB
+//! flush threshold — is deterministic and tight.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use graphdance_common::{GdError, GdResult, QueryId, Value, VertexId};
+use graphdance_pstm::{Traverser, Weight};
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_VERTEX: u8 = 6;
+const TAG_LIST: u8 = 7;
+
+/// Encode one value.
+pub fn encode_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Vertex(v) => {
+            buf.put_u8(TAG_VERTEX);
+            buf.put_u64_le(v.0);
+        }
+        Value::List(l) => {
+            buf.put_u8(TAG_LIST);
+            buf.put_u32_le(l.len() as u32);
+            for x in l.iter() {
+                encode_value(buf, x);
+            }
+        }
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> GdResult<()> {
+    if buf.remaining() < n {
+        Err(GdError::Internal("wire message truncated".into()))
+    } else {
+        Ok(())
+    }
+}
+
+/// Decode one value.
+pub fn decode_value(buf: &mut Bytes) -> GdResult<Value> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            need(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        TAG_STR => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n)?;
+            let raw = buf.split_to(n);
+            let s = std::str::from_utf8(&raw)
+                .map_err(|_| GdError::Internal("invalid utf8 on wire".into()))?;
+            Ok(Value::str(s))
+        }
+        TAG_VERTEX => {
+            need(buf, 8)?;
+            Ok(Value::Vertex(VertexId(buf.get_u64_le())))
+        }
+        TAG_LIST => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(decode_value(buf)?);
+            }
+            Ok(Value::list(items))
+        }
+        t => Err(GdError::Internal(format!("unknown value tag {t}"))),
+    }
+}
+
+/// Encode one traverser.
+pub fn encode_traverser(buf: &mut BytesMut, t: &Traverser) {
+    buf.put_u64_le(t.query.0);
+    buf.put_u16_le(t.pipeline);
+    buf.put_u16_le(t.pc);
+    buf.put_u64_le(t.vertex.0);
+    buf.put_u64_le(t.weight.0);
+    buf.put_u32_le(t.depth);
+    buf.put_u8(u8::from(t.aux_key.is_some()));
+    if let Some(k) = &t.aux_key {
+        encode_value(buf, k);
+    }
+    buf.put_u16_le(t.locals.len() as u16);
+    for v in &t.locals {
+        encode_value(buf, v);
+    }
+}
+
+/// Decode one traverser.
+pub fn decode_traverser(buf: &mut Bytes) -> GdResult<Traverser> {
+    need(buf, 8 + 2 + 2 + 8 + 8 + 4 + 1)?;
+    let query = QueryId(buf.get_u64_le());
+    let pipeline = buf.get_u16_le();
+    let pc = buf.get_u16_le();
+    let vertex = VertexId(buf.get_u64_le());
+    let weight = Weight(buf.get_u64_le());
+    let depth = buf.get_u32_le();
+    let has_aux = buf.get_u8() != 0;
+    let aux_key = if has_aux { Some(decode_value(buf)?) } else { None };
+    need(buf, 2)?;
+    let n = buf.get_u16_le() as usize;
+    let mut locals = Vec::with_capacity(n);
+    for _ in 0..n {
+        locals.push(decode_value(buf)?);
+    }
+    Ok(Traverser { query, pipeline, pc, vertex, locals, weight, depth, aux_key })
+}
+
+/// Encode a batch of traversers (one wire payload).
+pub fn encode_batch(traversers: &[Traverser]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 * traversers.len());
+    buf.put_u32_le(traversers.len() as u32);
+    for t in traversers {
+        encode_traverser(&mut buf, t);
+    }
+    buf.freeze()
+}
+
+/// Decode a batch of traversers.
+pub fn decode_batch(mut buf: Bytes) -> GdResult<Vec<Traverser>> {
+    need(&buf, 4)?;
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        out.push(decode_traverser(&mut buf)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: Value) {
+        let mut buf = BytesMut::new();
+        encode_value(&mut buf, &v);
+        let mut b = buf.freeze();
+        assert_eq!(decode_value(&mut b).unwrap(), v);
+        assert!(b.is_empty(), "no trailing bytes");
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip_value(Value::Null);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Bool(false));
+        roundtrip_value(Value::Int(-42));
+        roundtrip_value(Value::Int(i64::MAX));
+        roundtrip_value(Value::Float(3.5));
+        roundtrip_value(Value::str(""));
+        roundtrip_value(Value::str("hello – unicode ✓"));
+        roundtrip_value(Value::Vertex(VertexId(u64::MAX)));
+        roundtrip_value(Value::list(vec![
+            Value::Int(1),
+            Value::list(vec![Value::str("nested")]),
+            Value::Null,
+        ]));
+    }
+
+    #[test]
+    fn traverser_roundtrip() {
+        let mut t = Traverser::root(QueryId(9), 2, VertexId(77), 3, Weight(0xDEAD));
+        t.pc = 5;
+        t.depth = 4;
+        t.set_slot(1, Value::str("x"));
+        t.aux_key = Some(Value::Vertex(VertexId(3)));
+        let mut buf = BytesMut::new();
+        encode_traverser(&mut buf, &t);
+        let mut b = buf.freeze();
+        assert_eq!(decode_traverser(&mut b).unwrap(), t);
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let ts: Vec<Traverser> = (0..10)
+            .map(|i| {
+                let mut t = Traverser::root(QueryId(1), 0, VertexId(i), 2, Weight(i));
+                t.set_slot(0, Value::Int(i as i64));
+                t
+            })
+            .collect();
+        let wire = encode_batch(&ts);
+        assert_eq!(decode_batch(wire).unwrap(), ts);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut t = Traverser::root(QueryId(1), 0, VertexId(1), 1, Weight(1));
+        t.set_slot(0, Value::str("hello"));
+        let mut buf = BytesMut::new();
+        encode_traverser(&mut buf, &t);
+        let full = buf.freeze();
+        for cut in [0, 1, 8, full.len() - 1] {
+            let mut partial = full.slice(..cut);
+            assert!(decode_traverser(&mut partial).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(99);
+        assert!(decode_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let wire = encode_batch(&[]);
+        assert_eq!(wire.len(), 4);
+        assert!(decode_batch(wire).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! The query coordinator.
+//!
+//! Runs on node 0. Handles submissions, starts stage sources, tracks scope
+//! completion via the weight mechanism, gathers aggregation partials at
+//! stage boundaries (Fig. 6), seeds inter-stage `PrevRows` sources, and
+//! responds to clients. The coordinator is also the central progress
+//! tracker of §IV-A — workers talk to it through the same network fabric
+//! as all other traffic, so tracker load is measured realistically.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use rand::rngs::SmallRng;
+
+use graphdance_common::{FxHashMap, GdError, GdResult, NodeId, PartId, QueryId, Value, WorkerId};
+use graphdance_pstm::{AggState, Interpreter, Row, Weight};
+use graphdance_query::plan::{Plan, SourceSpec};
+use graphdance_storage::{Graph, Timestamp};
+
+use crate::config::EngineConfig;
+use crate::engine::QueryResult;
+use crate::messages::{CoordMsg, QueryCtx, WorkerMsg};
+use crate::net::{Fabric, Outbox};
+use crate::progress::ProgressTracker;
+
+use std::sync::Arc;
+
+/// Simulated bookkeeping cost of one progress report at the centralized
+/// tracker (queue handling + map update on a contended path).
+const TRACKER_COST_PER_REPORT: Duration = Duration::from_nanos(900);
+
+struct QueryState {
+    ctx: Arc<QueryCtx>,
+    stage: u16,
+    steps_executed: u64,
+    rows: Vec<Row>,
+    partials: Vec<(PartId, Option<Box<AggState>>)>,
+    gathering: bool,
+    prev_rows: Vec<Row>,
+    reply: Sender<GdResult<QueryResult>>,
+    submitted_at: Instant,
+    deadline: Instant,
+}
+
+/// The coordinator thread state.
+pub struct Coordinator {
+    graph: Graph,
+    fabric: Arc<Fabric>,
+    inbox: Receiver<CoordMsg>,
+    outbox: Outbox,
+    tracker: ProgressTracker,
+    queries: FxHashMap<QueryId, QueryState>,
+    next_qid: u64,
+    rng: SmallRng,
+    timeout: Duration,
+}
+
+impl Coordinator {
+    /// Build the coordinator (call from the engine).
+    pub fn new(
+        graph: Graph,
+        fabric: &Arc<Fabric>,
+        inbox: Receiver<CoordMsg>,
+        config: &EngineConfig,
+    ) -> Self {
+        Coordinator {
+            graph,
+            fabric: Arc::clone(fabric),
+            inbox,
+            outbox: fabric.outbox(NodeId(0)),
+            tracker: ProgressTracker::new(),
+            queries: FxHashMap::default(),
+            next_qid: 1,
+            rng: graphdance_common::rng::derive(config.seed, u64::MAX),
+            timeout: config.query_timeout,
+        }
+    }
+
+    /// Main loop; returns on `Shutdown`.
+    pub fn run(mut self) {
+        loop {
+            match self.inbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(CoordMsg::Shutdown) => {
+                    self.fail_all(GdError::EngineClosed);
+                    return;
+                }
+                Ok(msg) => self.handle(msg),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+            self.enforce_deadlines();
+        }
+    }
+
+    fn handle(&mut self, msg: CoordMsg) {
+        match msg {
+            CoordMsg::Submit { plan, params, read_ts, reply, submitted_at } => {
+                self.submit(plan, params, read_ts, reply, submitted_at);
+            }
+            CoordMsg::Progress { query, weight, steps } => {
+                // The central tracker pays a per-report handling cost; with
+                // weight coalescing the report count is tiny, without it
+                // this serialized work is the bottleneck the paper measures
+                // (§IV-A, Fig. 10/11).
+                crate::net::charge(TRACKER_COST_PER_REPORT);
+                if let Some(s) = self.queries.get_mut(&query) {
+                    s.steps_executed += steps;
+                }
+                if self.tracker.report(query, weight) {
+                    self.stage_complete(query);
+                }
+            }
+            CoordMsg::Rows { query, rows } => {
+                if let Some(s) = self.queries.get_mut(&query) {
+                    s.rows.extend(rows);
+                }
+            }
+            CoordMsg::AggPartial { query, part, state } => {
+                self.agg_partial(query, part, state);
+            }
+            CoordMsg::WorkerError { query, error } => {
+                self.finish(query, Err(error));
+            }
+            CoordMsg::BspStepDone { .. } | CoordMsg::BspParked { .. } => {
+                // BSP control traffic is only meaningful to the BSP driver.
+            }
+            CoordMsg::Tick => {}
+            CoordMsg::Shutdown => unreachable!("handled in run()"),
+        }
+    }
+
+    fn submit(
+        &mut self,
+        plan: Plan,
+        params: Vec<Value>,
+        read_ts: Option<Timestamp>,
+        reply: Sender<GdResult<QueryResult>>,
+        submitted_at: Instant,
+    ) {
+        if let Err(e) = plan.validate() {
+            let _ = reply.send(Err(GdError::InvalidProgram(e)));
+            return;
+        }
+        if params.len() < plan.num_params {
+            let _ = reply.send(Err(GdError::InvalidProgram(format!(
+                "plan needs {} params, got {}",
+                plan.num_params,
+                params.len()
+            ))));
+            return;
+        }
+        let query = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let ctx = Arc::new(QueryCtx {
+            query,
+            plan,
+            params,
+            read_ts: read_ts.unwrap_or(graphdance_storage::TS_LIVE - 1),
+        });
+        let deadline = submitted_at + self.timeout;
+        self.queries.insert(
+            query,
+            QueryState {
+                ctx: Arc::clone(&ctx),
+                stage: 0,
+                steps_executed: 0,
+                rows: Vec::new(),
+                partials: Vec::new(),
+                gathering: false,
+                prev_rows: Vec::new(),
+                reply,
+                submitted_at,
+                deadline,
+            },
+        );
+        // Register the query at every worker before any traverser can reach
+        // them (workers also stash early arrivals defensively).
+        for w in 0..self.fabric.partitioner().num_parts() {
+            self.outbox.send_ctrl_worker(
+                WorkerId(w),
+                WorkerMsg::QueryBegin { ctx: Arc::clone(&ctx), stage: 0 },
+            );
+        }
+        self.start_stage(query);
+    }
+
+    /// Launch the current stage's sources for `query`.
+    fn start_stage(&mut self, query: QueryId) {
+        let Some(state) = self.queries.get_mut(&query) else { return };
+        let stage_idx = state.stage as usize;
+        let ctx = Arc::clone(&state.ctx);
+        let prev_rows = std::mem::take(&mut state.prev_rows);
+        state.gathering = false;
+        state.partials.clear();
+        self.tracker.begin_stage(query);
+
+        let stage = &ctx.plan.stages[stage_idx];
+        let parts: Vec<PartId> = self.fabric.partitioner().parts().collect();
+        let pipe_weights = Weight::ROOT.split(stage.pipelines.len(), &mut self.rng);
+        let mut immediate = Weight::ZERO;
+        for (pi, pw) in pipe_weights.into_iter().enumerate() {
+            match &stage.pipelines[pi].source {
+                SourceSpec::Param { param } => {
+                    match ctx.params.get(*param).and_then(Value::as_vertex) {
+                        Some(v) => {
+                            let owner = self.fabric.partitioner().worker_of(v);
+                            self.outbox.send_ctrl_worker(
+                                owner,
+                                WorkerMsg::StartSource { query, pipeline: pi as u16, weight: pw },
+                            );
+                        }
+                        None => {
+                            self.finish(
+                                query,
+                                Err(GdError::InvalidProgram(format!(
+                                    "param {param} is not a vertex id"
+                                ))),
+                            );
+                            return;
+                        }
+                    }
+                }
+                SourceSpec::IndexLookup { .. } | SourceSpec::ScanLabel { .. } => {
+                    let shares = pw.split(parts.len(), &mut self.rng);
+                    for (p, w) in parts.iter().zip(shares) {
+                        self.outbox.send_ctrl_worker(
+                            self.fabric.partitioner().worker_of_part(*p),
+                            WorkerMsg::StartSource { query, pipeline: pi as u16, weight: w },
+                        );
+                    }
+                }
+                SourceSpec::PrevRows { .. } => {
+                    let interp = Interpreter {
+                        graph: &self.graph,
+                        plan: &ctx.plan,
+                        stage_idx,
+                        query,
+                        params: &ctx.params,
+                        read_ts: ctx.read_ts,
+                    };
+                    match interp.seed_prev_rows(pi as u16, &prev_rows, pw, &mut self.rng) {
+                        Ok(out) => {
+                            for (dest, t) in out.spawned {
+                                self.outbox.send_traverser(
+                                    self.fabric.partitioner().worker_of_part(dest),
+                                    t,
+                                );
+                            }
+                            immediate.absorb(out.finished);
+                        }
+                        Err(e) => {
+                            self.finish(query, Err(e));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.outbox.flush_all();
+        if immediate != Weight::ZERO && self.tracker.report(query, immediate) {
+            self.stage_complete(query);
+        }
+    }
+
+    /// The running stage's scope just terminated: gather aggregates or wrap
+    /// up the stage's rows.
+    fn stage_complete(&mut self, query: QueryId) {
+        let Some(state) = self.queries.get_mut(&query) else { return };
+        let stage = &state.ctx.plan.stages[state.stage as usize];
+        if stage.agg.is_some() {
+            state.gathering = true;
+            for w in 0..self.fabric.partitioner().num_parts() {
+                self.outbox
+                    .send_ctrl_worker(WorkerId(w), WorkerMsg::GatherAgg { query });
+            }
+        } else {
+            let rows = std::mem::take(&mut state.rows);
+            self.advance_stage(query, rows);
+        }
+    }
+
+    fn agg_partial(&mut self, query: QueryId, part: PartId, state: Option<Box<AggState>>) {
+        let num_parts = self.fabric.partitioner().num_parts() as usize;
+        let Some(qs) = self.queries.get_mut(&query) else { return };
+        if !qs.gathering {
+            return;
+        }
+        qs.partials.push((part, state));
+        if qs.partials.len() < num_parts {
+            return;
+        }
+        // All partials in: merge and finalize.
+        let stage = &qs.ctx.plan.stages[qs.stage as usize];
+        let func = &stage.agg.as_ref().expect("gathering implies agg").func;
+        let mut merged: Option<AggState> = None;
+        let partials = std::mem::take(&mut qs.partials);
+        for (_, p) in partials {
+            if let Some(p) = p {
+                match &mut merged {
+                    None => merged = Some(*p),
+                    Some(m) => {
+                        if let Err(e) = m.merge(func, *p) {
+                            self.finish(query, Err(e));
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        let rows = merged.unwrap_or_else(|| AggState::new(func)).finalize(func);
+        self.advance_stage(query, rows);
+    }
+
+    /// The stage produced `rows`; either respond or start the next stage.
+    fn advance_stage(&mut self, query: QueryId, rows: Vec<Row>) {
+        let Some(state) = self.queries.get_mut(&query) else { return };
+        let last = state.stage as usize + 1 >= state.ctx.plan.stages.len();
+        if last {
+            let latency = state.submitted_at.elapsed();
+            let steps_executed = state.steps_executed;
+            self.finish(query, Ok(QueryResult { query, rows, latency, steps_executed }));
+        } else {
+            state.stage += 1;
+            state.prev_rows = rows;
+            state.rows.clear();
+            let next = state.stage;
+            for w in 0..self.fabric.partitioner().num_parts() {
+                self.outbox
+                    .send_ctrl_worker(WorkerId(w), WorkerMsg::StageBegin { query, stage: next });
+            }
+            self.start_stage(query);
+        }
+    }
+
+    /// Respond to the client and release all query state.
+    fn finish(&mut self, query: QueryId, result: GdResult<QueryResult>) {
+        if let Some(state) = self.queries.remove(&query) {
+            let _ = state.reply.send(result);
+        }
+        self.tracker.finish_query(query);
+        for w in 0..self.fabric.partitioner().num_parts() {
+            self.outbox.send_ctrl_worker(WorkerId(w), WorkerMsg::QueryEnd { query });
+        }
+    }
+
+    fn enforce_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, s)| now >= s.deadline)
+            .map(|(q, _)| *q)
+            .collect();
+        for q in expired {
+            self.finish(q, Err(GdError::QueryTimeout(q)));
+        }
+    }
+
+    fn fail_all(&mut self, err: GdError) {
+        let qids: Vec<QueryId> = self.queries.keys().copied().collect();
+        for q in qids {
+            if let Some(state) = self.queries.remove(&q) {
+                let _ = state.reply.send(Err(err.clone()));
+            }
+            self.tracker.finish_query(q);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # graphdance-engine
+//!
+//! The GraphDance asynchronous distributed query engine (paper §IV).
+//!
+//! A [`GraphDance`] instance simulates a cluster of
+//! `nodes × workers_per_node` single-threaded, shared-nothing workers — one
+//! graph partition per worker — plus one network thread per node and one
+//! coordinator:
+//!
+//! * Workers interpret traversers with the PSTM `Interpreter`
+//!   (`graphdance-pstm`), accessing only their local partition and memo.
+//! * Inter-worker traffic flows through the **two-tier I/O scheduler**
+//!   (§IV-B, [`net`]): tier 1 batches messages per worker per destination
+//!   node (flushed at 8 KB or on idle), tier 2 combines packets from all
+//!   local workers per destination node. Same-node messages take the
+//!   shared-memory shortcut. Remote packets are really serialized
+//!   ([`codec`]) and charged against a configurable network cost model.
+//! * Query completion is detected with **progression weights** and
+//!   **weight coalescing** (§IV-A, [`progress`]): workers locally sum the
+//!   weights of finished traversers and piggyback one coalesced report per
+//!   flush.
+//!
+//! The [`net::Fabric`] and [`codec`] are public so that the baseline engines
+//! (`graphdance-baselines`) run on the identical simulated cluster.
+
+pub mod codec;
+pub mod config;
+pub mod coordinator;
+pub mod engine;
+pub mod messages;
+pub mod net;
+pub mod progress;
+pub mod worker;
+
+pub use config::{EngineConfig, IoMode, NetConfig};
+pub use engine::{GraphDance, QueryHandle, QueryResult};
+pub use net::{Fabric, MsgClass, NetStats, NetStatsSnapshot};

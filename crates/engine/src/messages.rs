@@ -1,0 +1,115 @@
+//! Message types exchanged between workers, network threads, and the
+//! coordinator.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Sender;
+
+use graphdance_common::{GdError, GdResult, PartId, QueryId, Value};
+use graphdance_pstm::{AggState, Row, Traverser, Weight};
+use graphdance_query::plan::Plan;
+use graphdance_storage::Timestamp;
+
+/// Immutable per-query context, shipped once per query to every worker.
+/// (Control-plane messages carry it by `Arc`; the network layer charges a
+/// nominal plan-shipping cost for remote nodes.)
+#[derive(Debug)]
+pub struct QueryCtx {
+    /// The query id.
+    pub query: QueryId,
+    /// The compiled plan.
+    pub plan: Plan,
+    /// Parameter values.
+    pub params: Vec<Value>,
+    /// Snapshot timestamp.
+    pub read_ts: Timestamp,
+}
+
+/// Messages delivered to a worker's inbox.
+#[derive(Debug)]
+pub enum WorkerMsg {
+    /// A batch of traversers routed to this worker's partition.
+    Batch(Vec<Traverser>),
+    /// Register a query's context (precedes all other traffic for it,
+    /// except possibly traverser batches from fast remote workers, which
+    /// the worker stashes until this arrives).
+    QueryBegin { ctx: Arc<QueryCtx>, stage: u16 },
+    /// Advance to a new stage: clear per-stage memo state.
+    StageBegin { query: QueryId, stage: u16 },
+    /// Execute a pipeline source on this worker's partition with the given
+    /// share of the root weight.
+    StartSource { query: QueryId, pipeline: u16, weight: Weight },
+    /// Reply with this partition's aggregation partial for the current
+    /// stage (scope completed; Fig. 6 gather phase).
+    GatherAgg { query: QueryId },
+    /// The query finished or failed: release its memoranda.
+    QueryEnd { query: QueryId },
+    /// BSP control signal (used only by the BSP baseline engine, which
+    /// reuses this fabric; the asynchronous worker ignores these).
+    Bsp(BspSignal),
+    /// Stop the worker thread.
+    Shutdown,
+}
+
+/// Superstep control for the BSP baseline (§II-C1, Fig. 2b).
+#[derive(Debug, Clone, Copy)]
+pub enum BspSignal {
+    /// Execute every parked traverser at `depth`, then report `BspStepDone`.
+    RunStep { query: QueryId, depth: u32 },
+    /// Report the currently parked weight (delivery barrier probe).
+    /// `round` disambiguates replies of successive probe rounds — a
+    /// straggler from an earlier round must not be counted against a later
+    /// one.
+    Probe { query: QueryId, round: u64 },
+}
+
+/// Messages delivered to the coordinator.
+#[derive(Debug)]
+pub enum CoordMsg {
+    /// Client submission.
+    Submit {
+        /// Compiled plan.
+        plan: Plan,
+        /// Parameters.
+        params: Vec<Value>,
+        /// Snapshot timestamp override (None = current LCT).
+        read_ts: Option<Timestamp>,
+        /// Where to deliver the result.
+        reply: Sender<GdResult<super::engine::QueryResult>>,
+        /// Submission instant (latency measurement starts here).
+        submitted_at: Instant,
+    },
+    /// A (possibly coalesced) finished-weight report. `steps` carries the
+    /// number of plan steps executed since the last report (drives the
+    /// Table I accessed-data accounting).
+    Progress { query: QueryId, weight: Weight, steps: u64 },
+    /// Result rows from a non-aggregating stage.
+    Rows { query: QueryId, rows: Vec<Row> },
+    /// A partition's aggregation partial (reply to `GatherAgg`).
+    AggPartial { query: QueryId, part: PartId, state: Option<Box<AggState>> },
+    /// A worker hit an error executing this query.
+    WorkerError { query: QueryId, error: GdError },
+    /// BSP baseline: one worker finished its superstep. `finished` is the
+    /// weight released during the step; `issued`/`count` describe the
+    /// traversers created for the next superstep.
+    BspStepDone { query: QueryId, part: PartId, finished: Weight, issued: Weight, count: u64 },
+    /// BSP baseline: reply to a delivery-barrier probe.
+    BspParked { query: QueryId, part: PartId, parked: Weight, round: u64 },
+    /// Periodic tick for deadline enforcement.
+    Tick,
+    /// Stop the coordinator thread.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_msg_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<WorkerMsg>();
+        assert_send::<CoordMsg>();
+    }
+}

@@ -1,0 +1,710 @@
+//! The simulated cluster network and the two-tier I/O scheduler (§IV-B).
+//!
+//! Topology: every *worker* has an inbox; the *coordinator* (on node 0) has
+//! an inbox; every *node* has an egress thread (tier 2 sender) and an
+//! ingress thread (delivery). A message from worker A on node X to worker B
+//! on node Y travels:
+//!
+//! ```text
+//! A --(tier-1 buffer, flush at 8 KB or idle)--> X.egress
+//!   --(combine with other local packets to Y, charge cost model)--> Y.ingress
+//!   --(propagation delay, deserialize)--> B.inbox
+//! ```
+//!
+//! Same-node messages take the **shared-memory shortcut**: the tier-1 flush
+//! delivers them straight into the destination inbox without serialization
+//! or cost. Remote traverser batches are really serialized with
+//! [`crate::codec`]; the cost model charges
+//! `per_message_overhead + bytes/bandwidth` of (spun) sender time per wire
+//! packet plus a propagation delay — reproducing the NIC message-rate
+//! bottleneck that makes tier-1 combining matter (Fig. 12).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use graphdance_common::{NodeId, Partitioner, QueryId, Value, WorkerId};
+use graphdance_pstm::{Row, Traverser, Weight};
+
+use crate::codec;
+use crate::config::{EngineConfig, IoMode, NetConfig};
+use crate::messages::{CoordMsg, WorkerMsg};
+
+/// Classes of messages, for the Fig. 11 accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Traverser batches.
+    Traverser = 0,
+    /// Progress-tracking reports.
+    Progress = 1,
+    /// Result rows.
+    Rows = 2,
+    /// Control plane (query begin/end, source starts, gathers).
+    Control = 3,
+}
+
+/// Shared network counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    msgs: [AtomicU64; 4],
+    bytes: [AtomicU64; 4],
+    wire_packets: AtomicU64,
+    wire_bytes: AtomicU64,
+    same_node_msgs: AtomicU64,
+}
+
+impl NetStats {
+    fn count(&self, class: MsgClass, bytes: usize) {
+        self.msgs[class as usize].fetch_add(1, Ordering::Relaxed);
+        self.bytes[class as usize].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Take a snapshot of the counters.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            traverser_msgs: self.msgs[0].load(Ordering::Relaxed),
+            progress_msgs: self.msgs[1].load(Ordering::Relaxed),
+            rows_msgs: self.msgs[2].load(Ordering::Relaxed),
+            control_msgs: self.msgs[3].load(Ordering::Relaxed),
+            traverser_bytes: self.bytes[0].load(Ordering::Relaxed),
+            progress_bytes: self.bytes[1].load(Ordering::Relaxed),
+            rows_bytes: self.bytes[2].load(Ordering::Relaxed),
+            control_bytes: self.bytes[3].load(Ordering::Relaxed),
+            wire_packets: self.wire_packets.load(Ordering::Relaxed),
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+            same_node_msgs: self.same_node_msgs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`NetStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    pub traverser_msgs: u64,
+    pub progress_msgs: u64,
+    pub rows_msgs: u64,
+    pub control_msgs: u64,
+    pub traverser_bytes: u64,
+    pub progress_bytes: u64,
+    pub rows_bytes: u64,
+    pub control_bytes: u64,
+    pub wire_packets: u64,
+    pub wire_bytes: u64,
+    pub same_node_msgs: u64,
+}
+
+impl NetStatsSnapshot {
+    /// Counter delta since `earlier`.
+    pub fn since(&self, earlier: &NetStatsSnapshot) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            traverser_msgs: self.traverser_msgs - earlier.traverser_msgs,
+            progress_msgs: self.progress_msgs - earlier.progress_msgs,
+            rows_msgs: self.rows_msgs - earlier.rows_msgs,
+            control_msgs: self.control_msgs - earlier.control_msgs,
+            traverser_bytes: self.traverser_bytes - earlier.traverser_bytes,
+            progress_bytes: self.progress_bytes - earlier.progress_bytes,
+            rows_bytes: self.rows_bytes - earlier.rows_bytes,
+            control_bytes: self.control_bytes - earlier.control_bytes,
+            wire_packets: self.wire_packets - earlier.wire_packets,
+            wire_bytes: self.wire_bytes - earlier.wire_bytes,
+            same_node_msgs: self.same_node_msgs - earlier.same_node_msgs,
+        }
+    }
+
+    /// Messages that are not progress reports (Fig. 11's "other messages").
+    pub fn other_msgs(&self) -> u64 {
+        self.traverser_msgs + self.rows_msgs + self.control_msgs
+    }
+}
+
+/// A message on the (simulated) wire.
+#[derive(Debug)]
+enum WireMsg {
+    /// Serialized traverser batch for one worker.
+    Batch { dest: WorkerId, payload: Bytes },
+    /// Coalesced progress report (to the coordinator).
+    Progress { query: QueryId, weight: Weight, steps: u64 },
+    /// Result rows (to the coordinator). Passed by value; the cost model
+    /// charges their approximate encoded size.
+    Rows { query: QueryId, rows: Vec<Row>, approx: usize },
+    /// Control-plane message for a worker.
+    CtrlWorker { dest: WorkerId, msg: WorkerMsg },
+    /// Control-plane message for the coordinator.
+    CtrlCoord { msg: CoordMsg },
+}
+
+impl WireMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            WireMsg::Batch { payload, .. } => payload.len() + 8,
+            WireMsg::Progress { .. } => 32,
+            WireMsg::Rows { approx, .. } => *approx + 16,
+            WireMsg::CtrlWorker { .. } | WireMsg::CtrlCoord { .. } => 256,
+        }
+    }
+}
+
+enum EgressEvent {
+    Packet { dest_node: NodeId, msgs: Vec<WireMsg>, bytes: usize },
+    Shutdown,
+}
+
+enum IngressEvent {
+    Packet { deliver_at: Instant, msgs: Vec<WireMsg> },
+    Shutdown,
+}
+
+/// The cluster fabric: inbox senders plus the tier-2 network threads.
+pub struct Fabric {
+    partitioner: Partitioner,
+    io_mode: IoMode,
+    flush_threshold: usize,
+    net_cfg: NetConfig,
+    worker_tx: Vec<Sender<WorkerMsg>>,
+    coord_tx: Sender<CoordMsg>,
+    egress_tx: Vec<Sender<EgressEvent>>,
+    stats: Arc<NetStats>,
+}
+
+impl Fabric {
+    /// Build the fabric and spawn the per-node network threads. Returns the
+    /// fabric and the thread handles (joined at shutdown).
+    pub fn new(
+        config: &EngineConfig,
+        worker_tx: Vec<Sender<WorkerMsg>>,
+        coord_tx: Sender<CoordMsg>,
+    ) -> (Arc<Fabric>, Vec<std::thread::JoinHandle<()>>) {
+        let partitioner = Partitioner::new(config.nodes, config.workers_per_node);
+        let stats = Arc::new(NetStats::default());
+        let mut egress_tx = Vec::new();
+        let mut egress_rx = Vec::new();
+        let mut ingress_tx = Vec::new();
+        let mut ingress_rx = Vec::new();
+        for _ in 0..config.nodes {
+            let (tx, rx) = unbounded();
+            egress_tx.push(tx);
+            egress_rx.push(rx);
+            let (tx, rx) = unbounded();
+            ingress_tx.push(tx);
+            ingress_rx.push(rx);
+        }
+        let fabric = Arc::new(Fabric {
+            partitioner,
+            io_mode: config.io_mode,
+            flush_threshold: config.flush_threshold,
+            net_cfg: config.net,
+            worker_tx,
+            coord_tx,
+            egress_tx,
+            stats,
+        });
+        let mut handles = Vec::new();
+        for (node, rx) in egress_rx.into_iter().enumerate() {
+            let fabric2 = Arc::clone(&fabric);
+            let ingress = ingress_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gd-egress-{node}"))
+                    .spawn(move || egress_loop(fabric2, rx, ingress))
+                    .expect("spawn egress"),
+            );
+        }
+        for (node, rx) in ingress_rx.into_iter().enumerate() {
+            let fabric2 = Arc::clone(&fabric);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gd-ingress-{node}"))
+                    .spawn(move || ingress_loop(fabric2, rx))
+                    .expect("spawn ingress"),
+            );
+        }
+        (fabric, handles)
+    }
+
+    /// Topology.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Shared counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Create an outbox for a thread running on `src_node`.
+    pub fn outbox(self: &Arc<Self>, src_node: NodeId) -> Outbox {
+        let n = self.partitioner.nodes() as usize;
+        Outbox {
+            fabric: Arc::clone(self),
+            src_node,
+            bufs: (0..n).map(|_| OutBuf::default()).collect(),
+        }
+    }
+
+    /// Stop the network threads (send after all workers have stopped).
+    pub fn shutdown(&self) {
+        for tx in &self.egress_tx {
+            let _ = tx.send(EgressEvent::Shutdown);
+        }
+    }
+
+    /// Deliver a wire message locally (shared-memory shortcut or post-
+    /// deserialization dispatch).
+    fn deliver(&self, msg: WireMsg) {
+        match msg {
+            WireMsg::Batch { dest, payload } => {
+                match codec::decode_batch(payload) {
+                    Ok(batch) => {
+                        let _ = self.worker_tx[dest.as_usize()].send(WorkerMsg::Batch(batch));
+                    }
+                    Err(e) => panic!("wire corruption: {e}"),
+                }
+            }
+            WireMsg::Progress { query, weight, steps } => {
+                let _ = self.coord_tx.send(CoordMsg::Progress { query, weight, steps });
+            }
+            WireMsg::Rows { query, rows, .. } => {
+                let _ = self.coord_tx.send(CoordMsg::Rows { query, rows });
+            }
+            WireMsg::CtrlWorker { dest, msg } => {
+                let _ = self.worker_tx[dest.as_usize()].send(msg);
+            }
+            WireMsg::CtrlCoord { msg } => {
+                let _ = self.coord_tx.send(msg);
+            }
+        }
+    }
+
+    /// Deliver a batch of local traversers without serialization.
+    fn deliver_local_batch(&self, dest: WorkerId, batch: Vec<Traverser>) {
+        self.stats.same_node_msgs.fetch_add(1, Ordering::Relaxed);
+        let _ = self.worker_tx[dest.as_usize()].send(WorkerMsg::Batch(batch));
+    }
+}
+
+fn egress_loop(
+    fabric: Arc<Fabric>,
+    rx: Receiver<EgressEvent>,
+    ingress: Vec<Sender<IngressEvent>>,
+) {
+    let mut stop = false;
+    while !stop {
+        let first = match rx.recv() {
+            Ok(EgressEvent::Packet { dest_node, msgs, bytes }) => (dest_node, msgs, bytes),
+            Ok(EgressEvent::Shutdown) | Err(_) => break,
+        };
+        // Node-level combining (tier 2): merge whatever is queued right now
+        // into per-destination wire packets.
+        let mut groups: Vec<(NodeId, Vec<WireMsg>, usize)> = vec![first];
+        if fabric.io_mode == IoMode::TwoTier {
+            for _ in 0..64 {
+                match rx.try_recv() {
+                    Ok(EgressEvent::Packet { dest_node, msgs, bytes }) => {
+                        if let Some(g) = groups.iter_mut().find(|g| g.0 == dest_node) {
+                            g.1.extend(msgs);
+                            g.2 += bytes;
+                        } else {
+                            groups.push((dest_node, msgs, bytes));
+                        }
+                    }
+                    Ok(EgressEvent::Shutdown) => {
+                        // Transmit what we have, then exit.
+                        stop = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        for (dest_node, msgs, bytes) in groups {
+            let wire = bytes + 64; // packet header
+            charge(fabric.net_cfg.send_cost(wire));
+            fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
+            fabric.stats.wire_bytes.fetch_add(wire as u64, Ordering::Relaxed);
+            let deliver_at = Instant::now() + fabric.net_cfg.propagation_delay;
+            let _ = ingress[dest_node.as_usize()]
+                .send(IngressEvent::Packet { deliver_at, msgs });
+        }
+    }
+    // Propagate shutdown to every ingress thread once (node 0's egress is
+    // guaranteed to exist; have each egress notify its own node's ingress).
+    for tx in &ingress {
+        let _ = tx.send(IngressEvent::Shutdown);
+    }
+}
+
+fn ingress_loop(fabric: Arc<Fabric>, rx: Receiver<IngressEvent>) {
+    while let Ok(IngressEvent::Packet { deliver_at, msgs }) = rx.recv() {
+        let now = Instant::now();
+        if deliver_at > now {
+            std::thread::sleep(deliver_at - now);
+        }
+        for m in msgs {
+            fabric.deliver(m);
+        }
+    }
+    // `Shutdown` or a closed channel ends the loop.
+}
+
+/// Burn (or sleep) a simulated cost: spins for sub-50 µs durations (sleep
+/// granularity is too coarse), sleeps otherwise. Public so the baseline
+/// engines charge their simulated overheads identically.
+pub fn charge(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d > Duration::from_micros(50) {
+        std::thread::sleep(d);
+    } else {
+        let end = Instant::now() + d;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Tier-1 buffer for one destination node.
+#[derive(Default)]
+struct OutBuf {
+    /// Unserialized traversers, grouped at flush time.
+    traversers: Vec<(WorkerId, Traverser)>,
+    /// Other pending wire messages (rows/progress/control), in send order.
+    msgs: Vec<WireMsg>,
+    bytes: usize,
+}
+
+impl OutBuf {
+    fn is_empty(&self) -> bool {
+        self.traversers.is_empty() && self.msgs.is_empty()
+    }
+}
+
+/// A sending endpoint: per-destination-node buffers (tier 1).
+pub struct Outbox {
+    fabric: Arc<Fabric>,
+    src_node: NodeId,
+    bufs: Vec<OutBuf>,
+}
+
+impl Outbox {
+    /// The topology (convenience).
+    pub fn partitioner(&self) -> Partitioner {
+        self.fabric.partitioner()
+    }
+
+    fn maybe_flush(&mut self, node: usize) {
+        match self.fabric.io_mode {
+            IoMode::Sync => self.flush_node(NodeId(node as u32)),
+            IoMode::ThreadCombining | IoMode::TwoTier => {
+                if self.bufs[node].bytes >= self.fabric.flush_threshold {
+                    self.flush_node(NodeId(node as u32));
+                }
+            }
+        }
+    }
+
+    /// Queue a traverser for `dest` (tier-1 buffering; flushes at the
+    /// threshold, immediately under `Sync`).
+    pub fn send_traverser(&mut self, dest: WorkerId, t: Traverser) {
+        let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
+        let approx = t.approx_bytes();
+        self.fabric.stats.count(MsgClass::Traverser, approx);
+        let buf = &mut self.bufs[node];
+        buf.traversers.push((dest, t));
+        buf.bytes += approx;
+        self.maybe_flush(node);
+    }
+
+    /// Queue a progress report for the coordinator (node 0).
+    pub fn send_progress(&mut self, query: QueryId, weight: Weight, steps: u64) {
+        self.fabric.stats.count(MsgClass::Progress, 32);
+        let buf = &mut self.bufs[0];
+        buf.msgs.push(WireMsg::Progress { query, weight, steps });
+        buf.bytes += 32;
+        self.maybe_flush(0);
+    }
+
+    /// Queue result rows for the coordinator (node 0).
+    pub fn send_rows(&mut self, query: QueryId, rows: Vec<Row>) {
+        let approx: usize = rows
+            .iter()
+            .map(|r| {
+                8 + r
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => 9 + s.len(),
+                        Value::List(l) => 9 + 16 * l.len(),
+                        _ => 9,
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        self.fabric.stats.count(MsgClass::Rows, approx);
+        let buf = &mut self.bufs[0];
+        buf.msgs.push(WireMsg::Rows { query, rows, approx });
+        buf.bytes += approx;
+        self.maybe_flush(0);
+    }
+
+    /// Send a control message to a worker (flushes that node immediately —
+    /// the control plane is not batched).
+    pub fn send_ctrl_worker(&mut self, dest: WorkerId, msg: WorkerMsg) {
+        let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
+        self.fabric.stats.count(MsgClass::Control, 256);
+        self.bufs[node].msgs.push(WireMsg::CtrlWorker { dest, msg });
+        self.bufs[node].bytes += 256;
+        self.flush_node(NodeId(node as u32));
+    }
+
+    /// Send a control message to the coordinator (immediate).
+    pub fn send_ctrl_coord(&mut self, msg: CoordMsg) {
+        self.fabric.stats.count(MsgClass::Control, 256);
+        self.bufs[0].msgs.push(WireMsg::CtrlCoord { msg });
+        self.bufs[0].bytes += 256;
+        self.flush_node(NodeId(0));
+    }
+
+    /// Flush one destination node's buffer.
+    pub fn flush_node(&mut self, node: NodeId) {
+        let buf = std::mem::take(&mut self.bufs[node.as_usize()]);
+        if buf.is_empty() {
+            return;
+        }
+        if node == self.src_node {
+            // Shared-memory shortcut: no serialization, no network thread.
+            let mut groups: Vec<(WorkerId, Vec<Traverser>)> = Vec::new();
+            for (dest, t) in buf.traversers {
+                if let Some(g) = groups.iter_mut().find(|g| g.0 == dest) {
+                    g.1.push(t);
+                } else {
+                    groups.push((dest, vec![t]));
+                }
+            }
+            for (dest, batch) in groups {
+                self.fabric.deliver_local_batch(dest, batch);
+            }
+            for m in buf.msgs {
+                self.fabric
+                    .stats
+                    .same_node_msgs
+                    .fetch_add(1, Ordering::Relaxed);
+                self.fabric.deliver(m);
+            }
+            return;
+        }
+        // Remote: serialize traverser groups per destination worker.
+        let mut msgs: Vec<WireMsg> = Vec::new();
+        let mut groups: Vec<(WorkerId, Vec<Traverser>)> = Vec::new();
+        for (dest, t) in buf.traversers {
+            if let Some(g) = groups.iter_mut().find(|g| g.0 == dest) {
+                g.1.push(t);
+            } else {
+                groups.push((dest, vec![t]));
+            }
+        }
+        for (dest, batch) in groups {
+            let payload = codec::encode_batch(&batch);
+            msgs.push(WireMsg::Batch { dest, payload });
+        }
+        msgs.extend(buf.msgs);
+        let bytes: usize = msgs.iter().map(WireMsg::wire_size).sum();
+        let _ = self.fabric.egress_tx[self.src_node.as_usize()].send(EgressEvent::Packet {
+            dest_node: node,
+            msgs,
+            bytes,
+        });
+    }
+
+    /// Flush every buffer (called before a worker sleeps, §IV-B).
+    pub fn flush_all(&mut self) {
+        for n in 0..self.bufs.len() {
+            self.flush_node(NodeId(n as u32));
+        }
+    }
+
+    /// Flush only the same-node buffer (cheap; called after each execution
+    /// batch to keep local latency low).
+    pub fn flush_local(&mut self) {
+        let n = self.src_node;
+        self.flush_node(n);
+    }
+
+    /// Total buffered bytes (diagnostics).
+    pub fn pending_bytes(&self) -> usize {
+        self.bufs.iter().map(|b| b.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_pstm::Traverser;
+
+    fn setup(io_mode: IoMode) -> (Arc<Fabric>, Vec<Receiver<WorkerMsg>>, Receiver<CoordMsg>, Vec<std::thread::JoinHandle<()>>) {
+        let mut cfg = EngineConfig::new(2, 2).with_io_mode(io_mode);
+        cfg.net.propagation_delay = Duration::from_micros(1);
+        cfg.net.per_message_overhead = Duration::from_nanos(100);
+        let mut wtx = Vec::new();
+        let mut wrx = Vec::new();
+        for _ in 0..4 {
+            let (tx, rx) = unbounded();
+            wtx.push(tx);
+            wrx.push(rx);
+        }
+        let (ctx, crx) = unbounded();
+        let (fabric, handles) = Fabric::new(&cfg, wtx, ctx);
+        (fabric, wrx, crx, handles)
+    }
+
+    fn t(v: u64) -> Traverser {
+        Traverser::root(QueryId(1), 0, graphdance_common::VertexId(v), 2, Weight(v))
+    }
+
+    #[test]
+    fn same_node_shortcut_skips_wire() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::TwoTier);
+        let mut ob = fabric.outbox(NodeId(0));
+        // worker 1 is on node 0 (2 workers per node)
+        ob.send_traverser(WorkerId(1), t(5));
+        ob.flush_all();
+        match wrx[1].recv_timeout(Duration::from_secs(1)).unwrap() {
+            WorkerMsg::Batch(b) => assert_eq!(b.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.wire_packets, 0, "no wire traffic for same-node");
+        assert_eq!(s.same_node_msgs, 1);
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cross_node_delivery_serializes() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::TwoTier);
+        let mut ob = fabric.outbox(NodeId(0));
+        // worker 3 is on node 1
+        for i in 0..5 {
+            ob.send_traverser(WorkerId(3), t(i));
+        }
+        ob.flush_all();
+        match wrx[3].recv_timeout(Duration::from_secs(1)).unwrap() {
+            WorkerMsg::Batch(b) => {
+                assert_eq!(b.len(), 5);
+                assert_eq!(b[0].vertex, graphdance_common::VertexId(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.wire_packets, 1, "one combined packet");
+        assert!(s.wire_bytes > 0);
+        assert_eq!(s.traverser_msgs, 5, "logical messages counted individually");
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn sync_mode_sends_one_packet_per_message() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::Sync);
+        let mut ob = fabric.outbox(NodeId(0));
+        for i in 0..5 {
+            ob.send_traverser(WorkerId(3), t(i));
+        }
+        // Sync mode flushed each send already.
+        let mut got = 0;
+        while got < 5 {
+            match wrx[3].recv_timeout(Duration::from_secs(1)).unwrap() {
+                WorkerMsg::Batch(b) => got += b.len(),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.wire_packets, 5, "no batching in Sync mode");
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn threshold_triggers_flush() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::ThreadCombining);
+        let mut ob = fabric.outbox(NodeId(0));
+        // Each traverser is ~50 bytes; the 8 KB threshold flushes somewhere
+        // within 300 sends — without any explicit flush call.
+        for i in 0..300u64 {
+            ob.send_traverser(WorkerId(2), t(i));
+        }
+        let mut got = 0;
+        while got < 160 {
+            match wrx[2].recv_timeout(Duration::from_secs(2)).unwrap() {
+                WorkerMsg::Batch(b) => got += b.len(),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(got <= 300);
+        assert!(
+            fabric.stats().snapshot().wire_packets >= 1,
+            "threshold flush produced a wire packet"
+        );
+        assert!(ob.pending_bytes() > 0, "a partial buffer remains below threshold");
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn progress_and_rows_route_to_coordinator() {
+        let (fabric, _wrx, crx, handles) = setup(IoMode::TwoTier);
+        // From node 1 (remote to the coordinator's node 0).
+        let mut ob = fabric.outbox(NodeId(1));
+        ob.send_rows(QueryId(4), vec![vec![Value::Int(1)]]);
+        ob.send_progress(QueryId(4), Weight(9), 3);
+        ob.flush_all();
+        // FIFO: rows before the progress report from the same worker.
+        match crx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            CoordMsg::Rows { query, rows } => {
+                assert_eq!(query, QueryId(4));
+                assert_eq!(rows.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match crx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            CoordMsg::Progress { query, weight, steps } => {
+                assert_eq!(query, QueryId(4));
+                assert_eq!(weight, Weight(9));
+                assert_eq!(steps, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.progress_msgs, 1);
+        assert_eq!(s.rows_msgs, 1);
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn control_messages_flush_immediately() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::TwoTier);
+        let mut ob = fabric.outbox(NodeId(0));
+        ob.send_ctrl_worker(WorkerId(3), WorkerMsg::QueryEnd { query: QueryId(2) });
+        match wrx[3].recv_timeout(Duration::from_secs(1)).unwrap() {
+            WorkerMsg::QueryEnd { query } => assert_eq!(query, QueryId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

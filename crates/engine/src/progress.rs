@@ -1,0 +1,120 @@
+//! Distributed progress tracking (§IV-A).
+//!
+//! Worker side: each worker keeps one [`WeightAccumulator`] per active query
+//! (inside its memo) and adds the weight of every traverser that terminates
+//! locally — a single integer addition. On every buffer flush the coalesced
+//! sum is sent to the coordinator as one `Progress` message (**weight
+//! coalescing**). With coalescing disabled, every finished weight becomes
+//! its own report — the naive scheme whose cost Fig. 10/11 quantifies.
+//!
+//! Coordinator side: [`QueryProgress`] sums the reports per query stage; the
+//! stage's scope is complete exactly when the wrapping sum reaches
+//! [`Weight::ROOT`] (false-positive probability ≤ (n−1)/2⁶⁴, Theorem 1).
+
+use graphdance_common::FxHashMap;
+use graphdance_common::QueryId;
+use graphdance_pstm::weight::WeightAccumulator;
+use graphdance_pstm::Weight;
+
+/// Coordinator-side progress state for all in-flight queries.
+#[derive(Debug, Default)]
+pub struct ProgressTracker {
+    queries: FxHashMap<QueryId, QueryProgress>,
+}
+
+/// One query's stage progress.
+#[derive(Debug, Default)]
+pub struct QueryProgress {
+    acc: WeightAccumulator,
+    reports: u64,
+}
+
+impl ProgressTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin tracking a new stage for `query` (resets the accumulator).
+    pub fn begin_stage(&mut self, query: QueryId) {
+        self.queries.insert(query, QueryProgress::default());
+    }
+
+    /// Record a report; returns `true` when the stage's scope completed.
+    pub fn report(&mut self, query: QueryId, weight: Weight) -> bool {
+        match self.queries.get_mut(&query) {
+            Some(p) => {
+                p.acc.add(weight);
+                p.reports += 1;
+                p.acc.is_complete()
+            }
+            // Reports for unknown queries (e.g. after an error aborted the
+            // query) are ignored.
+            None => false,
+        }
+    }
+
+    /// Number of reports received for `query`'s current stage.
+    pub fn reports(&self, query: QueryId) -> u64 {
+        self.queries.get(&query).map_or(0, |p| p.reports)
+    }
+
+    /// Stop tracking `query`.
+    pub fn finish_query(&mut self, query: QueryId) {
+        self.queries.remove(&query);
+    }
+
+    /// Is this query known to the tracker?
+    pub fn is_tracked(&self, query: QueryId) -> bool {
+        self.queries.contains_key(&query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::rng::seeded;
+
+    #[test]
+    fn stage_completes_at_root_sum() {
+        let mut rng = seeded(5);
+        let mut tr = ProgressTracker::new();
+        let q = QueryId(1);
+        tr.begin_stage(q);
+        let parts = Weight::ROOT.split(5, &mut rng);
+        for (i, p) in parts.iter().enumerate() {
+            let done = tr.report(q, *p);
+            assert_eq!(done, i == 4, "completion only on the last report");
+        }
+        assert_eq!(tr.reports(q), 5);
+    }
+
+    #[test]
+    fn stages_reset_the_accumulator() {
+        let mut tr = ProgressTracker::new();
+        let q = QueryId(1);
+        tr.begin_stage(q);
+        assert!(tr.report(q, Weight::ROOT));
+        tr.begin_stage(q);
+        // previous stage's sum must not leak
+        assert!(!tr.report(q, Weight(0)));
+        assert!(tr.report(q, Weight::ROOT));
+    }
+
+    #[test]
+    fn unknown_queries_ignored() {
+        let mut tr = ProgressTracker::new();
+        assert!(!tr.report(QueryId(9), Weight::ROOT));
+        assert_eq!(tr.reports(QueryId(9)), 0);
+    }
+
+    #[test]
+    fn finish_query_removes_state() {
+        let mut tr = ProgressTracker::new();
+        tr.begin_stage(QueryId(1));
+        assert!(tr.is_tracked(QueryId(1)));
+        tr.finish_query(QueryId(1));
+        assert!(!tr.is_tracked(QueryId(1)));
+        assert!(!tr.report(QueryId(1), Weight::ROOT));
+    }
+}

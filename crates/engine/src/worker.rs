@@ -1,0 +1,457 @@
+//! The shared-nothing worker thread (§IV).
+//!
+//! Each worker owns one graph partition and one memo. It executes
+//! traversers from a depth-ordered local queue (shorter trajectories first,
+//! §III-B), routes spawned traversers through its tier-1 outbox, coalesces
+//! finished weights, and — before going to sleep — flushes every buffer
+//! including its progress report (§IV-A/B).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crossbeam::channel::Receiver;
+use rand::rngs::SmallRng;
+
+use graphdance_common::{FxHashMap, FxHashSet, QueryId, WorkerId};
+use graphdance_pstm::{Interpreter, Memo, Outcome, Traverser, Weight};
+use graphdance_storage::Graph;
+
+use crate::config::EngineConfig;
+use crate::messages::{CoordMsg, QueryCtx, WorkerMsg};
+use crate::net::{Fabric, Outbox};
+
+use std::sync::Arc;
+
+/// Heap entry: smallest depth first, FIFO within a depth.
+struct Queued {
+    depth: u32,
+    seq: u64,
+    t: Traverser,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.depth == other.depth && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so smaller depth/seq pops first.
+        other
+            .depth
+            .cmp(&self.depth)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct ActiveQuery {
+    ctx: Arc<QueryCtx>,
+    stage: u16,
+}
+
+/// One worker's mutable state and main loop.
+pub struct Worker {
+    id: WorkerId,
+    graph: Graph,
+    inbox: Receiver<WorkerMsg>,
+    outbox: Outbox,
+    memo: Memo,
+    queries: FxHashMap<QueryId, ActiveQuery>,
+    /// Messages for queries whose `QueryBegin` has not arrived yet.
+    pending: FxHashMap<QueryId, Vec<WorkerMsg>>,
+    /// Queries that have ended; late traversers for them are dropped.
+    dead: FxHashSet<QueryId>,
+    queue: BinaryHeap<Queued>,
+    /// Plan steps executed per query since the last progress flush.
+    steps: FxHashMap<QueryId, u64>,
+    seq: u64,
+    rng: SmallRng,
+    weight_coalescing: bool,
+    batch: usize,
+    sched_overhead: std::time::Duration,
+}
+
+impl Worker {
+    /// Build a worker. `inbox` must be the receiver paired with the sender
+    /// registered in the fabric.
+    pub fn new(
+        id: WorkerId,
+        graph: Graph,
+        fabric: &Arc<Fabric>,
+        inbox: Receiver<WorkerMsg>,
+        config: &EngineConfig,
+    ) -> Self {
+        let node = fabric.partitioner().node_of_worker(id);
+        Worker {
+            id,
+            graph,
+            inbox,
+            outbox: fabric.outbox(node),
+            memo: Memo::new(),
+            queries: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            dead: FxHashSet::default(),
+            queue: BinaryHeap::new(),
+            steps: FxHashMap::default(),
+            seq: 0,
+            rng: graphdance_common::rng::derive(config.seed, id.0 as u64),
+            weight_coalescing: config.weight_coalescing,
+            batch: config.worker_batch,
+            sched_overhead: config.sched_overhead_per_op,
+        }
+    }
+
+    /// The worker main loop; returns on `Shutdown`.
+    pub fn run(mut self) {
+        loop {
+            // Drain the inbox without blocking.
+            loop {
+                match self.inbox.try_recv() {
+                    Ok(WorkerMsg::Shutdown) => return,
+                    Ok(msg) => self.handle(msg),
+                    Err(_) => break,
+                }
+            }
+            // Execute a batch of local traversers, shallow first.
+            let mut executed = 0;
+            while executed < self.batch {
+                let Some(q) = self.queue.pop() else { break };
+                self.execute(q.t);
+                executed += 1;
+            }
+            // Keep same-node latency low.
+            self.outbox.flush_local();
+            if self.queue.is_empty() {
+                // About to sleep: flush everything, progress included
+                // (§IV-B "if there are no more traversers ready for
+                // execution, we flush all the buffers before the current
+                // thread sleeps").
+                self.flush_progress();
+                self.outbox.flush_all();
+                match self.inbox.recv() {
+                    Ok(WorkerMsg::Shutdown) | Err(_) => return,
+                    Ok(msg) => self.handle(msg),
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: WorkerMsg) {
+        match msg {
+            WorkerMsg::Batch(ts) => {
+                for t in ts {
+                    self.enqueue(t);
+                }
+            }
+            WorkerMsg::QueryBegin { ctx, stage } => {
+                let q = ctx.query;
+                self.dead.remove(&q);
+                self.queries.insert(q, ActiveQuery { ctx, stage });
+                if let Some(stash) = self.pending.remove(&q) {
+                    for m in stash {
+                        self.handle(m);
+                    }
+                }
+            }
+            WorkerMsg::StageBegin { query, stage } => {
+                if let Some(aq) = self.queries.get_mut(&query) {
+                    aq.stage = stage;
+                    // Per-stage memo state (dedup sets, join tables, agg
+                    // partial) is dropped between stages.
+                    let _ = self.memo.query_mut(query).take_stage_state();
+                }
+            }
+            WorkerMsg::StartSource { query, pipeline, weight } => {
+                self.start_source(query, pipeline, weight);
+            }
+            WorkerMsg::GatherAgg { query } => {
+                let state = self.memo.query_mut(query).take_stage_state();
+                self.outbox.send_ctrl_coord(CoordMsg::AggPartial {
+                    query,
+                    part: self.id.part(),
+                    state: state.map(Box::new),
+                });
+            }
+            WorkerMsg::QueryEnd { query } => {
+                self.memo.clear_query(query);
+                self.queries.remove(&query);
+                self.pending.remove(&query);
+                self.steps.remove(&query);
+                self.dead.insert(query);
+                // Drop any queued traversers of the dead query.
+                let drained: Vec<Queued> = std::mem::take(&mut self.queue).into_vec();
+                self.queue = drained.into_iter().filter(|q| q.t.query != query).collect();
+            }
+            WorkerMsg::Bsp(_) => {
+                // BSP signals are for the BSP baseline's workers only.
+            }
+            WorkerMsg::Shutdown => unreachable!("handled by the loops"),
+        }
+    }
+
+    fn enqueue(&mut self, t: Traverser) {
+        let q = t.query;
+        if self.dead.contains(&q) {
+            return;
+        }
+        if !self.queries.contains_key(&q) {
+            self.pending.entry(q).or_default().push(WorkerMsg::Batch(vec![t]));
+            return;
+        }
+        self.seq += 1;
+        self.queue.push(Queued { depth: t.depth, seq: self.seq, t });
+    }
+
+    fn start_source(&mut self, query: QueryId, pipeline: u16, weight: Weight) {
+        let Some(aq) = self.queries.get(&query) else {
+            self.pending
+                .entry(query)
+                .or_default()
+                .push(WorkerMsg::StartSource { query, pipeline, weight });
+            return;
+        };
+        let ctx = Arc::clone(&aq.ctx);
+        let stage = aq.stage as usize;
+        let interp = Interpreter {
+            graph: &self.graph,
+            plan: &ctx.plan,
+            stage_idx: stage,
+            query,
+            params: &ctx.params,
+            read_ts: ctx.read_ts,
+        };
+        let result = {
+            let part = self.graph.read(self.id.part());
+            interp.run_source(pipeline, weight, &part, &mut self.rng)
+        };
+        match result {
+            Ok(out) => self.route(query, out),
+            Err(e) => self.outbox.send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+        }
+    }
+
+    fn execute(&mut self, t: Traverser) {
+        let query = t.query;
+        let Some(aq) = self.queries.get(&query) else { return };
+        let ctx = Arc::clone(&aq.ctx);
+        let stage = aq.stage as usize;
+        if !self.sched_overhead.is_zero() {
+            // Dataflow-baseline mode: model polling one operator instance
+            // per plan step per scheduled traverser (§V-B).
+            crate::net::charge(self.sched_overhead * ctx.plan.num_steps() as u32);
+        }
+        let interp = Interpreter {
+            graph: &self.graph,
+            plan: &ctx.plan,
+            stage_idx: stage,
+            query,
+            params: &ctx.params,
+            read_ts: ctx.read_ts,
+        };
+        let result = {
+            let part = self.graph.read(self.id.part());
+            interp.run_traverser(t, &part, self.memo.query_mut(query), &mut self.rng)
+        };
+        match result {
+            Ok(out) => self.route(query, out),
+            Err(e) => self.outbox.send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+        }
+    }
+
+    fn route(&mut self, query: QueryId, out: Outcome) {
+        for (dest, t) in out.spawned {
+            if dest == self.id.part() {
+                self.seq += 1;
+                self.queue.push(Queued { depth: t.depth, seq: self.seq, t });
+            } else {
+                self.outbox
+                    .send_traverser(self.graph.partitioner().worker_of_part(dest), t);
+            }
+        }
+        if !out.emitted.is_empty() {
+            self.outbox.send_rows(query, out.emitted);
+        }
+        *self.steps.entry(query).or_insert(0) += out.steps_executed as u64;
+        if out.finished != Weight::ZERO {
+            if self.weight_coalescing {
+                self.memo.query_mut(query).finished.add(out.finished);
+            } else {
+                // Naive progress tracking: one report per termination.
+                let steps = self.steps.remove(&query).unwrap_or(0);
+                self.outbox.send_progress(query, out.finished, steps);
+            }
+        }
+    }
+
+    fn flush_progress(&mut self) {
+        if !self.weight_coalescing {
+            return; // already sent eagerly
+        }
+        let queries: Vec<QueryId> = self.queries.keys().copied().collect();
+        for q in queries {
+            if let Some(w) = self.memo.query_mut(q).finished.drain() {
+                let steps = self.steps.remove(&q).unwrap_or(0);
+                self.outbox.send_progress(q, w, steps);
+            }
+        }
+    }
+}
+
+/// Spawn all worker threads for a cluster.
+pub fn spawn_workers(
+    graph: &Graph,
+    fabric: &Arc<Fabric>,
+    inboxes: Vec<Receiver<WorkerMsg>>,
+    config: &EngineConfig,
+) -> Vec<std::thread::JoinHandle<()>> {
+    inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(i, inbox)| {
+            let worker = Worker::new(WorkerId(i as u32), graph.clone(), fabric, inbox, config);
+            std::thread::Builder::new()
+                .name(format!("gd-worker-{i}"))
+                .spawn(move || worker.run())
+                .expect("spawn worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_depth_then_fifo() {
+        let mk = |depth, seq| Queued {
+            depth,
+            seq,
+            t: Traverser::root(QueryId(1), 0, graphdance_common::VertexId(0), 0, Weight(0)),
+        };
+        let mut h = BinaryHeap::new();
+        h.push(mk(2, 1));
+        h.push(mk(0, 2));
+        h.push(mk(1, 3));
+        h.push(mk(0, 4));
+        let order: Vec<(u32, u64)> = std::iter::from_fn(|| h.pop().map(|q| (q.depth, q.seq)))
+            .collect();
+        assert_eq!(order, vec![(0, 2), (0, 4), (1, 3), (2, 1)]);
+    }
+}
+
+#[cfg(test)]
+mod handler_tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use graphdance_common::{Partitioner, Value, VertexId};
+    use graphdance_pstm::Weight;
+    use graphdance_query::QueryBuilder;
+    use graphdance_storage::GraphBuilder;
+
+    /// Build a worker without spawning its thread, so `handle` can be
+    /// driven directly.
+    fn test_worker() -> (Worker, std::sync::Arc<Fabric>, Vec<crossbeam::channel::Receiver<WorkerMsg>>) {
+        let mut b = GraphBuilder::new(Partitioner::new(1, 2));
+        let n = b.schema_mut().register_vertex_label("N");
+        let e = b.schema_mut().register_edge_label("e");
+        b.add_vertex(VertexId(0), n, vec![]).unwrap();
+        b.add_vertex(VertexId(1), n, vec![]).unwrap();
+        b.add_edge(VertexId(0), e, VertexId(1), vec![]).unwrap();
+        let graph = b.finish();
+        let config = crate::config::EngineConfig::new(1, 2);
+        let mut wtx = Vec::new();
+        let mut wrx = Vec::new();
+        for _ in 0..2 {
+            let (tx, rx) = unbounded();
+            wtx.push(tx);
+            wrx.push(rx);
+        }
+        let (ctx, _crx) = unbounded();
+        let (fabric, _handles) = Fabric::new(&config, wtx, ctx);
+        // Find which worker owns vertex 0 so StartSource lands correctly.
+        let owner = graph.partitioner().worker_of(VertexId(0));
+        let (_, inbox) = unbounded::<WorkerMsg>();
+        let worker = Worker::new(owner, graph, &fabric, inbox, &config);
+        (worker, fabric, wrx)
+    }
+
+    fn ctx_for(worker: &Worker) -> Arc<QueryCtx> {
+        let mut qb = QueryBuilder::new(worker.graph.schema());
+        qb.v_param(0).out("e");
+        Arc::new(QueryCtx {
+            query: QueryId(5),
+            plan: qb.compile().unwrap(),
+            params: vec![Value::Vertex(VertexId(0))],
+            read_ts: 1,
+        })
+    }
+
+    #[test]
+    fn early_traversers_are_stashed_until_query_begin() {
+        let (mut w, _fabric, _wrx) = test_worker();
+        let ctx = ctx_for(&w);
+        let t = Traverser::root(QueryId(5), 0, VertexId(0), 0, Weight::ROOT);
+        // Batch before QueryBegin: stashed, not queued.
+        w.handle(WorkerMsg::Batch(vec![t]));
+        assert!(w.queue.is_empty());
+        assert_eq!(w.pending.len(), 1);
+        // QueryBegin replays the stash into the run queue.
+        w.handle(WorkerMsg::QueryBegin { ctx, stage: 0 });
+        assert!(w.pending.is_empty());
+        assert_eq!(w.queue.len(), 1);
+    }
+
+    #[test]
+    fn dead_query_traversers_are_dropped() {
+        let (mut w, _fabric, _wrx) = test_worker();
+        let ctx = ctx_for(&w);
+        w.handle(WorkerMsg::QueryBegin { ctx, stage: 0 });
+        w.handle(WorkerMsg::QueryEnd { query: QueryId(5) });
+        let t = Traverser::root(QueryId(5), 0, VertexId(0), 0, Weight::ROOT);
+        w.handle(WorkerMsg::Batch(vec![t]));
+        assert!(w.queue.is_empty(), "late traversers for an ended query are dropped");
+        assert!(w.pending.is_empty());
+    }
+
+    #[test]
+    fn query_end_purges_queued_traversers_of_that_query_only() {
+        let (mut w, _fabric, _wrx) = test_worker();
+        let ctx5 = ctx_for(&w);
+        let mut qb = QueryBuilder::new(w.graph.schema());
+        qb.v_param(0).out("e");
+        let ctx6 = Arc::new(QueryCtx {
+            query: QueryId(6),
+            plan: qb.compile().unwrap(),
+            params: vec![Value::Vertex(VertexId(0))],
+            read_ts: 1,
+        });
+        w.handle(WorkerMsg::QueryBegin { ctx: ctx5, stage: 0 });
+        w.handle(WorkerMsg::QueryBegin { ctx: ctx6, stage: 0 });
+        w.handle(WorkerMsg::Batch(vec![
+            Traverser::root(QueryId(5), 0, VertexId(0), 0, Weight(1)),
+            Traverser::root(QueryId(6), 0, VertexId(0), 0, Weight(2)),
+        ]));
+        assert_eq!(w.queue.len(), 2);
+        w.handle(WorkerMsg::QueryEnd { query: QueryId(5) });
+        assert_eq!(w.queue.len(), 1);
+        assert_eq!(w.queue.peek().unwrap().t.query, QueryId(6));
+    }
+
+    #[test]
+    fn start_source_before_begin_is_replayed() {
+        let (mut w, _fabric, _wrx) = test_worker();
+        let ctx = ctx_for(&w);
+        w.handle(WorkerMsg::StartSource { query: QueryId(5), pipeline: 0, weight: Weight::ROOT });
+        assert!(w.queue.is_empty());
+        w.handle(WorkerMsg::QueryBegin { ctx, stage: 0 });
+        // The replayed source spawned the root traverser (vertex 0 is local
+        // to this worker by construction).
+        assert_eq!(w.queue.len(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The mixed LDBC SNB Interactive workload driver (§V-A1).
+//!
+//! Operations (IC, IS, UP) are issued on a fixed schedule whose rate is
+//! controlled by the **Time Compression Ratio**: a lower TCR compresses the
+//! simulated timeline, demanding higher throughput. Latency is measured
+//! from an operation's *scheduled* time, so a system that cannot keep up
+//! accumulates schedule lag — mirroring how TigerGraph "fails to complete
+//! the test at a TCR of 0.03 because it is unable to keep up with the
+//! query issuance rate".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use graphdance_common::rng::derive;
+use graphdance_datagen::SnbDataset;
+use graphdance_query::plan::Plan;
+use graphdance_storage::Schema;
+use graphdance_txn::TxnSystem;
+
+use graphdance_baselines::QueryEngine;
+
+use crate::params::{ic_params, is_params};
+use crate::stats::LatencyStats;
+use crate::updates::UpdateStream;
+
+/// One operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Ic(usize),
+    Is(usize),
+    Up,
+}
+
+/// Mixed-workload configuration.
+#[derive(Debug, Clone)]
+pub struct TcrConfig {
+    /// Time compression ratio; the issue rate is `base_ops_per_sec / tcr`.
+    pub tcr: f64,
+    /// Baseline operation rate at TCR = 1.
+    pub base_ops_per_sec: f64,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// IC queries to include (indices 0..14); lets the harness exclude
+    /// IC3/IC9/IC14 for the BSP baseline exactly as the paper excluded
+    /// TigerGraph's timeouts.
+    pub ic_subset: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TcrConfig {
+    /// A short default run.
+    pub fn new(tcr: f64) -> Self {
+        TcrConfig {
+            tcr,
+            base_ops_per_sec: 60.0,
+            duration: Duration::from_secs(3),
+            clients: 8,
+            ic_subset: (0..14).collect(),
+            seed: 0x7C2,
+        }
+    }
+}
+
+/// Result of a mixed-workload run.
+#[derive(Debug, Clone)]
+pub struct MixedReport {
+    /// Interactive complex query latency (scheduled → completed).
+    pub ic: LatencyStats,
+    /// Interactive short query latency.
+    pub is: LatencyStats,
+    /// Update latency.
+    pub up: LatencyStats,
+    /// Operations scheduled. When the run aborts for overload,
+    /// `completed + failed < issued` (the tail was never attempted).
+    pub issued: usize,
+    /// Completed operation count.
+    pub completed: usize,
+    /// Failed operation count (errors or timeouts).
+    pub failed: usize,
+    /// Did the engine keep up with the issue rate? False when the schedule
+    /// lag exceeded half the run duration (the "unable to keep up"
+    /// condition).
+    pub sustained: bool,
+}
+
+/// Run the mixed workload against an engine.
+///
+/// `txn` must be the transaction system whose LCT the engine reads (for
+/// GraphDance, `engine.txn()`); updates flow through it.
+pub fn run_mixed(
+    engine: &dyn QueryEngine,
+    txn: &TxnSystem,
+    schema: &Schema,
+    data: &SnbDataset,
+    ic_plans: &[Plan],
+    is_plans: &[Plan],
+    cfg: &TcrConfig,
+) -> MixedReport {
+    let rate = cfg.base_ops_per_sec / cfg.tcr;
+    let total_ops = (rate * cfg.duration.as_secs_f64()).ceil() as usize;
+    let interval = Duration::from_secs_f64(1.0 / rate);
+
+    // Build the schedule: the LDBC mix is mostly short reads and updates
+    // with periodic complex reads.
+    let mut schedule: Vec<OpClass> = Vec::with_capacity(total_ops);
+    let mut rng = derive(cfg.seed, 0);
+    use rand::Rng;
+    for _ in 0..total_ops {
+        let r: f64 = rng.gen();
+        if r < 0.15 && !cfg.ic_subset.is_empty() {
+            schedule.push(OpClass::Ic(cfg.ic_subset[rng.gen_range(0..cfg.ic_subset.len())]));
+        } else if r < 0.75 {
+            schedule.push(OpClass::Is(rng.gen_range(0..is_plans.len())));
+        } else {
+            schedule.push(OpClass::Up);
+        }
+    }
+
+    let stream = UpdateStream::new(data);
+    let next = AtomicUsize::new(0);
+    let samples: Mutex<(Vec<Duration>, Vec<Duration>, Vec<Duration>)> =
+        Mutex::new((Vec::new(), Vec::new(), Vec::new()));
+    let failed = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let max_lag = Mutex::new(Duration::ZERO);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..cfg.clients {
+            let schedule = &schedule;
+            let next = &next;
+            let samples = &samples;
+            let failed = &failed;
+            let completed = &completed;
+            let max_lag = &max_lag;
+            let stream = &stream;
+            let mut crng = derive(cfg.seed, 1 + client as u64);
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= schedule.len() {
+                    return;
+                }
+                let scheduled_at = start + interval.mul_f64(idx as f64);
+                let now = Instant::now();
+                if scheduled_at > now {
+                    std::thread::sleep(scheduled_at - now);
+                } else {
+                    let lag = now - scheduled_at;
+                    let mut ml = max_lag.lock().expect("no poisoning");
+                    if lag > *ml {
+                        *ml = lag;
+                    }
+                    if lag > cfg.duration {
+                        // Overloaded beyond recovery: the system failed to
+                        // keep up (the benchmark's abort condition). Stop
+                        // issuing; unexecuted operations count as neither
+                        // completed nor failed.
+                        drop(ml);
+                        next.store(schedule.len(), Ordering::Relaxed);
+                        return;
+                    }
+                }
+                let op = schedule[idx];
+                let outcome = match op {
+                    OpClass::Ic(i) => engine
+                        .query_timed(&ic_plans[i], ic_params(i, data, &mut crng))
+                        .map(|_| ()),
+                    OpClass::Is(i) => engine
+                        .query_timed(&is_plans[i], is_params(i, data, &mut crng))
+                        .map(|_| ()),
+                    OpClass::Up => stream.apply_random(txn, schema, &mut crng).map(|_| ()),
+                };
+                let latency = scheduled_at.elapsed();
+                match outcome {
+                    Ok(()) => {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        let mut s = samples.lock().expect("no poisoning");
+                        match op {
+                            OpClass::Ic(_) => s.0.push(latency),
+                            OpClass::Is(_) => s.1.push(latency),
+                            OpClass::Up => s.2.push(latency),
+                        }
+                    }
+                    Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let (ic_s, is_s, up_s) = samples.into_inner().expect("threads joined");
+    let lag = max_lag.into_inner().expect("threads joined");
+    let overrun = start.elapsed().saturating_sub(cfg.duration);
+    MixedReport {
+        ic: LatencyStats::from_samples(ic_s),
+        is: LatencyStats::from_samples(is_s),
+        up: LatencyStats::from_samples(up_s),
+        issued: schedule.len(),
+        completed: completed.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        sustained: lag < cfg.duration.mul_f64(0.5) && overrun < cfg.duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::Partitioner;
+    use graphdance_datagen::SnbParams;
+    use graphdance_engine::{EngineConfig, GraphDance};
+
+    #[test]
+    fn mixed_workload_runs_to_completion() {
+        let data = SnbDataset::generate(SnbParams::tiny());
+        let graph = data.build(Partitioner::new(2, 2)).unwrap();
+        let schema = std::sync::Arc::clone(graph.schema());
+        let engine = GraphDance::start(graph.clone(), EngineConfig::new(2, 2));
+        let ic = crate::ic::build_ic_plans(&schema).unwrap();
+        let is_ = crate::short::build_is_plans(&schema).unwrap();
+        let mut cfg = TcrConfig::new(3.0);
+        cfg.duration = Duration::from_millis(800);
+        cfg.clients = 4;
+        let report = run_mixed(&engine, engine.txn(), &schema, &data, &ic, &is_, &cfg);
+        assert!(report.issued > 0);
+        assert!(report.completed + report.failed <= report.issued);
+        assert!(
+            report.failed * 10 <= report.issued,
+            "failures should be rare: {} / {}",
+            report.failed,
+            report.issued
+        );
+        assert!(report.is.count > 0, "short reads ran");
+        engine.shutdown();
+    }
+}

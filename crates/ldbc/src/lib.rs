@@ -1,0 +1,31 @@
+//! # graphdance-ldbc
+//!
+//! The LDBC Social Network Benchmark workload (§V-A), implemented as PSTM
+//! traversal plans over the `graphdance-datagen` SNB dataset:
+//!
+//! * [`ic`] — the 14 Interactive Complex read queries (IC1–IC14).
+//! * [`short`] — the Interactive Short reads (IS1–IS7).
+//! * [`updates`] — the update stream (UP): person/post/comment/like/knows/
+//!   membership insertions through the MV2PL transaction layer.
+//! * [`params`] — parameter generation matching each query's signature.
+//! * [`driver`] — the mixed interactive workload with the Time Compression
+//!   Ratio (TCR) pacing of §V-A1, measuring per-class avg/P99 latency and
+//!   whether the system sustained the issue rate.
+//! * [`stats`] — latency statistics helpers.
+//!
+//! Query simplifications relative to the official SNB definitions are
+//! documented per query in [`ic`]; every engine under test runs the *same*
+//! plans, so cross-engine comparisons remain apples-to-apples.
+
+pub mod driver;
+pub mod ic;
+pub mod params;
+pub mod short;
+pub mod stats;
+pub mod updates;
+
+pub use driver::{run_mixed, MixedReport, TcrConfig};
+pub use ic::{build_ic_plans, IC_NAMES};
+pub use short::{build_is_plans, IS_NAMES};
+pub use stats::LatencyStats;
+pub use updates::UpdateStream;

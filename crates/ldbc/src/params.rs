@@ -1,0 +1,134 @@
+//! Parameter generation for the benchmark queries, matching each plan's
+//! documented signature.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use graphdance_common::time::date_millis;
+use graphdance_common::Value;
+use graphdance_datagen::snb::{vid, Kind};
+use graphdance_datagen::SnbDataset;
+
+/// Draw parameters for IC query `idx` (0-based: 0 = IC1).
+pub fn ic_params(idx: usize, data: &SnbDataset, rng: &mut SmallRng) -> Vec<Value> {
+    let person = || Value::Vertex(vid(Kind::Person, 0)); // replaced below
+    let _ = person;
+    let p = Value::Vertex(data.person(rng.gen_range(0..data.num_persons())));
+    let start = date_millis(2010, 6, 1);
+    let end = date_millis(2012, 6, 1);
+    match idx {
+        // IC1: person, firstName
+        0 => vec![p, Value::str(data.person_first_name(rng.gen_range(0..data.num_persons())))],
+        // IC2: person, maxDate
+        1 => vec![p, Value::Int(rng.gen_range(start..end))],
+        // IC3: person, countryX, countryY, startDate, endDate
+        2 => {
+            let countries = data.country_names();
+            let x = countries[rng.gen_range(0..countries.len())];
+            let y = countries[rng.gen_range(0..countries.len())];
+            let s = rng.gen_range(start..end - 90 * 86_400_000);
+            vec![
+                p,
+                Value::str(x),
+                Value::str(y),
+                Value::Int(s),
+                Value::Int(s + 90 * 86_400_000),
+            ]
+        }
+        // IC4: person, startDate, endDate
+        3 => {
+            let s = rng.gen_range(start..end - 60 * 86_400_000);
+            vec![p, Value::Int(s), Value::Int(s + 60 * 86_400_000)]
+        }
+        // IC5: person, minJoinDate
+        4 => vec![p, Value::Int(rng.gen_range(start..end))],
+        // IC6: person, tagName
+        5 => vec![p, Value::str(data.tag_name(rng.gen_range(0..data.num_tags())))],
+        // IC7 / IC8: person
+        6 | 7 => vec![p],
+        // IC9: person, maxDate
+        8 => vec![p, Value::Int(rng.gen_range(start..end))],
+        // IC10: person, month
+        9 => vec![p, Value::Int(rng.gen_range(1..=12))],
+        // IC11: person, countryName, maxWorkFrom
+        10 => {
+            let countries = data.country_names();
+            vec![
+                p,
+                Value::str(countries[rng.gen_range(0..countries.len())]),
+                Value::Int(rng.gen_range(2005..2013)),
+            ]
+        }
+        // IC12: person, tagClassName
+        11 => {
+            let classes = data.tag_class_names();
+            vec![p, Value::str(classes[rng.gen_range(0..classes.len())])]
+        }
+        // IC13 / IC14: two persons
+        12 | 13 => {
+            let q = Value::Vertex(data.person(rng.gen_range(0..data.num_persons())));
+            vec![p, q]
+        }
+        _ => panic!("no IC{}", idx + 1),
+    }
+}
+
+/// Draw parameters for IS query `idx` (0-based: 0 = IS1).
+pub fn is_params(idx: usize, data: &SnbDataset, rng: &mut SmallRng) -> Vec<Value> {
+    let person = Value::Vertex(data.person(rng.gen_range(0..data.num_persons())));
+    let (_, posts, comments) = data.next_ids();
+    let message = if rng.gen_bool(0.6) || comments == 0 {
+        Value::Vertex(vid(Kind::Post, rng.gen_range(0..posts)))
+    } else {
+        Value::Vertex(vid(Kind::Comment, rng.gen_range(0..comments)))
+    };
+    match idx {
+        0..=2 => vec![person],
+        3..=6 => vec![message],
+        _ => panic!("no IS{}", idx + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::rng::seeded;
+    use graphdance_datagen::SnbParams;
+    use graphdance_storage::Schema;
+
+    #[test]
+    fn params_match_plan_arity() {
+        let data = SnbDataset::generate(SnbParams::tiny());
+        let mut schema = Schema::new();
+        SnbDataset::register_schema(&mut schema);
+        let ic = crate::ic::build_ic_plans(&schema).unwrap();
+        let is_ = crate::short::build_is_plans(&schema).unwrap();
+        let mut rng = seeded(9);
+        for (i, plan) in ic.iter().enumerate() {
+            let ps = ic_params(i, &data, &mut rng);
+            assert!(
+                ps.len() >= plan.num_params,
+                "IC{}: {} params generated, plan wants {}",
+                i + 1,
+                ps.len(),
+                plan.num_params
+            );
+        }
+        for (i, plan) in is_.iter().enumerate() {
+            let ps = is_params(i, &data, &mut rng);
+            assert!(ps.len() >= plan.num_params, "IS{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn person_params_are_valid_vertices() {
+        let data = SnbDataset::generate(SnbParams::tiny());
+        let g = data.build(graphdance_common::Partitioner::single()).unwrap();
+        let mut rng = seeded(3);
+        for _ in 0..20 {
+            let ps = ic_params(0, &data, &mut rng);
+            let v = ps[0].as_vertex().unwrap();
+            assert!(g.contains(v));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The LDBC SNB Interactive Short reads (IS1–IS7): the transactional-style
+//! point lookups of the mixed workload (Table I's "transactional queries").
+
+use graphdance_common::{GdError, GdResult};
+use graphdance_query::expr::Expr;
+use graphdance_query::plan::{Order, Plan};
+use graphdance_query::QueryBuilder;
+use graphdance_storage::Schema;
+
+/// Names of the IS queries, index 0 = IS1.
+pub const IS_NAMES: [&str; 7] = ["IS1", "IS2", "IS3", "IS4", "IS5", "IS6", "IS7"];
+
+/// Build all 7 plans (index 0 = IS1).
+pub fn build_is_plans(schema: &Schema) -> GdResult<Vec<Plan>> {
+    Ok(vec![
+        is1(schema)?,
+        is2(schema)?,
+        is3(schema)?,
+        is4(schema)?,
+        is5(schema)?,
+        is6(schema)?,
+        is7(schema)?,
+    ])
+}
+
+/// IS1 — person profile. Params: `$0` person.
+pub fn is1(schema: &Schema) -> GdResult<Plan> {
+    let mut b = QueryBuilder::new(schema);
+    b.v_param(0);
+    let cols = ["firstName", "lastName", "birthday", "locationIP", "browserUsed", "gender"]
+        .map(|k| b.prop(k));
+    b.output(cols.to_vec());
+    b.compile()
+}
+
+/// IS2 — the person's 10 most recent messages. Params: `$0` person.
+pub fn is2(schema: &Schema) -> GdResult<Plan> {
+    let mut b = QueryBuilder::new(schema);
+    b.v_param(0);
+    b.in_("hasCreator");
+    let created = b.load("creationDate");
+    b.top_k(
+        10,
+        vec![(Expr::Slot(created), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![Expr::VertexId, Expr::Slot(created)],
+    );
+    b.compile()
+}
+
+/// IS3 — friends with the friendship creation date, newest first.
+/// Params: `$0` person.
+pub fn is3(schema: &Schema) -> GdResult<Plan> {
+    let mut b = QueryBuilder::new(schema);
+    b.v_param(0);
+    let since = b.alloc_slot();
+    b.expand(graphdance_storage::Direction::Both, "knows", vec![("creationDate", since)]);
+    let first = b.load("firstName");
+    b.top_k(
+        1000,
+        vec![(Expr::Slot(since), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![Expr::VertexId, Expr::Slot(first), Expr::Slot(since)],
+    );
+    b.compile()
+}
+
+/// IS4 — message content summary. Params: `$0` message.
+pub fn is4(schema: &Schema) -> GdResult<Plan> {
+    let mut b = QueryBuilder::new(schema);
+    b.v_param(0);
+    let cols = [b.prop("creationDate"), b.prop("length")];
+    b.output(cols.to_vec());
+    b.compile()
+}
+
+/// IS5 — message creator. Params: `$0` message.
+pub fn is5(schema: &Schema) -> GdResult<Plan> {
+    let mut b = QueryBuilder::new(schema);
+    b.v_param(0);
+    b.out("hasCreator");
+    let cols = [Expr::VertexId, b.prop("firstName"), b.prop("lastName")];
+    b.output(cols.to_vec());
+    b.compile()
+}
+
+/// IS6 — the forum containing a message (walking `replyOf` up for
+/// comments) and its moderator. Params: `$0` message.
+///
+/// Two pipelines cover the post and comment cases; exactly one emits.
+pub fn is6(schema: &Schema) -> GdResult<Plan> {
+    // Post case: the message itself is a post.
+    let mut direct = {
+        let mut b = QueryBuilder::new(schema);
+        b.v_param(0);
+        b.has_label("Post");
+        b.in_("containerOf");
+        let title = b.load("title");
+        b.out("hasModerator");
+        b.output(vec![Expr::Slot(title), Expr::VertexId]);
+        b.compile()?
+    };
+    // Comment case: walk replyOf to the root post first.
+    let walked = {
+        let mut b = QueryBuilder::new(schema);
+        b.v_param(0);
+        b.has_label("Comment");
+        let c = b.alloc_slot();
+        b.repeat(1, 12, c, |r| {
+            r.out("replyOf");
+        });
+        b.has_label("Post");
+        b.in_("containerOf");
+        let title = b.load("title");
+        b.out("hasModerator");
+        b.output(vec![Expr::Slot(title), Expr::VertexId]);
+        b.compile()?
+    };
+    let extra = walked.stages.into_iter().next().expect("one stage");
+    direct.stages[0].pipelines.extend(extra.pipelines);
+    direct.stages[0].num_slots = direct.stages[0].num_slots.max(extra.num_slots);
+    direct.validate().map_err(GdError::InvalidProgram)?;
+    Ok(direct)
+}
+
+/// IS7 — replies to a message with their authors, newest first.
+/// Params: `$0` message.
+pub fn is7(schema: &Schema) -> GdResult<Plan> {
+    let mut b = QueryBuilder::new(schema);
+    b.v_param(0);
+    b.in_("replyOf");
+    let comment = b.alloc_slot();
+    b.compute(comment, Expr::VertexId);
+    let created = b.load("creationDate");
+    b.out("hasCreator");
+    b.top_k(
+        100,
+        vec![(Expr::Slot(created), Order::Desc), (Expr::Slot(comment), Order::Asc)],
+        vec![Expr::Slot(comment), Expr::Slot(created), Expr::VertexId],
+    );
+    b.compile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_datagen::SnbDataset;
+
+    #[test]
+    fn all_is_plans_compile() {
+        let mut s = Schema::new();
+        SnbDataset::register_schema(&mut s);
+        let plans = build_is_plans(&s).unwrap();
+        assert_eq!(plans.len(), 7);
+        for (i, p) in plans.iter().enumerate() {
+            assert!(p.validate().is_ok(), "IS{} invalid", i + 1);
+        }
+    }
+
+    #[test]
+    fn is6_covers_both_message_kinds() {
+        let mut s = Schema::new();
+        SnbDataset::register_schema(&mut s);
+        let p = is6(&s).unwrap();
+        assert_eq!(p.stages[0].pipelines.len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Latency statistics (avg / percentiles) for the benchmark reports.
+
+use std::time::Duration;
+
+/// Aggregated latency statistics over a set of samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub avg: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Compute stats from samples (empty input gives all-zero stats).
+    pub fn from_samples(mut samples: Vec<Duration>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let total: Duration = samples.iter().sum();
+        let pct = |p: f64| {
+            // Nearest-rank: the smallest sample with at least p of the mass.
+            let idx = (count as f64 * p).ceil() as usize;
+            samples[idx.saturating_sub(1).min(count - 1)]
+        };
+        LatencyStats {
+            count,
+            avg: total / count as u32,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// Format as `avg/p99` milliseconds for table output.
+    pub fn fmt_ms(&self) -> String {
+        format!(
+            "{:8.3} ms avg / {:8.3} ms p99 (n={})",
+            self.avg.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.avg, Duration::from_micros(50_500));
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p99, Duration::from_millis(99));
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(vec![Duration::from_millis(7)]);
+        assert_eq!(s.avg, Duration::from_millis(7));
+        assert_eq!(s.p99, Duration::from_millis(7));
+        assert_eq!(s.max, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn formatting() {
+        let s = LatencyStats::from_samples(vec![Duration::from_millis(2)]);
+        let out = s.fmt_ms();
+        assert!(out.contains("2.000"), "{out}");
+        assert!(out.contains("n=1"));
+    }
+}

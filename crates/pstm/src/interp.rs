@@ -1,0 +1,1001 @@
+//! The PSTM step interpreter.
+//!
+//! The interpreter advances one traverser through the compiled plan,
+//! executing as many **partition-local** steps as possible inline (filters,
+//! loads, memo lookups) and stopping when the traverser either
+//!
+//! * spawns children (`Expand`, `LoopEnd` forks, `Join` matches) — returned
+//!   with their destination partitions for the engine to route,
+//! * emits (end of pipeline) — folded into the local aggregation memo or
+//!   returned as a result row, or
+//! * finishes (filtered out, deduplicated, pruned) — its weight is released.
+//!
+//! Every engine (asynchronous PSTM, BSP, non-partitioned, dataflow
+//! simulations) executes queries through this same interpreter, so results
+//! are identical by construction and engine comparisons measure *execution
+//! strategy*, not query semantics.
+
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::SmallRng;
+
+use graphdance_common::fxhash::FxHasher;
+use graphdance_common::value::ValueKey;
+use graphdance_common::{GdError, GdResult, PartId, QueryId, Value, VertexId};
+use graphdance_query::expr::EvalCtx;
+use graphdance_query::plan::{JoinSide, Plan, PlanStep, SourceSpec, Stage};
+use graphdance_storage::{Graph, GraphPartition, Timestamp};
+
+use crate::agg::AggState;
+use crate::memo::QueryMemo;
+use crate::traverser::Traverser;
+use crate::weight::Weight;
+
+/// One emitted result row.
+pub type Row = Vec<Value>;
+
+/// What one interpreter invocation produced.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Spawned traversers with their destination partitions (may include the
+    /// current partition; the engine decides local queue vs. network).
+    pub spawned: Vec<(PartId, Traverser)>,
+    /// Result rows emitted by a non-aggregating stage.
+    pub emitted: Vec<Row>,
+    /// Weight released by traversers that terminated here.
+    pub finished: Weight,
+    /// Number of plan steps executed (for Table I stage accounting).
+    pub steps_executed: u32,
+}
+
+impl Outcome {
+    fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Interpreter for one query's current stage.
+pub struct Interpreter<'a> {
+    /// The shared graph.
+    pub graph: &'a Graph,
+    /// The compiled plan.
+    pub plan: &'a Plan,
+    /// Index of the running stage.
+    pub stage_idx: usize,
+    /// The query id (memo namespace).
+    pub query: QueryId,
+    /// Query parameters.
+    pub params: &'a [Value],
+    /// Snapshot timestamp.
+    pub read_ts: Timestamp,
+}
+
+impl<'a> Interpreter<'a> {
+    /// The running stage.
+    #[inline]
+    pub fn stage(&self) -> &'a Stage {
+        &self.plan.stages[self.stage_idx]
+    }
+
+    /// Execute a pipeline source on one partition, producing the initial
+    /// traversers (all local to `part`). `weight` is this partition's share
+    /// of the pipeline's root weight.
+    pub fn run_source(
+        &self,
+        pipeline: u16,
+        weight: Weight,
+        part: &GraphPartition,
+        rng: &mut SmallRng,
+    ) -> GdResult<Outcome> {
+        let stage = self.stage();
+        let spec = &stage.pipelines[pipeline as usize].source;
+        let mut out = Outcome::new();
+        let mut w = weight;
+        let mut spawn_at = |v: VertexId, out: &mut Outcome, w: &mut Weight| {
+            let t = Traverser::root(self.query, pipeline, v, stage.num_slots, w.split_one(rng));
+            out.spawned.push((part.part(), t));
+        };
+        match spec {
+            SourceSpec::Param { param } => {
+                let v = self
+                    .params
+                    .get(*param)
+                    .and_then(Value::as_vertex)
+                    .ok_or_else(|| {
+                        GdError::InvalidProgram(format!("param {param} is not a vertex id"))
+                    })?;
+                if part.contains(v) {
+                    spawn_at(v, &mut out, &mut w);
+                }
+            }
+            SourceSpec::ScanLabel { label } => {
+                for v in part.scan_label(*label, self.read_ts) {
+                    spawn_at(v, &mut out, &mut w);
+                }
+            }
+            SourceSpec::IndexLookup { label, key, value } => {
+                let ctx = EvalCtx {
+                    vertex: VertexId::INVALID,
+                    record: None,
+                    locals: &[],
+                    params: self.params,
+                };
+                let needle = value.eval(&ctx)?;
+                if part.has_prop_index(*label, *key) {
+                    for v in part.index_lookup(*label, *key, &needle, self.read_ts)? {
+                        spawn_at(v, &mut out, &mut w);
+                    }
+                } else {
+                    // No index built: degrade to a filtered label scan.
+                    for v in part.scan_label(*label, self.read_ts) {
+                        if part.vertex(v)?.prop(*key) == Some(&needle) {
+                            spawn_at(v, &mut out, &mut w);
+                        }
+                    }
+                }
+            }
+            SourceSpec::PrevRows { .. } => {
+                return Err(GdError::Internal(
+                    "PrevRows sources are seeded by the coordinator, not run_source".into(),
+                ))
+            }
+        }
+        // Whatever weight was not given to children is finished here.
+        out.finished.absorb(w);
+        Ok(out)
+    }
+
+    /// Seed traversers for a `PrevRows` source from the previous stage's
+    /// result rows (coordinator side). Returns routed traversers and the
+    /// residual weight.
+    pub fn seed_prev_rows(
+        &self,
+        pipeline: u16,
+        rows: &[Row],
+        weight: Weight,
+        rng: &mut SmallRng,
+    ) -> GdResult<Outcome> {
+        let stage = self.stage();
+        let spec = &stage.pipelines[pipeline as usize].source;
+        let (vertex_col, seed) = match spec {
+            SourceSpec::PrevRows { vertex_col, seed } => (*vertex_col, seed),
+            other => {
+                return Err(GdError::Internal(format!(
+                    "seed_prev_rows on non-PrevRows source {other:?}"
+                )))
+            }
+        };
+        let mut out = Outcome::new();
+        let mut w = weight;
+        for row in rows {
+            let v = row
+                .get(vertex_col)
+                .and_then(Value::as_vertex)
+                .ok_or_else(|| {
+                    GdError::InvalidProgram(format!(
+                        "previous stage row column {vertex_col} is not a vertex"
+                    ))
+                })?;
+            let mut t =
+                Traverser::root(self.query, pipeline, v, stage.num_slots, w.split_one(rng));
+            for (slot, col) in seed {
+                t.set_slot(*slot, row.get(*col).cloned().unwrap_or(Value::Null));
+            }
+            out.spawned.push((self.graph.part_of(v), t));
+        }
+        out.finished.absorb(w);
+        Ok(out)
+    }
+
+    /// Advance one traverser. `part` must be the partition the traverser was
+    /// routed to; `memo` is that partition's memo for this query.
+    pub fn run_traverser(
+        &self,
+        mut t: Traverser,
+        part: &GraphPartition,
+        memo: &mut QueryMemo,
+        rng: &mut SmallRng,
+    ) -> GdResult<Outcome> {
+        let stage = self.stage();
+        let pipe = &stage.pipelines[t.pipeline as usize];
+        let mut out = Outcome::new();
+        loop {
+            // Emit position: end of pipeline.
+            if t.pc as usize >= pipe.steps.len() {
+                out.steps_executed += 1;
+                let record =
+                    if part.contains(t.vertex) { Some(part.vertex(t.vertex)?) } else { None };
+                let ctx = EvalCtx {
+                    vertex: t.vertex,
+                    record,
+                    locals: &t.locals,
+                    params: self.params,
+                };
+                if let Some(agg) = &stage.agg {
+                    memo.agg_mut(|| AggState::new(&agg.func)).insert(&agg.func, &ctx)?;
+                } else {
+                    let row = stage
+                        .output
+                        .iter()
+                        .map(|e| e.eval(&ctx))
+                        .collect::<GdResult<Vec<_>>>()?;
+                    out.emitted.push(row);
+                }
+                out.finished.absorb(t.weight);
+                return Ok(out);
+            }
+
+            out.steps_executed += 1;
+            match &pipe.steps[t.pc as usize] {
+                PlanStep::Expand { dir, label, edge_loads } => {
+                    let mut w = t.weight;
+                    for e in part.edges(t.vertex, *dir, *label, self.read_ts)? {
+                        let mut child = t.clone();
+                        child.vertex = e.neighbor;
+                        child.pc = t.pc + 1;
+                        child.depth = t.depth + 1;
+                        child.weight = w.split_one(rng);
+                        for (k, slot) in edge_loads {
+                            child.set_slot(
+                                *slot,
+                                e.entry.prop(*k).cloned().unwrap_or(Value::Null),
+                            );
+                        }
+                        out.spawned.push((self.graph.part_of(e.neighbor), child));
+                    }
+                    out.finished.absorb(w);
+                    return Ok(out);
+                }
+                PlanStep::Filter(pred) => {
+                    let record =
+                        if part.contains(t.vertex) { Some(part.vertex(t.vertex)?) } else { None };
+                    let ctx = EvalCtx {
+                        vertex: t.vertex,
+                        record,
+                        locals: &t.locals,
+                        params: self.params,
+                    };
+                    if !pred.eval_bool(&ctx)? {
+                        out.finished.absorb(t.weight);
+                        return Ok(out);
+                    }
+                    t.pc += 1;
+                }
+                PlanStep::Load(loads) => {
+                    let values: Vec<(u8, Value)> = {
+                        let record = part.vertex(t.vertex)?;
+                        loads
+                            .iter()
+                            .map(|(k, slot)| {
+                                (*slot, record.prop(*k).cloned().unwrap_or(Value::Null))
+                            })
+                            .collect()
+                    };
+                    for (slot, v) in values {
+                        t.set_slot(slot, v);
+                    }
+                    t.pc += 1;
+                }
+                PlanStep::Compute(sets) => {
+                    let values: Vec<(u8, Value)> = {
+                        let record = if part.contains(t.vertex) {
+                            Some(part.vertex(t.vertex)?)
+                        } else {
+                            None
+                        };
+                        let ctx = EvalCtx {
+                            vertex: t.vertex,
+                            record,
+                            locals: &t.locals,
+                            params: self.params,
+                        };
+                        sets.iter()
+                            .map(|(slot, e)| Ok((*slot, e.eval(&ctx)?)))
+                            .collect::<GdResult<Vec<_>>>()?
+                    };
+                    for (slot, v) in values {
+                        t.set_slot(slot, v);
+                    }
+                    t.pc += 1;
+                }
+                PlanStep::Dedup { slots } => {
+                    let key: Vec<ValueKey> =
+                        slots.iter().map(|s| t.slot(*s).group_key()).collect();
+                    if memo.dedup_insert(t.pipeline, t.pc, t.vertex, key) {
+                        t.pc += 1;
+                    } else {
+                        out.finished.absorb(t.weight);
+                        return Ok(out);
+                    }
+                }
+                PlanStep::MinDist { dist_slot } => {
+                    let dist = t.slot(*dist_slot).as_int().unwrap_or(0);
+                    if memo.min_dist_update(t.pipeline, t.pc, t.vertex, dist) {
+                        t.pc += 1;
+                    } else {
+                        out.finished.absorb(t.weight);
+                        return Ok(out);
+                    }
+                }
+                PlanStep::LoopEnd { counter, min, max, back_to } => {
+                    let n = t.slot(*counter).as_int().unwrap_or(0) + 1;
+                    t.set_slot(*counter, Value::Int(n));
+                    let go_back = n < *max;
+                    let fall_through = n >= *min;
+                    match (go_back, fall_through) {
+                        (true, true) => {
+                            // Fork: one copy loops, this one falls through.
+                            let parts = t.weight.split(2, rng);
+                            let mut looper = t.clone();
+                            looper.weight = parts[0];
+                            looper.pc = *back_to;
+                            out.spawned.push((part.part(), looper));
+                            t.weight = parts[1];
+                            t.pc += 1;
+                        }
+                        (true, false) => t.pc = *back_to,
+                        (false, true) => t.pc += 1,
+                        (false, false) => {
+                            // Unreachable for validated bounds; be safe.
+                            out.finished.absorb(t.weight);
+                            return Ok(out);
+                        }
+                    }
+                }
+                PlanStep::Join { join_id, side, key } => {
+                    // Evaluate the key once, at the traverser's own vertex.
+                    let key_val = match t.aux_key.take() {
+                        Some(v) => v,
+                        None => {
+                            let record = if part.contains(t.vertex) {
+                                Some(part.vertex(t.vertex)?)
+                            } else {
+                                None
+                            };
+                            let ctx = EvalCtx {
+                                vertex: t.vertex,
+                                record,
+                                locals: &t.locals,
+                                params: self.params,
+                            };
+                            key.eval(&ctx)?
+                        }
+                    };
+                    let target = self.join_key_part(&key_val);
+                    if target != part.part() {
+                        // Route to the key's owner (partitionable by h_Join,
+                        // §III-A); carry the evaluated key along.
+                        t.aux_key = Some(key_val);
+                        out.spawned.push((target, t));
+                        return Ok(out);
+                    }
+                    let spec = stage
+                        .joins
+                        .iter()
+                        .find(|j| j.join_id == *join_id)
+                        .ok_or_else(|| GdError::Internal(format!("join {join_id} unspecified")))?;
+                    let is_probe_side = *side == JoinSide::Probe;
+                    let matches = memo.join_insert_probe(
+                        *join_id,
+                        key_val.group_key(),
+                        is_probe_side,
+                        t.locals.clone(),
+                    );
+                    // Continuation position: after the Join step in the
+                    // probe pipeline.
+                    let cont_pipe = spec.probe_pipeline;
+                    let cont_pc = join_step_pc(stage, cont_pipe, *join_id)? + 1;
+                    let cont_vertex = key_val.as_vertex().unwrap_or(t.vertex);
+                    let cont_part = key_val
+                        .as_vertex()
+                        .map(|v| self.graph.part_of(v))
+                        .unwrap_or(part.part());
+                    let mut w = t.weight;
+                    for other in matches {
+                        let locals = if is_probe_side {
+                            merge_locals(&t.locals, &other)
+                        } else {
+                            merge_locals(&other, &t.locals)
+                        };
+                        let child = Traverser {
+                            query: t.query,
+                            pipeline: cont_pipe,
+                            pc: cont_pc,
+                            vertex: cont_vertex,
+                            locals,
+                            weight: w.split_one(rng),
+                            depth: t.depth + 1,
+                            aux_key: None,
+                        };
+                        out.spawned.push((cont_part, child));
+                    }
+                    out.finished.absorb(w);
+                    return Ok(out);
+                }
+                PlanStep::MoveTo { vertex_slot } => {
+                    let v = t.slot(*vertex_slot).as_vertex().ok_or_else(|| {
+                        GdError::TypeError(format!(
+                            "MoveTo slot {vertex_slot} does not hold a vertex"
+                        ))
+                    })?;
+                    t.vertex = v;
+                    t.pc += 1;
+                    let target = self.graph.part_of(v);
+                    if target != part.part() {
+                        out.spawned.push((target, t));
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Partition owning a join key: vertex keys go to the vertex's owner
+    /// (so continuations can read its properties); other keys hash.
+    pub fn join_key_part(&self, key: &Value) -> PartId {
+        match key.as_vertex() {
+            Some(v) => self.graph.part_of(v),
+            None => {
+                let mut h = FxHasher::default();
+                key.group_key().hash(&mut h);
+                self.graph.partitioner().part_of_key(h.finish())
+            }
+        }
+    }
+}
+
+/// Merge probe-side and build-side register files: probe slots win where
+/// non-null (the planner assigns the two sides disjoint slots, so this is a
+/// plain union).
+fn merge_locals(probe: &[Value], build: &[Value]) -> Vec<Value> {
+    let n = probe.len().max(build.len());
+    (0..n)
+        .map(|i| {
+            let p = probe.get(i).unwrap_or(&Value::Null);
+            if p.is_null() {
+                build.get(i).cloned().unwrap_or(Value::Null)
+            } else {
+                p.clone()
+            }
+        })
+        .collect()
+}
+
+/// Step index of `join_id`'s Join step within `pipeline`.
+fn join_step_pc(stage: &Stage, pipeline: u16, join_id: u16) -> GdResult<u16> {
+    stage.pipelines[pipeline as usize]
+        .steps
+        .iter()
+        .position(|s| matches!(s, PlanStep::Join { join_id: j, .. } if *j == join_id))
+        .map(|i| i as u16)
+        .ok_or_else(|| {
+            GdError::Internal(format!("join {join_id} not found in pipeline {pipeline}"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::rng::seeded;
+    use graphdance_common::Partitioner;
+    use graphdance_query::expr::Expr;
+    use graphdance_query::plan::{AggFunc, AggSpec, JoinSpec, Order, Pipeline};
+    use graphdance_storage::{Direction, GraphBuilder};
+
+    use crate::memo::Memo;
+    use crate::weight::WeightAccumulator;
+
+    /// Path graph 0→1→2→3 plus shortcut 0→2, weights = id*10.
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let person = b.schema_mut().register_vertex_label("Person");
+        let knows = b.schema_mut().register_edge_label("knows");
+        let weight = b.schema_mut().register_prop("weight");
+        for i in 0..4u64 {
+            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64 * 10))])
+                .unwrap();
+        }
+        for (s, d) in [(0u64, 1u64), (1, 2), (2, 3), (0, 2)] {
+            b.add_edge(VertexId(s), knows, VertexId(d), vec![]).unwrap();
+        }
+        let _ = person;
+        b.finish()
+    }
+
+    /// Drive a single-stage plan to completion against the graph, simulating
+    /// the engine loop sequentially. Returns (rows, agg partial merge).
+    fn drive(graph: &Graph, plan: &Plan, params: &[Value]) -> (Vec<Row>, Option<AggState>) {
+        let interp = Interpreter {
+            graph,
+            plan,
+            stage_idx: 0,
+            query: QueryId(1),
+            params,
+            read_ts: 1,
+        };
+        let mut rng = seeded(7);
+        let mut memos: Vec<Memo> =
+            (0..graph.partitioner().num_parts()).map(|_| Memo::new()).collect();
+        let mut tracker = WeightAccumulator::new();
+        let mut queue: Vec<(PartId, Traverser)> = Vec::new();
+        let stage = interp.stage();
+        // Source phase: split root weight across pipelines then partitions.
+        let pipe_weights = Weight::ROOT.split(stage.pipelines.len(), &mut rng);
+        for (pi, pw) in pipe_weights.into_iter().enumerate() {
+            let parts: Vec<PartId> = graph.partitioner().parts().collect();
+            let shares = pw.split(parts.len(), &mut rng);
+            for (p, w) in parts.into_iter().zip(shares) {
+                let out = interp
+                    .run_source(pi as u16, w, &graph.read(p), &mut rng)
+                    .unwrap();
+                tracker.add(out.finished);
+                queue.extend(out.spawned);
+            }
+        }
+        let mut rows = Vec::new();
+        while let Some((p, t)) = queue.pop() {
+            let part = graph.read(p);
+            let out = interp
+                .run_traverser(t, &part, memos[p.as_usize()].query_mut(QueryId(1)), &mut rng)
+                .unwrap();
+            tracker.add(out.finished);
+            rows.extend(out.emitted);
+            queue.extend(out.spawned);
+        }
+        assert!(tracker.is_complete(), "weights must balance at completion");
+        // Gather agg partials.
+        let mut merged: Option<AggState> = None;
+        if let Some(agg) = &stage.agg {
+            for m in &mut memos {
+                if let Some(partial) = m.query_mut(QueryId(1)).take_stage_state() {
+                    match &mut merged {
+                        None => merged = Some(partial),
+                        Some(acc) => acc.merge(&agg.func, partial).unwrap(),
+                    }
+                }
+            }
+        }
+        (rows, merged)
+    }
+
+    fn simple_stage(steps: Vec<PlanStep>, output: Vec<Expr>, agg: Option<AggSpec>) -> Plan {
+        Plan {
+            stages: vec![Stage {
+                pipelines: vec![Pipeline { source: SourceSpec::Param { param: 0 }, steps }],
+                joins: vec![],
+                output,
+                agg,
+                num_slots: 4,
+            }],
+            num_params: 1,
+        }
+    }
+
+    fn knows(g: &Graph) -> graphdance_common::Label {
+        g.schema().edge_label("knows").unwrap()
+    }
+
+    #[test]
+    fn one_hop_expand() {
+        let g = graph();
+        let plan = simple_stage(
+            vec![PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] }],
+            vec![Expr::VertexId],
+            None,
+        );
+        let (mut rows, _) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        assert_eq!(
+            rows,
+            vec![vec![Value::Vertex(VertexId(1))], vec![Value::Vertex(VertexId(2))]]
+        );
+    }
+
+    #[test]
+    fn filter_drops_traversers() {
+        let g = graph();
+        let w = g.schema().prop("weight").unwrap();
+        let plan = simple_stage(
+            vec![
+                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::Filter(Expr::gt(Expr::Prop(w), Expr::int(15))),
+            ],
+            vec![Expr::VertexId],
+            None,
+        );
+        let (rows, _) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        assert_eq!(rows, vec![vec![Value::Vertex(VertexId(2))]]);
+    }
+
+    #[test]
+    fn two_hop_loop_with_dedup() {
+        let g = graph();
+        let plan = simple_stage(
+            vec![
+                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+                PlanStep::Dedup { slots: vec![] },
+            ],
+            vec![Expr::VertexId],
+            None,
+        );
+        // From 0: hop1 = {1, 2}; hop2 = {2, 3}; dedup over emissions = {1,2,3}.
+        let (mut rows, _) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        let got: Vec<VertexId> = rows.iter().map(|r| r[0].as_vertex().unwrap()).collect();
+        assert_eq!(got, vec![VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn min_dist_prunes_longer_paths() {
+        let g = graph();
+        let plan = simple_stage(
+            vec![
+                PlanStep::Compute(vec![(
+                    1,
+                    Expr::Add(Box::new(Expr::Slot(1)), Box::new(Expr::int(1))),
+                )]),
+                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::MinDist { dist_slot: 1 },
+                PlanStep::LoopEnd { counter: 0, min: 1, max: 3, back_to: 0 },
+            ],
+            vec![Expr::VertexId, Expr::Slot(1)],
+            None,
+        );
+        // Wait: slot 1 counts hops; Compute runs before Expand, so emitted
+        // dist = number of expansions performed. Vertex 2 is reachable at
+        // dist 1 (0→2) and dist 2 (0→1→2); MinDist keeps whichever arrives
+        // first but at minimum one of them; vertex 3 reachable at dist 2
+        // via the shortcut. The exact surviving set depends on order, but
+        // every vertex must appear at least once and at most ... dedup-like.
+        let (rows, _) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        let mut seen: Vec<VertexId> = rows.iter().map(|r| r[0].as_vertex().unwrap()).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen, vec![VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn count_aggregation() {
+        let g = graph();
+        let plan = simple_stage(
+            vec![
+                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+            ],
+            vec![],
+            Some(AggSpec { func: AggFunc::Count }),
+        );
+        let (rows, agg) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        assert!(rows.is_empty());
+        // Emissions: hop1 {1,2} + hop2 {2,3} = 4 paths.
+        assert_eq!(
+            agg.unwrap().finalize(&AggFunc::Count),
+            vec![vec![Value::Int(4)]]
+        );
+    }
+
+    #[test]
+    fn topk_aggregation_by_weight() {
+        let g = graph();
+        let wk = g.schema().prop("weight").unwrap();
+        let func = AggFunc::TopK {
+            k: 2,
+            sort: vec![(Expr::Prop(wk), Order::Desc), (Expr::VertexId, Order::Asc)],
+            output: vec![Expr::VertexId, Expr::Prop(wk)],
+        };
+        let plan = simple_stage(
+            vec![
+                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+                PlanStep::Dedup { slots: vec![] },
+            ],
+            vec![],
+            Some(AggSpec { func: func.clone() }),
+        );
+        let (_, agg) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        let rows = agg.unwrap().finalize(&func);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Vertex(VertexId(3)), Value::Int(30)],
+                vec![Value::Vertex(VertexId(2)), Value::Int(20)],
+            ]
+        );
+    }
+
+    #[test]
+    fn double_pipelined_join_meets_in_middle() {
+        let g = graph();
+        let k = knows(&g);
+        // PathA: 0 -out-> x ; PathB: 3 -in-> x ; join at x. Expected x = 2
+        // is reachable from 0 (via shortcut) and 3's in-neighbour is 2.
+        let plan = Plan {
+            stages: vec![Stage {
+                pipelines: vec![
+                    Pipeline {
+                        source: SourceSpec::Param { param: 0 },
+                        steps: vec![
+                            PlanStep::Expand { dir: Direction::Out, label: k, edge_loads: vec![] },
+                            PlanStep::Join { join_id: 0, side: JoinSide::Probe, key: Expr::VertexId },
+                        ],
+                    },
+                    Pipeline {
+                        source: SourceSpec::Param { param: 1 },
+                        steps: vec![
+                            PlanStep::Expand { dir: Direction::In, label: k, edge_loads: vec![] },
+                            PlanStep::Join { join_id: 0, side: JoinSide::Build, key: Expr::VertexId },
+                        ],
+                    },
+                ],
+                joins: vec![JoinSpec { join_id: 0, probe_pipeline: 0 }],
+                output: vec![Expr::VertexId],
+                agg: None,
+                num_slots: 2,
+            }],
+            num_params: 2,
+        };
+        let (rows, _) = drive(
+            &g,
+            &plan,
+            &[Value::Vertex(VertexId(0)), Value::Vertex(VertexId(3))],
+        );
+        assert_eq!(rows, vec![vec![Value::Vertex(VertexId(2))]]);
+    }
+
+    #[test]
+    fn index_lookup_source() {
+        let g = graph();
+        let person = g.schema().vertex_label("Person").unwrap();
+        let wk = g.schema().prop("weight").unwrap();
+        g.build_prop_index(person, wk);
+        let plan = Plan {
+            stages: vec![Stage {
+                pipelines: vec![Pipeline {
+                    source: SourceSpec::IndexLookup {
+                        label: person,
+                        key: wk,
+                        value: Expr::Param(0),
+                    },
+                    steps: vec![],
+                }],
+                joins: vec![],
+                output: vec![Expr::VertexId],
+                agg: None,
+                num_slots: 0,
+            }],
+            num_params: 1,
+        };
+        let (rows, _) = drive(&g, &plan, &[Value::Int(20)]);
+        assert_eq!(rows, vec![vec![Value::Vertex(VertexId(2))]]);
+    }
+
+    #[test]
+    fn scan_label_source_without_index() {
+        let g = graph();
+        let person = g.schema().vertex_label("Person").unwrap();
+        let plan = Plan {
+            stages: vec![Stage {
+                pipelines: vec![Pipeline {
+                    source: SourceSpec::ScanLabel { label: person },
+                    steps: vec![],
+                }],
+                joins: vec![],
+                output: vec![Expr::VertexId],
+                agg: None,
+                num_slots: 0,
+            }],
+            num_params: 0,
+        };
+        let (rows, _) = drive(&g, &plan, &[]);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn missing_start_vertex_completes_empty() {
+        let g = graph();
+        let plan = simple_stage(
+            vec![PlanStep::Expand {
+                dir: Direction::Out,
+                label: knows(&g),
+                edge_loads: vec![],
+            }],
+            vec![Expr::VertexId],
+            None,
+        );
+        let (rows, _) = drive(&g, &plan, &[Value::Vertex(VertexId(999))]);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn move_to_reads_remote_properties() {
+        let g = graph();
+        let wk = g.schema().prop("weight").unwrap();
+        // Remember the start vertex, hop away, then MoveTo back and read its
+        // weight property.
+        let plan = simple_stage(
+            vec![
+                PlanStep::Compute(vec![(0, Expr::VertexId)]),
+                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::MoveTo { vertex_slot: 0 },
+                PlanStep::Load(vec![(wk, 1)]),
+            ],
+            vec![Expr::Slot(1)],
+            None,
+        );
+        let (rows, _) = drive(&g, &plan, &[Value::Vertex(VertexId(2))]);
+        assert_eq!(rows, vec![vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn edge_property_capture() {
+        // Build a graph with an edge property and capture it during Expand.
+        let mut b = GraphBuilder::new(Partitioner::new(1, 2));
+        let person = b.schema_mut().register_vertex_label("Person");
+        let knows = b.schema_mut().register_edge_label("knows");
+        let since = b.schema_mut().register_prop("since");
+        b.add_vertex(VertexId(0), person, vec![]).unwrap();
+        b.add_vertex(VertexId(1), person, vec![]).unwrap();
+        b.add_edge(VertexId(0), knows, VertexId(1), vec![(since, Value::Int(2009))])
+            .unwrap();
+        let g = b.finish();
+        let plan = simple_stage(
+            vec![PlanStep::Expand {
+                dir: Direction::Out,
+                label: knows,
+                edge_loads: vec![(since, 0)],
+            }],
+            vec![Expr::Slot(0)],
+            None,
+        );
+        let (rows, _) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        assert_eq!(rows, vec![vec![Value::Int(2009)]]);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use graphdance_common::rng::seeded;
+    use graphdance_common::Partitioner;
+    use graphdance_query::expr::Expr;
+    use graphdance_query::plan::{Pipeline, Plan, Stage};
+    use graphdance_storage::{Direction, GraphBuilder};
+
+    use crate::memo::Memo;
+
+    fn tiny_graph() -> Graph {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let n = b.schema_mut().register_vertex_label("N");
+        let e = b.schema_mut().register_edge_label("e");
+        for i in 0..8u64 {
+            b.add_vertex(VertexId(i), n, vec![]).unwrap();
+        }
+        for i in 0..8u64 {
+            b.add_edge(VertexId(i), e, VertexId((i + 1) % 8), vec![]).unwrap();
+            b.add_edge(VertexId(i), e, VertexId((i + 3) % 8), vec![]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn drive_collect(graph: &Graph, plan: &Plan, params: &[Value]) -> Vec<Row> {
+        let interp = Interpreter {
+            graph,
+            plan,
+            stage_idx: 0,
+            query: QueryId(9),
+            params,
+            read_ts: 1,
+        };
+        let mut rng = seeded(3);
+        let mut memos: Vec<Memo> =
+            (0..graph.partitioner().num_parts()).map(|_| Memo::new()).collect();
+        let mut queue: Vec<(PartId, Traverser)> = Vec::new();
+        for p in graph.partitioner().parts() {
+            let out = interp
+                .run_source(0, Weight(1 << p.0), &graph.read(p), &mut rng)
+                .unwrap();
+            queue.extend(out.spawned);
+        }
+        let mut rows = Vec::new();
+        while let Some((p, t)) = queue.pop() {
+            let part = graph.read(p);
+            let out = interp
+                .run_traverser(t, &part, memos[p.as_usize()].query_mut(QueryId(9)), &mut rng)
+                .unwrap();
+            rows.extend(out.emitted);
+            queue.extend(out.spawned);
+        }
+        rows
+    }
+
+    #[test]
+    fn dedup_with_slot_qualifier_separates_keys() {
+        // dedup over (vertex, slot 0): emitting the same vertex with two
+        // different slot values keeps both; same value collapses.
+        let g = tiny_graph();
+        let e = g.schema().edge_label("e").unwrap();
+        // Two hops; slot 0 = parity of hop count (0 after 2 hops, 1 after 1).
+        let plan = Plan {
+            stages: vec![Stage {
+                pipelines: vec![Pipeline {
+                    source: SourceSpec::Param { param: 0 },
+                    steps: vec![
+                        PlanStep::Expand { dir: Direction::Out, label: e, edge_loads: vec![] },
+                        PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+                        PlanStep::Dedup { slots: vec![0] },
+                    ],
+                }],
+                joins: vec![],
+                output: vec![Expr::VertexId, Expr::Slot(0)],
+                agg: None,
+                num_slots: 1,
+            }],
+            num_params: 1,
+        };
+        let rows = drive_collect(&g, &plan, &[Value::Vertex(VertexId(0))]);
+        // The same vertex may appear with counter=1 and counter=2, but never
+        // twice with the same counter.
+        let mut seen = std::collections::HashSet::new();
+        for r in &rows {
+            let key = (r[0].clone().as_vertex().unwrap(), r[1].as_int().unwrap());
+            assert!(seen.insert(key), "duplicate (vertex, slot) emitted: {r:?}");
+        }
+        assert!(rows.len() >= 4);
+    }
+
+    #[test]
+    fn move_to_across_partitions_restores_record_access() {
+        let g = tiny_graph();
+        // Remember a remote vertex, move to it, emit its id: exercises the
+        // remote-routing path of MoveTo for every possible start.
+        let plan = Plan {
+            stages: vec![Stage {
+                pipelines: vec![Pipeline {
+                    source: SourceSpec::Param { param: 0 },
+                    steps: vec![
+                        PlanStep::Compute(vec![(0, Expr::Param(1))]),
+                        PlanStep::MoveTo { vertex_slot: 0 },
+                    ],
+                }],
+                joins: vec![],
+                output: vec![Expr::VertexId],
+                agg: None,
+                num_slots: 1,
+            }],
+            num_params: 2,
+        };
+        for target in 0..8u64 {
+            let rows = drive_collect(
+                &g,
+                &plan,
+                &[Value::Vertex(VertexId(0)), Value::Vertex(VertexId(target))],
+            );
+            assert_eq!(rows, vec![vec![Value::Vertex(VertexId(target))]], "target {target}");
+        }
+    }
+
+    #[test]
+    fn expand_on_missing_label_finishes_cleanly() {
+        let g = tiny_graph();
+        let plan = Plan {
+            stages: vec![Stage {
+                pipelines: vec![Pipeline {
+                    source: SourceSpec::Param { param: 0 },
+                    steps: vec![PlanStep::Expand {
+                        dir: Direction::In,
+                        label: graphdance_common::Label(999),
+                        edge_loads: vec![],
+                    }],
+                }],
+                joins: vec![],
+                output: vec![Expr::VertexId],
+                agg: None,
+                num_slots: 0,
+            }],
+            num_params: 1,
+        };
+        let rows = drive_collect(&g, &plan, &[Value::Vertex(VertexId(2))]);
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # graphdance-pstm
+//!
+//! The Partitioned Stateful Traversal Machine (§III): the execution
+//! semantics shared by every GraphDance engine.
+//!
+//! * [`weight`] — **progression weights** (§III-B, §IV-A): each traverser
+//!   carries an element of the finite abelian group Z/2⁶⁴; spawning splits
+//!   the weight uniformly at random, termination releases it. The traversal
+//!   is complete exactly when the released weights sum (wrapping) back to
+//!   the root weight — one integer addition per traverser.
+//! * [`traverser`] — the traverser 4-tuple `(v, ψ, π, w)` extended with its
+//!   plan position.
+//! * [`memo`] — per-partition, query-scoped **memoranda** (§III-B): the
+//!   mutable state of Dedup / min-distance / Join / aggregation steps,
+//!   owned by a single worker and freed when the query ends.
+//! * [`agg`] — commutative-associative aggregation partials (§III-C).
+//! * [`interp`] — the step interpreter: advances one traverser through as
+//!   many partition-local steps as possible and reports spawned traversers
+//!   (with routing), emitted rows, and finished weight.
+
+pub mod agg;
+pub mod interp;
+pub mod memo;
+pub mod traverser;
+pub mod weight;
+
+pub use agg::AggState;
+pub use interp::{Interpreter, Outcome, Row};
+pub use memo::{Memo, QueryMemo};
+pub use traverser::Traverser;
+pub use weight::Weight;

@@ -1,0 +1,215 @@
+//! Query memoranda: the `M` component of the partitioned stateful graph
+//! (§III-B).
+//!
+//! A memo is a per-partition temporary key-value store. Its records are
+//! created by traversers of a specific query, readable and writable only by
+//! traversers in the same partition (so access is synchronization-free), and
+//! reclaimed automatically when the creating query terminates.
+//!
+//! The memo is deliberately *not* under concurrency control: even a
+//! read-only graph query freely mutates its memo records (§III-B).
+
+use graphdance_common::value::ValueKey;
+use graphdance_common::{FxHashMap, FxHashSet, QueryId, Value, VertexId};
+
+use crate::agg::AggState;
+use crate::weight::WeightAccumulator;
+
+/// The locals carried by a parked join row.
+pub type JoinRow = Vec<Value>;
+
+/// Per-query memo records within one partition.
+#[derive(Debug, Default)]
+pub struct QueryMemo {
+    /// Dedup step state: the set of seen keys, per step occurrence.
+    /// Key = (pipeline, pc, vertex, slot values).
+    dedup: FxHashSet<(u16, u16, VertexId, Vec<ValueKey>)>,
+    /// Min-distance records (Fig. 5): best known distance per vertex, per
+    /// step occurrence.
+    min_dist: FxHashMap<(u16, u16, VertexId), i64>,
+    /// Double-pipelined join tables: per join id and key, the parked rows of
+    /// each side.
+    join: FxHashMap<(u16, ValueKey), (Vec<JoinRow>, Vec<JoinRow>)>,
+    /// Partial aggregation state for the current stage.
+    agg: Option<AggState>,
+    /// Locally coalesced finished weight (§IV-A weight coalescing) for the
+    /// current stage.
+    pub finished: WeightAccumulator,
+}
+
+impl QueryMemo {
+    /// Dedup check-and-insert: returns `true` if the key was fresh (the
+    /// traverser survives), `false` if it was already present (prune).
+    pub fn dedup_insert(
+        &mut self,
+        pipeline: u16,
+        pc: u16,
+        vertex: VertexId,
+        slots: Vec<ValueKey>,
+    ) -> bool {
+        self.dedup.insert((pipeline, pc, vertex, slots))
+    }
+
+    /// Min-distance check-and-update: returns `true` if `dist` improves the
+    /// recorded distance for `vertex` (record updated, traverser survives);
+    /// `false` otherwise (prune).
+    pub fn min_dist_update(&mut self, pipeline: u16, pc: u16, vertex: VertexId, dist: i64) -> bool {
+        match self.min_dist.entry((pipeline, pc, vertex)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if dist < *e.get() {
+                    e.insert(dist);
+                    true
+                } else {
+                    false
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(dist);
+                true
+            }
+        }
+    }
+
+    /// Double-pipelined join insert-and-probe (§III-A): park `row` on
+    /// `side_a`'s table for `key` and return a clone of every row currently
+    /// parked on the opposite side.
+    pub fn join_insert_probe(
+        &mut self,
+        join_id: u16,
+        key: ValueKey,
+        side_a: bool,
+        row: JoinRow,
+    ) -> Vec<JoinRow> {
+        let (a, b) = self.join.entry((join_id, key)).or_default();
+        if side_a {
+            a.push(row);
+            b.clone()
+        } else {
+            b.push(row);
+            a.clone()
+        }
+    }
+
+    /// The stage's aggregation partial, created on first use.
+    pub fn agg_mut(&mut self, init: impl FnOnce() -> AggState) -> &mut AggState {
+        self.agg.get_or_insert_with(init)
+    }
+
+    /// Take the aggregation partial (gathered by the coordinator at scope
+    /// completion, Fig. 6), resetting join/dedup state for the next stage.
+    pub fn take_stage_state(&mut self) -> Option<AggState> {
+        self.dedup.clear();
+        self.min_dist.clear();
+        self.join.clear();
+        self.agg.take()
+    }
+
+    /// Number of parked join rows (diagnostics).
+    pub fn join_rows(&self) -> usize {
+        self.join.values().map(|(a, b)| a.len() + b.len()).sum()
+    }
+}
+
+/// All memoranda of one partition, keyed by query.
+#[derive(Debug, Default)]
+pub struct Memo {
+    queries: FxHashMap<QueryId, QueryMemo>,
+}
+
+impl Memo {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memo records of `query`, created on first access.
+    pub fn query_mut(&mut self, query: QueryId) -> &mut QueryMemo {
+        self.queries.entry(query).or_default()
+    }
+
+    /// Release every record of `query` ("the memo is automatically cleared
+    /// after the creating query terminates", §III-B).
+    pub fn clear_query(&mut self, query: QueryId) {
+        self.queries.remove(&query);
+    }
+
+    /// Number of queries with live memo records (diagnostics / leak tests).
+    pub fn live_queries(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_semantics() {
+        let mut m = Memo::new();
+        let q = m.query_mut(QueryId(1));
+        assert!(q.dedup_insert(0, 2, VertexId(5), vec![]));
+        assert!(!q.dedup_insert(0, 2, VertexId(5), vec![]), "duplicate pruned");
+        // different step occurrence → independent key space
+        assert!(q.dedup_insert(0, 3, VertexId(5), vec![]));
+        assert!(q.dedup_insert(1, 2, VertexId(5), vec![]));
+        // slot-qualified dedup
+        assert!(q.dedup_insert(0, 2, VertexId(5), vec![ValueKey::Int(1)]));
+        assert!(!q.dedup_insert(0, 2, VertexId(5), vec![ValueKey::Int(1)]));
+    }
+
+    #[test]
+    fn min_dist_prunes_non_improving() {
+        let mut m = Memo::new();
+        let q = m.query_mut(QueryId(1));
+        assert!(q.min_dist_update(0, 0, VertexId(9), 3), "first visit survives");
+        assert!(!q.min_dist_update(0, 0, VertexId(9), 3), "equal distance pruned");
+        assert!(!q.min_dist_update(0, 0, VertexId(9), 5), "worse distance pruned");
+        assert!(q.min_dist_update(0, 0, VertexId(9), 1), "better distance survives");
+        assert!(!q.min_dist_update(0, 0, VertexId(9), 2), "now 1 is the bar");
+    }
+
+    #[test]
+    fn join_insert_probe_both_sides() {
+        let mut m = Memo::new();
+        let q = m.query_mut(QueryId(1));
+        let k = ValueKey::Vertex(VertexId(7));
+        // A arrives first: no matches.
+        assert!(q.join_insert_probe(0, k.clone(), true, vec![Value::Int(1)]).is_empty());
+        // B arrives: matches the parked A row.
+        let matches = q.join_insert_probe(0, k.clone(), false, vec![Value::Int(2)]);
+        assert_eq!(matches, vec![vec![Value::Int(1)]]);
+        // Another A arrives: matches the parked B row.
+        let matches = q.join_insert_probe(0, k.clone(), true, vec![Value::Int(3)]);
+        assert_eq!(matches, vec![vec![Value::Int(2)]]);
+        // Different key: isolated.
+        assert!(q
+            .join_insert_probe(0, ValueKey::Int(0), false, vec![Value::Int(4)])
+            .is_empty());
+        assert_eq!(q.join_rows(), 4);
+    }
+
+    #[test]
+    fn query_isolation_and_cleanup() {
+        let mut m = Memo::new();
+        m.query_mut(QueryId(1)).dedup_insert(0, 0, VertexId(1), vec![]);
+        m.query_mut(QueryId(2)).dedup_insert(0, 0, VertexId(1), vec![]);
+        assert_eq!(m.live_queries(), 2);
+        m.clear_query(QueryId(1));
+        assert_eq!(m.live_queries(), 1);
+        // query 2 unaffected
+        assert!(!m.query_mut(QueryId(2)).dedup_insert(0, 0, VertexId(1), vec![]));
+        // query 1 records are gone: re-inserting succeeds
+        assert!(m.query_mut(QueryId(1)).dedup_insert(0, 0, VertexId(1), vec![]));
+    }
+
+    #[test]
+    fn take_stage_state_resets_for_next_stage() {
+        let mut m = Memo::new();
+        let q = m.query_mut(QueryId(1));
+        q.dedup_insert(0, 0, VertexId(1), vec![]);
+        q.join_insert_probe(0, ValueKey::Int(1), true, vec![]);
+        assert!(q.take_stage_state().is_none(), "no aggregation was started");
+        assert!(q.dedup_insert(0, 0, VertexId(1), vec![]), "dedup state cleared");
+        assert_eq!(q.join_rows(), 0, "join state cleared");
+    }
+}

@@ -1,0 +1,173 @@
+//! The logical traversal program — what users write.
+//!
+//! This mirrors the Gremlin traversal program `Ψ` (§II-B) as a linear list
+//! of logical steps (with nested bodies for `repeat`). Logical queries are
+//! rewritten by [`crate::strategies`] and lowered to a physical
+//! [`crate::plan::Plan`].
+
+use serde::{Deserialize, Serialize};
+
+use graphdance_common::{Label, PropKey};
+use graphdance_storage::Direction;
+
+use crate::expr::{CmpOp, Expr, Slot};
+use crate::plan::AggFunc;
+
+/// One logical traversal step.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LogicalStep {
+    /// `g.V()` — full vertex scan. Only valid as the first step.
+    V,
+    /// `g.V($p)` — start at the vertex id passed as parameter `p`.
+    VParam(usize),
+    /// `hasLabel(l)`.
+    HasLabel(Label),
+    /// `has(key, op, value)`; `value` must be a `Const` or `Param`.
+    Has(PropKey, CmpOp, Expr),
+    /// General predicate filter (`where(..)`).
+    Filter(Expr),
+    /// `out(l)` / `in(l)` / `both(l)`, optionally capturing edge properties
+    /// into slots while the edge is at hand.
+    Expand { dir: Direction, label: Label, edge_loads: Vec<(PropKey, Slot)> },
+    /// `repeat(body).times(min..=max).emit()` — traversers surface at every
+    /// depth in `min..=max`. `counter` is the slot holding the iteration
+    /// count (allocated by the builder; must start at `Int(0)`).
+    Repeat { body: Vec<LogicalStep>, min: i64, max: i64, counter: Slot },
+    /// `dedup()` over the current vertex plus optional slot values.
+    Dedup { slots: Vec<Slot> },
+    /// Multi-hop minimum-distance pruning (Fig. 5); the slot carries the
+    /// traversed distance.
+    MinDist { dist_slot: Slot },
+    /// `values(..)` — copy vertex properties into slots.
+    Load(Vec<(PropKey, Slot)>),
+    /// `sack`-style slot assignment from expressions.
+    Compute(Vec<(Slot, Expr)>),
+    /// Jump to the vertex stored in a slot (`select(..)` followed by
+    /// vertex-context steps).
+    MoveTo { vertex_slot: Slot },
+}
+
+/// A complete logical query: steps, output row, optional terminal
+/// aggregation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogicalQuery {
+    /// The traversal steps; the first must be `V` or `VParam`.
+    pub steps: Vec<LogicalStep>,
+    /// Output row constructor (ignored when `agg` produces its own rows).
+    pub output: Vec<Expr>,
+    /// Optional terminal aggregation.
+    pub agg: Option<AggFunc>,
+    /// Number of traverser-local slots used.
+    pub num_slots: usize,
+    /// Number of query parameters referenced.
+    pub num_params: usize,
+}
+
+impl LogicalQuery {
+    /// Structural validation of the logical program.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.steps.first() {
+            Some(LogicalStep::V) | Some(LogicalStep::VParam(_)) => {}
+            _ => return Err("query must start with V() or V($id)".into()),
+        }
+        for (i, s) in self.steps.iter().enumerate().skip(1) {
+            if matches!(s, LogicalStep::V | LogicalStep::VParam(_)) {
+                return Err(format!("step {i}: V() only allowed at the start"));
+            }
+        }
+        fn check_body(body: &[LogicalStep]) -> Result<(), String> {
+            for s in body {
+                match s {
+                    LogicalStep::V | LogicalStep::VParam(_) => {
+                        return Err("V() not allowed inside repeat()".into())
+                    }
+                    LogicalStep::Repeat { body, .. } => check_body(body)?,
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        for s in &self.steps {
+            if let LogicalStep::Repeat { body, min, max, .. } = s {
+                if body.is_empty() {
+                    return Err("repeat() body is empty".into());
+                }
+                if min > max || *min < 0 {
+                    return Err(format!("bad repeat bounds {min}..={max}"));
+                }
+                check_body(body)?;
+            }
+        }
+        if self.output.is_empty() && self.agg.is_none() {
+            return Err("query produces nothing: no output columns and no aggregation".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(steps: Vec<LogicalStep>) -> LogicalQuery {
+        LogicalQuery { steps, output: vec![Expr::VertexId], agg: None, num_slots: 0, num_params: 1 }
+    }
+
+    #[test]
+    fn must_start_with_v() {
+        assert!(q(vec![LogicalStep::HasLabel(Label(0))]).validate().is_err());
+        assert!(q(vec![LogicalStep::V]).validate().is_ok());
+        assert!(q(vec![LogicalStep::VParam(0)]).validate().is_ok());
+    }
+
+    #[test]
+    fn v_only_at_start() {
+        assert!(q(vec![LogicalStep::V, LogicalStep::V]).validate().is_err());
+    }
+
+    #[test]
+    fn repeat_bounds_checked() {
+        let body = vec![LogicalStep::Expand {
+            dir: Direction::Out,
+            label: Label(0),
+            edge_loads: vec![],
+        }];
+        assert!(q(vec![
+            LogicalStep::VParam(0),
+            LogicalStep::Repeat { body: body.clone(), min: 2, max: 1, counter: 0 }
+        ])
+        .validate()
+        .is_err());
+        assert!(q(vec![
+            LogicalStep::VParam(0),
+            LogicalStep::Repeat { body, min: 1, max: 3, counter: 0 }
+        ])
+        .validate()
+        .is_ok());
+        assert!(q(vec![
+            LogicalStep::VParam(0),
+            LogicalStep::Repeat { body: vec![], min: 1, max: 1, counter: 0 }
+        ])
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn no_v_inside_repeat() {
+        assert!(q(vec![
+            LogicalStep::VParam(0),
+            LogicalStep::Repeat { body: vec![LogicalStep::V], min: 1, max: 1, counter: 0 }
+        ])
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn output_required() {
+        let mut query = q(vec![LogicalStep::V]);
+        query.output.clear();
+        assert!(query.validate().is_err());
+        query.agg = Some(AggFunc::Count);
+        assert!(query.validate().is_ok());
+    }
+}

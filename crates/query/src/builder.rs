@@ -1,0 +1,460 @@
+//! Fluent, schema-aware query construction.
+//!
+//! Mirrors the Gremlin surface syntax (Fig. 1a) in Rust:
+//!
+//! ```
+//! # use graphdance_query::builder::QueryBuilder;
+//! # use graphdance_query::expr::{CmpOp, Expr};
+//! # use graphdance_query::plan::{AggFunc, Order};
+//! # use graphdance_storage::Schema;
+//! # let mut schema = Schema::new();
+//! # schema.register_vertex_label("Person");
+//! # schema.register_edge_label("knows");
+//! # schema.register_prop("weight");
+//! let mut b = QueryBuilder::new(&schema);
+//! b.v_param(0);
+//! let dist = b.alloc_slot();
+//! b.repeat(1, 3, dist, |r| {
+//!     r.out("knows");
+//! });
+//! b.min_dist(dist);
+//! let w = b.load("weight");
+//! b.top_k(
+//!     10,
+//!     vec![(Expr::Slot(w), Order::Desc), (Expr::VertexId, Order::Asc)],
+//!     vec![Expr::VertexId, Expr::Slot(w)],
+//! );
+//! let plan = b.compile().unwrap();
+//! assert_eq!(plan.stages.len(), 1);
+//! ```
+
+use graphdance_common::{GdError, GdResult, Value};
+use graphdance_storage::{Direction, Schema};
+
+use crate::ast::{LogicalQuery, LogicalStep};
+use crate::expr::{CmpOp, Expr, Slot};
+use crate::plan::{AggFunc, GroupOrder, Order, Plan};
+use crate::strategies;
+
+/// Fluent builder for [`LogicalQuery`]. Methods that resolve schema names
+/// record the first error and make `build()`/`compile()` fail, keeping call
+/// sites unchained from `Result` plumbing.
+pub struct QueryBuilder<'s> {
+    schema: &'s Schema,
+    steps: Vec<LogicalStep>,
+    output: Vec<Expr>,
+    agg: Option<AggFunc>,
+    next_slot: u16,
+    num_params: usize,
+    err: Option<GdError>,
+}
+
+impl<'s> QueryBuilder<'s> {
+    /// Start building against a schema.
+    pub fn new(schema: &'s Schema) -> Self {
+        QueryBuilder {
+            schema,
+            steps: Vec::new(),
+            output: Vec::new(),
+            agg: None,
+            next_slot: 0,
+            num_params: 0,
+            err: None,
+        }
+    }
+
+    fn fail(&mut self, e: GdError) {
+        if self.err.is_none() {
+            self.err = Some(e);
+        }
+    }
+
+    fn note_param(&mut self, p: usize) {
+        self.num_params = self.num_params.max(p + 1);
+    }
+
+    /// Allocate a fresh traverser-local slot.
+    pub fn alloc_slot(&mut self) -> Slot {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        if s > Slot::MAX as u16 {
+            self.fail(GdError::InvalidProgram("more than 256 slots".into()));
+            return Slot::MAX;
+        }
+        s as Slot
+    }
+
+    /// `g.V()` — must be followed by `has_label`.
+    pub fn v(&mut self) -> &mut Self {
+        self.steps.push(LogicalStep::V);
+        self
+    }
+
+    /// `g.V($p)` — start at the vertex id in parameter `p`.
+    pub fn v_param(&mut self, p: usize) -> &mut Self {
+        self.note_param(p);
+        self.steps.push(LogicalStep::VParam(p));
+        self
+    }
+
+    /// `hasLabel('name')`.
+    pub fn has_label(&mut self, name: &str) -> &mut Self {
+        match self.schema.vertex_label(name) {
+            Ok(l) => self.steps.push(LogicalStep::HasLabel(l)),
+            Err(e) => self.fail(e),
+        }
+        self
+    }
+
+    /// `has('key', op, value)`.
+    pub fn has(&mut self, key: &str, op: CmpOp, value: Expr) -> &mut Self {
+        if let Expr::Param(p) = value {
+            self.note_param(p);
+        }
+        match self.schema.prop(key) {
+            Ok(k) => self.steps.push(LogicalStep::Has(k, op, value)),
+            Err(e) => self.fail(e),
+        }
+        self
+    }
+
+    /// `where(predicate)`.
+    pub fn filter(&mut self, pred: Expr) -> &mut Self {
+        self.steps.push(LogicalStep::Filter(pred));
+        self
+    }
+
+    /// `out('label')`.
+    pub fn out(&mut self, label: &str) -> &mut Self {
+        self.expand(Direction::Out, label, vec![])
+    }
+
+    /// `in('label')`.
+    pub fn in_(&mut self, label: &str) -> &mut Self {
+        self.expand(Direction::In, label, vec![])
+    }
+
+    /// `both('label')`.
+    pub fn both(&mut self, label: &str) -> &mut Self {
+        self.expand(Direction::Both, label, vec![])
+    }
+
+    /// Expansion with edge-property capture: `outE('l').as(..)...inV()`.
+    pub fn expand(
+        &mut self,
+        dir: Direction,
+        label: &str,
+        edge_loads: Vec<(&str, Slot)>,
+    ) -> &mut Self {
+        let l = match self.schema.edge_label(label) {
+            Ok(l) => l,
+            Err(e) => {
+                self.fail(e);
+                return self;
+            }
+        };
+        let mut loads = Vec::with_capacity(edge_loads.len());
+        for (k, slot) in edge_loads {
+            match self.schema.prop(k) {
+                Ok(k) => loads.push((k, slot)),
+                Err(e) => self.fail(e),
+            }
+        }
+        self.steps.push(LogicalStep::Expand { dir, label: l, edge_loads: loads });
+        self
+    }
+
+    /// `repeat(body).times(min..=max).emit()`. The `counter` slot must be
+    /// freshly allocated (engines treat an unset counter as zero).
+    pub fn repeat(
+        &mut self,
+        min: i64,
+        max: i64,
+        counter: Slot,
+        f: impl FnOnce(&mut QueryBuilder<'s>),
+    ) -> &mut Self {
+        let mut inner = QueryBuilder {
+            schema: self.schema,
+            steps: Vec::new(),
+            output: Vec::new(),
+            agg: None,
+            next_slot: self.next_slot,
+            num_params: self.num_params,
+            err: None,
+        };
+        f(&mut inner);
+        self.next_slot = inner.next_slot;
+        self.num_params = self.num_params.max(inner.num_params);
+        if let Some(e) = inner.err {
+            self.fail(e);
+        }
+        self.steps.push(LogicalStep::Repeat { body: inner.steps, min, max, counter });
+        self
+    }
+
+    /// `dedup()` — prune traversers revisiting the current vertex.
+    pub fn dedup(&mut self) -> &mut Self {
+        self.steps.push(LogicalStep::Dedup { slots: vec![] });
+        self
+    }
+
+    /// `dedup(by..)` — dedup over (vertex, slots).
+    pub fn dedup_by(&mut self, slots: Vec<Slot>) -> &mut Self {
+        self.steps.push(LogicalStep::Dedup { slots });
+        self
+    }
+
+    /// Minimum-distance pruning over a distance slot (Fig. 5).
+    pub fn min_dist(&mut self, dist_slot: Slot) -> &mut Self {
+        self.steps.push(LogicalStep::MinDist { dist_slot });
+        self
+    }
+
+    /// `values('key')` into a fresh slot; returns the slot.
+    pub fn load(&mut self, key: &str) -> Slot {
+        let slot = self.alloc_slot();
+        match self.schema.prop(key) {
+            Ok(k) => self.steps.push(LogicalStep::Load(vec![(k, slot)])),
+            Err(e) => self.fail(e),
+        }
+        slot
+    }
+
+    /// Assign `slot = expr`.
+    pub fn compute(&mut self, slot: Slot, expr: Expr) -> &mut Self {
+        self.steps.push(LogicalStep::Compute(vec![(slot, expr)]));
+        self
+    }
+
+    /// Jump to the vertex stored in `slot`.
+    pub fn move_to(&mut self, slot: Slot) -> &mut Self {
+        self.steps.push(LogicalStep::MoveTo { vertex_slot: slot });
+        self
+    }
+
+    /// Resolve a property key (for building expressions).
+    pub fn prop(&mut self, key: &str) -> Expr {
+        match self.schema.prop(key) {
+            Ok(k) => Expr::Prop(k),
+            Err(e) => {
+                self.fail(e);
+                Expr::Const(Value::Null)
+            }
+        }
+    }
+
+    /// Set the output row.
+    pub fn output(&mut self, exprs: Vec<Expr>) -> &mut Self {
+        self.output = exprs;
+        self
+    }
+
+    /// Terminal `count()`.
+    pub fn count(&mut self) -> &mut Self {
+        self.agg = Some(AggFunc::Count);
+        self
+    }
+
+    /// Terminal `sum(expr)`.
+    pub fn sum(&mut self, expr: Expr) -> &mut Self {
+        self.agg = Some(AggFunc::Sum(expr));
+        self
+    }
+
+    /// Terminal `max(expr)`.
+    pub fn max(&mut self, expr: Expr) -> &mut Self {
+        self.agg = Some(AggFunc::Max(expr));
+        self
+    }
+
+    /// Terminal `order().by(..).limit(k)` — top-k.
+    pub fn top_k(&mut self, k: usize, sort: Vec<(Expr, Order)>, output: Vec<Expr>) -> &mut Self {
+        self.agg = Some(AggFunc::TopK { k, sort, output });
+        self
+    }
+
+    /// Terminal `groupCount().by(key)` with ordering and limit.
+    pub fn group_count(&mut self, key: Expr, order: GroupOrder, limit: usize) -> &mut Self {
+        self.agg = Some(AggFunc::GroupCount { key, order, limit });
+        self
+    }
+
+    /// Terminal unordered `collect` of up to `limit` rows.
+    pub fn collect(&mut self, output: Vec<Expr>, limit: usize) -> &mut Self {
+        self.agg = Some(AggFunc::Collect { output, limit });
+        self
+    }
+
+    /// Finish into a validated logical query.
+    pub fn build(&mut self) -> GdResult<LogicalQuery> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        let mut output = std::mem::take(&mut self.output);
+        if output.is_empty() && self.agg.is_none() {
+            output = vec![Expr::VertexId]; // sensible default: emit vertices
+        }
+        let steps = std::mem::take(&mut self.steps);
+        let agg = self.agg.take();
+        // Account for parameters referenced anywhere in the program.
+        let mut num_params = self.num_params;
+        fn scan_steps(steps: &[LogicalStep], m: &mut usize) {
+            for s in steps {
+                match s {
+                    LogicalStep::Has(_, _, e) | LogicalStep::Filter(e) => {
+                        *m = (*m).max(e.max_param_bound());
+                    }
+                    LogicalStep::Compute(sets) => {
+                        for (_, e) in sets {
+                            *m = (*m).max(e.max_param_bound());
+                        }
+                    }
+                    LogicalStep::Repeat { body, .. } => scan_steps(body, m),
+                    _ => {}
+                }
+            }
+        }
+        scan_steps(&steps, &mut num_params);
+        for e in &output {
+            num_params = num_params.max(e.max_param_bound());
+        }
+        if let Some(a) = &agg {
+            let exprs: Vec<&Expr> = match a {
+                AggFunc::Count => vec![],
+                AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) | AggFunc::Avg(e) => vec![e],
+                AggFunc::TopK { sort, output, .. } => {
+                    sort.iter().map(|(e, _)| e).chain(output.iter()).collect()
+                }
+                AggFunc::GroupCount { key, .. } => vec![key],
+                AggFunc::GroupSum { key, value, .. } => vec![key, value],
+                AggFunc::Collect { output, .. } => output.iter().collect(),
+            };
+            for e in exprs {
+                num_params = num_params.max(e.max_param_bound());
+            }
+        }
+        let q = LogicalQuery {
+            steps,
+            output,
+            agg,
+            num_slots: self.next_slot as usize,
+            num_params,
+        };
+        q.validate().map_err(GdError::InvalidProgram)?;
+        Ok(q)
+    }
+
+    /// Build, apply traversal strategies, and lower to a physical plan.
+    pub fn compile(&mut self) -> GdResult<Plan> {
+        let q = self.build()?;
+        let (q, _applied) = strategies::apply(q);
+        strategies::lower(&q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanStep, SourceSpec};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.register_vertex_label("Person");
+        s.register_vertex_label("Post");
+        s.register_edge_label("knows");
+        s.register_edge_label("likes");
+        s.register_prop("name");
+        s.register_prop("weight");
+        s
+    }
+
+    #[test]
+    fn khop_query_compiles() {
+        let s = schema();
+        let mut b = QueryBuilder::new(&s);
+        b.v_param(0);
+        let dist = b.alloc_slot();
+        b.repeat(1, 3, dist, |r| {
+            r.out("knows");
+        });
+        b.min_dist(dist);
+        let w = b.load("weight");
+        b.top_k(
+            10,
+            vec![(Expr::Slot(w), Order::Desc), (Expr::VertexId, Order::Asc)],
+            vec![Expr::VertexId, Expr::Slot(w)],
+        );
+        let plan = b.compile().unwrap();
+        let pl = &plan.stages[0].pipelines[0];
+        assert_eq!(pl.source, SourceSpec::Param { param: 0 });
+        assert!(matches!(pl.steps[0], PlanStep::Expand { .. }));
+        assert!(matches!(pl.steps[1], PlanStep::LoopEnd { back_to: 0, .. }));
+        assert!(matches!(pl.steps[2], PlanStep::MinDist { .. }));
+        assert!(matches!(pl.steps[3], PlanStep::Load(_)));
+        assert!(plan.stages[0].agg.is_some());
+        assert_eq!(plan.num_params, 1);
+    }
+
+    #[test]
+    fn unknown_label_reported_at_build() {
+        let s = schema();
+        let mut b = QueryBuilder::new(&s);
+        b.v_param(0).out("nonsense");
+        assert!(matches!(b.compile(), Err(GdError::UnknownSymbol(_))));
+    }
+
+    #[test]
+    fn unknown_prop_reported() {
+        let s = schema();
+        let mut b = QueryBuilder::new(&s);
+        b.v_param(0);
+        let _ = b.load("nope");
+        assert!(b.compile().is_err());
+    }
+
+    #[test]
+    fn default_output_is_vertex() {
+        let s = schema();
+        let mut b = QueryBuilder::new(&s);
+        b.v_param(0).out("knows");
+        let q = b.build().unwrap();
+        assert_eq!(q.output, vec![Expr::VertexId]);
+    }
+
+    #[test]
+    fn index_lookup_from_builder() {
+        let s = schema();
+        let mut b = QueryBuilder::new(&s);
+        b.v().has_label("Person").has("name", CmpOp::Eq, Expr::Param(0)).out("knows");
+        let plan = b.compile().unwrap();
+        assert!(matches!(
+            plan.stages[0].pipelines[0].source,
+            SourceSpec::IndexLookup { .. }
+        ));
+    }
+
+    #[test]
+    fn param_count_tracks_max_index() {
+        let s = schema();
+        let mut b = QueryBuilder::new(&s);
+        b.v_param(2);
+        let q = b.build().unwrap();
+        assert_eq!(q.num_params, 3);
+    }
+
+    #[test]
+    fn slots_allocated_across_repeat() {
+        let s = schema();
+        let mut b = QueryBuilder::new(&s);
+        b.v_param(0);
+        let c = b.alloc_slot();
+        b.repeat(1, 2, c, |r| {
+            let inner = r.alloc_slot();
+            assert_eq!(inner, 1);
+            r.out("knows");
+        });
+        let outer = b.alloc_slot();
+        assert_eq!(outer, 2);
+        assert_eq!(b.build().unwrap().num_slots, 3);
+    }
+}

@@ -1,0 +1,389 @@
+//! Expressions evaluated by filter, projection, and aggregation steps.
+//!
+//! Expressions are evaluated against an [`EvalCtx`]: the traverser's current
+//! vertex (with its property row), its local variable slots (`π` of §III-B),
+//! and the query parameters. All expressions are pure.
+
+use serde::{Deserialize, Serialize};
+
+use graphdance_common::{GdError, GdResult, Label, PropKey, Value, VertexId};
+use graphdance_storage::VertexRecord;
+
+/// Index of a traverser-local variable slot.
+pub type Slot = u8;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering result.
+    #[inline]
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A pure expression over the traverser state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal value.
+    Const(Value),
+    /// Query parameter by index.
+    Param(usize),
+    /// Traverser-local slot.
+    Slot(Slot),
+    /// The current vertex as a `Value::Vertex`.
+    VertexId,
+    /// Property of the current vertex (`Value::Null` if unset). Always
+    /// evaluated at the vertex's owner partition, so this is a local read.
+    Prop(PropKey),
+    /// `true` iff the current vertex has the given label.
+    LabelIs(Label),
+    /// Comparison under [`Value::cmp_total`].
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical conjunction (short-circuits).
+    And(Vec<Expr>),
+    /// Logical disjunction (short-circuits).
+    Or(Vec<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Membership in a literal list.
+    In(Box<Expr>, Vec<Value>),
+    /// `true` iff the operand is `Null`.
+    IsNull(Box<Expr>),
+    /// Integer/float addition (numeric operands).
+    Add(Box<Expr>, Box<Expr>),
+    /// Integer/float subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Integer/float multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Build a list value from sub-expressions (used for composite sort /
+    /// group keys).
+    Tuple(Vec<Expr>),
+    /// Calendar month (1..=12) of an epoch-milliseconds timestamp.
+    Month(Box<Expr>),
+    /// Calendar day-of-month (1..=31) of an epoch-milliseconds timestamp.
+    Day(Box<Expr>),
+}
+
+/// Evaluation context for one traverser at one vertex.
+pub struct EvalCtx<'a> {
+    /// The traverser's current vertex.
+    pub vertex: VertexId,
+    /// The vertex's record (label + property row); `None` for traversers
+    /// that are not located at a materialized vertex (e.g. post-aggregation
+    /// continuations).
+    pub record: Option<&'a VertexRecord>,
+    /// Traverser-local slots.
+    pub locals: &'a [Value],
+    /// Query parameters.
+    pub params: &'a [Value],
+}
+
+impl Expr {
+    /// Evaluate to a value.
+    pub fn eval(&self, ctx: &EvalCtx<'_>) -> GdResult<Value> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Param(i) => ctx
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| GdError::InvalidProgram(format!("missing param {i}"))),
+            Expr::Slot(s) => Ok(ctx.locals.get(*s as usize).cloned().unwrap_or(Value::Null)),
+            Expr::VertexId => Ok(Value::Vertex(ctx.vertex)),
+            Expr::Prop(k) => Ok(ctx
+                .record
+                .and_then(|r| r.prop(*k))
+                .cloned()
+                .unwrap_or(Value::Null)),
+            Expr::LabelIs(l) => Ok(Value::Bool(ctx.record.map(|r| r.label) == Some(*l))),
+            Expr::Cmp(a, op, b) => {
+                let (va, vb) = (a.eval(ctx)?, b.eval(ctx)?);
+                // Comparisons against NULL are false (SQL-ish), except Ne.
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Bool(match op {
+                        CmpOp::Eq => va.is_null() && vb.is_null(),
+                        CmpOp::Ne => !(va.is_null() && vb.is_null()),
+                        _ => false,
+                    }));
+                }
+                Ok(Value::Bool(op.test(va.cmp_total(&vb))))
+            }
+            Expr::And(xs) => {
+                for x in xs {
+                    if !x.eval_bool(ctx)? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(xs) => {
+                for x in xs {
+                    if x.eval_bool(ctx)? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Not(x) => Ok(Value::Bool(!x.eval_bool(ctx)?)),
+            Expr::In(x, set) => {
+                let v = x.eval(ctx)?;
+                Ok(Value::Bool(set.iter().any(|s| s == &v)))
+            }
+            Expr::IsNull(x) => Ok(Value::Bool(x.eval(ctx)?.is_null())),
+            Expr::Add(a, b) => arith(a.eval(ctx)?, b.eval(ctx)?, "+", |x, y| x + y, |x, y| x + y),
+            Expr::Sub(a, b) => arith(a.eval(ctx)?, b.eval(ctx)?, "-", |x, y| x - y, |x, y| x - y),
+            Expr::Mul(a, b) => arith(a.eval(ctx)?, b.eval(ctx)?, "*", |x, y| x * y, |x, y| x * y),
+            Expr::Tuple(xs) => Ok(Value::list(
+                xs.iter().map(|x| x.eval(ctx)).collect::<GdResult<Vec<_>>>()?,
+            )),
+            Expr::Month(x) => match x.eval(ctx)? {
+                Value::Int(ms) => Ok(Value::Int(
+                    graphdance_common::time::month_of(ms) as i64
+                )),
+                Value::Null => Ok(Value::Null),
+                other => Err(GdError::TypeError(format!("month() of non-date {other}"))),
+            },
+            Expr::Day(x) => match x.eval(ctx)? {
+                Value::Int(ms) => {
+                    Ok(Value::Int(graphdance_common::time::day_of(ms) as i64))
+                }
+                Value::Null => Ok(Value::Null),
+                other => Err(GdError::TypeError(format!("day() of non-date {other}"))),
+            },
+        }
+    }
+
+    /// Evaluate as a boolean predicate. Non-boolean results are a type
+    /// error; `Null` counts as `false`.
+    pub fn eval_bool(&self, ctx: &EvalCtx<'_>) -> GdResult<bool> {
+        match self.eval(ctx)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(GdError::TypeError(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+
+    /// Smallest parameter-array length that satisfies every `Param`
+    /// reference in this expression (0 when none).
+    pub fn max_param_bound(&self) -> usize {
+        match self {
+            Expr::Param(i) => i + 1,
+            Expr::Cmp(a, _, b) | Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.max_param_bound().max(b.max_param_bound())
+            }
+            Expr::And(xs) | Expr::Or(xs) | Expr::Tuple(xs) => {
+                xs.iter().map(Expr::max_param_bound).max().unwrap_or(0)
+            }
+            Expr::Not(x) | Expr::IsNull(x) | Expr::In(x, _) | Expr::Month(x) | Expr::Day(x) => {
+                x.max_param_bound()
+            }
+            _ => 0,
+        }
+    }
+
+    // ---- constructor helpers (used heavily by builder/ldbc code) ----
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(Box::new(a), CmpOp::Eq, Box::new(b))
+    }
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(Box::new(a), CmpOp::Ne, Box::new(b))
+    }
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(Box::new(a), CmpOp::Lt, Box::new(b))
+    }
+    /// `a <= b`.
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(Box::new(a), CmpOp::Le, Box::new(b))
+    }
+    /// `a > b`.
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(Box::new(a), CmpOp::Gt, Box::new(b))
+    }
+    /// `a >= b`.
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(Box::new(a), CmpOp::Ge, Box::new(b))
+    }
+    /// Integer literal.
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+    /// String literal.
+    pub fn strv(s: &str) -> Expr {
+        Expr::Const(Value::str(s))
+    }
+}
+
+fn arith(
+    a: Value,
+    b: Value,
+    op: &str,
+    fi: impl Fn(i64, i64) -> i64,
+    ff: impl Fn(f64, f64) -> f64,
+) -> GdResult<Value> {
+    // Null acts as the identity 0: traverser slots start as Null, and the
+    // `counter = counter + 1` sack idiom must work on the first iteration.
+    let a = if a.is_null() { Value::Int(0) } else { a };
+    let b = if b.is_null() { Value::Int(0) } else { b };
+    match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(fi(*x, *y))),
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => Ok(Value::Float(ff(x, y))),
+            _ => Err(GdError::TypeError(format!("cannot apply `{op}` to {a} and {b}"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_storage::VertexRecord;
+
+    fn record() -> VertexRecord {
+        VertexRecord {
+            label: Label(2),
+            create_ts: 0,
+            props: vec![(PropKey(0), Value::str("alice")), (PropKey(1), Value::Int(30))],
+        }
+    }
+
+    fn ctx<'a>(rec: &'a VertexRecord, locals: &'a [Value], params: &'a [Value]) -> EvalCtx<'a> {
+        EvalCtx { vertex: VertexId(7), record: Some(rec), locals, params }
+    }
+
+    #[test]
+    fn basic_atoms() {
+        let r = record();
+        let locals = [Value::Int(5)];
+        let params = [Value::str("x")];
+        let c = ctx(&r, &locals, &params);
+        assert_eq!(Expr::Const(Value::Int(1)).eval(&c).unwrap(), Value::Int(1));
+        assert_eq!(Expr::Param(0).eval(&c).unwrap(), Value::str("x"));
+        assert_eq!(Expr::Slot(0).eval(&c).unwrap(), Value::Int(5));
+        assert_eq!(Expr::Slot(3).eval(&c).unwrap(), Value::Null, "unset slot is null");
+        assert_eq!(Expr::VertexId.eval(&c).unwrap(), Value::Vertex(VertexId(7)));
+        assert_eq!(Expr::Prop(PropKey(1)).eval(&c).unwrap(), Value::Int(30));
+        assert_eq!(Expr::Prop(PropKey(9)).eval(&c).unwrap(), Value::Null);
+        assert_eq!(Expr::LabelIs(Label(2)).eval(&c).unwrap(), Value::Bool(true));
+        assert_eq!(Expr::LabelIs(Label(3)).eval(&c).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn missing_param_is_error() {
+        let r = record();
+        let c = ctx(&r, &[], &[]);
+        assert!(Expr::Param(0).eval(&c).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_null_semantics() {
+        let r = record();
+        let c = ctx(&r, &[], &[]);
+        assert_eq!(
+            Expr::lt(Expr::int(1), Expr::int(2)).eval(&c).unwrap(),
+            Value::Bool(true)
+        );
+        // NULL compares false except Ne
+        let null = Expr::Const(Value::Null);
+        assert_eq!(Expr::lt(null.clone(), Expr::int(2)).eval(&c).unwrap(), Value::Bool(false));
+        assert_eq!(Expr::eq(null.clone(), Expr::int(2)).eval(&c).unwrap(), Value::Bool(false));
+        assert_eq!(Expr::ne(null.clone(), Expr::int(2)).eval(&c).unwrap(), Value::Bool(true));
+        assert_eq!(Expr::eq(null.clone(), null).eval(&c).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn logic_short_circuits() {
+        let r = record();
+        let c = ctx(&r, &[], &[]);
+        // Second operand would error (missing param), but And short-circuits.
+        let e = Expr::And(vec![Expr::Const(Value::Bool(false)), Expr::Param(9)]);
+        assert_eq!(e.eval(&c).unwrap(), Value::Bool(false));
+        let e = Expr::Or(vec![Expr::Const(Value::Bool(true)), Expr::Param(9)]);
+        assert_eq!(e.eval(&c).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Expr::Not(Box::new(Expr::Const(Value::Bool(true)))).eval(&c).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn membership_and_nullcheck() {
+        let r = record();
+        let c = ctx(&r, &[], &[]);
+        let e = Expr::In(
+            Box::new(Expr::Prop(PropKey(0))),
+            vec![Value::str("bob"), Value::str("alice")],
+        );
+        assert_eq!(e.eval(&c).unwrap(), Value::Bool(true));
+        let e = Expr::IsNull(Box::new(Expr::Prop(PropKey(9))));
+        assert_eq!(e.eval(&c).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = record();
+        let c = ctx(&r, &[], &[]);
+        assert_eq!(
+            Expr::Add(Box::new(Expr::int(2)), Box::new(Expr::int(3))).eval(&c).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            Expr::Mul(Box::new(Expr::int(2)), Box::new(Expr::Const(Value::Float(1.5))))
+                .eval(&c)
+                .unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(Expr::Sub(Box::new(Expr::strv("a")), Box::new(Expr::int(1)))
+            .eval(&c)
+            .is_err());
+    }
+
+    #[test]
+    fn tuple_builds_composite_keys() {
+        let r = record();
+        let c = ctx(&r, &[], &[]);
+        let e = Expr::Tuple(vec![Expr::Prop(PropKey(1)), Expr::VertexId]);
+        assert_eq!(
+            e.eval(&c).unwrap(),
+            Value::list(vec![Value::Int(30), Value::Vertex(VertexId(7))])
+        );
+    }
+
+    #[test]
+    fn eval_bool_rejects_non_boolean() {
+        let r = record();
+        let c = ctx(&r, &[], &[]);
+        assert!(Expr::int(3).eval_bool(&c).is_err());
+        assert!(!Expr::Const(Value::Null).eval_bool(&c).unwrap());
+    }
+
+    #[test]
+    fn no_record_context() {
+        let c = EvalCtx { vertex: VertexId(1), record: None, locals: &[], params: &[] };
+        assert_eq!(Expr::Prop(PropKey(0)).eval(&c).unwrap(), Value::Null);
+        assert_eq!(Expr::LabelIs(Label(0)).eval(&c).unwrap(), Value::Bool(false));
+    }
+}

@@ -1,0 +1,568 @@
+//! Text parser for a Gremlin-like query DSL.
+//!
+//! Accepts the fluent surface syntax of Fig. 1a, e.g.:
+//!
+//! ```text
+//! g.V($0).repeat(out('knows')).times(1,3).dedup()
+//!  .orderBy('weight', desc).limit(10).values('weight')
+//! ```
+//!
+//! Supported steps: `V()`, `V($p)`, `hasLabel('l')`,
+//! `has('k', eq|neq|lt|lte|gt|gte(lit))`, `out|in|both('l')`,
+//! `repeat(body).times(n[,m])`, `dedup()`, `values('k', ..)`, `count()`,
+//! `sum('k')`, `orderBy('k', asc|desc)`, `limit(n)`. Literals are integers,
+//! `'strings'`, and `$n` parameters.
+
+use graphdance_common::{GdError, GdResult, Value};
+use graphdance_storage::{Direction, Schema};
+
+use crate::ast::{LogicalQuery, LogicalStep};
+use crate::expr::{CmpOp, Expr};
+use crate::plan::{AggFunc, Order};
+use crate::strategies;
+
+/// Parse a query string against a schema into a validated [`LogicalQuery`].
+pub fn parse(schema: &Schema, input: &str) -> GdResult<LogicalQuery> {
+    Parser::new(schema, input).parse_query()
+}
+
+/// Parse and compile straight to a physical plan.
+pub fn parse_to_plan(schema: &Schema, input: &str) -> GdResult<crate::plan::Plan> {
+    let q = parse(schema, input)?;
+    let (q, _) = strategies::apply(q);
+    strategies::lower(&q)
+}
+
+struct Parser<'s> {
+    schema: &'s Schema,
+    src: &'s str,
+    pos: usize,
+    next_slot: u16,
+    num_params: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(schema: &'s Schema, src: &'s str) -> Self {
+        Parser { schema, src, pos: 0, next_slot: 0, num_params: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GdError {
+        GdError::Parse { offset: self.pos, message: msg.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> GdResult<()> {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`")))
+        }
+    }
+
+    fn try_eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> GdResult<&'s str> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected identifier"));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn string_lit(&mut self) -> GdResult<String> {
+        self.eat('\'')?;
+        let rest = &self.src[self.pos..];
+        let end = rest.find('\'').ok_or_else(|| self.err("unterminated string"))?;
+        let s = rest[..end].to_string();
+        self.pos += end + 1;
+        Ok(s)
+    }
+
+    fn int_lit(&mut self) -> GdResult<i64> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let neg = rest.starts_with('-');
+        let body = if neg { &rest[1..] } else { rest };
+        let digits = body
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(body.len());
+        if digits == 0 {
+            return Err(self.err("expected integer"));
+        }
+        let n: i64 = body[..digits].parse().map_err(|e| self.err(format!("bad int: {e}")))?;
+        self.pos += digits + usize::from(neg);
+        Ok(if neg { -n } else { n })
+    }
+
+    fn literal(&mut self) -> GdResult<Expr> {
+        match self.peek() {
+            Some('\'') => Ok(Expr::Const(Value::str(self.string_lit()?))),
+            Some('$') => {
+                self.eat('$')?;
+                let p = self.int_lit()? as usize;
+                self.num_params = self.num_params.max(p + 1);
+                Ok(Expr::Param(p))
+            }
+            _ => Ok(Expr::Const(Value::Int(self.int_lit()?))),
+        }
+    }
+
+    fn parse_query(&mut self) -> GdResult<LogicalQuery> {
+        self.skip_ws();
+        if self.ident()? != "g" {
+            return Err(self.err("query must start with `g`"));
+        }
+        self.eat('.')?;
+        let mut steps = Vec::new();
+        let mut output: Vec<Expr> = Vec::new();
+        let mut agg: Option<AggFunc> = None;
+        let mut order: Option<(Expr, Order)> = None;
+        let mut limit: Option<usize> = None;
+        loop {
+            let name = self.ident()?;
+            match name {
+                "V" => {
+                    self.eat('(')?;
+                    if self.try_eat(')') {
+                        steps.push(LogicalStep::V);
+                    } else {
+                        let lit = self.literal()?;
+                        self.eat(')')?;
+                        match lit {
+                            Expr::Param(p) => steps.push(LogicalStep::VParam(p)),
+                            other => {
+                                return Err(self.err(format!(
+                                    "V(..) takes a $param, got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                "hasLabel" => {
+                    self.eat('(')?;
+                    let l = self.string_lit()?;
+                    self.eat(')')?;
+                    steps.push(LogicalStep::HasLabel(self.schema.vertex_label(&l)?));
+                }
+                "has" => {
+                    self.eat('(')?;
+                    let key = self.string_lit()?;
+                    self.eat(',')?;
+                    let op_name = self.ident()?;
+                    let op = match op_name {
+                        "eq" => CmpOp::Eq,
+                        "neq" => CmpOp::Ne,
+                        "lt" => CmpOp::Lt,
+                        "lte" => CmpOp::Le,
+                        "gt" => CmpOp::Gt,
+                        "gte" => CmpOp::Ge,
+                        other => return Err(self.err(format!("unknown predicate `{other}`"))),
+                    };
+                    self.eat('(')?;
+                    let lit = self.literal()?;
+                    self.eat(')')?;
+                    self.eat(')')?;
+                    steps.push(LogicalStep::Has(self.schema.prop(&key)?, op, lit));
+                }
+                "out" | "in" | "both" => {
+                    let dir = match name {
+                        "out" => Direction::Out,
+                        "in" => Direction::In,
+                        _ => Direction::Both,
+                    };
+                    self.eat('(')?;
+                    let l = self.string_lit()?;
+                    self.eat(')')?;
+                    steps.push(LogicalStep::Expand {
+                        dir,
+                        label: self.schema.edge_label(&l)?,
+                        edge_loads: vec![],
+                    });
+                }
+                "repeat" => {
+                    self.eat('(')?;
+                    let body = self.parse_body()?;
+                    self.eat(')')?;
+                    self.eat('.')?;
+                    if self.ident()? != "times" {
+                        return Err(self.err("repeat(..) must be followed by .times(..)"));
+                    }
+                    self.eat('(')?;
+                    let min = self.int_lit()?;
+                    let max = if self.try_eat(',') { self.int_lit()? } else { min };
+                    self.eat(')')?;
+                    let counter = self.alloc_slot()?;
+                    steps.push(LogicalStep::Repeat { body, min, max, counter });
+                }
+                "dedup" => {
+                    self.eat('(')?;
+                    self.eat(')')?;
+                    steps.push(LogicalStep::Dedup { slots: vec![] });
+                }
+                "values" => {
+                    self.eat('(')?;
+                    loop {
+                        let k = self.string_lit()?;
+                        output.push(Expr::Prop(self.schema.prop(&k)?));
+                        if !self.try_eat(',') {
+                            break;
+                        }
+                    }
+                    self.eat(')')?;
+                }
+                "count" => {
+                    self.eat('(')?;
+                    self.eat(')')?;
+                    agg = Some(AggFunc::Count);
+                }
+                "sum" => {
+                    self.eat('(')?;
+                    let k = self.string_lit()?;
+                    self.eat(')')?;
+                    agg = Some(AggFunc::Sum(Expr::Prop(self.schema.prop(&k)?)));
+                }
+                "max" => {
+                    self.eat('(')?;
+                    let k = self.string_lit()?;
+                    self.eat(')')?;
+                    agg = Some(AggFunc::Max(Expr::Prop(self.schema.prop(&k)?)));
+                }
+                "min" => {
+                    self.eat('(')?;
+                    let k = self.string_lit()?;
+                    self.eat(')')?;
+                    agg = Some(AggFunc::Min(Expr::Prop(self.schema.prop(&k)?)));
+                }
+                "groupCount" => {
+                    // groupCount('key') — count per property value, most
+                    // frequent first; combine with limit(n).
+                    self.eat('(')?;
+                    let k = self.string_lit()?;
+                    self.eat(')')?;
+                    agg = Some(AggFunc::GroupCount {
+                        key: Expr::Prop(self.schema.prop(&k)?),
+                        order: crate::plan::GroupOrder::CountDesc,
+                        limit: 10_000,
+                    });
+                }
+                "where" => {
+                    // where('key', op(lit)) — alias of has() for readability.
+                    self.eat('(')?;
+                    let key = self.string_lit()?;
+                    self.eat(',')?;
+                    let op_name = self.ident()?;
+                    let op = match op_name {
+                        "eq" => CmpOp::Eq,
+                        "neq" => CmpOp::Ne,
+                        "lt" => CmpOp::Lt,
+                        "lte" => CmpOp::Le,
+                        "gt" => CmpOp::Gt,
+                        "gte" => CmpOp::Ge,
+                        other => return Err(self.err(format!("unknown predicate `{other}`"))),
+                    };
+                    self.eat('(')?;
+                    let lit = self.literal()?;
+                    self.eat(')')?;
+                    self.eat(')')?;
+                    steps.push(LogicalStep::Has(self.schema.prop(&key)?, op, lit));
+                }
+                "orderBy" => {
+                    self.eat('(')?;
+                    let k = self.string_lit()?;
+                    self.eat(',')?;
+                    let dir = match self.ident()? {
+                        "asc" => Order::Asc,
+                        "desc" => Order::Desc,
+                        other => return Err(self.err(format!("expected asc/desc, got {other}"))),
+                    };
+                    self.eat(')')?;
+                    order = Some((Expr::Prop(self.schema.prop(&k)?), dir));
+                }
+                "limit" => {
+                    self.eat('(')?;
+                    let n = self.int_lit()?;
+                    self.eat(')')?;
+                    if n <= 0 {
+                        return Err(self.err("limit must be positive"));
+                    }
+                    limit = Some(n as usize);
+                }
+                other => return Err(self.err(format!("unknown step `{other}`"))),
+            }
+            if !self.try_eat('.') {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.src.len() {
+            return Err(self.err("trailing input"));
+        }
+
+        // A limit after groupCount tightens its row cap.
+        if let (Some(AggFunc::GroupCount { limit: l, .. }), Some(n)) = (&mut agg, limit) {
+            *l = n;
+        }
+        // Assemble terminal: orderBy/limit fold into a TopK; bare limit is a
+        // Collect; bare output emits rows.
+        if agg.is_none() {
+            let out_exprs =
+                if output.is_empty() { vec![Expr::VertexId] } else { output.clone() };
+            match (order, limit) {
+                (Some((key, dir)), lim) => {
+                    let mut sort = vec![(key, dir)];
+                    sort.push((Expr::VertexId, Order::Asc)); // deterministic ties
+                    agg = Some(AggFunc::TopK {
+                        k: lim.unwrap_or(10_000),
+                        sort,
+                        output: out_exprs.clone(),
+                    });
+                }
+                (None, Some(lim)) => {
+                    agg = Some(AggFunc::Collect { output: out_exprs.clone(), limit: lim });
+                }
+                (None, None) => {}
+            }
+            output = out_exprs;
+        }
+
+        let q = LogicalQuery {
+            steps,
+            output,
+            agg,
+            num_slots: self.next_slot as usize,
+            num_params: self.num_params,
+        };
+        q.validate().map_err(GdError::InvalidProgram)?;
+        Ok(q)
+    }
+
+    fn alloc_slot(&mut self) -> GdResult<u8> {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        u8::try_from(s).map_err(|_| self.err("too many slots"))
+    }
+
+    /// Parse a repeat body: a chain of movement/filter steps.
+    fn parse_body(&mut self) -> GdResult<Vec<LogicalStep>> {
+        let mut body = Vec::new();
+        loop {
+            let name = self.ident()?;
+            match name {
+                "out" | "in" | "both" => {
+                    let dir = match name {
+                        "out" => Direction::Out,
+                        "in" => Direction::In,
+                        _ => Direction::Both,
+                    };
+                    self.eat('(')?;
+                    let l = self.string_lit()?;
+                    self.eat(')')?;
+                    body.push(LogicalStep::Expand {
+                        dir,
+                        label: self.schema.edge_label(&l)?,
+                        edge_loads: vec![],
+                    });
+                }
+                "dedup" => {
+                    self.eat('(')?;
+                    self.eat(')')?;
+                    body.push(LogicalStep::Dedup { slots: vec![] });
+                }
+                "hasLabel" => {
+                    self.eat('(')?;
+                    let l = self.string_lit()?;
+                    self.eat(')')?;
+                    body.push(LogicalStep::HasLabel(self.schema.vertex_label(&l)?));
+                }
+                other => return Err(self.err(format!("step `{other}` not allowed in repeat"))),
+            }
+            if !self.try_eat('.') {
+                break;
+            }
+        }
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SourceSpec;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.register_vertex_label("Person");
+        s.register_edge_label("knows");
+        s.register_prop("name");
+        s.register_prop("weight");
+        s
+    }
+
+    #[test]
+    fn parses_figure_1_query() {
+        let s = schema();
+        let q = parse(
+            &s,
+            "g.V($0).repeat(out('knows')).times(1,3).dedup()\
+             .orderBy('weight', desc).limit(10).values('weight')",
+        )
+        .unwrap();
+        assert_eq!(q.num_params, 1);
+        assert!(matches!(q.steps[0], LogicalStep::VParam(0)));
+        assert!(matches!(q.steps[1], LogicalStep::Repeat { min: 1, max: 3, .. }));
+        assert!(matches!(q.steps[2], LogicalStep::Dedup { .. }));
+        match &q.agg {
+            Some(AggFunc::TopK { k: 10, sort, .. }) => assert_eq!(sort.len(), 2),
+            other => panic!("expected TopK, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_lookup_via_text() {
+        let s = schema();
+        let plan =
+            parse_to_plan(&s, "g.V().hasLabel('Person').has('name', eq($0)).out('knows')")
+                .unwrap();
+        assert!(matches!(
+            plan.stages[0].pipelines[0].source,
+            SourceSpec::IndexLookup { .. }
+        ));
+    }
+
+    #[test]
+    fn count_query() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).out('knows').count()").unwrap();
+        assert_eq!(q.agg, Some(AggFunc::Count));
+    }
+
+    #[test]
+    fn times_single_bound() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).repeat(out('knows')).times(2)").unwrap();
+        assert!(matches!(q.steps[1], LogicalStep::Repeat { min: 2, max: 2, .. }));
+    }
+
+    #[test]
+    fn bare_limit_becomes_collect() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).out('knows').limit(5)").unwrap();
+        assert!(matches!(q.agg, Some(AggFunc::Collect { limit: 5, .. })));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let s = schema();
+        assert!(matches!(
+            parse(&s, "h.V()"),
+            Err(GdError::Parse { .. })
+        ));
+        assert!(matches!(parse(&s, "g.V().frobnicate()"), Err(GdError::Parse { .. })));
+        assert!(matches!(parse(&s, "g.V($0).out('nope')"), Err(GdError::UnknownSymbol(_))));
+        assert!(matches!(
+            parse(&s, "g.V($0).has('name', similar('x'))"),
+            Err(GdError::Parse { .. })
+        ));
+        assert!(matches!(parse(&s, "g.V($0).limit(0)"), Err(GdError::Parse { .. })));
+        assert!(matches!(parse(&s, "g.V($0) extra"), Err(GdError::Parse { .. })));
+        assert!(matches!(parse(&s, "g.V($0).repeat(out('knows'))"), Err(GdError::Parse { .. })));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let s = schema();
+        let q = parse(&s, "  g . V( $1 ) . out( 'knows' ) . count( ) ").unwrap();
+        assert_eq!(q.num_params, 2);
+    }
+
+    #[test]
+    fn string_predicates() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).has('name', neq('bob'))").unwrap();
+        assert!(matches!(&q.steps[1], LogicalStep::Has(_, CmpOp::Ne, Expr::Const(_))));
+    }
+
+    #[test]
+    fn negative_ints() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).has('weight', gt(-5))").unwrap();
+        assert!(
+            matches!(&q.steps[1], LogicalStep::Has(_, CmpOp::Gt, Expr::Const(Value::Int(-5))))
+        );
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use crate::plan::GroupOrder;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.register_vertex_label("Person");
+        s.register_edge_label("knows");
+        s.register_prop("name");
+        s.register_prop("weight");
+        s
+    }
+
+    #[test]
+    fn group_count_with_limit() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).out('knows').groupCount('name').limit(5)").unwrap();
+        assert!(matches!(
+            q.agg,
+            Some(AggFunc::GroupCount { limit: 5, order: GroupOrder::CountDesc, .. })
+        ));
+    }
+
+    #[test]
+    fn min_max_aggregations() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).out('knows').max('weight')").unwrap();
+        assert!(matches!(q.agg, Some(AggFunc::Max(_))));
+        let q = parse(&s, "g.V($0).out('knows').min('weight')").unwrap();
+        assert!(matches!(q.agg, Some(AggFunc::Min(_))));
+    }
+
+    #[test]
+    fn where_is_has_alias() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).where('weight', gte(10))").unwrap();
+        assert!(matches!(&q.steps[1], LogicalStep::Has(_, CmpOp::Ge, _)));
+    }
+
+    #[test]
+    fn group_count_without_limit_defaults_large() {
+        let s = schema();
+        let q = parse(&s, "g.V($0).out('knows').groupCount('name')").unwrap();
+        assert!(matches!(q.agg, Some(AggFunc::GroupCount { limit: 10_000, .. })));
+    }
+}

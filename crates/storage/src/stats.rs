@@ -1,0 +1,157 @@
+//! Graph statistics for the cost-based query planner (§III-A) and the
+//! Table I / Table II reports.
+
+use graphdance_common::{FxHashMap, Label};
+
+use crate::graph::Graph;
+use crate::tel::TS_LIVE;
+
+/// Per-label and global statistics collected from a [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Total vertices.
+    pub num_vertices: u64,
+    /// Total directed edges.
+    pub num_edges: u64,
+    /// Vertices per vertex label.
+    pub vertices_by_label: FxHashMap<Label, u64>,
+    /// Out-edges per edge label.
+    pub edges_by_label: FxHashMap<Label, u64>,
+    /// Vertices with at least one out-edge of each label (fan-out
+    /// denominators for the planner).
+    pub src_by_label: FxHashMap<Label, u64>,
+    /// Vertices with at least one in-edge of each label.
+    pub dst_by_label: FxHashMap<Label, u64>,
+    /// Approximate bytes of property + topology data.
+    pub approx_bytes: u64,
+}
+
+impl GraphStats {
+    /// Scan the graph once and collect statistics.
+    pub fn collect(g: &Graph) -> GraphStats {
+        let mut s = GraphStats {
+            num_vertices: 0,
+            num_edges: 0,
+            vertices_by_label: FxHashMap::default(),
+            edges_by_label: FxHashMap::default(),
+            src_by_label: FxHashMap::default(),
+            dst_by_label: FxHashMap::default(),
+            approx_bytes: g.approx_bytes(),
+        };
+        // Read at the end of time so every live version is counted.
+        let ts = TS_LIVE - 1;
+        for p in g.partitioner().parts() {
+            let part = g.read(p);
+            for v in part.scan_all(ts) {
+                s.num_vertices += 1;
+                let label = part.vertex_label(v).expect("scanned vertex exists");
+                *s.vertices_by_label.entry(label).or_insert(0) += 1;
+                let mut out_labels: Vec<Label> = Vec::new();
+                for e in part
+                    .edges(v, crate::partition_store::Direction::Out, Label::ANY, ts)
+                    .expect("scanned vertex exists")
+                {
+                    s.num_edges += 1;
+                    *s.edges_by_label.entry(e.entry.label).or_insert(0) += 1;
+                    if !out_labels.contains(&e.entry.label) {
+                        out_labels.push(e.entry.label);
+                    }
+                }
+                for l in out_labels {
+                    *s.src_by_label.entry(l).or_insert(0) += 1;
+                }
+                let mut in_labels: Vec<Label> = Vec::new();
+                for e in part
+                    .edges(v, crate::partition_store::Direction::In, Label::ANY, ts)
+                    .expect("scanned vertex exists")
+                {
+                    if !in_labels.contains(&e.entry.label) {
+                        in_labels.push(e.entry.label);
+                    }
+                }
+                for l in in_labels {
+                    *s.dst_by_label.entry(l).or_insert(0) += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Average out-degree of vertices with `vlabel` counting only edges with
+    /// `elabel`. Used to estimate `Expand` fan-out in the join planner.
+    pub fn avg_degree(&self, vlabel: Label, elabel: Label) -> f64 {
+        let v = *self.vertices_by_label.get(&vlabel).unwrap_or(&0);
+        let e = *self.edges_by_label.get(&elabel).unwrap_or(&0);
+        if v == 0 {
+            0.0
+        } else {
+            e as f64 / v as f64
+        }
+    }
+
+    /// Global average out-degree.
+    pub fn global_avg_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_vertices as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use graphdance_common::{Partitioner, Value, VertexId};
+
+    #[test]
+    fn collects_label_breakdown() {
+        let mut b = GraphBuilder::new(Partitioner::new(1, 2));
+        let person = b.schema_mut().register_vertex_label("Person");
+        let post = b.schema_mut().register_vertex_label("Post");
+        let knows = b.schema_mut().register_edge_label("knows");
+        let created = b.schema_mut().register_edge_label("created");
+        for i in 0..3u64 {
+            b.add_vertex(VertexId(i), person, vec![]).unwrap();
+        }
+        for i in 3..5u64 {
+            b.add_vertex(VertexId(i), post, vec![]).unwrap();
+        }
+        b.add_edge(VertexId(0), knows, VertexId(1), vec![]).unwrap();
+        b.add_edge(VertexId(1), knows, VertexId(2), vec![]).unwrap();
+        b.add_edge(VertexId(0), created, VertexId(3), vec![]).unwrap();
+        let g = b.finish();
+        let s = g.stats();
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.vertices_by_label[&person], 3);
+        assert_eq!(s.vertices_by_label[&post], 2);
+        assert_eq!(s.edges_by_label[&knows], 2);
+        assert_eq!(s.edges_by_label[&created], 1);
+        assert!((s.avg_degree(person, knows) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.src_by_label[&knows], 2, "vertices 0 and 1 have knows out-edges");
+        assert_eq!(s.dst_by_label[&knows], 2, "vertices 1 and 2 receive knows edges");
+        assert!((s.global_avg_degree() - 0.6).abs() < 1e-9);
+        assert!(s.approx_bytes > 0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(Partitioner::single()).finish();
+        let s = g.stats();
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.global_avg_degree(), 0.0);
+        assert_eq!(s.avg_degree(Label(0), Label(0)), 0.0);
+    }
+
+    #[test]
+    fn value_props_do_not_break_collection() {
+        let mut b = GraphBuilder::new(Partitioner::single());
+        let l = b.schema_mut().register_vertex_label("V");
+        let k = b.schema_mut().register_prop("w");
+        b.add_vertex(VertexId(0), l, vec![(k, Value::Int(7))]).unwrap();
+        let s = b.finish().stats();
+        assert_eq!(s.num_vertices, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # graphdance-txn
+//!
+//! Transactional processing support for GraphDance (paper §IV-C).
+//!
+//! * Multi-version storage comes from the TEL adjacency logs in
+//!   `graphdance-storage`; this crate adds **MV2PL** concurrency control on
+//!   top: update transactions take two-phase locks, while read-only queries
+//!   never lock — they read a consistent snapshot at the **last commit
+//!   timestamp (LCT)**.
+//! * A centralized [`TxnManager`] assigns commit timestamps and maintains
+//!   the LCT, meaning every transaction with a timestamp ≤ LCT is committed.
+//! * The LCT is *broadcast* to all nodes ([`LctCache`]); a read-only query
+//!   fetches its read timestamp from any node's cache without consulting
+//!   the manager — exactly the load-shedding trick of §IV-C.
+//! * On restart after a crash, [`recover`] scans the graph and removes all
+//!   versions with timestamps greater than the LCT.
+
+pub mod lock_table;
+pub mod manager;
+pub mod update_txn;
+
+pub use lock_table::{LockTable, TxnId};
+pub use manager::{LctCache, TxnManager};
+pub use update_txn::{recover, TxnSystem, UpdateTxn};

@@ -1,0 +1,215 @@
+//! Two-phase lock table for update transactions (the "2PL" half of MV2PL).
+//!
+//! Read-only queries never touch this table — they read MVCC snapshots at
+//! the LCT. Only update transactions lock, and since LDBC-style update
+//! transactions are short (a handful of vertices), we use a sharded hash
+//! lock table with **no-wait** conflict handling: a transaction that finds a
+//! conflicting lock aborts immediately. No-wait is trivially deadlock-free
+//! and keeps tail latency bounded, at the price of spurious aborts under
+//! contention (retried by the driver).
+
+use parking_lot::Mutex;
+
+use graphdance_common::{FxHashMap, GdError, GdResult, VertexId};
+
+/// Identifier of an update transaction (process-local).
+pub type TxnId = u64;
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock; compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct LockEntry {
+    mode: LockMode,
+    /// Holder transaction ids. Multiple only under `Shared`.
+    holders: Vec<TxnId>,
+}
+
+/// Sharded no-wait lock table keyed by vertex id.
+#[derive(Debug)]
+pub struct LockTable {
+    shards: Vec<Mutex<FxHashMap<VertexId, LockEntry>>>,
+    mask: usize,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+impl LockTable {
+    /// Create a table with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        LockTable {
+            shards: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, v: VertexId) -> &Mutex<FxHashMap<VertexId, LockEntry>> {
+        &self.shards[(graphdance_common::fxhash::hash_u64(v.0) as usize) & self.mask]
+    }
+
+    /// Acquire a lock, aborting on conflict (no-wait). Re-acquisition by the
+    /// same transaction is a no-op; a shared holder may upgrade to exclusive
+    /// if it is the only holder.
+    pub fn lock(&self, txn: TxnId, v: VertexId, mode: LockMode) -> GdResult<()> {
+        let mut shard = self.shard(v).lock();
+        match shard.get_mut(&v) {
+            None => {
+                shard.insert(v, LockEntry { mode, holders: vec![txn] });
+                Ok(())
+            }
+            Some(e) => {
+                let held_by_self = e.holders.contains(&txn);
+                match (e.mode, mode) {
+                    (LockMode::Shared, LockMode::Shared) => {
+                        if !held_by_self {
+                            e.holders.push(txn);
+                        }
+                        Ok(())
+                    }
+                    (LockMode::Shared, LockMode::Exclusive) => {
+                        if held_by_self && e.holders.len() == 1 {
+                            e.mode = LockMode::Exclusive; // upgrade
+                            Ok(())
+                        } else {
+                            Err(GdError::TxnAborted(format!(
+                                "no-wait conflict on {v:?} (upgrade blocked)"
+                            )))
+                        }
+                    }
+                    (LockMode::Exclusive, _) => {
+                        if held_by_self {
+                            Ok(())
+                        } else {
+                            Err(GdError::TxnAborted(format!("no-wait conflict on {v:?}")))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release one lock held by `txn`.
+    pub fn unlock(&self, txn: TxnId, v: VertexId) {
+        let mut shard = self.shard(v).lock();
+        if let Some(e) = shard.get_mut(&v) {
+            e.holders.retain(|h| *h != txn);
+            if e.holders.is_empty() {
+                shard.remove(&v);
+            }
+        }
+    }
+
+    /// Release a batch of locks (commit / abort time).
+    pub fn unlock_all(&self, txn: TxnId, keys: &[VertexId]) {
+        for &v in keys {
+            self.unlock(txn, v);
+        }
+    }
+
+    /// Number of currently locked keys (diagnostics).
+    pub fn locked_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let t = LockTable::new(4);
+        t.lock(1, v(10), LockMode::Shared).unwrap();
+        t.lock(2, v(10), LockMode::Shared).unwrap();
+        assert_eq!(t.locked_count(), 1);
+        t.unlock(1, v(10));
+        t.unlock(2, v(10));
+        assert_eq!(t.locked_count(), 0);
+    }
+
+    #[test]
+    fn exclusive_conflicts_abort() {
+        let t = LockTable::new(4);
+        t.lock(1, v(10), LockMode::Exclusive).unwrap();
+        assert!(t.lock(2, v(10), LockMode::Exclusive).is_err());
+        assert!(t.lock(2, v(10), LockMode::Shared).is_err());
+        // same txn re-acquires freely
+        t.lock(1, v(10), LockMode::Exclusive).unwrap();
+        t.lock(1, v(10), LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn shared_blocks_foreign_exclusive() {
+        let t = LockTable::new(4);
+        t.lock(1, v(5), LockMode::Shared).unwrap();
+        assert!(t.lock(2, v(5), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn sole_shared_holder_upgrades() {
+        let t = LockTable::new(4);
+        t.lock(1, v(5), LockMode::Shared).unwrap();
+        t.lock(1, v(5), LockMode::Exclusive).unwrap();
+        // now fully exclusive
+        assert!(t.lock(2, v(5), LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn upgrade_with_other_readers_aborts() {
+        let t = LockTable::new(4);
+        t.lock(1, v(5), LockMode::Shared).unwrap();
+        t.lock(2, v(5), LockMode::Shared).unwrap();
+        assert!(t.lock(1, v(5), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn unlock_all_releases_everything() {
+        let t = LockTable::new(4);
+        let keys: Vec<VertexId> = (0..20).map(v).collect();
+        for &k in &keys {
+            t.lock(7, k, LockMode::Exclusive).unwrap();
+        }
+        assert_eq!(t.locked_count(), 20);
+        t.unlock_all(7, &keys);
+        assert_eq!(t.locked_count(), 0);
+        // everything lockable again
+        t.lock(8, v(0), LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_locking() {
+        use std::sync::Arc;
+        let t = Arc::new(LockTable::new(16));
+        let mut handles = Vec::new();
+        for tid in 0..8u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let keys: Vec<VertexId> = (0..100).map(|i| v(tid * 1000 + i)).collect();
+                for &k in &keys {
+                    t.lock(tid, k, LockMode::Exclusive).unwrap();
+                }
+                t.unlock_all(tid, &keys);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.locked_count(), 0);
+    }
+}

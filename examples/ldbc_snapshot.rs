@@ -1,0 +1,52 @@
+//! Run every LDBC SNB Interactive Complex and Short query once against a
+//! generated SNB dataset and print latencies — a miniature of the paper's
+//! §V-A evaluation.
+//!
+//! Run with: `cargo run --release --example ldbc_snapshot`
+
+use graphdance::common::rng::seeded;
+use graphdance::common::Partitioner;
+use graphdance::datagen::{SnbDataset, SnbParams};
+use graphdance::engine::{EngineConfig, GraphDance};
+use graphdance::ldbc::ic::build_ic_plans;
+use graphdance::ldbc::params::{ic_params, is_params};
+use graphdance::ldbc::short::build_is_plans;
+use graphdance::ldbc::{IC_NAMES, IS_NAMES};
+
+fn main() {
+    let data = SnbDataset::generate(SnbParams::tiny());
+    let graph = data.build(Partitioner::new(2, 2)).expect("builds");
+    let schema = std::sync::Arc::clone(graph.schema());
+    let engine = GraphDance::start(graph, EngineConfig::new(2, 2));
+
+    let mut rng = seeded(7);
+    println!("== Interactive Complex reads ==");
+    for (i, plan) in build_ic_plans(&schema).expect("plans").iter().enumerate() {
+        let params = ic_params(i, &data, &mut rng);
+        match engine.query_timed(plan, params) {
+            Ok(r) => println!(
+                "{:5}: {:4} rows in {:9.3} ms",
+                IC_NAMES[i],
+                r.rows.len(),
+                r.latency.as_secs_f64() * 1e3
+            ),
+            Err(e) => println!("{:5}: ERROR {e}", IC_NAMES[i]),
+        }
+    }
+
+    println!("\n== Interactive Short reads ==");
+    for (i, plan) in build_is_plans(&schema).expect("plans").iter().enumerate() {
+        let params = is_params(i, &data, &mut rng);
+        match engine.query_timed(plan, params) {
+            Ok(r) => println!(
+                "{:5}: {:4} rows in {:9.3} ms",
+                IS_NAMES[i],
+                r.rows.len(),
+                r.latency.as_secs_f64() * 1e3
+            ),
+            Err(e) => println!("{:5}: ERROR {e}", IS_NAMES[i]),
+        }
+    }
+
+    engine.shutdown();
+}

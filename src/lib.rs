@@ -1,0 +1,47 @@
+//! # GraphDance
+//!
+//! Facade crate re-exporting the full GraphDance stack — a reproduction of
+//! the ICDE 2025 paper *"Scaling Asynchronous Graph Query Processing via
+//! Partitioned Stateful Traversal Machines"*. See README.md for the tour
+//! and DESIGN.md for the architecture.
+//!
+//! ```
+//! use graphdance::common::{Partitioner, Value, VertexId};
+//! use graphdance::engine::{EngineConfig, GraphDance};
+//! use graphdance::query::parser;
+//! use graphdance::storage::GraphBuilder;
+//!
+//! // Build a 2-node x 2-worker partitioned graph.
+//! let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+//! let person = b.schema_mut().register_vertex_label("Person");
+//! let knows = b.schema_mut().register_edge_label("knows");
+//! for i in 0..4 {
+//!     b.add_vertex(VertexId(i), person, vec![]).unwrap();
+//! }
+//! for i in 0..4 {
+//!     b.add_edge(VertexId(i), knows, VertexId((i + 1) % 4), vec![]).unwrap();
+//! }
+//! let graph = b.finish();
+//!
+//! // Start the simulated cluster and run a Gremlin-style text query.
+//! let engine = GraphDance::start(graph.clone(), EngineConfig::new(2, 2));
+//! let plan = parser::parse_to_plan(
+//!     graph.schema(),
+//!     "g.V($0).repeat(out('knows')).times(1,2).dedup().count()",
+//! )
+//! .unwrap();
+//! let rows = engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+//! assert_eq!(rows, vec![vec![Value::Int(2)]]);
+//! engine.shutdown();
+//! ```
+
+pub use graphdance_analytics as analytics;
+pub use graphdance_baselines as baselines;
+pub use graphdance_common as common;
+pub use graphdance_datagen as datagen;
+pub use graphdance_engine as engine;
+pub use graphdance_ldbc as ldbc;
+pub use graphdance_pstm as pstm;
+pub use graphdance_query as query;
+pub use graphdance_storage as storage;
+pub use graphdance_txn as txn;

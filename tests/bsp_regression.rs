@@ -1,0 +1,55 @@
+//! Regression tests for the BSP engine's distributed-barrier races:
+//!
+//! 1. straggler probe replies from earlier rounds must not corrupt later
+//!    barrier sums (fixed with round tags), and
+//! 2. a fast peer's superstep output arriving before this worker's own
+//!    `RunStep` signal must stay parked rather than execute one superstep
+//!    early (fixed with depth-gated `run_step`).
+//!
+//! Both bugs showed up as the *first* query on a fresh engine hanging until
+//! its deadline with a permanently mismatched barrier; the test runs many
+//! cold-start queries with a short deadline to catch any recurrence.
+
+use std::time::Duration;
+
+use graphdance::baselines::{BspEngine, QueryEngine};
+use graphdance::common::{Partitioner, Value, VertexId};
+use graphdance::datagen::{KhopDataset, KhopParams};
+use graphdance::engine::EngineConfig;
+use graphdance::query::expr::Expr;
+use graphdance::query::plan::Order;
+use graphdance::query::QueryBuilder;
+
+#[test]
+fn bsp_cold_start_queries_never_wedge() {
+    let data = KhopDataset::generate(KhopParams::fs_sim(1200));
+    for trial in 0..8u64 {
+        let g = data.build(Partitioner::new(2, 2)).expect("builds");
+        let w = g.schema().prop("weight").unwrap();
+        let mut b = QueryBuilder::new(g.schema());
+        b.v_param(0);
+        let c = b.alloc_slot();
+        let d = b.alloc_slot();
+        b.repeat(1, 2, c, |r| {
+            r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+            r.out("link");
+            r.min_dist(d);
+        });
+        b.dedup();
+        b.top_k(10, vec![(Expr::Prop(w), Order::Desc)], vec![Expr::VertexId]);
+        let plan = b.compile().unwrap();
+        let mut cfg = EngineConfig::new(2, 2);
+        cfg.query_timeout = Duration::from_secs(20);
+        let engine = BspEngine::start(g, cfg);
+        // The very first query on a fresh engine was the racy one.
+        let r = engine
+            .query_timed(&plan, vec![Value::Vertex(VertexId(trial * 97 % 1200))])
+            .unwrap_or_else(|e| panic!("trial {trial}: cold-start BSP query wedged: {e}"));
+        assert!(
+            r.latency < Duration::from_secs(15),
+            "trial {trial}: suspiciously slow ({:?})",
+            r.latency
+        );
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,263 @@
+//! IC queries verified against hand-computed answers on a tiny,
+//! deterministic, manually-constructed SNB-style graph (no random
+//! generation — every expected value below is derivable by eye).
+//!
+//! Layout:
+//! * Persons P0..P4; knows: P0–P1 (2010), P0–P2 (2011), P1–P3 (2012).
+//!   (P4 is isolated.)
+//! * Posts: M0 by P1 (day 10, tags T0,T1), M1 by P2 (day 20, tag T1),
+//!   M2 by P3 (day 30, tag T0).
+//! * Comment C0 by P2 replying to M0 (day 15).
+//! * Likes: P0 likes M0 (day 12), P3 likes M0 (day 14).
+//! * P1 works at Company0 (Germany) since 2005; P2 at Company1 (France)
+//!   since 2010.
+//! * First names: P1 = "Ada", P2 = "Ada", P3 = "Bob".
+
+use graphdance::common::time::date_millis;
+use graphdance::common::{Partitioner, Value, VertexId};
+use graphdance::datagen::SnbDataset;
+use graphdance::engine::{EngineConfig, GraphDance};
+use graphdance::ldbc::ic;
+use graphdance::storage::{Graph, GraphBuilder, Schema};
+
+const P: u64 = 1 << 40; // Person id base (matches datagen Kind::Person)
+
+fn v(base: u64, i: u64) -> VertexId {
+    VertexId(base | i)
+}
+fn person(i: u64) -> VertexId {
+    v(1 << 40, i)
+}
+fn post(i: u64) -> VertexId {
+    v(10 << 40, i)
+}
+fn comment(i: u64) -> VertexId {
+    v(11 << 40, i)
+}
+
+fn day(d: u32) -> i64 {
+    date_millis(2012, 1, 1) + d as i64 * 86_400_000
+}
+
+fn build() -> Graph {
+    let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+    SnbDataset::register_schema(b.schema_mut());
+    let s: Schema = b.schema_mut().clone();
+    let vl = |n: &str| s.vertex_label(n).unwrap();
+    let el = |n: &str| s.edge_label(n).unwrap();
+    let pk = |n: &str| s.prop(n).unwrap();
+
+    let names = ["Eve", "Ada", "Ada", "Bob", "Zoe"];
+    for i in 0..5u64 {
+        b.add_vertex(
+            person(i),
+            vl("Person"),
+            vec![
+                (pk("firstName"), Value::str(names[i as usize])),
+                (pk("lastName"), Value::str(format!("L{i}"))),
+                (pk("birthday"), Value::Int(date_millis(1990, 3, 14))),
+            ],
+        )
+        .unwrap();
+    }
+    for (a, bb, y) in [(0u64, 1u64, 2010), (0, 2, 2011), (1, 3, 2012)] {
+        b.add_edge(
+            person(a),
+            el("knows"),
+            person(bb),
+            vec![(pk("creationDate"), Value::Int(date_millis(y, 1, 1)))],
+        )
+        .unwrap();
+    }
+    // Tags T0, T1.
+    for i in 0..2u64 {
+        b.add_vertex(v(7 << 40, i), vl("Tag"), vec![(pk("name"), Value::str(format!("T{i}")))])
+            .unwrap();
+    }
+    // Posts.
+    let posts: [(u64, u64, u32, &[u64]); 3] =
+        [(0, 1, 10, &[0, 1]), (1, 2, 20, &[1]), (2, 3, 30, &[0])];
+    for (m, creator, d, tags) in posts {
+        b.add_vertex(
+            post(m),
+            vl("Post"),
+            vec![(pk("creationDate"), Value::Int(day(d))), (pk("length"), Value::Int(42))],
+        )
+        .unwrap();
+        b.add_edge(post(m), el("hasCreator"), person(creator), vec![]).unwrap();
+        for t in tags {
+            b.add_edge(post(m), el("hasTag"), v(7 << 40, *t), vec![]).unwrap();
+        }
+    }
+    // Comment C0 by P2 on M0.
+    b.add_vertex(
+        comment(0),
+        vl("Comment"),
+        vec![(pk("creationDate"), Value::Int(day(15))), (pk("length"), Value::Int(7))],
+    )
+    .unwrap();
+    b.add_edge(comment(0), el("hasCreator"), person(2), vec![]).unwrap();
+    b.add_edge(comment(0), el("replyOf"), post(0), vec![]).unwrap();
+    // Likes.
+    for (p, d) in [(0u64, 12u32), (3, 14)] {
+        b.add_edge(
+            person(p),
+            el("likes"),
+            post(0),
+            vec![(pk("creationDate"), Value::Int(day(d)))],
+        )
+        .unwrap();
+    }
+    // Companies + countries.
+    b.add_vertex(v(3 << 40, 0), vl("Country"), vec![(pk("name"), Value::str("Germany"))]).unwrap();
+    b.add_vertex(v(3 << 40, 1), vl("Country"), vec![(pk("name"), Value::str("France"))]).unwrap();
+    for (c, country, p, year) in [(0u64, 0u64, 1u64, 2005i64), (1, 1, 2, 2010)] {
+        b.add_vertex(v(6 << 40, c), vl("Company"), vec![(pk("name"), Value::str(format!("C{c}")))])
+            .unwrap();
+        b.add_edge(v(6 << 40, c), el("isLocatedIn"), v(3 << 40, country), vec![]).unwrap();
+        b.add_edge(
+            person(p),
+            el("workAt"),
+            v(6 << 40, c),
+            vec![(pk("workFrom"), Value::Int(year))],
+        )
+        .unwrap();
+    }
+    b.build_prop_index(vl("Person"), pk("firstName"));
+    b.finish()
+}
+
+fn engine() -> (GraphDance, std::sync::Arc<Schema>) {
+    let g = build();
+    let schema = std::sync::Arc::clone(g.schema());
+    (GraphDance::start(g, EngineConfig::new(2, 2)), schema)
+}
+
+#[test]
+fn ic1_finds_transitive_namesakes_with_distances() {
+    let (e, s) = engine();
+    let plan = ic::ic1(&s).unwrap();
+    // From P0, friends named "Ada": P1 (dist 1), P2 (dist 1). P3 is "Bob".
+    let rows = e
+        .query(&plan, vec![Value::Vertex(person(0)), Value::str("Ada")])
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    // ordered by (dist, lastName): P1 then P2
+    assert_eq!(rows[0][0], Value::Vertex(person(1)));
+    assert_eq!(rows[0][2], Value::Int(1));
+    assert_eq!(rows[1][0], Value::Vertex(person(2)));
+    // From P3 (knows P1, 2 hops to P0/"Eve"): "Ada" matches P1 d1, P2 d3.
+    let rows = e
+        .query(&plan, vec![Value::Vertex(person(3)), Value::str("Ada")])
+        .unwrap();
+    let dists: Vec<(VertexId, i64)> = rows
+        .iter()
+        .map(|r| (r[0].as_vertex().unwrap(), r[2].as_int().unwrap()))
+        .collect();
+    assert_eq!(dists, vec![(person(1), 1), (person(2), 3)]);
+    e.shutdown();
+}
+
+#[test]
+fn ic2_recent_messages_by_friends() {
+    let (e, s) = engine();
+    let plan = ic::ic2(&s).unwrap();
+    // P0's friends: P1, P2. Their messages before day 25: M0 (P1, d10),
+    // M1 (P2, d20), C0 (P2, d15). Newest first: M1, C0, M0.
+    let rows = e
+        .query(&plan, vec![Value::Vertex(person(0)), Value::Int(day(25))])
+        .unwrap();
+    let msgs: Vec<VertexId> = rows.iter().map(|r| r[1].as_vertex().unwrap()).collect();
+    assert_eq!(msgs, vec![post(1), comment(0), post(0)]);
+    e.shutdown();
+}
+
+#[test]
+fn ic7_recent_likers() {
+    let (e, s) = engine();
+    let plan = ic::ic7(&s).unwrap();
+    // P1's messages: M0. Likers: P3 (day 14), P0 (day 12) — newest first.
+    let rows = e.query(&plan, vec![Value::Vertex(person(1))]).unwrap();
+    let likers: Vec<VertexId> = rows.iter().map(|r| r[0].as_vertex().unwrap()).collect();
+    assert_eq!(likers, vec![person(3), person(0)]);
+    assert_eq!(rows[0][1], Value::Int(day(14)));
+    e.shutdown();
+}
+
+#[test]
+fn ic8_recent_replies() {
+    let (e, s) = engine();
+    let plan = ic::ic8(&s).unwrap();
+    // Replies to P1's messages: C0 (by P2, day 15).
+    let rows = e.query(&plan, vec![Value::Vertex(person(1))]).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Vertex(person(2)), "author");
+    assert_eq!(rows[0][1], Value::Vertex(comment(0)), "comment");
+    assert_eq!(rows[0][2], Value::Int(day(15)));
+    // P4 is isolated: no replies at all.
+    let rows = e.query(&plan, vec![Value::Vertex(person(4))]).unwrap();
+    assert!(rows.is_empty());
+    e.shutdown();
+}
+
+#[test]
+fn ic11_job_referral_by_country() {
+    let (e, s) = engine();
+    let plan = ic::ic11(&s).unwrap();
+    // P0's friends/FoF: P1 (C0, Germany, 2005), P2 (C1, France, 2010),
+    // P3 (no job). Germany before 2013: only P1.
+    let rows = e
+        .query(
+            &plan,
+            vec![Value::Vertex(person(0)), Value::str("Germany"), Value::Int(2013)],
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::Vertex(person(1)));
+    assert_eq!(rows[0][2], Value::Int(2005));
+    // workFrom cutoff excludes: before 2005 → nothing.
+    let rows = e
+        .query(
+            &plan,
+            vec![Value::Vertex(person(0)), Value::str("Germany"), Value::Int(2005)],
+        )
+        .unwrap();
+    assert!(rows.is_empty());
+    e.shutdown();
+}
+
+#[test]
+fn ic13_handchecked_distances() {
+    let (e, s) = engine();
+    let plan = ic::ic13(&s).unwrap();
+    for (a, b, want) in [(0u64, 3u64, Some(2)), (2, 3, Some(3)), (0, 4, None)] {
+        let rows = e
+            .query(&plan, vec![Value::Vertex(person(a)), Value::Vertex(person(b))])
+            .unwrap();
+        match want {
+            Some(d) => assert_eq!(rows, vec![vec![Value::Int(d)]], "({a},{b})"),
+            None => assert!(rows.is_empty(), "({a},{b}) unreachable"),
+        }
+    }
+    e.shutdown();
+}
+
+#[test]
+fn steps_counter_reflects_work() {
+    let (e, s) = engine();
+    let small = ic::ic8(&s).unwrap(); // point-ish
+    let big = ic::ic1(&s).unwrap(); // 3-hop traversal
+    let r_small = e.query_timed(&small, vec![Value::Vertex(person(1))]).unwrap();
+    let r_big = e
+        .query_timed(&big, vec![Value::Vertex(person(0)), Value::str("Ada")])
+        .unwrap();
+    assert!(r_small.steps_executed > 0);
+    assert!(
+        r_big.steps_executed > r_small.steps_executed,
+        "3-hop IC1 ({}) must execute more steps than IC8 ({})",
+        r_big.steps_executed,
+        r_small.steps_executed
+    );
+    e.shutdown();
+    let _ = P;
+}

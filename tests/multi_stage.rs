@@ -1,0 +1,152 @@
+//! Multi-stage (subquery-scope, Fig. 6) edge cases: empty intermediate
+//! results, three-stage chains, and aggregation-to-aggregation hand-offs.
+
+use graphdance::common::{Partitioner, Value, VertexId};
+use graphdance::engine::{EngineConfig, GraphDance};
+use graphdance::query::expr::Expr;
+use graphdance::query::plan::{
+    AggFunc, AggSpec, Order, Pipeline, Plan, PlanStep, SourceSpec, Stage,
+};
+use graphdance::storage::{Direction, Graph, GraphBuilder};
+
+/// Chain 0 -> 1 -> 2 -> ... -> 9 with weights = id.
+fn chain() -> Graph {
+    let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+    let node = b.schema_mut().register_vertex_label("N");
+    let e = b.schema_mut().register_edge_label("e");
+    let w = b.schema_mut().register_prop("w");
+    for i in 0..10u64 {
+        b.add_vertex(VertexId(i), node, vec![(w, Value::Int(i as i64))]).unwrap();
+    }
+    for i in 0..9u64 {
+        b.add_edge(VertexId(i), e, VertexId(i + 1), vec![]).unwrap();
+    }
+    b.finish()
+}
+
+fn expand_stage(g: &Graph, agg: Option<AggSpec>, from_prev: bool) -> Stage {
+    let e = g.schema().edge_label("e").unwrap();
+    Stage {
+        pipelines: vec![Pipeline {
+            source: if from_prev {
+                SourceSpec::PrevRows { vertex_col: 0, seed: vec![] }
+            } else {
+                SourceSpec::Param { param: 0 }
+            },
+            steps: vec![PlanStep::Expand { dir: Direction::Out, label: e, edge_loads: vec![] }],
+        }],
+        joins: vec![],
+        output: vec![Expr::VertexId],
+        agg,
+        num_slots: 1,
+    }
+}
+
+#[test]
+fn three_stage_chain_walks_three_hops() {
+    let g = chain();
+    // Each stage expands one hop and passes the frontier forward.
+    let plan = Plan {
+        stages: vec![
+            expand_stage(&g, None, false),
+            expand_stage(&g, None, true),
+            expand_stage(&g, None, true),
+        ],
+        num_params: 1,
+    };
+    let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+    let rows = engine.query(&plan, vec![Value::Vertex(VertexId(2))]).unwrap();
+    assert_eq!(rows, vec![vec![Value::Vertex(VertexId(5))]]);
+    engine.shutdown();
+}
+
+#[test]
+fn empty_intermediate_stage_completes_with_no_rows() {
+    let g = chain();
+    let plan = Plan {
+        stages: vec![expand_stage(&g, None, false), expand_stage(&g, None, true)],
+        num_params: 1,
+    };
+    let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+    // Vertex 9 has no out-edges: stage 1 emits nothing; stage 2 must still
+    // terminate promptly and return empty.
+    let r = engine.submit(&plan, vec![Value::Vertex(VertexId(9))]).wait().unwrap();
+    assert!(r.rows.is_empty());
+    assert!(r.latency < std::time::Duration::from_secs(5), "no hang on empty stages");
+    engine.shutdown();
+}
+
+#[test]
+fn agg_stage_feeds_traversal_stage() {
+    let g = chain();
+    let w = g.schema().prop("w").unwrap();
+    // Stage 1: top-2 out-neighbours of 0..3 (scan) by weight => {4? no:
+    // scan all N, expand, keep the 2 heaviest targets} = {9, 8}.
+    let scan_stage = {
+        let e = g.schema().edge_label("e").unwrap();
+        let node = g.schema().vertex_label("N").unwrap();
+        Stage {
+            pipelines: vec![Pipeline {
+                source: SourceSpec::ScanLabel { label: node },
+                steps: vec![PlanStep::Expand {
+                    dir: Direction::Out,
+                    label: e,
+                    edge_loads: vec![],
+                }],
+            }],
+            joins: vec![],
+            output: vec![],
+            agg: Some(AggSpec {
+                func: AggFunc::TopK {
+                    k: 2,
+                    sort: vec![(Expr::Prop(w), Order::Desc)],
+                    output: vec![Expr::VertexId],
+                },
+            }),
+            num_slots: 1,
+        }
+    };
+    let plan = Plan {
+        stages: vec![scan_stage, expand_stage(&g, None, true)],
+        num_params: 0,
+    };
+    let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+    // Stage 1 rows = {9, 8}; stage 2 expands them: 9 -> nothing, 8 -> 9.
+    let rows = engine.query(&plan, vec![]).unwrap();
+    assert_eq!(rows, vec![vec![Value::Vertex(VertexId(9))]]);
+    engine.shutdown();
+}
+
+#[test]
+fn agg_to_agg_stages() {
+    let g = chain();
+    // Stage 1: collect out-neighbours of $0 (Collect); stage 2: count them.
+    let e = g.schema().edge_label("e").unwrap();
+    let stage1 = Stage {
+        pipelines: vec![Pipeline {
+            source: SourceSpec::Param { param: 0 },
+            steps: vec![PlanStep::Expand { dir: Direction::Out, label: e, edge_loads: vec![] }],
+        }],
+        joins: vec![],
+        output: vec![],
+        agg: Some(AggSpec {
+            func: AggFunc::Collect { output: vec![Expr::VertexId], limit: 100 },
+        }),
+        num_slots: 1,
+    };
+    let stage2 = Stage {
+        pipelines: vec![Pipeline {
+            source: SourceSpec::PrevRows { vertex_col: 0, seed: vec![] },
+            steps: vec![],
+        }],
+        joins: vec![],
+        output: vec![],
+        agg: Some(AggSpec { func: AggFunc::Count }),
+        num_slots: 1,
+    };
+    let plan = Plan { stages: vec![stage1, stage2], num_params: 1 };
+    let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+    let rows = engine.query(&plan, vec![Value::Vertex(VertexId(4))]).unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(1)]], "one out-neighbour, counted in stage 2");
+    engine.shutdown();
+}

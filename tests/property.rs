@@ -1,0 +1,146 @@
+//! Property-based integration tests across crates: the wire codec over
+//! arbitrary value trees, TEL visibility against a naive multi-version
+//! oracle, and distributed k-hop answers against a BFS oracle on random
+//! graphs.
+
+use proptest::prelude::*;
+
+use graphdance::common::{Partitioner, Value, VertexId};
+use graphdance::engine::codec;
+use graphdance::engine::{EngineConfig, GraphDance};
+use graphdance::query::expr::Expr;
+use graphdance::query::QueryBuilder;
+use graphdance::storage::{Direction, GraphBuilder, TelList, TS_LIVE};
+use graphdance_common::{EdgeId, Label};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("finite floats", |f| f.is_finite()).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Value::str(&s)),
+        any::<u64>().prop_map(|v| Value::Vertex(VertexId(v))),
+    ];
+    leaf.prop_recursive(2, 12, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::list)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Anything the engine can put in a traverser round-trips the wire.
+    #[test]
+    fn codec_roundtrips_arbitrary_values(v in arb_value()) {
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_value(&mut buf, &v);
+        let mut wire = buf.freeze();
+        let decoded = codec::decode_value(&mut wire).expect("decodes");
+        prop_assert_eq!(decoded, v);
+        prop_assert!(wire.is_empty(), "no trailing bytes");
+    }
+
+    /// TEL single-scan visibility equals a naive per-version filter.
+    #[test]
+    fn tel_visibility_matches_naive_oracle(
+        ops in prop::collection::vec((0u64..8, 1u64..50, any::<bool>()), 1..40),
+        read_ts in 0u64..60,
+    ) {
+        let mut tel = TelList::new();
+        // Naive oracle: (other, create, delete) triples.
+        let mut oracle: Vec<(u64, u64, u64)> = Vec::new();
+        let mut ts = 0u64;
+        for (other, ts_step, is_delete) in ops {
+            ts += ts_step;
+            if is_delete {
+                let deleted = tel.delete(Label(0), VertexId(other), ts);
+                if let Some(e) = oracle
+                    .iter_mut()
+                    .find(|(o, _, d)| *o == other && *d == TS_LIVE)
+                {
+                    e.2 = ts;
+                    prop_assert!(deleted);
+                } else {
+                    prop_assert!(!deleted);
+                }
+            } else {
+                tel.insert(Label(0), VertexId(other), EdgeId(0), ts, vec![]);
+                oracle.push((other, ts, TS_LIVE));
+            }
+        }
+        let mut got: Vec<u64> =
+            tel.scan_visible(Label(0), read_ts).map(|e| e.other.0).collect();
+        let mut want: Vec<u64> = oracle
+            .iter()
+            .filter(|(_, c, d)| *c <= read_ts && read_ts < *d)
+            .map(|(o, _, _)| *o)
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}
+
+proptest! {
+    // Engine-in-the-loop cases are expensive (threads); keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Distributed 2-hop answers on random graphs match a sequential BFS.
+    #[test]
+    fn khop_matches_bfs_on_random_graphs(
+        edges in prop::collection::vec((0u64..30, 0u64..30), 10..80),
+        start in 0u64..30,
+    ) {
+        let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+        let node = b.schema_mut().register_vertex_label("N");
+        let link = b.schema_mut().register_edge_label("link");
+        for i in 0..30u64 {
+            b.add_vertex(VertexId(i), node, vec![]).expect("fresh");
+        }
+        for (s, d) in &edges {
+            if s != d {
+                b.add_edge(VertexId(*s), link, VertexId(*d), vec![]).expect("exists");
+            }
+        }
+        let g = b.finish();
+
+        // Sequential oracle.
+        let mut level: Vec<VertexId> = vec![VertexId(start)];
+        let mut seen: std::collections::HashSet<VertexId> =
+            level.iter().copied().collect();
+        let mut reach = std::collections::HashSet::new();
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for v in level {
+                for n in g.neighbors(v, Direction::Out, link, 1).expect("exists") {
+                    if seen.insert(n) {
+                        reach.insert(n);
+                        next.push(n);
+                    }
+                }
+            }
+            level = next;
+        }
+        reach.remove(&VertexId(start));
+
+        let mut qb = QueryBuilder::new(g.schema());
+        qb.v_param(0);
+        let c = qb.alloc_slot();
+        let d = qb.alloc_slot();
+        qb.repeat(1, 2, c, |r| {
+            r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+            r.out("link");
+            r.min_dist(d);
+        });
+        qb.dedup();
+        let plan = qb.compile().expect("compiles");
+        let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(start))]).expect("runs");
+        engine.shutdown();
+        let mut got: std::collections::HashSet<VertexId> =
+            rows.iter().map(|r| r[0].as_vertex().expect("vertex")).collect();
+        got.remove(&VertexId(start));
+        prop_assert_eq!(got, reach);
+    }
+}
