@@ -27,7 +27,10 @@ pub fn degree_histogram(graph: &Graph, label: Label) -> FxHashMap<usize, u64> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
     });
     let mut out: FxHashMap<usize, u64> = FxHashMap::default();
     for p in partials {

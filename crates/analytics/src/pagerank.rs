@@ -25,7 +25,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, iterations: 20, label: Label::ANY }
+        PageRankConfig {
+            damping: 0.85,
+            iterations: 20,
+            label: Label::ANY,
+        }
     }
 }
 
@@ -64,8 +68,10 @@ pub fn pagerank(graph: &Graph, config: &PageRankConfig) -> FxHashMap<VertexId, f
     for _ in 0..config.iterations {
         // Scatter into per-partition inboxes (locked; contention is part of
         // the dense-workload profile).
-        let inboxes: Vec<Mutex<FxHashMap<VertexId, f64>>> =
-            parts.iter().map(|_| Mutex::new(FxHashMap::default())).collect();
+        let inboxes: Vec<Mutex<FxHashMap<VertexId, f64>>> = parts
+            .iter()
+            .map(|_| Mutex::new(FxHashMap::default()))
+            .collect();
         let dangling = Mutex::new(0.0f64);
         std::thread::scope(|scope| {
             for (pi, &p) in parts.iter().enumerate() {
@@ -118,10 +124,7 @@ pub fn pagerank(graph: &Graph, config: &PageRankConfig) -> FxHashMap<VertexId, f
             let inbox = inbox.into_inner();
             for (v, _) in &locals[pi] {
                 let incoming = inbox.get(v).copied().unwrap_or(0.0);
-                ranks[pi].insert(
-                    *v,
-                    base + config.damping * (incoming + dangling_share),
-                );
+                ranks[pi].insert(*v, base + config.damping * (incoming + dangling_share));
             }
         }
     }
@@ -175,7 +178,8 @@ mod tests {
             b.add_vertex(VertexId(i), l, vec![]).unwrap();
         }
         for i in 0..10u64 {
-            b.add_edge(VertexId(i), e, VertexId((i + 1) % 10), vec![]).unwrap();
+            b.add_edge(VertexId(i), e, VertexId((i + 1) % 10), vec![])
+                .unwrap();
         }
         let g = b.finish();
         let ranks = pagerank(&g, &PageRankConfig::default());

@@ -93,7 +93,8 @@ mod tests {
             b.add_edge(VertexId(i), e, VertexId(i + 1), vec![]).unwrap();
         }
         for i in 5..10u64 {
-            b.add_edge(VertexId(i), e, VertexId(5 + (i - 5 + 1) % 5), vec![]).unwrap();
+            b.add_edge(VertexId(i), e, VertexId(5 + (i - 5 + 1) % 5), vec![])
+                .unwrap();
         }
         let g = b.finish();
         let cc = weakly_connected_components(&g, Label::ANY);

@@ -18,18 +18,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use graphdance_common::time::now;
+
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 
-use graphdance_common::{
-    FxHashMap, GdError, GdResult, NodeId, PartId, QueryId, Value, WorkerId,
-};
+use graphdance_common::{FxHashMap, GdError, GdResult, NodeId, PartId, QueryId, Value, WorkerId};
 use graphdance_engine::config::EngineConfig;
 use graphdance_engine::messages::{BspSignal, CoordMsg, QueryCtx, WorkerMsg};
 use graphdance_engine::net::{Fabric, NetStatsSnapshot, Outbox};
 use graphdance_engine::QueryResult;
-use graphdance_pstm::{AggState, Interpreter, Memo, Row, Traverser, Weight};
+use graphdance_pstm::{AggState, Interpreter, Memo, Row, Traverser, Weight, WeightLedger};
 use graphdance_query::plan::{Plan, SourceSpec};
 use graphdance_storage::Graph;
 
@@ -64,6 +64,8 @@ struct BspWorker {
     queries: FxHashMap<QueryId, (Arc<QueryCtx>, u16)>,
     state: FxHashMap<QueryId, BspQuery>,
     rng: SmallRng,
+    /// Debug-build weight-conservation checker (no-op in release).
+    ledger: WeightLedger,
 }
 
 impl BspWorker {
@@ -97,14 +99,21 @@ impl BspWorker {
                     s.parked.push(t);
                 }
             }
-            WorkerMsg::StartSource { query, pipeline, weight } => {
+            WorkerMsg::StartSource {
+                query,
+                pipeline,
+                weight,
+            } => {
                 self.start_source(query, pipeline, weight);
             }
             WorkerMsg::Bsp(BspSignal::RunStep { query, depth }) => {
                 self.run_step(query, depth);
             }
             WorkerMsg::Bsp(BspSignal::Probe { query, round }) => {
-                let parked = self.state.get(&query).map_or(Weight::ZERO, |s| s.parked_weight);
+                let parked = self
+                    .state
+                    .get(&query)
+                    .map_or(Weight::ZERO, |s| s.parked_weight);
                 self.outbox.send_ctrl_coord(CoordMsg::BspParked {
                     query,
                     part: self.id.part(),
@@ -129,9 +138,10 @@ impl BspWorker {
         }
     }
 
-
     fn start_source(&mut self, query: QueryId, pipeline: u16, weight: Weight) {
-        let Some((ctx, stage)) = self.queries.get(&query) else { return };
+        let Some((ctx, stage)) = self.queries.get(&query) else {
+            return;
+        };
         let (ctx, stage) = (Arc::clone(ctx), *stage);
         let interp = make_interp(&self.graph, &ctx, stage);
         let out = {
@@ -140,6 +150,13 @@ impl BspWorker {
         };
         match out {
             Ok(out) => {
+                if let Err(diag) = self.ledger.check_step(query, weight, &out) {
+                    self.outbox.send_ctrl_coord(CoordMsg::WorkerError {
+                        query,
+                        error: GdError::InvariantViolation(diag),
+                    });
+                    return;
+                }
                 let mut issued = Weight::ZERO;
                 let mut count = 0u64;
                 let s = self.state.entry(query).or_default();
@@ -155,6 +172,8 @@ impl BspWorker {
                     finished: out.finished,
                     issued,
                     count,
+                    consumed: Weight::ZERO,
+                    consumed_count: 0,
                 });
             }
             Err(e) => self
@@ -169,27 +188,32 @@ impl BspWorker {
     ///
     /// Traversers deeper than `depth` stay parked: a fast peer's superstep
     /// output (data path) can overtake this worker's own `RunStep` signal
-    /// (control path), and executing those early would consume weight the
-    /// driver still counts as issued-for-the-next-step, wedging the
-    /// delivery barrier.
+    /// (control path), and those belong to the next frontier. Same-depth
+    /// arrivals that overtook the signal (LoopEnd forks, MoveTo jumps) DO
+    /// run now — the `consumed` ledger tells the driver their weight left
+    /// the parked pool this step, so the delivery barrier stays exact no
+    /// matter which side of the `RunStep` the data path landed on.
     fn run_step(&mut self, query: QueryId, depth: u32) {
-        let Some((ctx, stage)) = self.queries.get(&query) else { return };
+        let Some((ctx, stage)) = self.queries.get(&query) else {
+            return;
+        };
         let (ctx, stage) = (Arc::clone(ctx), *stage);
         let mut queue = {
             let s = self.state.entry(query).or_default();
             let all = std::mem::take(&mut s.parked);
             let (runnable, keep): (Vec<_>, Vec<_>) =
                 all.into_iter().partition(|t| t.depth <= depth);
-            s.parked_weight = keep
-                .iter()
-                .fold(Weight::ZERO, |acc, t| acc.add(t.weight));
+            s.parked_weight = keep.iter().fold(Weight::ZERO, |acc, t| acc.add(t.weight));
             s.parked = keep;
             runnable
         };
+        let consumed = queue.iter().fold(Weight::ZERO, |acc, t| acc.add(t.weight));
+        let consumed_count = queue.len() as u64;
         let mut finished = Weight::ZERO;
         let mut issued = Weight::ZERO;
         let mut count = 0u64;
         while let Some(t) = queue.pop() {
+            let input = t.weight;
             let interp = make_interp(&self.graph, &ctx, stage);
             let out = {
                 let part = self.graph.read(self.id.part());
@@ -203,6 +227,13 @@ impl BspWorker {
                     return;
                 }
             };
+            if let Err(diag) = self.ledger.check_step(query, input, &out) {
+                self.outbox.send_ctrl_coord(CoordMsg::WorkerError {
+                    query,
+                    error: GdError::InvariantViolation(diag),
+                });
+                return;
+            }
             for (dest, t) in out.spawned {
                 if dest == self.id.part() && t.depth <= depth {
                     // Same superstep (e.g. a LoopEnd fork continuing the
@@ -234,6 +265,8 @@ impl BspWorker {
             finished,
             issued,
             count,
+            consumed,
+            consumed_count,
         });
     }
 }
@@ -282,6 +315,7 @@ impl BspEngine {
                 queries: FxHashMap::default(),
                 state: FxHashMap::default(),
                 rng: graphdance_common::rng::derive(config.seed, 0x1000 + i as u64),
+                ledger: WeightLedger::new(),
             };
             threads.push(
                 std::thread::Builder::new()
@@ -341,7 +375,7 @@ impl BspEngine {
                 params.len()
             )));
         }
-        let started = Instant::now();
+        let started = now();
         let deadline = started + self.timeout;
         let query = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed) | (1 << 62));
         let ctx = Arc::new(QueryCtx {
@@ -353,7 +387,10 @@ impl BspEngine {
         let mut d = self.driver.lock();
         // Drain any stale messages from a previously aborted query.
         while d.coord_rx.try_recv().is_ok() {}
-        self.broadcast(&mut d, || WorkerMsg::QueryBegin { ctx: Arc::clone(&ctx), stage: 0 });
+        self.broadcast(&mut d, || WorkerMsg::QueryBegin {
+            ctx: Arc::clone(&ctx),
+            stage: 0,
+        });
         let mut rows = Vec::new();
         let result = (|| -> GdResult<Vec<Row>> {
             let mut stage_rows: Vec<Row> = Vec::new();
@@ -364,16 +401,21 @@ impl BspEngine {
                         stage: stage_idx as u16,
                     });
                 }
-                stage_rows =
-                    self.run_stage(&mut d, &ctx, stage_idx, stage_rows, deadline)?;
+                stage_rows = self.run_stage(&mut d, &ctx, stage_idx, stage_rows, deadline)?;
             }
             Ok(stage_rows)
         })();
         self.broadcast(&mut d, || WorkerMsg::QueryEnd { query });
+        self.fabric.invariants().forget(query);
         match result {
             Ok(r) => {
                 rows.extend(r);
-                Ok(QueryResult { query, rows, latency: started.elapsed(), steps_executed: 0 })
+                Ok(QueryResult {
+                    query,
+                    rows,
+                    latency: started.elapsed(),
+                    steps_executed: 0,
+                })
             }
             Err(e) => Err(e),
         }
@@ -394,18 +436,29 @@ impl BspEngine {
         let pipe_weights = Weight::ROOT.split(stage.pipelines.len(), &mut d.rng);
         let mut source_reports_expected = 0usize;
         let mut total_finished = Weight::ZERO;
-        let mut expected_weight = Weight::ZERO;
-        let mut expected_count = 0u64;
+        // In-flight ledger: weight/count issued to the parked pool minus
+        // weight/count consumed from it. The count can dip negative
+        // transiently when a consumer's report arrives before the issuer's.
+        let mut inflight_weight = Weight::ZERO;
+        let mut inflight_count = 0i64;
         for (pi, pw) in pipe_weights.into_iter().enumerate() {
             match &stage.pipelines[pi].source {
                 SourceSpec::Param { param } => {
-                    let v = ctx.params.get(*param).and_then(Value::as_vertex).ok_or_else(
-                        || GdError::InvalidProgram(format!("param {param} is not a vertex")),
-                    )?;
+                    let v = ctx
+                        .params
+                        .get(*param)
+                        .and_then(Value::as_vertex)
+                        .ok_or_else(|| {
+                            GdError::InvalidProgram(format!("param {param} is not a vertex"))
+                        })?;
                     let owner = self.fabric.partitioner().worker_of(v);
                     d.outbox.send_ctrl_worker(
                         owner,
-                        WorkerMsg::StartSource { query, pipeline: pi as u16, weight: pw },
+                        WorkerMsg::StartSource {
+                            query,
+                            pipeline: pi as u16,
+                            weight: pw,
+                        },
                     );
                     source_reports_expected += 1;
                 }
@@ -414,7 +467,11 @@ impl BspEngine {
                     for (p, w) in parts.iter().zip(shares) {
                         d.outbox.send_ctrl_worker(
                             self.fabric.partitioner().worker_of_part(*p),
-                            WorkerMsg::StartSource { query, pipeline: pi as u16, weight: w },
+                            WorkerMsg::StartSource {
+                                query,
+                                pipeline: pi as u16,
+                                weight: w,
+                            },
                         );
                         source_reports_expected += 1;
                     }
@@ -430,8 +487,8 @@ impl BspEngine {
                     };
                     let out = interp.seed_prev_rows(pi as u16, &prev_rows, pw, &mut d.rng)?;
                     for (dest, t) in out.spawned {
-                        expected_weight.absorb(t.weight);
-                        expected_count += 1;
+                        inflight_weight.absorb(t.weight);
+                        inflight_count += 1;
                         d.outbox
                             .send_traverser(self.fabric.partitioner().worker_of_part(dest), t);
                     }
@@ -445,13 +502,18 @@ impl BspEngine {
         // Collect source reports.
         let mut got = 0usize;
         while got < source_reports_expected {
-            if let CoordMsg::BspStepDone { query: q, finished, issued, count, .. } =
-                self.next_msg(d, query, deadline, &mut rows)?
+            if let CoordMsg::BspStepDone {
+                query: q,
+                finished,
+                issued,
+                count,
+                ..
+            } = self.next_msg(d, query, deadline, &mut rows)?
             {
                 if q == query {
                     total_finished.absorb(finished);
-                    expected_weight.absorb(issued);
-                    expected_count += count;
+                    inflight_weight.absorb(issued);
+                    inflight_count += count as i64;
                     got += 1;
                 }
             }
@@ -461,9 +523,9 @@ impl BspEngine {
         let dbg = std::env::var("BSP_DEBUG").is_ok();
         let num_parts = self.num_parts() as usize;
         let mut depth = 0u32;
-        while expected_count > 0 {
+        while inflight_count > 0 {
             if dbg {
-                eprintln!("[bsp {query:?}] step {depth}: expecting {expected_count} traversers, weight {expected_weight:?}");
+                eprintln!("[bsp {query:?}] step {depth}: {inflight_count} traversers in flight, weight {inflight_weight:?}");
             }
             // Delivery barrier: wait until every issued traverser has been
             // parked somewhere. Each probe round is tagged so straggler
@@ -477,8 +539,12 @@ impl BspEngine {
                 let mut replies = 0;
                 let mut per_part: Vec<(u32, Weight)> = Vec::new();
                 while replies < num_parts {
-                    if let CoordMsg::BspParked { query: q, parked: p, round: r, part } =
-                        self.next_msg(d, query, deadline, &mut rows)?
+                    if let CoordMsg::BspParked {
+                        query: q,
+                        parked: p,
+                        round: r,
+                        part,
+                    } = self.next_msg(d, query, deadline, &mut rows)?
                     {
                         if q == query && r == round {
                             parked.absorb(p);
@@ -487,15 +553,15 @@ impl BspEngine {
                         }
                     }
                 }
-                if dbg && parked != expected_weight {
+                if dbg && parked != inflight_weight {
                     per_part.sort_unstable_by_key(|x| x.0);
                     eprintln!("[bsp {query:?}] per-part parked: {per_part:?}");
                 }
-                if parked == expected_weight {
+                if parked == inflight_weight {
                     break;
                 }
                 if dbg {
-                    eprintln!("[bsp {query:?}] step {depth}: parked {parked:?} != expected {expected_weight:?}");
+                    eprintln!("[bsp {query:?}] step {depth}: parked {parked:?} != in-flight {inflight_weight:?}");
                 }
                 // Exponential backoff keeps probe traffic from amplifying
                 // load when deliveries are slow (oversubscribed hosts).
@@ -504,26 +570,33 @@ impl BspEngine {
             }
             // Compute phase.
             self.broadcast(d, || WorkerMsg::Bsp(BspSignal::RunStep { query, depth }));
-            let mut next_weight = Weight::ZERO;
-            let mut next_count = 0u64;
             let mut replies = 0;
             while replies < num_parts {
-                if let CoordMsg::BspStepDone { query: q, finished, issued, count, .. } =
-                    self.next_msg(d, query, deadline, &mut rows)?
+                if let CoordMsg::BspStepDone {
+                    query: q,
+                    finished,
+                    issued,
+                    count,
+                    consumed,
+                    consumed_count,
+                    ..
+                } = self.next_msg(d, query, deadline, &mut rows)?
                 {
                     if q == query {
                         total_finished.absorb(finished);
-                        next_weight.absorb(issued);
-                        next_count += count;
+                        inflight_weight.absorb(issued);
+                        inflight_weight = inflight_weight.sub(consumed);
+                        inflight_count += count as i64 - consumed_count as i64;
                         replies += 1;
                     }
                 }
             }
-            expected_weight = next_weight;
-            expected_count = next_count;
             depth += 1;
         }
-        debug_assert_eq!(total_finished, Weight::ROOT, "BSP weight conservation");
+        // The delivery barrier decided completion independently of the
+        // weight sum — cross-check the two mechanisms against each other.
+        WeightLedger::check_stage_total(query, total_finished)
+            .map_err(GdError::InvariantViolation)?;
 
         // Drain straggling row messages (all weights are accounted for, but
         // the row batches travel on the data path and may still be in
@@ -537,8 +610,9 @@ impl BspEngine {
             self.broadcast(d, || WorkerMsg::GatherAgg { query });
             let mut partials: Vec<Option<Box<AggState>>> = Vec::new();
             while partials.len() < num_parts {
-                if let CoordMsg::AggPartial { query: q, state, .. } =
-                    self.next_msg(d, query, deadline, &mut rows)?
+                if let CoordMsg::AggPartial {
+                    query: q, state, ..
+                } = self.next_msg(d, query, deadline, &mut rows)?
                 {
                     if q == query {
                         partials.push(state);
@@ -552,7 +626,9 @@ impl BspEngine {
                     Some(m) => m.merge(&agg.func, *p)?,
                 }
             }
-            return Ok(merged.unwrap_or_else(|| AggState::new(&agg.func)).finalize(&agg.func));
+            return Ok(merged
+                .unwrap_or_else(|| AggState::new(&agg.func))
+                .finalize(&agg.func));
         }
         Ok(rows)
     }
@@ -567,7 +643,7 @@ impl BspEngine {
         rows: &mut Vec<Row>,
     ) -> GdResult<CoordMsg> {
         loop {
-            if Instant::now() >= deadline {
+            if now() >= deadline {
                 return Err(GdError::QueryTimeout(query));
             }
             match d.coord_rx.recv_timeout(Duration::from_millis(20)) {
@@ -631,10 +707,12 @@ mod tests {
         let knows = b.schema_mut().register_edge_label("knows");
         let weight = b.schema_mut().register_prop("weight");
         for i in 0..n {
-            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64))]).unwrap();
+            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64))])
+                .unwrap();
         }
         for i in 0..n {
-            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
+                .unwrap();
         }
         b.finish()
     }
@@ -651,7 +729,10 @@ mod tests {
         });
         b.dedup();
         let plan = b.compile().unwrap();
-        let mut rows = engine.query_timed(&plan, vec![Value::Vertex(VertexId(0))]).unwrap().rows;
+        let mut rows = engine
+            .query_timed(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap()
+            .rows;
         rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
         let got: Vec<u64> = rows.iter().map(|r| r[0].as_vertex().unwrap().0).collect();
         assert_eq!(got, vec![1, 2, 3]);

@@ -18,6 +18,8 @@
 
 use std::time::Duration;
 
+use graphdance_common::time::now;
+
 use graphdance_common::{GdResult, Value, VertexId};
 use graphdance_engine::config::EngineConfig;
 use graphdance_engine::{GraphDance, NetStatsSnapshot, QueryResult};
@@ -59,11 +61,18 @@ pub fn centralize_final_agg(plan: &Plan) -> (Plan, Option<AggFunc>) {
             last.output = vec![e];
             AggFunc::Avg(slot(0))
         }
-        AggFunc::TopK { k, sort, output } => {
+        AggFunc::TopK {
+            k,
+            sort,
+            output,
+            distinct,
+        } => {
             let mut cols: Vec<Expr> = sort.iter().map(|(e, _)| e.clone()).collect();
             let sort_len = cols.len();
             cols.extend(output.iter().cloned());
             let out_len = output.len();
+            cols.extend(distinct.iter().cloned());
+            let distinct_len = distinct.len();
             last.output = cols;
             AggFunc::TopK {
                 k,
@@ -73,20 +82,40 @@ pub fn centralize_final_agg(plan: &Plan) -> (Plan, Option<AggFunc>) {
                     .map(|(i, (_, dir))| (slot(i), dir))
                     .collect(),
                 output: (0..out_len).map(|j| slot(sort_len + j)).collect(),
+                distinct: (0..distinct_len)
+                    .map(|j| slot(sort_len + out_len + j))
+                    .collect(),
             }
         }
         AggFunc::GroupCount { key, order, limit } => {
             last.output = vec![key];
-            AggFunc::GroupCount { key: slot(0), order, limit }
+            AggFunc::GroupCount {
+                key: slot(0),
+                order,
+                limit,
+            }
         }
-        AggFunc::GroupSum { key, value, order, limit } => {
+        AggFunc::GroupSum {
+            key,
+            value,
+            order,
+            limit,
+        } => {
             last.output = vec![key, value];
-            AggFunc::GroupSum { key: slot(0), value: slot(1), order, limit }
+            AggFunc::GroupSum {
+                key: slot(0),
+                value: slot(1),
+                order,
+                limit,
+            }
         }
         AggFunc::Collect { output, limit } => {
             let n = output.len();
             last.output = output;
-            AggFunc::Collect { output: (0..n).map(slot).collect(), limit }
+            AggFunc::Collect {
+                output: (0..n).map(slot).collect(),
+                limit,
+            }
         }
     };
     (plan, Some(client))
@@ -121,7 +150,9 @@ impl GaiaSim {
     pub fn start(graph: Graph, mut config: EngineConfig) -> Self {
         config.sched_overhead_per_op = Self::POLL_COST;
         config.weight_coalescing = false; // fine-grained punctuation traffic
-        GaiaSim { inner: GraphDance::start(graph, config) }
+        GaiaSim {
+            inner: GraphDance::start(graph, config),
+        }
     }
 
     /// Stop the engine.
@@ -141,7 +172,7 @@ impl QueryEngine for GaiaSim {
         if let Some(func) = client {
             // Centralized final aggregation: all candidate rows were shipped
             // here; fold them now (part of the measured query, so re-time).
-            let fold_started = std::time::Instant::now();
+            let fold_started = now();
             r.rows = fold_client_side(&func, r.rows)?;
             r.latency += fold_started.elapsed();
         }
@@ -171,7 +202,9 @@ impl BanyanSim {
     pub fn start(graph: Graph, mut config: EngineConfig) -> Self {
         config.sched_overhead_per_op = Self::POLL_COST;
         config.weight_coalescing = true; // scoped refcount batching
-        BanyanSim { inner: GraphDance::start(graph, config) }
+        BanyanSim {
+            inner: GraphDance::start(graph, config),
+        }
     }
 
     /// Stop the engine.
@@ -212,10 +245,12 @@ mod tests {
         let knows = b.schema_mut().register_edge_label("knows");
         let weight = b.schema_mut().register_prop("weight");
         for i in 0..n {
-            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64))]).unwrap();
+            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64))])
+                .unwrap();
         }
         for i in 0..n {
-            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
+                .unwrap();
         }
         b.finish()
     }
@@ -253,11 +288,16 @@ mod tests {
         let g = ring(16);
         let plan = topk_plan(&g);
         let reference = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
-        let expected = reference.query(&plan, vec![Value::Vertex(VertexId(3))]).unwrap();
+        let expected = reference
+            .query(&plan, vec![Value::Vertex(VertexId(3))])
+            .unwrap();
         reference.shutdown();
 
         let gaia = GaiaSim::start(g.clone(), EngineConfig::new(2, 2));
-        let got = gaia.query_timed(&plan, vec![Value::Vertex(VertexId(3))]).unwrap().rows;
+        let got = gaia
+            .query_timed(&plan, vec![Value::Vertex(VertexId(3))])
+            .unwrap()
+            .rows;
         assert_eq!(got, expected);
         gaia.shutdown();
     }
@@ -267,7 +307,10 @@ mod tests {
         let g = ring(16);
         let plan = topk_plan(&g);
         let banyan = BanyanSim::start(g.clone(), EngineConfig::new(2, 2));
-        let got = banyan.query_timed(&plan, vec![Value::Vertex(VertexId(3))]).unwrap().rows;
+        let got = banyan
+            .query_timed(&plan, vec![Value::Vertex(VertexId(3))])
+            .unwrap()
+            .rows;
         // 4 hops from 3 reaches {4,5,6,7}; top-2 by weight: 7, 6.
         assert_eq!(
             got,
@@ -316,8 +359,10 @@ mod multistage_tests {
             b.add_vertex(VertexId(i), n, vec![]).unwrap();
         }
         for i in 0..12u64 {
-            b.add_edge(VertexId(i), e, VertexId((i + 1) % 12), vec![]).unwrap();
-            b.add_edge(VertexId(i), e, VertexId((i + 5) % 12), vec![]).unwrap();
+            b.add_edge(VertexId(i), e, VertexId((i + 1) % 12), vec![])
+                .unwrap();
+            b.add_edge(VertexId(i), e, VertexId((i + 5) % 12), vec![])
+                .unwrap();
         }
         let g = b.finish();
         // Stage 1: collect 1-hop neighbours (intermediate Collect agg);
@@ -336,13 +381,19 @@ mod multistage_tests {
                     joins: vec![],
                     output: vec![],
                     agg: Some(AggSpec {
-                        func: AggFunc::Collect { output: vec![Expr::VertexId], limit: 100 },
+                        func: AggFunc::Collect {
+                            output: vec![Expr::VertexId],
+                            limit: 100,
+                        },
                     }),
                     num_slots: 1,
                 },
                 Stage {
                     pipelines: vec![Pipeline {
-                        source: SourceSpec::PrevRows { vertex_col: 0, seed: vec![] },
+                        source: SourceSpec::PrevRows {
+                            vertex_col: 0,
+                            seed: vec![],
+                        },
                         steps: vec![PlanStep::Expand {
                             dir: Direction::Out,
                             label: e,
@@ -351,22 +402,32 @@ mod multistage_tests {
                     }],
                     joins: vec![],
                     output: vec![],
-                    agg: Some(AggSpec { func: AggFunc::Count }),
+                    agg: Some(AggSpec {
+                        func: AggFunc::Count,
+                    }),
                     num_slots: 1,
                 },
             ],
             num_params: 1,
         };
         let (stripped, client) = centralize_final_agg(&plan);
-        assert!(stripped.stages[0].agg.is_some(), "intermediate agg untouched");
+        assert!(
+            stripped.stages[0].agg.is_some(),
+            "intermediate agg untouched"
+        );
         assert!(stripped.stages[1].agg.is_none(), "final agg centralized");
         assert!(matches!(client, Some(AggFunc::Count)));
 
         let reference = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
-        let want = reference.query(&plan, vec![Value::Vertex(VertexId(3))]).unwrap();
+        let want = reference
+            .query(&plan, vec![Value::Vertex(VertexId(3))])
+            .unwrap();
         reference.shutdown();
         let gaia = GaiaSim::start(g, EngineConfig::new(2, 2));
-        let got = gaia.query_timed(&plan, vec![Value::Vertex(VertexId(3))]).unwrap().rows;
+        let got = gaia
+            .query_timed(&plan, vec![Value::Vertex(VertexId(3))])
+            .unwrap()
+            .rows;
         assert_eq!(got, want);
         gaia.shutdown();
     }

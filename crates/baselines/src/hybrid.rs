@@ -74,12 +74,16 @@ impl HybridEngine {
                     match &pipe.steps[i] {
                         PlanStep::Expand { label, .. } => {
                             let e = *self.stats.edges_by_label.get(label).unwrap_or(&0) as f64;
-                            let src =
-                                *self.stats.src_by_label.get(label).unwrap_or(&1) as f64;
+                            let src = *self.stats.src_by_label.get(label).unwrap_or(&1) as f64;
                             frontier *= (e / src.max(1.0)).max(0.1);
                             total += frontier;
                         }
-                        PlanStep::LoopEnd { min: _, max, back_to, .. } => {
+                        PlanStep::LoopEnd {
+                            min: _,
+                            max,
+                            back_to,
+                            ..
+                        } => {
                             // Re-charge the loop body (max - 1) more times,
                             // capped by the vertex population (MinDist/Dedup
                             // bound real frontiers by |V| per iteration).
@@ -87,17 +91,9 @@ impl HybridEngine {
                                 let mut f = 1.0f64;
                                 for s in &pipe.steps[*back_to as usize..i] {
                                     if let PlanStep::Expand { label, .. } = s {
-                                        let e = *self
-                                            .stats
-                                            .edges_by_label
-                                            .get(label)
-                                            .unwrap_or(&0)
+                                        let e = *self.stats.edges_by_label.get(label).unwrap_or(&0)
                                             as f64;
-                                        let src = *self
-                                            .stats
-                                            .src_by_label
-                                            .get(label)
-                                            .unwrap_or(&1)
+                                        let src = *self.stats.src_by_label.get(label).unwrap_or(&1)
                                             as f64;
                                         f *= (e / src.max(1.0)).max(0.1);
                                     }
@@ -171,7 +167,8 @@ mod tests {
             b.add_vertex(VertexId(i), person, vec![]).unwrap();
         }
         for i in 0..n {
-            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
+                .unwrap();
         }
         b.finish()
     }
@@ -194,12 +191,25 @@ mod tests {
         let small = khop(&g, 1);
         let large = khop(&g, 60);
         assert_eq!(engine.mode_for(&small), Mode::Async);
-        assert_eq!(engine.mode_for(&large), Mode::Sync, "estimate: {}", engine.estimate_traversers(&large));
+        assert_eq!(
+            engine.mode_for(&large),
+            Mode::Sync,
+            "estimate: {}",
+            engine.estimate_traversers(&large)
+        );
         // Both still answer correctly.
-        let rows = engine.query(&small, vec![Value::Vertex(VertexId(5))]).unwrap();
+        let rows = engine
+            .query(&small, vec![Value::Vertex(VertexId(5))])
+            .unwrap();
         assert_eq!(rows, vec![vec![Value::Vertex(VertexId(6))]]);
-        let rows = engine.query(&large, vec![Value::Vertex(VertexId(0))]).unwrap();
-        assert_eq!(rows.len(), 60, "60 distinct vertices within 60 hops on a ring");
+        let rows = engine
+            .query(&large, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
+        assert_eq!(
+            rows.len(),
+            60,
+            "60 distinct vertices within 60 hops on a ring"
+        );
         engine.shutdown();
     }
 

@@ -12,7 +12,9 @@
 use std::collections::VecDeque;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use graphdance_common::time::now;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -90,7 +92,9 @@ impl SharedWorker {
             // Pull from the shared (contended) queue.
             let mut executed = 0;
             while executed < self.batch {
-                let Some(t) = self.shared.queue.lock().pop_front() else { break };
+                let Some(t) = self.shared.queue.lock().pop_front() else {
+                    break;
+                };
                 self.execute(t);
                 executed += 1;
             }
@@ -133,7 +137,11 @@ impl SharedWorker {
                     }
                 }
             }
-            WorkerMsg::StartSource { query, pipeline, weight } => {
+            WorkerMsg::StartSource {
+                query,
+                pipeline,
+                weight,
+            } => {
                 let ctx = match self.shared.queries.read().get(&query) {
                     Some((c, s)) => (Arc::clone(c), *s),
                     None => return,
@@ -177,7 +185,6 @@ impl SharedWorker {
             WorkerMsg::Shutdown => unreachable!("handled by run()"),
         }
     }
-
 
     fn execute(&mut self, t: Traverser) {
         let query = t.query;
@@ -225,7 +232,8 @@ impl SharedWorker {
                     .finished
                     .add(out.finished);
             } else {
-                self.outbox.send_progress(query, out.finished, out.steps_executed as u64);
+                self.outbox
+                    .send_progress(query, out.finished, out.steps_executed as u64);
             }
         }
     }
@@ -268,8 +276,9 @@ impl NonPartitionedEngine {
         }
         let (coord_tx, coord_rx) = unbounded();
         let (fabric, mut threads) = Fabric::new(&config, worker_tx.clone(), coord_tx.clone());
-        let shared: Vec<Arc<NodeShared>> =
-            (0..config.nodes).map(|_| Arc::new(NodeShared::new())).collect();
+        let shared: Vec<Arc<NodeShared>> = (0..config.nodes)
+            .map(|_| Arc::new(NodeShared::new()))
+            .collect();
         for (i, inbox) in worker_rx.into_iter().enumerate() {
             let id = WorkerId(i as u32);
             let node = fabric.partitioner().node_of_worker(id);
@@ -334,7 +343,7 @@ impl QueryEngine for NonPartitionedEngine {
             params,
             read_ts: Some(self.txn.read_ts().max(1)),
             reply,
-            submitted_at: Instant::now(),
+            submitted_at: now(),
         };
         self.coord_tx.send(msg).map_err(|_| GdError::EngineClosed)?;
         rx.recv().unwrap_or(Err(GdError::EngineClosed))
@@ -364,7 +373,8 @@ mod tests {
             b.add_vertex(VertexId(i), person, vec![]).unwrap();
         }
         for i in 0..n {
-            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
+                .unwrap();
         }
         b.finish()
     }

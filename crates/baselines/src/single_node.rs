@@ -130,7 +130,8 @@ mod tests {
             b.add_vertex(VertexId(i), person, vec![]).unwrap();
         }
         for i in 0..8u64 {
-            b.add_edge(VertexId(i), knows, VertexId((i + 1) % 8), vec![]).unwrap();
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % 8), vec![])
+                .unwrap();
         }
         b.finish()
     }
@@ -144,7 +145,10 @@ mod tests {
         let mut b = QueryBuilder::new(g.schema());
         b.v_param(0).out("knows");
         let plan = b.compile().unwrap();
-        let rows = engine.query_timed(&plan, vec![Value::Vertex(VertexId(0))]).unwrap().rows;
+        let rows = engine
+            .query_timed(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap()
+            .rows;
         assert_eq!(rows, vec![vec![Value::Vertex(VertexId(1))]]);
         engine.shutdown();
     }
@@ -154,27 +158,35 @@ mod tests {
         let g = small_graph();
         // Capacity = half the dataset: excess fraction 0.5, factor ≈ 101.
         let cap = g.approx_bytes() / 2;
-        let engine = SingleNodeEngine::start(g.clone(), 2, cap)
-            .with_time_limit(Duration::from_secs(3600));
+        let engine =
+            SingleNodeEngine::start(g.clone(), 2, cap).with_time_limit(Duration::from_secs(3600));
         assert!(!engine.fits_in_memory());
         assert!(engine.slowdown_factor() > 50.0);
         let mut b = QueryBuilder::new(g.schema());
         b.v_param(0).out("knows");
         let plan = b.compile().unwrap();
-        let r = engine.query_timed(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
-        assert!(r.latency > Duration::from_millis(1), "penalty applied: {:?}", r.latency);
+        let r = engine
+            .query_timed(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
+        assert!(
+            r.latency > Duration::from_millis(1),
+            "penalty applied: {:?}",
+            r.latency
+        );
         engine.shutdown();
     }
 
     #[test]
     fn severe_overcommit_times_out() {
         let g = small_graph();
-        let engine = SingleNodeEngine::start(g.clone(), 2, 1)
-            .with_time_limit(Duration::from_micros(1));
+        let engine =
+            SingleNodeEngine::start(g.clone(), 2, 1).with_time_limit(Duration::from_micros(1));
         let mut b = QueryBuilder::new(g.schema());
         b.v_param(0).out("knows");
         let plan = b.compile().unwrap();
-        let err = engine.query_timed(&plan, vec![Value::Vertex(VertexId(0))]).unwrap_err();
+        let err = engine
+            .query_timed(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap_err();
         assert!(matches!(err, GdError::QueryTimeout(_)));
         engine.shutdown();
     }

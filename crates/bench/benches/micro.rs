@@ -75,7 +75,13 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_tel(c: &mut Criterion) {
     let mut tel = TelList::new();
     for i in 0..256u64 {
-        tel.insert(Label(0), VertexId(i), graphdance_common::EdgeId(i), 1, vec![]);
+        tel.insert(
+            Label(0),
+            VertexId(i),
+            graphdance_common::EdgeId(i),
+            1,
+            vec![],
+        );
     }
     c.bench_function("tel/scan_visible_256", |b| {
         b.iter(|| black_box(tel.scan_visible(Label(0), 10).count()));
@@ -86,10 +92,18 @@ fn bench_expr(c: &mut Criterion) {
     let record = VertexRecord {
         label: Label(0),
         create_ts: 0,
-        props: vec![(PropKey(0), Value::Int(42)), (PropKey(1), Value::str("alice"))],
+        props: vec![
+            (PropKey(0), Value::Int(42)),
+            (PropKey(1), Value::str("alice")),
+        ],
     };
     let locals = [Value::Int(5)];
-    let ctx = EvalCtx { vertex: VertexId(1), record: Some(&record), locals: &locals, params: &[] };
+    let ctx = EvalCtx {
+        vertex: VertexId(1),
+        record: Some(&record),
+        locals: &locals,
+        params: &[],
+    };
     let pred = Expr::And(vec![
         Expr::gt(Expr::Prop(PropKey(0)), Expr::int(10)),
         Expr::lt(Expr::Slot(0), Expr::int(100)),
@@ -109,7 +123,9 @@ fn bench_graph_partition(c: &mut Criterion) {
     }
     for i in 0..1000u64 {
         for d in 1..=8u64 {
-            builder.add_edge(VertexId(i), e, VertexId((i + d) % 1000), vec![]).unwrap();
+            builder
+                .add_edge(VertexId(i), e, VertexId((i + d) % 1000), vec![])
+                .unwrap();
         }
     }
     let g = builder.finish();
@@ -118,7 +134,11 @@ fn bench_graph_partition(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 1000;
-            black_box(part.edges(VertexId(i), Direction::Out, e, 1).unwrap().count())
+            black_box(
+                part.edges(VertexId(i), Direction::Out, e, 1)
+                    .unwrap()
+                    .count(),
+            )
         });
     });
 }
@@ -131,6 +151,7 @@ fn bench_agg(c: &mut Criterion) {
         k: 10,
         sort: vec![(Expr::Slot(0), Order::Desc)],
         output: vec![Expr::Slot(0)],
+        distinct: vec![],
     };
     c.bench_function("agg/topk_insert", |b| {
         let mut st = AggState::new(&func);

@@ -14,7 +14,11 @@ use graphdance_engine::{EngineConfig, GraphDance};
 fn main() {
     let quick = quick_mode();
     let trials = if quick { 2 } else { 5 };
-    let data = if quick { fs_dataset(true) } else { fs_dataset(false) };
+    let data = if quick {
+        fs_dataset(true)
+    } else {
+        fs_dataset(false)
+    };
     let n = data.params().vertices;
     let (nodes, wpn) = (2u32, 2u32);
 
@@ -22,9 +26,17 @@ fn main() {
     let threshold = 3.0 * n as f64;
     println!(
         "=== Hybrid Sync/Async (§VI-c extension) on {}, threshold = {:.0} est. traversers ===",
-        data.params().name, threshold
+        data.params().name,
+        threshold
     );
-    header(&["hops", "estimate  ", "mode ", "async (ms)", "bsp (ms)", "hybrid (ms)"]);
+    header(&[
+        "hops",
+        "estimate  ",
+        "mode ",
+        "async (ms)",
+        "bsp (ms)",
+        "hybrid (ms)",
+    ]);
     for k in [2i64, 3, 4, 6] {
         let g = build_khop_graph(&data, nodes, wpn);
         let plan = khop_topk_plan(&g, k);

@@ -19,7 +19,14 @@ fn main() {
     let (nodes, wpn) = (2u32, 4u32);
 
     println!("=== Fig. 11: progress vs other messages, {nodes} nodes x {wpn} workers ===");
-    header(&["dataset ", "hops", "mode  ", "progress msgs", "other msgs", "reduction"]);
+    header(&[
+        "dataset ",
+        "hops",
+        "mode  ",
+        "progress msgs",
+        "other msgs",
+        "reduction",
+    ]);
     for (dname, data) in &datasets {
         let n = data.params().vertices;
         for &k in hops {

@@ -22,7 +22,15 @@ fn main() {
     let (nodes, wpn) = (2u32, 4u32);
 
     println!("=== Fig. 12: two-tier I/O scheduler, {nodes} nodes x {wpn} workers ===");
-    header(&["dataset ", "hops", "Sync (ms)", "+TLC (ms)", "+TLC+NLC (ms)", "TLC speedup", "wire pkts S/T/N"]);
+    header(&[
+        "dataset ",
+        "hops",
+        "Sync (ms)",
+        "+TLC (ms)",
+        "+TLC+NLC (ms)",
+        "TLC speedup",
+        "wire pkts S/T/N",
+    ]);
     for (dname, data) in &datasets {
         let n = data.params().vertices;
         for &k in hops {

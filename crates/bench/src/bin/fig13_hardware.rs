@@ -12,7 +12,11 @@ fn main() {
     let quick = quick_mode();
     let trials = if quick { 2 } else { 5 };
     let hops: &[i64] = if quick { &[2, 3] } else { &[2, 3, 4] };
-    let data = if quick { lj_dataset(true) } else { fs_dataset(false) };
+    let data = if quick {
+        lj_dataset(true)
+    } else {
+        fs_dataset(false)
+    };
     let n = data.params().vertices;
     let nodes = 2u32;
     let nets = [
@@ -24,7 +28,8 @@ fn main() {
 
     println!(
         "=== Fig. 13: relative latency vs best config ({} on {} nodes) ===",
-        data.params().name, nodes
+        data.params().name,
+        nodes
     );
     header(&["hops", "net    ", "w=8", "w=4", "w=2"]);
     for &k in hops {
@@ -48,9 +53,17 @@ fn main() {
             .expect("grid non-empty");
         for (ni, (nname, _)) in nets.iter().enumerate() {
             let rel: Vec<String> = (0..cores.len())
-                .map(|ci| format!("{:5.2}x", grid[ni][ci].as_secs_f64() / best.as_secs_f64().max(1e-9)))
+                .map(|ci| {
+                    format!(
+                        "{:5.2}x",
+                        grid[ni][ci].as_secs_f64() / best.as_secs_f64().max(1e-9)
+                    )
+                })
                 .collect();
-            println!("{:4} | {:7} | {} | {} | {}", k, nname, rel[0], rel[1], rel[2]);
+            println!(
+                "{:4} | {:7} | {} | {} | {}",
+                k, nname, rel[0], rel[1], rel[2]
+            );
         }
     }
     println!("\n(Paper: up to 2.74x from modern hardware on 3/4-hop; 2-hop flat; both bandwidth and cores matter.)");

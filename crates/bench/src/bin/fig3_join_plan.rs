@@ -29,7 +29,11 @@ fn main() {
 
     let pattern = PathPattern {
         left: SourceSpec::Param { param: 0 },
-        right: SourceSpec::IndexLookup { label: tag_label, key: name, value: Expr::Param(1) },
+        right: SourceSpec::IndexLookup {
+            label: tag_label,
+            key: name,
+            value: Expr::Param(1),
+        },
         hops: vec![
             PatternHop::new(Direction::Both, knows),
             PatternHop::new(Direction::Both, knows),
@@ -44,7 +48,10 @@ fn main() {
     let stats = graph.stats();
     let planner = JoinPlanner::new(&stats);
     let choice = planner.choose(&pattern);
-    println!("=== Fig. 3: join-vs-expand planning on {} ===", data.params().name);
+    println!(
+        "=== Fig. 3: join-vs-expand planning on {} ===",
+        data.params().name
+    );
     println!(
         "planner pick: split = {} (0 = all-from-Tag, 4 = all-from-Person, interior = join)\n",
         choice.split
@@ -54,7 +61,9 @@ fn main() {
     let trials = if quick { 3 } else { 8 };
     header(&["split", "est. cost", "avg latency (ms)", "avg rows", "note"]);
     for split in 0..=pattern.hops.len() {
-        let plan = planner.plan_with_split(&pattern, split).expect("plan builds");
+        let plan = planner
+            .plan_with_split(&pattern, split)
+            .expect("plan builds");
         let mut rng = seeded(31); // same parameter sequence for every split
         let mut total = std::time::Duration::ZERO;
         let mut rows_total = 0usize;
@@ -72,12 +81,20 @@ fn main() {
             }
         }
         let est = format!("{:10.1}", planner.cost_of_split(&pattern.hops, split));
-        let note = if split == choice.split { "<= planner pick" } else { "" };
+        let note = if split == choice.split {
+            "<= planner pick"
+        } else {
+            ""
+        };
         println!(
             "{:5} | {} | {}        | {:8.1} | {}",
             split,
             est,
-            ms(if ok == 0 { std::time::Duration::MAX } else { total / ok }),
+            ms(if ok == 0 {
+                std::time::Duration::MAX
+            } else {
+                total / ok
+            }),
             rows_total as f64 / trials as f64,
             note
         );

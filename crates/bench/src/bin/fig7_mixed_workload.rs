@@ -18,7 +18,11 @@ fn main() {
     let quick = quick_mode();
     let data = sf300_dataset(quick);
     let (nodes, wpn) = (2u32, 4u32);
-    let tcrs = if quick { vec![3.0, 0.3] } else { vec![3.0, 0.3, 0.03] };
+    let tcrs = if quick {
+        vec![3.0, 0.3]
+    } else {
+        vec![3.0, 0.3, 0.03]
+    };
     // The paper's TCRs are defined against its hardware's capacity. Our
     // simulated ICs are ~100x slower than the paper's testbed, so the base
     // rate is recalibrated such that TCR 3 and 0.3 are sustainable for an
@@ -26,8 +30,18 @@ fn main() {
     // preserving the figure's meaning.
     let base_rate = 6.0;
 
-    println!("=== Fig. 7: mixed SNB interactive workload on {} ===", data.params().name);
-    header(&["engine    ", "TCR  ", "IC avg/p99", "IS avg/p99", "UP avg/p99", "sustained"]);
+    println!(
+        "=== Fig. 7: mixed SNB interactive workload on {} ===",
+        data.params().name
+    );
+    header(&[
+        "engine    ",
+        "TCR  ",
+        "IC avg/p99",
+        "IS avg/p99",
+        "UP avg/p99",
+        "sustained",
+    ]);
 
     for tcr in tcrs {
         // GraphDance: full IC set.
@@ -40,7 +54,11 @@ fn main() {
             let mut cfg = TcrConfig::new(tcr);
             cfg.base_ops_per_sec = base_rate;
             cfg.clients = 32;
-            cfg.duration = if quick { Duration::from_millis(1200) } else { Duration::from_secs(4) };
+            cfg.duration = if quick {
+                Duration::from_millis(1200)
+            } else {
+                Duration::from_secs(4)
+            };
             let r = run_mixed(&engine, engine.txn(), &schema, &data, &ic, &is_, &cfg);
             println!(
                 "GraphDance | {:5} | {} | {} | {} | {}",
@@ -63,7 +81,11 @@ fn main() {
             let mut cfg = TcrConfig::new(tcr);
             cfg.base_ops_per_sec = base_rate;
             cfg.clients = 32;
-            cfg.duration = if quick { Duration::from_millis(1200) } else { Duration::from_secs(4) };
+            cfg.duration = if quick {
+                Duration::from_millis(1200)
+            } else {
+                Duration::from_secs(4)
+            };
             cfg.ic_subset = (0..14).filter(|i| ![2usize, 8, 13].contains(i)).collect();
             let r = run_mixed(&engine, &txn, &schema, &data, &ic, &is_, &cfg);
             println!(

@@ -19,12 +19,22 @@ use std::time::Duration;
 fn bench_dataset(name: &str, data: &SnbDataset, quick: bool) {
     let (nodes, wpn) = (2u32, 4u32);
     let lat_trials = if quick { 2 } else { 4 };
-    let tp_window = if quick { Duration::from_millis(400) } else { Duration::from_secs(1) };
+    let tp_window = if quick {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(1)
+    };
     let tp_clients = if quick { 8 } else { 32 };
-    let kinds = [EngineKind::GraphDance, EngineKind::Bsp, EngineKind::NonPartitioned];
+    let kinds = [
+        EngineKind::GraphDance,
+        EngineKind::Bsp,
+        EngineKind::NonPartitioned,
+    ];
 
     println!("\n=== Fig. 8: {name} — sequential latency (ms) and throughput (q/s) ===");
-    header(&["query", "GD lat", "BSP lat", "NP lat", "GD q/s", "BSP q/s", "NP q/s"]);
+    header(&[
+        "query", "GD lat", "BSP lat", "NP lat", "GD q/s", "BSP q/s", "NP q/s",
+    ]);
 
     // Build one engine per kind and reuse across the 14 queries.
     let engines: Vec<(EngineKind, Box<dyn QueryEngine>)> = kinds

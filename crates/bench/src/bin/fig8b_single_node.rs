@@ -22,8 +22,14 @@ fn main() {
     let sf1000 = sf1000_dataset(quick);
 
     // Simulated node DRAM: comfortably above SF300-sim, below SF1000-sim.
-    let sf300_bytes = sf300.build(Partitioner::new(1, 8)).expect("builds").approx_bytes();
-    let sf1000_bytes = sf1000.build(Partitioner::new(1, 8)).expect("builds").approx_bytes();
+    let sf300_bytes = sf300
+        .build(Partitioner::new(1, 8))
+        .expect("builds")
+        .approx_bytes();
+    let sf1000_bytes = sf1000
+        .build(Partitioner::new(1, 8))
+        .expect("builds")
+        .approx_bytes();
     let capacity = sf300_bytes + (sf1000_bytes - sf300_bytes) / 4;
     println!(
         "node DRAM capacity: {:.1} MB (SF300-sim = {:.1} MB, SF1000-sim = {:.1} MB)",
@@ -33,7 +39,10 @@ fn main() {
     );
 
     for data in [&sf300, &sf1000] {
-        println!("\n=== {}: GraphDance (2x4 distributed) vs Single-Node (1x8) ===", data.params().name);
+        println!(
+            "\n=== {}: GraphDance (2x4 distributed) vs Single-Node (1x8) ===",
+            data.params().name
+        );
         header(&["query", "GD lat (ms)", "SN lat (ms)", "GD q/s", "SN q/s"]);
         let gd_graph = data.build(Partitioner::new(2, 4)).expect("builds");
         let gd = GraphDance::start(gd_graph, EngineConfig::new(2, 4));
@@ -43,7 +52,11 @@ fn main() {
         let mut schema = graphdance_storage::Schema::new();
         graphdance_datagen::SnbDataset::register_schema(&mut schema);
         let plans = build_ic_plans(&schema).expect("IC plans");
-        let subset: Vec<usize> = if quick { vec![0, 1, 6, 12] } else { (0..14).collect() };
+        let subset: Vec<usize> = if quick {
+            vec![0, 1, 6, 12]
+        } else {
+            (0..14).collect()
+        };
         let mut sn_timeouts = 0;
         for qi in subset {
             let mut rng = graphdance_common::rng::seeded(99 + qi as u64);
@@ -55,10 +68,20 @@ fn main() {
             if sn_lat == Duration::MAX {
                 sn_timeouts += 1;
             }
-            let gd_tp =
-                run_throughput(&gd, &plans[qi], &|r| ic_params(qi, data, r), 16, Duration::from_millis(300));
-            let sn_tp =
-                run_throughput(&sn, &plans[qi], &|r| ic_params(qi, data, r), 16, Duration::from_millis(300));
+            let gd_tp = run_throughput(
+                &gd,
+                &plans[qi],
+                &|r| ic_params(qi, data, r),
+                16,
+                Duration::from_millis(300),
+            );
+            let sn_tp = run_throughput(
+                &sn,
+                &plans[qi],
+                &|r| ic_params(qi, data, r),
+                16,
+                Duration::from_millis(300),
+            );
             println!(
                 "{:5} | {}   | {}   | {:7.1} | {:7.1}",
                 IC_NAMES[qi],
@@ -68,7 +91,11 @@ fn main() {
                 sn_tp
             );
         }
-        println!("single-node timeouts on {}: {}", data.params().name, sn_timeouts);
+        println!(
+            "single-node timeouts on {}: {}",
+            data.params().name,
+            sn_timeouts
+        );
         gd.shutdown();
         Box::new(sn).stop();
     }

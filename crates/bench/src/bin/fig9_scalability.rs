@@ -30,7 +30,14 @@ fn main() {
     for (dname, data) in &datasets {
         let n = data.params().vertices;
         println!("\n=== Fig. 9 (vertical): {dname}, 1 node, varying workers ===");
-        header(&["engine    ", "hops", "w=1 (ms)", "w=2 (ms)", "w=4 (ms)", "w=8 (ms)"]);
+        header(&[
+            "engine    ",
+            "hops",
+            "w=1 (ms)",
+            "w=2 (ms)",
+            "w=4 (ms)",
+            "w=8 (ms)",
+        ]);
         for &k in hops {
             for kind in engines {
                 let mut cells = Vec::new();
@@ -42,12 +49,27 @@ fn main() {
                     cells.push(ms(avg));
                     engine.stop();
                 }
-                println!("{:10} | {:4} | {} | {} | {} | {}", kind.name(), k, cells[0], cells[1], cells[2], cells[3]);
+                println!(
+                    "{:10} | {:4} | {} | {} | {} | {}",
+                    kind.name(),
+                    k,
+                    cells[0],
+                    cells[1],
+                    cells[2],
+                    cells[3]
+                );
             }
         }
 
         println!("\n=== Fig. 9 (horizontal): {dname}, varying nodes × 2 workers ===");
-        header(&["engine    ", "hops", "n=1 (ms)", "n=2 (ms)", "n=4 (ms)", "n=8 (ms)"]);
+        header(&[
+            "engine    ",
+            "hops",
+            "n=1 (ms)",
+            "n=2 (ms)",
+            "n=4 (ms)",
+            "n=8 (ms)",
+        ]);
         for &k in hops {
             for kind in engines {
                 let mut cells = Vec::new();
@@ -59,7 +81,15 @@ fn main() {
                     cells.push(ms(avg));
                     engine.stop();
                 }
-                println!("{:10} | {:4} | {} | {} | {} | {}", kind.name(), k, cells[0], cells[1], cells[2], cells[3]);
+                println!(
+                    "{:10} | {:4} | {} | {} | {} | {}",
+                    kind.name(),
+                    k,
+                    cells[0],
+                    cells[1],
+                    cells[2],
+                    cells[3]
+                );
             }
         }
     }

@@ -34,11 +34,24 @@ fn main() {
         b.compile().expect("compiles")
     };
 
-    println!("=== Table I (measured on {}, {} vertices) ===", data.params().name, total_v);
-    header(&["class          ", "example", "stages", "plan steps", "avg latency", "accessed %"]);
+    println!(
+        "=== Table I (measured on {}, {} vertices) ===",
+        data.params().name,
+        total_v
+    );
+    header(&[
+        "class          ",
+        "example",
+        "stages",
+        "plan steps",
+        "avg latency",
+        "accessed %",
+    ]);
 
     let total_data = total_v + graphdance_bench_total_edges(&data);
-    let measure = |label: &str, plan: &graphdance_query::plan::Plan, params: &mut dyn FnMut() -> Vec<graphdance_common::Value>| {
+    let measure = |label: &str,
+                   plan: &graphdance_query::plan::Plan,
+                   params: &mut dyn FnMut() -> Vec<graphdance_common::Value>| {
         let mut lat = std::time::Duration::ZERO;
         let mut steps = 0u64;
         let mut ok = 0u32;
@@ -64,19 +77,21 @@ fn main() {
     };
     let is_plan = is2(&schema).expect("compiles");
     let mut rng = seeded(1);
-    measure("transactional   | IS2    ", &is_plan, &mut || is_params(1, &data, &mut rng));
+    measure("transactional   | IS2    ", &is_plan, &mut || {
+        is_params(1, &data, &mut rng)
+    });
     let ic_plan = ic9(&schema).expect("compiles");
     let mut rng = seeded(2);
-    measure("complex read    | IC9    ", &ic_plan, &mut || ic_params(8, &data, &mut rng));
+    measure("complex read    | IC9    ", &ic_plan, &mut || {
+        ic_params(8, &data, &mut rng)
+    });
     measure("offline scan    | count()", &offline_plan, &mut || vec![]);
 
     // Full offline analytics: 20 PageRank iterations over the whole graph.
     let pr_graph = data.build(Partitioner::new(1, 8)).expect("builds");
-    let t0 = std::time::Instant::now();
-    let ranks = graphdance_analytics::pagerank(
-        &pr_graph,
-        &graphdance_analytics::PageRankConfig::default(),
-    );
+    let t0 = graphdance_common::time::now();
+    let ranks =
+        graphdance_analytics::pagerank(&pr_graph, &graphdance_analytics::PageRankConfig::default());
     println!(
         "offline PR(20)  | pagerank|      - |          - | {} ms  ({} vertices ranked)",
         ms(t0.elapsed()),

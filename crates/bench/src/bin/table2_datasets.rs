@@ -9,11 +9,20 @@ use graphdance_common::Partitioner;
 fn main() {
     let quick = quick_mode();
     println!("=== Table II: dataset summaries (scaled-down simulations) ===");
-    header(&["dataset     ", "vertices", "edges   ", "raw size (MB)", "paper original"]);
+    header(&[
+        "dataset     ",
+        "vertices",
+        "edges   ",
+        "raw size (MB)",
+        "paper original",
+    ]);
 
     let sf300 = sf300_dataset(quick);
     let sf1000 = sf1000_dataset(quick);
-    for (data, paper) in [(&sf300, "969.9M v / 6.73B e / 256 GB"), (&sf1000, "2.93B v / 20.7B e / 862 GB")] {
+    for (data, paper) in [
+        (&sf300, "969.9M v / 6.73B e / 256 GB"),
+        (&sf1000, "2.93B v / 20.7B e / 862 GB"),
+    ] {
         let s = data.summary();
         let g = data.build(Partitioner::new(1, 2)).expect("builds");
         println!(

@@ -46,12 +46,20 @@ pub fn quick_mode() -> bool {
 
 /// Generate (once) the lj-sim dataset.
 pub fn lj_dataset(quick: bool) -> KhopDataset {
-    KhopDataset::generate(KhopParams::lj_sim(if quick { LJ_VERTICES_QUICK } else { LJ_VERTICES }))
+    KhopDataset::generate(KhopParams::lj_sim(if quick {
+        LJ_VERTICES_QUICK
+    } else {
+        LJ_VERTICES
+    }))
 }
 
 /// Generate (once) the fs-sim dataset.
 pub fn fs_dataset(quick: bool) -> KhopDataset {
-    KhopDataset::generate(KhopParams::fs_sim(if quick { FS_VERTICES_QUICK } else { FS_VERTICES }))
+    KhopDataset::generate(KhopParams::fs_sim(if quick {
+        FS_VERTICES_QUICK
+    } else {
+        FS_VERTICES
+    }))
 }
 
 /// Generate the SF300-sim SNB dataset (scaled further down in quick mode).
@@ -75,13 +83,19 @@ pub fn sf1000_dataset(quick: bool) -> SnbDataset {
 /// The Fig. 1 k-hop query: all vertices within `k` hops of `$0`, top 10 by
 /// vertex weight (ties by id).
 pub fn khop_topk_plan(graph: &Graph, k: i64) -> Plan {
-    let w = graph.schema().prop("weight").expect("khop graphs carry weights");
+    let w = graph
+        .schema()
+        .prop("weight")
+        .expect("khop graphs carry weights");
     let mut b = QueryBuilder::new(graph.schema());
     b.v_param(0);
     let c = b.alloc_slot();
     let d = b.alloc_slot();
     b.repeat(1, k, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.out("link");
         r.min_dist(d);
     });
@@ -159,7 +173,8 @@ impl EngineKind {
 
 /// Build a graph for a topology from a k-hop dataset.
 pub fn build_khop_graph(data: &KhopDataset, nodes: u32, wpn: u32) -> Graph {
-    data.build(Partitioner::new(nodes, wpn)).expect("dataset builds")
+    data.build(Partitioner::new(nodes, wpn))
+        .expect("dataset builds")
 }
 
 /// Closed-loop throughput: `clients` threads issue queries back-to-back
@@ -174,7 +189,7 @@ pub fn run_throughput(
 ) -> f64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     let done = AtomicU64::new(0);
-    let start = std::time::Instant::now();
+    let start = graphdance_common::time::now();
     std::thread::scope(|scope| {
         for c in 0..clients {
             let done = &done;
@@ -229,7 +244,10 @@ pub fn ms(d: Duration) -> String {
 /// Print a table header row.
 pub fn header(cols: &[&str]) {
     println!("{}", cols.join(" | "));
-    println!("{}", "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>()));
+    println!(
+        "{}",
+        "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>())
+    );
 }
 
 #[cfg(test)]

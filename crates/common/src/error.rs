@@ -29,6 +29,11 @@ pub enum GdError {
     QueryTimeout(QueryId),
     /// A transaction was aborted by concurrency control.
     TxnAborted(String),
+    /// A runtime invariant checker (weight conservation, message
+    /// conservation, liveness watchdog) detected a violation. Carries the
+    /// checker's diagnostic dump. Only produced in debug builds, where the
+    /// checkers are active; indicates an engine bug, not a user error.
+    InvariantViolation(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
 }
@@ -46,6 +51,7 @@ impl fmt::Display for GdError {
             GdError::EngineClosed => write!(f, "engine is shut down"),
             GdError::QueryTimeout(q) => write!(f, "query {q:?} timed out"),
             GdError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            GdError::InvariantViolation(m) => write!(f, "invariant violation: {m}"),
             GdError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -63,9 +69,12 @@ mod tests {
             GdError::VertexNotFound(VertexId(3)).to_string(),
             "vertex v3 not found"
         );
-        assert!(GdError::Parse { offset: 4, message: "x".into() }
-            .to_string()
-            .contains("byte 4"));
+        assert!(GdError::Parse {
+            offset: 4,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("byte 4"));
         assert!(GdError::QueryTimeout(QueryId(1)).to_string().contains("q1"));
     }
 

@@ -4,6 +4,8 @@
 //! memo access; SipHash would dominate profiles. This is a self-contained
 //! reimplementation so we stay within the approved dependency set.
 
+// lint: allow(std-hash) — the alias definition site: Fx types *are* std maps
+// with an explicit non-SipHash hasher.
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Vertex ids are globally unique across the whole graph (not per-partition);
 /// the partition owning a vertex is derived via [`crate::Partitioner`].
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct VertexId(pub u64);
 
 impl VertexId {
@@ -51,9 +49,7 @@ impl From<u64> for VertexId {
 /// Edge ids are unique within the partition that owns the edge's source
 /// vertex (edges are stored with their source, matching the shared-nothing
 /// layout of §IV).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct EdgeId(pub u64);
 
 impl fmt::Debug for EdgeId {
@@ -64,9 +60,7 @@ impl fmt::Debug for EdgeId {
 
 /// Identifier of a graph partition (`PartId = {0, 1, .., n_parts - 1}`,
 /// paper §II-C). Each partition is owned by exactly one worker thread.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct PartId(pub u32);
 
 impl PartId {
@@ -84,9 +78,7 @@ impl fmt::Debug for PartId {
 
 /// Identifier of a (simulated) cluster node. A node hosts several workers and
 /// one network thread (§IV-B).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -105,9 +97,7 @@ impl fmt::Debug for NodeId {
 /// Identifier of a worker thread. Workers map 1:1 to partitions, so a
 /// `WorkerId` and a `PartId` carry the same number; the distinct types keep
 /// the runtime plumbing honest about which concept it is handling.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct WorkerId(pub u32);
 
 impl WorkerId {
@@ -132,9 +122,7 @@ impl fmt::Debug for WorkerId {
 /// Identifier of a running query. Assigned by the coordinator; unique for the
 /// lifetime of the cluster. Memoranda entries are keyed by `QueryId` so they
 /// can be reclaimed when the query terminates (§III-B).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct QueryId(pub u64);
 
 impl fmt::Debug for QueryId {
@@ -148,9 +136,7 @@ impl fmt::Debug for QueryId {
 /// Scope 0 is the root traversal; each aggregation subquery opens a fresh
 /// scope with its own weight domain (§III-C). Scope ids are assigned by the
 /// query compiler, not at runtime, so all workers agree on them.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ScopeId(pub u32);
 
 impl ScopeId {
@@ -166,9 +152,7 @@ impl fmt::Debug for ScopeId {
 
 /// An interned vertex/edge label (e.g. `Person`, `KNOWS`). Schemas are small,
 /// so a `u16` suffices; the schema object owns the string table.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Label(pub u16);
 
 impl Label {
@@ -188,9 +172,7 @@ impl fmt::Debug for Label {
 
 /// An interned property key (the `Key` of `λ : (V ⊎ E) × Key -> Value`,
 /// §II-B). The schema object owns the string table.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct PropKey(pub u16);
 
 impl fmt::Debug for PropKey {

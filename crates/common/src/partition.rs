@@ -26,7 +26,10 @@ impl Partitioner {
     pub fn new(nodes: u32, workers_per_node: u32) -> Self {
         assert!(nodes > 0, "cluster needs at least one node");
         assert!(workers_per_node > 0, "node needs at least one worker");
-        Partitioner { nodes, workers_per_node }
+        Partitioner {
+            nodes,
+            workers_per_node,
+        }
     }
 
     /// A single-partition topology, used by tests and the single-node
@@ -122,7 +125,10 @@ mod tests {
         assert_eq!(p.node_of_worker(WorkerId(4)), NodeId(1));
         assert_eq!(p.node_of_worker(WorkerId(7)), NodeId(1));
         let on_n1: Vec<_> = p.workers_on(NodeId(1)).collect();
-        assert_eq!(on_n1, vec![WorkerId(4), WorkerId(5), WorkerId(6), WorkerId(7)]);
+        assert_eq!(
+            on_n1,
+            vec![WorkerId(4), WorkerId(5), WorkerId(6), WorkerId(7)]
+        );
     }
 
     #[test]

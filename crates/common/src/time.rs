@@ -1,9 +1,23 @@
-//! Date/time helpers.
+//! Date/time helpers, and the engine's one sanctioned wall clock.
 //!
 //! LDBC SNB properties (`creationDate`, `birthday`, `joinDate`, ...) are
 //! timestamps. We store them as epoch milliseconds inside [`crate::Value::Int`]
 //! and provide just enough calendar arithmetic for the benchmark queries
 //! (which filter by date ranges and by birthday month/day).
+//!
+//! [`now`] is the only place the engine reads the host clock. Everything
+//! else must call it instead of `std::time::Instant::now()` — enforced by
+//! `cargo xtask check` (the `nondeterminism` lint) — so that clock reads
+//! are findable in one grep and can be centrally instrumented or frozen.
+
+use std::time::Instant;
+
+/// Read the wall clock. The single sanctioned `Instant::now()` in the
+/// workspace; see the module docs.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now() // lint: allow(nondeterminism) — the sanctioned clock read
+}
 
 /// Milliseconds in one day.
 pub const MILLIS_PER_DAY: i64 = 24 * 60 * 60 * 1000;

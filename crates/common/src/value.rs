@@ -284,7 +284,8 @@ mod tests {
         assert_eq!(Value::Null.cmp_total(&Value::Int(0)), Ordering::Less);
         assert_eq!(Value::str("a").cmp_total(&Value::Int(9)), Ordering::Greater);
         assert_eq!(
-            Value::list(vec![Value::Int(1)]).cmp_total(&Value::list(vec![Value::Int(1), Value::Int(2)])),
+            Value::list(vec![Value::Int(1)])
+                .cmp_total(&Value::list(vec![Value::Int(1), Value::Int(2)])),
             Ordering::Less
         );
     }
@@ -313,7 +314,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Value::list(vec![Value::Int(1), Value::str("x")]).to_string(), "[1, x]");
+        assert_eq!(
+            Value::list(vec![Value::Int(1), Value::str("x")]).to_string(),
+            "[1, x]"
+        );
         assert_eq!(Value::Vertex(VertexId(5)).to_string(), "v5");
     }
 }

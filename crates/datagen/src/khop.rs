@@ -106,7 +106,11 @@ impl KhopDataset {
         edges.dedup();
         let mut wrng = derive(params.seed, 2);
         let weights = (0..n).map(|_| wrng.gen_range(0..1_000_000i64)).collect();
-        KhopDataset { params, edges, weights }
+        KhopDataset {
+            params,
+            edges,
+            weights,
+        }
     }
 
     /// The generation parameters.
@@ -205,11 +209,20 @@ mod tests {
         assert_eq!(g.total_edges(), d.num_edges());
         // weights readable
         let w = g.schema().prop("weight").unwrap();
-        assert!(g.vertex_prop(VertexId(0), w).unwrap().unwrap().as_int().is_some());
+        assert!(g
+            .vertex_prop(VertexId(0), w)
+            .unwrap()
+            .unwrap()
+            .as_int()
+            .is_some());
         // edges traversable
         let link = g.schema().edge_label("link").unwrap();
         let deg: usize = (0..300)
-            .map(|v| g.neighbors(VertexId(v), Direction::Out, link, 1).unwrap().len())
+            .map(|v| {
+                g.neighbors(VertexId(v), Direction::Out, link, 1)
+                    .unwrap()
+                    .len()
+            })
             .sum();
         assert_eq!(deg as u64, d.num_edges());
     }

@@ -8,8 +8,8 @@
 //! Complex queries read. Degree and activity distributions are power-law;
 //! everything is derived from one seed.
 
-use rand::Rng;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use graphdance_common::rng::{derive, PowerLaw};
 use graphdance_common::time::date_millis;
@@ -19,14 +19,37 @@ use graphdance_storage::{Graph, GraphBuilder, Schema};
 use crate::DatasetSummary;
 
 const FIRST_NAMES: &[&str] = &[
-    "Jan", "Yang", "Chen", "Otto", "Aditi", "Bryn", "Carmen", "Deepak", "Emil", "Farah",
-    "Gustav", "Hana", "Ivan", "Jun", "Karl", "Lin", "Mahinda", "Nadia", "Omar", "Priya",
-    "Quentin", "Rahul", "Sofia", "Tariq", "Uma", "Viktor", "Wei", "Ximena", "Yusuf", "Zofia",
+    "Jan", "Yang", "Chen", "Otto", "Aditi", "Bryn", "Carmen", "Deepak", "Emil", "Farah", "Gustav",
+    "Hana", "Ivan", "Jun", "Karl", "Lin", "Mahinda", "Nadia", "Omar", "Priya", "Quentin", "Rahul",
+    "Sofia", "Tariq", "Uma", "Viktor", "Wei", "Ximena", "Yusuf", "Zofia",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Andersson", "Bauer", "Chen", "Dubois", "Eriksson", "Fischer", "Garcia", "Hoffmann",
-    "Ivanov", "Johansson", "Kumar", "Li", "Martinez", "Nguyen", "Olsen", "Petrov", "Quist",
-    "Rodriguez", "Sato", "Tanaka", "Ullman", "Virtanen", "Wang", "Xu", "Yamamoto", "Zhang",
+    "Andersson",
+    "Bauer",
+    "Chen",
+    "Dubois",
+    "Eriksson",
+    "Fischer",
+    "Garcia",
+    "Hoffmann",
+    "Ivanov",
+    "Johansson",
+    "Kumar",
+    "Li",
+    "Martinez",
+    "Nguyen",
+    "Olsen",
+    "Petrov",
+    "Quist",
+    "Rodriguez",
+    "Sato",
+    "Tanaka",
+    "Ullman",
+    "Virtanen",
+    "Wang",
+    "Xu",
+    "Yamamoto",
+    "Zhang",
 ];
 const BROWSERS: &[&str] = &["Firefox", "Chrome", "Safari", "Opera", "InternetExplorer"];
 const LANGUAGES: &[&str] = &["en", "zh", "de", "es", "ta"];
@@ -275,11 +298,17 @@ impl SnbDataset {
                     ip: rand_ip(&mut rng),
                     city: rng.gen_range(0..num_cities),
                     university: rng.gen_bool(0.8).then(|| {
-                        (rng.gen_range(0..universities.len()), rng.gen_range(2000..2013) as i64)
+                        (
+                            rng.gen_range(0..universities.len()),
+                            rng.gen_range(2000..2013) as i64,
+                        )
                     }),
                     companies: (0..rng.gen_range(0..=2))
                         .map(|_| {
-                            (rng.gen_range(0..companies.len()), rng.gen_range(1990..2013) as i64)
+                            (
+                                rng.gen_range(0..companies.len()),
+                                rng.gen_range(1990..2013) as i64,
+                            )
                         })
                         .collect(),
                     interests,
@@ -327,16 +356,17 @@ impl SnbDataset {
                         break;
                     }
                     if seen.insert(p) {
-                        let join = rand_date(
-                            &mut rng,
-                            creation.max(persons[p].creation),
-                            data_end,
-                        );
+                        let join = rand_date(&mut rng, creation.max(persons[p].creation), data_end);
                         members.push((p, join));
                         member_of[p].push(i);
                     }
                 }
-                Forum { title: format!("Forum_{i}"), creation, moderator, members }
+                Forum {
+                    title: format!("Forum_{i}"),
+                    creation,
+                    moderator,
+                    members,
+                }
             })
             .collect();
 
@@ -401,8 +431,9 @@ impl SnbDataset {
             } else {
                 rng.gen_range(0..num_countries)
             };
-            let mut tags_v: Vec<usize> =
-                (0..rng.gen_range(0..=2)).map(|_| tag_pop.sample(&mut rng)).collect();
+            let mut tags_v: Vec<usize> = (0..rng.gen_range(0..=2))
+                .map(|_| tag_pop.sample(&mut rng))
+                .collect();
             tags_v.sort_unstable();
             tags_v.dedup();
             comments.push(Comment {
@@ -434,8 +465,7 @@ impl SnbDataset {
             let k = (like_pop.sample(&mut rng) as f64 * params.likes_per_message / 6.0) as usize;
             for _ in 0..k {
                 let person = rng.gen_range(0..n);
-                let date =
-                    rand_date(&mut rng, c.base.creation, data_end.max(c.base.creation + 1));
+                let date = rand_date(&mut rng, c.base.creation, data_end.max(c.base.creation + 1));
                 likes.push((person, vid(Kind::Comment, i), date));
             }
         }
@@ -457,8 +487,17 @@ impl SnbDataset {
     /// Register the full SNB schema (labels and property keys).
     pub fn register_schema(schema: &mut Schema) {
         for l in [
-            "Person", "City", "Country", "Continent", "University", "Company", "Tag",
-            "TagClass", "Forum", "Post", "Comment",
+            "Person",
+            "City",
+            "Country",
+            "Continent",
+            "University",
+            "Company",
+            "Tag",
+            "TagClass",
+            "Forum",
+            "Post",
+            "Comment",
         ] {
             schema.register_vertex_label(l);
         }
@@ -482,8 +521,19 @@ impl SnbDataset {
             schema.register_edge_label(l);
         }
         for p in [
-            "firstName", "lastName", "gender", "birthday", "creationDate", "browserUsed",
-            "locationIP", "name", "title", "length", "language", "classYear", "workFrom",
+            "firstName",
+            "lastName",
+            "gender",
+            "birthday",
+            "creationDate",
+            "browserUsed",
+            "locationIP",
+            "name",
+            "title",
+            "length",
+            "language",
+            "classYear",
+            "workFrom",
             "joinDate",
         ] {
             schema.register_prop(p);
@@ -503,40 +553,101 @@ impl SnbDataset {
 
         // Places.
         for (i, name) in CONTINENTS.iter().enumerate() {
-            b.add_vertex(vid(Kind::Continent, i), vl("Continent"), vec![(pk("name"), Value::str(name))])?;
+            b.add_vertex(
+                vid(Kind::Continent, i),
+                vl("Continent"),
+                vec![(pk("name"), Value::str(name))],
+            )?;
         }
         for (i, (name, continent)) in COUNTRIES.iter().enumerate() {
-            b.add_vertex(vid(Kind::Country, i), vl("Country"), vec![(pk("name"), Value::str(name))])?;
-            b.add_edge(vid(Kind::Country, i), el("isPartOf"), vid(Kind::Continent, *continent), vec![])?;
+            b.add_vertex(
+                vid(Kind::Country, i),
+                vl("Country"),
+                vec![(pk("name"), Value::str(name))],
+            )?;
+            b.add_edge(
+                vid(Kind::Country, i),
+                el("isPartOf"),
+                vid(Kind::Continent, *continent),
+                vec![],
+            )?;
         }
         for c in 0..num_cities {
             let country = c / CITIES_PER_COUNTRY;
             b.add_vertex(
                 vid(Kind::City, c),
                 vl("City"),
-                vec![(pk("name"), Value::str(format!("City_{}_{}", COUNTRIES[country].0, c % CITIES_PER_COUNTRY)))],
+                vec![(
+                    pk("name"),
+                    Value::str(format!(
+                        "City_{}_{}",
+                        COUNTRIES[country].0,
+                        c % CITIES_PER_COUNTRY
+                    )),
+                )],
             )?;
-            b.add_edge(vid(Kind::City, c), el("isPartOf"), vid(Kind::Country, country), vec![])?;
+            b.add_edge(
+                vid(Kind::City, c),
+                el("isPartOf"),
+                vid(Kind::Country, country),
+                vec![],
+            )?;
         }
         // Organisations.
         for (i, (name, city)) in self.universities.iter().enumerate() {
-            b.add_vertex(vid(Kind::University, i), vl("University"), vec![(pk("name"), Value::str(name))])?;
-            b.add_edge(vid(Kind::University, i), el("isLocatedIn"), vid(Kind::City, *city), vec![])?;
+            b.add_vertex(
+                vid(Kind::University, i),
+                vl("University"),
+                vec![(pk("name"), Value::str(name))],
+            )?;
+            b.add_edge(
+                vid(Kind::University, i),
+                el("isLocatedIn"),
+                vid(Kind::City, *city),
+                vec![],
+            )?;
         }
         for (i, (name, country)) in self.companies.iter().enumerate() {
-            b.add_vertex(vid(Kind::Company, i), vl("Company"), vec![(pk("name"), Value::str(name))])?;
-            b.add_edge(vid(Kind::Company, i), el("isLocatedIn"), vid(Kind::Country, *country), vec![])?;
+            b.add_vertex(
+                vid(Kind::Company, i),
+                vl("Company"),
+                vec![(pk("name"), Value::str(name))],
+            )?;
+            b.add_edge(
+                vid(Kind::Company, i),
+                el("isLocatedIn"),
+                vid(Kind::Country, *country),
+                vec![],
+            )?;
         }
         // Tag classes and tags.
         for (i, (name, parent)) in TAG_CLASSES.iter().enumerate() {
-            b.add_vertex(vid(Kind::TagClass, i), vl("TagClass"), vec![(pk("name"), Value::str(name))])?;
+            b.add_vertex(
+                vid(Kind::TagClass, i),
+                vl("TagClass"),
+                vec![(pk("name"), Value::str(name))],
+            )?;
             if let Some(p) = parent {
-                b.add_edge(vid(Kind::TagClass, i), el("isSubclassOf"), vid(Kind::TagClass, *p), vec![])?;
+                b.add_edge(
+                    vid(Kind::TagClass, i),
+                    el("isSubclassOf"),
+                    vid(Kind::TagClass, *p),
+                    vec![],
+                )?;
             }
         }
         for (i, (name, class)) in self.tags.iter().enumerate() {
-            b.add_vertex(vid(Kind::Tag, i), vl("Tag"), vec![(pk("name"), Value::str(name))])?;
-            b.add_edge(vid(Kind::Tag, i), el("hasType"), vid(Kind::TagClass, *class), vec![])?;
+            b.add_vertex(
+                vid(Kind::Tag, i),
+                vl("Tag"),
+                vec![(pk("name"), Value::str(name))],
+            )?;
+            b.add_edge(
+                vid(Kind::Tag, i),
+                el("hasType"),
+                vid(Kind::TagClass, *class),
+                vec![],
+            )?;
         }
         // Persons.
         for (i, p) in self.persons.iter().enumerate() {
@@ -553,7 +664,12 @@ impl SnbDataset {
                     (pk("locationIP"), Value::str(&p.ip)),
                 ],
             )?;
-            b.add_edge(vid(Kind::Person, i), el("isLocatedIn"), vid(Kind::City, p.city), vec![])?;
+            b.add_edge(
+                vid(Kind::Person, i),
+                el("isLocatedIn"),
+                vid(Kind::City, p.city),
+                vec![],
+            )?;
             if let Some((u, year)) = p.university {
                 b.add_edge(
                     vid(Kind::Person, i),
@@ -571,7 +687,12 @@ impl SnbDataset {
                 )?;
             }
             for t in &p.interests {
-                b.add_edge(vid(Kind::Person, i), el("hasInterest"), vid(Kind::Tag, *t), vec![])?;
+                b.add_edge(
+                    vid(Kind::Person, i),
+                    el("hasInterest"),
+                    vid(Kind::Tag, *t),
+                    vec![],
+                )?;
             }
         }
         for (a, bb, date) in &self.knows {
@@ -592,7 +713,12 @@ impl SnbDataset {
                     (pk("creationDate"), Value::Int(f.creation)),
                 ],
             )?;
-            b.add_edge(vid(Kind::Forum, i), el("hasModerator"), vid(Kind::Person, f.moderator), vec![])?;
+            b.add_edge(
+                vid(Kind::Forum, i),
+                el("hasModerator"),
+                vid(Kind::Person, f.moderator),
+                vec![],
+            )?;
             for (m, join) in &f.members {
                 b.add_edge(
                     vid(Kind::Forum, i),
@@ -615,9 +741,24 @@ impl SnbDataset {
                     (pk("language"), Value::str(p.language)),
                 ],
             )?;
-            b.add_edge(vid(Kind::Post, i), el("hasCreator"), vid(Kind::Person, p.base.creator), vec![])?;
-            b.add_edge(vid(Kind::Forum, p.forum), el("containerOf"), vid(Kind::Post, i), vec![])?;
-            b.add_edge(vid(Kind::Post, i), el("isLocatedIn"), vid(Kind::Country, p.base.country), vec![])?;
+            b.add_edge(
+                vid(Kind::Post, i),
+                el("hasCreator"),
+                vid(Kind::Person, p.base.creator),
+                vec![],
+            )?;
+            b.add_edge(
+                vid(Kind::Forum, p.forum),
+                el("containerOf"),
+                vid(Kind::Post, i),
+                vec![],
+            )?;
+            b.add_edge(
+                vid(Kind::Post, i),
+                el("isLocatedIn"),
+                vid(Kind::Country, p.base.country),
+                vec![],
+            )?;
             for t in &p.base.tags {
                 b.add_edge(vid(Kind::Post, i), el("hasTag"), vid(Kind::Tag, *t), vec![])?;
             }
@@ -634,15 +775,30 @@ impl SnbDataset {
                     (pk("locationIP"), Value::str(&c.base.ip)),
                 ],
             )?;
-            b.add_edge(vid(Kind::Comment, i), el("hasCreator"), vid(Kind::Person, c.base.creator), vec![])?;
+            b.add_edge(
+                vid(Kind::Comment, i),
+                el("hasCreator"),
+                vid(Kind::Person, c.base.creator),
+                vec![],
+            )?;
             let parent = match c.reply_of {
                 Ok(p) => vid(Kind::Post, p),
                 Err(cc) => vid(Kind::Comment, cc),
             };
             b.add_edge(vid(Kind::Comment, i), el("replyOf"), parent, vec![])?;
-            b.add_edge(vid(Kind::Comment, i), el("isLocatedIn"), vid(Kind::Country, c.base.country), vec![])?;
+            b.add_edge(
+                vid(Kind::Comment, i),
+                el("isLocatedIn"),
+                vid(Kind::Country, c.base.country),
+                vec![],
+            )?;
             for t in &c.base.tags {
-                b.add_edge(vid(Kind::Comment, i), el("hasTag"), vid(Kind::Tag, *t), vec![])?;
+                b.add_edge(
+                    vid(Kind::Comment, i),
+                    el("hasTag"),
+                    vid(Kind::Tag, *t),
+                    vec![],
+                )?;
             }
         }
         // Likes.
@@ -655,7 +811,10 @@ impl SnbDataset {
             )?;
         }
         // Indexes the IC queries rely on.
-        b.build_prop_index(s.vertex_label("Person").expect("registered"), pk("firstName"));
+        b.build_prop_index(
+            s.vertex_label("Person").expect("registered"),
+            pk("firstName"),
+        );
         b.build_prop_index(s.vertex_label("Tag").expect("registered"), pk("name"));
         b.build_prop_index(s.vertex_label("Country").expect("registered"), pk("name"));
         b.build_prop_index(s.vertex_label("TagClass").expect("registered"), pk("name"));
@@ -754,7 +913,12 @@ impl SnbDataset {
             + self.comments.len() * 3
             + self.comments.iter().map(|c| c.base.tags.len()).sum::<usize>()
             + self.likes.len()) as u64;
-        DatasetSummary { name: self.params.name.clone(), vertices, edges, raw_bytes: 0 }
+        DatasetSummary {
+            name: self.params.name.clone(),
+            vertices,
+            edges,
+            raw_bytes: 0,
+        }
     }
 }
 
@@ -789,10 +953,19 @@ mod tests {
         let d = tiny();
         let g = d.build(Partitioner::single()).unwrap();
         let s = g.schema();
-        for l in ["Person", "Post", "Comment", "Forum", "Tag", "TagClass", "Country"] {
+        for l in [
+            "Person", "Post", "Comment", "Forum", "Tag", "TagClass", "Country",
+        ] {
             assert!(s.vertex_label(l).is_ok(), "{l}");
         }
-        for l in ["knows", "hasCreator", "replyOf", "likes", "hasMember", "containerOf"] {
+        for l in [
+            "knows",
+            "hasCreator",
+            "replyOf",
+            "likes",
+            "hasMember",
+            "containerOf",
+        ] {
             assert!(s.edge_label(l).is_ok(), "{l}");
         }
     }
@@ -820,8 +993,14 @@ mod tests {
         let creator = g.schema().edge_label("hasCreator").unwrap();
         let container = g.schema().edge_label("containerOf").unwrap();
         let p0 = vid(Kind::Post, 0);
-        assert_eq!(g.neighbors(p0, Direction::Out, creator, 1).unwrap().len(), 1);
-        assert_eq!(g.neighbors(p0, Direction::In, container, 1).unwrap().len(), 1);
+        assert_eq!(
+            g.neighbors(p0, Direction::Out, creator, 1).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            g.neighbors(p0, Direction::In, container, 1).unwrap().len(),
+            1
+        );
     }
 
     #[test]

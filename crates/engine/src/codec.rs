@@ -9,7 +9,10 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use graphdance_common::{GdError, GdResult, QueryId, Value, VertexId};
-use graphdance_pstm::{Traverser, Weight};
+use graphdance_pstm::{Row, Traverser, Weight};
+use graphdance_query::plan::Plan;
+
+use crate::messages::{BspSignal, CoordMsg, WorkerMsg};
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL_FALSE: u8 = 1;
@@ -130,14 +133,27 @@ pub fn decode_traverser(buf: &mut Bytes) -> GdResult<Traverser> {
     let weight = Weight(buf.get_u64_le());
     let depth = buf.get_u32_le();
     let has_aux = buf.get_u8() != 0;
-    let aux_key = if has_aux { Some(decode_value(buf)?) } else { None };
+    let aux_key = if has_aux {
+        Some(decode_value(buf)?)
+    } else {
+        None
+    };
     need(buf, 2)?;
     let n = buf.get_u16_le() as usize;
     let mut locals = Vec::with_capacity(n);
     for _ in 0..n {
         locals.push(decode_value(buf)?);
     }
-    Ok(Traverser { query, pipeline, pc, vertex, locals, weight, depth, aux_key })
+    Ok(Traverser {
+        query,
+        pipeline,
+        pc,
+        vertex,
+        locals,
+        weight,
+        depth,
+        aux_key,
+    })
 }
 
 /// Encode a batch of traversers (one wire payload).
@@ -159,6 +175,89 @@ pub fn decode_batch(mut buf: Bytes) -> GdResult<Vec<Traverser>> {
         out.push(decode_traverser(&mut buf)?);
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane wire sizing
+// ---------------------------------------------------------------------------
+
+/// Approximate encoded size of one value (mirrors [`encode_value`]'s layout
+/// without allocating).
+pub fn value_wire_size(v: &Value) -> usize {
+    1 + match v {
+        Value::Null | Value::Bool(_) => 0,
+        Value::Int(_) | Value::Float(_) | Value::Vertex(_) => 8,
+        Value::Str(s) => 4 + s.len(),
+        Value::List(l) => 4 + l.iter().map(value_wire_size).sum::<usize>(),
+    }
+}
+
+/// Approximate encoded size of one result row.
+pub fn row_wire_size(row: &Row) -> usize {
+    2 + row.iter().map(value_wire_size).sum::<usize>()
+}
+
+/// Approximate plan-shipping cost: a fixed header plus per-stage, per-step,
+/// and per-expression contributions. Coarse by design — it only needs to
+/// scale with plan complexity so `QueryBegin` is charged more than a bare
+/// control signal.
+pub fn plan_wire_size(plan: &Plan) -> usize {
+    16 + plan
+        .stages
+        .iter()
+        .map(|s| {
+            32 + 16 * s.output.len()
+                + 24 * s.joins.len()
+                + s.pipelines
+                    .iter()
+                    .map(|p| 16 + 24 * p.steps.len())
+                    .sum::<usize>()
+        })
+        .sum::<usize>()
+}
+
+/// Modeled wire size of a control-plane message to a worker.
+///
+/// The match is deliberately exhaustive — **no wildcard arm** — so adding a
+/// [`WorkerMsg`] variant is a compile error until its cost is modeled here.
+/// `cargo xtask check` (the `codec-exhaustive` lint) additionally verifies
+/// every variant name appears in this file.
+pub fn worker_msg_wire_size(msg: &WorkerMsg) -> usize {
+    match msg {
+        WorkerMsg::Batch(ts) => 4 + ts.iter().map(Traverser::approx_bytes).sum::<usize>(),
+        WorkerMsg::QueryBegin { ctx, stage: _ } => {
+            16 + plan_wire_size(&ctx.plan) + ctx.params.iter().map(value_wire_size).sum::<usize>()
+        }
+        WorkerMsg::StageBegin { .. } => 16,
+        WorkerMsg::StartSource { .. } => 24,
+        WorkerMsg::GatherAgg { .. } => 12,
+        WorkerMsg::QueryEnd { .. } => 12,
+        WorkerMsg::Bsp(BspSignal::RunStep { .. }) => 16,
+        WorkerMsg::Bsp(BspSignal::Probe { .. }) => 20,
+        WorkerMsg::Shutdown => 4,
+    }
+}
+
+/// Modeled wire size of a control-plane message to the coordinator.
+///
+/// Exhaustive on purpose, like [`worker_msg_wire_size`]; see there.
+pub fn coord_msg_wire_size(msg: &CoordMsg) -> usize {
+    match msg {
+        CoordMsg::Submit { plan, params, .. } => {
+            // Client submissions never cross the simulated wire (the client
+            // talks to the coordinator's node directly), but the arm exists
+            // so the match stays exhaustive.
+            16 + plan_wire_size(plan) + params.iter().map(value_wire_size).sum::<usize>()
+        }
+        CoordMsg::Progress { .. } => 32,
+        CoordMsg::Rows { rows, .. } => 12 + rows.iter().map(row_wire_size).sum::<usize>(),
+        CoordMsg::AggPartial { state, .. } => 16 + state.as_ref().map_or(0, |s| s.approx_bytes()),
+        CoordMsg::WorkerError { .. } => 64,
+        CoordMsg::BspStepDone { .. } => 56,
+        CoordMsg::BspParked { .. } => 32,
+        CoordMsg::Tick => 4,
+        CoordMsg::Shutdown => 4,
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +341,53 @@ mod tests {
         let wire = encode_batch(&[]);
         assert_eq!(wire.len(), 4);
         assert!(decode_batch(wire).unwrap().is_empty());
+    }
+
+    #[test]
+    fn value_wire_size_matches_encoding() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(7),
+            Value::Float(1.5),
+            Value::str("twelve bytes"),
+            Value::Vertex(VertexId(3)),
+            Value::list(vec![Value::Int(1), Value::str("x")]),
+        ] {
+            let mut buf = BytesMut::new();
+            encode_value(&mut buf, &v);
+            assert_eq!(
+                value_wire_size(&v),
+                buf.len(),
+                "size model drifted for {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ctrl_wire_sizes_scale_with_payload() {
+        let small = CoordMsg::Rows {
+            query: QueryId(1),
+            rows: vec![vec![Value::Int(1)]],
+        };
+        let big = CoordMsg::Rows {
+            query: QueryId(1),
+            rows: (0..50)
+                .map(|i| vec![Value::Int(i), Value::str("padding")])
+                .collect(),
+        };
+        assert!(coord_msg_wire_size(&big) > coord_msg_wire_size(&small));
+
+        let w = WorkerMsg::Batch(vec![Traverser::root(
+            QueryId(1),
+            0,
+            VertexId(1),
+            1,
+            Weight(1),
+        )]);
+        assert!(worker_msg_wire_size(&w) > worker_msg_wire_size(&WorkerMsg::Shutdown));
+        // Every fixed-size control variant is charged a nonzero cost.
+        assert!(worker_msg_wire_size(&WorkerMsg::QueryEnd { query: QueryId(1) }) > 0);
+        assert!(coord_msg_wire_size(&CoordMsg::Tick) > 0);
     }
 }

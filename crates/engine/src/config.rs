@@ -66,6 +66,21 @@ impl Default for NetConfig {
     }
 }
 
+/// Debug-build fault injection, used by the invariant-checker tests to
+/// prove that an injected bug is caught with a diagnostic instead of a
+/// hang. All knobs are inert in release builds (the checkers they feed are
+/// compiled out) and default to off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Drop the nth (1-based) remote traverser batch at ingress instead of
+    /// delivering it — simulates a lost network message.
+    pub drop_batch_nth: Option<u64>,
+    /// Corrupt the finished weight of the nth (1-based) interpreter outcome
+    /// on each worker — simulates a weight-conservation bug in a traversal
+    /// step.
+    pub leak_weight_nth: Option<u64>,
+}
+
 /// Full engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -89,6 +104,13 @@ pub struct EngineConfig {
     pub worker_batch: usize,
     /// Per-query deadline; queries exceeding it fail with `QueryTimeout`.
     pub query_timeout: Duration,
+    /// Liveness watchdog window (debug builds): a query that reports no
+    /// progress for this long *and* whose message ledger shows undelivered
+    /// traversers is aborted immediately with a diagnostic dump instead of
+    /// idling out `query_timeout`.
+    pub watchdog_stall: Duration,
+    /// Debug-build fault injection (see [`FaultInjection`]).
+    pub fault: FaultInjection,
     /// Extra scheduling cost charged per executed traverser per plan
     /// operator. Zero for GraphDance; the dataflow baselines (GAIA-sim,
     /// Banyan-sim) set it to model per-worker operator-instance polling,
@@ -110,6 +132,8 @@ impl EngineConfig {
             seed: 0xDA7A_BA5E,
             worker_batch: 64,
             query_timeout: Duration::from_secs(60),
+            watchdog_stall: Duration::from_secs(10),
+            fault: FaultInjection::default(),
             sched_overhead_per_op: Duration::ZERO,
         }
     }

@@ -9,6 +9,8 @@
 
 use std::time::{Duration, Instant};
 
+use graphdance_common::time::now;
+
 use crossbeam::channel::{Receiver, Sender};
 use rand::rngs::SmallRng;
 
@@ -19,6 +21,7 @@ use graphdance_storage::{Graph, Timestamp};
 
 use crate::config::EngineConfig;
 use crate::engine::QueryResult;
+use crate::invariants::MsgLedger;
 use crate::messages::{CoordMsg, QueryCtx, WorkerMsg};
 use crate::net::{Fabric, Outbox};
 use crate::progress::ProgressTracker;
@@ -40,6 +43,9 @@ struct QueryState {
     reply: Sender<GdResult<QueryResult>>,
     submitted_at: Instant,
     deadline: Instant,
+    /// Last time any worker message arrived for this query (drives the
+    /// liveness watchdog).
+    last_activity: Instant,
 }
 
 /// The coordinator thread state.
@@ -53,6 +59,7 @@ pub struct Coordinator {
     next_qid: u64,
     rng: SmallRng,
     timeout: Duration,
+    watchdog_stall: Duration,
 }
 
 impl Coordinator {
@@ -73,6 +80,7 @@ impl Coordinator {
             next_qid: 1,
             rng: graphdance_common::rng::derive(config.seed, u64::MAX),
             timeout: config.query_timeout,
+            watchdog_stall: config.watchdog_stall,
         }
     }
 
@@ -94,10 +102,20 @@ impl Coordinator {
 
     fn handle(&mut self, msg: CoordMsg) {
         match msg {
-            CoordMsg::Submit { plan, params, read_ts, reply, submitted_at } => {
+            CoordMsg::Submit {
+                plan,
+                params,
+                read_ts,
+                reply,
+                submitted_at,
+            } => {
                 self.submit(plan, params, read_ts, reply, submitted_at);
             }
-            CoordMsg::Progress { query, weight, steps } => {
+            CoordMsg::Progress {
+                query,
+                weight,
+                steps,
+            } => {
                 // The central tracker pays a per-report handling cost; with
                 // weight coalescing the report count is tiny, without it
                 // this serialized work is the bottleneck the paper measures
@@ -105,6 +123,7 @@ impl Coordinator {
                 crate::net::charge(TRACKER_COST_PER_REPORT);
                 if let Some(s) = self.queries.get_mut(&query) {
                     s.steps_executed += steps;
+                    s.last_activity = now();
                 }
                 if self.tracker.report(query, weight) {
                     self.stage_complete(query);
@@ -113,9 +132,13 @@ impl Coordinator {
             CoordMsg::Rows { query, rows } => {
                 if let Some(s) = self.queries.get_mut(&query) {
                     s.rows.extend(rows);
+                    s.last_activity = now();
                 }
             }
             CoordMsg::AggPartial { query, part, state } => {
+                if let Some(s) = self.queries.get_mut(&query) {
+                    s.last_activity = now();
+                }
                 self.agg_partial(query, part, state);
             }
             CoordMsg::WorkerError { query, error } => {
@@ -125,7 +148,8 @@ impl Coordinator {
                 // BSP control traffic is only meaningful to the BSP driver.
             }
             CoordMsg::Tick => {}
-            CoordMsg::Shutdown => unreachable!("handled in run()"),
+            // The run() loop exits on Shutdown before dispatching here.
+            CoordMsg::Shutdown => unreachable!("handled in run()"), // lint: allow(hot-path-panics)
         }
     }
 
@@ -171,6 +195,7 @@ impl Coordinator {
                 reply,
                 submitted_at,
                 deadline,
+                last_activity: now(),
             },
         );
         // Register the query at every worker before any traverser can reach
@@ -178,7 +203,10 @@ impl Coordinator {
         for w in 0..self.fabric.partitioner().num_parts() {
             self.outbox.send_ctrl_worker(
                 WorkerId(w),
-                WorkerMsg::QueryBegin { ctx: Arc::clone(&ctx), stage: 0 },
+                WorkerMsg::QueryBegin {
+                    ctx: Arc::clone(&ctx),
+                    stage: 0,
+                },
             );
         }
         self.start_stage(query);
@@ -186,7 +214,9 @@ impl Coordinator {
 
     /// Launch the current stage's sources for `query`.
     fn start_stage(&mut self, query: QueryId) {
-        let Some(state) = self.queries.get_mut(&query) else { return };
+        let Some(state) = self.queries.get_mut(&query) else {
+            return;
+        };
         let stage_idx = state.stage as usize;
         let ctx = Arc::clone(&state.ctx);
         let prev_rows = std::mem::take(&mut state.prev_rows);
@@ -206,7 +236,11 @@ impl Coordinator {
                             let owner = self.fabric.partitioner().worker_of(v);
                             self.outbox.send_ctrl_worker(
                                 owner,
-                                WorkerMsg::StartSource { query, pipeline: pi as u16, weight: pw },
+                                WorkerMsg::StartSource {
+                                    query,
+                                    pipeline: pi as u16,
+                                    weight: pw,
+                                },
                             );
                         }
                         None => {
@@ -225,7 +259,11 @@ impl Coordinator {
                     for (p, w) in parts.iter().zip(shares) {
                         self.outbox.send_ctrl_worker(
                             self.fabric.partitioner().worker_of_part(*p),
-                            WorkerMsg::StartSource { query, pipeline: pi as u16, weight: w },
+                            WorkerMsg::StartSource {
+                                query,
+                                pipeline: pi as u16,
+                                weight: w,
+                            },
                         );
                     }
                 }
@@ -265,7 +303,9 @@ impl Coordinator {
     /// The running stage's scope just terminated: gather aggregates or wrap
     /// up the stage's rows.
     fn stage_complete(&mut self, query: QueryId) {
-        let Some(state) = self.queries.get_mut(&query) else { return };
+        let Some(state) = self.queries.get_mut(&query) else {
+            return;
+        };
         let stage = &state.ctx.plan.stages[state.stage as usize];
         if stage.agg.is_some() {
             state.gathering = true;
@@ -281,7 +321,9 @@ impl Coordinator {
 
     fn agg_partial(&mut self, query: QueryId, part: PartId, state: Option<Box<AggState>>) {
         let num_parts = self.fabric.partitioner().num_parts() as usize;
-        let Some(qs) = self.queries.get_mut(&query) else { return };
+        let Some(qs) = self.queries.get_mut(&query) else {
+            return;
+        };
         if !qs.gathering {
             return;
         }
@@ -291,7 +333,20 @@ impl Coordinator {
         }
         // All partials in: merge and finalize.
         let stage = &qs.ctx.plan.stages[qs.stage as usize];
-        let func = &stage.agg.as_ref().expect("gathering implies agg").func;
+        let Some(agg) = stage.agg.as_ref() else {
+            // `gathering` set on a non-aggregating stage is an engine bug;
+            // fail the query with a diagnostic rather than the coordinator
+            // thread (which would wedge every in-flight query).
+            let stage_no = qs.stage;
+            self.finish(
+                query,
+                Err(GdError::Internal(format!(
+                    "gather phase reached on non-aggregating stage {stage_no}"
+                ))),
+            );
+            return;
+        };
+        let func = &agg.func;
         let mut merged: Option<AggState> = None;
         let partials = std::mem::take(&mut qs.partials);
         for (_, p) in partials {
@@ -313,12 +368,22 @@ impl Coordinator {
 
     /// The stage produced `rows`; either respond or start the next stage.
     fn advance_stage(&mut self, query: QueryId, rows: Vec<Row>) {
-        let Some(state) = self.queries.get_mut(&query) else { return };
+        let Some(state) = self.queries.get_mut(&query) else {
+            return;
+        };
         let last = state.stage as usize + 1 >= state.ctx.plan.stages.len();
         if last {
             let latency = state.submitted_at.elapsed();
             let steps_executed = state.steps_executed;
-            self.finish(query, Ok(QueryResult { query, rows, latency, steps_executed }));
+            self.finish(
+                query,
+                Ok(QueryResult {
+                    query,
+                    rows,
+                    latency,
+                    steps_executed,
+                }),
+            );
         } else {
             state.stage += 1;
             state.prev_rows = rows;
@@ -332,27 +397,57 @@ impl Coordinator {
         }
     }
 
-    /// Respond to the client and release all query state.
+    /// Respond to the client and release all query state. Successful
+    /// results first pass the message-conservation quiesce check (debug
+    /// builds): at completion every sent traverser must have been
+    /// delivered, else the result is replaced by the ledger's diagnostic.
     fn finish(&mut self, query: QueryId, result: GdResult<QueryResult>) {
+        let result = match result {
+            Ok(r) => match self.fabric.invariants().check_quiesced(query) {
+                Ok(()) => Ok(r),
+                Err(diag) => Err(GdError::InvariantViolation(diag)),
+            },
+            err => err,
+        };
         if let Some(state) = self.queries.remove(&query) {
             let _ = state.reply.send(result);
         }
         self.tracker.finish_query(query);
+        self.fabric.invariants().forget(query);
         for w in 0..self.fabric.partitioner().num_parts() {
-            self.outbox.send_ctrl_worker(WorkerId(w), WorkerMsg::QueryEnd { query });
+            self.outbox
+                .send_ctrl_worker(WorkerId(w), WorkerMsg::QueryEnd { query });
         }
     }
 
+    /// Deadline enforcement plus the liveness watchdog: a query that made
+    /// no progress for `watchdog_stall` *and* shows undelivered traverser
+    /// messages in the conservation ledger will never complete — fail it
+    /// immediately with the ledger dump instead of hanging until the
+    /// deadline.
     fn enforce_deadlines(&mut self) {
-        let now = Instant::now();
-        let expired: Vec<QueryId> = self
-            .queries
-            .iter()
-            .filter(|(_, s)| now >= s.deadline)
-            .map(|(q, _)| *q)
-            .collect();
-        for q in expired {
+        let now = now();
+        let mut timed_out = Vec::new();
+        let mut stalled = Vec::new();
+        for (q, s) in &self.queries {
+            if now >= s.deadline {
+                timed_out.push(*q);
+            } else if MsgLedger::ENABLED
+                && now.duration_since(s.last_activity) >= self.watchdog_stall
+                && self.fabric.invariants().has_imbalance(*q)
+            {
+                stalled.push(*q);
+            }
+        }
+        for q in timed_out {
             self.finish(q, Err(GdError::QueryTimeout(q)));
+        }
+        for q in stalled {
+            let diag = self.fabric.invariants().dump(
+                q,
+                "liveness watchdog fired: query stalled with undelivered traverser message(s)",
+            );
+            self.finish(q, Err(GdError::InvariantViolation(diag)));
         }
     }
 
@@ -363,6 +458,7 @@ impl Coordinator {
                 let _ = state.reply.send(Err(err.clone()));
             }
             self.tracker.finish_query(q);
+            self.fabric.invariants().forget(q);
         }
     }
 }

@@ -1,6 +1,8 @@
 //! The public GraphDance engine API.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use graphdance_common::time::now;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
@@ -41,9 +43,7 @@ pub struct QueryHandle {
 impl QueryHandle {
     /// Block until the query completes.
     pub fn wait(self) -> GdResult<QueryResult> {
-        self.rx
-            .recv()
-            .unwrap_or(Err(GdError::EngineClosed))
+        self.rx.recv().unwrap_or(Err(GdError::EngineClosed))
     }
 
     /// Block up to `timeout`.
@@ -123,7 +123,9 @@ impl GraphDance {
             std::thread::Builder::new()
                 .name("gd-coordinator".into())
                 .spawn(move || coordinator.run())
-                .expect("spawn coordinator"),
+                // Engine startup, before any query: a failed spawn here is
+                // an unusable process, not a wedged query.
+                .expect("spawn coordinator"), // lint: allow(hot-path-panics)
         );
         let txn = Arc::new(TxnSystem::new(graph.clone()));
         // LCT broadcast (§IV-C): a background broadcaster periodically
@@ -146,10 +148,21 @@ impl GraphDance {
                             std::thread::sleep(Duration::from_micros(500));
                         }
                     })
-                    .expect("spawn lct broadcaster"),
+                    // Startup-time, same as the coordinator spawn above.
+                    .expect("spawn lct broadcaster"), // lint: allow(hot-path-panics)
             );
         }
-        GraphDance { graph, txn, fabric, coord_tx, worker_tx, threads, config, lct_caches, lct_stop }
+        GraphDance {
+            graph,
+            txn,
+            fabric,
+            coord_tx,
+            worker_tx,
+            threads,
+            config,
+            lct_caches,
+            lct_stop,
+        }
     }
 
     /// The underlying graph.
@@ -193,7 +206,7 @@ impl GraphDance {
             params,
             read_ts: Some(read_ts),
             reply,
-            submitted_at: Instant::now(),
+            submitted_at: now(),
         };
         if self.coord_tx.send(msg).is_err() {
             // Coordinator gone: synthesize the failure.
@@ -221,7 +234,8 @@ impl GraphDance {
 
     /// Stop all threads. In-flight queries fail with `EngineClosed`.
     pub fn shutdown(mut self) {
-        self.lct_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.lct_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         let _ = self.coord_tx.send(CoordMsg::Shutdown);
         for tx in &self.worker_tx {
             let _ = tx.send(WorkerMsg::Shutdown);
@@ -236,7 +250,8 @@ impl GraphDance {
 impl Drop for GraphDance {
     fn drop(&mut self) {
         // Best-effort: detach threads if `shutdown` was not called.
-        self.lct_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.lct_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         let _ = self.coord_tx.send(CoordMsg::Shutdown);
         for tx in &self.worker_tx {
             let _ = tx.send(WorkerMsg::Shutdown);
@@ -265,7 +280,8 @@ mod tests {
                 .unwrap();
         }
         for i in 0..n {
-            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![]).unwrap();
+            b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
+                .unwrap();
         }
         b.finish()
     }
@@ -286,7 +302,9 @@ mod tests {
         let g = ring(16, Partitioner::new(2, 2));
         let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
         let plan = khop_plan(&g, 1);
-        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(3))]).unwrap();
+        let rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(3))])
+            .unwrap();
         assert_eq!(rows, vec![vec![Value::Vertex(VertexId(4))]]);
         engine.shutdown();
     }
@@ -296,7 +314,9 @@ mod tests {
         let g = ring(32, Partitioner::new(2, 4));
         let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 4));
         let plan = khop_plan(&g, 4);
-        let mut rows = engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+        let mut rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
         rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
         let got: Vec<u64> = rows.iter().map(|r| r[0].as_vertex().unwrap().0).collect();
         assert_eq!(got, vec![1, 2, 3, 4]);
@@ -321,7 +341,9 @@ mod tests {
             vec![Expr::VertexId, Expr::Prop(w)],
         );
         let plan = b.compile().unwrap();
-        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(10))]).unwrap();
+        let rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(10))])
+            .unwrap();
         // 5-hop from 10 reaches 11..=15; top-3 by weight: 15, 14, 13.
         assert_eq!(
             rows,
@@ -414,13 +436,17 @@ mod tests {
                             k: 2,
                             sort: vec![(Expr::Prop(w), Order::Desc)],
                             output: vec![Expr::VertexId],
+                            distinct: vec![],
                         },
                     }),
                     num_slots: 1,
                 },
                 Stage {
                     pipelines: vec![Pipeline {
-                        source: SourceSpec::PrevRows { vertex_col: 0, seed: vec![] },
+                        source: SourceSpec::PrevRows {
+                            vertex_col: 0,
+                            seed: vec![],
+                        },
                         steps: vec![PlanStep::Expand {
                             dir: Direction::Out,
                             label: knows,
@@ -436,7 +462,9 @@ mod tests {
             num_params: 1,
         };
         let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
-        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(5))]).unwrap();
+        let rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(5))])
+            .unwrap();
         // Stage 1 yields {6}; stage 2 expands 6 -> {7}.
         assert_eq!(rows, vec![vec![Value::Vertex(VertexId(7))]]);
         engine.shutdown();
@@ -459,7 +487,9 @@ mod tests {
         let g = ring(8, Partitioner::new(1, 2));
         let engine = GraphDance::start(g.clone(), EngineConfig::new(1, 2));
         let plan = khop_plan(&g, 2);
-        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(999))]).unwrap();
+        let rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(999))])
+            .unwrap();
         assert!(rows.is_empty());
         engine.shutdown();
     }
@@ -472,10 +502,13 @@ mod tests {
         let plan = khop_plan(&g, 1);
         // Commit a new edge 0 -> 5.
         let mut tx = engine.txn().begin();
-        tx.insert_edge(VertexId(0), knows, VertexId(5), vec![]).unwrap();
+        tx.insert_edge(VertexId(0), knows, VertexId(5), vec![])
+            .unwrap();
         let ts = tx.commit().unwrap();
         // At the new LCT, both neighbours are visible.
-        let mut rows = engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+        let mut rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
         rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
         assert_eq!(rows.len(), 2);
         // A historical snapshot still sees only the ring edge.
@@ -494,7 +527,9 @@ mod tests {
         let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
         let before = engine.net_stats();
         let plan = khop_plan(&g, 4);
-        engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+        engine
+            .query(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
         let after = engine.net_stats().since(&before);
         assert!(after.control_msgs > 0, "query begin/end control traffic");
         assert!(after.progress_msgs > 0, "progress reports flowed");
@@ -529,7 +564,7 @@ mod lct_cache_tests {
 
         // The broadcast cache lags by at most the broadcast interval; poll
         // until the cached snapshot observes the commit (bounded wait).
-        let deadline = Instant::now() + Duration::from_secs(5);
+        let deadline = now() + Duration::from_secs(5);
         loop {
             let rows = engine
                 .submit_cached(1, &plan, vec![Value::Vertex(VertexId(0))])
@@ -540,13 +575,15 @@ mod lct_cache_tests {
                 break;
             }
             assert!(
-                Instant::now() < deadline,
+                now() < deadline,
                 "broadcast cache never caught up: {rows:?}"
             );
             std::thread::sleep(Duration::from_millis(1));
         }
         // The authoritative path sees it immediately (read-your-writes).
-        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+        let rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(1)]]);
         engine.shutdown();
     }

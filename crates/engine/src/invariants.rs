@@ -1,0 +1,185 @@
+//! Debug-build message-conservation ledger and liveness diagnostics (the
+//! dynamic half of `cargo xtask check`, engine side).
+//!
+//! For every query the fabric counts traversers handed to an outbox
+//! (`sent`) and traversers handed to a destination inbox (`delivered`).
+//! The conservation law:
+//!
+//! * while a query runs, `sent − delivered` equals the traversers in
+//!   flight inside the network layer;
+//! * at quiesce (stage/scope completion), every sent traverser must have
+//!   been delivered — `sent == delivered`.
+//!
+//! A message lost between outbox and inbox breaks weight conservation too,
+//! but the *symptom* there is a stage that never completes: the tracker
+//! waits forever for weight that sank with the message. The coordinator's
+//! liveness watchdog uses this ledger to turn that silent hang into a
+//! fast, diagnosable failure: a query that has made no progress for the
+//! stall window *and* shows a sent/delivered imbalance is aborted with the
+//! ledger dump instead of idling out its full deadline.
+//!
+//! The ledger is active in debug builds only ([`MsgLedger::ENABLED`]); in
+//! release builds every method is a no-op and the hot-path cost vanishes.
+
+use parking_lot::Mutex;
+
+use graphdance_common::{FxHashMap, QueryId};
+
+/// Per-query sent/delivered counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MsgCounts {
+    /// Traversers handed to an outbox (local or remote destination).
+    pub sent: u64,
+    /// Traversers handed to a destination worker's inbox.
+    pub delivered: u64,
+}
+
+impl MsgCounts {
+    /// Traversers currently inside the network layer.
+    pub fn in_flight(&self) -> u64 {
+        self.sent.saturating_sub(self.delivered)
+    }
+}
+
+/// Fabric-wide message-conservation ledger. Shared by all outboxes and the
+/// delivery paths of one [`crate::net::Fabric`].
+#[derive(Debug, Default)]
+pub struct MsgLedger {
+    counts: Mutex<FxHashMap<QueryId, MsgCounts>>,
+}
+
+impl MsgLedger {
+    /// Whether the ledger records anything (debug builds only).
+    pub const ENABLED: bool = cfg!(debug_assertions);
+
+    /// Fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record traversers handed to an outbox for `query`.
+    #[inline]
+    pub fn record_sent(&self, query: QueryId, n: u64) {
+        if !Self::ENABLED || n == 0 {
+            return;
+        }
+        self.counts.lock().entry(query).or_default().sent += n;
+    }
+
+    /// Record traversers delivered to a worker inbox for `query`. Only
+    /// queries with a live `sent` entry are updated, so late deliveries for
+    /// forgotten queries do not repopulate the map.
+    #[inline]
+    pub fn record_delivered(&self, query: QueryId, n: u64) {
+        if !Self::ENABLED || n == 0 {
+            return;
+        }
+        if let Some(c) = self.counts.lock().get_mut(&query) {
+            c.delivered += n;
+        }
+    }
+
+    /// Current counters for `query` (zeroes when untracked).
+    pub fn counts(&self, query: QueryId) -> MsgCounts {
+        self.counts.lock().get(&query).copied().unwrap_or_default()
+    }
+
+    /// Does `query` show undelivered traversers right now?
+    pub fn has_imbalance(&self, query: QueryId) -> bool {
+        self.counts(query).in_flight() > 0
+    }
+
+    /// Drop `query`'s counters (call when the query finishes).
+    pub fn forget(&self, query: QueryId) {
+        if !Self::ENABLED {
+            return;
+        }
+        self.counts.lock().remove(&query);
+    }
+
+    /// Quiesce check: at scope completion every sent traverser must have
+    /// been delivered. Returns the diagnostic dump on violation.
+    pub fn check_quiesced(&self, query: QueryId) -> Result<(), String> {
+        if !Self::ENABLED {
+            return Ok(());
+        }
+        let c = self.counts(query);
+        if c.in_flight() == 0 {
+            Ok(())
+        } else {
+            Err(self.dump(query, "message conservation violated at quiesce"))
+        }
+    }
+
+    /// Diagnostic dump for `query`: headline, counters, and the in-flight
+    /// deficit. Used by the watchdog and the quiesce check.
+    pub fn dump(&self, query: QueryId, headline: &str) -> String {
+        let c = self.counts(query);
+        format!(
+            "{headline} for query {query:?}: sent {} traverser message(s), \
+             delivered {}, {} still marked in flight — a message was dropped \
+             or a delivery path is not counting",
+            c.sent,
+            c.delivered,
+            c.in_flight(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_query_quiesces_clean() {
+        let ledger = MsgLedger::new();
+        let q = QueryId(1);
+        ledger.record_sent(q, 3);
+        ledger.record_delivered(q, 2);
+        assert_eq!(
+            ledger.counts(q),
+            MsgCounts {
+                sent: 3,
+                delivered: 2
+            }
+        );
+        assert!(ledger.has_imbalance(q));
+        ledger.record_delivered(q, 1);
+        assert!(!ledger.has_imbalance(q));
+        assert_eq!(ledger.check_quiesced(q), Ok(()));
+    }
+
+    #[test]
+    fn dropped_message_is_reported_with_diagnostic() {
+        let ledger = MsgLedger::new();
+        let q = QueryId(7);
+        ledger.record_sent(q, 5);
+        ledger.record_delivered(q, 4); // one message sank
+        let err = ledger
+            .check_quiesced(q)
+            .expect_err("imbalance must be flagged");
+        assert!(err.contains("q7"), "diagnostic names the query: {err}");
+        assert!(err.contains("sent 5"), "got: {err}");
+        assert!(err.contains("delivered 4"), "got: {err}");
+        assert!(err.contains("1 still marked in flight"), "got: {err}");
+    }
+
+    #[test]
+    fn forget_clears_and_blocks_late_deliveries() {
+        let ledger = MsgLedger::new();
+        let q = QueryId(2);
+        ledger.record_sent(q, 1);
+        ledger.forget(q);
+        assert_eq!(ledger.counts(q), MsgCounts::default());
+        // A straggler delivered after the query ended must not repopulate.
+        ledger.record_delivered(q, 1);
+        assert_eq!(ledger.counts(q), MsgCounts::default());
+    }
+
+    #[test]
+    fn untracked_queries_are_balanced() {
+        let ledger = MsgLedger::new();
+        assert!(!ledger.has_imbalance(QueryId(99)));
+        assert_eq!(ledger.check_quiesced(QueryId(99)), Ok(()));
+    }
+}

@@ -23,15 +23,22 @@
 //! The [`net::Fabric`] and [`codec`] are public so that the baseline engines
 //! (`graphdance-baselines`) run on the identical simulated cluster.
 
+//! Runtime invariants (weight conservation, message conservation, the
+//! liveness watchdog) are checked in debug builds by [`invariants`] and
+//! `graphdance-pstm`'s `WeightLedger`; see `cargo xtask check` for the
+//! static half of the same contract.
+
 pub mod codec;
 pub mod config;
 pub mod coordinator;
 pub mod engine;
+pub mod invariants;
 pub mod messages;
 pub mod net;
 pub mod progress;
 pub mod worker;
 
-pub use config::{EngineConfig, IoMode, NetConfig};
+pub use config::{EngineConfig, FaultInjection, IoMode, NetConfig};
 pub use engine::{GraphDance, QueryHandle, QueryResult};
+pub use invariants::{MsgCounts, MsgLedger};
 pub use net::{Fabric, MsgClass, NetStats, NetStatsSnapshot};

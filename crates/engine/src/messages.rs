@@ -39,7 +39,11 @@ pub enum WorkerMsg {
     StageBegin { query: QueryId, stage: u16 },
     /// Execute a pipeline source on this worker's partition with the given
     /// share of the root weight.
-    StartSource { query: QueryId, pipeline: u16, weight: Weight },
+    StartSource {
+        query: QueryId,
+        pipeline: u16,
+        weight: Weight,
+    },
     /// Reply with this partition's aggregation partial for the current
     /// stage (scope completed; Fig. 6 gather phase).
     GatherAgg { query: QueryId },
@@ -83,19 +87,44 @@ pub enum CoordMsg {
     /// A (possibly coalesced) finished-weight report. `steps` carries the
     /// number of plan steps executed since the last report (drives the
     /// Table I accessed-data accounting).
-    Progress { query: QueryId, weight: Weight, steps: u64 },
+    Progress {
+        query: QueryId,
+        weight: Weight,
+        steps: u64,
+    },
     /// Result rows from a non-aggregating stage.
     Rows { query: QueryId, rows: Vec<Row> },
     /// A partition's aggregation partial (reply to `GatherAgg`).
-    AggPartial { query: QueryId, part: PartId, state: Option<Box<AggState>> },
+    AggPartial {
+        query: QueryId,
+        part: PartId,
+        state: Option<Box<AggState>>,
+    },
     /// A worker hit an error executing this query.
     WorkerError { query: QueryId, error: GdError },
     /// BSP baseline: one worker finished its superstep. `finished` is the
     /// weight released during the step; `issued`/`count` describe the
-    /// traversers created for the next superstep.
-    BspStepDone { query: QueryId, part: PartId, finished: Weight, issued: Weight, count: u64 },
+    /// traversers this worker parked or sent for a later superstep, and
+    /// `consumed`/`consumed_count` the previously parked traversers it
+    /// executed. The driver's in-flight ledger (Σissued − Σconsumed) makes
+    /// the delivery barrier immune to data-path messages overtaking the
+    /// `RunStep` control signal.
+    BspStepDone {
+        query: QueryId,
+        part: PartId,
+        finished: Weight,
+        issued: Weight,
+        count: u64,
+        consumed: Weight,
+        consumed_count: u64,
+    },
     /// BSP baseline: reply to a delivery-barrier probe.
-    BspParked { query: QueryId, part: PartId, parked: Weight, round: u64 },
+    BspParked {
+        query: QueryId,
+        part: PartId,
+        parked: Weight,
+        round: u64,
+    },
     /// Periodic tick for deadline enforcement.
     Tick,
     /// Stop the coordinator thread.

@@ -23,6 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use graphdance_common::time::now;
+
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -30,7 +32,8 @@ use graphdance_common::{NodeId, Partitioner, QueryId, Value, WorkerId};
 use graphdance_pstm::{Row, Traverser, Weight};
 
 use crate::codec;
-use crate::config::{EngineConfig, IoMode, NetConfig};
+use crate::config::{EngineConfig, FaultInjection, IoMode, NetConfig};
+use crate::invariants::MsgLedger;
 use crate::messages::{CoordMsg, WorkerMsg};
 
 /// Classes of messages, for the Fig. 11 accounting.
@@ -126,10 +129,18 @@ enum WireMsg {
     /// Serialized traverser batch for one worker.
     Batch { dest: WorkerId, payload: Bytes },
     /// Coalesced progress report (to the coordinator).
-    Progress { query: QueryId, weight: Weight, steps: u64 },
+    Progress {
+        query: QueryId,
+        weight: Weight,
+        steps: u64,
+    },
     /// Result rows (to the coordinator). Passed by value; the cost model
     /// charges their approximate encoded size.
-    Rows { query: QueryId, rows: Vec<Row>, approx: usize },
+    Rows {
+        query: QueryId,
+        rows: Vec<Row>,
+        approx: usize,
+    },
     /// Control-plane message for a worker.
     CtrlWorker { dest: WorkerId, msg: WorkerMsg },
     /// Control-plane message for the coordinator.
@@ -142,18 +153,26 @@ impl WireMsg {
             WireMsg::Batch { payload, .. } => payload.len() + 8,
             WireMsg::Progress { .. } => 32,
             WireMsg::Rows { approx, .. } => *approx + 16,
-            WireMsg::CtrlWorker { .. } | WireMsg::CtrlCoord { .. } => 256,
+            WireMsg::CtrlWorker { msg, .. } => codec::worker_msg_wire_size(msg),
+            WireMsg::CtrlCoord { msg } => codec::coord_msg_wire_size(msg),
         }
     }
 }
 
 enum EgressEvent {
-    Packet { dest_node: NodeId, msgs: Vec<WireMsg>, bytes: usize },
+    Packet {
+        dest_node: NodeId,
+        msgs: Vec<WireMsg>,
+        bytes: usize,
+    },
     Shutdown,
 }
 
 enum IngressEvent {
-    Packet { deliver_at: Instant, msgs: Vec<WireMsg> },
+    Packet {
+        deliver_at: Instant,
+        msgs: Vec<WireMsg>,
+    },
     Shutdown,
 }
 
@@ -167,6 +186,10 @@ pub struct Fabric {
     coord_tx: Sender<CoordMsg>,
     egress_tx: Vec<Sender<EgressEvent>>,
     stats: Arc<NetStats>,
+    invariants: Arc<MsgLedger>,
+    fault: FaultInjection,
+    /// Remote traverser batches seen at ingress (drives `drop_batch_nth`).
+    ingress_batches: AtomicU64,
 }
 
 impl Fabric {
@@ -200,6 +223,9 @@ impl Fabric {
             coord_tx,
             egress_tx,
             stats,
+            invariants: Arc::new(MsgLedger::new()),
+            fault: config.fault,
+            ingress_batches: AtomicU64::new(0),
         });
         let mut handles = Vec::new();
         for (node, rx) in egress_rx.into_iter().enumerate() {
@@ -209,7 +235,8 @@ impl Fabric {
                 std::thread::Builder::new()
                     .name(format!("gd-egress-{node}"))
                     .spawn(move || egress_loop(fabric2, rx, ingress))
-                    .expect("spawn egress"),
+                    // Fabric construction precedes all queries.
+                    .expect("spawn egress"), // lint: allow(hot-path-panics)
             );
         }
         for (node, rx) in ingress_rx.into_iter().enumerate() {
@@ -218,7 +245,8 @@ impl Fabric {
                 std::thread::Builder::new()
                     .name(format!("gd-ingress-{node}"))
                     .spawn(move || ingress_loop(fabric2, rx))
-                    .expect("spawn ingress"),
+                    // Fabric construction precedes all queries.
+                    .expect("spawn ingress"), // lint: allow(hot-path-panics)
             );
         }
         (fabric, handles)
@@ -232,6 +260,11 @@ impl Fabric {
     /// Shared counters.
     pub fn stats(&self) -> &Arc<NetStats> {
         &self.stats
+    }
+
+    /// The message-conservation ledger (debug-build invariant checker).
+    pub fn invariants(&self) -> &Arc<MsgLedger> {
+        &self.invariants
     }
 
     /// Create an outbox for a thread running on `src_node`.
@@ -256,15 +289,39 @@ impl Fabric {
     fn deliver(&self, msg: WireMsg) {
         match msg {
             WireMsg::Batch { dest, payload } => {
+                if let Some(nth) = self.fault.drop_batch_nth {
+                    if self.ingress_batches.fetch_add(1, Ordering::Relaxed) + 1 == nth {
+                        // Injected fault: the batch sinks without a trace.
+                        // The ledger's `delivered` count stays short, which
+                        // the watchdog turns into a diagnostic.
+                        return;
+                    }
+                }
                 match codec::decode_batch(payload) {
                     Ok(batch) => {
+                        self.record_delivered(&batch);
                         let _ = self.worker_tx[dest.as_usize()].send(WorkerMsg::Batch(batch));
                     }
-                    Err(e) => panic!("wire corruption: {e}"),
+                    Err(e) => {
+                        // A corrupt frame names no query we could fail
+                        // directly. Drop it: the message-conservation
+                        // watchdog then surfaces the stalled query with
+                        // sent/delivered counts (debug builds), or the
+                        // query deadline fires (release).
+                        eprintln!("gd-net: dropping undecodable batch frame: {e}");
+                    }
                 }
             }
-            WireMsg::Progress { query, weight, steps } => {
-                let _ = self.coord_tx.send(CoordMsg::Progress { query, weight, steps });
+            WireMsg::Progress {
+                query,
+                weight,
+                steps,
+            } => {
+                let _ = self.coord_tx.send(CoordMsg::Progress {
+                    query,
+                    weight,
+                    steps,
+                });
             }
             WireMsg::Rows { query, rows, .. } => {
                 let _ = self.coord_tx.send(CoordMsg::Rows { query, rows });
@@ -281,19 +338,31 @@ impl Fabric {
     /// Deliver a batch of local traversers without serialization.
     fn deliver_local_batch(&self, dest: WorkerId, batch: Vec<Traverser>) {
         self.stats.same_node_msgs.fetch_add(1, Ordering::Relaxed);
+        self.record_delivered(&batch);
         let _ = self.worker_tx[dest.as_usize()].send(WorkerMsg::Batch(batch));
+    }
+
+    /// Record a batch's traversers as delivered, per query (no-op in
+    /// release builds).
+    fn record_delivered(&self, batch: &[Traverser]) {
+        if !MsgLedger::ENABLED {
+            return;
+        }
+        for t in batch {
+            self.invariants.record_delivered(t.query, 1);
+        }
     }
 }
 
-fn egress_loop(
-    fabric: Arc<Fabric>,
-    rx: Receiver<EgressEvent>,
-    ingress: Vec<Sender<IngressEvent>>,
-) {
+fn egress_loop(fabric: Arc<Fabric>, rx: Receiver<EgressEvent>, ingress: Vec<Sender<IngressEvent>>) {
     let mut stop = false;
     while !stop {
         let first = match rx.recv() {
-            Ok(EgressEvent::Packet { dest_node, msgs, bytes }) => (dest_node, msgs, bytes),
+            Ok(EgressEvent::Packet {
+                dest_node,
+                msgs,
+                bytes,
+            }) => (dest_node, msgs, bytes),
             Ok(EgressEvent::Shutdown) | Err(_) => break,
         };
         // Node-level combining (tier 2): merge whatever is queued right now
@@ -302,7 +371,11 @@ fn egress_loop(
         if fabric.io_mode == IoMode::TwoTier {
             for _ in 0..64 {
                 match rx.try_recv() {
-                    Ok(EgressEvent::Packet { dest_node, msgs, bytes }) => {
+                    Ok(EgressEvent::Packet {
+                        dest_node,
+                        msgs,
+                        bytes,
+                    }) => {
                         if let Some(g) = groups.iter_mut().find(|g| g.0 == dest_node) {
                             g.1.extend(msgs);
                             g.2 += bytes;
@@ -323,10 +396,12 @@ fn egress_loop(
             let wire = bytes + 64; // packet header
             charge(fabric.net_cfg.send_cost(wire));
             fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
-            fabric.stats.wire_bytes.fetch_add(wire as u64, Ordering::Relaxed);
-            let deliver_at = Instant::now() + fabric.net_cfg.propagation_delay;
-            let _ = ingress[dest_node.as_usize()]
-                .send(IngressEvent::Packet { deliver_at, msgs });
+            fabric
+                .stats
+                .wire_bytes
+                .fetch_add(wire as u64, Ordering::Relaxed);
+            let deliver_at = now() + fabric.net_cfg.propagation_delay;
+            let _ = ingress[dest_node.as_usize()].send(IngressEvent::Packet { deliver_at, msgs });
         }
     }
     // Propagate shutdown to every ingress thread once (node 0's egress is
@@ -338,7 +413,7 @@ fn egress_loop(
 
 fn ingress_loop(fabric: Arc<Fabric>, rx: Receiver<IngressEvent>) {
     while let Ok(IngressEvent::Packet { deliver_at, msgs }) = rx.recv() {
-        let now = Instant::now();
+        let now = now();
         if deliver_at > now {
             std::thread::sleep(deliver_at - now);
         }
@@ -359,8 +434,8 @@ pub fn charge(d: Duration) {
     if d > Duration::from_micros(50) {
         std::thread::sleep(d);
     } else {
-        let end = Instant::now() + d;
-        while Instant::now() < end {
+        let end = now() + d;
+        while now() < end {
             std::hint::spin_loop();
         }
     }
@@ -412,6 +487,7 @@ impl Outbox {
         let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
         let approx = t.approx_bytes();
         self.fabric.stats.count(MsgClass::Traverser, approx);
+        self.fabric.invariants.record_sent(t.query, 1);
         let buf = &mut self.bufs[node];
         buf.traversers.push((dest, t));
         buf.bytes += approx;
@@ -422,7 +498,11 @@ impl Outbox {
     pub fn send_progress(&mut self, query: QueryId, weight: Weight, steps: u64) {
         self.fabric.stats.count(MsgClass::Progress, 32);
         let buf = &mut self.bufs[0];
-        buf.msgs.push(WireMsg::Progress { query, weight, steps });
+        buf.msgs.push(WireMsg::Progress {
+            query,
+            weight,
+            steps,
+        });
         buf.bytes += 32;
         self.maybe_flush(0);
     }
@@ -444,7 +524,11 @@ impl Outbox {
             .sum();
         self.fabric.stats.count(MsgClass::Rows, approx);
         let buf = &mut self.bufs[0];
-        buf.msgs.push(WireMsg::Rows { query, rows, approx });
+        buf.msgs.push(WireMsg::Rows {
+            query,
+            rows,
+            approx,
+        });
         buf.bytes += approx;
         self.maybe_flush(0);
     }
@@ -453,17 +537,19 @@ impl Outbox {
     /// the control plane is not batched).
     pub fn send_ctrl_worker(&mut self, dest: WorkerId, msg: WorkerMsg) {
         let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
-        self.fabric.stats.count(MsgClass::Control, 256);
+        let size = codec::worker_msg_wire_size(&msg);
+        self.fabric.stats.count(MsgClass::Control, size);
         self.bufs[node].msgs.push(WireMsg::CtrlWorker { dest, msg });
-        self.bufs[node].bytes += 256;
+        self.bufs[node].bytes += size;
         self.flush_node(NodeId(node as u32));
     }
 
     /// Send a control message to the coordinator (immediate).
     pub fn send_ctrl_coord(&mut self, msg: CoordMsg) {
-        self.fabric.stats.count(MsgClass::Control, 256);
+        let size = codec::coord_msg_wire_size(&msg);
+        self.fabric.stats.count(MsgClass::Control, size);
         self.bufs[0].msgs.push(WireMsg::CtrlCoord { msg });
-        self.bufs[0].bytes += 256;
+        self.bufs[0].bytes += size;
         self.flush_node(NodeId(0));
     }
 
@@ -543,7 +629,14 @@ mod tests {
     use super::*;
     use graphdance_pstm::Traverser;
 
-    fn setup(io_mode: IoMode) -> (Arc<Fabric>, Vec<Receiver<WorkerMsg>>, Receiver<CoordMsg>, Vec<std::thread::JoinHandle<()>>) {
+    type FabricUnderTest = (
+        Arc<Fabric>,
+        Vec<Receiver<WorkerMsg>>,
+        Receiver<CoordMsg>,
+        Vec<std::thread::JoinHandle<()>>,
+    );
+
+    fn setup(io_mode: IoMode) -> FabricUnderTest {
         let mut cfg = EngineConfig::new(2, 2).with_io_mode(io_mode);
         cfg.net.propagation_delay = Duration::from_micros(1);
         cfg.net.per_message_overhead = Duration::from_nanos(100);
@@ -653,7 +746,10 @@ mod tests {
             fabric.stats().snapshot().wire_packets >= 1,
             "threshold flush produced a wire packet"
         );
-        assert!(ob.pending_bytes() > 0, "a partial buffer remains below threshold");
+        assert!(
+            ob.pending_bytes() > 0,
+            "a partial buffer remains below threshold"
+        );
         fabric.shutdown();
         for h in handles {
             h.join().unwrap();
@@ -677,7 +773,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match crx.recv_timeout(Duration::from_secs(1)).unwrap() {
-            CoordMsg::Progress { query, weight, steps } => {
+            CoordMsg::Progress {
+                query,
+                weight,
+                steps,
+            } => {
                 assert_eq!(query, QueryId(4));
                 assert_eq!(weight, Weight(9));
                 assert_eq!(steps, 3);

@@ -109,6 +109,67 @@ mod tests {
     }
 
     #[test]
+    fn double_begin_stage_discards_partial_sums() {
+        // A retried/duplicated StageBegin must fully reset the stage: both
+        // the accumulated weight and the report counter start over, so a
+        // partial sum from the aborted attempt can never combine with the
+        // new stage's reports into a phantom completion.
+        let mut rng = seeded(7);
+        let mut tr = ProgressTracker::new();
+        let q = QueryId(2);
+        tr.begin_stage(q);
+        let parts = Weight::ROOT.split(4, &mut rng);
+        assert!(!tr.report(q, parts[0]));
+        assert!(!tr.report(q, parts[1]));
+        assert_eq!(tr.reports(q), 2);
+
+        tr.begin_stage(q); // reset mid-stage
+        assert_eq!(tr.reports(q), 0, "report counter resets with the stage");
+        let remainder = parts[2].add(parts[3]);
+        assert!(
+            !tr.report(q, remainder),
+            "old partial sum must not survive the reset"
+        );
+        assert!(
+            tr.report(q, parts[0].add(parts[1])),
+            "fresh full sum completes"
+        );
+    }
+
+    #[test]
+    fn report_after_finish_does_not_resurrect_tracking() {
+        let mut tr = ProgressTracker::new();
+        let q = QueryId(3);
+        tr.begin_stage(q);
+        tr.finish_query(q);
+        // Straggler coalesced reports from slow workers arrive after the
+        // coordinator already finished the query.
+        assert!(!tr.report(q, Weight::ROOT));
+        assert!(!tr.is_tracked(q), "stragglers must not re-create state");
+        assert_eq!(tr.reports(q), 0);
+    }
+
+    #[test]
+    fn weight_sums_wrap_around_near_root() {
+        // Weights live in Z/2^64: splits routinely produce "negative"
+        // halves (e.g. ROOT splits into w and 1 - w where w > 1), so the
+        // tracker's sum must wrap. Completion means the wrapping sum *lands
+        // exactly on* ROOT — passing near it or through zero means nothing.
+        let mut tr = ProgressTracker::new();
+        let q = QueryId(4);
+        tr.begin_stage(q);
+        assert!(!tr.report(q, Weight(u64::MAX)), "sum = 2^64 - 1 ≠ ROOT");
+        assert!(!tr.report(q, Weight(3)), "sum wraps to 2 ≠ ROOT");
+        assert!(tr.report(q, Weight(u64::MAX)), "sum wraps to exactly ROOT");
+
+        // A zero-weight report on a fresh stage leaves the sum at 0, one
+        // short of ROOT — it must not complete.
+        tr.begin_stage(q);
+        assert!(!tr.report(q, Weight(0)));
+        assert!(tr.report(q, Weight::ROOT));
+    }
+
+    #[test]
     fn finish_query_removes_state() {
         let mut tr = ProgressTracker::new();
         tr.begin_stage(QueryId(1));

@@ -12,8 +12,8 @@ use std::collections::BinaryHeap;
 use crossbeam::channel::Receiver;
 use rand::rngs::SmallRng;
 
-use graphdance_common::{FxHashMap, FxHashSet, QueryId, WorkerId};
-use graphdance_pstm::{Interpreter, Memo, Outcome, Traverser, Weight};
+use graphdance_common::{FxHashMap, FxHashSet, GdError, QueryId, WorkerId};
+use graphdance_pstm::{Interpreter, Memo, Outcome, Traverser, Weight, WeightLedger};
 use graphdance_storage::Graph;
 
 use crate::config::EngineConfig;
@@ -75,6 +75,11 @@ pub struct Worker {
     weight_coalescing: bool,
     batch: usize,
     sched_overhead: std::time::Duration,
+    /// Debug-build weight-conservation checker (no-op in release).
+    ledger: WeightLedger,
+    /// Interpreter outcomes seen (drives `leak_weight_nth` fault injection).
+    outcomes: u64,
+    fault: crate::config::FaultInjection,
 }
 
 impl Worker {
@@ -104,6 +109,9 @@ impl Worker {
             weight_coalescing: config.weight_coalescing,
             batch: config.worker_batch,
             sched_overhead: config.sched_overhead_per_op,
+            ledger: WeightLedger::new(),
+            outcomes: 0,
+            fault: config.fault,
         }
     }
 
@@ -167,7 +175,11 @@ impl Worker {
                     let _ = self.memo.query_mut(query).take_stage_state();
                 }
             }
-            WorkerMsg::StartSource { query, pipeline, weight } => {
+            WorkerMsg::StartSource {
+                query,
+                pipeline,
+                weight,
+            } => {
                 self.start_source(query, pipeline, weight);
             }
             WorkerMsg::GatherAgg { query } => {
@@ -191,7 +203,8 @@ impl Worker {
             WorkerMsg::Bsp(_) => {
                 // BSP signals are for the BSP baseline's workers only.
             }
-            WorkerMsg::Shutdown => unreachable!("handled by the loops"),
+            // Both worker loops return on Shutdown before dispatching here.
+            WorkerMsg::Shutdown => unreachable!("handled by the loops"), // lint: allow(hot-path-panics)
         }
     }
 
@@ -201,11 +214,18 @@ impl Worker {
             return;
         }
         if !self.queries.contains_key(&q) {
-            self.pending.entry(q).or_default().push(WorkerMsg::Batch(vec![t]));
+            self.pending
+                .entry(q)
+                .or_default()
+                .push(WorkerMsg::Batch(vec![t]));
             return;
         }
         self.seq += 1;
-        self.queue.push(Queued { depth: t.depth, seq: self.seq, t });
+        self.queue.push(Queued {
+            depth: t.depth,
+            seq: self.seq,
+            t,
+        });
     }
 
     fn start_source(&mut self, query: QueryId, pipeline: u16, weight: Weight) {
@@ -213,7 +233,11 @@ impl Worker {
             self.pending
                 .entry(query)
                 .or_default()
-                .push(WorkerMsg::StartSource { query, pipeline, weight });
+                .push(WorkerMsg::StartSource {
+                    query,
+                    pipeline,
+                    weight,
+                });
             return;
         };
         let ctx = Arc::clone(&aq.ctx);
@@ -231,14 +255,18 @@ impl Worker {
             interp.run_source(pipeline, weight, &part, &mut self.rng)
         };
         match result {
-            Ok(out) => self.route(query, out),
-            Err(e) => self.outbox.send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+            Ok(out) => self.route(query, weight, out),
+            Err(e) => self
+                .outbox
+                .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
         }
     }
 
     fn execute(&mut self, t: Traverser) {
         let query = t.query;
-        let Some(aq) = self.queries.get(&query) else { return };
+        let Some(aq) = self.queries.get(&query) else {
+            return;
+        };
         let ctx = Arc::clone(&aq.ctx);
         let stage = aq.stage as usize;
         if !self.sched_overhead.is_zero() {
@@ -254,21 +282,44 @@ impl Worker {
             params: &ctx.params,
             read_ts: ctx.read_ts,
         };
+        let input = t.weight;
         let result = {
             let part = self.graph.read(self.id.part());
             interp.run_traverser(t, &part, self.memo.query_mut(query), &mut self.rng)
         };
         match result {
-            Ok(out) => self.route(query, out),
-            Err(e) => self.outbox.send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+            Ok(out) => self.route(query, input, out),
+            Err(e) => self
+                .outbox
+                .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
         }
     }
 
-    fn route(&mut self, query: QueryId, out: Outcome) {
+    /// Route one interpreter outcome, first verifying weight conservation
+    /// (`input == Σ spawned + finished`, debug builds). A violation aborts
+    /// the query with the ledger's diagnostic instead of letting the
+    /// tracker hang or fire early.
+    fn route(&mut self, query: QueryId, input: Weight, mut out: Outcome) {
+        self.outcomes += 1;
+        if WeightLedger::ENABLED && self.fault.leak_weight_nth == Some(self.outcomes) {
+            // Injected fault: leak one unit of weight out of this outcome.
+            out.finished = out.finished.sub(Weight(1));
+        }
+        if let Err(diag) = self.ledger.check_step(query, input, &out) {
+            self.outbox.send_ctrl_coord(CoordMsg::WorkerError {
+                query,
+                error: GdError::InvariantViolation(diag),
+            });
+            return;
+        }
         for (dest, t) in out.spawned {
             if dest == self.id.part() {
                 self.seq += 1;
-                self.queue.push(Queued { depth: t.depth, seq: self.seq, t });
+                self.queue.push(Queued {
+                    depth: t.depth,
+                    seq: self.seq,
+                    t,
+                });
             } else {
                 self.outbox
                     .send_traverser(self.graph.partitioner().worker_of_part(dest), t);
@@ -318,7 +369,8 @@ pub fn spawn_workers(
             std::thread::Builder::new()
                 .name(format!("gd-worker-{i}"))
                 .spawn(move || worker.run())
-                .expect("spawn worker")
+                // Engine startup, before any query is accepted.
+                .expect("spawn worker") // lint: allow(hot-path-panics)
         })
         .collect()
 }
@@ -339,8 +391,8 @@ mod tests {
         h.push(mk(0, 2));
         h.push(mk(1, 3));
         h.push(mk(0, 4));
-        let order: Vec<(u32, u64)> = std::iter::from_fn(|| h.pop().map(|q| (q.depth, q.seq)))
-            .collect();
+        let order: Vec<(u32, u64)> =
+            std::iter::from_fn(|| h.pop().map(|q| (q.depth, q.seq))).collect();
         assert_eq!(order, vec![(0, 2), (0, 4), (1, 3), (2, 1)]);
     }
 }
@@ -356,7 +408,11 @@ mod handler_tests {
 
     /// Build a worker without spawning its thread, so `handle` can be
     /// driven directly.
-    fn test_worker() -> (Worker, std::sync::Arc<Fabric>, Vec<crossbeam::channel::Receiver<WorkerMsg>>) {
+    fn test_worker() -> (
+        Worker,
+        std::sync::Arc<Fabric>,
+        Vec<crossbeam::channel::Receiver<WorkerMsg>>,
+    ) {
         let mut b = GraphBuilder::new(Partitioner::new(1, 2));
         let n = b.schema_mut().register_vertex_label("N");
         let e = b.schema_mut().register_edge_label("e");
@@ -415,7 +471,10 @@ mod handler_tests {
         w.handle(WorkerMsg::QueryEnd { query: QueryId(5) });
         let t = Traverser::root(QueryId(5), 0, VertexId(0), 0, Weight::ROOT);
         w.handle(WorkerMsg::Batch(vec![t]));
-        assert!(w.queue.is_empty(), "late traversers for an ended query are dropped");
+        assert!(
+            w.queue.is_empty(),
+            "late traversers for an ended query are dropped"
+        );
         assert!(w.pending.is_empty());
     }
 
@@ -431,8 +490,14 @@ mod handler_tests {
             params: vec![Value::Vertex(VertexId(0))],
             read_ts: 1,
         });
-        w.handle(WorkerMsg::QueryBegin { ctx: ctx5, stage: 0 });
-        w.handle(WorkerMsg::QueryBegin { ctx: ctx6, stage: 0 });
+        w.handle(WorkerMsg::QueryBegin {
+            ctx: ctx5,
+            stage: 0,
+        });
+        w.handle(WorkerMsg::QueryBegin {
+            ctx: ctx6,
+            stage: 0,
+        });
         w.handle(WorkerMsg::Batch(vec![
             Traverser::root(QueryId(5), 0, VertexId(0), 0, Weight(1)),
             Traverser::root(QueryId(6), 0, VertexId(0), 0, Weight(2)),
@@ -447,7 +512,11 @@ mod handler_tests {
     fn start_source_before_begin_is_replayed() {
         let (mut w, _fabric, _wrx) = test_worker();
         let ctx = ctx_for(&w);
-        w.handle(WorkerMsg::StartSource { query: QueryId(5), pipeline: 0, weight: Weight::ROOT });
+        w.handle(WorkerMsg::StartSource {
+            query: QueryId(5),
+            pipeline: 0,
+            weight: Weight::ROOT,
+        });
         assert!(w.queue.is_empty());
         w.handle(WorkerMsg::QueryBegin { ctx, stage: 0 });
         // The replayed source spawned the root traverser (vertex 0 is local

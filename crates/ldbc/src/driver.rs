@@ -10,7 +10,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use graphdance_common::time::now;
 
 use graphdance_common::rng::derive;
 use graphdance_datagen::SnbDataset;
@@ -112,7 +114,9 @@ pub fn run_mixed(
     for _ in 0..total_ops {
         let r: f64 = rng.gen();
         if r < 0.15 && !cfg.ic_subset.is_empty() {
-            schedule.push(OpClass::Ic(cfg.ic_subset[rng.gen_range(0..cfg.ic_subset.len())]));
+            schedule.push(OpClass::Ic(
+                cfg.ic_subset[rng.gen_range(0..cfg.ic_subset.len())],
+            ));
         } else if r < 0.75 {
             schedule.push(OpClass::Is(rng.gen_range(0..is_plans.len())));
         } else {
@@ -127,7 +131,7 @@ pub fn run_mixed(
     let failed = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let max_lag = Mutex::new(Duration::ZERO);
-    let start = Instant::now();
+    let start = now();
 
     std::thread::scope(|scope| {
         for client in 0..cfg.clients {
@@ -145,7 +149,7 @@ pub fn run_mixed(
                     return;
                 }
                 let scheduled_at = start + interval.mul_f64(idx as f64);
-                let now = Instant::now();
+                let now = now();
                 if scheduled_at > now {
                     std::thread::sleep(scheduled_at - now);
                 } else {

@@ -13,8 +13,8 @@ use graphdance_storage::Schema;
 
 /// Names of the IC queries, index 0 = IC1.
 pub const IC_NAMES: [&str; 14] = [
-    "IC1", "IC2", "IC3", "IC4", "IC5", "IC6", "IC7", "IC8", "IC9", "IC10", "IC11", "IC12",
-    "IC13", "IC14",
+    "IC1", "IC2", "IC3", "IC4", "IC5", "IC6", "IC7", "IC8", "IC9", "IC10", "IC11", "IC12", "IC13",
+    "IC14",
 ];
 
 /// Build all 14 plans (index 0 = IC1).
@@ -45,7 +45,10 @@ fn friends_prefix(b: &mut QueryBuilder<'_>, max_hops: i64) -> (u8, u8) {
     let c = b.alloc_slot();
     let d = b.alloc_slot();
     b.repeat(1, max_hops, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.both("knows");
         r.min_dist(d);
     });
@@ -63,7 +66,11 @@ pub fn ic1(schema: &Schema) -> GdResult<Plan> {
     let (_, d) = friends_prefix(&mut b, 3);
     b.has("firstName", CmpOp::Eq, Expr::Param(1));
     let last = b.load("lastName");
-    b.top_k(
+    // `distinct` by vertex: async delivery can route a longer path through
+    // MinDist before the shortest arrives, emitting one row per distance.
+    // Keeping only the best-sorted (= minimum-distance) row per person in
+    // the aggregation makes the result exact regardless of arrival order.
+    b.top_k_distinct(
         20,
         vec![
             (Expr::Slot(d), Order::Asc),
@@ -71,6 +78,7 @@ pub fn ic1(schema: &Schema) -> GdResult<Plan> {
             (Expr::VertexId, Order::Asc),
         ],
         vec![Expr::VertexId, Expr::Slot(last), Expr::Slot(d)],
+        vec![Expr::VertexId],
     );
     b.compile()
 }
@@ -90,7 +98,10 @@ pub fn ic2(schema: &Schema) -> GdResult<Plan> {
     b.filter(Expr::le(Expr::Slot(created), Expr::Param(1)));
     b.top_k(
         20,
-        vec![(Expr::Slot(created), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![
+            (Expr::Slot(created), Order::Desc),
+            (Expr::VertexId, Order::Asc),
+        ],
         vec![Expr::Slot(f), Expr::VertexId, Expr::Slot(created)],
     );
     b.compile()
@@ -158,7 +169,11 @@ pub fn ic5(schema: &Schema) -> GdResult<Plan> {
     let f = b.alloc_slot();
     b.compute(f, Expr::VertexId);
     let join_date = b.alloc_slot();
-    b.expand(graphdance_storage::Direction::In, "hasMember", vec![("joinDate", join_date)]);
+    b.expand(
+        graphdance_storage::Direction::In,
+        "hasMember",
+        vec![("joinDate", join_date)],
+    );
     b.filter(Expr::gt(Expr::Slot(join_date), Expr::Param(1)));
     let forum = b.alloc_slot();
     b.compute(forum, Expr::VertexId);
@@ -203,10 +218,17 @@ pub fn ic7(schema: &Schema) -> GdResult<Plan> {
     let msg = b.alloc_slot();
     b.compute(msg, Expr::VertexId);
     let like_date = b.alloc_slot();
-    b.expand(graphdance_storage::Direction::In, "likes", vec![("creationDate", like_date)]);
+    b.expand(
+        graphdance_storage::Direction::In,
+        "likes",
+        vec![("creationDate", like_date)],
+    );
     b.top_k(
         20,
-        vec![(Expr::Slot(like_date), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![
+            (Expr::Slot(like_date), Order::Desc),
+            (Expr::VertexId, Order::Asc),
+        ],
         vec![Expr::VertexId, Expr::Slot(like_date), Expr::Slot(msg)],
     );
     b.compile()
@@ -226,7 +248,10 @@ pub fn ic8(schema: &Schema) -> GdResult<Plan> {
     b.out("hasCreator");
     b.top_k(
         20,
-        vec![(Expr::Slot(created), Order::Desc), (Expr::Slot(comment), Order::Asc)],
+        vec![
+            (Expr::Slot(created), Order::Desc),
+            (Expr::Slot(comment), Order::Asc),
+        ],
         vec![Expr::VertexId, Expr::Slot(comment), Expr::Slot(created)],
     );
     b.compile()
@@ -246,7 +271,10 @@ pub fn ic9(schema: &Schema) -> GdResult<Plan> {
     b.filter(Expr::lt(Expr::Slot(created), Expr::Param(1)));
     b.top_k(
         20,
-        vec![(Expr::Slot(created), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![
+            (Expr::Slot(created), Order::Desc),
+            (Expr::VertexId, Order::Asc),
+        ],
         vec![Expr::Slot(f), Expr::VertexId, Expr::Slot(created)],
     );
     b.compile()
@@ -288,7 +316,11 @@ pub fn ic11(schema: &Schema) -> GdResult<Plan> {
     let f = b.alloc_slot();
     b.compute(f, Expr::VertexId);
     let work_from = b.alloc_slot();
-    b.expand(graphdance_storage::Direction::Out, "workAt", vec![("workFrom", work_from)]);
+    b.expand(
+        graphdance_storage::Direction::Out,
+        "workAt",
+        vec![("workFrom", work_from)],
+    );
     b.filter(Expr::lt(Expr::Slot(work_from), Expr::Param(2)));
     let company = b.load("name");
     b.out("isLocatedIn");
@@ -359,7 +391,10 @@ pub fn ic13(schema: &Schema) -> GdResult<Plan> {
     let c = b.alloc_slot();
     let d = b.alloc_slot();
     b.repeat(1, 6, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.both("knows");
         r.min_dist(d);
     });
@@ -382,7 +417,10 @@ pub fn ic14(schema: &Schema) -> GdResult<Plan> {
     let c = b.alloc_slot();
     let d = b.alloc_slot();
     b.repeat(1, 4, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.both("knows");
         r.dedup_by(vec![d]);
     });
@@ -393,7 +431,11 @@ pub fn ic14(schema: &Schema) -> GdResult<Plan> {
 
 /// Convenience: returns `(name, plan)` pairs.
 pub fn named_ic_plans(schema: &Schema) -> GdResult<Vec<(&'static str, Plan)>> {
-    Ok(IC_NAMES.iter().copied().zip(build_ic_plans(schema)?).collect())
+    Ok(IC_NAMES
+        .iter()
+        .copied()
+        .zip(build_ic_plans(schema)?)
+        .collect())
 }
 
 /// Re-export used by `params`.

@@ -18,7 +18,10 @@ pub fn ic_params(idx: usize, data: &SnbDataset, rng: &mut SmallRng) -> Vec<Value
     let end = date_millis(2012, 6, 1);
     match idx {
         // IC1: person, firstName
-        0 => vec![p, Value::str(data.person_first_name(rng.gen_range(0..data.num_persons())))],
+        0 => vec![
+            p,
+            Value::str(data.person_first_name(rng.gen_range(0..data.num_persons()))),
+        ],
         // IC2: person, maxDate
         1 => vec![p, Value::Int(rng.gen_range(start..end))],
         // IC3: person, countryX, countryY, startDate, endDate
@@ -43,7 +46,10 @@ pub fn ic_params(idx: usize, data: &SnbDataset, rng: &mut SmallRng) -> Vec<Value
         // IC5: person, minJoinDate
         4 => vec![p, Value::Int(rng.gen_range(start..end))],
         // IC6: person, tagName
-        5 => vec![p, Value::str(data.tag_name(rng.gen_range(0..data.num_tags())))],
+        5 => vec![
+            p,
+            Value::str(data.tag_name(rng.gen_range(0..data.num_tags()))),
+        ],
         // IC7 / IC8: person
         6 | 7 => vec![p],
         // IC9: person, maxDate
@@ -123,7 +129,9 @@ mod tests {
     #[test]
     fn person_params_are_valid_vertices() {
         let data = SnbDataset::generate(SnbParams::tiny());
-        let g = data.build(graphdance_common::Partitioner::single()).unwrap();
+        let g = data
+            .build(graphdance_common::Partitioner::single())
+            .unwrap();
         let mut rng = seeded(3);
         for _ in 0..20 {
             let ps = ic_params(0, &data, &mut rng);

@@ -27,8 +27,15 @@ pub fn build_is_plans(schema: &Schema) -> GdResult<Vec<Plan>> {
 pub fn is1(schema: &Schema) -> GdResult<Plan> {
     let mut b = QueryBuilder::new(schema);
     b.v_param(0);
-    let cols = ["firstName", "lastName", "birthday", "locationIP", "browserUsed", "gender"]
-        .map(|k| b.prop(k));
+    let cols = [
+        "firstName",
+        "lastName",
+        "birthday",
+        "locationIP",
+        "browserUsed",
+        "gender",
+    ]
+    .map(|k| b.prop(k));
     b.output(cols.to_vec());
     b.compile()
 }
@@ -41,7 +48,10 @@ pub fn is2(schema: &Schema) -> GdResult<Plan> {
     let created = b.load("creationDate");
     b.top_k(
         10,
-        vec![(Expr::Slot(created), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![
+            (Expr::Slot(created), Order::Desc),
+            (Expr::VertexId, Order::Asc),
+        ],
         vec![Expr::VertexId, Expr::Slot(created)],
     );
     b.compile()
@@ -53,11 +63,18 @@ pub fn is3(schema: &Schema) -> GdResult<Plan> {
     let mut b = QueryBuilder::new(schema);
     b.v_param(0);
     let since = b.alloc_slot();
-    b.expand(graphdance_storage::Direction::Both, "knows", vec![("creationDate", since)]);
+    b.expand(
+        graphdance_storage::Direction::Both,
+        "knows",
+        vec![("creationDate", since)],
+    );
     let first = b.load("firstName");
     b.top_k(
         1000,
-        vec![(Expr::Slot(since), Order::Desc), (Expr::VertexId, Order::Asc)],
+        vec![
+            (Expr::Slot(since), Order::Desc),
+            (Expr::VertexId, Order::Asc),
+        ],
         vec![Expr::VertexId, Expr::Slot(first), Expr::Slot(since)],
     );
     b.compile()
@@ -133,7 +150,10 @@ pub fn is7(schema: &Schema) -> GdResult<Plan> {
     b.out("hasCreator");
     b.top_k(
         100,
-        vec![(Expr::Slot(created), Order::Desc), (Expr::Slot(comment), Order::Asc)],
+        vec![
+            (Expr::Slot(created), Order::Desc),
+            (Expr::Slot(comment), Order::Asc),
+        ],
         vec![Expr::Slot(comment), Expr::Slot(created), Expr::VertexId],
     );
     b.compile()

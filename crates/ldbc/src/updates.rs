@@ -81,7 +81,8 @@ impl UpdateStream {
         let el = |n: &str| schema.edge_label(n).expect("SNB schema registered");
         let vl = |n: &str| schema.vertex_label(n).expect("SNB schema registered");
         let now = date_millis(2013, 1, 1);
-        let rand_person = |rng: &mut SmallRng| vid(Kind::Person, rng.gen_range(0..self.base_persons));
+        let rand_person =
+            |rng: &mut SmallRng| vid(Kind::Person, rng.gen_range(0..self.base_persons));
         match kind {
             UpdateKind::AddPerson => {
                 let i = self.next_person.fetch_add(1, Ordering::Relaxed);
@@ -96,7 +97,12 @@ impl UpdateStream {
                         (pk("birthday"), Value::Int(date_millis(1990, 1, 1))),
                     ],
                 )?;
-                tx.insert_edge(vid(Kind::Person, i), el("isLocatedIn"), vid(Kind::City, 0), vec![])?;
+                tx.insert_edge(
+                    vid(Kind::Person, i),
+                    el("isLocatedIn"),
+                    vid(Kind::City, 0),
+                    vec![],
+                )?;
                 tx.commit()?;
             }
             UpdateKind::AddPost => {
@@ -152,7 +158,12 @@ impl UpdateStream {
                     return Ok(());
                 }
                 let mut tx = txn.begin();
-                tx.insert_edge(a, el("knows"), b, vec![(pk("creationDate"), Value::Int(now))])?;
+                tx.insert_edge(
+                    a,
+                    el("knows"),
+                    b,
+                    vec![(pk("creationDate"), Value::Int(now))],
+                )?;
                 tx.commit()?;
             }
             UpdateKind::AddMembership => {

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use graphdance_common::value::ValueKey;
-use graphdance_common::{FxHashMap, GdError, GdResult, Value};
+use graphdance_common::{FxHashMap, FxHashSet, GdError, GdResult, Value};
 use graphdance_query::expr::EvalCtx;
 use graphdance_query::plan::{AggFunc, GroupOrder, Order};
 
@@ -29,8 +29,12 @@ pub enum AggState {
     Max(Option<Value>),
     /// Running mean.
     Avg { sum: f64, count: u64 },
-    /// Top-k candidates: (sort key, output row) pairs, compacted lazily.
-    TopK { rows: Vec<(Vec<Value>, Row)> },
+    /// Top-k candidates: (sort key, output row, distinct key) triples,
+    /// compacted lazily. The distinct key is empty unless the function
+    /// declares `distinct` expressions.
+    TopK {
+        rows: Vec<(Vec<Value>, Row, Vec<ValueKey>)>,
+    },
     /// Count per group.
     GroupCount { map: FxHashMap<ValueKey, i64> },
     /// Sum per group.
@@ -49,8 +53,12 @@ impl AggState {
             AggFunc::Max(_) => AggState::Max(None),
             AggFunc::Avg(_) => AggState::Avg { sum: 0.0, count: 0 },
             AggFunc::TopK { .. } => AggState::TopK { rows: Vec::new() },
-            AggFunc::GroupCount { .. } => AggState::GroupCount { map: FxHashMap::default() },
-            AggFunc::GroupSum { .. } => AggState::GroupSum { map: FxHashMap::default() },
+            AggFunc::GroupCount { .. } => AggState::GroupCount {
+                map: FxHashMap::default(),
+            },
+            AggFunc::GroupSum { .. } => AggState::GroupSum {
+                map: FxHashMap::default(),
+            },
             AggFunc::Collect { .. } => AggState::Collect { rows: Vec::new() },
         }
     }
@@ -65,7 +73,8 @@ impl AggState {
             (AggState::Min(m), AggFunc::Min(e)) => {
                 let v = e.eval(ctx)?;
                 if !v.is_null()
-                    && m.as_ref().is_none_or(|cur| v.cmp_total(cur) == std::cmp::Ordering::Less)
+                    && m.as_ref()
+                        .is_none_or(|cur| v.cmp_total(cur) == std::cmp::Ordering::Less)
                 {
                     *m = Some(v);
                 }
@@ -85,13 +94,28 @@ impl AggState {
                     *count += 1;
                 }
             }
-            (AggState::TopK { rows }, AggFunc::TopK { k, sort, output }) => {
+            (
+                AggState::TopK { rows },
+                AggFunc::TopK {
+                    k,
+                    sort,
+                    output,
+                    distinct,
+                },
+            ) => {
                 let key = sort
                     .iter()
                     .map(|(e, _)| e.eval(ctx))
                     .collect::<GdResult<Vec<_>>>()?;
-                let row = output.iter().map(|e| e.eval(ctx)).collect::<GdResult<Vec<_>>>()?;
-                rows.push((key, row));
+                let row = output
+                    .iter()
+                    .map(|e| e.eval(ctx))
+                    .collect::<GdResult<Vec<_>>>()?;
+                let dk = distinct
+                    .iter()
+                    .map(|e| Ok(e.eval(ctx)?.group_key()))
+                    .collect::<GdResult<Vec<_>>>()?;
+                rows.push((key, row, dk));
                 if rows.len() > 2 * (*k).max(16) {
                     compact_topk(rows, *k, sort);
                 }
@@ -105,7 +129,12 @@ impl AggState {
             }
             (AggState::Collect { rows }, AggFunc::Collect { output, limit }) => {
                 if rows.len() < *limit {
-                    rows.push(output.iter().map(|e| e.eval(ctx)).collect::<GdResult<Vec<_>>>()?);
+                    rows.push(
+                        output
+                            .iter()
+                            .map(|e| e.eval(ctx))
+                            .collect::<GdResult<Vec<_>>>()?,
+                    );
                 }
             }
             (state, func) => {
@@ -124,7 +153,8 @@ impl AggState {
             (AggState::Sum(a), AggState::Sum(b)) => *a = add_values(a, &b)?,
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(v) = b {
-                    if a.as_ref().is_none_or(|cur| v.cmp_total(cur) == std::cmp::Ordering::Less)
+                    if a.as_ref()
+                        .is_none_or(|cur| v.cmp_total(cur) == std::cmp::Ordering::Less)
                     {
                         *a = Some(v);
                     }
@@ -189,14 +219,18 @@ impl AggState {
             }
             (AggState::TopK { mut rows }, AggFunc::TopK { k, sort, .. }) => {
                 compact_topk(&mut rows, *k, sort);
-                rows.into_iter().map(|(_, r)| r).collect()
+                rows.into_iter().map(|(_, r, _)| r).collect()
             }
             (AggState::GroupCount { map }, AggFunc::GroupCount { order, limit, .. })
             | (AggState::GroupSum { map }, AggFunc::GroupSum { order, limit, .. }) => {
                 let mut entries: Vec<(ValueKey, i64)> = map.into_iter().collect();
                 match order {
-                    GroupOrder::CountDesc => entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0))),
-                    GroupOrder::CountAsc => entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0))),
+                    GroupOrder::CountDesc => {
+                        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)))
+                    }
+                    GroupOrder::CountAsc => {
+                        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+                    }
                     GroupOrder::KeyAsc => entries.sort_by(|a, b| a.0.cmp(&b.0)),
                 }
                 entries.truncate(*limit);
@@ -210,6 +244,9 @@ impl AggState {
                 rows
             }
             (state, func) => {
+                // Plan validation pairs every AggState with its AggFunc
+                // before execution starts; a mismatch cannot arise at
+                // runtime. lint: allow(hot-path-panics)
                 unreachable!("finalize mismatch: {state:?} vs {func:?} (validated earlier)")
             }
         }
@@ -220,7 +257,10 @@ impl AggState {
         match self {
             AggState::Count(_) | AggState::Sum(_) | AggState::Min(_) | AggState::Max(_) => 24,
             AggState::Avg { .. } => 24,
-            AggState::TopK { rows } => rows.iter().map(|(k, r)| 16 * (k.len() + r.len())).sum(),
+            AggState::TopK { rows } => rows
+                .iter()
+                .map(|(k, r, d)| 16 * (k.len() + r.len() + d.len()))
+                .sum(),
             AggState::GroupCount { map } | AggState::GroupSum { map } => 32 * map.len(),
             AggState::Collect { rows } => rows.iter().map(|r| 16 * r.len()).sum(),
         }
@@ -243,9 +283,20 @@ fn add_values(a: &Value, b: &Value) -> GdResult<Value> {
     }
 }
 
-/// Keep only the best `k` rows under the sort spec.
-fn compact_topk(rows: &mut Vec<(Vec<Value>, Row)>, k: usize, sort: &[(graphdance_query::expr::Expr, Order)]) {
+/// Keep only the best `k` rows under the sort spec, and only the single
+/// best row per non-empty distinct key. Dedup-before-truncate keeps the
+/// operation associative: any interleaving of insert/merge/compact yields
+/// the same final top-k.
+fn compact_topk(
+    rows: &mut Vec<(Vec<Value>, Row, Vec<ValueKey>)>,
+    k: usize,
+    sort: &[(graphdance_query::expr::Expr, Order)],
+) {
     rows.sort_by(|a, b| cmp_sort_keys(&a.0, &b.0, sort));
+    if rows.iter().any(|(_, _, d)| !d.is_empty()) {
+        let mut seen: FxHashSet<Vec<ValueKey>> = FxHashSet::default();
+        rows.retain(|(_, _, d)| d.is_empty() || seen.insert(d.clone()));
+    }
     rows.truncate(k);
 }
 
@@ -256,7 +307,10 @@ pub fn cmp_sort_keys(
     sort: &[(graphdance_query::expr::Expr, Order)],
 ) -> std::cmp::Ordering {
     for (i, (_, dir)) in sort.iter().enumerate() {
-        let (x, y) = (a.get(i).unwrap_or(&Value::Null), b.get(i).unwrap_or(&Value::Null));
+        let (x, y) = (
+            a.get(i).unwrap_or(&Value::Null),
+            b.get(i).unwrap_or(&Value::Null),
+        );
         let c = x.cmp_total(y);
         let c = match dir {
             Order::Asc => c,
@@ -276,7 +330,12 @@ mod tests {
     use graphdance_query::expr::Expr;
 
     fn ctx_with_locals(locals: &[Value]) -> EvalCtx<'_> {
-        EvalCtx { vertex: VertexId(1), record: None, locals, params: &[] }
+        EvalCtx {
+            vertex: VertexId(1),
+            record: None,
+            locals,
+            params: &[],
+        }
     }
 
     fn feed(state: &mut AggState, func: &AggFunc, values: &[i64]) {
@@ -320,11 +379,19 @@ mod tests {
             k: 3,
             sort: vec![(Expr::Slot(0), Order::Desc)],
             output: vec![Expr::Slot(0)],
+            distinct: vec![],
         };
         let mut s = AggState::new(&func);
         feed(&mut s, &func, &[4, 8, 1, 9, 5, 2]);
         let rows = s.finalize(&func);
-        assert_eq!(rows, vec![vec![Value::Int(9)], vec![Value::Int(8)], vec![Value::Int(5)]]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(9)],
+                vec![Value::Int(8)],
+                vec![Value::Int(5)]
+            ]
+        );
     }
 
     #[test]
@@ -333,13 +400,17 @@ mod tests {
             k: 2,
             sort: vec![(Expr::Slot(0), Order::Asc)],
             output: vec![Expr::Slot(0)],
+            distinct: vec![],
         };
         let mut a = AggState::new(&func);
         let mut b = AggState::new(&func);
         feed(&mut a, &func, &[10, 3]);
         feed(&mut b, &func, &[1, 7]);
         a.merge(&func, b).unwrap();
-        assert_eq!(a.finalize(&func), vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        assert_eq!(
+            a.finalize(&func),
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
     }
 
     #[test]
@@ -348,6 +419,7 @@ mod tests {
             k: 2,
             sort: vec![(Expr::Slot(0), Order::Desc)],
             output: vec![Expr::Slot(0)],
+            distinct: vec![],
         };
         let mut s = AggState::new(&func);
         let vals: Vec<i64> = (0..500).collect();
@@ -356,7 +428,44 @@ mod tests {
         if let AggState::TopK { rows } = &s {
             assert!(rows.len() <= 64, "buffer grew unbounded: {}", rows.len());
         }
-        assert_eq!(s.finalize(&func), vec![vec![Value::Int(499)], vec![Value::Int(498)]]);
+        assert_eq!(
+            s.finalize(&func),
+            vec![vec![Value::Int(499)], vec![Value::Int(498)]]
+        );
+    }
+
+    #[test]
+    fn topk_distinct_keeps_best_row_per_key() {
+        // Sort by slot 0 asc, distinct on slot 1: rows (3,A) (1,B) (2,A)
+        // must finalize to [(1,B), (2,A)] — the worse duplicate of A loses
+        // no matter which order (or partial) it arrived in.
+        let func = AggFunc::TopK {
+            k: 10,
+            sort: vec![(Expr::Slot(0), Order::Asc)],
+            output: vec![Expr::Slot(0), Expr::Slot(1)],
+            distinct: vec![Expr::Slot(1)],
+        };
+        let feed_pairs = |state: &mut AggState, pairs: &[(i64, i64)]| {
+            for (v, g) in pairs {
+                let locals = [Value::Int(*v), Value::Int(*g)];
+                state.insert(&func, &ctx_with_locals(&locals)).unwrap();
+            }
+        };
+        let expect = vec![
+            vec![Value::Int(1), Value::Int(8)],
+            vec![Value::Int(2), Value::Int(7)],
+        ];
+        // Single stream, duplicate arriving before its better row.
+        let mut s = AggState::new(&func);
+        feed_pairs(&mut s, &[(3, 7), (1, 8), (2, 7)]);
+        assert_eq!(s.finalize(&func), expect);
+        // Duplicates split across merged partials.
+        let mut a = AggState::new(&func);
+        let mut b = AggState::new(&func);
+        feed_pairs(&mut a, &[(3, 7), (1, 8)]);
+        feed_pairs(&mut b, &[(2, 7)]);
+        a.merge(&func, b).unwrap();
+        assert_eq!(a.finalize(&func), expect);
     }
 
     #[test]
@@ -371,7 +480,10 @@ mod tests {
         let rows = s.finalize(&func);
         assert_eq!(
             rows,
-            vec![vec![Value::Int(7), Value::Int(3)], vec![Value::Int(3), Value::Int(2)]]
+            vec![
+                vec![Value::Int(7), Value::Int(3)],
+                vec![Value::Int(3), Value::Int(2)]
+            ]
         );
     }
 
@@ -401,13 +513,19 @@ mod tests {
         feed(&mut s, &func, &[2, 2, 4]);
         assert_eq!(
             s.finalize(&func),
-            vec![vec![Value::Int(2), Value::Int(4)], vec![Value::Int(4), Value::Int(4)]]
+            vec![
+                vec![Value::Int(2), Value::Int(4)],
+                vec![Value::Int(4), Value::Int(4)]
+            ]
         );
     }
 
     #[test]
     fn collect_respects_limit() {
-        let func = AggFunc::Collect { output: vec![Expr::Slot(0)], limit: 2 };
+        let func = AggFunc::Collect {
+            output: vec![Expr::Slot(0)],
+            limit: 2,
+        };
         let mut s = AggState::new(&func);
         feed(&mut s, &func, &[1, 2, 3, 4]);
         assert_eq!(s.finalize(&func).len(), 2);

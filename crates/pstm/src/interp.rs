@@ -176,8 +176,7 @@ impl<'a> Interpreter<'a> {
                         "previous stage row column {vertex_col} is not a vertex"
                     ))
                 })?;
-            let mut t =
-                Traverser::root(self.query, pipeline, v, stage.num_slots, w.split_one(rng));
+            let mut t = Traverser::root(self.query, pipeline, v, stage.num_slots, w.split_one(rng));
             for (slot, col) in seed {
                 t.set_slot(*slot, row.get(*col).cloned().unwrap_or(Value::Null));
             }
@@ -203,8 +202,11 @@ impl<'a> Interpreter<'a> {
             // Emit position: end of pipeline.
             if t.pc as usize >= pipe.steps.len() {
                 out.steps_executed += 1;
-                let record =
-                    if part.contains(t.vertex) { Some(part.vertex(t.vertex)?) } else { None };
+                let record = if part.contains(t.vertex) {
+                    Some(part.vertex(t.vertex)?)
+                } else {
+                    None
+                };
                 let ctx = EvalCtx {
                     vertex: t.vertex,
                     record,
@@ -212,7 +214,8 @@ impl<'a> Interpreter<'a> {
                     params: self.params,
                 };
                 if let Some(agg) = &stage.agg {
-                    memo.agg_mut(|| AggState::new(&agg.func)).insert(&agg.func, &ctx)?;
+                    memo.agg_mut(|| AggState::new(&agg.func))
+                        .insert(&agg.func, &ctx)?;
                 } else {
                     let row = stage
                         .output
@@ -227,7 +230,11 @@ impl<'a> Interpreter<'a> {
 
             out.steps_executed += 1;
             match &pipe.steps[t.pc as usize] {
-                PlanStep::Expand { dir, label, edge_loads } => {
+                PlanStep::Expand {
+                    dir,
+                    label,
+                    edge_loads,
+                } => {
                     let mut w = t.weight;
                     for e in part.edges(t.vertex, *dir, *label, self.read_ts)? {
                         let mut child = t.clone();
@@ -236,10 +243,7 @@ impl<'a> Interpreter<'a> {
                         child.depth = t.depth + 1;
                         child.weight = w.split_one(rng);
                         for (k, slot) in edge_loads {
-                            child.set_slot(
-                                *slot,
-                                e.entry.prop(*k).cloned().unwrap_or(Value::Null),
-                            );
+                            child.set_slot(*slot, e.entry.prop(*k).cloned().unwrap_or(Value::Null));
                         }
                         out.spawned.push((self.graph.part_of(e.neighbor), child));
                     }
@@ -247,8 +251,11 @@ impl<'a> Interpreter<'a> {
                     return Ok(out);
                 }
                 PlanStep::Filter(pred) => {
-                    let record =
-                        if part.contains(t.vertex) { Some(part.vertex(t.vertex)?) } else { None };
+                    let record = if part.contains(t.vertex) {
+                        Some(part.vertex(t.vertex)?)
+                    } else {
+                        None
+                    };
                     let ctx = EvalCtx {
                         vertex: t.vertex,
                         record,
@@ -299,8 +306,7 @@ impl<'a> Interpreter<'a> {
                     t.pc += 1;
                 }
                 PlanStep::Dedup { slots } => {
-                    let key: Vec<ValueKey> =
-                        slots.iter().map(|s| t.slot(*s).group_key()).collect();
+                    let key: Vec<ValueKey> = slots.iter().map(|s| t.slot(*s).group_key()).collect();
                     if memo.dedup_insert(t.pipeline, t.pc, t.vertex, key) {
                         t.pc += 1;
                     } else {
@@ -317,7 +323,12 @@ impl<'a> Interpreter<'a> {
                         return Ok(out);
                     }
                 }
-                PlanStep::LoopEnd { counter, min, max, back_to } => {
+                PlanStep::LoopEnd {
+                    counter,
+                    min,
+                    max,
+                    back_to,
+                } => {
                     let n = t.slot(*counter).as_int().unwrap_or(0) + 1;
                     t.set_slot(*counter, Value::Int(n));
                     let go_back = n < *max;
@@ -492,8 +503,12 @@ mod tests {
         let knows = b.schema_mut().register_edge_label("knows");
         let weight = b.schema_mut().register_prop("weight");
         for i in 0..4u64 {
-            b.add_vertex(VertexId(i), person, vec![(weight, Value::Int(i as i64 * 10))])
-                .unwrap();
+            b.add_vertex(
+                VertexId(i),
+                person,
+                vec![(weight, Value::Int(i as i64 * 10))],
+            )
+            .unwrap();
         }
         for (s, d) in [(0u64, 1u64), (1, 2), (2, 3), (0, 2)] {
             b.add_edge(VertexId(s), knows, VertexId(d), vec![]).unwrap();
@@ -514,8 +529,9 @@ mod tests {
             read_ts: 1,
         };
         let mut rng = seeded(7);
-        let mut memos: Vec<Memo> =
-            (0..graph.partitioner().num_parts()).map(|_| Memo::new()).collect();
+        let mut memos: Vec<Memo> = (0..graph.partitioner().num_parts())
+            .map(|_| Memo::new())
+            .collect();
         let mut tracker = WeightAccumulator::new();
         let mut queue: Vec<(PartId, Traverser)> = Vec::new();
         let stage = interp.stage();
@@ -536,7 +552,12 @@ mod tests {
         while let Some((p, t)) = queue.pop() {
             let part = graph.read(p);
             let out = interp
-                .run_traverser(t, &part, memos[p.as_usize()].query_mut(QueryId(1)), &mut rng)
+                .run_traverser(
+                    t,
+                    &part,
+                    memos[p.as_usize()].query_mut(QueryId(1)),
+                    &mut rng,
+                )
                 .unwrap();
             tracker.add(out.finished);
             rows.extend(out.emitted);
@@ -561,7 +582,10 @@ mod tests {
     fn simple_stage(steps: Vec<PlanStep>, output: Vec<Expr>, agg: Option<AggSpec>) -> Plan {
         Plan {
             stages: vec![Stage {
-                pipelines: vec![Pipeline { source: SourceSpec::Param { param: 0 }, steps }],
+                pipelines: vec![Pipeline {
+                    source: SourceSpec::Param { param: 0 },
+                    steps,
+                }],
                 joins: vec![],
                 output,
                 agg,
@@ -579,7 +603,11 @@ mod tests {
     fn one_hop_expand() {
         let g = graph();
         let plan = simple_stage(
-            vec![PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] }],
+            vec![PlanStep::Expand {
+                dir: Direction::Out,
+                label: knows(&g),
+                edge_loads: vec![],
+            }],
             vec![Expr::VertexId],
             None,
         );
@@ -587,7 +615,10 @@ mod tests {
         rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
         assert_eq!(
             rows,
-            vec![vec![Value::Vertex(VertexId(1))], vec![Value::Vertex(VertexId(2))]]
+            vec![
+                vec![Value::Vertex(VertexId(1))],
+                vec![Value::Vertex(VertexId(2))]
+            ]
         );
     }
 
@@ -597,7 +628,11 @@ mod tests {
         let w = g.schema().prop("weight").unwrap();
         let plan = simple_stage(
             vec![
-                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::Expand {
+                    dir: Direction::Out,
+                    label: knows(&g),
+                    edge_loads: vec![],
+                },
                 PlanStep::Filter(Expr::gt(Expr::Prop(w), Expr::int(15))),
             ],
             vec![Expr::VertexId],
@@ -612,8 +647,17 @@ mod tests {
         let g = graph();
         let plan = simple_stage(
             vec![
-                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
-                PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+                PlanStep::Expand {
+                    dir: Direction::Out,
+                    label: knows(&g),
+                    edge_loads: vec![],
+                },
+                PlanStep::LoopEnd {
+                    counter: 0,
+                    min: 1,
+                    max: 2,
+                    back_to: 0,
+                },
                 PlanStep::Dedup { slots: vec![] },
             ],
             vec![Expr::VertexId],
@@ -635,9 +679,18 @@ mod tests {
                     1,
                     Expr::Add(Box::new(Expr::Slot(1)), Box::new(Expr::int(1))),
                 )]),
-                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::Expand {
+                    dir: Direction::Out,
+                    label: knows(&g),
+                    edge_loads: vec![],
+                },
                 PlanStep::MinDist { dist_slot: 1 },
-                PlanStep::LoopEnd { counter: 0, min: 1, max: 3, back_to: 0 },
+                PlanStep::LoopEnd {
+                    counter: 0,
+                    min: 1,
+                    max: 3,
+                    back_to: 0,
+                },
             ],
             vec![Expr::VertexId, Expr::Slot(1)],
             None,
@@ -660,11 +713,22 @@ mod tests {
         let g = graph();
         let plan = simple_stage(
             vec![
-                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
-                PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+                PlanStep::Expand {
+                    dir: Direction::Out,
+                    label: knows(&g),
+                    edge_loads: vec![],
+                },
+                PlanStep::LoopEnd {
+                    counter: 0,
+                    min: 1,
+                    max: 2,
+                    back_to: 0,
+                },
             ],
             vec![],
-            Some(AggSpec { func: AggFunc::Count }),
+            Some(AggSpec {
+                func: AggFunc::Count,
+            }),
         );
         let (rows, agg) = drive(&g, &plan, &[Value::Vertex(VertexId(0))]);
         assert!(rows.is_empty());
@@ -683,11 +747,21 @@ mod tests {
             k: 2,
             sort: vec![(Expr::Prop(wk), Order::Desc), (Expr::VertexId, Order::Asc)],
             output: vec![Expr::VertexId, Expr::Prop(wk)],
+            distinct: vec![],
         };
         let plan = simple_stage(
             vec![
-                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
-                PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+                PlanStep::Expand {
+                    dir: Direction::Out,
+                    label: knows(&g),
+                    edge_loads: vec![],
+                },
+                PlanStep::LoopEnd {
+                    counter: 0,
+                    min: 1,
+                    max: 2,
+                    back_to: 0,
+                },
                 PlanStep::Dedup { slots: vec![] },
             ],
             vec![],
@@ -716,19 +790,38 @@ mod tests {
                     Pipeline {
                         source: SourceSpec::Param { param: 0 },
                         steps: vec![
-                            PlanStep::Expand { dir: Direction::Out, label: k, edge_loads: vec![] },
-                            PlanStep::Join { join_id: 0, side: JoinSide::Probe, key: Expr::VertexId },
+                            PlanStep::Expand {
+                                dir: Direction::Out,
+                                label: k,
+                                edge_loads: vec![],
+                            },
+                            PlanStep::Join {
+                                join_id: 0,
+                                side: JoinSide::Probe,
+                                key: Expr::VertexId,
+                            },
                         ],
                     },
                     Pipeline {
                         source: SourceSpec::Param { param: 1 },
                         steps: vec![
-                            PlanStep::Expand { dir: Direction::In, label: k, edge_loads: vec![] },
-                            PlanStep::Join { join_id: 0, side: JoinSide::Build, key: Expr::VertexId },
+                            PlanStep::Expand {
+                                dir: Direction::In,
+                                label: k,
+                                edge_loads: vec![],
+                            },
+                            PlanStep::Join {
+                                join_id: 0,
+                                side: JoinSide::Build,
+                                key: Expr::VertexId,
+                            },
                         ],
                     },
                 ],
-                joins: vec![JoinSpec { join_id: 0, probe_pipeline: 0 }],
+                joins: vec![JoinSpec {
+                    join_id: 0,
+                    probe_pipeline: 0,
+                }],
                 output: vec![Expr::VertexId],
                 agg: None,
                 num_slots: 2,
@@ -816,7 +909,11 @@ mod tests {
         let plan = simple_stage(
             vec![
                 PlanStep::Compute(vec![(0, Expr::VertexId)]),
-                PlanStep::Expand { dir: Direction::Out, label: knows(&g), edge_loads: vec![] },
+                PlanStep::Expand {
+                    dir: Direction::Out,
+                    label: knows(&g),
+                    edge_loads: vec![],
+                },
                 PlanStep::MoveTo { vertex_slot: 0 },
                 PlanStep::Load(vec![(wk, 1)]),
             ],
@@ -836,8 +933,13 @@ mod tests {
         let since = b.schema_mut().register_prop("since");
         b.add_vertex(VertexId(0), person, vec![]).unwrap();
         b.add_vertex(VertexId(1), person, vec![]).unwrap();
-        b.add_edge(VertexId(0), knows, VertexId(1), vec![(since, Value::Int(2009))])
-            .unwrap();
+        b.add_edge(
+            VertexId(0),
+            knows,
+            VertexId(1),
+            vec![(since, Value::Int(2009))],
+        )
+        .unwrap();
         let g = b.finish();
         let plan = simple_stage(
             vec![PlanStep::Expand {
@@ -872,8 +974,10 @@ mod edge_case_tests {
             b.add_vertex(VertexId(i), n, vec![]).unwrap();
         }
         for i in 0..8u64 {
-            b.add_edge(VertexId(i), e, VertexId((i + 1) % 8), vec![]).unwrap();
-            b.add_edge(VertexId(i), e, VertexId((i + 3) % 8), vec![]).unwrap();
+            b.add_edge(VertexId(i), e, VertexId((i + 1) % 8), vec![])
+                .unwrap();
+            b.add_edge(VertexId(i), e, VertexId((i + 3) % 8), vec![])
+                .unwrap();
         }
         b.finish()
     }
@@ -888,8 +992,9 @@ mod edge_case_tests {
             read_ts: 1,
         };
         let mut rng = seeded(3);
-        let mut memos: Vec<Memo> =
-            (0..graph.partitioner().num_parts()).map(|_| Memo::new()).collect();
+        let mut memos: Vec<Memo> = (0..graph.partitioner().num_parts())
+            .map(|_| Memo::new())
+            .collect();
         let mut queue: Vec<(PartId, Traverser)> = Vec::new();
         for p in graph.partitioner().parts() {
             let out = interp
@@ -901,7 +1006,12 @@ mod edge_case_tests {
         while let Some((p, t)) = queue.pop() {
             let part = graph.read(p);
             let out = interp
-                .run_traverser(t, &part, memos[p.as_usize()].query_mut(QueryId(9)), &mut rng)
+                .run_traverser(
+                    t,
+                    &part,
+                    memos[p.as_usize()].query_mut(QueryId(9)),
+                    &mut rng,
+                )
                 .unwrap();
             rows.extend(out.emitted);
             queue.extend(out.spawned);
@@ -921,8 +1031,17 @@ mod edge_case_tests {
                 pipelines: vec![Pipeline {
                     source: SourceSpec::Param { param: 0 },
                     steps: vec![
-                        PlanStep::Expand { dir: Direction::Out, label: e, edge_loads: vec![] },
-                        PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 },
+                        PlanStep::Expand {
+                            dir: Direction::Out,
+                            label: e,
+                            edge_loads: vec![],
+                        },
+                        PlanStep::LoopEnd {
+                            counter: 0,
+                            min: 1,
+                            max: 2,
+                            back_to: 0,
+                        },
                         PlanStep::Dedup { slots: vec![0] },
                     ],
                 }],
@@ -971,7 +1090,11 @@ mod edge_case_tests {
                 &plan,
                 &[Value::Vertex(VertexId(0)), Value::Vertex(VertexId(target))],
             );
-            assert_eq!(rows, vec![vec![Value::Vertex(VertexId(target))]], "target {target}");
+            assert_eq!(
+                rows,
+                vec![vec![Value::Vertex(VertexId(target))]],
+                "target {target}"
+            );
         }
     }
 

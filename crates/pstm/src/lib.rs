@@ -17,15 +17,19 @@
 //! * [`interp`] — the step interpreter: advances one traverser through as
 //!   many partition-local steps as possible and reports spawned traversers
 //!   (with routing), emitted rows, and finished weight.
+//! * [`ledger`] — debug-build weight-conservation checker: every
+//!   interpreter outcome must redistribute its input weight exactly.
 
 pub mod agg;
 pub mod interp;
+pub mod ledger;
 pub mod memo;
 pub mod traverser;
 pub mod weight;
 
 pub use agg::AggState;
 pub use interp::{Interpreter, Outcome, Row};
+pub use ledger::WeightLedger;
 pub use memo::{Memo, QueryMemo};
 pub use traverser::Traverser;
 pub use weight::Weight;

@@ -148,7 +148,10 @@ mod tests {
         let mut m = Memo::new();
         let q = m.query_mut(QueryId(1));
         assert!(q.dedup_insert(0, 2, VertexId(5), vec![]));
-        assert!(!q.dedup_insert(0, 2, VertexId(5), vec![]), "duplicate pruned");
+        assert!(
+            !q.dedup_insert(0, 2, VertexId(5), vec![]),
+            "duplicate pruned"
+        );
         // different step occurrence → independent key space
         assert!(q.dedup_insert(0, 3, VertexId(5), vec![]));
         assert!(q.dedup_insert(1, 2, VertexId(5), vec![]));
@@ -161,10 +164,22 @@ mod tests {
     fn min_dist_prunes_non_improving() {
         let mut m = Memo::new();
         let q = m.query_mut(QueryId(1));
-        assert!(q.min_dist_update(0, 0, VertexId(9), 3), "first visit survives");
-        assert!(!q.min_dist_update(0, 0, VertexId(9), 3), "equal distance pruned");
-        assert!(!q.min_dist_update(0, 0, VertexId(9), 5), "worse distance pruned");
-        assert!(q.min_dist_update(0, 0, VertexId(9), 1), "better distance survives");
+        assert!(
+            q.min_dist_update(0, 0, VertexId(9), 3),
+            "first visit survives"
+        );
+        assert!(
+            !q.min_dist_update(0, 0, VertexId(9), 3),
+            "equal distance pruned"
+        );
+        assert!(
+            !q.min_dist_update(0, 0, VertexId(9), 5),
+            "worse distance pruned"
+        );
+        assert!(
+            q.min_dist_update(0, 0, VertexId(9), 1),
+            "better distance survives"
+        );
         assert!(!q.min_dist_update(0, 0, VertexId(9), 2), "now 1 is the bar");
     }
 
@@ -174,7 +189,9 @@ mod tests {
         let q = m.query_mut(QueryId(1));
         let k = ValueKey::Vertex(VertexId(7));
         // A arrives first: no matches.
-        assert!(q.join_insert_probe(0, k.clone(), true, vec![Value::Int(1)]).is_empty());
+        assert!(q
+            .join_insert_probe(0, k.clone(), true, vec![Value::Int(1)])
+            .is_empty());
         // B arrives: matches the parked A row.
         let matches = q.join_insert_probe(0, k.clone(), false, vec![Value::Int(2)]);
         assert_eq!(matches, vec![vec![Value::Int(1)]]);
@@ -191,15 +208,21 @@ mod tests {
     #[test]
     fn query_isolation_and_cleanup() {
         let mut m = Memo::new();
-        m.query_mut(QueryId(1)).dedup_insert(0, 0, VertexId(1), vec![]);
-        m.query_mut(QueryId(2)).dedup_insert(0, 0, VertexId(1), vec![]);
+        m.query_mut(QueryId(1))
+            .dedup_insert(0, 0, VertexId(1), vec![]);
+        m.query_mut(QueryId(2))
+            .dedup_insert(0, 0, VertexId(1), vec![]);
         assert_eq!(m.live_queries(), 2);
         m.clear_query(QueryId(1));
         assert_eq!(m.live_queries(), 1);
         // query 2 unaffected
-        assert!(!m.query_mut(QueryId(2)).dedup_insert(0, 0, VertexId(1), vec![]));
+        assert!(!m
+            .query_mut(QueryId(2))
+            .dedup_insert(0, 0, VertexId(1), vec![]));
         // query 1 records are gone: re-inserting succeeds
-        assert!(m.query_mut(QueryId(1)).dedup_insert(0, 0, VertexId(1), vec![]));
+        assert!(m
+            .query_mut(QueryId(1))
+            .dedup_insert(0, 0, VertexId(1), vec![]));
     }
 
     #[test]
@@ -209,7 +232,10 @@ mod tests {
         q.dedup_insert(0, 0, VertexId(1), vec![]);
         q.join_insert_probe(0, ValueKey::Int(1), true, vec![]);
         assert!(q.take_stage_state().is_none(), "no aggregation was started");
-        assert!(q.dedup_insert(0, 0, VertexId(1), vec![]), "dedup state cleared");
+        assert!(
+            q.dedup_insert(0, 0, VertexId(1), vec![]),
+            "dedup state cleared"
+        );
         assert_eq!(q.join_rows(), 0, "join state cleared");
     }
 }

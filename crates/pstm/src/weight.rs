@@ -132,7 +132,6 @@ mod tests {
     use super::*;
     use graphdance_common::rng::seeded;
     use proptest::prelude::*;
-    use rand::Rng as _;
 
     #[test]
     fn split_preserves_sum() {

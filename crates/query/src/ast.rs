@@ -28,11 +28,20 @@ pub enum LogicalStep {
     Filter(Expr),
     /// `out(l)` / `in(l)` / `both(l)`, optionally capturing edge properties
     /// into slots while the edge is at hand.
-    Expand { dir: Direction, label: Label, edge_loads: Vec<(PropKey, Slot)> },
+    Expand {
+        dir: Direction,
+        label: Label,
+        edge_loads: Vec<(PropKey, Slot)>,
+    },
     /// `repeat(body).times(min..=max).emit()` — traversers surface at every
     /// depth in `min..=max`. `counter` is the slot holding the iteration
     /// count (allocated by the builder; must start at `Int(0)`).
-    Repeat { body: Vec<LogicalStep>, min: i64, max: i64, counter: Slot },
+    Repeat {
+        body: Vec<LogicalStep>,
+        min: i64,
+        max: i64,
+        counter: Slot,
+    },
     /// `dedup()` over the current vertex plus optional slot values.
     Dedup { slots: Vec<Slot> },
     /// Multi-hop minimum-distance pruning (Fig. 5); the slot carries the
@@ -110,7 +119,13 @@ mod tests {
     use super::*;
 
     fn q(steps: Vec<LogicalStep>) -> LogicalQuery {
-        LogicalQuery { steps, output: vec![Expr::VertexId], agg: None, num_slots: 0, num_params: 1 }
+        LogicalQuery {
+            steps,
+            output: vec![Expr::VertexId],
+            agg: None,
+            num_slots: 0,
+            num_params: 1,
+        }
     }
 
     #[test]
@@ -134,19 +149,34 @@ mod tests {
         }];
         assert!(q(vec![
             LogicalStep::VParam(0),
-            LogicalStep::Repeat { body: body.clone(), min: 2, max: 1, counter: 0 }
+            LogicalStep::Repeat {
+                body: body.clone(),
+                min: 2,
+                max: 1,
+                counter: 0
+            }
         ])
         .validate()
         .is_err());
         assert!(q(vec![
             LogicalStep::VParam(0),
-            LogicalStep::Repeat { body, min: 1, max: 3, counter: 0 }
+            LogicalStep::Repeat {
+                body,
+                min: 1,
+                max: 3,
+                counter: 0
+            }
         ])
         .validate()
         .is_ok());
         assert!(q(vec![
             LogicalStep::VParam(0),
-            LogicalStep::Repeat { body: vec![], min: 1, max: 1, counter: 0 }
+            LogicalStep::Repeat {
+                body: vec![],
+                min: 1,
+                max: 1,
+                counter: 0
+            }
         ])
         .validate()
         .is_err());
@@ -156,7 +186,12 @@ mod tests {
     fn no_v_inside_repeat() {
         assert!(q(vec![
             LogicalStep::VParam(0),
-            LogicalStep::Repeat { body: vec![LogicalStep::V], min: 1, max: 1, counter: 0 }
+            LogicalStep::Repeat {
+                body: vec![LogicalStep::V],
+                min: 1,
+                max: 1,
+                counter: 0
+            }
         ])
         .validate()
         .is_err());

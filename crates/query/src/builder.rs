@@ -160,7 +160,11 @@ impl<'s> QueryBuilder<'s> {
                 Err(e) => self.fail(e),
             }
         }
-        self.steps.push(LogicalStep::Expand { dir, label: l, edge_loads: loads });
+        self.steps.push(LogicalStep::Expand {
+            dir,
+            label: l,
+            edge_loads: loads,
+        });
         self
     }
 
@@ -188,7 +192,12 @@ impl<'s> QueryBuilder<'s> {
         if let Some(e) = inner.err {
             self.fail(e);
         }
-        self.steps.push(LogicalStep::Repeat { body: inner.steps, min, max, counter });
+        self.steps.push(LogicalStep::Repeat {
+            body: inner.steps,
+            min,
+            max,
+            counter,
+        });
         self
     }
 
@@ -269,7 +278,30 @@ impl<'s> QueryBuilder<'s> {
 
     /// Terminal `order().by(..).limit(k)` — top-k.
     pub fn top_k(&mut self, k: usize, sort: Vec<(Expr, Order)>, output: Vec<Expr>) -> &mut Self {
-        self.agg = Some(AggFunc::TopK { k, sort, output });
+        self.agg = Some(AggFunc::TopK {
+            k,
+            sort,
+            output,
+            distinct: vec![],
+        });
+        self
+    }
+
+    /// Terminal top-k keeping only the best-sorted row per `distinct` key
+    /// (e.g. one row per vertex after a `min_dist` traversal).
+    pub fn top_k_distinct(
+        &mut self,
+        k: usize,
+        sort: Vec<(Expr, Order)>,
+        output: Vec<Expr>,
+        distinct: Vec<Expr>,
+    ) -> &mut Self {
+        self.agg = Some(AggFunc::TopK {
+            k,
+            sort,
+            output,
+            distinct,
+        });
         self
     }
 
@@ -322,9 +354,17 @@ impl<'s> QueryBuilder<'s> {
             let exprs: Vec<&Expr> = match a {
                 AggFunc::Count => vec![],
                 AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) | AggFunc::Avg(e) => vec![e],
-                AggFunc::TopK { sort, output, .. } => {
-                    sort.iter().map(|(e, _)| e).chain(output.iter()).collect()
-                }
+                AggFunc::TopK {
+                    sort,
+                    output,
+                    distinct,
+                    ..
+                } => sort
+                    .iter()
+                    .map(|(e, _)| e)
+                    .chain(output.iter())
+                    .chain(distinct.iter())
+                    .collect(),
                 AggFunc::GroupCount { key, .. } => vec![key],
                 AggFunc::GroupSum { key, value, .. } => vec![key, value],
                 AggFunc::Collect { output, .. } => output.iter().collect(),
@@ -425,7 +465,10 @@ mod tests {
     fn index_lookup_from_builder() {
         let s = schema();
         let mut b = QueryBuilder::new(&s);
-        b.v().has_label("Person").has("name", CmpOp::Eq, Expr::Param(0)).out("knows");
+        b.v()
+            .has_label("Person")
+            .has("name", CmpOp::Eq, Expr::Param(0))
+            .out("knows");
         let plan = b.compile().unwrap();
         assert!(matches!(
             plan.stages[0].pipelines[0].source,

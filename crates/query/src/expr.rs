@@ -152,19 +152,17 @@ impl Expr {
             Expr::Sub(a, b) => arith(a.eval(ctx)?, b.eval(ctx)?, "-", |x, y| x - y, |x, y| x - y),
             Expr::Mul(a, b) => arith(a.eval(ctx)?, b.eval(ctx)?, "*", |x, y| x * y, |x, y| x * y),
             Expr::Tuple(xs) => Ok(Value::list(
-                xs.iter().map(|x| x.eval(ctx)).collect::<GdResult<Vec<_>>>()?,
+                xs.iter()
+                    .map(|x| x.eval(ctx))
+                    .collect::<GdResult<Vec<_>>>()?,
             )),
             Expr::Month(x) => match x.eval(ctx)? {
-                Value::Int(ms) => Ok(Value::Int(
-                    graphdance_common::time::month_of(ms) as i64
-                )),
+                Value::Int(ms) => Ok(Value::Int(graphdance_common::time::month_of(ms) as i64)),
                 Value::Null => Ok(Value::Null),
                 other => Err(GdError::TypeError(format!("month() of non-date {other}"))),
             },
             Expr::Day(x) => match x.eval(ctx)? {
-                Value::Int(ms) => {
-                    Ok(Value::Int(graphdance_common::time::day_of(ms) as i64))
-                }
+                Value::Int(ms) => Ok(Value::Int(graphdance_common::time::day_of(ms) as i64)),
                 Value::Null => Ok(Value::Null),
                 other => Err(GdError::TypeError(format!("day() of non-date {other}"))),
             },
@@ -252,7 +250,9 @@ fn arith(
         (Value::Int(x), Value::Int(y)) => Ok(Value::Int(fi(*x, *y))),
         _ => match (a.as_float(), b.as_float()) {
             (Some(x), Some(y)) => Ok(Value::Float(ff(x, y))),
-            _ => Err(GdError::TypeError(format!("cannot apply `{op}` to {a} and {b}"))),
+            _ => Err(GdError::TypeError(format!(
+                "cannot apply `{op}` to {a} and {b}"
+            ))),
         },
     }
 }
@@ -266,12 +266,20 @@ mod tests {
         VertexRecord {
             label: Label(2),
             create_ts: 0,
-            props: vec![(PropKey(0), Value::str("alice")), (PropKey(1), Value::Int(30))],
+            props: vec![
+                (PropKey(0), Value::str("alice")),
+                (PropKey(1), Value::Int(30)),
+            ],
         }
     }
 
     fn ctx<'a>(rec: &'a VertexRecord, locals: &'a [Value], params: &'a [Value]) -> EvalCtx<'a> {
-        EvalCtx { vertex: VertexId(7), record: Some(rec), locals, params }
+        EvalCtx {
+            vertex: VertexId(7),
+            record: Some(rec),
+            locals,
+            params,
+        }
     }
 
     #[test]
@@ -283,12 +291,19 @@ mod tests {
         assert_eq!(Expr::Const(Value::Int(1)).eval(&c).unwrap(), Value::Int(1));
         assert_eq!(Expr::Param(0).eval(&c).unwrap(), Value::str("x"));
         assert_eq!(Expr::Slot(0).eval(&c).unwrap(), Value::Int(5));
-        assert_eq!(Expr::Slot(3).eval(&c).unwrap(), Value::Null, "unset slot is null");
+        assert_eq!(
+            Expr::Slot(3).eval(&c).unwrap(),
+            Value::Null,
+            "unset slot is null"
+        );
         assert_eq!(Expr::VertexId.eval(&c).unwrap(), Value::Vertex(VertexId(7)));
         assert_eq!(Expr::Prop(PropKey(1)).eval(&c).unwrap(), Value::Int(30));
         assert_eq!(Expr::Prop(PropKey(9)).eval(&c).unwrap(), Value::Null);
         assert_eq!(Expr::LabelIs(Label(2)).eval(&c).unwrap(), Value::Bool(true));
-        assert_eq!(Expr::LabelIs(Label(3)).eval(&c).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Expr::LabelIs(Label(3)).eval(&c).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -308,10 +323,22 @@ mod tests {
         );
         // NULL compares false except Ne
         let null = Expr::Const(Value::Null);
-        assert_eq!(Expr::lt(null.clone(), Expr::int(2)).eval(&c).unwrap(), Value::Bool(false));
-        assert_eq!(Expr::eq(null.clone(), Expr::int(2)).eval(&c).unwrap(), Value::Bool(false));
-        assert_eq!(Expr::ne(null.clone(), Expr::int(2)).eval(&c).unwrap(), Value::Bool(true));
-        assert_eq!(Expr::eq(null.clone(), null).eval(&c).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Expr::lt(null.clone(), Expr::int(2)).eval(&c).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::eq(null.clone(), Expr::int(2)).eval(&c).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::ne(null.clone(), Expr::int(2)).eval(&c).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::eq(null.clone(), null).eval(&c).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -324,7 +351,9 @@ mod tests {
         let e = Expr::Or(vec![Expr::Const(Value::Bool(true)), Expr::Param(9)]);
         assert_eq!(e.eval(&c).unwrap(), Value::Bool(true));
         assert_eq!(
-            Expr::Not(Box::new(Expr::Const(Value::Bool(true)))).eval(&c).unwrap(),
+            Expr::Not(Box::new(Expr::Const(Value::Bool(true))))
+                .eval(&c)
+                .unwrap(),
             Value::Bool(false)
         );
     }
@@ -347,13 +376,18 @@ mod tests {
         let r = record();
         let c = ctx(&r, &[], &[]);
         assert_eq!(
-            Expr::Add(Box::new(Expr::int(2)), Box::new(Expr::int(3))).eval(&c).unwrap(),
+            Expr::Add(Box::new(Expr::int(2)), Box::new(Expr::int(3)))
+                .eval(&c)
+                .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
-            Expr::Mul(Box::new(Expr::int(2)), Box::new(Expr::Const(Value::Float(1.5))))
-                .eval(&c)
-                .unwrap(),
+            Expr::Mul(
+                Box::new(Expr::int(2)),
+                Box::new(Expr::Const(Value::Float(1.5)))
+            )
+            .eval(&c)
+            .unwrap(),
             Value::Float(3.0)
         );
         assert!(Expr::Sub(Box::new(Expr::strv("a")), Box::new(Expr::int(1)))
@@ -382,8 +416,16 @@ mod tests {
 
     #[test]
     fn no_record_context() {
-        let c = EvalCtx { vertex: VertexId(1), record: None, locals: &[], params: &[] };
+        let c = EvalCtx {
+            vertex: VertexId(1),
+            record: None,
+            locals: &[],
+            params: &[],
+        };
         assert_eq!(Expr::Prop(PropKey(0)).eval(&c).unwrap(), Value::Null);
-        assert_eq!(Expr::LabelIs(Label(0)).eval(&c).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Expr::LabelIs(Label(0)).eval(&c).unwrap(),
+            Value::Bool(false)
+        );
     }
 }

@@ -32,7 +32,6 @@ pub use ast::{LogicalQuery, LogicalStep};
 pub use builder::QueryBuilder;
 pub use expr::{CmpOp, EvalCtx, Expr};
 pub use plan::{
-    AggFunc, AggSpec, JoinSide, JoinSpec, Order, Pipeline, Plan, PlanStep, Slot, SourceSpec,
-    Stage,
+    AggFunc, AggSpec, JoinSide, JoinSpec, Order, Pipeline, Plan, PlanStep, Slot, SourceSpec, Stage,
 };
 pub use planner::{JoinPlanner, PathPattern, PatternHop};

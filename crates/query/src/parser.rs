@@ -43,11 +43,20 @@ struct Parser<'s> {
 
 impl<'s> Parser<'s> {
     fn new(schema: &'s Schema, src: &'s str) -> Self {
-        Parser { schema, src, pos: 0, next_slot: 0, num_params: 0 }
+        Parser {
+            schema,
+            src,
+            pos: 0,
+            next_slot: 0,
+            num_params: 0,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> GdError {
-        GdError::Parse { offset: self.pos, message: msg.into() }
+        GdError::Parse {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -97,7 +106,9 @@ impl<'s> Parser<'s> {
     fn string_lit(&mut self) -> GdResult<String> {
         self.eat('\'')?;
         let rest = &self.src[self.pos..];
-        let end = rest.find('\'').ok_or_else(|| self.err("unterminated string"))?;
+        let end = rest
+            .find('\'')
+            .ok_or_else(|| self.err("unterminated string"))?;
         let s = rest[..end].to_string();
         self.pos += end + 1;
         Ok(s)
@@ -116,7 +127,9 @@ impl<'s> Parser<'s> {
         if digits == 0 {
             return Err(self.err("expected integer"));
         }
-        let n: i64 = body[..digits].parse().map_err(|e| self.err(format!("bad int: {e}")))?;
+        let n: i64 = body[..digits]
+            .parse()
+            .map_err(|e| self.err(format!("bad int: {e}")))?;
         self.pos += digits + usize::from(neg);
         Ok(if neg { -n } else { n })
     }
@@ -158,9 +171,7 @@ impl<'s> Parser<'s> {
                         match lit {
                             Expr::Param(p) => steps.push(LogicalStep::VParam(p)),
                             other => {
-                                return Err(self.err(format!(
-                                    "V(..) takes a $param, got {other:?}"
-                                )))
+                                return Err(self.err(format!("V(..) takes a $param, got {other:?}")))
                             }
                         }
                     }
@@ -216,10 +227,19 @@ impl<'s> Parser<'s> {
                     }
                     self.eat('(')?;
                     let min = self.int_lit()?;
-                    let max = if self.try_eat(',') { self.int_lit()? } else { min };
+                    let max = if self.try_eat(',') {
+                        self.int_lit()?
+                    } else {
+                        min
+                    };
                     self.eat(')')?;
                     let counter = self.alloc_slot()?;
-                    steps.push(LogicalStep::Repeat { body, min, max, counter });
+                    steps.push(LogicalStep::Repeat {
+                        body,
+                        min,
+                        max,
+                        counter,
+                    });
                 }
                 "dedup" => {
                     self.eat('(')?;
@@ -332,8 +352,11 @@ impl<'s> Parser<'s> {
         // Assemble terminal: orderBy/limit fold into a TopK; bare limit is a
         // Collect; bare output emits rows.
         if agg.is_none() {
-            let out_exprs =
-                if output.is_empty() { vec![Expr::VertexId] } else { output.clone() };
+            let out_exprs = if output.is_empty() {
+                vec![Expr::VertexId]
+            } else {
+                output.clone()
+            };
             match (order, limit) {
                 (Some((key, dir)), lim) => {
                     let mut sort = vec![(key, dir)];
@@ -342,10 +365,14 @@ impl<'s> Parser<'s> {
                         k: lim.unwrap_or(10_000),
                         sort,
                         output: out_exprs.clone(),
+                        distinct: vec![],
                     });
                 }
                 (None, Some(lim)) => {
-                    agg = Some(AggFunc::Collect { output: out_exprs.clone(), limit: lim });
+                    agg = Some(AggFunc::Collect {
+                        output: out_exprs.clone(),
+                        limit: lim,
+                    });
                 }
                 (None, None) => {}
             }
@@ -436,7 +463,10 @@ mod tests {
         .unwrap();
         assert_eq!(q.num_params, 1);
         assert!(matches!(q.steps[0], LogicalStep::VParam(0)));
-        assert!(matches!(q.steps[1], LogicalStep::Repeat { min: 1, max: 3, .. }));
+        assert!(matches!(
+            q.steps[1],
+            LogicalStep::Repeat { min: 1, max: 3, .. }
+        ));
         assert!(matches!(q.steps[2], LogicalStep::Dedup { .. }));
         match &q.agg {
             Some(AggFunc::TopK { k: 10, sort, .. }) => assert_eq!(sort.len(), 2),
@@ -447,9 +477,11 @@ mod tests {
     #[test]
     fn index_lookup_via_text() {
         let s = schema();
-        let plan =
-            parse_to_plan(&s, "g.V().hasLabel('Person').has('name', eq($0)).out('knows')")
-                .unwrap();
+        let plan = parse_to_plan(
+            &s,
+            "g.V().hasLabel('Person').has('name', eq($0)).out('knows')",
+        )
+        .unwrap();
         assert!(matches!(
             plan.stages[0].pipelines[0].source,
             SourceSpec::IndexLookup { .. }
@@ -467,7 +499,10 @@ mod tests {
     fn times_single_bound() {
         let s = schema();
         let q = parse(&s, "g.V($0).repeat(out('knows')).times(2)").unwrap();
-        assert!(matches!(q.steps[1], LogicalStep::Repeat { min: 2, max: 2, .. }));
+        assert!(matches!(
+            q.steps[1],
+            LogicalStep::Repeat { min: 2, max: 2, .. }
+        ));
     }
 
     #[test]
@@ -480,19 +515,31 @@ mod tests {
     #[test]
     fn error_reporting() {
         let s = schema();
+        assert!(matches!(parse(&s, "h.V()"), Err(GdError::Parse { .. })));
         assert!(matches!(
-            parse(&s, "h.V()"),
+            parse(&s, "g.V().frobnicate()"),
             Err(GdError::Parse { .. })
         ));
-        assert!(matches!(parse(&s, "g.V().frobnicate()"), Err(GdError::Parse { .. })));
-        assert!(matches!(parse(&s, "g.V($0).out('nope')"), Err(GdError::UnknownSymbol(_))));
+        assert!(matches!(
+            parse(&s, "g.V($0).out('nope')"),
+            Err(GdError::UnknownSymbol(_))
+        ));
         assert!(matches!(
             parse(&s, "g.V($0).has('name', similar('x'))"),
             Err(GdError::Parse { .. })
         ));
-        assert!(matches!(parse(&s, "g.V($0).limit(0)"), Err(GdError::Parse { .. })));
-        assert!(matches!(parse(&s, "g.V($0) extra"), Err(GdError::Parse { .. })));
-        assert!(matches!(parse(&s, "g.V($0).repeat(out('knows'))"), Err(GdError::Parse { .. })));
+        assert!(matches!(
+            parse(&s, "g.V($0).limit(0)"),
+            Err(GdError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse(&s, "g.V($0) extra"),
+            Err(GdError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse(&s, "g.V($0).repeat(out('knows'))"),
+            Err(GdError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -506,16 +553,20 @@ mod tests {
     fn string_predicates() {
         let s = schema();
         let q = parse(&s, "g.V($0).has('name', neq('bob'))").unwrap();
-        assert!(matches!(&q.steps[1], LogicalStep::Has(_, CmpOp::Ne, Expr::Const(_))));
+        assert!(matches!(
+            &q.steps[1],
+            LogicalStep::Has(_, CmpOp::Ne, Expr::Const(_))
+        ));
     }
 
     #[test]
     fn negative_ints() {
         let s = schema();
         let q = parse(&s, "g.V($0).has('weight', gt(-5))").unwrap();
-        assert!(
-            matches!(&q.steps[1], LogicalStep::Has(_, CmpOp::Gt, Expr::Const(Value::Int(-5))))
-        );
+        assert!(matches!(
+            &q.steps[1],
+            LogicalStep::Has(_, CmpOp::Gt, Expr::Const(Value::Int(-5)))
+        ));
     }
 }
 
@@ -539,7 +590,11 @@ mod extended_tests {
         let q = parse(&s, "g.V($0).out('knows').groupCount('name').limit(5)").unwrap();
         assert!(matches!(
             q.agg,
-            Some(AggFunc::GroupCount { limit: 5, order: GroupOrder::CountDesc, .. })
+            Some(AggFunc::GroupCount {
+                limit: 5,
+                order: GroupOrder::CountDesc,
+                ..
+            })
         ));
     }
 
@@ -563,6 +618,9 @@ mod extended_tests {
     fn group_count_without_limit_defaults_large() {
         let s = schema();
         let q = parse(&s, "g.V($0).out('knows').groupCount('name')").unwrap();
-        assert!(matches!(q.agg, Some(AggFunc::GroupCount { limit: 10_000, .. })));
+        assert!(matches!(
+            q.agg,
+            Some(AggFunc::GroupCount { limit: 10_000, .. })
+        ));
     }
 }

@@ -36,13 +36,20 @@ pub enum SourceSpec {
     /// Index lookup: all vertices with `label` whose `key` equals the
     /// parameter (compiled by the `IndexLookUpStrategy` from
     /// `V().hasLabel(l).has(key, eq(v))`). Runs on every partition.
-    IndexLookup { label: Label, key: PropKey, value: Expr },
+    IndexLookup {
+        label: Label,
+        key: PropKey,
+        value: Expr,
+    },
     /// Full label scan on every partition.
     ScanLabel { label: Label },
     /// One traverser per output row of the previous stage. The traverser is
     /// placed at the vertex found in column `vertex_col` of the row, and its
     /// slots are seeded from row columns via `(slot, column)` pairs.
-    PrevRows { vertex_col: usize, seed: Vec<(Slot, usize)> },
+    PrevRows {
+        vertex_col: usize,
+        seed: Vec<(Slot, usize)>,
+    },
 }
 
 /// One step of a pipeline.
@@ -78,13 +85,22 @@ pub enum PlanStep {
     /// traverser continues at `back_to` (looping), and when
     /// `counter >= min` it also falls through to the next step (emitting).
     /// When both apply, the traverser forks (weight split in two).
-    LoopEnd { counter: Slot, min: i64, max: i64, back_to: u16 },
+    LoopEnd {
+        counter: Slot,
+        min: i64,
+        max: i64,
+        back_to: u16,
+    },
     /// Double-pipelined join (§III-A). The traverser is routed to the
     /// partition owning the join key; it inserts its register file into the
     /// memo table of its `side` and probes the opposite side's table; each
     /// match spawns a merged continuation traverser. Partitionable by
     /// `H(join key)`.
-    Join { join_id: u16, side: JoinSide, key: Expr },
+    Join {
+        join_id: u16,
+        side: JoinSide,
+        key: Expr,
+    },
     /// Route the traverser to the owner partition of the vertex in a slot
     /// and continue there with the current vertex set to it (used to read
     /// properties of a remembered vertex).
@@ -124,13 +140,31 @@ pub enum AggFunc {
     /// Mean of an expression.
     Avg(Expr),
     /// Top-`k` rows ordered by `sort` keys; each kept row is the evaluated
-    /// `output` expressions.
-    TopK { k: usize, sort: Vec<(Expr, Order)>, output: Vec<Expr> },
+    /// `output` expressions. When `distinct` is non-empty, only the
+    /// best-sorted row per distinct key survives — this runs inside the
+    /// (commutative, associative) aggregation, so it is exact even when
+    /// asynchronous execution delivers candidate rows out of order (e.g.
+    /// `MinDist` letting both a longer and a shorter path through).
+    TopK {
+        k: usize,
+        sort: Vec<(Expr, Order)>,
+        output: Vec<Expr>,
+        distinct: Vec<Expr>,
+    },
     /// Count per group key, returning `(key, count)` rows ordered by
     /// `order`, limited to `limit` rows.
-    GroupCount { key: Expr, order: GroupOrder, limit: usize },
+    GroupCount {
+        key: Expr,
+        order: GroupOrder,
+        limit: usize,
+    },
     /// Sum of `value` per group key, same output shape as `GroupCount`.
-    GroupSum { key: Expr, value: Expr, order: GroupOrder, limit: usize },
+    GroupSum {
+        key: Expr,
+        value: Expr,
+        order: GroupOrder,
+        limit: usize,
+    },
     /// Collect up to `limit` rows of `output` expressions (unordered).
     Collect { output: Vec<Expr>, limit: usize },
 }
@@ -202,7 +236,9 @@ impl Plan {
                 return Err(format!("stage {si} has no pipelines"));
             }
             if stage.output.is_empty() && stage.agg.is_none() {
-                return Err(format!("stage {si} has neither output columns nor aggregation"));
+                return Err(format!(
+                    "stage {si} has neither output columns nor aggregation"
+                ));
             }
             for (pi, pl) in stage.pipelines.iter().enumerate() {
                 if si == 0 && matches!(pl.source, SourceSpec::PrevRows { .. }) {
@@ -210,7 +246,9 @@ impl Plan {
                 }
                 for (sti, step) in pl.steps.iter().enumerate() {
                     match step {
-                        PlanStep::LoopEnd { back_to, min, max, .. } => {
+                        PlanStep::LoopEnd {
+                            back_to, min, max, ..
+                        } => {
                             if *back_to as usize >= sti {
                                 return Err(format!(
                                     "stage {si} pipeline {pi}: LoopEnd at {sti} must jump backwards"
@@ -228,9 +266,7 @@ impl Plan {
                                 .iter()
                                 .find(|j| j.join_id == *join_id)
                                 .ok_or(format!("stage {si}: join {join_id} has no spec"))?;
-                            if *side == JoinSide::Probe
-                                && spec.probe_pipeline as usize != pi
-                            {
+                            if *side == JoinSide::Probe && spec.probe_pipeline as usize != pi {
                                 return Err(format!(
                                     "stage {si}: probe side of join {join_id} must live in \
                                      pipeline {}",
@@ -293,12 +329,20 @@ mod tests {
 
     #[test]
     fn empty_plan_invalid() {
-        assert!(Plan { stages: vec![], num_params: 0 }.validate().is_err());
+        assert!(Plan {
+            stages: vec![],
+            num_params: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn minimal_plan_valid() {
-        let p = Plan { stages: vec![leaf_stage()], num_params: 1 };
+        let p = Plan {
+            stages: vec![leaf_stage()],
+            num_params: 1,
+        };
         assert!(p.validate().is_ok());
         assert_eq!(p.num_steps(), 0);
     }
@@ -306,8 +350,16 @@ mod tests {
     #[test]
     fn loop_must_jump_backwards() {
         let mut s = leaf_stage();
-        s.pipelines[0].steps = vec![PlanStep::LoopEnd { counter: 0, min: 1, max: 2, back_to: 0 }];
-        let p = Plan { stages: vec![s], num_params: 1 };
+        s.pipelines[0].steps = vec![PlanStep::LoopEnd {
+            counter: 0,
+            min: 1,
+            max: 2,
+            back_to: 0,
+        }];
+        let p = Plan {
+            stages: vec![s],
+            num_params: 1,
+        };
         assert!(p.validate().unwrap_err().contains("backwards"));
     }
 
@@ -315,10 +367,22 @@ mod tests {
     fn bad_loop_bounds_rejected() {
         let mut s = leaf_stage();
         s.pipelines[0].steps = vec![
-            PlanStep::Expand { dir: Direction::Out, label: Label(0), edge_loads: vec![] },
-            PlanStep::LoopEnd { counter: 0, min: 3, max: 2, back_to: 0 },
+            PlanStep::Expand {
+                dir: Direction::Out,
+                label: Label(0),
+                edge_loads: vec![],
+            },
+            PlanStep::LoopEnd {
+                counter: 0,
+                min: 3,
+                max: 2,
+                back_to: 0,
+            },
         ];
-        let p = Plan { stages: vec![s], num_params: 1 };
+        let p = Plan {
+            stages: vec![s],
+            num_params: 1,
+        };
         assert!(p.validate().unwrap_err().contains("bad loop bounds"));
     }
 
@@ -330,38 +394,63 @@ mod tests {
             side: JoinSide::Probe,
             key: Expr::VertexId,
         }];
-        let p = Plan { stages: vec![s], num_params: 1 };
+        let p = Plan {
+            stages: vec![s],
+            num_params: 1,
+        };
         assert!(p.validate().unwrap_err().contains("no spec"));
     }
 
     #[test]
     fn build_side_must_be_terminal() {
         let mut s = leaf_stage();
-        s.joins = vec![JoinSpec { join_id: 0, probe_pipeline: 0 }];
+        s.joins = vec![JoinSpec {
+            join_id: 0,
+            probe_pipeline: 0,
+        }];
         s.pipelines.push(Pipeline {
             source: SourceSpec::Param { param: 0 },
             steps: vec![
-                PlanStep::Join { join_id: 0, side: JoinSide::Build, key: Expr::VertexId },
+                PlanStep::Join {
+                    join_id: 0,
+                    side: JoinSide::Build,
+                    key: Expr::VertexId,
+                },
                 PlanStep::Filter(Expr::Const(Value::Bool(true))),
             ],
         });
-        s.pipelines[0].steps =
-            vec![PlanStep::Join { join_id: 0, side: JoinSide::Probe, key: Expr::VertexId }];
-        let p = Plan { stages: vec![s], num_params: 1 };
+        s.pipelines[0].steps = vec![PlanStep::Join {
+            join_id: 0,
+            side: JoinSide::Probe,
+            key: Expr::VertexId,
+        }];
+        let p = Plan {
+            stages: vec![s],
+            num_params: 1,
+        };
         assert!(p.validate().unwrap_err().contains("last step"));
     }
 
     #[test]
     fn later_stage_must_consume_rows() {
-        let p = Plan { stages: vec![leaf_stage(), leaf_stage()], num_params: 1 };
+        let p = Plan {
+            stages: vec![leaf_stage(), leaf_stage()],
+            num_params: 1,
+        };
         assert!(p.validate().unwrap_err().contains("never consumes"));
     }
 
     #[test]
     fn staged_plan_valid() {
         let mut s2 = leaf_stage();
-        s2.pipelines[0].source = SourceSpec::PrevRows { vertex_col: 0, seed: vec![] };
-        let p = Plan { stages: vec![leaf_stage(), s2], num_params: 1 };
+        s2.pipelines[0].source = SourceSpec::PrevRows {
+            vertex_col: 0,
+            seed: vec![],
+        };
+        let p = Plan {
+            stages: vec![leaf_stage(), s2],
+            num_params: 1,
+        };
         assert!(p.validate().is_ok());
     }
 
@@ -369,7 +458,10 @@ mod tests {
     fn stage_without_output_or_agg_rejected() {
         let mut s = leaf_stage();
         s.output.clear();
-        let p = Plan { stages: vec![s], num_params: 1 };
+        let p = Plan {
+            stages: vec![s],
+            num_params: 1,
+        };
         assert!(p.validate().unwrap_err().contains("neither output"));
     }
 
@@ -383,7 +475,12 @@ impl Plan {
     pub fn explain(&self, schema: &graphdance_storage::Schema) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "Plan ({} stages, {} params)", self.stages.len(), self.num_params);
+        let _ = writeln!(
+            out,
+            "Plan ({} stages, {} params)",
+            self.stages.len(),
+            self.num_params
+        );
         for (si, stage) in self.stages.iter().enumerate() {
             let agg = match &stage.agg {
                 None => "emit rows".to_string(),
@@ -412,7 +509,11 @@ impl Plan {
                 let _ = writeln!(out, "    pipeline {pi}: {src}");
                 for (sti, step) in pipe.steps.iter().enumerate() {
                     let desc = match step {
-                        PlanStep::Expand { dir, label, edge_loads } => format!(
+                        PlanStep::Expand {
+                            dir,
+                            label,
+                            edge_loads,
+                        } => format!(
                             "expand {:?} {}{}",
                             dir,
                             schema.edge_label_name(*label),
@@ -439,7 +540,9 @@ impl Plan {
                             }
                         }
                         PlanStep::MinDist { dist_slot } => format!("min-dist[s{dist_slot}]"),
-                        PlanStep::LoopEnd { min, max, back_to, .. } => {
+                        PlanStep::LoopEnd {
+                            min, max, back_to, ..
+                        } => {
                             format!("loop {min}..={max} -> step {back_to}")
                         }
                         PlanStep::Join { join_id, side, .. } => {
@@ -495,7 +598,12 @@ mod explain_tests {
                             label: knows,
                             edge_loads: vec![],
                         },
-                        PlanStep::LoopEnd { counter: 0, min: 1, max: 3, back_to: 0 },
+                        PlanStep::LoopEnd {
+                            counter: 0,
+                            min: 1,
+                            max: 3,
+                            back_to: 0,
+                        },
                         PlanStep::Dedup { slots: vec![] },
                         PlanStep::Load(vec![(name, 1)]),
                     ],
@@ -503,7 +611,12 @@ mod explain_tests {
                 joins: vec![],
                 output: vec![Expr::VertexId],
                 agg: Some(AggSpec {
-                    func: AggFunc::TopK { k: 10, sort: vec![], output: vec![Expr::VertexId] },
+                    func: AggFunc::TopK {
+                        k: 10,
+                        sort: vec![],
+                        output: vec![Expr::VertexId],
+                        distinct: vec![],
+                    },
                 }),
                 num_slots: 2,
             }],

@@ -15,9 +15,7 @@ use graphdance_common::{GdResult, Label, PropKey};
 use graphdance_storage::{Direction, GraphStats};
 
 use crate::expr::{Expr, Slot};
-use crate::plan::{
-    AggSpec, JoinSide, JoinSpec, Pipeline, Plan, PlanStep, SourceSpec, Stage,
-};
+use crate::plan::{AggSpec, JoinSide, JoinSpec, Pipeline, Plan, PlanStep, SourceSpec, Stage};
 
 /// One hop of a pattern path, read left-to-right.
 #[derive(Clone, Debug)]
@@ -35,7 +33,12 @@ pub struct PatternHop {
 impl PatternHop {
     /// A plain hop.
     pub fn new(dir: Direction, label: Label) -> Self {
-        PatternHop { dir, label, filter: None, loads: vec![] }
+        PatternHop {
+            dir,
+            label,
+            filter: None,
+            loads: vec![],
+        }
     }
 
     /// Attach a vertex predicate.
@@ -143,11 +146,17 @@ impl<'a> JoinPlanner<'a> {
     /// Choose the cheapest split point.
     pub fn choose(&self, pattern: &PathPattern) -> PlanChoice {
         let n = pattern.hops.len();
-        let mut best = PlanChoice { split: n, est_cost: f64::INFINITY };
+        let mut best = PlanChoice {
+            split: n,
+            est_cost: f64::INFINITY,
+        };
         for k in 0..=n {
             let c = self.cost_of_split(&pattern.hops, k);
             if c < best.est_cost {
-                best = PlanChoice { split: k, est_cost: c };
+                best = PlanChoice {
+                    split: k,
+                    est_cost: c,
+                };
             }
         }
         best
@@ -175,7 +184,10 @@ impl<'a> JoinPlanner<'a> {
             // The right anchor becomes a filter on the final vertex.
             push_anchor_filter(&mut steps, &pattern.right);
             Stage {
-                pipelines: vec![Pipeline { source: pattern.left.clone(), steps }],
+                pipelines: vec![Pipeline {
+                    source: pattern.left.clone(),
+                    steps,
+                }],
                 joins: vec![],
                 output: pattern.output.clone(),
                 agg: pattern.agg.clone(),
@@ -189,7 +201,10 @@ impl<'a> JoinPlanner<'a> {
             }
             push_anchor_filter(&mut steps, &pattern.left);
             Stage {
-                pipelines: vec![Pipeline { source: pattern.right.clone(), steps }],
+                pipelines: vec![Pipeline {
+                    source: pattern.right.clone(),
+                    steps,
+                }],
                 joins: vec![],
                 output: pattern.output.clone(),
                 agg: pattern.agg.clone(),
@@ -202,31 +217,56 @@ impl<'a> JoinPlanner<'a> {
             for hop in &pattern.hops[..split] {
                 push_hop(&mut a_steps, hop, hop.dir);
             }
-            a_steps.push(PlanStep::Join { join_id: 0, side: JoinSide::Probe, key: Expr::VertexId });
+            a_steps.push(PlanStep::Join {
+                join_id: 0,
+                side: JoinSide::Probe,
+                key: Expr::VertexId,
+            });
             let mut b_steps = Vec::new();
             for hop in pattern.hops[split..].iter().rev() {
                 push_hop(&mut b_steps, hop, hop.reversed_dir());
             }
-            b_steps.push(PlanStep::Join { join_id: 0, side: JoinSide::Build, key: Expr::VertexId });
+            b_steps.push(PlanStep::Join {
+                join_id: 0,
+                side: JoinSide::Build,
+                key: Expr::VertexId,
+            });
             Stage {
                 pipelines: vec![
-                    Pipeline { source: pattern.left.clone(), steps: a_steps },
-                    Pipeline { source: pattern.right.clone(), steps: b_steps },
+                    Pipeline {
+                        source: pattern.left.clone(),
+                        steps: a_steps,
+                    },
+                    Pipeline {
+                        source: pattern.right.clone(),
+                        steps: b_steps,
+                    },
                 ],
-                joins: vec![JoinSpec { join_id: 0, probe_pipeline: 0 }],
+                joins: vec![JoinSpec {
+                    join_id: 0,
+                    probe_pipeline: 0,
+                }],
                 output: pattern.output.clone(),
                 agg: pattern.agg.clone(),
                 num_slots: pattern.num_slots,
             }
         };
-        let plan = Plan { stages: vec![stage], num_params: count_params(pattern) };
-        plan.validate().map_err(graphdance_common::GdError::InvalidProgram)?;
+        let plan = Plan {
+            stages: vec![stage],
+            num_params: count_params(pattern),
+        };
+        plan.validate()
+            .map_err(graphdance_common::GdError::InvalidProgram)?;
         Ok(plan)
     }
 }
 
 fn push_hop(steps: &mut Vec<PlanStep>, hop: &PatternHop, dir: Direction) {
-    steps.push(PlanStep::Expand { dir, label: hop.label, edge_loads: vec![] });
+    steps.push(PlanStep::Expand {
+        dir,
+        label: hop.label,
+        edge_loads: vec![],
+    });
     if let Some(f) = &hop.filter {
         steps.push(PlanStep::Filter(f.clone()));
     }
@@ -240,7 +280,10 @@ fn push_hop(steps: &mut Vec<PlanStep>, hop: &PatternHop, dir: Direction) {
 fn push_anchor_filter(steps: &mut Vec<PlanStep>, anchor: &SourceSpec) {
     match anchor {
         SourceSpec::Param { param } => {
-            steps.push(PlanStep::Filter(Expr::eq(Expr::VertexId, Expr::Param(*param))));
+            steps.push(PlanStep::Filter(Expr::eq(
+                Expr::VertexId,
+                Expr::Param(*param),
+            )));
         }
         SourceSpec::IndexLookup { label, key, value } => {
             steps.push(PlanStep::Filter(Expr::And(vec![
@@ -263,7 +306,9 @@ fn count_params(p: &PathPattern) -> usize {
                 expr_max(a, m);
                 expr_max(b, m);
             }
-            Expr::And(xs) | Expr::Or(xs) | Expr::Tuple(xs) => xs.iter().for_each(|x| expr_max(x, m)),
+            Expr::And(xs) | Expr::Or(xs) | Expr::Tuple(xs) => {
+                xs.iter().for_each(|x| expr_max(x, m))
+            }
             Expr::Not(x) | Expr::IsNull(x) | Expr::In(x, _) | Expr::Month(x) | Expr::Day(x) => {
                 expr_max(x, m);
             }

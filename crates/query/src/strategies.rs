@@ -51,7 +51,11 @@ fn source_prefix_len(steps: &[LogicalStep]) -> usize {
             n += 1;
             if matches!(
                 steps.get(n),
-                Some(LogicalStep::Has(_, CmpOp::Eq, Expr::Const(_) | Expr::Param(_)))
+                Some(LogicalStep::Has(
+                    _,
+                    CmpOp::Eq,
+                    Expr::Const(_) | Expr::Param(_)
+                ))
             ) {
                 n += 1;
             }
@@ -74,9 +78,11 @@ fn elide_empty_repeats(steps: &mut Vec<LogicalStep>) -> bool {
 fn step_to_pred(s: &LogicalStep) -> Option<Expr> {
     match s {
         LogicalStep::HasLabel(l) => Some(Expr::LabelIs(*l)),
-        LogicalStep::Has(k, op, v) => {
-            Some(Expr::Cmp(Box::new(Expr::Prop(*k)), *op, Box::new(v.clone())))
-        }
+        LogicalStep::Has(k, op, v) => Some(Expr::Cmp(
+            Box::new(Expr::Prop(*k)),
+            *op,
+            Box::new(v.clone()),
+        )),
         LogicalStep::Filter(e) => Some(e.clone()),
         _ => None,
     }
@@ -147,7 +153,11 @@ pub fn lower(q: &LogicalQuery) -> Result<Plan, GdError> {
                     let mut src = SourceSpec::ScanLabel { label: l };
                     if let Some(LogicalStep::Has(k, CmpOp::Eq, v)) = steps_iter.peek() {
                         if matches!(v, Expr::Const(_) | Expr::Param(_)) {
-                            src = SourceSpec::IndexLookup { label: l, key: *k, value: v.clone() };
+                            src = SourceSpec::IndexLookup {
+                                label: l,
+                                key: *k,
+                                value: v.clone(),
+                            };
                             steps_iter.next();
                         }
                     } else if let Some(LogicalStep::Filter(Expr::Cmp(a, CmpOp::Eq, b))) =
@@ -206,27 +216,43 @@ fn lower_step(s: &LogicalStep, out: &mut Vec<PlanStep>) -> Result<(), GdError> {
             Box::new(v.clone()),
         ))),
         LogicalStep::Filter(e) => out.push(PlanStep::Filter(e.clone())),
-        LogicalStep::Expand { dir, label, edge_loads } => out.push(PlanStep::Expand {
+        LogicalStep::Expand {
+            dir,
+            label,
+            edge_loads,
+        } => out.push(PlanStep::Expand {
             dir: *dir,
             label: *label,
             edge_loads: edge_loads.clone(),
         }),
-        LogicalStep::Dedup { slots } => out.push(PlanStep::Dedup { slots: slots.clone() }),
-        LogicalStep::MinDist { dist_slot } => {
-            out.push(PlanStep::MinDist { dist_slot: *dist_slot })
-        }
+        LogicalStep::Dedup { slots } => out.push(PlanStep::Dedup {
+            slots: slots.clone(),
+        }),
+        LogicalStep::MinDist { dist_slot } => out.push(PlanStep::MinDist {
+            dist_slot: *dist_slot,
+        }),
         LogicalStep::Load(loads) => out.push(PlanStep::Load(loads.clone())),
         LogicalStep::Compute(sets) => out.push(PlanStep::Compute(sets.clone())),
-        LogicalStep::MoveTo { vertex_slot } => {
-            out.push(PlanStep::MoveTo { vertex_slot: *vertex_slot })
-        }
-        LogicalStep::Repeat { body, min, max, counter } => {
+        LogicalStep::MoveTo { vertex_slot } => out.push(PlanStep::MoveTo {
+            vertex_slot: *vertex_slot,
+        }),
+        LogicalStep::Repeat {
+            body,
+            min,
+            max,
+            counter,
+        } => {
             let counter = *counter;
             let back_to = out.len() as u16;
             for b in body {
                 lower_step(b, out)?;
             }
-            out.push(PlanStep::LoopEnd { counter, min: *min, max: *max, back_to });
+            out.push(PlanStep::LoopEnd {
+                counter,
+                min: *min,
+                max: *max,
+                back_to,
+            });
         }
     }
     Ok(())
@@ -239,7 +265,13 @@ mod tests {
     use graphdance_storage::Direction;
 
     fn base(steps: Vec<LogicalStep>) -> LogicalQuery {
-        LogicalQuery { steps, output: vec![Expr::VertexId], agg: None, num_slots: 2, num_params: 1 }
+        LogicalQuery {
+            steps,
+            output: vec![Expr::VertexId],
+            agg: None,
+            num_slots: 2,
+            num_params: 1,
+        }
     }
 
     #[test]
@@ -261,7 +293,11 @@ mod tests {
         let q = base(vec![
             LogicalStep::VParam(0),
             LogicalStep::Filter(Expr::Const(Value::Bool(true))),
-            LogicalStep::Expand { dir: Direction::Out, label: Label(0), edge_loads: vec![] },
+            LogicalStep::Expand {
+                dir: Direction::Out,
+                label: Label(0),
+                edge_loads: vec![],
+            },
             LogicalStep::Filter(Expr::Const(Value::Bool(true))),
         ]);
         let (q2, _) = apply(q);
@@ -300,7 +336,11 @@ mod tests {
         let src = &plan.stages[0].pipelines[0].source;
         assert_eq!(
             *src,
-            SourceSpec::IndexLookup { label: Label(3), key: PropKey(5), value: Expr::Param(0) }
+            SourceSpec::IndexLookup {
+                label: Label(3),
+                key: PropKey(5),
+                value: Expr::Param(0)
+            }
         );
         assert!(plan.stages[0].pipelines[0].steps.is_empty());
     }
@@ -351,7 +391,15 @@ mod tests {
         assert_eq!(steps.len(), 2);
         assert!(matches!(steps[0], PlanStep::Expand { .. }));
         assert!(
-            matches!(steps[1], PlanStep::LoopEnd { min: 1, max: 3, back_to: 0, .. }),
+            matches!(
+                steps[1],
+                PlanStep::LoopEnd {
+                    min: 1,
+                    max: 3,
+                    back_to: 0,
+                    ..
+                }
+            ),
             "{steps:?}"
         );
     }

@@ -90,7 +90,8 @@ impl Graph {
         props: Vec<(PropKey, Value)>,
         ts: Timestamp,
     ) -> GdResult<()> {
-        self.write(self.part_of(v)).insert_vertex(v, label, props, ts)
+        self.write(self.part_of(v))
+            .insert_vertex(v, label, props, ts)
     }
 
     /// Insert a directed edge at runtime. Writes the source-side out-entry
@@ -114,7 +115,11 @@ impl Graph {
             let (first, second) = if ps.0 < pd.0 { (ps, pd) } else { (pd, ps) };
             let mut g1 = self.write(first);
             let mut g2 = self.write(second);
-            let (gs, gd) = if first == ps { (&mut g1, &mut g2) } else { (&mut g2, &mut g1) };
+            let (gs, gd) = if first == ps {
+                (&mut g1, &mut g2)
+            } else {
+                (&mut g2, &mut g1)
+            };
             gs.insert_out_edge(src, label, dst, eid, ts, props.clone())?;
             gd.insert_in_edge(dst, label, src, eid, ts, props)?;
         }
@@ -139,7 +144,11 @@ impl Graph {
             let (first, second) = if ps.0 < pd.0 { (ps, pd) } else { (pd, ps) };
             let mut g1 = self.write(first);
             let mut g2 = self.write(second);
-            let (gs, gd) = if first == ps { (&mut g1, &mut g2) } else { (&mut g2, &mut g1) };
+            let (gs, gd) = if first == ps {
+                (&mut g1, &mut g2)
+            } else {
+                (&mut g2, &mut g1)
+            };
             let f = gs.delete_out_edge(src, label, dst, ts)?;
             gd.delete_in_edge(dst, label, src, ts)?;
             f
@@ -196,7 +205,10 @@ impl Graph {
     /// Total directed edges across partitions (counted once, on the out
     /// side).
     pub fn total_edges(&self) -> u64 {
-        self.partitioner.parts().map(|p| self.read(p).num_out_edges()).sum()
+        self.partitioner
+            .parts()
+            .map(|p| self.read(p).num_out_edges())
+            .sum()
     }
 
     /// Approximate total heap bytes of graph data (Table II "raw size"; also
@@ -235,7 +247,12 @@ impl GraphBuilder {
     /// Start building a graph over the given topology.
     pub fn new(partitioner: Partitioner) -> Self {
         let parts = partitioner.parts().map(GraphPartition::new).collect();
-        GraphBuilder { schema: Schema::new(), partitioner, parts, next_edge_id: 0 }
+        GraphBuilder {
+            schema: Schema::new(),
+            partitioner,
+            parts,
+            next_edge_id: 0,
+        }
     }
 
     /// Mutable access to the schema for label/key registration.
@@ -293,7 +310,12 @@ impl GraphBuilder {
         Graph {
             schema: Arc::new(self.schema),
             partitioner: self.partitioner,
-            parts: self.parts.into_iter().map(RwLock::new).collect::<Vec<_>>().into(),
+            parts: self
+                .parts
+                .into_iter()
+                .map(RwLock::new)
+                .collect::<Vec<_>>()
+                .into(),
             next_edge_id: Arc::new(AtomicU64::new(self.next_edge_id)),
         }
     }
@@ -310,8 +332,12 @@ mod tests {
         let knows = b.schema_mut().register_edge_label("knows");
         let name = b.schema_mut().register_prop("name");
         for i in 0..4u64 {
-            b.add_vertex(VertexId(i), person, vec![(name, Value::str(format!("p{i}")))])
-                .unwrap();
+            b.add_vertex(
+                VertexId(i),
+                person,
+                vec![(name, Value::str(format!("p{i}")))],
+            )
+            .unwrap();
         }
         for (s, d) in [(0u64, 1u64), (1, 2), (2, 3), (0, 2)] {
             b.add_edge(VertexId(s), knows, VertexId(d), vec![]).unwrap();
@@ -359,17 +385,27 @@ mod tests {
         let knows = g.schema().edge_label("knows").unwrap();
         let person = g.schema().vertex_label("Person").unwrap();
         g.insert_vertex(VertexId(10), person, vec![], 5).unwrap();
-        g.insert_edge(VertexId(3), knows, VertexId(10), vec![], 5).unwrap();
+        g.insert_edge(VertexId(3), knows, VertexId(10), vec![], 5)
+            .unwrap();
         assert_eq!(
             g.neighbors(VertexId(3), Direction::Out, knows, 5).unwrap(),
             vec![VertexId(10)]
         );
         // not visible before ts 5
-        assert!(g.neighbors(VertexId(3), Direction::Out, knows, 4).unwrap().is_empty());
+        assert!(g
+            .neighbors(VertexId(3), Direction::Out, knows, 4)
+            .unwrap()
+            .is_empty());
         assert!(g.delete_edge(VertexId(3), knows, VertexId(10), 9).unwrap());
-        assert!(g.neighbors(VertexId(3), Direction::Out, knows, 9).unwrap().is_empty());
+        assert!(g
+            .neighbors(VertexId(3), Direction::Out, knows, 9)
+            .unwrap()
+            .is_empty());
         // mirror side also dead
-        assert!(g.neighbors(VertexId(10), Direction::In, knows, 9).unwrap().is_empty());
+        assert!(g
+            .neighbors(VertexId(10), Direction::In, knows, 9)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -385,11 +421,13 @@ mod tests {
         let knows = g.schema().edge_label("knows").unwrap();
         let person = g.schema().vertex_label("Person").unwrap();
         g.insert_vertex(VertexId(10), person, vec![], 100).unwrap();
-        g.insert_edge(VertexId(0), knows, VertexId(10), vec![], 100).unwrap();
+        g.insert_edge(VertexId(0), knows, VertexId(10), vec![], 100)
+            .unwrap();
         g.rollback_after(50);
         assert!(!g.contains(VertexId(10)));
         assert_eq!(
-            g.neighbors(VertexId(0), Direction::Out, knows, 200).unwrap(),
+            g.neighbors(VertexId(0), Direction::Out, knows, 200)
+                .unwrap(),
             vec![VertexId(1), VertexId(2)]
         );
         assert_eq!(g.total_vertices(), 4);

@@ -142,7 +142,11 @@ impl GraphPartition {
         let li = self.vids.len() as u32;
         self.idx.insert(v, li);
         self.vids.push(v);
-        self.records.push(VertexRecord { label, create_ts: ts, props });
+        self.records.push(VertexRecord {
+            label,
+            create_ts: ts,
+            props,
+        });
         self.out.push(TelList::new());
         self.inn.push(TelList::new());
         self.label_index.entry(label).or_default().push(li);
@@ -158,7 +162,8 @@ impl GraphPartition {
                 let gk = val.group_key();
                 self.prop_index
                     .get_mut(&(ilabel, key))
-                    .expect("key collected from map")
+                    // The key set was collected from this same map above.
+                    .expect("key collected from map") // lint: allow(hot-path-panics)
                     .entry(gk)
                     .or_default()
                     .push(li);
@@ -277,16 +282,18 @@ impl GraphPartition {
     }
 
     /// Degree of `v` in `dir` with `label` at `ts`.
-    pub fn degree(&self, v: VertexId, dir: Direction, label: Label, ts: Timestamp) -> GdResult<usize> {
+    pub fn degree(
+        &self,
+        v: VertexId,
+        dir: Direction,
+        label: Label,
+        ts: Timestamp,
+    ) -> GdResult<usize> {
         Ok(self.edges(v, dir, label, ts)?.count())
     }
 
     /// Iterate all vertices with `label` visible at `ts`.
-    pub fn scan_label(
-        &self,
-        label: Label,
-        ts: Timestamp,
-    ) -> impl Iterator<Item = VertexId> + '_ {
+    pub fn scan_label(&self, label: Label, ts: Timestamp) -> impl Iterator<Item = VertexId> + '_ {
         self.label_index
             .get(&label)
             .into_iter()
@@ -503,7 +510,9 @@ mod tests {
         add_v(&mut p, 1, "a");
         p.insert_out_edge(VertexId(1), KNOWS, VertexId(5), EdgeId(1), 10, vec![])
             .unwrap();
-        assert!(p.delete_out_edge(VertexId(1), KNOWS, VertexId(5), 20).unwrap());
+        assert!(p
+            .delete_out_edge(VertexId(1), KNOWS, VertexId(5), 20)
+            .unwrap());
         assert_eq!(p.degree(VertexId(1), Direction::Out, KNOWS, 15).unwrap(), 1);
         assert_eq!(p.degree(VertexId(1), Direction::Out, KNOWS, 25).unwrap(), 0);
     }
@@ -561,7 +570,10 @@ mod tests {
         p.rollback_after(50);
         assert!(p.contains(VertexId(1)));
         assert!(!p.contains(VertexId(2)));
-        assert_eq!(p.degree(VertexId(1), Direction::Out, KNOWS, 200).unwrap(), 0);
+        assert_eq!(
+            p.degree(VertexId(1), Direction::Out, KNOWS, 200).unwrap(),
+            0
+        );
         // index still consistent
         let hits = p.index_lookup(PERSON, NAME, &Value::str("a"), 200).unwrap();
         assert_eq!(hits, vec![VertexId(1)]);

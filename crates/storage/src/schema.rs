@@ -32,7 +32,7 @@ impl Schema {
         if let Some(l) = self.vertex_label_ids.get(name) {
             return *l;
         }
-        let id = Label(u16::try_from(self.vertex_labels.len()).expect("≤ 65534 vertex labels"));
+        let id = Label(u16::try_from(self.vertex_labels.len()).expect("≤ 65534 vertex labels")); // lint: allow(hot-path-panics) load-time capacity limit
         assert!(id != Label::ANY, "vertex label table overflow");
         self.vertex_labels.push(name.to_string());
         self.vertex_label_ids.insert(name.to_string(), id);
@@ -44,7 +44,7 @@ impl Schema {
         if let Some(l) = self.edge_label_ids.get(name) {
             return *l;
         }
-        let id = Label(u16::try_from(self.edge_labels.len()).expect("≤ 65534 edge labels"));
+        let id = Label(u16::try_from(self.edge_labels.len()).expect("≤ 65534 edge labels")); // lint: allow(hot-path-panics) load-time capacity limit
         assert!(id != Label::ANY, "edge label table overflow");
         self.edge_labels.push(name.to_string());
         self.edge_label_ids.insert(name.to_string(), id);
@@ -56,7 +56,7 @@ impl Schema {
         if let Some(k) = self.prop_key_ids.get(name) {
             return *k;
         }
-        let id = PropKey(u16::try_from(self.prop_keys.len()).expect("≤ 65535 property keys"));
+        let id = PropKey(u16::try_from(self.prop_keys.len()).expect("≤ 65535 property keys")); // lint: allow(hot-path-panics) load-time capacity limit
         self.prop_keys.push(name.to_string());
         self.prop_key_ids.insert(name.to_string(), id);
         id
@@ -154,15 +154,24 @@ mod tests {
     #[test]
     fn lookup_unknown_fails() {
         let s = Schema::new();
-        assert!(matches!(s.vertex_label("nope"), Err(GdError::UnknownSymbol(_))));
-        assert!(matches!(s.edge_label("nope"), Err(GdError::UnknownSymbol(_))));
+        assert!(matches!(
+            s.vertex_label("nope"),
+            Err(GdError::UnknownSymbol(_))
+        ));
+        assert!(matches!(
+            s.edge_label("nope"),
+            Err(GdError::UnknownSymbol(_))
+        ));
         assert!(matches!(s.prop("nope"), Err(GdError::UnknownSymbol(_))));
     }
 
     #[test]
     fn roundtrip_names() {
         let mut s = Schema::new();
-        let ids: Vec<Label> = ["A", "B", "C"].iter().map(|n| s.register_vertex_label(n)).collect();
+        let ids: Vec<Label> = ["A", "B", "C"]
+            .iter()
+            .map(|n| s.register_vertex_label(n))
+            .collect();
         for (i, n) in ["A", "B", "C"].iter().enumerate() {
             assert_eq!(s.vertex_label(n).unwrap(), ids[i]);
             assert_eq!(s.vertex_label_name(ids[i]), *n);

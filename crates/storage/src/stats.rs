@@ -44,13 +44,13 @@ impl GraphStats {
             let part = g.read(p);
             for v in part.scan_all(ts) {
                 s.num_vertices += 1;
-                let label = part.vertex_label(v).expect("scanned vertex exists");
+                let label = part.vertex_label(v).expect("scanned vertex exists"); // lint: allow(hot-path-panics) v came from scan_all
                 *s.vertices_by_label.entry(label).or_insert(0) += 1;
                 let mut out_labels: Vec<Label> = Vec::new();
-                for e in part
+                let out_edges = part
                     .edges(v, crate::partition_store::Direction::Out, Label::ANY, ts)
-                    .expect("scanned vertex exists")
-                {
+                    .expect("scanned vertex exists"); // lint: allow(hot-path-panics) v came from scan_all
+                for e in out_edges {
                     s.num_edges += 1;
                     *s.edges_by_label.entry(e.entry.label).or_insert(0) += 1;
                     if !out_labels.contains(&e.entry.label) {
@@ -61,10 +61,10 @@ impl GraphStats {
                     *s.src_by_label.entry(l).or_insert(0) += 1;
                 }
                 let mut in_labels: Vec<Label> = Vec::new();
-                for e in part
+                let in_edges = part
                     .edges(v, crate::partition_store::Direction::In, Label::ANY, ts)
-                    .expect("scanned vertex exists")
-                {
+                    .expect("scanned vertex exists"); // lint: allow(hot-path-panics) v came from scan_all
+                for e in in_edges {
                     if !in_labels.contains(&e.entry.label) {
                         in_labels.push(e.entry.label);
                     }
@@ -120,7 +120,8 @@ mod tests {
         }
         b.add_edge(VertexId(0), knows, VertexId(1), vec![]).unwrap();
         b.add_edge(VertexId(1), knows, VertexId(2), vec![]).unwrap();
-        b.add_edge(VertexId(0), created, VertexId(3), vec![]).unwrap();
+        b.add_edge(VertexId(0), created, VertexId(3), vec![])
+            .unwrap();
         let g = b.finish();
         let s = g.stats();
         assert_eq!(s.num_vertices, 5);
@@ -130,8 +131,14 @@ mod tests {
         assert_eq!(s.edges_by_label[&knows], 2);
         assert_eq!(s.edges_by_label[&created], 1);
         assert!((s.avg_degree(person, knows) - 2.0 / 3.0).abs() < 1e-9);
-        assert_eq!(s.src_by_label[&knows], 2, "vertices 0 and 1 have knows out-edges");
-        assert_eq!(s.dst_by_label[&knows], 2, "vertices 1 and 2 receive knows edges");
+        assert_eq!(
+            s.src_by_label[&knows], 2,
+            "vertices 0 and 1 have knows out-edges"
+        );
+        assert_eq!(
+            s.dst_by_label[&knows], 2,
+            "vertices 1 and 2 receive knows edges"
+        );
         assert!((s.global_avg_degree() - 0.6).abs() < 1e-9);
         assert!(s.approx_bytes > 0);
     }
@@ -150,7 +157,8 @@ mod tests {
         let mut b = GraphBuilder::new(Partitioner::single());
         let l = b.schema_mut().register_vertex_label("V");
         let k = b.schema_mut().register_prop("w");
-        b.add_vertex(VertexId(0), l, vec![(k, Value::Int(7))]).unwrap();
+        b.add_vertex(VertexId(0), l, vec![(k, Value::Int(7))])
+            .unwrap();
         let s = b.finish().stats();
         assert_eq!(s.num_vertices, 1);
     }

@@ -66,7 +66,13 @@ impl LockTable {
         let mut shard = self.shard(v).lock();
         match shard.get_mut(&v) {
             None => {
-                shard.insert(v, LockEntry { mode, holders: vec![txn] });
+                shard.insert(
+                    v,
+                    LockEntry {
+                        mode,
+                        holders: vec![txn],
+                    },
+                );
                 Ok(())
             }
             Some(e) => {

@@ -45,7 +45,10 @@ impl TxnManager {
     /// pre-crash history (§IV-C).
     pub fn resume_from(lct: Timestamp) -> Self {
         TxnManager {
-            inner: Mutex::new(ManagerState { next_ts: lct + 1, inflight: BTreeSet::new() }),
+            inner: Mutex::new(ManagerState {
+                next_ts: lct + 1,
+                inflight: BTreeSet::new(),
+            }),
             lct: AtomicU64::new(lct),
         }
     }

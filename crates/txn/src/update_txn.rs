@@ -90,9 +90,22 @@ impl TxnSystem {
 
 #[derive(Debug, Clone)]
 enum WriteOp {
-    InsertVertex { v: VertexId, label: Label, props: Vec<(PropKey, Value)> },
-    InsertEdge { src: VertexId, label: Label, dst: VertexId, props: Vec<(PropKey, Value)> },
-    DeleteEdge { src: VertexId, label: Label, dst: VertexId },
+    InsertVertex {
+        v: VertexId,
+        label: Label,
+        props: Vec<(PropKey, Value)>,
+    },
+    InsertEdge {
+        src: VertexId,
+        label: Label,
+        dst: VertexId,
+        props: Vec<(PropKey, Value)>,
+    },
+    DeleteEdge {
+        src: VertexId,
+        label: Label,
+        dst: VertexId,
+    },
 }
 
 /// An in-flight update transaction.
@@ -168,7 +181,12 @@ impl<'a> UpdateTxn<'a> {
         if !self.sees_vertex(dst) {
             return Err(GdError::VertexNotFound(dst));
         }
-        self.writes.push(WriteOp::InsertEdge { src, label, dst, props });
+        self.writes.push(WriteOp::InsertEdge {
+            src,
+            label,
+            dst,
+            props,
+        });
         Ok(())
     }
 
@@ -198,9 +216,16 @@ impl<'a> UpdateTxn<'a> {
                 WriteOp::InsertVertex { v, label, props } => {
                     self.sys.graph.insert_vertex(v, label, props, ts)
                 }
-                WriteOp::InsertEdge { src, label, dst, props } => {
-                    self.sys.graph.insert_edge(src, label, dst, props, ts).map(|_| ())
-                }
+                WriteOp::InsertEdge {
+                    src,
+                    label,
+                    dst,
+                    props,
+                } => self
+                    .sys
+                    .graph
+                    .insert_edge(src, label, dst, props, ts)
+                    .map(|_| ()),
                 WriteOp::DeleteEdge { src, label, dst } => {
                     self.sys.graph.delete_edge(src, label, dst, ts).map(|_| ())
                 }
@@ -271,7 +296,10 @@ mod tests {
         assert!(ts1 > ts0);
         assert_eq!(s.read_ts(), ts1);
         let g = s.graph();
-        assert!(g.neighbors(VertexId(0), Direction::Out, k, ts0).unwrap().is_empty());
+        assert!(g
+            .neighbors(VertexId(0), Direction::Out, k, ts0)
+            .unwrap()
+            .is_empty());
         assert_eq!(
             g.neighbors(VertexId(0), Direction::Out, k, ts1).unwrap(),
             vec![VertexId(1)]
@@ -292,7 +320,8 @@ mod tests {
             .is_empty());
         // locks released: another txn can lock the same vertices
         let mut tx2 = s.begin();
-        tx2.insert_edge(VertexId(0), k, VertexId(1), vec![]).unwrap();
+        tx2.insert_edge(VertexId(0), k, VertexId(1), vec![])
+            .unwrap();
         tx2.commit().unwrap();
     }
 
@@ -306,7 +335,8 @@ mod tests {
             // dropped without commit
         }
         let mut tx2 = s.begin();
-        tx2.insert_edge(VertexId(0), k, VertexId(1), vec![]).unwrap();
+        tx2.insert_edge(VertexId(0), k, VertexId(1), vec![])
+            .unwrap();
         tx2.commit().unwrap();
     }
 
@@ -317,7 +347,9 @@ mod tests {
         let mut t1 = s.begin();
         t1.insert_edge(VertexId(0), k, VertexId(1), vec![]).unwrap();
         let mut t2 = s.begin();
-        let err = t2.insert_edge(VertexId(1), k, VertexId(2), vec![]).unwrap_err();
+        let err = t2
+            .insert_edge(VertexId(1), k, VertexId(2), vec![])
+            .unwrap_err();
         assert!(matches!(err, graphdance_common::GdError::TxnAborted(_)));
         t1.commit().unwrap();
     }
@@ -334,11 +366,27 @@ mod tests {
         let before = s.read_ts();
         tx.commit().unwrap();
         let g = s.graph();
-        assert!(g.neighbors(VertexId(0), Direction::Out, k, before).unwrap().is_empty());
-        assert!(g.neighbors(VertexId(2), Direction::Out, k, before).unwrap().is_empty());
+        assert!(g
+            .neighbors(VertexId(0), Direction::Out, k, before)
+            .unwrap()
+            .is_empty());
+        assert!(g
+            .neighbors(VertexId(2), Direction::Out, k, before)
+            .unwrap()
+            .is_empty());
         let after = s.read_ts();
-        assert_eq!(g.neighbors(VertexId(0), Direction::Out, k, after).unwrap().len(), 1);
-        assert_eq!(g.neighbors(VertexId(2), Direction::Out, k, after).unwrap().len(), 1);
+        assert_eq!(
+            g.neighbors(VertexId(0), Direction::Out, k, after)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            g.neighbors(VertexId(2), Direction::Out, k, after)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -368,7 +416,8 @@ mod tests {
                     let id = 1000 + t * 1000 + i;
                     let mut tx = s.begin();
                     tx.insert_vertex(VertexId(id), person, vec![]).unwrap();
-                    tx.insert_edge(VertexId(id), k, VertexId(t % 4), vec![]).unwrap_or(());
+                    tx.insert_edge(VertexId(id), k, VertexId(t % 4), vec![])
+                        .unwrap_or(());
                     tx.commit().unwrap();
                 }
             }));

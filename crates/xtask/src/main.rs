@@ -1,0 +1,207 @@
+//! `cargo xtask` — workspace automation for GraphDance.
+//!
+//! The only subcommand today is `check`, the static half of the engine's
+//! invariant story (the dynamic half — weight/message conservation ledgers
+//! and the liveness watchdog — runs inside debug builds; see
+//! DESIGN.md "Invariants & how they are enforced"):
+//!
+//! ```text
+//! cargo xtask check                      # run every rule over crates/**/*.rs
+//! cargo xtask check --rule std-hash      # run one rule
+//! cargo xtask check --list               # list the rules
+//! ```
+//!
+//! Violations print as `path:line: [rule] message` and the process exits
+//! non-zero, so `ci.sh` can gate on it. Individual sites are suppressed
+//! with `// lint: allow(<rule>) <justification>` on the offending line or
+//! the line above.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod rules;
+mod scan;
+
+use rules::Rule;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         check [--rule <name>] [--list]   run the workspace lint pass"
+    );
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let all = rules::all();
+
+    let mut only: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for r in &all {
+                    println!("{:<18} {}", r.name(), r.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => only = Some(name.clone()),
+                    None => {
+                        eprintln!("xtask check: --rule needs a rule name (see --list)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("xtask check: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let selected: Vec<&Box<dyn Rule>> = match &only {
+        None => all.iter().collect(),
+        Some(name) => {
+            let hit: Vec<_> = all.iter().filter(|r| r.name() == name).collect();
+            if hit.is_empty() {
+                eprintln!("xtask check: no rule named `{name}` (see --list)");
+                return ExitCode::FAILURE;
+            }
+            hit
+        }
+    };
+
+    let root = workspace_root();
+    let files = load_workspace(&root);
+    if files.is_empty() {
+        eprintln!(
+            "xtask check: found no .rs files under {}",
+            root.join("crates").display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations = Vec::new();
+    for rule in &selected {
+        violations.extend(rule.check(&files));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    if violations.is_empty() {
+        println!(
+            "xtask check: {} file(s) clean across {} rule(s)",
+            files.len(),
+            selected.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("\nxtask check: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest. Works no
+/// matter which directory `cargo xtask` is invoked from.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Load and preprocess every `.rs` file under `crates/`, sorted by path so
+/// the report order is stable. `xtask` itself is skipped: its rule fixtures
+/// contain deliberate violations.
+fn load_workspace(root: &Path) -> Vec<scan::SourceFile> {
+    let mut paths = Vec::new();
+    collect_rs(&root.join("crates"), &mut paths);
+    paths.sort();
+
+    let mut files = Vec::new();
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        match std::fs::read_to_string(&p) {
+            Ok(text) => files.push(scan::parse_source(&rel, &text)),
+            Err(e) => eprintln!("xtask check: skipping unreadable {}: {e}", p.display()),
+        }
+    }
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The check must hold on the real tree: running every rule over the
+    /// actual workspace sources reports zero violations. This is the same
+    /// invocation `ci.sh` gates on, wired in as a plain unit test so
+    /// `cargo test --workspace` exercises it too.
+    #[test]
+    fn real_workspace_is_clean() {
+        let root = workspace_root();
+        let files = load_workspace(&root);
+        assert!(
+            files.len() > 50,
+            "workspace scan found only {} files",
+            files.len()
+        );
+        let mut violations = Vec::new();
+        for rule in rules::all() {
+            violations.extend(rule.check(&files));
+        }
+        let report: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            report.join("\n")
+        );
+    }
+}

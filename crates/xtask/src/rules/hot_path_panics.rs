@@ -1,0 +1,115 @@
+//! `hot-path-panics`: no `unwrap`/`expect`/`panic!` in hot-path crates.
+//!
+//! A panic in a worker or network thread does not crash the process — it
+//! kills one thread of the simulated cluster and leaves the client blocked
+//! on a reply that will never come (exactly the hang class the liveness
+//! watchdog exists to catch). Fallible paths in `engine`, `pstm`, and
+//! `storage` must therefore propagate `GdError` so the coordinator can fail
+//! the query with a diagnostic.
+//!
+//! Thread-spawn expects at engine startup and true never-happens branches
+//! may be annotated `// lint: allow(hot-path-panics) <justification>`.
+
+use super::Rule;
+use crate::scan::{SourceFile, Violation};
+
+/// Crates whose `src/` is on the query execution path.
+const HOT_CRATES: &[&str] = &["crates/engine/src", "crates/pstm/src", "crates/storage/src"];
+
+/// Panicking constructs and the advice attached to each.
+const TOKENS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()`"),
+    (".expect(", "`.expect(..)`"),
+    ("panic!", "`panic!`"),
+    ("unreachable!", "`unreachable!`"),
+    ("todo!", "`todo!`"),
+    ("unimplemented!", "`unimplemented!`"),
+];
+
+pub struct HotPathPanics;
+
+impl Rule for HotPathPanics {
+    fn name(&self) -> &'static str {
+        "hot-path-panics"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic! in crates/{engine,pstm,storage} non-test code"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for f in files.iter().filter(|f| f.under(HOT_CRATES)) {
+            for line in &f.lines {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for (tok, label) in TOKENS {
+                    if line.code.contains(tok) {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: f.rel.clone(),
+                            line: line.number,
+                            message: format!(
+                                "{label} in a hot-path crate can wedge the cluster — \
+                                 propagate GdError, or annotate \
+                                 `// lint: allow(hot-path-panics) <why>`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        HotPathPanics.check(&[parse_source(rel, src)])
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_in_hot_crate() {
+        let fixture = "fn f(o: Option<u32>) -> u32 {\n    let a = o.unwrap();\n    let b = o.expect(\"present\");\n    if a + b > 9 { panic!(\"boom\") }\n    a\n}\n";
+        let v = run("crates/engine/src/worker.rs", fixture);
+        assert_eq!(v.len(), 3, "{v:#?}");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+        assert_eq!(v[2].line, 4);
+        assert!(v[0].message.contains("GdError"));
+    }
+
+    #[test]
+    fn ignores_non_hot_crates_and_test_code() {
+        let fixture = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert!(run("crates/bench/src/lib.rs", fixture).is_empty());
+
+        let test_fixture = "#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(run("crates/pstm/src/interp.rs", test_fixture).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_a_single_site() {
+        let fixture = "let h = spawn(f).expect(\"spawn\"); // lint: allow(hot-path-panics) startup\nlet bad = o.unwrap();\n";
+        let v = run("crates/engine/src/net.rs", fixture);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_match() {
+        let fixture = "let a = o.unwrap_or(0);\nlet b = o.unwrap_or_else(|| 1);\nlet c = r.expect_err(\"must fail\");\n";
+        assert!(run("crates/storage/src/graph.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_match() {
+        let fixture = "// this mentions .unwrap() in prose\nlet msg = \"do not panic!()\";\n";
+        assert!(run("crates/engine/src/engine.rs", fixture).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! The lint rules behind `cargo xtask check`.
+//!
+//! Each rule implements [`Rule`] over the preprocessed [`SourceFile`] set
+//! (comments and string contents already stripped, test regions flagged —
+//! see `scan`). Any rule can be suppressed at a single site with a
+//! `// lint: allow(<rule-name>)` comment on the offending line or on the
+//! line above; the annotation is the audit trail for *why* the exception is
+//! sound, so it should always carry a justification after the `)`.
+
+use crate::scan::{SourceFile, Violation};
+
+pub mod codec_exhaustive;
+pub mod hot_path_panics;
+pub mod nondeterminism;
+pub mod std_hash;
+
+/// A single named lint rule.
+pub trait Rule {
+    /// Kebab-case rule name, as used in `// lint: allow(<name>)` and
+    /// `cargo xtask check --rule <name>`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `cargo xtask check --list`.
+    fn describe(&self) -> &'static str;
+    /// Scan the workspace and report violations.
+    fn check(&self, files: &[SourceFile]) -> Vec<Violation>;
+}
+
+/// All rules, in report order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(hot_path_panics::HotPathPanics),
+        Box::new(std_hash::StdHash),
+        Box::new(nondeterminism::Nondeterminism),
+        Box::new(codec_exhaustive::CodecExhaustive),
+    ]
+}

@@ -1,0 +1,96 @@
+//! `nondeterminism`: clock and RNG reads go through `common::time` /
+//! `common::rng`.
+//!
+//! Run-to-run reproducibility is a core property of the evaluation harness:
+//! every experiment is driven by seeded RNGs, and wall-clock reads are
+//! centralized in `graphdance_common::time::now()` so that measurement
+//! policy (and any future virtual-clock or record/replay mode) has a single
+//! switch point. A stray `Instant::now()` deep in an engine module silently
+//! forks that policy; `thread_rng()` reseeds from the OS and destroys
+//! reproducibility outright.
+
+use super::Rule;
+use crate::scan::{SourceFile, Violation};
+
+/// Forbidden construct → where the sanctioned equivalent lives.
+const TOKENS: &[(&str, &str)] = &[
+    ("Instant::now", "graphdance_common::time::now()"),
+    ("SystemTime::now", "graphdance_common::time::now()"),
+    ("thread_rng", "graphdance_common::rng::{seeded, derive}"),
+];
+
+pub struct Nondeterminism;
+
+impl Rule for Nondeterminism {
+    fn name(&self) -> &'static str {
+        "nondeterminism"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no Instant::now/SystemTime::now/thread_rng outside common::time / common::rng"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for f in files {
+            for line in &f.lines {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for (tok, sanctioned) in TOKENS {
+                    if line.code.contains(tok) {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: f.rel.clone(),
+                            line: line.number,
+                            message: format!(
+                                "`{tok}` forks the workspace's clock/RNG policy — \
+                                 use {sanctioned} instead"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        Nondeterminism.check(&[parse_source(rel, src)])
+    }
+
+    #[test]
+    fn flags_raw_clock_and_rng_reads() {
+        let fixture = "let t0 = Instant::now();\nlet wall = std::time::SystemTime::now();\nlet mut rng = rand::thread_rng();\n";
+        let v = run("crates/engine/src/coordinator.rs", fixture);
+        assert_eq!(v.len(), 3, "{v:#?}");
+        assert!(v[0].message.contains("time::now()"));
+        assert!(v[2].message.contains("rng::{seeded, derive}"));
+    }
+
+    #[test]
+    fn sanctioned_wrappers_do_not_match() {
+        let fixture = "use graphdance_common::time::now;\nlet t0 = now();\nlet r = graphdance_common::rng::seeded(42);\n";
+        assert!(run("crates/bench/src/lib.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn the_clock_module_carries_its_allow() {
+        // Mirrors the real `common/src/time.rs` definition site.
+        let fixture = "pub fn now() -> Instant {\n    Instant::now() // lint: allow(nondeterminism) — the sanctioned clock read\n}\n";
+        assert!(run("crates/common/src/time.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn tests_may_read_the_clock_directly() {
+        let fixture =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let t = std::time::Instant::now(); }\n}\n";
+        assert!(run("crates/engine/src/net.rs", fixture).is_empty());
+    }
+}

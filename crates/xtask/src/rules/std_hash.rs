@@ -1,0 +1,124 @@
+//! `std-hash`: use `graphdance_common::FxHashMap`, not SipHash maps.
+//!
+//! Query execution hashes vertex ids on every `Expand`, `Dedup`, and memo
+//! access; the default `std::collections::HashMap` (SipHash-1-3) costs
+//! several times more per lookup than the workspace's Fx hasher and its
+//! random seeding makes iteration order differ run-to-run, which breaks
+//! reproducibility of anything that iterates a map. All workspace code must
+//! use `graphdance_common::{FxHashMap, FxHashSet}`.
+//!
+//! The one sanctioned site is `common/src/fxhash.rs`, where the aliases are
+//! *defined* over the std types with an explicit hasher — it carries the
+//! allow annotation.
+
+use super::Rule;
+use crate::scan::{SourceFile, Violation};
+
+pub struct StdHash;
+
+impl Rule for StdHash {
+    fn name(&self) -> &'static str {
+        "std-hash"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no std::collections::HashMap/HashSet — use graphdance_common::FxHashMap/FxHashSet"
+    }
+
+    fn check(&self, files: &[SourceFile]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for f in files {
+            for line in &f.lines {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                // Both the path form (`std::collections::HashMap<..>`) and
+                // the import form (`use std::collections::{HashMap, ..}`)
+                // put `std::collections` and the type name on one line.
+                // `hash_map::Entry` et al. are fine — only the map/set type
+                // names are banned.
+                let has_path = line.code.contains("std::collections::");
+                if !has_path {
+                    continue;
+                }
+                for ty in ["HashMap", "HashSet"] {
+                    if contains_word(&line.code, ty) {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: f.rel.clone(),
+                            line: line.number,
+                            message: format!(
+                                "std::collections::{ty} is SipHash-seeded (slow, \
+                                 nondeterministic iteration) — use \
+                                 graphdance_common::Fx{ty}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `needle` appears in `hay` not embedded in a larger identifier
+/// (so `HashMap` does not match `FxHashMap`).
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        StdHash.check(&[parse_source(rel, src)])
+    }
+
+    #[test]
+    fn flags_import_and_path_forms() {
+        let fixture = "use std::collections::{HashMap, VecDeque};\nlet m: std::collections::HashSet<u64> = Default::default();\n";
+        let v = run("crates/engine/src/worker.rs", fixture);
+        assert_eq!(v.len(), 2, "{v:#?}");
+        assert!(v[0].message.contains("FxHashMap"));
+        assert!(v[1].message.contains("FxHashSet"));
+    }
+
+    #[test]
+    fn fx_aliases_and_entry_paths_are_fine() {
+        let fixture = "use graphdance_common::FxHashMap;\nuse std::collections::hash_map::Entry;\nuse std::collections::{BTreeMap, VecDeque, BinaryHeap};\nlet m: FxHashMap<u64, u64> = FxHashMap::default();\n";
+        assert!(run("crates/engine/src/worker.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn definition_site_uses_the_allow_annotation() {
+        let fixture = "// lint: allow(std-hash) alias definition site\nuse std::collections::{HashMap, HashSet};\npub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;\n";
+        assert!(run("crates/common/src/fxhash.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn test_code_may_use_std_maps() {
+        let fixture = "#[cfg(test)]\nmod tests {\n    fn t() { let s = std::collections::HashSet::new(); }\n}\n";
+        assert!(run("crates/pstm/src/interp.rs", fixture).is_empty());
+    }
+}

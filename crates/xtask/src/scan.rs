@@ -1,0 +1,373 @@
+//! Source model for the lint pass.
+//!
+//! Rules never look at raw file text. Each file is preprocessed once into a
+//! [`SourceFile`] whose per-line `code` has comments and string-literal
+//! contents stripped, so token scans (`.unwrap()`, `std::collections::…`)
+//! cannot false-positive on prose, doc examples, or error messages. The
+//! preprocessor also extracts two pieces of line metadata the rules share:
+//!
+//! * **allow annotations** — `// lint: allow(<rule>)` suppresses `<rule>` on
+//!   its own line, or on the next code line when the comment stands alone;
+//! * **test regions** — lines inside a `#[cfg(test)]` item (and every line
+//!   of `tests/` / `benches/` files) are flagged `in_test`; line rules skip
+//!   them, since `unwrap()` in a test is idiomatic.
+//!
+//! This is a token-level scanner, not a parser: it tracks comment nesting,
+//! string/char literals, and brace depth, which is exactly enough for the
+//! four rules and keeps the crate dependency-free.
+
+/// One finding. `file` is workspace-relative so diagnostics are clickable
+/// from the repo root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A preprocessed line of source.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments removed and string contents blanked; quotes
+    /// are kept so the column structure stays roughly intact.
+    pub code: String,
+    /// Rules suppressed on this line via `// lint: allow(<rule>)`.
+    pub allows: Vec<String>,
+    /// True inside a `#[cfg(test)]` item or a tests/benches file.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// Whether `rule` is suppressed on this line.
+    pub fn allows(&self, rule: &str) -> bool {
+        self.allows.iter().any(|a| a == rule)
+    }
+}
+
+/// A preprocessed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes, e.g.
+    /// `crates/engine/src/worker.rs`.
+    pub rel: String,
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Whether the file lives under one of the given workspace-relative
+    /// directory prefixes.
+    pub fn under(&self, prefixes: &[&str]) -> bool {
+        prefixes.iter().any(|p| self.rel.starts_with(p))
+    }
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    /// Nested depth of `/* … */` (rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##` with the given `#` count.
+    RawStr(u32),
+}
+
+/// Preprocess one file's text into the line model.
+pub fn parse_source(rel: &str, text: &str) -> SourceFile {
+    let force_test = rel.contains("/tests/") || rel.contains("/benches/");
+
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    // Allow annotations from a standalone comment line waiting for the next
+    // code line.
+    let mut carried_allows: Vec<String> = Vec::new();
+
+    // Brace-depth tracking for `#[cfg(test)]` regions.
+    let mut depth: i64 = 0;
+    let mut pending_test_item = false;
+    let mut test_until_depth: Option<i64> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut chars = raw.chars().peekable();
+
+        while let Some(c) = chars.next() {
+            match mode {
+                Mode::BlockComment(d) => {
+                    if c == '*' && chars.peek() == Some(&'/') {
+                        chars.next();
+                        if d == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::BlockComment(d - 1);
+                        }
+                    } else if c == '/' && chars.peek() == Some(&'*') {
+                        chars.next();
+                        mode = Mode::BlockComment(d + 1);
+                    } else {
+                        comment.push(c);
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        chars.next(); // skip the escaped char
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' {
+                        // Need `hashes` consecutive '#' to close.
+                        let mut n = 0;
+                        while n < hashes && chars.peek() == Some(&'#') {
+                            chars.next();
+                            n += 1;
+                        }
+                        if n == hashes {
+                            code.push('"');
+                            mode = Mode::Code;
+                        }
+                    }
+                }
+                Mode::Code => match c {
+                    '/' if chars.peek() == Some(&'/') => {
+                        // Line comment: capture the rest for allow parsing.
+                        chars.next();
+                        comment.extend(chars.by_ref());
+                    }
+                    '/' if chars.peek() == Some(&'*') => {
+                        chars.next();
+                        mode = Mode::BlockComment(1);
+                    }
+                    '"' => {
+                        code.push('"');
+                        mode = Mode::Str;
+                    }
+                    'r' if matches!(chars.peek(), Some('"') | Some('#'))
+                        && !code.ends_with(|p: char| p.is_alphanumeric() || p == '_') =>
+                    {
+                        // Possible raw string r"…" / r#"…"#. Count hashes.
+                        let mut hashes = 0;
+                        while chars.peek() == Some(&'#') {
+                            chars.next();
+                            hashes += 1;
+                        }
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            code.push('r');
+                            code.push('"');
+                            mode = Mode::RawStr(hashes);
+                        } else {
+                            // `r#ident` raw identifier — put the hashes back
+                            // conceptually (they carry no tokens we match).
+                            code.push('r');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime. A char literal closes
+                        // within two chars (`'x'` or `'\n'`); a lifetime
+                        // does not. Peek without consuming on the lifetime
+                        // path is impossible with a plain iterator, so
+                        // consume conservatively: escapes are always char
+                        // literals; otherwise only treat as a literal when
+                        // the char after next is `'`.
+                        code.push('\'');
+                        let mut look = chars.clone();
+                        match look.next() {
+                            Some('\\') => {
+                                // Escape: consume until closing quote.
+                                chars.next();
+                                for c2 in chars.by_ref() {
+                                    if c2 == '\'' {
+                                        break;
+                                    }
+                                }
+                                code.push('\'');
+                            }
+                            Some(_) if look.next() == Some('\'') => {
+                                chars.next();
+                                chars.next();
+                                code.push('\'');
+                            }
+                            _ => {} // lifetime: leave the tick, keep lexing
+                        }
+                    }
+                    _ => code.push(c),
+                },
+            }
+        }
+
+        // Allow annotations: `lint: allow(rule)` anywhere in the line's
+        // comment text (possibly several).
+        let mut allows = parse_allows(&comment);
+        let standalone = code.trim().is_empty();
+        if standalone {
+            // A comment-only line passes its allows down to the next code
+            // line (and blank lines in between don't break the chain).
+            carried_allows.append(&mut allows);
+        } else {
+            allows.append(&mut carried_allows);
+        }
+
+        // Test-region tracking on the stripped code.
+        if force_test {
+            test_until_depth = Some(-1); // whole file
+        }
+        let mut in_test = test_until_depth.is_some();
+        if code.contains("#[cfg(test)]") {
+            pending_test_item = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_test_item && test_until_depth.is_none() {
+                        test_until_depth = Some(depth);
+                        pending_test_item = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if !force_test && test_until_depth == Some(depth) {
+                        test_until_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        lines.push(Line {
+            number: idx + 1,
+            code,
+            allows,
+            in_test,
+        });
+    }
+
+    SourceFile {
+        rel: rel.to_string(),
+        lines,
+    }
+}
+
+/// Extract every `lint: allow(<rule>)` from a comment's text.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        rest = &rest[pos + "lint: allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            let rule = rest[..end].trim();
+            if !rule.is_empty() {
+                out.push(rule.to_string());
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(f: &SourceFile) -> Vec<String> {
+        f.lines.iter().map(|l| l.code.clone()).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = parse_source(
+            "x.rs",
+            "let a = 1; // trailing .unwrap()\n/* block\nspans .expect( lines */ let b = 2;\n",
+        );
+        let c = codes(&f);
+        assert_eq!(c[0].trim(), "let a = 1;");
+        assert!(!c[0].contains("unwrap"));
+        assert_eq!(c[1].trim(), "");
+        assert_eq!(c[2].trim(), "let b = 2;");
+        assert!(!c[2].contains("expect"));
+    }
+
+    #[test]
+    fn blanks_string_contents_including_raw() {
+        let f = parse_source(
+            "x.rs",
+            "let s = \"contains .unwrap() text\";\nlet r = r#\"panic!(\"quoted\")\"#;\nlet t = s;\n",
+        );
+        let c = codes(&f);
+        assert!(!c[0].contains("unwrap"), "{:?}", c[0]);
+        assert!(!c[1].contains("panic"), "{:?}", c[1]);
+        assert_eq!(c[2].trim(), "let t = s;");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let f = parse_source(
+            "x.rs",
+            "fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\\'';\nlet z = 1;\n",
+        );
+        let c = codes(&f);
+        assert!(c[0].contains("fn f<'a>"), "{:?}", c[0]);
+        assert_eq!(c[2].trim(), "let z = 1;");
+    }
+
+    #[test]
+    fn trailing_allow_applies_to_its_line() {
+        let f = parse_source(
+            "x.rs",
+            "x.unwrap(); // lint: allow(hot-path-panics) startup only\n",
+        );
+        assert!(f.lines[0].allows("hot-path-panics"));
+        assert!(!f.lines[0].allows("nondeterminism"));
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let f = parse_source(
+            "x.rs",
+            "// lint: allow(nondeterminism)\nInstant::now();\nInstant::now();\n",
+        );
+        assert!(f.lines[1].allows("nondeterminism"));
+        assert!(
+            !f.lines[2].allows("nondeterminism"),
+            "allow must not leak past one line"
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_flagged() {
+        let src = "fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn also_hot() {}\n";
+        let f = parse_source("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "inside mod tests");
+        assert!(!f.lines[5].in_test, "region closed");
+    }
+
+    #[test]
+    fn tests_dir_files_are_entirely_test() {
+        let f = parse_source("crates/foo/tests/it.rs", "fn t() { x.unwrap(); }\n");
+        assert!(f.lines[0].in_test);
+    }
+}

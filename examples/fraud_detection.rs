@@ -31,7 +31,10 @@ fn main() {
         hops: vec![
             PatternHop::new(Direction::Both, schema.edge_label("knows").expect("schema")),
             PatternHop::new(Direction::Both, schema.edge_label("knows").expect("schema")),
-            PatternHop::new(Direction::In, schema.edge_label("hasCreator").expect("schema")),
+            PatternHop::new(
+                Direction::In,
+                schema.edge_label("hasCreator").expect("schema"),
+            ),
             PatternHop::new(Direction::Out, schema.edge_label("hasTag").expect("schema")),
         ],
         output: vec![Expr::VertexId],
@@ -48,7 +51,11 @@ fn main() {
         println!(
             "  split {k}: estimated cost {:>10.1}{}",
             planner.cost_of_split(&pattern.hops, k),
-            if k == choice.split { "   <= chosen" } else { "" }
+            if k == choice.split {
+                "   <= chosen"
+            } else {
+                ""
+            }
         );
     }
 

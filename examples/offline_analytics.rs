@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example offline_analytics`
 
-use graphdance::analytics::{degree_histogram, pagerank, weakly_connected_components, PageRankConfig};
+use graphdance::analytics::{
+    degree_histogram, pagerank, weakly_connected_components, PageRankConfig,
+};
 use graphdance::common::{FxHashMap, Partitioner, VertexId};
 use graphdance::datagen::{KhopDataset, KhopParams};
 
@@ -30,7 +32,7 @@ fn main() {
     let t = std::time::Instant::now();
     let cc = weakly_connected_components(&graph, link);
     let mut sizes: FxHashMap<VertexId, u64> = FxHashMap::default();
-    for (_, c) in &cc {
+    for c in cc.values() {
         *sizes.entry(*c).or_insert(0) += 1;
     }
     let mut sizes: Vec<u64> = sizes.into_values().collect();

@@ -21,17 +21,32 @@ fn main() {
     let weight = b.schema_mut().register_prop("weight");
 
     for i in 0..12u64 {
-        b.add_vertex(VertexId(i), person, vec![(weight, Value::Int((i * 7 % 10) as i64))])
-            .expect("fresh vertex");
+        b.add_vertex(
+            VertexId(i),
+            person,
+            vec![(weight, Value::Int((i * 7 % 10) as i64))],
+        )
+        .expect("fresh vertex");
     }
     // circle A: 0-1-2-3-4-5-0, circle B: 6..11, bridge 5-6
     let edges: &[(u64, u64)] = &[
-        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),
-        (6, 7), (7, 8), (8, 9), (9, 10), (10, 11), (11, 6),
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 0),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 10),
+        (10, 11),
+        (11, 6),
         (5, 6),
     ];
     for &(s, d) in edges {
-        b.add_edge(VertexId(s), knows, VertexId(d), vec![]).expect("endpoints exist");
+        b.add_edge(VertexId(s), knows, VertexId(d), vec![])
+            .expect("endpoints exist");
     }
     let graph = b.finish();
 
@@ -46,7 +61,10 @@ fn main() {
     let hops = q.alloc_slot();
     let dist = q.alloc_slot();
     q.repeat(1, 3, hops, |r| {
-        r.compute(dist, Expr::Add(Box::new(Expr::Slot(dist)), Box::new(Expr::int(1))));
+        r.compute(
+            dist,
+            Expr::Add(Box::new(Expr::Slot(dist)), Box::new(Expr::int(1))),
+        );
         r.both("knows");
         r.min_dist(dist);
     });
@@ -61,24 +79,38 @@ fn main() {
     let result = engine
         .query_timed(&plan, vec![Value::Vertex(VertexId(0))])
         .expect("query succeeds");
-    println!("top-5 weighted vertices within 3 hops of v0 ({:?}):", result.latency);
+    println!(
+        "top-5 weighted vertices within 3 hops of v0 ({:?}):",
+        result.latency
+    );
     for row in &result.rows {
-        println!("  vertex {}  weight {}  distance {}", row[0], row[1], row[2]);
+        println!(
+            "  vertex {}  weight {}  distance {}",
+            row[0], row[1], row[2]
+        );
     }
 
     // 4. The same style of query through the text DSL.
     let text = "g.V($0).repeat(both('knows')).times(1,2).dedup().count()";
     let plan2 = parser::parse_to_plan(graph.schema(), text).expect("parses");
-    let rows = engine.query(&plan2, vec![Value::Vertex(VertexId(6))]).expect("runs");
+    let rows = engine
+        .query(&plan2, vec![Value::Vertex(VertexId(6))])
+        .expect("runs");
     println!("\n{text}\n  -> {} vertices within 2 hops of v6", rows[0][0]);
 
     // 5. Transactional update: a new friendship becomes visible to the next
     //    snapshot (MV2PL + LCT, §IV-C).
     let mut tx = engine.txn().begin();
-    tx.insert_edge(VertexId(7), knows, VertexId(3), vec![]).expect("lock acquired");
+    tx.insert_edge(VertexId(7), knows, VertexId(3), vec![])
+        .expect("lock acquired");
     tx.commit().expect("commit succeeds");
-    let rows = engine.query(&plan2, vec![Value::Vertex(VertexId(6))]).expect("runs");
-    println!("after adding 7-3 friendship -> {} vertices within 2 hops of v6", rows[0][0]);
+    let rows = engine
+        .query(&plan2, vec![Value::Vertex(VertexId(6))])
+        .expect("runs");
+    println!(
+        "after adding 7-3 friendship -> {} vertices within 2 hops of v6",
+        rows[0][0]
+    );
 
     engine.shutdown();
 }

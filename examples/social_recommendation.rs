@@ -27,7 +27,10 @@ fn main() {
     let hops = q.alloc_slot();
     let dist = q.alloc_slot();
     q.repeat(1, 2, hops, |r| {
-        r.compute(dist, Expr::Add(Box::new(Expr::Slot(dist)), Box::new(Expr::int(1))));
+        r.compute(
+            dist,
+            Expr::Add(Box::new(Expr::Slot(dist)), Box::new(Expr::int(1))),
+        );
         r.both("knows");
         r.min_dist(dist);
     });
@@ -39,7 +42,9 @@ fn main() {
     q.group_count(Expr::Slot(cand), GroupOrder::CountDesc, 10);
     let plan = q.compile().expect("valid");
 
-    let result = engine.query_timed(&plan, vec![Value::Vertex(me)]).expect("runs");
+    let result = engine
+        .query_timed(&plan, vec![Value::Vertex(me)])
+        .expect("runs");
     println!(
         "friend recommendations for person {me:?} (latency {:?}):",
         result.latency

@@ -31,7 +31,10 @@ fn bsp_cold_start_queries_never_wedge() {
         let c = b.alloc_slot();
         let d = b.alloc_slot();
         b.repeat(1, 2, c, |r| {
-            r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+            r.compute(
+                d,
+                Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+            );
             r.out("link");
             r.min_dist(d);
         });

@@ -28,7 +28,10 @@ fn khop_plan(graph: &Graph, k: i64) -> Plan {
     let c = b.alloc_slot();
     let d = b.alloc_slot();
     b.repeat(1, k, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.out("link");
         r.min_dist(d);
     });
@@ -43,7 +46,10 @@ fn khop_topk_plan(graph: &Graph, k: i64) -> Plan {
     let c = b.alloc_slot();
     let d = b.alloc_slot();
     b.repeat(1, k, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.out("link");
         r.min_dist(d);
     });
@@ -69,9 +75,12 @@ fn bfs_oracle(graph: &Graph, start: VertexId, k: u32) -> HashSet<VertexId> {
         if d >= k {
             continue;
         }
-        for n in graph.neighbors(v, Direction::Out, link, 1).expect("vertex exists") {
-            if !dist.contains_key(&n) {
-                dist.insert(n, d + 1);
+        for n in graph
+            .neighbors(v, Direction::Out, link, 1)
+            .expect("vertex exists")
+        {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                e.insert(d + 1);
                 reached.insert(n);
                 q.push_back(n);
             }
@@ -169,7 +178,10 @@ fn count_aggregation_consistent_across_topologies() {
         let c = b.alloc_slot();
         let d = b.alloc_slot();
         b.repeat(1, 3, c, |r| {
-            r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+            r.compute(
+                d,
+                Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+            );
             r.out("link");
             r.min_dist(d);
         });
@@ -177,7 +189,9 @@ fn count_aggregation_consistent_across_topologies() {
         b.count();
         let plan = b.compile().expect("compiles");
         let engine = GraphDance::start(graph, EngineConfig::new(nodes, wpn));
-        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(7))]).expect("runs");
+        let rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(7))])
+            .expect("runs");
         match &expected {
             None => expected = Some(rows),
             Some(e) => assert_eq!(&rows, e, "topology {nodes}x{wpn} disagrees"),

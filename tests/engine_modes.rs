@@ -21,7 +21,12 @@ fn random_graph(n: u64, deg: usize, seed: u64) -> Graph {
     let e = b.schema_mut().register_edge_label("e");
     let w = b.schema_mut().register_prop("w");
     for i in 0..n {
-        b.add_vertex(VertexId(i), node, vec![(w, Value::Int(rng.gen_range(0..100)))]).unwrap();
+        b.add_vertex(
+            VertexId(i),
+            node,
+            vec![(w, Value::Int(rng.gen_range(0..100)))],
+        )
+        .unwrap();
     }
     for i in 0..n {
         for _ in 0..deg {
@@ -40,7 +45,10 @@ fn khop_count(g: &Graph) -> Plan {
     let c = b.alloc_slot();
     let d = b.alloc_slot();
     b.repeat(1, 3, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.out("e");
         r.min_dist(d);
     });
@@ -64,7 +72,9 @@ fn answers_invariant_to_engine_configuration() {
     let mut expected: Option<Vec<Vec<Value>>> = None;
     for (i, cfg) in configs.into_iter().enumerate() {
         let engine = GraphDance::start(g.clone(), cfg);
-        let rows = engine.query(&plan, vec![Value::Vertex(VertexId(3))]).unwrap();
+        let rows = engine
+            .query(&plan, vec![Value::Vertex(VertexId(3))])
+            .unwrap();
         match &expected {
             None => expected = Some(rows),
             Some(e) => assert_eq!(&rows, e, "config {i} changed the answer"),
@@ -130,7 +140,9 @@ fn distributed_numeric_aggregates_match_oracle() {
             _ => unreachable!(),
         }
         let plan = b.compile().unwrap();
-        engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap()
+        engine
+            .query(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap()
     };
     assert_eq!(
         run(AggFunc::Count),
@@ -154,15 +166,22 @@ fn deadline_aborts_long_queries() {
     cfg.query_timeout = Duration::from_micros(1);
     let engine = GraphDance::start(g.clone(), cfg);
     let plan = khop_count(&g);
-    let err = engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap_err();
-    assert!(matches!(err, graphdance::common::GdError::QueryTimeout(_)), "{err}");
+    let err = engine
+        .query(&plan, vec![Value::Vertex(VertexId(0))])
+        .unwrap_err();
+    assert!(
+        matches!(err, graphdance::common::GdError::QueryTimeout(_)),
+        "{err}"
+    );
     // The engine stays usable afterwards.
     let mut cfg_ok = QueryBuilder::new(g.schema());
     cfg_ok.v_param(0).out("e").count();
     // (fresh engine with sane timeout for the follow-up check)
     engine.shutdown();
     let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
-    let rows = engine.query(&cfg_ok.compile().unwrap(), vec![Value::Vertex(VertexId(0))]).unwrap();
+    let rows = engine
+        .query(&cfg_ok.compile().unwrap(), vec![Value::Vertex(VertexId(0))])
+        .unwrap();
     assert_eq!(rows.len(), 1);
     engine.shutdown();
 }

@@ -71,8 +71,12 @@ fn build() -> Graph {
     }
     // Tags T0, T1.
     for i in 0..2u64 {
-        b.add_vertex(v(7 << 40, i), vl("Tag"), vec![(pk("name"), Value::str(format!("T{i}")))])
-            .unwrap();
+        b.add_vertex(
+            v(7 << 40, i),
+            vl("Tag"),
+            vec![(pk("name"), Value::str(format!("T{i}")))],
+        )
+        .unwrap();
     }
     // Posts.
     let posts: [(u64, u64, u32, &[u64]); 3] =
@@ -81,23 +85,33 @@ fn build() -> Graph {
         b.add_vertex(
             post(m),
             vl("Post"),
-            vec![(pk("creationDate"), Value::Int(day(d))), (pk("length"), Value::Int(42))],
+            vec![
+                (pk("creationDate"), Value::Int(day(d))),
+                (pk("length"), Value::Int(42)),
+            ],
         )
         .unwrap();
-        b.add_edge(post(m), el("hasCreator"), person(creator), vec![]).unwrap();
+        b.add_edge(post(m), el("hasCreator"), person(creator), vec![])
+            .unwrap();
         for t in tags {
-            b.add_edge(post(m), el("hasTag"), v(7 << 40, *t), vec![]).unwrap();
+            b.add_edge(post(m), el("hasTag"), v(7 << 40, *t), vec![])
+                .unwrap();
         }
     }
     // Comment C0 by P2 on M0.
     b.add_vertex(
         comment(0),
         vl("Comment"),
-        vec![(pk("creationDate"), Value::Int(day(15))), (pk("length"), Value::Int(7))],
+        vec![
+            (pk("creationDate"), Value::Int(day(15))),
+            (pk("length"), Value::Int(7)),
+        ],
     )
     .unwrap();
-    b.add_edge(comment(0), el("hasCreator"), person(2), vec![]).unwrap();
-    b.add_edge(comment(0), el("replyOf"), post(0), vec![]).unwrap();
+    b.add_edge(comment(0), el("hasCreator"), person(2), vec![])
+        .unwrap();
+    b.add_edge(comment(0), el("replyOf"), post(0), vec![])
+        .unwrap();
     // Likes.
     for (p, d) in [(0u64, 12u32), (3, 14)] {
         b.add_edge(
@@ -109,12 +123,32 @@ fn build() -> Graph {
         .unwrap();
     }
     // Companies + countries.
-    b.add_vertex(v(3 << 40, 0), vl("Country"), vec![(pk("name"), Value::str("Germany"))]).unwrap();
-    b.add_vertex(v(3 << 40, 1), vl("Country"), vec![(pk("name"), Value::str("France"))]).unwrap();
+    b.add_vertex(
+        v(3 << 40, 0),
+        vl("Country"),
+        vec![(pk("name"), Value::str("Germany"))],
+    )
+    .unwrap();
+    b.add_vertex(
+        v(3 << 40, 1),
+        vl("Country"),
+        vec![(pk("name"), Value::str("France"))],
+    )
+    .unwrap();
     for (c, country, p, year) in [(0u64, 0u64, 1u64, 2005i64), (1, 1, 2, 2010)] {
-        b.add_vertex(v(6 << 40, c), vl("Company"), vec![(pk("name"), Value::str(format!("C{c}")))])
-            .unwrap();
-        b.add_edge(v(6 << 40, c), el("isLocatedIn"), v(3 << 40, country), vec![]).unwrap();
+        b.add_vertex(
+            v(6 << 40, c),
+            vl("Company"),
+            vec![(pk("name"), Value::str(format!("C{c}")))],
+        )
+        .unwrap();
+        b.add_edge(
+            v(6 << 40, c),
+            el("isLocatedIn"),
+            v(3 << 40, country),
+            vec![],
+        )
+        .unwrap();
         b.add_edge(
             person(p),
             el("workAt"),
@@ -209,7 +243,11 @@ fn ic11_job_referral_by_country() {
     let rows = e
         .query(
             &plan,
-            vec![Value::Vertex(person(0)), Value::str("Germany"), Value::Int(2013)],
+            vec![
+                Value::Vertex(person(0)),
+                Value::str("Germany"),
+                Value::Int(2013),
+            ],
         )
         .unwrap();
     assert_eq!(rows.len(), 1);
@@ -219,7 +257,11 @@ fn ic11_job_referral_by_country() {
     let rows = e
         .query(
             &plan,
-            vec![Value::Vertex(person(0)), Value::str("Germany"), Value::Int(2005)],
+            vec![
+                Value::Vertex(person(0)),
+                Value::str("Germany"),
+                Value::Int(2005),
+            ],
         )
         .unwrap();
     assert!(rows.is_empty());
@@ -232,7 +274,10 @@ fn ic13_handchecked_distances() {
     let plan = ic::ic13(&s).unwrap();
     for (a, b, want) in [(0u64, 3u64, Some(2)), (2, 3, Some(3)), (0, 4, None)] {
         let rows = e
-            .query(&plan, vec![Value::Vertex(person(a)), Value::Vertex(person(b))])
+            .query(
+                &plan,
+                vec![Value::Vertex(person(a)), Value::Vertex(person(b))],
+            )
             .unwrap();
         match want {
             Some(d) => assert_eq!(rows, vec![vec![Value::Int(d)]], "({a},{b})"),
@@ -247,7 +292,9 @@ fn steps_counter_reflects_work() {
     let (e, s) = engine();
     let small = ic::ic8(&s).unwrap(); // point-ish
     let big = ic::ic1(&s).unwrap(); // 3-hop traversal
-    let r_small = e.query_timed(&small, vec![Value::Vertex(person(1))]).unwrap();
+    let r_small = e
+        .query_timed(&small, vec![Value::Vertex(person(1))])
+        .unwrap();
     let r_big = e
         .query_timed(&big, vec![Value::Vertex(person(0)), Value::str("Ada")])
         .unwrap();

@@ -30,12 +30,14 @@ fn tripartite(seed: u64) -> Graph {
     }
     for a in 0..20u64 {
         for _ in 0..rng.gen_range(0..5) {
-            b.add_edge(VertexId(a), ab, VertexId(rng.gen_range(100..130)), vec![]).unwrap();
+            b.add_edge(VertexId(a), ab, VertexId(rng.gen_range(100..130)), vec![])
+                .unwrap();
         }
     }
     for c in 200..220u64 {
         for _ in 0..rng.gen_range(0..5) {
-            b.add_edge(VertexId(c), cb, VertexId(rng.gen_range(100..130)), vec![]).unwrap();
+            b.add_edge(VertexId(c), cb, VertexId(rng.gen_range(100..130)), vec![])
+                .unwrap();
         }
     }
     b.finish()
@@ -104,7 +106,10 @@ fn join_matches_nested_loop_oracle() {
         for split in [0usize, 2] {
             let plan = planner.plan_with_split(&pattern, split).unwrap();
             let rows = engine
-                .query(&plan, vec![Value::Vertex(VertexId(5)), Value::Vertex(VertexId(210))])
+                .query(
+                    &plan,
+                    vec![Value::Vertex(VertexId(5)), Value::Vertex(VertexId(210))],
+                )
                 .unwrap();
             assert_eq!(
                 rows.len(),
@@ -140,8 +145,10 @@ fn snapshot_isolation_under_concurrent_updates() {
         let writer = scope.spawn(move || {
             for round in 0..30u64 {
                 let mut tx = engine.txn().begin();
-                tx.insert_edge(VertexId(0), e, VertexId(1 + round % 7), vec![]).unwrap();
-                tx.insert_edge(VertexId(0), e, VertexId(1 + (round + 1) % 7), vec![]).unwrap();
+                tx.insert_edge(VertexId(0), e, VertexId(1 + round % 7), vec![])
+                    .unwrap();
+                tx.insert_edge(VertexId(0), e, VertexId(1 + (round + 1) % 7), vec![])
+                    .unwrap();
                 tx.commit().unwrap();
             }
         });
@@ -149,7 +156,9 @@ fn snapshot_isolation_under_concurrent_updates() {
             let plan = &plan;
             scope.spawn(move || {
                 for _ in 0..25 {
-                    let rows = engine.query(plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+                    let rows = engine
+                        .query(plan, vec![Value::Vertex(VertexId(0))])
+                        .unwrap();
                     let n = rows[0][0].as_int().unwrap();
                     assert_eq!(n % 2, 0, "snapshot saw a half-applied transaction: {n}");
                 }
@@ -158,7 +167,9 @@ fn snapshot_isolation_under_concurrent_updates() {
         writer.join().unwrap();
     });
     // Final state: all 60 edges visible.
-    let rows = engine.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+    let rows = engine
+        .query(&plan, vec![Value::Vertex(VertexId(0))])
+        .unwrap();
     assert_eq!(rows[0][0], Value::Int(60));
     engine.shutdown();
 }
@@ -190,7 +201,10 @@ fn many_concurrent_queries_terminate_cleanly() {
     let c = qb.alloc_slot();
     let d = qb.alloc_slot();
     qb.repeat(1, 3, c, |r| {
-        r.compute(d, Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))));
+        r.compute(
+            d,
+            Expr::Add(Box::new(Expr::Slot(d)), Box::new(Expr::int(1))),
+        );
         r.out("e");
         r.min_dist(d);
     });
@@ -200,7 +214,11 @@ fn many_concurrent_queries_terminate_cleanly() {
 
     // Sequential reference counts.
     let reference: Vec<_> = (0..16u64)
-        .map(|i| engine.query(&plan, vec![Value::Vertex(VertexId(i * 16))]).unwrap())
+        .map(|i| {
+            engine
+                .query(&plan, vec![Value::Vertex(VertexId(i * 16))])
+                .unwrap()
+        })
         .collect();
     // Fire the same 16 queries 4x concurrently.
     let handles: Vec<_> = (0..64u64)
@@ -208,7 +226,11 @@ fn many_concurrent_queries_terminate_cleanly() {
         .collect();
     for (i, h) in handles.into_iter().enumerate() {
         let r = h.wait().unwrap();
-        assert_eq!(r.rows, reference[i % 16], "query {i} diverged under concurrency");
+        assert_eq!(
+            r.rows,
+            reference[i % 16],
+            "query {i} diverged under concurrency"
+        );
     }
     engine.shutdown();
 }

@@ -63,7 +63,10 @@ fn ic13_matches_bfs_shortest_path_oracle() {
         let mut q = VecDeque::from([start]);
         while let Some(v) = q.pop_front() {
             let d = dist[&v];
-            for n in graph.neighbors(v, Direction::Both, knows, 1).expect("exists") {
+            for n in graph
+                .neighbors(v, Direction::Both, knows, 1)
+                .expect("exists")
+            {
                 dist.entry(n).or_insert_with(|| {
                     q.push_back(n);
                     d + 1
@@ -87,10 +90,16 @@ fn ic13_matches_bfs_shortest_path_oracle() {
                 assert_eq!(rows, vec![vec![Value::Int(d)]], "pair ({a},{b})");
                 checked_reachable += 1;
             }
-            _ => assert!(rows.is_empty(), "pair ({a},{b}): oracle {oracle:?}, got {rows:?}"),
+            _ => assert!(
+                rows.is_empty(),
+                "pair ({a},{b}): oracle {oracle:?}, got {rows:?}"
+            ),
         }
     }
-    assert!(checked_reachable >= 2, "test fixture must include reachable pairs");
+    assert!(
+        checked_reachable >= 2,
+        "test fixture must include reachable pairs"
+    );
     engine.shutdown();
 }
 

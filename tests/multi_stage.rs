@@ -16,7 +16,8 @@ fn chain() -> Graph {
     let e = b.schema_mut().register_edge_label("e");
     let w = b.schema_mut().register_prop("w");
     for i in 0..10u64 {
-        b.add_vertex(VertexId(i), node, vec![(w, Value::Int(i as i64))]).unwrap();
+        b.add_vertex(VertexId(i), node, vec![(w, Value::Int(i as i64))])
+            .unwrap();
     }
     for i in 0..9u64 {
         b.add_edge(VertexId(i), e, VertexId(i + 1), vec![]).unwrap();
@@ -29,11 +30,18 @@ fn expand_stage(g: &Graph, agg: Option<AggSpec>, from_prev: bool) -> Stage {
     Stage {
         pipelines: vec![Pipeline {
             source: if from_prev {
-                SourceSpec::PrevRows { vertex_col: 0, seed: vec![] }
+                SourceSpec::PrevRows {
+                    vertex_col: 0,
+                    seed: vec![],
+                }
             } else {
                 SourceSpec::Param { param: 0 }
             },
-            steps: vec![PlanStep::Expand { dir: Direction::Out, label: e, edge_loads: vec![] }],
+            steps: vec![PlanStep::Expand {
+                dir: Direction::Out,
+                label: e,
+                edge_loads: vec![],
+            }],
         }],
         joins: vec![],
         output: vec![Expr::VertexId],
@@ -55,7 +63,9 @@ fn three_stage_chain_walks_three_hops() {
         num_params: 1,
     };
     let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
-    let rows = engine.query(&plan, vec![Value::Vertex(VertexId(2))]).unwrap();
+    let rows = engine
+        .query(&plan, vec![Value::Vertex(VertexId(2))])
+        .unwrap();
     assert_eq!(rows, vec![vec![Value::Vertex(VertexId(5))]]);
     engine.shutdown();
 }
@@ -70,9 +80,15 @@ fn empty_intermediate_stage_completes_with_no_rows() {
     let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
     // Vertex 9 has no out-edges: stage 1 emits nothing; stage 2 must still
     // terminate promptly and return empty.
-    let r = engine.submit(&plan, vec![Value::Vertex(VertexId(9))]).wait().unwrap();
+    let r = engine
+        .submit(&plan, vec![Value::Vertex(VertexId(9))])
+        .wait()
+        .unwrap();
     assert!(r.rows.is_empty());
-    assert!(r.latency < std::time::Duration::from_secs(5), "no hang on empty stages");
+    assert!(
+        r.latency < std::time::Duration::from_secs(5),
+        "no hang on empty stages"
+    );
     engine.shutdown();
 }
 
@@ -101,6 +117,7 @@ fn agg_stage_feeds_traversal_stage() {
                     k: 2,
                     sort: vec![(Expr::Prop(w), Order::Desc)],
                     output: vec![Expr::VertexId],
+                    distinct: vec![],
                 },
             }),
             num_slots: 1,
@@ -125,28 +142,49 @@ fn agg_to_agg_stages() {
     let stage1 = Stage {
         pipelines: vec![Pipeline {
             source: SourceSpec::Param { param: 0 },
-            steps: vec![PlanStep::Expand { dir: Direction::Out, label: e, edge_loads: vec![] }],
+            steps: vec![PlanStep::Expand {
+                dir: Direction::Out,
+                label: e,
+                edge_loads: vec![],
+            }],
         }],
         joins: vec![],
         output: vec![],
         agg: Some(AggSpec {
-            func: AggFunc::Collect { output: vec![Expr::VertexId], limit: 100 },
+            func: AggFunc::Collect {
+                output: vec![Expr::VertexId],
+                limit: 100,
+            },
         }),
         num_slots: 1,
     };
     let stage2 = Stage {
         pipelines: vec![Pipeline {
-            source: SourceSpec::PrevRows { vertex_col: 0, seed: vec![] },
+            source: SourceSpec::PrevRows {
+                vertex_col: 0,
+                seed: vec![],
+            },
             steps: vec![],
         }],
         joins: vec![],
         output: vec![],
-        agg: Some(AggSpec { func: AggFunc::Count }),
+        agg: Some(AggSpec {
+            func: AggFunc::Count,
+        }),
         num_slots: 1,
     };
-    let plan = Plan { stages: vec![stage1, stage2], num_params: 1 };
+    let plan = Plan {
+        stages: vec![stage1, stage2],
+        num_params: 1,
+    };
     let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
-    let rows = engine.query(&plan, vec![Value::Vertex(VertexId(4))]).unwrap();
-    assert_eq!(rows, vec![vec![Value::Int(1)]], "one out-neighbour, counted in stage 2");
+    let rows = engine
+        .query(&plan, vec![Value::Vertex(VertexId(4))])
+        .unwrap();
+    assert_eq!(
+        rows,
+        vec![vec![Value::Int(1)]],
+        "one out-neighbour, counted in stage 2"
+    );
     engine.shutdown();
 }

@@ -18,7 +18,9 @@ fn arb_value() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("finite floats", |f| f.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite floats", |f| f.is_finite())
+            .prop_map(Value::Float),
         "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Value::str(&s)),
         any::<u64>().prop_map(|v| Value::Vertex(VertexId(v))),
     ];

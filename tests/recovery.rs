@@ -32,14 +32,17 @@ fn recovery_restores_exactly_the_committed_state() {
     // Committed work: vertex 100 plus edge 0 -> 100.
     let mut t1 = txn.begin();
     t1.insert_vertex(VertexId(100), node, vec![]).unwrap();
-    t1.insert_edge(VertexId(0), e, VertexId(100), vec![]).unwrap();
+    t1.insert_edge(VertexId(0), e, VertexId(100), vec![])
+        .unwrap();
     let committed_ts = t1.commit().unwrap();
 
     // "Crash": a transaction allocated a timestamp and applied part of its
     // writes, but the LCT never advanced past it. Simulate by writing
     // directly with a post-LCT timestamp.
-    g.insert_vertex(VertexId(200), node, vec![], committed_ts + 1).unwrap();
-    g.insert_edge(VertexId(1), e, VertexId(200), vec![], committed_ts + 1).unwrap();
+    g.insert_vertex(VertexId(200), node, vec![], committed_ts + 1)
+        .unwrap();
+    g.insert_edge(VertexId(1), e, VertexId(200), vec![], committed_ts + 1)
+        .unwrap();
 
     // Restart: all workers scan and drop versions beyond the LCT.
     recover(&g, txn.manager().lct());
@@ -59,14 +62,21 @@ fn recovery_restores_exactly_the_committed_state() {
     rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
     assert_eq!(
         rows,
-        vec![vec![Value::Vertex(VertexId(1))], vec![Value::Vertex(VertexId(100))]]
+        vec![
+            vec![Value::Vertex(VertexId(1))],
+            vec![Value::Vertex(VertexId(100))]
+        ]
     );
     let rows = engine
         .submit_at(&plan, vec![Value::Vertex(VertexId(1))], committed_ts)
         .wait()
         .unwrap()
         .rows;
-    assert_eq!(rows, vec![vec![Value::Vertex(VertexId(2))]], "uncommitted edge gone");
+    assert_eq!(
+        rows,
+        vec![vec![Value::Vertex(VertexId(2))]],
+        "uncommitted edge gone"
+    );
     engine.shutdown();
 }
 
@@ -79,7 +89,8 @@ fn post_recovery_updates_continue_from_lct() {
     t.insert_edge(VertexId(0), e, VertexId(2), vec![]).unwrap();
     let ts = t.commit().unwrap();
     // Crash with garbage beyond the LCT, then recover.
-    g.insert_edge(VertexId(0), e, VertexId(3), vec![], ts + 5).unwrap();
+    g.insert_edge(VertexId(0), e, VertexId(3), vec![], ts + 5)
+        .unwrap();
     recover(&g, ts);
     // A new transaction system resumes *after* the recovered LCT; its
     // commits must be visible to new snapshots and must not collide with
@@ -88,14 +99,21 @@ fn post_recovery_updates_continue_from_lct() {
     let mut t = txn2.begin();
     t.insert_edge(VertexId(0), e, VertexId(4), vec![]).unwrap();
     let ts2 = t.commit().unwrap();
-    assert!(ts2 > ts, "resumed timestamps continue past the recovered LCT");
+    assert!(
+        ts2 > ts,
+        "resumed timestamps continue past the recovered LCT"
+    );
     let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
     let mut q = QueryBuilder::new(g.schema());
     q.v_param(0).out("e").count();
     let plan = q.compile().unwrap();
     // At end of time: ring edge 0->1, committed 0->2, new 0->4; not 0->3.
     let rows = engine
-        .submit_at(&plan, vec![Value::Vertex(VertexId(0))], graphdance::storage::TS_LIVE - 1)
+        .submit_at(
+            &plan,
+            vec![Value::Vertex(VertexId(0))],
+            graphdance::storage::TS_LIVE - 1,
+        )
         .wait()
         .unwrap()
         .rows;

@@ -1,0 +1,281 @@
+//! Offline shim for the `bytes` crate (see README.md "Offline builds").
+//!
+//! Provides `Bytes`/`BytesMut` and the `Buf`/`BufMut` trait methods the
+//! GraphDance wire codec uses. `Bytes` is a cheaply-cloneable shared
+//! buffer (an `Arc<[u8]>` plus a view range); `BytesMut` is a growable
+//! write buffer that freezes into `Bytes`.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply-cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Bytes remaining in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this buffer (zero copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off and return the first `n` bytes, advancing `self` past them.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{} bytes\"", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+/// A growable write buffer.
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read-side accessors (little-endian variants only, as used by the codec).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+/// Write-side accessors (little-endian variants only, as used by the codec).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+    /// Append raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(7);
+        w.put_u16_le(300);
+        w.put_u32_le(70_000);
+        w.put_u64_le(1 << 40);
+        w.put_i64_le(-5);
+        w.put_f64_le(2.5);
+        w.put_slice(b"hi");
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(&*r.split_to(2), b"hi");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&*s, &[1, 2, 3]);
+        assert_eq!(&*b.slice(..2), &[0, 1]);
+        let mut m = s.clone();
+        let head = m.split_to(2);
+        assert_eq!(&*head, &[1, 2]);
+        assert_eq!(&*m, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline shim for `criterion` (see README.md "Offline builds").
+//!
+//! A minimal wall-clock bench harness exposing the API
+//! `crates/bench/benches/micro.rs` uses: `Criterion::bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros (including the `name/config/targets` form).
+//! It reports mean ns/iter to stdout; no statistics, plots, or HTML.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bench harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up and iteration-count calibration.
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            f(&mut b);
+            let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+            if per_iter > 0.0 {
+                let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                b.iters = ((budget / per_iter).clamp(1.0, 1e9)) as u64;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!("{name:<40} {ns:>12.1} ns/iter  ({iters} iters)");
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the closure `iters` times and record the wall-clock time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group (both the plain and `name/config/targets`
+/// forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut count = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline shim for the `crossbeam` crate (see README.md "Offline builds").
+//!
+//! GraphDance only uses `crossbeam::channel`; this shim implements the
+//! same MPMC semantics (cloneable senders *and* receivers, disconnect on
+//! last drop, blocking/timeout/non-blocking receives) over a
+//! `Mutex<VecDeque>` + two `Condvar`s. Throughput is lower than real
+//! crossbeam's lock-free queues, which is acceptable for the simulated
+//! cluster — the network cost model dominates.
+
+pub mod channel;

@@ -1,0 +1,489 @@
+//! Offline shim for `proptest` (see README.md "Offline builds").
+//!
+//! Reimplements the slice of proptest GraphDance's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, `any`, `Just`, ranges and tuples as strategies,
+//! `collection::vec`, simple `[class]{min,max}` string patterns,
+//! `prop_oneof!`, and the `proptest!` test macro (including
+//! `#![proptest_config(..)]`).
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failing case reports the generated inputs via the
+//!   panic message only;
+//! - generation is seeded deterministically per test function, so runs
+//!   are reproducible (append `GD_PROPTEST_SEED` handling here if fuzzing
+//!   variety is ever needed);
+//! - `prop_assert!` family is plain `assert!` (panics instead of
+//!   returning `TestCaseError`).
+
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving generation.
+pub type TestRng = SmallRng;
+
+/// Build the deterministic RNG for one property function.
+pub fn new_rng(stream: u64) -> TestRng {
+    SmallRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ stream)
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns true (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Recursive strategies: `f` wraps the strategy-so-far into a branch
+    /// (e.g. a list of inner values); applied `depth` times, with the
+    /// leaf kept in the union at every level.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> RcStrategy<Self::Value>
+    where
+        Self: Sized,
+        S: Strategy<Value = Self::Value>,
+        F: Fn(RcStrategy<Self::Value>) -> S + 'static,
+    {
+        let mut cur = RcStrategy::new(self);
+        for _ in 0..depth {
+            let branch = RcStrategy::new(f(cur.clone()));
+            // Two leaf shares to one branch share keeps expected size finite.
+            cur = RcStrategy::new(Union::weighted(vec![(2, cur.clone()), (1, branch)]));
+        }
+        cur
+    }
+}
+
+/// A reference-counted boxed strategy (cheap to clone).
+pub struct RcStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> RcStrategy<T> {
+    /// Box a strategy.
+    pub fn new(s: impl Strategy<Value = T>) -> Self {
+        RcStrategy(Rc::new(s))
+    }
+}
+
+impl<T> Clone for RcStrategy<T> {
+    fn clone(&self) -> Self {
+        RcStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for RcStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + 'static,
+    U: 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Uniform (or weighted) choice between strategies of one value type.
+pub struct Union<T> {
+    arms: Vec<(u32, RcStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice.
+    pub fn new(arms: Vec<RcStrategy<T>>) -> Self {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Weighted choice.
+    pub fn weighted(arms: Vec<(u32, RcStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "empty union");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        Union { arms, total }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Types with a canonical "arbitrary" strategy (see [`any`]).
+pub trait Arbitrary: Sized + 'static {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // All bit patterns — includes infinities and NaN, like proptest's
+        // full f64 domain; tests filter what they can't handle.
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+/// Strategy for an arbitrary value of `A`.
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A` (`any::<u64>()` etc.).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident . $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// `&'static str` patterns of the form `[class]{min,max}` generate
+/// matching strings. Classes support literal chars and `a-z` ranges.
+/// Anything fancier panics — extend this parser if a test needs more.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let (min, max) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            for c in cs[i]..=cs[i + 2] {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() || min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A `Vec` of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The proptest test macro: runs each property over `cases` generated
+/// inputs. Supports the optional `#![proptest_config(expr)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                // Seed per function name so properties draw distinct streams.
+                let __stream = stringify!($name)
+                    .bytes()
+                    .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+                let mut __rng = $crate::new_rng(__stream);
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` in this shim.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!` in this shim.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!` in this shim.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Choose uniformly between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::RcStrategy::new($s)),+])
+    };
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, RcStrategy, Strategy,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_parses() {
+        let (chars, min, max) = super::parse_class_pattern("[a-c9 ]{0,12}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '9', ' ']);
+        assert_eq!((min, max), (0, 12));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Ranges honour bounds.
+        #[test]
+        fn ranges_in_bounds(v in 3u64..17, w in 0usize..=4) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!(w <= 4);
+        }
+
+        /// Combinators compose.
+        #[test]
+        fn map_filter_vec(
+            xs in prop::collection::vec(any::<i64>().prop_filter("even", |x| x % 2 == 0), 0..8),
+            s in "[a-z]{1,4}",
+        ) {
+            prop_assert!(xs.iter().all(|x| x % 2 == 0));
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        /// One-of unions pick every arm eventually (statistically).
+        #[test]
+        fn oneof_generates(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+    }
+
+    proptest! {
+        /// Recursive strategies terminate and nest.
+        #[test]
+        fn recursive_terminates(
+            v in Just(0u32).prop_recursive(2, 8, 4, |inner| {
+                prop::collection::vec(inner, 0..3).prop_map(|xs| xs.len() as u32 + 1)
+            })
+        ) {
+            prop_assert!(v <= 3);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde` (see README.md "Offline builds").
+//!
+//! GraphDance derives `Serialize`/`Deserialize` on its core data types
+//! for downstream embedders but never serializes through serde itself —
+//! the wire codec is hand-rolled (`graphdance_engine::codec`). This shim
+//! keeps the derives compiling offline: the traits are markers with a
+//! blanket impl and the derive macros (from `serde_derive_stub`) expand
+//! to nothing. If a future PR needs real serde serialization, replace
+//! this vendor crate with the real one.
+
+pub use serde_derive_stub::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

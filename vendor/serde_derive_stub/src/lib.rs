@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` shim. The marker
+//! traits have blanket impls, so the derives legitimately expand to
+//! nothing; `attributes(serde)` keeps any future `#[serde(...)]` field
+//! attributes parseable.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
