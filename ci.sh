@@ -20,6 +20,20 @@ cargo xtask check
 echo "==> cargo test --workspace (debug: runtime invariant checkers active)"
 cargo test -q --workspace
 
+echo "==> cargo test --features obs (instrumented build: tracing + metrics)"
+cargo test -q --features obs
+cargo test -q -p graphdance-engine --features obs
+
+echo "==> obs-off bench bins still build (--no-default-features)"
+cargo check -q -p graphdance-bench --no-default-features
+
+echo "==> shared_state_khop x20 (progress/rows ordering regression)"
+cargo test -q -p graphdance-baselines shared_state_khop >/dev/null
+for i in $(seq 1 20); do
+    cargo test -q -p graphdance-baselines shared_state_khop >/dev/null 2>&1 \
+        || { echo "shared_state_khop failed on iteration $i"; exit 1; }
+done
+
 if [ "${CI_ONLINE:-0}" = "1" ]; then
     echo "==> cargo update --dry-run (registry reachability smoke test)"
     cargo update --dry-run

@@ -176,9 +176,10 @@ impl BspWorker {
                     consumed_count: 0,
                 });
             }
-            Err(e) => self
-                .outbox
-                .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+            Err(e) => {
+                self.outbox
+                    .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
+            }
         }
     }
 

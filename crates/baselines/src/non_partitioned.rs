@@ -71,10 +71,18 @@ struct SharedWorker {
     outbox: Outbox,
     shared: Arc<NodeShared>,
     /// The node's designated worker handles once-per-node duties
-    /// (aggregation gathers, stage resets, progress flushing).
+    /// (aggregation gathers, stage resets).
     designated: bool,
     rng: SmallRng,
     weight_coalescing: bool,
+    /// Finished weight this worker has consumed but not yet reported,
+    /// per query. Kept per-worker (NOT in the node-shared memo) so the
+    /// progress report travels through the *same* outbox FIFO as the rows
+    /// this worker emitted: a node-shared accumulator drained by another
+    /// thread lets progress overtake rows still buffered in this worker's
+    /// outbox, and the coordinator then completes the query before the
+    /// rows arrive.
+    finished: FxHashMap<QueryId, Weight>,
     batch: usize,
 }
 
@@ -153,9 +161,10 @@ impl SharedWorker {
                 };
                 match out {
                     Ok(out) => self.route(query, out),
-                    Err(e) => self
-                        .outbox
-                        .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+                    Err(e) => {
+                        self.outbox
+                            .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
+                    }
                 }
             }
             WorkerMsg::GatherAgg { query } => {
@@ -176,6 +185,7 @@ impl SharedWorker {
             WorkerMsg::QueryEnd { query } => {
                 self.shared.dead.lock().insert(query);
                 self.shared.queries.write().remove(&query);
+                self.finished.remove(&query);
                 if self.designated {
                     self.shared.memo.lock().clear_query(query);
                     self.shared.queue.lock().retain(|t| t.query != query);
@@ -204,9 +214,10 @@ impl SharedWorker {
         };
         match out {
             Ok(out) => self.route(query, out),
-            Err(e) => self
-                .outbox
-                .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+            Err(e) => {
+                self.outbox
+                    .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
+            }
         }
     }
 
@@ -225,12 +236,10 @@ impl SharedWorker {
         }
         if out.finished != Weight::ZERO {
             if self.weight_coalescing {
-                self.shared
-                    .memo
-                    .lock()
-                    .query_mut(query)
-                    .finished
-                    .add(out.finished);
+                self.finished
+                    .entry(query)
+                    .or_insert(Weight::ZERO)
+                    .absorb(out.finished);
             } else {
                 self.outbox
                     .send_progress(query, out.finished, out.steps_executed as u64);
@@ -239,15 +248,11 @@ impl SharedWorker {
     }
 
     fn flush_progress(&mut self) {
-        if !self.weight_coalescing || !self.designated {
+        if !self.weight_coalescing {
             return;
         }
-        let queries: Vec<QueryId> = self.shared.queries.read().keys().copied().collect();
-        let mut memo = self.shared.memo.lock();
-        for q in queries {
-            if let Some(w) = memo.query_mut(q).finished.drain() {
-                self.outbox.send_progress(q, w, 0);
-            }
+        for (q, w) in self.finished.drain() {
+            self.outbox.send_progress(q, w, 0);
         }
     }
 }
@@ -291,6 +296,7 @@ impl NonPartitionedEngine {
                 designated: id.0.is_multiple_of(config.workers_per_node),
                 rng: graphdance_common::rng::derive(config.seed, 0x2000 + i as u64),
                 weight_coalescing: config.weight_coalescing,
+                finished: FxHashMap::default(),
                 batch: config.worker_batch,
             };
             threads.push(

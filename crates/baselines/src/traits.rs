@@ -23,6 +23,28 @@ pub trait QueryEngine: Send + Sync {
         NetStatsSnapshot::default()
     }
 
+    /// Execute a query and return the reassembled per-stage trace, when
+    /// the engine supports span tracing (only GraphDance does; baselines
+    /// fall back to an untraced run).
+    #[cfg(feature = "obs")]
+    fn query_traced(
+        &self,
+        plan: &Plan,
+        params: Vec<Value>,
+    ) -> GdResult<(
+        QueryResult,
+        Option<graphdance_engine::graphdance_obs::QueryTrace>,
+    )> {
+        Ok((self.query_timed(plan, params)?, None))
+    }
+
+    /// Prometheus text exposition of the engine's metrics registry, when
+    /// the engine is instrumented.
+    #[cfg(feature = "obs")]
+    fn metrics_prometheus(&self) -> Option<String> {
+        None
+    }
+
     /// Stop all engine threads.
     fn stop(self: Box<Self>);
 }
@@ -38,6 +60,23 @@ impl QueryEngine for GraphDance {
 
     fn net_stats(&self) -> NetStatsSnapshot {
         GraphDance::net_stats(self)
+    }
+
+    #[cfg(feature = "obs")]
+    fn query_traced(
+        &self,
+        plan: &Plan,
+        params: Vec<Value>,
+    ) -> GdResult<(
+        QueryResult,
+        Option<graphdance_engine::graphdance_obs::QueryTrace>,
+    )> {
+        GraphDance::query_traced(self, plan, params)
+    }
+
+    #[cfg(feature = "obs")]
+    fn metrics_prometheus(&self) -> Option<String> {
+        Some(self.metrics().to_prometheus())
     }
 
     fn stop(self: Box<Self>) {

@@ -52,6 +52,13 @@ fn bench_dataset(name: &str, data: &SnbDataset, quick: bool) {
     let plans = build_ic_plans(&schema).expect("IC plans");
 
     for (qi, plan) in plans.iter().enumerate() {
+        if trace_mode() {
+            // One traced run per IC query on GraphDance (engines[0]):
+            // per-stage timeline + MsgLedger reconciliation.
+            let mut rng = graphdance_common::rng::seeded(177 + qi as u64);
+            let params = ic_params(qi, data, &mut rng);
+            print_trace(engines[0].1.as_ref(), IC_NAMES[qi], plan, params);
+        }
         let mut lat = Vec::new();
         let mut tps = Vec::new();
         for (_, engine) in &engines {
@@ -77,6 +84,9 @@ fn bench_dataset(name: &str, data: &SnbDataset, quick: bool) {
             tps[1],
             tps[2]
         );
+    }
+    if metrics_mode() {
+        print_metrics(engines[0].1.as_ref());
     }
     for (_, e) in engines {
         e.stop();

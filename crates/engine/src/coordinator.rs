@@ -60,6 +60,9 @@ pub struct Coordinator {
     rng: SmallRng,
     timeout: Duration,
     watchdog_stall: Duration,
+    /// Stage-transition instrumentation (span sink + seeding spans).
+    #[cfg(feature = "obs")]
+    obs: crate::obs::CoordObs,
 }
 
 impl Coordinator {
@@ -81,6 +84,8 @@ impl Coordinator {
             rng: graphdance_common::rng::derive(config.seed, u64::MAX),
             timeout: config.query_timeout,
             watchdog_stall: config.watchdog_stall,
+            #[cfg(feature = "obs")]
+            obs: crate::obs::CoordObs::new(fabric),
         }
     }
 
@@ -201,13 +206,15 @@ impl Coordinator {
         // Register the query at every worker before any traverser can reach
         // them (workers also stash early arrivals defensively).
         for w in 0..self.fabric.partitioner().num_parts() {
-            self.outbox.send_ctrl_worker(
+            let _sz = self.outbox.send_ctrl_worker(
                 WorkerId(w),
                 WorkerMsg::QueryBegin {
                     ctx: Arc::clone(&ctx),
                     stage: 0,
                 },
             );
+            #[cfg(feature = "obs")]
+            self.obs.ctrl_sent(query, 0, _sz as u64);
         }
         self.start_stage(query);
     }
@@ -223,6 +230,8 @@ impl Coordinator {
         state.gathering = false;
         state.partials.clear();
         self.tracker.begin_stage(query);
+        #[cfg(feature = "obs")]
+        self.obs.stage_begin(query, stage_idx as u16);
 
         let stage = &ctx.plan.stages[stage_idx];
         let parts: Vec<PartId> = self.fabric.partitioner().parts().collect();
@@ -234,7 +243,7 @@ impl Coordinator {
                     match ctx.params.get(*param).and_then(Value::as_vertex) {
                         Some(v) => {
                             let owner = self.fabric.partitioner().worker_of(v);
-                            self.outbox.send_ctrl_worker(
+                            let _sz = self.outbox.send_ctrl_worker(
                                 owner,
                                 WorkerMsg::StartSource {
                                     query,
@@ -242,6 +251,8 @@ impl Coordinator {
                                     weight: pw,
                                 },
                             );
+                            #[cfg(feature = "obs")]
+                            self.obs.ctrl_sent(query, stage_idx as u16, _sz as u64);
                         }
                         None => {
                             self.finish(
@@ -257,7 +268,7 @@ impl Coordinator {
                 SourceSpec::IndexLookup { .. } | SourceSpec::ScanLabel { .. } => {
                     let shares = pw.split(parts.len(), &mut self.rng);
                     for (p, w) in parts.iter().zip(shares) {
-                        self.outbox.send_ctrl_worker(
+                        let _sz = self.outbox.send_ctrl_worker(
                             self.fabric.partitioner().worker_of_part(*p),
                             WorkerMsg::StartSource {
                                 query,
@@ -265,6 +276,8 @@ impl Coordinator {
                                 weight: w,
                             },
                         );
+                        #[cfg(feature = "obs")]
+                        self.obs.ctrl_sent(query, stage_idx as u16, _sz as u64);
                     }
                 }
                 SourceSpec::PrevRows { .. } => {
@@ -279,10 +292,15 @@ impl Coordinator {
                     match interp.seed_prev_rows(pi as u16, &prev_rows, pw, &mut self.rng) {
                         Ok(out) => {
                             for (dest, t) in out.spawned {
-                                self.outbox.send_traverser(
-                                    self.fabric.partitioner().worker_of_part(dest),
-                                    t,
+                                let w = self.fabric.partitioner().worker_of_part(dest);
+                                #[cfg(feature = "obs")]
+                                self.obs.seed_sent(
+                                    query,
+                                    stage_idx as u16,
+                                    w.0,
+                                    t.approx_bytes() as u64,
                                 );
+                                self.outbox.send_traverser(w, t);
                             }
                             immediate.absorb(out.finished);
                         }
@@ -308,10 +326,15 @@ impl Coordinator {
         };
         let stage = &state.ctx.plan.stages[state.stage as usize];
         if stage.agg.is_some() {
+            #[cfg(feature = "obs")]
+            let stage_no = state.stage;
             state.gathering = true;
             for w in 0..self.fabric.partitioner().num_parts() {
-                self.outbox
+                let _sz = self
+                    .outbox
                     .send_ctrl_worker(WorkerId(w), WorkerMsg::GatherAgg { query });
+                #[cfg(feature = "obs")]
+                self.obs.ctrl_sent(query, stage_no, _sz as u64);
             }
         } else {
             let rows = std::mem::take(&mut state.rows);
@@ -372,6 +395,8 @@ impl Coordinator {
             return;
         };
         let last = state.stage as usize + 1 >= state.ctx.plan.stages.len();
+        #[cfg(feature = "obs")]
+        self.obs.stage_end(query, state.stage);
         if last {
             let latency = state.submitted_at.elapsed();
             let steps_executed = state.steps_executed;
@@ -390,8 +415,11 @@ impl Coordinator {
             state.rows.clear();
             let next = state.stage;
             for w in 0..self.fabric.partitioner().num_parts() {
-                self.outbox
+                let _sz = self
+                    .outbox
                     .send_ctrl_worker(WorkerId(w), WorkerMsg::StageBegin { query, stage: next });
+                #[cfg(feature = "obs")]
+                self.obs.ctrl_sent(query, next, _sz as u64);
             }
             self.start_stage(query);
         }
@@ -409,6 +437,19 @@ impl Coordinator {
             },
             err => err,
         };
+        // Capture ledger counts before `forget` wipes them; workers seal the
+        // trace when their QueryEnd (broadcast below) arrives.
+        #[cfg(feature = "obs")]
+        {
+            if let Some(state) = self.queries.get(&query) {
+                let counts = self.fabric.invariants().counts(query);
+                let total_ns = state.submitted_at.elapsed().as_nanos() as u64;
+                self.obs
+                    .query_done(query, total_ns, counts.sent, counts.delivered);
+            } else {
+                self.obs.forget(query);
+            }
+        }
         if let Some(state) = self.queries.remove(&query) {
             let _ = state.reply.send(result);
         }
@@ -459,6 +500,8 @@ impl Coordinator {
             }
             self.tracker.finish_query(q);
             self.fabric.invariants().forget(q);
+            #[cfg(feature = "obs")]
+            self.obs.forget(q);
         }
     }
 }

@@ -232,6 +232,47 @@ impl GraphDance {
         self.fabric.stats().snapshot()
     }
 
+    /// Merged point-in-time snapshot of every engine metric, including the
+    /// storage layer's TEL scan-length distribution. Export with
+    /// [`graphdance_obs::MetricsSnapshot::to_json`] or
+    /// [`graphdance_obs::MetricsSnapshot::to_prometheus`].
+    #[cfg(feature = "obs")]
+    pub fn metrics(&self) -> graphdance_obs::MetricsSnapshot {
+        use graphdance_obs::{Metric, MetricKind, MetricValue};
+        let mut snap = self.fabric.obs().registry().snapshot();
+        snap.metrics.push(Metric {
+            name: "storage.tel_scan_len".into(),
+            kind: MetricKind::Histogram,
+            value: MetricValue::Hist(self.graph.tel_scan_hist()),
+        });
+        snap
+    }
+
+    /// Submit, wait, and return the result together with the reassembled
+    /// per-stage [`graphdance_obs::QueryTrace`]. The trace is `None` only
+    /// if reassembly does not complete within a short grace period (all
+    /// participants seal right at query end, so in practice it is ready by
+    /// the time the result reply arrives, or within microseconds after).
+    #[cfg(feature = "obs")]
+    pub fn query_traced(
+        &self,
+        plan: &Plan,
+        params: Vec<Value>,
+    ) -> GdResult<(QueryResult, Option<graphdance_obs::QueryTrace>)> {
+        let result = self.submit(plan, params).wait()?;
+        let sink = self.fabric.obs().sink();
+        let deadline = now() + Duration::from_secs(2);
+        loop {
+            if let Some(trace) = sink.take(result.query.0) {
+                return Ok((result, Some(trace)));
+            }
+            if now() >= deadline {
+                return Ok((result, None));
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
     /// Stop all threads. In-flight queries fail with `EngineClosed`.
     pub fn shutdown(mut self) {
         self.lct_stop
@@ -518,6 +559,48 @@ mod tests {
             .unwrap()
             .rows;
         assert_eq!(rows, vec![vec![Value::Vertex(VertexId(1))]]);
+        engine.shutdown();
+    }
+
+    /// Acceptance: `--trace`-style tracing on a k-hop query emits a
+    /// `QueryTrace` whose traverser-lane totals reconcile with the
+    /// `MsgLedger` conservation counters, and the metrics snapshot covers
+    /// worker + storage instrumentation.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn trace_and_metrics_cover_khop() {
+        use crate::invariants::MsgLedger;
+        let g = ring(32, Partitioner::new(2, 2));
+        let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
+        let plan = khop_plan(&g, 3);
+        let (r, trace) = engine
+            .query_traced(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
+        assert_eq!(r.rows.len(), 3, "3-hop from 0 reaches 1..=3");
+        let t = trace.expect("trace reassembled");
+        assert_eq!(t.query, r.query.0);
+        assert!(!t.stages.is_empty(), "at least one stage traced");
+        assert!(
+            t.stages.iter().map(|s| s.executed()).sum::<u64>() > 0,
+            "traverser executions recorded"
+        );
+        if MsgLedger::ENABLED {
+            assert_eq!(
+                t.traverser_msgs(),
+                t.ledger_sent,
+                "trace traverser-lane totals reconcile with the ledger:\n{}",
+                t.pretty()
+            );
+            assert_eq!(t.ledger_sent, t.ledger_delivered, "conservation");
+        }
+        let m = engine.metrics();
+        assert!(m.scalar("worker.executed") > 0, "worker metrics flowed");
+        assert!(m.scalar("net.control_msgs") > 0, "net metrics flowed");
+        let scan = m.hist("storage.tel_scan_len").expect("tel histogram");
+        assert!(scan.count() > 0, "TEL scans recorded");
+        let prom = m.to_prometheus();
+        assert!(prom.contains("worker_executed"), "{prom}");
+        assert!(prom.contains("storage_tel_scan_len"), "{prom}");
         engine.shutdown();
     }
 

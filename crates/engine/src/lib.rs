@@ -35,6 +35,7 @@ pub mod engine;
 pub mod invariants;
 pub mod messages;
 pub mod net;
+pub mod obs;
 pub mod progress;
 pub mod worker;
 
@@ -42,3 +43,12 @@ pub use config::{EngineConfig, FaultInjection, IoMode, NetConfig};
 pub use engine::{GraphDance, QueryHandle, QueryResult};
 pub use invariants::{MsgCounts, MsgLedger};
 pub use net::{Fabric, MsgClass, NetStats, NetStatsSnapshot};
+
+#[cfg(feature = "obs")]
+pub use obs::{CoordObs, EngineObs, NetShard, WorkerObs};
+
+/// Re-export of the observability crate (types appearing in the public
+/// API: `GraphDance::metrics`, `GraphDance::query_traced`), so dependents
+/// don't need their own `graphdance-obs` dependency.
+#[cfg(feature = "obs")]
+pub use graphdance_obs;

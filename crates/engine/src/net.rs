@@ -50,15 +50,24 @@ pub enum MsgClass {
 }
 
 /// Shared network counters.
+///
+/// Without the `obs` feature these are plain atomics. With it, the same
+/// figures live as named metrics in the obs registry (written through
+/// single-writer shards) and this type is a thin adapter, so the
+/// [`NetStats::snapshot`] / [`NetStatsSnapshot::since`] API the bench bins
+/// rely on keeps working unchanged.
+#[cfg(not(feature = "obs"))]
 #[derive(Debug, Default)]
 pub struct NetStats {
-    msgs: [AtomicU64; 4],
-    bytes: [AtomicU64; 4],
-    wire_packets: AtomicU64,
-    wire_bytes: AtomicU64,
-    same_node_msgs: AtomicU64,
+    // Fallback counters when the obs registry is compiled out.
+    msgs: [AtomicU64; 4], // lint: allow(adhoc-counter) obs-off fallback for NetStats
+    bytes: [AtomicU64; 4], // lint: allow(adhoc-counter) obs-off fallback for NetStats
+    wire_packets: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
+    wire_bytes: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
+    same_node_msgs: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
 }
 
+#[cfg(not(feature = "obs"))]
 impl NetStats {
     fn count(&self, class: MsgClass, bytes: usize) {
         self.msgs[class as usize].fetch_add(1, Ordering::Relaxed);
@@ -79,6 +88,38 @@ impl NetStats {
             wire_packets: self.wire_packets.load(Ordering::Relaxed),
             wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
             same_node_msgs: self.same_node_msgs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared network counters — obs-backed adapter (see the obs-off docs).
+#[cfg(feature = "obs")]
+#[derive(Debug)]
+pub struct NetStats {
+    obs: Arc<crate::obs::EngineObs>,
+}
+
+#[cfg(feature = "obs")]
+impl NetStats {
+    pub(crate) fn new(obs: Arc<crate::obs::EngineObs>) -> Self {
+        NetStats { obs }
+    }
+
+    /// Take a snapshot of the counters (merged across all shards).
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        let s = self.obs.registry().snapshot();
+        NetStatsSnapshot {
+            traverser_msgs: s.scalar("net.traverser_msgs"),
+            progress_msgs: s.scalar("net.progress_msgs"),
+            rows_msgs: s.scalar("net.rows_msgs"),
+            control_msgs: s.scalar("net.control_msgs"),
+            traverser_bytes: s.scalar("net.traverser_bytes"),
+            progress_bytes: s.scalar("net.progress_bytes"),
+            rows_bytes: s.scalar("net.rows_bytes"),
+            control_bytes: s.scalar("net.control_bytes"),
+            wire_packets: s.scalar("net.wire_packets"),
+            wire_bytes: s.scalar("net.wire_bytes"),
+            same_node_msgs: s.scalar("net.same_node_msgs"),
         }
     }
 }
@@ -189,7 +230,11 @@ pub struct Fabric {
     invariants: Arc<MsgLedger>,
     fault: FaultInjection,
     /// Remote traverser batches seen at ingress (drives `drop_batch_nth`).
-    ingress_batches: AtomicU64,
+    /// Fault-injection bookkeeping, not a metric.
+    ingress_batches: AtomicU64, // lint: allow(adhoc-counter) fault-injection sequencing, not a metric
+    /// Cluster-wide observability state (registry + trace sink).
+    #[cfg(feature = "obs")]
+    obs: Arc<crate::obs::EngineObs>,
 }
 
 impl Fabric {
@@ -201,6 +246,11 @@ impl Fabric {
         coord_tx: Sender<CoordMsg>,
     ) -> (Arc<Fabric>, Vec<std::thread::JoinHandle<()>>) {
         let partitioner = Partitioner::new(config.nodes, config.workers_per_node);
+        #[cfg(feature = "obs")]
+        let obs = Arc::new(crate::obs::EngineObs::new(partitioner.num_parts()));
+        #[cfg(feature = "obs")]
+        let stats = Arc::new(NetStats::new(Arc::clone(&obs)));
+        #[cfg(not(feature = "obs"))]
         let stats = Arc::new(NetStats::default());
         let mut egress_tx = Vec::new();
         let mut egress_rx = Vec::new();
@@ -225,7 +275,9 @@ impl Fabric {
             stats,
             invariants: Arc::new(MsgLedger::new()),
             fault: config.fault,
-            ingress_batches: AtomicU64::new(0),
+            ingress_batches: AtomicU64::new(0), // lint: allow(adhoc-counter) fault-injection sequencing, not a metric
+            #[cfg(feature = "obs")]
+            obs,
         });
         let mut handles = Vec::new();
         for (node, rx) in egress_rx.into_iter().enumerate() {
@@ -267,10 +319,18 @@ impl Fabric {
         &self.invariants
     }
 
+    /// The cluster's observability state (metrics registry + trace sink).
+    #[cfg(feature = "obs")]
+    pub fn obs(&self) -> &Arc<crate::obs::EngineObs> {
+        &self.obs
+    }
+
     /// Create an outbox for a thread running on `src_node`.
     pub fn outbox(self: &Arc<Self>, src_node: NodeId) -> Outbox {
         let n = self.partitioner.nodes() as usize;
         Outbox {
+            #[cfg(feature = "obs")]
+            obs: self.obs.net_shard(),
             fabric: Arc::clone(self),
             src_node,
             bufs: (0..n).map(|_| OutBuf::default()).collect(),
@@ -335,9 +395,10 @@ impl Fabric {
         }
     }
 
-    /// Deliver a batch of local traversers without serialization.
+    /// Deliver a batch of local traversers without serialization. The
+    /// sending outbox counts the same-node shortcut (see
+    /// [`Outbox::flush_node`]).
     fn deliver_local_batch(&self, dest: WorkerId, batch: Vec<Traverser>) {
-        self.stats.same_node_msgs.fetch_add(1, Ordering::Relaxed);
         self.record_delivered(&batch);
         let _ = self.worker_tx[dest.as_usize()].send(WorkerMsg::Batch(batch));
     }
@@ -355,6 +416,8 @@ impl Fabric {
 }
 
 fn egress_loop(fabric: Arc<Fabric>, rx: Receiver<EgressEvent>, ingress: Vec<Sender<IngressEvent>>) {
+    #[cfg(feature = "obs")]
+    let obs = fabric.obs.net_shard();
     let mut stop = false;
     while !stop {
         let first = match rx.recv() {
@@ -395,11 +458,16 @@ fn egress_loop(fabric: Arc<Fabric>, rx: Receiver<EgressEvent>, ingress: Vec<Send
         for (dest_node, msgs, bytes) in groups {
             let wire = bytes + 64; // packet header
             charge(fabric.net_cfg.send_cost(wire));
-            fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
-            fabric
-                .stats
-                .wire_bytes
-                .fetch_add(wire as u64, Ordering::Relaxed);
+            #[cfg(feature = "obs")]
+            obs.wire_packet(wire);
+            #[cfg(not(feature = "obs"))]
+            {
+                fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
+                fabric
+                    .stats
+                    .wire_bytes
+                    .fetch_add(wire as u64, Ordering::Relaxed);
+            }
             let deliver_at = now() + fabric.net_cfg.propagation_delay;
             let _ = ingress[dest_node.as_usize()].send(IngressEvent::Packet { deliver_at, msgs });
         }
@@ -462,6 +530,9 @@ pub struct Outbox {
     fabric: Arc<Fabric>,
     src_node: NodeId,
     bufs: Vec<OutBuf>,
+    /// This sender's single-writer metrics shard.
+    #[cfg(feature = "obs")]
+    obs: crate::obs::NetShard,
 }
 
 impl Outbox {
@@ -470,11 +541,35 @@ impl Outbox {
         self.fabric.partitioner()
     }
 
+    /// Count one logical message of `class` (shard under obs, atomics
+    /// otherwise).
+    #[inline]
+    fn count(&self, class: MsgClass, bytes: usize) {
+        #[cfg(feature = "obs")]
+        self.obs.count(class as usize, bytes);
+        #[cfg(not(feature = "obs"))]
+        self.fabric.stats.count(class, bytes);
+    }
+
+    /// Count one message delivered via the same-node shortcut.
+    #[inline]
+    fn note_same_node(&self) {
+        #[cfg(feature = "obs")]
+        self.obs.same_node();
+        #[cfg(not(feature = "obs"))]
+        self.fabric
+            .stats
+            .same_node_msgs
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     fn maybe_flush(&mut self, node: usize) {
         match self.fabric.io_mode {
             IoMode::Sync => self.flush_node(NodeId(node as u32)),
             IoMode::ThreadCombining | IoMode::TwoTier => {
                 if self.bufs[node].bytes >= self.fabric.flush_threshold {
+                    #[cfg(feature = "obs")]
+                    self.obs.flush_threshold();
                     self.flush_node(NodeId(node as u32));
                 }
             }
@@ -486,7 +581,7 @@ impl Outbox {
     pub fn send_traverser(&mut self, dest: WorkerId, t: Traverser) {
         let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
         let approx = t.approx_bytes();
-        self.fabric.stats.count(MsgClass::Traverser, approx);
+        self.count(MsgClass::Traverser, approx);
         self.fabric.invariants.record_sent(t.query, 1);
         let buf = &mut self.bufs[node];
         buf.traversers.push((dest, t));
@@ -496,7 +591,7 @@ impl Outbox {
 
     /// Queue a progress report for the coordinator (node 0).
     pub fn send_progress(&mut self, query: QueryId, weight: Weight, steps: u64) {
-        self.fabric.stats.count(MsgClass::Progress, 32);
+        self.count(MsgClass::Progress, 32);
         let buf = &mut self.bufs[0];
         buf.msgs.push(WireMsg::Progress {
             query,
@@ -507,8 +602,9 @@ impl Outbox {
         self.maybe_flush(0);
     }
 
-    /// Queue result rows for the coordinator (node 0).
-    pub fn send_rows(&mut self, query: QueryId, rows: Vec<Row>) {
+    /// Queue result rows for the coordinator (node 0). Returns the
+    /// approximate encoded size charged to the cost model.
+    pub fn send_rows(&mut self, query: QueryId, rows: Vec<Row>) -> usize {
         let approx: usize = rows
             .iter()
             .map(|r| {
@@ -522,7 +618,7 @@ impl Outbox {
                     .sum::<usize>()
             })
             .sum();
-        self.fabric.stats.count(MsgClass::Rows, approx);
+        self.count(MsgClass::Rows, approx);
         let buf = &mut self.bufs[0];
         buf.msgs.push(WireMsg::Rows {
             query,
@@ -531,26 +627,30 @@ impl Outbox {
         });
         buf.bytes += approx;
         self.maybe_flush(0);
+        approx
     }
 
     /// Send a control message to a worker (flushes that node immediately —
-    /// the control plane is not batched).
-    pub fn send_ctrl_worker(&mut self, dest: WorkerId, msg: WorkerMsg) {
+    /// the control plane is not batched). Returns the wire size.
+    pub fn send_ctrl_worker(&mut self, dest: WorkerId, msg: WorkerMsg) -> usize {
         let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
         let size = codec::worker_msg_wire_size(&msg);
-        self.fabric.stats.count(MsgClass::Control, size);
+        self.count(MsgClass::Control, size);
         self.bufs[node].msgs.push(WireMsg::CtrlWorker { dest, msg });
         self.bufs[node].bytes += size;
         self.flush_node(NodeId(node as u32));
+        size
     }
 
-    /// Send a control message to the coordinator (immediate).
-    pub fn send_ctrl_coord(&mut self, msg: CoordMsg) {
+    /// Send a control message to the coordinator (immediate). Returns the
+    /// wire size.
+    pub fn send_ctrl_coord(&mut self, msg: CoordMsg) -> usize {
         let size = codec::coord_msg_wire_size(&msg);
-        self.fabric.stats.count(MsgClass::Control, size);
+        self.count(MsgClass::Control, size);
         self.bufs[0].msgs.push(WireMsg::CtrlCoord { msg });
         self.bufs[0].bytes += size;
         self.flush_node(NodeId(0));
+        size
     }
 
     /// Flush one destination node's buffer.
@@ -559,6 +659,8 @@ impl Outbox {
         if buf.is_empty() {
             return;
         }
+        #[cfg(feature = "obs")]
+        self.obs.flush_buf_bytes(buf.bytes);
         if node == self.src_node {
             // Shared-memory shortcut: no serialization, no network thread.
             let mut groups: Vec<(WorkerId, Vec<Traverser>)> = Vec::new();
@@ -570,13 +672,11 @@ impl Outbox {
                 }
             }
             for (dest, batch) in groups {
+                self.note_same_node();
                 self.fabric.deliver_local_batch(dest, batch);
             }
             for m in buf.msgs {
-                self.fabric
-                    .stats
-                    .same_node_msgs
-                    .fetch_add(1, Ordering::Relaxed);
+                self.note_same_node();
                 self.fabric.deliver(m);
             }
             return;

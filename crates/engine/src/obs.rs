@@ -1,0 +1,499 @@
+//! Engine-side observability glue: the bridge between the hot paths
+//! (worker step loop, coordinator stage transitions, outbox flushing) and
+//! the dependency-free `graphdance-obs` crate.
+//!
+//! With the `obs` cargo feature **enabled**, this module provides:
+//!
+//! * [`EngineObs`] — the cluster-wide metrics [`Registry`], the metric ids
+//!   registered at fabric construction, the shared [`TraceSink`] for query
+//!   spans, and the single monotonic epoch all timestamps are relative to.
+//! * [`NetShard`] — a per-outbox / per-egress-thread single-writer metrics
+//!   shard for the network counters.
+//! * [`WorkerObs`] / [`CoordObs`] — per-thread span accumulators that batch
+//!   `(query, stage)` activity locally and push one [`SpanRecord`] per
+//!   stage into the sink (so the sink mutex is touched once per stage, not
+//!   once per traverser).
+//!
+//! With the feature **disabled**, the same names exist as zero-sized stubs
+//! so type-level references stay valid, and every call site in the engine
+//! is `#[cfg(feature = "obs")]`-gated — the instrumentation compiles to
+//! nothing (verified by `zero_cost_tests` below and the `Queued` layout
+//! test in `worker.rs`).
+
+#[cfg(feature = "obs")]
+pub use real::*;
+
+#[cfg(feature = "obs")]
+mod real {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use graphdance_common::time::now;
+    use graphdance_common::{FxHashMap, QueryId, WorkerId};
+    use graphdance_obs::{MetricId, Registry, ShardHandle, SpanRecord, TraceSink, COORD_WORKER};
+    use graphdance_pstm::MemoStats;
+
+    use crate::net::Fabric;
+
+    /// How many reassembled traces the sink retains for pickup.
+    const TRACE_RING: usize = 32;
+
+    /// Every metric id the engine records, registered once at fabric
+    /// construction (before any shard exists).
+    #[derive(Debug, Clone, Copy)]
+    pub struct EngineIds {
+        /// Logical message count per lane, `MsgClass` order.
+        pub net_msgs: [MetricId; 4],
+        /// Approximate payload bytes per lane, `MsgClass` order.
+        pub net_bytes: [MetricId; 4],
+        /// Wire packets sent by egress threads (tier-2 combining output).
+        pub wire_packets: MetricId,
+        /// Wire bytes (payload + packet header).
+        pub wire_bytes: MetricId,
+        /// Distribution of wire packet sizes.
+        pub wire_packet_bytes: MetricId,
+        /// Messages delivered via the same-node shared-memory shortcut.
+        pub same_node_msgs: MetricId,
+        /// Tier-1 flushes triggered by the byte threshold (vs. idle/ctrl).
+        pub flush_threshold: MetricId,
+        /// Distribution of tier-1 buffer sizes at flush time.
+        pub flush_buf_bytes: MetricId,
+        /// Traversers executed by workers.
+        pub executed: MetricId,
+        /// Traversers spawned into the executing worker's own queue.
+        pub spawned_local: MetricId,
+        /// Traversers handed to an outbox for another partition.
+        pub sent_remote: MetricId,
+        /// Local queue depth at the end of each execution batch.
+        pub queue_depth: MetricId,
+        /// Time traversers waited in the local queue (ns).
+        pub queue_wait_ns: MetricId,
+        /// Per-traverser interpreter execution time (ns).
+        pub exec_ns: MetricId,
+        /// Memo lookups that hit existing state (dedup/min-dist/join).
+        pub memo_hits: MetricId,
+        /// Memo lookups that created fresh state.
+        pub memo_misses: MetricId,
+        /// Double-pipelined join probes.
+        pub join_probes: MetricId,
+        /// Aggregation partial updates.
+        pub agg_updates: MetricId,
+    }
+
+    /// Cluster-wide observability state, owned by the [`Fabric`].
+    #[derive(Debug)]
+    pub struct EngineObs {
+        registry: Registry,
+        ids: EngineIds,
+        sink: TraceSink,
+        epoch: Instant,
+    }
+
+    impl EngineObs {
+        /// Register the engine's metric namespace and create the trace
+        /// sink. `num_workers` is the number of seals expected per query
+        /// (every worker seals on `QueryEnd`).
+        pub fn new(num_workers: u32) -> Self {
+            let r = Registry::new();
+            let ids = EngineIds {
+                net_msgs: [
+                    r.counter("net.traverser_msgs"),
+                    r.counter("net.progress_msgs"),
+                    r.counter("net.rows_msgs"),
+                    r.counter("net.control_msgs"),
+                ],
+                net_bytes: [
+                    r.counter("net.traverser_bytes"),
+                    r.counter("net.progress_bytes"),
+                    r.counter("net.rows_bytes"),
+                    r.counter("net.control_bytes"),
+                ],
+                wire_packets: r.counter("net.wire_packets"),
+                wire_bytes: r.counter("net.wire_bytes"),
+                wire_packet_bytes: r.histogram("net.wire_packet_bytes"),
+                same_node_msgs: r.counter("net.same_node_msgs"),
+                flush_threshold: r.counter("net.flush_threshold"),
+                flush_buf_bytes: r.histogram("net.flush_buf_bytes"),
+                executed: r.counter("worker.executed"),
+                spawned_local: r.counter("worker.spawned_local"),
+                sent_remote: r.counter("worker.sent_remote"),
+                queue_depth: r.gauge("worker.queue_depth"),
+                queue_wait_ns: r.histogram("worker.queue_wait_ns"),
+                exec_ns: r.histogram("worker.exec_ns"),
+                memo_hits: r.counter("memo.hits"),
+                memo_misses: r.counter("memo.misses"),
+                join_probes: r.counter("memo.join_probes"),
+                agg_updates: r.counter("memo.agg_updates"),
+            };
+            EngineObs {
+                registry: r,
+                ids,
+                sink: TraceSink::new(num_workers, TRACE_RING),
+                epoch: now(),
+            }
+        }
+
+        /// The metrics registry (scrape with `registry().snapshot()`).
+        pub fn registry(&self) -> &Registry {
+            &self.registry
+        }
+
+        /// The registered metric ids.
+        pub fn ids(&self) -> EngineIds {
+            self.ids
+        }
+
+        /// The shared span sink.
+        pub fn sink(&self) -> &TraceSink {
+            &self.sink
+        }
+
+        /// Nanoseconds since the engine epoch.
+        #[inline]
+        pub fn now_ns(&self) -> u64 {
+            now().saturating_duration_since(self.epoch).as_nanos() as u64
+        }
+
+        /// A fresh single-writer shard for one network-sending thread.
+        pub fn net_shard(&self) -> NetShard {
+            NetShard {
+                shard: self.registry.shard(),
+                ids: self.ids,
+            }
+        }
+    }
+
+    /// One sending thread's network-metrics shard (outbox or egress).
+    #[derive(Debug)]
+    pub struct NetShard {
+        shard: ShardHandle,
+        ids: EngineIds,
+    }
+
+    impl NetShard {
+        /// Count one logical message on `lane` (a `MsgClass` index).
+        #[inline]
+        pub fn count(&self, lane: usize, bytes: usize) {
+            if let (Some(m), Some(b)) = (self.ids.net_msgs.get(lane), self.ids.net_bytes.get(lane))
+            {
+                self.shard.inc(*m);
+                self.shard.add(*b, bytes as u64);
+            }
+        }
+
+        /// Count one wire packet of `wire` bytes (egress threads).
+        #[inline]
+        pub fn wire_packet(&self, wire: usize) {
+            self.shard.inc(self.ids.wire_packets);
+            self.shard.add(self.ids.wire_bytes, wire as u64);
+            self.shard.observe(self.ids.wire_packet_bytes, wire as u64);
+        }
+
+        /// Count one message delivered via the same-node shortcut.
+        #[inline]
+        pub fn same_node(&self) {
+            self.shard.inc(self.ids.same_node_msgs);
+        }
+
+        /// Count one threshold-triggered tier-1 flush.
+        #[inline]
+        pub fn flush_threshold(&self) {
+            self.shard.inc(self.ids.flush_threshold);
+        }
+
+        /// Record the buffered byte count of one (non-empty) tier-1 flush.
+        #[inline]
+        pub fn flush_buf_bytes(&self, bytes: usize) {
+            self.shard.observe(self.ids.flush_buf_bytes, bytes as u64);
+        }
+    }
+
+    /// Span accumulator for one `(query, stage)`; hops are folded into a
+    /// map until flush.
+    #[derive(Debug, Default)]
+    struct SpanAcc {
+        rec: SpanRecord,
+        hops: FxHashMap<u32, u64>,
+    }
+
+    impl SpanAcc {
+        fn into_record(mut self) -> SpanRecord {
+            let mut hops: Vec<(u32, u64)> = self.hops.into_iter().collect();
+            hops.sort_unstable();
+            self.rec.hops = hops;
+            self.rec
+        }
+    }
+
+    fn span_entry(
+        spans: &mut FxHashMap<(QueryId, u16), SpanAcc>,
+        query: QueryId,
+        stage: u16,
+        worker: u32,
+    ) -> &mut SpanAcc {
+        spans.entry((query, stage)).or_insert_with(|| SpanAcc {
+            rec: SpanRecord {
+                query: query.0,
+                stage: stage as u32,
+                worker,
+                ..Default::default()
+            },
+            hops: FxHashMap::default(),
+        })
+    }
+
+    /// One worker thread's instrumentation state.
+    #[derive(Debug)]
+    pub struct WorkerObs {
+        eng: Arc<EngineObs>,
+        shard: ShardHandle,
+        worker: u32,
+        spans: FxHashMap<(QueryId, u16), SpanAcc>,
+    }
+
+    impl WorkerObs {
+        /// Instrumentation for worker `id` on `fabric`'s cluster.
+        pub fn new(fabric: &Arc<Fabric>, id: WorkerId) -> Self {
+            let eng = Arc::clone(fabric.obs());
+            WorkerObs {
+                shard: eng.registry().shard(),
+                worker: id.0,
+                spans: FxHashMap::default(),
+                eng,
+            }
+        }
+
+        /// Nanoseconds since the engine epoch.
+        #[inline]
+        pub fn now_ns(&self) -> u64 {
+            self.eng.now_ns()
+        }
+
+        /// A traverser enqueued at `enq_ns` is about to execute. Returns
+        /// `(now_ns, wait_ns)`.
+        #[inline]
+        pub fn exec_begin(&self, enq_ns: u64) -> (u64, u64) {
+            let t0 = self.eng.now_ns();
+            (t0, t0.saturating_sub(enq_ns))
+        }
+
+        /// One traverser finished executing: fold timing and the drained
+        /// memo stats into the `(query, stage)` span and the shard.
+        pub fn exec_end(
+            &mut self,
+            query: QueryId,
+            stage: u16,
+            t0_ns: u64,
+            wait_ns: u64,
+            m: MemoStats,
+        ) {
+            let exec_ns = self.eng.now_ns().saturating_sub(t0_ns);
+            let ids = self.eng.ids();
+            self.shard.inc(ids.executed);
+            self.shard.observe(ids.exec_ns, exec_ns);
+            self.shard.observe(ids.queue_wait_ns, wait_ns);
+            let (hits, misses) = (m.hits(), m.misses());
+            self.shard.add(ids.memo_hits, hits);
+            self.shard.add(ids.memo_misses, misses);
+            self.shard.add(ids.join_probes, m.join_probes);
+            self.shard.add(ids.agg_updates, m.agg_updates);
+            let sp = span_entry(&mut self.spans, query, stage, self.worker);
+            sp.rec.executed += 1;
+            sp.rec.exec_ns += exec_ns;
+            sp.rec.queue_wait_ns += wait_ns;
+            sp.rec.memo_hits += hits;
+            sp.rec.memo_misses += misses;
+        }
+
+        /// Fold one routed interpreter outcome into the span: local spawns,
+        /// remote sends (`(dest worker, approx bytes)`), emitted rows, and
+        /// whether an eager progress report went out.
+        pub fn route_done(
+            &mut self,
+            query: QueryId,
+            stage: u16,
+            local: u64,
+            remote: &[(u32, u64)],
+            rows_bytes: Option<u64>,
+            progress: bool,
+        ) {
+            let ids = self.eng.ids();
+            self.shard.add(ids.spawned_local, local);
+            self.shard.add(ids.sent_remote, remote.len() as u64);
+            let sp = span_entry(&mut self.spans, query, stage, self.worker);
+            sp.rec.spawned_local += local;
+            for &(dest, bytes) in remote {
+                sp.rec.sent_remote += 1;
+                sp.rec.msgs[0] += 1;
+                sp.rec.bytes[0] += bytes;
+                *sp.hops.entry(dest).or_insert(0) += 1;
+            }
+            if let Some(b) = rows_bytes {
+                sp.rec.msgs[2] += 1;
+                sp.rec.bytes[2] += b;
+            }
+            if progress {
+                sp.rec.msgs[1] += 1;
+                sp.rec.bytes[1] += 32;
+            }
+        }
+
+        /// A coalesced progress report went out for `(query, stage)`.
+        pub fn note_progress(&mut self, query: QueryId, stage: u16) {
+            let sp = span_entry(&mut self.spans, query, stage, self.worker);
+            sp.rec.msgs[1] += 1;
+            sp.rec.bytes[1] += 32;
+        }
+
+        /// A control-plane message of `bytes` went out for `(query, stage)`.
+        pub fn note_ctrl(&mut self, query: QueryId, stage: u16, bytes: u64) {
+            let sp = span_entry(&mut self.spans, query, stage, self.worker);
+            sp.rec.msgs[3] += 1;
+            sp.rec.bytes[3] += bytes;
+        }
+
+        /// Publish the local queue depth gauge.
+        #[inline]
+        pub fn queue_depth(&self, depth: u64) {
+            self.shard.set(self.eng.ids().queue_depth, depth);
+        }
+
+        /// The stage advanced: push the finished stage's span to the sink.
+        pub fn flush_stage(&mut self, query: QueryId, stage: u16) {
+            if let Some(acc) = self.spans.remove(&(query, stage)) {
+                self.eng.sink().record(acc.into_record());
+            }
+        }
+
+        /// The query ended: flush every remaining span and seal.
+        pub fn end_query(&mut self, query: QueryId) {
+            let keys: Vec<(QueryId, u16)> = self
+                .spans
+                .keys()
+                .filter(|k| k.0 == query)
+                .copied()
+                .collect();
+            for k in keys {
+                if let Some(acc) = self.spans.remove(&k) {
+                    self.eng.sink().record(acc.into_record());
+                }
+            }
+            self.eng.sink().seal(query.0);
+        }
+    }
+
+    /// The coordinator's instrumentation state: stage timestamps plus its
+    /// own seeding spans (reported as worker [`COORD_WORKER`]).
+    #[derive(Debug)]
+    pub struct CoordObs {
+        eng: Arc<EngineObs>,
+        spans: FxHashMap<(QueryId, u16), SpanAcc>,
+    }
+
+    impl CoordObs {
+        /// Instrumentation for the coordinator on `fabric`'s cluster.
+        pub fn new(fabric: &Arc<Fabric>) -> Self {
+            CoordObs {
+                eng: Arc::clone(fabric.obs()),
+                spans: FxHashMap::default(),
+            }
+        }
+
+        /// Stamp the begin time of `(query, stage)`.
+        pub fn stage_begin(&self, query: QueryId, stage: u16) {
+            self.eng
+                .sink()
+                .stage_begin(query.0, stage as u32, self.eng.now_ns());
+        }
+
+        /// Stamp the end time of `(query, stage)`.
+        pub fn stage_end(&self, query: QueryId, stage: u16) {
+            self.eng
+                .sink()
+                .stage_end(query.0, stage as u32, self.eng.now_ns());
+        }
+
+        /// The coordinator seeded one traverser to `dest` (inter-stage
+        /// `PrevRows` sources).
+        pub fn seed_sent(&mut self, query: QueryId, stage: u16, dest: u32, bytes: u64) {
+            let sp = span_entry(&mut self.spans, query, stage, COORD_WORKER);
+            sp.rec.sent_remote += 1;
+            sp.rec.msgs[0] += 1;
+            sp.rec.bytes[0] += bytes;
+            *sp.hops.entry(dest).or_insert(0) += 1;
+        }
+
+        /// The coordinator sent a control message for `(query, stage)`.
+        pub fn ctrl_sent(&mut self, query: QueryId, stage: u16, bytes: u64) {
+            let sp = span_entry(&mut self.spans, query, stage, COORD_WORKER);
+            sp.rec.msgs[3] += 1;
+            sp.rec.bytes[3] += bytes;
+        }
+
+        /// The query finished: flush the coordinator's spans and hand the
+        /// sink the final latency and ledger counts. Must be called before
+        /// the ledger forgets the query.
+        pub fn query_done(&mut self, query: QueryId, total_ns: u64, sent: u64, delivered: u64) {
+            let keys: Vec<(QueryId, u16)> = self
+                .spans
+                .keys()
+                .filter(|k| k.0 == query)
+                .copied()
+                .collect();
+            for k in keys {
+                if let Some(acc) = self.spans.remove(&k) {
+                    self.eng.sink().record(acc.into_record());
+                }
+            }
+            self.eng
+                .sink()
+                .query_done(query.0, total_ns, sent, delivered);
+        }
+
+        /// Discard all trace state of a query that will never complete.
+        pub fn forget(&mut self, query: QueryId) {
+            self.spans.retain(|k, _| k.0 != query);
+            self.eng.sink().forget(query.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feature-off stubs: the names exist (so docs and type-level references
+// stay valid) but carry no data and no methods — every call site in the
+// engine is feature-gated, so nothing references them at runtime.
+// ---------------------------------------------------------------------------
+
+/// Zero-sized stub (the `obs` feature is disabled).
+#[cfg(not(feature = "obs"))]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineObs;
+
+/// Zero-sized stub (the `obs` feature is disabled).
+#[cfg(not(feature = "obs"))]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NetShard;
+
+/// Zero-sized stub (the `obs` feature is disabled).
+#[cfg(not(feature = "obs"))]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerObs;
+
+/// Zero-sized stub (the `obs` feature is disabled).
+#[cfg(not(feature = "obs"))]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CoordObs;
+
+/// Compile-time proof that the disabled-feature build carries no
+/// instrumentation state: every obs type is zero-sized, so no engine
+/// struct grows and no hot-path code can touch observability data.
+#[cfg(all(test, not(feature = "obs")))]
+mod zero_cost_tests {
+    #[test]
+    fn stubs_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<super::EngineObs>(), 0);
+        assert_eq!(std::mem::size_of::<super::NetShard>(), 0);
+        assert_eq!(std::mem::size_of::<super::WorkerObs>(), 0);
+        assert_eq!(std::mem::size_of::<super::CoordObs>(), 0);
+    }
+}

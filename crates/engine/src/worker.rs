@@ -26,6 +26,9 @@ use std::sync::Arc;
 struct Queued {
     depth: u32,
     seq: u64,
+    /// Enqueue timestamp for queue-wait tracking (obs builds only).
+    #[cfg(feature = "obs")]
+    enq_ns: u64,
     t: Traverser,
 }
 
@@ -80,6 +83,9 @@ pub struct Worker {
     /// Interpreter outcomes seen (drives `leak_weight_nth` fault injection).
     outcomes: u64,
     fault: crate::config::FaultInjection,
+    /// Hot-path instrumentation (metrics shard + span accumulator).
+    #[cfg(feature = "obs")]
+    obs: crate::obs::WorkerObs,
 }
 
 impl Worker {
@@ -112,6 +118,8 @@ impl Worker {
             ledger: WeightLedger::new(),
             outcomes: 0,
             fault: config.fault,
+            #[cfg(feature = "obs")]
+            obs: crate::obs::WorkerObs::new(fabric, id),
         }
     }
 
@@ -130,9 +138,23 @@ impl Worker {
             let mut executed = 0;
             while executed < self.batch {
                 let Some(q) = self.queue.pop() else { break };
+                // Pin (query, stage) before executing; a query that died
+                // between enqueue and pop records nothing.
+                #[cfg(feature = "obs")]
+                let obs_info = self
+                    .queries
+                    .get(&q.t.query)
+                    .map(|a| (q.t.query, a.stage, self.obs.exec_begin(q.enq_ns)));
                 self.execute(q.t);
+                #[cfg(feature = "obs")]
+                if let Some((qid, stage, (t0, wait))) = obs_info {
+                    let stats = self.memo.take_stats(qid);
+                    self.obs.exec_end(qid, stage, t0, wait, stats);
+                }
                 executed += 1;
             }
+            #[cfg(feature = "obs")]
+            self.obs.queue_depth(self.queue.len() as u64);
             // Keep same-node latency low.
             self.outbox.flush_local();
             if self.queue.is_empty() {
@@ -169,10 +191,14 @@ impl Worker {
             }
             WorkerMsg::StageBegin { query, stage } => {
                 if let Some(aq) = self.queries.get_mut(&query) {
+                    #[cfg(feature = "obs")]
+                    let prev_stage = aq.stage;
                     aq.stage = stage;
                     // Per-stage memo state (dedup sets, join tables, agg
                     // partial) is dropped between stages.
                     let _ = self.memo.query_mut(query).take_stage_state();
+                    #[cfg(feature = "obs")]
+                    self.obs.flush_stage(query, prev_stage);
                 }
             }
             WorkerMsg::StartSource {
@@ -184,13 +210,20 @@ impl Worker {
             }
             WorkerMsg::GatherAgg { query } => {
                 let state = self.memo.query_mut(query).take_stage_state();
-                self.outbox.send_ctrl_coord(CoordMsg::AggPartial {
+                let _sz = self.outbox.send_ctrl_coord(CoordMsg::AggPartial {
                     query,
                     part: self.id.part(),
                     state: state.map(Box::new),
                 });
+                #[cfg(feature = "obs")]
+                {
+                    let stage = self.queries.get(&query).map_or(0, |a| a.stage);
+                    self.obs.note_ctrl(query, stage, _sz as u64);
+                }
             }
             WorkerMsg::QueryEnd { query } => {
+                #[cfg(feature = "obs")]
+                self.obs.end_query(query);
                 self.memo.clear_query(query);
                 self.queries.remove(&query);
                 self.pending.remove(&query);
@@ -224,6 +257,8 @@ impl Worker {
         self.queue.push(Queued {
             depth: t.depth,
             seq: self.seq,
+            #[cfg(feature = "obs")]
+            enq_ns: self.obs.now_ns(),
             t,
         });
     }
@@ -256,9 +291,10 @@ impl Worker {
         };
         match result {
             Ok(out) => self.route(query, weight, out),
-            Err(e) => self
-                .outbox
-                .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+            Err(e) => {
+                self.outbox
+                    .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
+            }
         }
     }
 
@@ -289,9 +325,10 @@ impl Worker {
         };
         match result {
             Ok(out) => self.route(query, input, out),
-            Err(e) => self
-                .outbox
-                .send_ctrl_coord(CoordMsg::WorkerError { query, error: e }),
+            Err(e) => {
+                self.outbox
+                    .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
+            }
         }
     }
 
@@ -312,21 +349,43 @@ impl Worker {
             });
             return;
         }
+        #[cfg(feature = "obs")]
+        let obs_stage = self.queries.get(&query).map_or(0, |a| a.stage);
+        #[cfg(feature = "obs")]
+        let mut obs_local = 0u64;
+        #[cfg(feature = "obs")]
+        let mut obs_remote: Vec<(u32, u64)> = Vec::new();
+        #[cfg(feature = "obs")]
+        let mut obs_rows: Option<u64> = None;
+        #[cfg(feature = "obs")]
+        let mut obs_progress = false;
         for (dest, t) in out.spawned {
             if dest == self.id.part() {
                 self.seq += 1;
+                #[cfg(feature = "obs")]
+                {
+                    obs_local += 1;
+                }
                 self.queue.push(Queued {
                     depth: t.depth,
                     seq: self.seq,
+                    #[cfg(feature = "obs")]
+                    enq_ns: self.obs.now_ns(),
                     t,
                 });
             } else {
-                self.outbox
-                    .send_traverser(self.graph.partitioner().worker_of_part(dest), t);
+                let w = self.graph.partitioner().worker_of_part(dest);
+                #[cfg(feature = "obs")]
+                obs_remote.push((w.0, t.approx_bytes() as u64));
+                self.outbox.send_traverser(w, t);
             }
         }
         if !out.emitted.is_empty() {
-            self.outbox.send_rows(query, out.emitted);
+            let _approx = self.outbox.send_rows(query, out.emitted);
+            #[cfg(feature = "obs")]
+            {
+                obs_rows = Some(_approx as u64);
+            }
         }
         *self.steps.entry(query).or_insert(0) += out.steps_executed as u64;
         if out.finished != Weight::ZERO {
@@ -336,8 +395,21 @@ impl Worker {
                 // Naive progress tracking: one report per termination.
                 let steps = self.steps.remove(&query).unwrap_or(0);
                 self.outbox.send_progress(query, out.finished, steps);
+                #[cfg(feature = "obs")]
+                {
+                    obs_progress = true;
+                }
             }
         }
+        #[cfg(feature = "obs")]
+        self.obs.route_done(
+            query,
+            obs_stage,
+            obs_local,
+            &obs_remote,
+            obs_rows,
+            obs_progress,
+        );
     }
 
     fn flush_progress(&mut self) {
@@ -349,6 +421,11 @@ impl Worker {
             if let Some(w) = self.memo.query_mut(q).finished.drain() {
                 let steps = self.steps.remove(&q).unwrap_or(0);
                 self.outbox.send_progress(q, w, steps);
+                #[cfg(feature = "obs")]
+                {
+                    let stage = self.queries.get(&q).map_or(0, |a| a.stage);
+                    self.obs.note_progress(q, stage);
+                }
             }
         }
     }
@@ -384,6 +461,8 @@ mod tests {
         let mk = |depth, seq| Queued {
             depth,
             seq,
+            #[cfg(feature = "obs")]
+            enq_ns: 0,
             t: Traverser::root(QueryId(1), 0, graphdance_common::VertexId(0), 0, Weight(0)),
         };
         let mut h = BinaryHeap::new();
@@ -394,6 +473,19 @@ mod tests {
         let order: Vec<(u32, u64)> =
             std::iter::from_fn(|| h.pop().map(|q| (q.depth, q.seq))).collect();
         assert_eq!(order, vec![(0, 2), (0, 4), (1, 3), (2, 1)]);
+    }
+
+    /// With `obs` disabled, the instrumentation must compile to nothing —
+    /// the hot-path heap entry carries exactly its functional fields.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn queued_has_no_instrumentation_fields() {
+        struct Plain {
+            _depth: u32,
+            _seq: u64,
+            _t: Traverser,
+        }
+        assert_eq!(std::mem::size_of::<Queued>(), std::mem::size_of::<Plain>());
     }
 }
 

@@ -1,0 +1,78 @@
+//! Log-2 histogram bucketing.
+//!
+//! Bucket `0` holds the value `0` exactly; bucket `b >= 1` holds the values
+//! in `[2^(b-1), 2^b)`. With 64-bit samples that is [`BUCKETS`]` = 65`
+//! buckets total, so any `u64` maps to exactly one bucket with a single
+//! `leading_zeros` instruction and no branches on the hot path beyond the
+//! zero check.
+
+/// Number of log-2 buckets needed to cover every `u64` (bucket 0 for the
+/// value zero plus one bucket per bit position).
+pub const BUCKETS: usize = 65;
+
+/// The bucket index of `v`: `0` for zero, else `64 - leading_zeros(v)`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Smallest value that falls in bucket `b`.
+#[inline]
+pub fn bucket_lo(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ => 1u64 << (b - 1),
+    }
+}
+
+/// Largest value that falls in bucket `b` (saturates at `u64::MAX`).
+#[inline]
+pub fn bucket_hi(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Zero is its own bucket.
+        assert_eq!(bucket_of(0), 0);
+        // Powers of two open a new bucket; the value just below stays in
+        // the previous one.
+        for b in 1..64usize {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(bucket_of(lo), b, "lo of bucket {b}");
+            assert_eq!(bucket_of(lo + (lo - 1)), b, "hi of bucket {b}");
+            if b < 63 {
+                assert_eq!(bucket_of(lo * 2), b + 1, "next power of two");
+            }
+        }
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn lo_hi_roundtrip() {
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(b)), b, "lo({b}) maps back");
+            assert_eq!(bucket_of(bucket_hi(b)), b, "hi({b}) maps back");
+            if b > 0 {
+                assert_eq!(bucket_hi(b - 1) + 1, bucket_lo(b), "no gaps");
+            }
+        }
+        assert_eq!(bucket_hi(64), u64::MAX);
+    }
+}

@@ -1,0 +1,57 @@
+//! Minimal hand-rolled JSON emission (the crate is dependency-free).
+
+/// Append `s` as a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `[a, b, c]` for a slice of u64.
+pub(crate) fn push_u64_array(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd\u{0001}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        let mut s = String::new();
+        push_str_lit(&mut s, "plain");
+        assert_eq!(s, "\"plain\"");
+    }
+
+    #[test]
+    fn arrays() {
+        let mut s = String::new();
+        push_u64_array(&mut s, &[1, 2, 3]);
+        assert_eq!(s, "[1,2,3]");
+        let mut s = String::new();
+        push_u64_array(&mut s, &[]);
+        assert_eq!(s, "[]");
+    }
+}

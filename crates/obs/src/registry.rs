@@ -1,0 +1,329 @@
+//! Sharded, lock-free metrics registry.
+//!
+//! Metric names are registered once, up front, against a [`Registry`];
+//! each recording thread then takes its own [`ShardHandle`] and writes
+//! into private slots. A shard is **single-writer**: recording uses relaxed
+//! `load` + `store` pairs — plain `mov`s on x86, no lock-prefixed
+//! read-modify-write — which is sound exactly because no other thread ever
+//! writes the same shard. The scraper ([`Registry::snapshot`]) reads every
+//! shard with relaxed loads and sums; a snapshot taken concurrently with
+//! recording is a consistent-enough view (each slot individually is a
+//! monotonic counter), which is all a metrics scrape needs.
+//!
+//! Registration and shard creation take a mutex; the recording path never
+//! does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{bucket_of, BUCKETS};
+use crate::snapshot::{HistData, Metric, MetricValue, MetricsSnapshot};
+
+/// What a metric measures; drives slot layout and export format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic event count.
+    Counter,
+    /// Last-set value per shard; shards are summed at scrape time, so a
+    /// gauge behaves as "current total across threads" (e.g. queue depth).
+    Gauge,
+    /// Log-2 bucketed value distribution (see [`crate::hist`]).
+    Histogram,
+}
+
+impl MetricKind {
+    fn width(self) -> u32 {
+        match self {
+            MetricKind::Counter | MetricKind::Gauge => 1,
+            // One slot per bucket plus a running sum for mean estimation.
+            MetricKind::Histogram => BUCKETS as u32 + 1,
+        }
+    }
+}
+
+/// Handle to one registered metric: the slot offset every shard uses for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId {
+    slot: u32,
+    kind: MetricKind,
+}
+
+#[derive(Debug)]
+struct MetricDef {
+    name: String,
+    kind: MetricKind,
+    slot: u32,
+}
+
+/// One thread's private slot array. Only the owning [`ShardHandle`] writes;
+/// the registry keeps a second `Arc` for scraping.
+#[derive(Debug)]
+struct ShardSlots {
+    slots: Box<[AtomicU64]>,
+}
+
+impl ShardSlots {
+    fn new(n: u32) -> Self {
+        let mut v = Vec::with_capacity(n as usize);
+        v.resize_with(n as usize, || AtomicU64::new(0));
+        Self {
+            slots: v.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn bump(&self, slot: u32, n: u64) {
+        if let Some(s) = self.slots.get(slot as usize) {
+            // Single-writer: plain load+store, no RMW (see module docs).
+            s.store(s.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn put(&self, slot: u32, v: u64) {
+        if let Some(s) = self.slots.get(slot as usize) {
+            s.store(v, Ordering::Relaxed);
+        }
+    }
+
+    fn read(&self, slot: u32) -> u64 {
+        self.slots
+            .get(slot as usize)
+            .map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    defs: Vec<MetricDef>,
+    slots: u32,
+    shards: Vec<Arc<ShardSlots>>,
+}
+
+/// The metric name space plus all live shards.
+///
+/// Register every metric *before* creating shards: a shard is sized to the
+/// slot count at creation time and silently ignores later-registered
+/// metrics (their slots simply read 0 from that shard).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, kind: MetricKind) -> MetricId {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        if let Some(d) = inner.defs.iter().find(|d| d.name == name) {
+            assert_eq!(
+                d.kind, kind,
+                "metric {name:?} re-registered with a different kind"
+            );
+            return MetricId { slot: d.slot, kind };
+        }
+        let slot = inner.slots;
+        inner.slots += kind.width();
+        inner.defs.push(MetricDef {
+            name: name.to_string(),
+            kind,
+            slot,
+        });
+        MetricId { slot, kind }
+    }
+
+    /// Register (or look up) a monotonic counter.
+    pub fn counter(&self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Counter)
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Gauge)
+    }
+
+    /// Register (or look up) a log-2 histogram.
+    pub fn histogram(&self, name: &str) -> MetricId {
+        self.register(name, MetricKind::Histogram)
+    }
+
+    /// Create a new shard for one recording thread. The returned handle is
+    /// the *only* writer of its slots — do not share it between threads
+    /// (it is deliberately not `Clone`/`Sync`-friendly for writes).
+    pub fn shard(&self) -> ShardHandle {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        let shard = Arc::new(ShardSlots::new(inner.slots));
+        inner.shards.push(Arc::clone(&shard));
+        ShardHandle { slots: shard }
+    }
+
+    /// Merge every shard into a point-in-time snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("obs registry poisoned");
+        let mut metrics = Vec::with_capacity(inner.defs.len());
+        for def in &inner.defs {
+            let value = match def.kind {
+                MetricKind::Counter | MetricKind::Gauge => {
+                    let mut total = 0u64;
+                    for sh in &inner.shards {
+                        total = total.wrapping_add(sh.read(def.slot));
+                    }
+                    MetricValue::Scalar(total)
+                }
+                MetricKind::Histogram => {
+                    let mut buckets = vec![0u64; BUCKETS];
+                    let mut sum = 0u64;
+                    for sh in &inner.shards {
+                        for (b, out) in buckets.iter_mut().enumerate() {
+                            *out = out.wrapping_add(sh.read(def.slot + b as u32));
+                        }
+                        sum = sum.wrapping_add(sh.read(def.slot + BUCKETS as u32));
+                    }
+                    MetricValue::Hist(HistData { buckets, sum })
+                }
+            };
+            metrics.push(Metric {
+                name: def.name.clone(),
+                kind: def.kind,
+                value,
+            });
+        }
+        MetricsSnapshot { metrics }
+    }
+
+    /// Number of live shards (diagnostics).
+    pub fn shard_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("obs registry poisoned")
+            .shards
+            .len()
+    }
+}
+
+/// A single thread's write handle (see [`Registry::shard`]).
+#[derive(Debug)]
+pub struct ShardHandle {
+    slots: Arc<ShardSlots>,
+}
+
+impl ShardHandle {
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: MetricId, n: u64) {
+        debug_assert_eq!(id.kind, MetricKind::Counter);
+        self.slots.bump(id.slot, n);
+    }
+
+    /// Add 1 to a counter.
+    #[inline]
+    pub fn inc(&self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Set this shard's gauge value (shards are summed at scrape time).
+    #[inline]
+    pub fn set(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind, MetricKind::Gauge);
+        self.slots.put(id.slot, v);
+    }
+
+    /// Record one histogram sample.
+    #[inline]
+    pub fn observe(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind, MetricKind::Histogram);
+        self.slots.bump(id.slot + bucket_of(v) as u32, 1);
+        self.slots.bump(id.slot + BUCKETS as u32, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        let h1 = r.histogram("h");
+        let h2 = r.histogram("h");
+        assert_eq!(h1, h2);
+        assert_ne!(r.counter("y"), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn cross_shard_merge_sums_counters_and_buckets() {
+        let r = Registry::new();
+        let c = r.counter("events");
+        let g = r.gauge("depth");
+        let h = r.histogram("lat");
+        let s1 = r.shard();
+        let s2 = r.shard();
+        s1.add(c, 3);
+        s2.add(c, 4);
+        s1.set(g, 10);
+        s2.set(g, 2);
+        s1.observe(h, 1); // bucket 1
+        s1.observe(h, 7); // bucket 3
+        s2.observe(h, 7); // bucket 3
+        s2.observe(h, 0); // bucket 0
+
+        let snap = r.snapshot();
+        assert_eq!(snap.scalar("events"), 7);
+        assert_eq!(snap.scalar("depth"), 12);
+        let hd = snap.hist("lat").expect("histogram present");
+        assert_eq!(hd.count(), 4);
+        assert_eq!(hd.sum, 15);
+        assert_eq!(hd.buckets[0], 1);
+        assert_eq!(hd.buckets[1], 1);
+        assert_eq!(hd.buckets[3], 2);
+    }
+
+    #[test]
+    fn late_registration_reads_zero_from_old_shards() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        let old = r.shard();
+        old.add(c, 5);
+        // Registered after `old` was created: old shard has no slot for it.
+        let late = r.counter("late");
+        let newer = r.shard();
+        newer.add(late, 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.scalar("a"), 5);
+        assert_eq!(snap.scalar("late"), 2);
+    }
+
+    #[test]
+    fn concurrent_shards_do_not_interfere() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("n");
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let shard = r.shard();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    shard.inc(c);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot().scalar("n"), 40_000);
+        assert_eq!(r.shard_count(), 4);
+    }
+}

@@ -1,0 +1,361 @@
+//! Point-in-time merged view of a [`crate::Registry`], with delta
+//! computation ([`MetricsSnapshot::since`]) and JSON / Prometheus export.
+
+use crate::hist::{bucket_hi, BUCKETS};
+use crate::json;
+use crate::registry::MetricKind;
+
+/// Merged histogram data: one count per log-2 bucket plus the sample sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistData {
+    /// `buckets[b]` = number of samples in bucket `b` (see [`crate::hist`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all samples (for mean estimation).
+    pub sum: u64,
+}
+
+impl HistData {
+    /// Empty histogram.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Total sample count.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// first bucket at which the cumulative count reaches `ceil(q * n)`.
+    /// Exact to within one log-2 bucket by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_hi(b);
+            }
+        }
+        bucket_hi(BUCKETS - 1)
+    }
+
+    fn since(&self, earlier: &HistData) -> HistData {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(now, then)| now.wrapping_sub(*then))
+            .collect();
+        HistData {
+            buckets,
+            sum: self.sum.wrapping_sub(earlier.sum),
+        }
+    }
+}
+
+/// A single metric's merged value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter or gauge total.
+    Scalar(u64),
+    /// Histogram distribution.
+    Hist(HistData),
+}
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metric {
+    /// Registered name (dot-separated by convention, e.g. `net.wire_bytes`).
+    pub name: String,
+    /// Kind, as registered.
+    pub kind: MetricKind,
+    /// Merged value across all shards.
+    pub value: MetricValue,
+}
+
+/// A merged, point-in-time view of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All metrics, in registration order.
+    pub metrics: Vec<Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Scalar value of a counter/gauge (0 if absent).
+    pub fn scalar(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Metric {
+                value: MetricValue::Scalar(v),
+                ..
+            }) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram data by name.
+    pub fn hist(&self, name: &str) -> Option<&HistData> {
+        match self.get(name) {
+            Some(Metric {
+                value: MetricValue::Hist(h),
+                ..
+            }) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Delta since an earlier snapshot of the *same* registry: counters and
+    /// histogram buckets subtract (wrapping); gauges keep their current
+    /// value (a gauge delta is meaningless). Metrics absent from `earlier`
+    /// pass through unchanged.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let value = match (&m.value, earlier.get(&m.name)) {
+                    (MetricValue::Scalar(now), Some(e)) if m.kind == MetricKind::Counter => {
+                        match &e.value {
+                            MetricValue::Scalar(then) => {
+                                MetricValue::Scalar(now.wrapping_sub(*then))
+                            }
+                            _ => m.value.clone(),
+                        }
+                    }
+                    (MetricValue::Hist(now), Some(e)) => match &e.value {
+                        MetricValue::Hist(then) => MetricValue::Hist(now.since(then)),
+                        _ => m.value.clone(),
+                    },
+                    _ => m.value.clone(),
+                };
+                Metric {
+                    name: m.name.clone(),
+                    kind: m.kind,
+                    value,
+                }
+            })
+            .collect();
+        MetricsSnapshot { metrics }
+    }
+
+    /// Export as a single JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{"buckets":[..],"sum":n,"count":n,"p50":n,"p99":n}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (section, kind) in [
+            ("counters", MetricKind::Counter),
+            ("gauges", MetricKind::Gauge),
+        ] {
+            json::push_str_lit(&mut out, section);
+            out.push_str(":{");
+            let mut first = true;
+            for m in self.metrics.iter().filter(|m| m.kind == kind) {
+                if let MetricValue::Scalar(v) = &m.value {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    json::push_str_lit(&mut out, &m.name);
+                    out.push(':');
+                    out.push_str(&v.to_string());
+                }
+            }
+            out.push_str("},");
+        }
+        json::push_str_lit(&mut out, "histograms");
+        out.push_str(":{");
+        let mut first = true;
+        for m in &self.metrics {
+            if let MetricValue::Hist(h) = &m.value {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                json::push_str_lit(&mut out, &m.name);
+                out.push_str(":{\"buckets\":");
+                json::push_u64_array(&mut out, &h.buckets);
+                out.push_str(&format!(
+                    ",\"sum\":{},\"count\":{},\"p50\":{},\"p99\":{}}}",
+                    h.sum,
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                ));
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Export in the Prometheus text exposition format. Metric names are
+    /// sanitized (`.` and other non-identifier characters become `_`);
+    /// histograms emit cumulative `_bucket{le="..."}` series plus `_sum`
+    /// and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let name = sanitize(&m.name);
+            match &m.value {
+                MetricValue::Scalar(v) => {
+                    let ty = match m.kind {
+                        MetricKind::Counter => "counter",
+                        _ => "gauge",
+                    };
+                    out.push_str(&format!("# TYPE {name} {ty}\n{name} {v}\n"));
+                }
+                MetricValue::Hist(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (b, c) in h.buckets.iter().enumerate() {
+                        cum += c;
+                        // Skip interior empty buckets to keep output small,
+                        // but always emit crossed boundaries.
+                        if *c > 0 {
+                            out.push_str(&format!(
+                                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                                bucket_hi(b)
+                            ));
+                        }
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                    out.push_str(&format!("{name}_sum {}\n{name}_count {cum}\n", h.sum));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn filled_registry() -> (Registry, crate::MetricId, crate::MetricId) {
+        let r = Registry::new();
+        let c = r.counter("net.msgs");
+        let h = r.histogram("net.batch_bytes");
+        (r, c, h)
+    }
+
+    #[test]
+    fn since_deltas_counters_and_histograms() {
+        let (r, c, h) = filled_registry();
+        let g = r.gauge("queue.depth");
+        let s = r.shard();
+        s.add(c, 10);
+        s.observe(h, 100);
+        s.set(g, 7);
+        let before = r.snapshot();
+        s.add(c, 5);
+        s.observe(h, 100);
+        s.observe(h, 3);
+        s.set(g, 9);
+        let after = r.snapshot();
+
+        let d = after.since(&before);
+        assert_eq!(d.scalar("net.msgs"), 5, "counter delta");
+        assert_eq!(d.scalar("queue.depth"), 9, "gauge passes through");
+        let hd = d.hist("net.batch_bytes").unwrap();
+        assert_eq!(hd.count(), 2, "histogram count delta");
+        assert_eq!(hd.sum, 103, "histogram sum delta");
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_of_exact() {
+        let (r, _c, h) = filled_registry();
+        let s = r.shard();
+        // 100 samples, exact values 1..=100.
+        for v in 1..=100u64 {
+            s.observe(h, v);
+        }
+        let snap = r.snapshot();
+        let hd = snap.hist("net.batch_bytes").unwrap();
+        // Exact p50 = 50 (bucket 6: 32..=63); estimate must land in the
+        // same bucket as the exact value.
+        let p50 = hd.quantile(0.50);
+        assert_eq!(
+            crate::bucket_of(p50),
+            crate::bucket_of(50),
+            "p50 estimate {p50} in same bucket as exact 50"
+        );
+        // Exact p99 = 99 (bucket 7: 64..=127).
+        let p99 = hd.quantile(0.99);
+        assert_eq!(
+            crate::bucket_of(p99),
+            crate::bucket_of(99),
+            "p99 estimate {p99} in same bucket as exact 99"
+        );
+        // Degenerate cases.
+        assert_eq!(HistData::empty().quantile(0.5), 0);
+        let one = {
+            let (r2, _, h2) = filled_registry();
+            let s2 = r2.shard();
+            s2.observe(h2, 42);
+            r2.snapshot().hist("net.batch_bytes").unwrap().clone()
+        };
+        assert_eq!(crate::bucket_of(one.quantile(0.0)), crate::bucket_of(42));
+        assert_eq!(crate::bucket_of(one.quantile(1.0)), crate::bucket_of(42));
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let (r, c, h) = filled_registry();
+        let g = r.gauge("queue.depth");
+        let s = r.shard();
+        s.add(c, 3);
+        s.set(g, 2);
+        s.observe(h, 8);
+        let j = r.snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"net.msgs\":3"), "{j}");
+        assert!(j.contains("\"queue.depth\":2"), "{j}");
+        assert!(j.contains("\"net.batch_bytes\":{\"buckets\":["), "{j}");
+        assert!(j.contains("\"sum\":8,\"count\":1"), "{j}");
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let (r, c, h) = filled_registry();
+        let s = r.shard();
+        s.add(c, 3);
+        s.observe(h, 8);
+        s.observe(h, 9);
+        let p = r.snapshot().to_prometheus();
+        assert!(p.contains("# TYPE net_msgs counter\nnet_msgs 3\n"), "{p}");
+        assert!(p.contains("# TYPE net_batch_bytes histogram"), "{p}");
+        // 8 and 9 both fall in bucket 4 (le=15); cumulative count 2.
+        assert!(p.contains("net_batch_bytes_bucket{le=\"15\"} 2"), "{p}");
+        assert!(p.contains("net_batch_bytes_bucket{le=\"+Inf\"} 2"), "{p}");
+        assert!(p.contains("net_batch_bytes_sum 17"), "{p}");
+        assert!(p.contains("net_batch_bytes_count 2"), "{p}");
+    }
+}

@@ -30,6 +30,8 @@ pub mod weight;
 pub use agg::AggState;
 pub use interp::{Interpreter, Outcome, Row};
 pub use ledger::WeightLedger;
+#[cfg(feature = "obs")]
+pub use memo::MemoStats;
 pub use memo::{Memo, QueryMemo};
 pub use traverser::Traverser;
 pub use weight::Weight;

@@ -18,6 +18,45 @@ use crate::weight::WeightAccumulator;
 /// The locals carried by a parked join row.
 pub type JoinRow = Vec<Value>;
 
+/// Per-query memo access statistics, drained by the worker's observability
+/// layer after each execution batch (only with the `obs` feature).
+#[cfg(feature = "obs")]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Dedup keys already present (traverser pruned).
+    pub dedup_hits: u64,
+    /// Fresh dedup keys inserted.
+    pub dedup_misses: u64,
+    /// Min-distance lookups that found an existing record.
+    pub min_dist_hits: u64,
+    /// Min-distance lookups that created a record.
+    pub min_dist_misses: u64,
+    /// Double-pipelined join insert-and-probe operations.
+    pub join_probes: u64,
+    /// Rows returned by join probes (matches on the opposite side).
+    pub join_matches: u64,
+    /// Aggregation partial accesses.
+    pub agg_updates: u64,
+}
+
+#[cfg(feature = "obs")]
+impl MemoStats {
+    /// Drain: return the accumulated stats, resetting to zero.
+    pub fn take(&mut self) -> MemoStats {
+        std::mem::take(self)
+    }
+
+    /// Lookups that hit existing memo state.
+    pub fn hits(&self) -> u64 {
+        self.dedup_hits + self.min_dist_hits + self.join_matches
+    }
+
+    /// Lookups that created fresh memo state.
+    pub fn misses(&self) -> u64 {
+        self.dedup_misses + self.min_dist_misses
+    }
+}
+
 /// Per-query memo records within one partition.
 #[derive(Debug, Default)]
 pub struct QueryMemo {
@@ -35,6 +74,9 @@ pub struct QueryMemo {
     /// Locally coalesced finished weight (§IV-A weight coalescing) for the
     /// current stage.
     pub finished: WeightAccumulator,
+    /// Access statistics since the last drain (obs builds only).
+    #[cfg(feature = "obs")]
+    pub stats: MemoStats,
 }
 
 impl QueryMemo {
@@ -47,7 +89,16 @@ impl QueryMemo {
         vertex: VertexId,
         slots: Vec<ValueKey>,
     ) -> bool {
-        self.dedup.insert((pipeline, pc, vertex, slots))
+        let fresh = self.dedup.insert((pipeline, pc, vertex, slots));
+        #[cfg(feature = "obs")]
+        {
+            if fresh {
+                self.stats.dedup_misses += 1;
+            } else {
+                self.stats.dedup_hits += 1;
+            }
+        }
+        fresh
     }
 
     /// Min-distance check-and-update: returns `true` if `dist` improves the
@@ -56,6 +107,10 @@ impl QueryMemo {
     pub fn min_dist_update(&mut self, pipeline: u16, pc: u16, vertex: VertexId, dist: i64) -> bool {
         match self.min_dist.entry((pipeline, pc, vertex)) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
+                #[cfg(feature = "obs")]
+                {
+                    self.stats.min_dist_hits += 1;
+                }
                 if dist < *e.get() {
                     e.insert(dist);
                     true
@@ -64,6 +119,10 @@ impl QueryMemo {
                 }
             }
             std::collections::hash_map::Entry::Vacant(e) => {
+                #[cfg(feature = "obs")]
+                {
+                    self.stats.min_dist_misses += 1;
+                }
                 e.insert(dist);
                 true
             }
@@ -81,17 +140,27 @@ impl QueryMemo {
         row: JoinRow,
     ) -> Vec<JoinRow> {
         let (a, b) = self.join.entry((join_id, key)).or_default();
-        if side_a {
+        let matches = if side_a {
             a.push(row);
             b.clone()
         } else {
             b.push(row);
             a.clone()
+        };
+        #[cfg(feature = "obs")]
+        {
+            self.stats.join_probes += 1;
+            self.stats.join_matches += matches.len() as u64;
         }
+        matches
     }
 
     /// The stage's aggregation partial, created on first use.
     pub fn agg_mut(&mut self, init: impl FnOnce() -> AggState) -> &mut AggState {
+        #[cfg(feature = "obs")]
+        {
+            self.stats.agg_updates += 1;
+        }
         self.agg.get_or_insert_with(init)
     }
 
@@ -136,6 +205,16 @@ impl Memo {
     /// Number of queries with live memo records (diagnostics / leak tests).
     pub fn live_queries(&self) -> usize {
         self.queries.len()
+    }
+
+    /// Drain the access statistics of `query` without creating memo state
+    /// for it (queries the worker no longer tracks return zeros).
+    #[cfg(feature = "obs")]
+    pub fn take_stats(&mut self, query: QueryId) -> MemoStats {
+        self.queries
+            .get_mut(&query)
+            .map(|q| q.stats.take())
+            .unwrap_or_default()
     }
 }
 

@@ -24,6 +24,7 @@ pub struct Graph {
     schema: Arc<Schema>,
     partitioner: Partitioner,
     parts: Arc<[RwLock<GraphPartition>]>,
+    // lint: allow(adhoc-counter) id allocator, not a metric
     next_edge_id: Arc<AtomicU64>,
 }
 
@@ -80,6 +81,21 @@ impl Graph {
     /// Allocate a fresh edge id.
     pub fn alloc_edge_id(&self) -> EdgeId {
         EdgeId(self.next_edge_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Merge the TEL scan-length histograms of every partition (obs builds
+    /// only): how many log versions each adjacency scan walked.
+    #[cfg(feature = "obs")]
+    pub fn tel_scan_hist(&self) -> graphdance_obs::HistData {
+        let mut merged = graphdance_obs::HistData::empty();
+        for p in self.parts.iter() {
+            let d = p.read().scan_stats().scan_len.data();
+            for (m, b) in merged.buckets.iter_mut().zip(d.buckets.iter()) {
+                *m += b;
+            }
+            merged.sum += d.sum;
+        }
+        merged
     }
 
     /// Insert a vertex at runtime (routed to its owner partition).
@@ -316,6 +332,7 @@ impl GraphBuilder {
                 .map(RwLock::new)
                 .collect::<Vec<_>>()
                 .into(),
+            // lint: allow(adhoc-counter) id allocator, not a metric
             next_edge_id: Arc::new(AtomicU64::new(self.next_edge_id)),
         }
     }

@@ -25,6 +25,8 @@ pub mod stats;
 pub mod tel;
 
 pub use graph::{Graph, GraphBuilder};
+#[cfg(feature = "obs")]
+pub use partition_store::ScanStats;
 pub use partition_store::{Direction, EdgeRef, GraphPartition, VertexRecord};
 pub use schema::Schema;
 pub use stats::GraphStats;

@@ -65,6 +65,17 @@ pub struct EdgeRef<'a> {
     pub dir: Direction,
 }
 
+/// TEL access statistics for one partition (obs builds only). Scans run
+/// under `&self`, so the histogram uses the shared (atomic) recorder; edge
+/// scans are partition-local, making contention a non-issue.
+#[cfg(feature = "obs")]
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    /// Versions walked per [`GraphPartition::edges`] call (both directions),
+    /// i.e. TEL scan length including entries filtered by label/visibility.
+    pub scan_len: graphdance_obs::SharedHistogram,
+}
+
 /// One graph partition (see module docs).
 #[derive(Debug)]
 pub struct GraphPartition {
@@ -82,6 +93,9 @@ pub struct GraphPartition {
     label_index: FxHashMap<Label, Vec<u32>>,
     /// Count of live (bulk + committed) directed edges stored on the out side.
     out_edge_count: u64,
+    /// TEL scan-length statistics (obs builds only).
+    #[cfg(feature = "obs")]
+    scan_stats: ScanStats,
 }
 
 impl GraphPartition {
@@ -97,7 +111,15 @@ impl GraphPartition {
             prop_index: FxHashMap::default(),
             label_index: FxHashMap::default(),
             out_edge_count: 0,
+            #[cfg(feature = "obs")]
+            scan_stats: ScanStats::default(),
         }
+    }
+
+    /// TEL scan statistics recorded by this partition (obs builds only).
+    #[cfg(feature = "obs")]
+    pub fn scan_stats(&self) -> &ScanStats {
+        &self.scan_stats
     }
 
     /// This partition's id.
@@ -264,6 +286,12 @@ impl GraphPartition {
             Direction::In => (None, Some(&self.inn[li])),
             Direction::Both => (Some(&self.out[li]), Some(&self.inn[li])),
         };
+        #[cfg(feature = "obs")]
+        {
+            let walked =
+                o.map_or(0, |t| t.len_versions() as u64) + i.map_or(0, |t| t.len_versions() as u64);
+            self.scan_stats.scan_len.observe(walked);
+        }
         let out_iter = o.into_iter().flat_map(move |t| {
             t.scan_visible(label, ts).map(|e| EdgeRef {
                 entry: e,

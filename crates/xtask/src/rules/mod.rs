@@ -9,6 +9,7 @@
 
 use crate::scan::{SourceFile, Violation};
 
+pub mod adhoc_counter;
 pub mod codec_exhaustive;
 pub mod hot_path_panics;
 pub mod nondeterminism;
@@ -32,5 +33,6 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(std_hash::StdHash),
         Box::new(nondeterminism::Nondeterminism),
         Box::new(codec_exhaustive::CodecExhaustive),
+        Box::new(adhoc_counter::AdhocCounter),
     ]
 }

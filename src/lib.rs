@@ -45,3 +45,8 @@ pub use graphdance_pstm as pstm;
 pub use graphdance_query as query;
 pub use graphdance_storage as storage;
 pub use graphdance_txn as txn;
+
+/// Observability: sharded metrics registry + query-span tracing (only
+/// with the `obs` cargo feature; see DESIGN.md "Observability").
+#[cfg(feature = "obs")]
+pub use graphdance_obs as obs;
