@@ -34,6 +34,21 @@ for i in $(seq 1 20); do
         || { echo "shared_state_khop failed on iteration $i"; exit 1; }
 done
 
+echo "==> deterministic simulation: committed repro corpus (sim-repro/*.repro)"
+cargo test -q --test sim_repro
+
+echo "==> deterministic simulation: DST suites (default seed counts)"
+cargo test -q --test sim_dst --test sim_property --test sim_faults \
+    --test sim_exhaustive --test sim_regression_khop
+
+if [ "${CI_NIGHTLY:-0}" = "1" ]; then
+    echo "==> nightly: SIM_SEEDS=1000 fault-schedule + exhaustive-topology sweep"
+    SIM_SEEDS=1000 cargo test -q --release --test sim_faults \
+        --test sim_exhaustive --test sim_property
+else
+    echo "==> skipping 1000-seed sim sweep (set CI_NIGHTLY=1 to enable)"
+fi
+
 if [ "${CI_ONLINE:-0}" = "1" ]; then
     echo "==> cargo update --dry-run (registry reachability smoke test)"
     cargo update --dry-run

@@ -9,14 +9,133 @@
 //! else must call it instead of `std::time::Instant::now()` — enforced by
 //! `cargo xtask check` (the `nondeterminism` lint) — so that clock reads
 //! are findable in one grep and can be centrally instrumented or frozen.
+//!
+//! "Frozen" is not hypothetical: [`sim`] provides a thread-local **virtual
+//! clock** for the deterministic simulation mode. While a thread holds a
+//! [`sim::ClockGuard`], its `now()` reads return a fixed epoch plus a
+//! virtual-nanosecond offset that only moves when the simulator advances
+//! it, making timeouts, propagation delays, and watchdogs pure functions of
+//! the simulation schedule.
 
 use std::time::Instant;
 
-/// Read the wall clock. The single sanctioned `Instant::now()` in the
+/// Read the clock: the thread's virtual clock when frozen ([`sim`]),
+/// otherwise the wall clock. The single sanctioned `Instant::now()` in the
 /// workspace; see the module docs.
 #[inline]
 pub fn now() -> Instant {
+    if let Some(ns) = sim::current_nanos() {
+        return sim::base() + std::time::Duration::from_nanos(ns);
+    }
     Instant::now() // lint: allow(nondeterminism) — the sanctioned clock read
+}
+
+/// The thread-local virtual clock behind deterministic simulation.
+///
+/// The clock is per-thread on purpose: a simulation runs its whole cluster
+/// on one OS thread, and freezing only that thread's clock lets other test
+/// threads (and the threaded engine) keep real time. All virtual instants
+/// are `base() + offset`, so `Instant` arithmetic (deadlines, `deliver_at`,
+/// durations) behaves identically to wall-clock code paths.
+pub mod sim {
+    use std::cell::Cell;
+    use std::marker::PhantomData;
+    use std::sync::OnceLock;
+    use std::time::{Duration, Instant};
+
+    thread_local! {
+        /// Virtual nanoseconds since [`base`], or `None` when this thread
+        /// reads the wall clock.
+        static VIRTUAL_NANOS: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+
+    /// The process-wide epoch all virtual instants are offsets from.
+    pub(super) fn base() -> Instant {
+        static BASE: OnceLock<Instant> = OnceLock::new();
+        *BASE.get_or_init(|| {
+            Instant::now() // lint: allow(nondeterminism) — virtual-clock epoch anchor
+        })
+    }
+
+    /// The thread's virtual offset, or `None` when unfrozen.
+    #[inline]
+    pub(super) fn current_nanos() -> Option<u64> {
+        VIRTUAL_NANOS.with(Cell::get)
+    }
+
+    /// Keeps the calling thread's clock frozen; dropping it restores wall
+    /// time (panic-safe, so a failing simulation test cannot leak a frozen
+    /// clock into the next test on the same thread).
+    #[must_use = "the clock unfreezes when the guard drops"]
+    pub struct ClockGuard {
+        /// `!Send`: the guard must drop on the thread it froze.
+        _pinned: PhantomData<*const ()>,
+    }
+
+    impl Drop for ClockGuard {
+        fn drop(&mut self) {
+            VIRTUAL_NANOS.with(|v| v.set(None));
+        }
+    }
+
+    /// Freeze this thread's clock at virtual time zero.
+    ///
+    /// # Panics
+    /// Panics if the thread's clock is already frozen — nesting two
+    /// simulations on one thread would silently share (and reset) a clock.
+    pub fn freeze_clock() -> ClockGuard {
+        VIRTUAL_NANOS.with(|v| {
+            assert!(
+                v.get().is_none(),
+                "virtual clock is already frozen on this thread"
+            );
+            v.set(Some(0));
+        });
+        let _ = base(); // pin the epoch before the first virtual read
+        ClockGuard {
+            _pinned: PhantomData,
+        }
+    }
+
+    /// Is this thread's clock frozen?
+    #[inline]
+    pub fn is_frozen() -> bool {
+        current_nanos().is_some()
+    }
+
+    /// Virtual nanoseconds since the freeze.
+    ///
+    /// # Panics
+    /// Panics if the clock is not frozen.
+    pub fn now_nanos() -> u64 {
+        current_nanos().expect("virtual clock is not frozen on this thread")
+    }
+
+    /// Advance the frozen clock by `d`.
+    ///
+    /// # Panics
+    /// Panics if the clock is not frozen.
+    pub fn advance(d: Duration) {
+        VIRTUAL_NANOS.with(|v| {
+            let cur = v.get().expect("virtual clock is not frozen on this thread");
+            v.set(Some(cur.saturating_add(d.as_nanos() as u64)));
+        });
+    }
+
+    /// Advance the frozen clock to `target` (no-op if `target` is not in
+    /// the future — the simulated clock never runs backwards).
+    ///
+    /// # Panics
+    /// Panics if the clock is not frozen.
+    pub fn advance_to(target: Instant) {
+        let ns = target.saturating_duration_since(base()).as_nanos() as u64;
+        VIRTUAL_NANOS.with(|v| {
+            let cur = v.get().expect("virtual clock is not frozen on this thread");
+            if ns > cur {
+                v.set(Some(ns));
+            }
+        });
+    }
 }
 
 /// Milliseconds in one day.
@@ -116,5 +235,41 @@ mod tests {
     fn ordering_matches_calendar() {
         assert!(date_millis(2010, 5, 3) < date_millis(2010, 5, 4));
         assert!(date_millis(2009, 12, 31) < date_millis(2010, 1, 1));
+    }
+
+    #[test]
+    fn frozen_clock_only_moves_when_advanced() {
+        let _guard = sim::freeze_clock();
+        assert!(sim::is_frozen());
+        assert_eq!(sim::now_nanos(), 0);
+        let t0 = now();
+        assert_eq!(now(), t0, "frozen clock does not tick on its own");
+        sim::advance(std::time::Duration::from_micros(7));
+        assert_eq!(sim::now_nanos(), 7_000);
+        assert_eq!(now() - t0, std::time::Duration::from_micros(7));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let _guard = sim::freeze_clock();
+        let later = now() + std::time::Duration::from_millis(3);
+        sim::advance_to(later);
+        assert_eq!(sim::now_nanos(), 3_000_000);
+        // Advancing to a past instant is a no-op.
+        sim::advance_to(later - std::time::Duration::from_millis(1));
+        assert_eq!(sim::now_nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn guard_drop_restores_wall_time() {
+        {
+            let _guard = sim::freeze_clock();
+            assert!(sim::is_frozen());
+        }
+        assert!(!sim::is_frozen());
+        // Wall clock is live again: two reads are ordered, not pinned.
+        let a = now();
+        let b = now();
+        assert!(b >= a);
     }
 }

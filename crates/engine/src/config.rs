@@ -79,6 +79,67 @@ pub struct FaultInjection {
     /// on each worker — simulates a weight-conservation bug in a traversal
     /// step.
     pub leak_weight_nth: Option<u64>,
+    /// Seed-derived probabilistic fault schedule for the deterministic
+    /// simulator (see [`SimFaults`]).
+    pub sim: SimFaults,
+}
+
+/// Seed-derived fault schedule for the deterministic simulator
+/// (`crate::sim`). Every probability is expressed in **per mille**
+/// (0..=1000) and rolled from an RNG derived from the engine seed, so one
+/// `(seed, SimFaults)` pair names the exact same fault sequence on every
+/// replay. Outside the simulator these knobs are inert, except
+/// [`SimFaults::progress_side_channel`], which workers consult directly
+/// (it re-creates a fixed ordering bug for regression tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimFaults {
+    /// Chance a remote traverser batch is dropped at ingress.
+    pub drop_permille: u16,
+    /// Chance a remote traverser batch is delivered twice at ingress.
+    pub dup_permille: u16,
+    /// Chance a set of simultaneously-due packets is delivered in reverse
+    /// arrival order.
+    pub reorder_permille: u16,
+    /// Chance an arriving packet is held for an extra per-link delay spike.
+    pub delay_permille: u16,
+    /// Magnitude of a delay spike.
+    pub delay_spike: Duration,
+    /// Chance a scheduled worker quantum stalls instead of running.
+    pub stall_permille: u16,
+    /// How long a stalled worker stays off the runnable set (virtual time).
+    pub stall: Duration,
+    /// Re-introduce the pre-fix `shared_state_khop` drain order: coalesced
+    /// progress reports bypass the row FIFO and can overtake result rows
+    /// still buffered in the sender's outbox. For regression tests only.
+    pub progress_side_channel: bool,
+}
+
+impl SimFaults {
+    /// A moderate lossy schedule (drops + duplicates + delays) for fault
+    /// sweeps.
+    pub fn lossy() -> Self {
+        SimFaults {
+            drop_permille: 40,
+            dup_permille: 40,
+            reorder_permille: 100,
+            delay_permille: 100,
+            delay_spike: Duration::from_micros(200),
+            stall_permille: 20,
+            stall: Duration::from_micros(500),
+            progress_side_channel: false,
+        }
+    }
+
+    /// Does this schedule inject message loss or duplication (outcomes the
+    /// conservation checkers must flag)?
+    pub fn is_lossy(&self) -> bool {
+        self.drop_permille > 0 || self.dup_permille > 0
+    }
+
+    /// Does this schedule inject anything at all?
+    pub fn is_quiet(&self) -> bool {
+        *self == SimFaults::default()
+    }
 }
 
 /// Full engine configuration.

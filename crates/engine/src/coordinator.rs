@@ -92,6 +92,12 @@ impl Coordinator {
     /// Main loop; returns on `Shutdown`.
     pub fn run(mut self) {
         loop {
+            match self.pump() {
+                crate::worker::PumpStatus::Stopped => return,
+                crate::worker::PumpStatus::Worked | crate::worker::PumpStatus::Idle => {}
+            }
+            // Block (bounded by the timer tick) for the next message; the
+            // next pump drains it along with anything else queued.
             match self.inbox.recv_timeout(Duration::from_millis(20)) {
                 Ok(CoordMsg::Shutdown) => {
                     self.fail_all(GdError::EngineClosed);
@@ -101,8 +107,58 @@ impl Coordinator {
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             }
-            self.enforce_deadlines();
         }
+    }
+
+    /// One non-blocking scheduling quantum: drain every queued message and
+    /// enforce timers. Used directly by the deterministic simulator and by
+    /// [`Coordinator::run`].
+    pub fn pump(&mut self) -> crate::worker::PumpStatus {
+        let mut worked = false;
+        loop {
+            match self.inbox.try_recv() {
+                Ok(CoordMsg::Shutdown) => {
+                    self.fail_all(GdError::EngineClosed);
+                    return crate::worker::PumpStatus::Stopped;
+                }
+                Ok(msg) => {
+                    self.handle(msg);
+                    worked = true;
+                }
+                Err(_) => break,
+            }
+        }
+        worked |= self.enforce_deadlines() > 0;
+        if worked {
+            crate::worker::PumpStatus::Worked
+        } else {
+            crate::worker::PumpStatus::Idle
+        }
+    }
+
+    /// Is a quantum worth scheduling — queued messages, or a timer that has
+    /// already expired under the current clock?
+    pub fn has_work(&self) -> bool {
+        !self.inbox.is_empty() || self.next_timer().is_some_and(|t| t <= now())
+    }
+
+    /// The earliest instant at which a timer fires: a query deadline, or —
+    /// when the conservation ledger shows an imbalance — the liveness
+    /// watchdog for a stalled query. The simulator advances its virtual
+    /// clock here when the cluster is otherwise blocked.
+    pub fn next_timer(&self) -> Option<Instant> {
+        let mut next: Option<Instant> = None;
+        let mut fold = |t: Instant| match next {
+            Some(cur) if cur <= t => {}
+            _ => next = Some(t),
+        };
+        for (q, s) in &self.queries {
+            fold(s.deadline);
+            if MsgLedger::ENABLED && self.fabric.invariants().has_imbalance(*q) {
+                fold(s.last_activity + self.watchdog_stall);
+            }
+        }
+        next
     }
 
     fn handle(&mut self, msg: CoordMsg) {
@@ -398,7 +454,9 @@ impl Coordinator {
         #[cfg(feature = "obs")]
         self.obs.stage_end(query, state.stage);
         if last {
-            let latency = state.submitted_at.elapsed();
+            // Via `now()`, not `Instant::elapsed`, so simulated runs report
+            // virtual latency.
+            let latency = now().saturating_duration_since(state.submitted_at);
             let steps_executed = state.steps_executed;
             self.finish(
                 query,
@@ -443,7 +501,9 @@ impl Coordinator {
         {
             if let Some(state) = self.queries.get(&query) {
                 let counts = self.fabric.invariants().counts(query);
-                let total_ns = state.submitted_at.elapsed().as_nanos() as u64;
+                let total_ns = now()
+                    .saturating_duration_since(state.submitted_at)
+                    .as_nanos() as u64;
                 self.obs
                     .query_done(query, total_ns, counts.sent, counts.delivered);
             } else {
@@ -465,8 +525,8 @@ impl Coordinator {
     /// no progress for `watchdog_stall` *and* shows undelivered traverser
     /// messages in the conservation ledger will never complete — fail it
     /// immediately with the ledger dump instead of hanging until the
-    /// deadline.
-    fn enforce_deadlines(&mut self) {
+    /// deadline. Returns how many queries were failed.
+    fn enforce_deadlines(&mut self) -> usize {
         let now = now();
         let mut timed_out = Vec::new();
         let mut stalled = Vec::new();
@@ -480,6 +540,7 @@ impl Coordinator {
                 stalled.push(*q);
             }
         }
+        let fired = timed_out.len() + stalled.len();
         for q in timed_out {
             self.finish(q, Err(GdError::QueryTimeout(q)));
         }
@@ -490,6 +551,7 @@ impl Coordinator {
             );
             self.finish(q, Err(GdError::InvariantViolation(diag)));
         }
+        fired
     }
 
     fn fail_all(&mut self, err: GdError) {

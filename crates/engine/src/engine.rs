@@ -145,6 +145,7 @@ impl GraphDance {
                             for c in caches.iter() {
                                 c.refresh(&mgr);
                             }
+                            // lint: allow(sim-determinism) broadcaster thread exists in threaded mode only
                             std::thread::sleep(Duration::from_micros(500));
                         }
                     })
@@ -269,6 +270,7 @@ impl GraphDance {
             if now() >= deadline {
                 return Ok((result, None));
             }
+            // lint: allow(sim-determinism) trace-sink wait on the threaded engine; SimCluster has its own query path
             std::thread::sleep(Duration::from_micros(200));
         }
     }

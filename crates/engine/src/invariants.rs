@@ -39,6 +39,13 @@ impl MsgCounts {
     pub fn in_flight(&self) -> u64 {
         self.sent.saturating_sub(self.delivered)
     }
+
+    /// Traversers delivered more than once (a duplication fault): the
+    /// excess of `delivered` over `sent`. Invisible to [`Self::in_flight`],
+    /// which saturates at zero.
+    pub fn surplus(&self) -> u64 {
+        self.delivered.saturating_sub(self.sent)
+    }
 }
 
 /// Fabric-wide message-conservation ledger. Shared by all outboxes and the
@@ -84,9 +91,11 @@ impl MsgLedger {
         self.counts.lock().get(&query).copied().unwrap_or_default()
     }
 
-    /// Does `query` show undelivered traversers right now?
+    /// Does `query` show a sent/delivered mismatch right now — either
+    /// undelivered traversers (drop) or excess deliveries (duplicate)?
     pub fn has_imbalance(&self, query: QueryId) -> bool {
-        self.counts(query).in_flight() > 0
+        let c = self.counts(query);
+        c.sent != c.delivered
     }
 
     /// Drop `query`'s counters (call when the query finishes).
@@ -98,31 +107,43 @@ impl MsgLedger {
     }
 
     /// Quiesce check: at scope completion every sent traverser must have
-    /// been delivered. Returns the diagnostic dump on violation.
+    /// been delivered exactly once. Returns the diagnostic dump on
+    /// violation (deficit *or* surplus).
     pub fn check_quiesced(&self, query: QueryId) -> Result<(), String> {
         if !Self::ENABLED {
             return Ok(());
         }
         let c = self.counts(query);
-        if c.in_flight() == 0 {
+        if c.sent == c.delivered {
             Ok(())
         } else {
             Err(self.dump(query, "message conservation violated at quiesce"))
         }
     }
 
-    /// Diagnostic dump for `query`: headline, counters, and the in-flight
-    /// deficit. Used by the watchdog and the quiesce check.
+    /// Diagnostic dump for `query`: headline, counters, and the direction
+    /// of the imbalance. Used by the watchdog and the quiesce check.
     pub fn dump(&self, query: QueryId, headline: &str) -> String {
         let c = self.counts(query);
-        format!(
-            "{headline} for query {query:?}: sent {} traverser message(s), \
-             delivered {}, {} still marked in flight — a message was dropped \
-             or a delivery path is not counting",
-            c.sent,
-            c.delivered,
-            c.in_flight(),
-        )
+        if c.delivered > c.sent {
+            format!(
+                "{headline} for query {query:?}: sent {} traverser message(s), \
+                 delivered {}, {} delivered in excess of sent — a message was \
+                 duplicated in the delivery path",
+                c.sent,
+                c.delivered,
+                c.surplus(),
+            )
+        } else {
+            format!(
+                "{headline} for query {query:?}: sent {} traverser message(s), \
+                 delivered {}, {} still marked in flight — a message was dropped \
+                 or a delivery path is not counting",
+                c.sent,
+                c.delivered,
+                c.in_flight(),
+            )
+        }
     }
 }
 
@@ -162,6 +183,23 @@ mod tests {
         assert!(err.contains("sent 5"), "got: {err}");
         assert!(err.contains("delivered 4"), "got: {err}");
         assert!(err.contains("1 still marked in flight"), "got: {err}");
+    }
+
+    #[test]
+    fn duplicated_message_is_reported_with_diagnostic() {
+        let ledger = MsgLedger::new();
+        let q = QueryId(8);
+        ledger.record_sent(q, 3);
+        ledger.record_delivered(q, 4); // one message delivered twice
+        assert_eq!(ledger.counts(q).surplus(), 1);
+        assert_eq!(ledger.counts(q).in_flight(), 0, "in_flight saturates");
+        assert!(ledger.has_imbalance(q), "surplus counts as imbalance");
+        let err = ledger
+            .check_quiesced(q)
+            .expect_err("surplus must be flagged");
+        assert!(err.contains("duplicated"), "got: {err}");
+        assert!(err.contains("sent 3"), "got: {err}");
+        assert!(err.contains("delivered 4"), "got: {err}");
     }
 
     #[test]

@@ -37,12 +37,17 @@ pub mod messages;
 pub mod net;
 pub mod obs;
 pub mod progress;
+pub mod sim;
 pub mod worker;
 
-pub use config::{EngineConfig, FaultInjection, IoMode, NetConfig};
+pub use config::{EngineConfig, FaultInjection, IoMode, NetConfig, SimFaults};
 pub use engine::{GraphDance, QueryHandle, QueryResult};
 pub use invariants::{MsgCounts, MsgLedger};
 pub use net::{Fabric, MsgClass, NetStats, NetStatsSnapshot};
+pub use sim::{
+    FaultCounts, SimActor, SimCluster, SimEvent, SimEventKind, SimHandle, SimStep, SimTrace,
+};
+pub use worker::PumpStatus;
 
 #[cfg(feature = "obs")]
 pub use obs::{CoordObs, EngineObs, NetShard, WorkerObs};

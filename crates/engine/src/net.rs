@@ -166,7 +166,7 @@ impl NetStatsSnapshot {
 
 /// A message on the (simulated) wire.
 #[derive(Debug)]
-enum WireMsg {
+pub(crate) enum WireMsg {
     /// Serialized traverser batch for one worker.
     Batch { dest: WorkerId, payload: Bytes },
     /// Coalesced progress report (to the coordinator).
@@ -200,7 +200,7 @@ impl WireMsg {
     }
 }
 
-enum EgressEvent {
+pub(crate) enum EgressEvent {
     Packet {
         dest_node: NodeId,
         msgs: Vec<WireMsg>,
@@ -209,12 +209,22 @@ enum EgressEvent {
     Shutdown,
 }
 
-enum IngressEvent {
+pub(crate) enum IngressEvent {
     Packet {
         deliver_at: Instant,
         msgs: Vec<WireMsg>,
     },
     Shutdown,
+}
+
+/// The raw channel endpoints behind the per-node network threads. The
+/// threaded engine consumes them inside [`Fabric::new`]'s spawned loops;
+/// the deterministic simulator ([`crate::sim`]) takes them from
+/// [`Fabric::new_sim`] and pumps them cooperatively instead.
+pub(crate) struct NetChannels {
+    pub egress_rx: Vec<Receiver<EgressEvent>>,
+    pub ingress_tx: Vec<Sender<IngressEvent>>,
+    pub ingress_rx: Vec<Receiver<IngressEvent>>,
 }
 
 /// The cluster fabric: inbox senders plus the tier-2 network threads.
@@ -238,13 +248,13 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Build the fabric and spawn the per-node network threads. Returns the
-    /// fabric and the thread handles (joined at shutdown).
-    pub fn new(
+    /// Build the fabric and its network-channel endpoints without spawning
+    /// any threads (shared by the threaded and simulated constructors).
+    fn build(
         config: &EngineConfig,
         worker_tx: Vec<Sender<WorkerMsg>>,
         coord_tx: Sender<CoordMsg>,
-    ) -> (Arc<Fabric>, Vec<std::thread::JoinHandle<()>>) {
+    ) -> (Arc<Fabric>, NetChannels) {
         let partitioner = Partitioner::new(config.nodes, config.workers_per_node);
         #[cfg(feature = "obs")]
         let obs = Arc::new(crate::obs::EngineObs::new(partitioner.num_parts()));
@@ -279,14 +289,34 @@ impl Fabric {
             #[cfg(feature = "obs")]
             obs,
         });
+        let channels = NetChannels {
+            egress_rx,
+            ingress_tx,
+            ingress_rx,
+        };
+        (fabric, channels)
+    }
+
+    /// Build the fabric and spawn the per-node network threads. Returns the
+    /// fabric and the thread handles (joined at shutdown).
+    pub fn new(
+        config: &EngineConfig,
+        worker_tx: Vec<Sender<WorkerMsg>>,
+        coord_tx: Sender<CoordMsg>,
+    ) -> (Arc<Fabric>, Vec<std::thread::JoinHandle<()>>) {
+        let (fabric, channels) = Fabric::build(config, worker_tx, coord_tx);
+        let NetChannels {
+            egress_rx,
+            ingress_tx,
+            ingress_rx,
+        } = channels;
         let mut handles = Vec::new();
         for (node, rx) in egress_rx.into_iter().enumerate() {
-            let fabric2 = Arc::clone(&fabric);
-            let ingress = ingress_tx.clone();
+            let pump = EgressPump::new(Arc::clone(&fabric), rx, ingress_tx.clone());
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("gd-egress-{node}"))
-                    .spawn(move || egress_loop(fabric2, rx, ingress))
+                    .spawn(move || pump.run())
                     // Fabric construction precedes all queries.
                     .expect("spawn egress"), // lint: allow(hot-path-panics)
             );
@@ -302,6 +332,18 @@ impl Fabric {
             );
         }
         (fabric, handles)
+    }
+
+    /// Build the fabric for the deterministic simulator: no threads are
+    /// spawned; the caller receives the raw channel endpoints and pumps
+    /// them itself (egress via [`EgressPump::pump`], ingress by draining
+    /// `ingress_rx` under the virtual clock).
+    pub(crate) fn new_sim(
+        config: &EngineConfig,
+        worker_tx: Vec<Sender<WorkerMsg>>,
+        coord_tx: Sender<CoordMsg>,
+    ) -> (Arc<Fabric>, NetChannels) {
+        Fabric::build(config, worker_tx, coord_tx)
     }
 
     /// Topology.
@@ -346,7 +388,7 @@ impl Fabric {
 
     /// Deliver a wire message locally (shared-memory shortcut or post-
     /// deserialization dispatch).
-    fn deliver(&self, msg: WireMsg) {
+    pub(crate) fn deliver(&self, msg: WireMsg) {
         match msg {
             WireMsg::Batch { dest, payload } => {
                 if let Some(nth) = self.fault.drop_batch_nth {
@@ -415,25 +457,87 @@ impl Fabric {
     }
 }
 
-fn egress_loop(fabric: Arc<Fabric>, rx: Receiver<EgressEvent>, ingress: Vec<Sender<IngressEvent>>) {
+/// One node's tier-2 sender (node-level combining). The threaded engine
+/// runs [`EgressPump::run`] on a dedicated `gd-egress-N` thread; the
+/// deterministic simulator holds the pump directly and calls
+/// [`EgressPump::pump`] as a cooperatively-scheduled actor.
+pub(crate) struct EgressPump {
+    fabric: Arc<Fabric>,
+    rx: Receiver<EgressEvent>,
+    ingress: Vec<Sender<IngressEvent>>,
     #[cfg(feature = "obs")]
-    let obs = fabric.obs.net_shard();
-    let mut stop = false;
-    while !stop {
-        let first = match rx.recv() {
-            Ok(EgressEvent::Packet {
+    obs: crate::obs::NetShard,
+}
+
+impl EgressPump {
+    pub(crate) fn new(
+        fabric: Arc<Fabric>,
+        rx: Receiver<EgressEvent>,
+        ingress: Vec<Sender<IngressEvent>>,
+    ) -> Self {
+        EgressPump {
+            #[cfg(feature = "obs")]
+            obs: fabric.obs.net_shard(),
+            fabric,
+            rx,
+            ingress,
+        }
+    }
+
+    /// Is an egress event queued?
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.rx.is_empty()
+    }
+
+    /// Non-blocking quantum: process one queued event (plus tier-2
+    /// combining) if there is one. Returns `false` once `Shutdown` has been
+    /// consumed.
+    pub(crate) fn pump(&self) -> bool {
+        match self.rx.try_recv() {
+            Ok(ev) => self.round(ev),
+            Err(_) => true,
+        }
+    }
+
+    /// Blocking loop for the threaded engine.
+    pub(crate) fn run(self) {
+        loop {
+            let ev = match self.rx.recv() {
+                Ok(ev) => ev,
+                Err(_) => break,
+            };
+            if !self.round(ev) {
+                break;
+            }
+        }
+        // Propagate shutdown to every ingress thread once (node 0's egress
+        // is guaranteed to exist; have each egress notify its own node's
+        // ingress).
+        for tx in &self.ingress {
+            let _ = tx.send(IngressEvent::Shutdown);
+        }
+    }
+
+    /// Combine `first` with whatever else is queued right now (tier 2),
+    /// charge the cost model, and hand the wire packets to ingress.
+    /// Returns `false` if a `Shutdown` was consumed.
+    fn round(&self, first: EgressEvent) -> bool {
+        let fabric = &self.fabric;
+        let first = match first {
+            EgressEvent::Packet {
                 dest_node,
                 msgs,
                 bytes,
-            }) => (dest_node, msgs, bytes),
-            Ok(EgressEvent::Shutdown) | Err(_) => break,
+            } => (dest_node, msgs, bytes),
+            EgressEvent::Shutdown => return false,
         };
         // Node-level combining (tier 2): merge whatever is queued right now
         // into per-destination wire packets.
+        let mut alive = true;
         let mut groups: Vec<(NodeId, Vec<WireMsg>, usize)> = vec![first];
         if fabric.io_mode == IoMode::TwoTier {
             for _ in 0..64 {
-                match rx.try_recv() {
+                match self.rx.try_recv() {
                     Ok(EgressEvent::Packet {
                         dest_node,
                         msgs,
@@ -448,7 +552,7 @@ fn egress_loop(fabric: Arc<Fabric>, rx: Receiver<EgressEvent>, ingress: Vec<Send
                     }
                     Ok(EgressEvent::Shutdown) => {
                         // Transmit what we have, then exit.
-                        stop = true;
+                        alive = false;
                         break;
                     }
                     Err(_) => break,
@@ -459,7 +563,7 @@ fn egress_loop(fabric: Arc<Fabric>, rx: Receiver<EgressEvent>, ingress: Vec<Send
             let wire = bytes + 64; // packet header
             charge(fabric.net_cfg.send_cost(wire));
             #[cfg(feature = "obs")]
-            obs.wire_packet(wire);
+            self.obs.wire_packet(wire);
             #[cfg(not(feature = "obs"))]
             {
                 fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
@@ -469,13 +573,10 @@ fn egress_loop(fabric: Arc<Fabric>, rx: Receiver<EgressEvent>, ingress: Vec<Send
                     .fetch_add(wire as u64, Ordering::Relaxed);
             }
             let deliver_at = now() + fabric.net_cfg.propagation_delay;
-            let _ = ingress[dest_node.as_usize()].send(IngressEvent::Packet { deliver_at, msgs });
+            let _ =
+                self.ingress[dest_node.as_usize()].send(IngressEvent::Packet { deliver_at, msgs });
         }
-    }
-    // Propagate shutdown to every ingress thread once (node 0's egress is
-    // guaranteed to exist; have each egress notify its own node's ingress).
-    for tx in &ingress {
-        let _ = tx.send(IngressEvent::Shutdown);
+        alive
     }
 }
 
@@ -483,7 +584,7 @@ fn ingress_loop(fabric: Arc<Fabric>, rx: Receiver<IngressEvent>) {
     while let Ok(IngressEvent::Packet { deliver_at, msgs }) = rx.recv() {
         let now = now();
         if deliver_at > now {
-            std::thread::sleep(deliver_at - now);
+            std::thread::sleep(deliver_at - now); // lint: allow(sim-determinism) threaded-mode only; sim pumps ingress itself
         }
         for m in msgs {
             fabric.deliver(m);
@@ -494,13 +595,19 @@ fn ingress_loop(fabric: Arc<Fabric>, rx: Receiver<IngressEvent>) {
 
 /// Burn (or sleep) a simulated cost: spins for sub-50 µs durations (sleep
 /// granularity is too coarse), sleeps otherwise. Public so the baseline
-/// engines charge their simulated overheads identically.
+/// engines charge their simulated overheads identically. Under a frozen
+/// clock the cost advances virtual time instead — spinning on a clock that
+/// only the simulator can move would hang forever.
 pub fn charge(d: Duration) {
     if d.is_zero() {
         return;
     }
+    if graphdance_common::time::sim::is_frozen() {
+        graphdance_common::time::sim::advance(d);
+        return;
+    }
     if d > Duration::from_micros(50) {
-        std::thread::sleep(d);
+        std::thread::sleep(d); // lint: allow(sim-determinism) unreachable under a frozen clock (see above)
     } else {
         let end = now() + d;
         while now() < end {
@@ -600,6 +707,21 @@ impl Outbox {
         });
         buf.bytes += 32;
         self.maybe_flush(0);
+    }
+
+    /// **Fault injection only** (`SimFaults::progress_side_channel`): send
+    /// a progress report straight to the coordinator inbox, bypassing the
+    /// tier-1 buffer and the wire. This reproduces the pre-fix
+    /// `shared_state_khop` drain order, where a coalesced progress report
+    /// could overtake result rows still buffered in the sender's outbox and
+    /// complete the stage before the rows arrived.
+    pub fn send_progress_sidechannel(&mut self, query: QueryId, weight: Weight, steps: u64) {
+        self.count(MsgClass::Progress, 32);
+        let _ = self.fabric.coord_tx.send(CoordMsg::Progress {
+            query,
+            weight,
+            steps,
+        });
     }
 
     /// Queue result rows for the coordinator (node 0). Returns the

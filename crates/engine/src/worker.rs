@@ -58,6 +58,20 @@ struct ActiveQuery {
     stage: u16,
 }
 
+/// What one non-blocking scheduling quantum accomplished. Shared by the
+/// worker and coordinator pumps so the deterministic simulator can drive
+/// both through one interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PumpStatus {
+    /// The actor processed messages or executed traversers.
+    Worked,
+    /// Nothing to do; all buffers flushed. The threaded loop blocks on the
+    /// inbox here; the simulator moves on to another actor.
+    Idle,
+    /// `Shutdown` was consumed: the actor is done for good.
+    Stopped,
+}
+
 /// One worker's mutable state and main loop.
 pub struct Worker {
     id: WorkerId,
@@ -126,50 +140,78 @@ impl Worker {
     /// The worker main loop; returns on `Shutdown`.
     pub fn run(mut self) {
         loop {
-            // Drain the inbox without blocking.
-            loop {
-                match self.inbox.try_recv() {
-                    Ok(WorkerMsg::Shutdown) => return,
-                    Ok(msg) => self.handle(msg),
-                    Err(_) => break,
-                }
-            }
-            // Execute a batch of local traversers, shallow first.
-            let mut executed = 0;
-            while executed < self.batch {
-                let Some(q) = self.queue.pop() else { break };
-                // Pin (query, stage) before executing; a query that died
-                // between enqueue and pop records nothing.
-                #[cfg(feature = "obs")]
-                let obs_info = self
-                    .queries
-                    .get(&q.t.query)
-                    .map(|a| (q.t.query, a.stage, self.obs.exec_begin(q.enq_ns)));
-                self.execute(q.t);
-                #[cfg(feature = "obs")]
-                if let Some((qid, stage, (t0, wait))) = obs_info {
-                    let stats = self.memo.take_stats(qid);
-                    self.obs.exec_end(qid, stage, t0, wait, stats);
-                }
-                executed += 1;
-            }
-            #[cfg(feature = "obs")]
-            self.obs.queue_depth(self.queue.len() as u64);
-            // Keep same-node latency low.
-            self.outbox.flush_local();
-            if self.queue.is_empty() {
-                // About to sleep: flush everything, progress included
-                // (§IV-B "if there are no more traversers ready for
-                // execution, we flush all the buffers before the current
-                // thread sleeps").
-                self.flush_progress();
-                self.outbox.flush_all();
-                match self.inbox.recv() {
-                    Ok(WorkerMsg::Shutdown) | Err(_) => return,
-                    Ok(msg) => self.handle(msg),
+            match self.pump() {
+                PumpStatus::Stopped => return,
+                PumpStatus::Worked => {}
+                PumpStatus::Idle => {
+                    // Everything is flushed; block until the next message.
+                    match self.inbox.recv() {
+                        Ok(WorkerMsg::Shutdown) | Err(_) => return,
+                        Ok(msg) => self.handle(msg),
+                    }
                 }
             }
         }
+    }
+
+    /// One non-blocking scheduling quantum: drain the inbox, execute up to
+    /// one batch of local traversers, and flush buffers when the queue goes
+    /// empty. The threaded [`Worker::run`] loop calls this and blocks on
+    /// [`PumpStatus::Idle`]; the deterministic simulator calls it directly.
+    pub fn pump(&mut self) -> PumpStatus {
+        let mut worked = false;
+        // Drain the inbox without blocking.
+        loop {
+            match self.inbox.try_recv() {
+                Ok(WorkerMsg::Shutdown) => return PumpStatus::Stopped,
+                Ok(msg) => {
+                    self.handle(msg);
+                    worked = true;
+                }
+                Err(_) => break,
+            }
+        }
+        // Execute a batch of local traversers, shallow first.
+        let mut executed = 0;
+        while executed < self.batch {
+            let Some(q) = self.queue.pop() else { break };
+            // Pin (query, stage) before executing; a query that died
+            // between enqueue and pop records nothing.
+            #[cfg(feature = "obs")]
+            let obs_info = self
+                .queries
+                .get(&q.t.query)
+                .map(|a| (q.t.query, a.stage, self.obs.exec_begin(q.enq_ns)));
+            self.execute(q.t);
+            #[cfg(feature = "obs")]
+            if let Some((qid, stage, (t0, wait))) = obs_info {
+                let stats = self.memo.take_stats(qid);
+                self.obs.exec_end(qid, stage, t0, wait, stats);
+            }
+            executed += 1;
+        }
+        worked |= executed > 0;
+        #[cfg(feature = "obs")]
+        self.obs.queue_depth(self.queue.len() as u64);
+        // Keep same-node latency low.
+        self.outbox.flush_local();
+        if self.queue.is_empty() {
+            // About to go idle: flush everything, progress included (§IV-B
+            // "if there are no more traversers ready for execution, we
+            // flush all the buffers before the current thread sleeps").
+            self.flush_progress();
+            self.outbox.flush_all();
+            if !worked {
+                return PumpStatus::Idle;
+            }
+        }
+        PumpStatus::Worked
+    }
+
+    /// Is a quantum worth scheduling — queued input or runnable traversers?
+    /// (An all-flushed worker with an empty inbox would just report `Idle`.)
+    pub fn has_work(&self) -> bool {
+        !self.inbox.is_empty() || !self.queue.is_empty()
     }
 
     fn handle(&mut self, msg: WorkerMsg) {
@@ -420,7 +462,13 @@ impl Worker {
         for q in queries {
             if let Some(w) = self.memo.query_mut(q).finished.drain() {
                 let steps = self.steps.remove(&q).unwrap_or(0);
-                self.outbox.send_progress(q, w, steps);
+                if self.fault.sim.progress_side_channel {
+                    // Injected regression: pre-fix drain order where the
+                    // coalesced progress report bypasses the row FIFO.
+                    self.outbox.send_progress_sidechannel(q, w, steps);
+                } else {
+                    self.outbox.send_progress(q, w, steps);
+                }
                 #[cfg(feature = "obs")]
                 {
                     let stage = self.queries.get(&q).map_or(0, |a| a.stage);

@@ -34,4 +34,4 @@ pub use ledger::WeightLedger;
 pub use memo::MemoStats;
 pub use memo::{Memo, QueryMemo};
 pub use traverser::Traverser;
-pub use weight::Weight;
+pub use weight::{Weight, WeightAccumulator};

@@ -1,0 +1,374 @@
+//! Self-contained, replayable repro descriptions.
+//!
+//! A simulation failure is fully named by `(graph, query, topology, seed,
+//! fault schedule)` — nothing else feeds the deterministic scheduler. A
+//! [`Repro`] captures that tuple and round-trips through a single text
+//! line, so a failing run can print one line, a human can paste it into a
+//! test (or a `sim-repro/*.repro` corpus file), and CI replays the exact
+//! execution forever:
+//!
+//! ```text
+//! graph=ring:32 query=khop:3:4 nodes=2 workers=2 seed=0x2a \
+//!   faults=drop:0,dup:0,reorder:0,delay:0:0,stall:0:0,sidechannel:0
+//! ```
+//!
+//! (`delay` is `permille:spike_us`, `stall` is `permille:stall_us`.)
+
+use graphdance_common::FxHashSet;
+use std::fmt;
+use std::time::Duration;
+
+use rand::Rng;
+
+use graphdance_common::{Partitioner, Value, VertexId};
+use graphdance_engine::SimFaults;
+use graphdance_query::plan::Plan;
+use graphdance_query::QueryBuilder;
+use graphdance_storage::{Graph, GraphBuilder};
+
+/// A procedurally-generated test graph, named compactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// A directed ring: `i -knows-> (i+1) mod n`. Every k-hop answer is
+    /// computable by hand, which makes wrong-answer triage trivial.
+    Ring { n: u64 },
+    /// A random directed graph with `n` vertices and `m` distinct non-loop
+    /// edges drawn from a seeded RNG (independent of the simulation seed).
+    Gnm { n: u64, m: u64, seed: u64 },
+}
+
+impl GraphSpec {
+    /// Materialize the graph for a `nodes × workers` topology.
+    pub fn build(&self, nodes: u32, workers: u32) -> Graph {
+        let mut b = GraphBuilder::new(Partitioner::new(nodes, workers));
+        let person = b.schema_mut().register_vertex_label("Person");
+        let knows = b.schema_mut().register_edge_label("knows");
+        match *self {
+            GraphSpec::Ring { n } => {
+                for i in 0..n {
+                    b.add_vertex(VertexId(i), person, vec![]).expect("fresh id");
+                }
+                for i in 0..n {
+                    b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
+                        .expect("valid endpoints");
+                }
+            }
+            GraphSpec::Gnm { n, m, seed } => {
+                for i in 0..n {
+                    b.add_vertex(VertexId(i), person, vec![]).expect("fresh id");
+                }
+                let mut rng = graphdance_common::rng::seeded(seed);
+                let mut seen = FxHashSet::default();
+                let mut added = 0u64;
+                // n*(n-1) distinct non-loop pairs bound the loop.
+                while added < m.min(n.saturating_mul(n - 1)) {
+                    let s = rng.gen_range(0..n);
+                    let d = (s + 1 + rng.gen_range(0..n - 1)) % n;
+                    if seen.insert((s, d)) {
+                        b.add_edge(VertexId(s), knows, VertexId(d), vec![])
+                            .expect("valid endpoints");
+                        added += 1;
+                    }
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// Vertex count (for shrinking heuristics).
+    pub fn num_vertices(&self) -> u64 {
+        match *self {
+            GraphSpec::Ring { n } | GraphSpec::Gnm { n, .. } => n,
+        }
+    }
+}
+
+/// A query shape whose result multiset is order-independent, so the
+/// sequential oracle is a sound reference for any execution schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Vertices within 1..=hops of `start`, deduplicated.
+    Khop { hops: i64, start: u64 },
+    /// Number of distinct paths of length 1..=hops from `start`.
+    KhopCount { hops: i64, start: u64 },
+    /// Count of all `Person` vertices (touches every partition).
+    ScanCount,
+}
+
+impl QuerySpec {
+    /// Compile the plan and its parameters against `graph`'s schema.
+    pub fn build(&self, graph: &Graph) -> (Plan, Vec<Value>) {
+        let mut b = QueryBuilder::new(graph.schema());
+        match *self {
+            QuerySpec::Khop { hops, start } => {
+                b.v_param(0);
+                let c = b.alloc_slot();
+                b.repeat(1, hops, c, |r| {
+                    r.out("knows");
+                });
+                b.dedup();
+                let plan = b.compile().expect("khop compiles");
+                (plan, vec![Value::Vertex(VertexId(start))])
+            }
+            QuerySpec::KhopCount { hops, start } => {
+                b.v_param(0);
+                let c = b.alloc_slot();
+                b.repeat(1, hops, c, |r| {
+                    r.out("knows");
+                });
+                b.count();
+                let plan = b.compile().expect("khop-count compiles");
+                (plan, vec![Value::Vertex(VertexId(start))])
+            }
+            QuerySpec::ScanCount => {
+                b.v().has_label("Person").count();
+                let plan = b.compile().expect("scan-count compiles");
+                (plan, vec![])
+            }
+        }
+    }
+}
+
+/// One fully-specified simulation run: everything the deterministic
+/// scheduler consumes, in one copyable value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Repro {
+    pub graph: GraphSpec,
+    pub query: QuerySpec,
+    /// Simulated nodes.
+    pub nodes: u32,
+    /// Workers per node.
+    pub workers: u32,
+    /// Master seed: scheduling, fault schedule, and weight splitting all
+    /// derive from it through fixed streams.
+    pub seed: u64,
+    /// Fault-injection knobs (all-zero = fault-free).
+    pub faults: SimFaults,
+}
+
+impl Repro {
+    /// A fault-free baseline run.
+    pub fn clean(graph: GraphSpec, query: QuerySpec, nodes: u32, workers: u32, seed: u64) -> Self {
+        Repro {
+            graph,
+            query,
+            nodes,
+            workers,
+            seed,
+            faults: SimFaults::default(),
+        }
+    }
+
+    /// The one-line replayable form (inverse of [`Repro::parse`]).
+    pub fn to_line(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parse a line produced by [`Repro::to_line`]. Unknown keys are an
+    /// error so corpus-file typos fail loudly.
+    pub fn parse(line: &str) -> Result<Repro, String> {
+        let mut graph = None;
+        let mut query = None;
+        let mut nodes = None;
+        let mut workers = None;
+        let mut seed = None;
+        let mut faults = None;
+        for field in line.split_whitespace() {
+            let (key, val) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            match key {
+                "graph" => graph = Some(parse_graph(val)?),
+                "query" => query = Some(parse_query(val)?),
+                "nodes" => nodes = Some(parse_u32(val)?),
+                "workers" => workers = Some(parse_u32(val)?),
+                "seed" => seed = Some(parse_u64(val)?),
+                "faults" => faults = Some(parse_faults(val)?),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        Ok(Repro {
+            graph: graph.ok_or("missing graph=")?,
+            query: query.ok_or("missing query=")?,
+            nodes: nodes.ok_or("missing nodes=")?,
+            workers: workers.ok_or("missing workers=")?,
+            seed: seed.ok_or("missing seed=")?,
+            faults: faults.unwrap_or_default(),
+        })
+    }
+}
+
+impl fmt::Display for Repro {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.graph {
+            GraphSpec::Ring { n } => write!(f, "graph=ring:{n}")?,
+            GraphSpec::Gnm { n, m, seed } => write!(f, "graph=gnm:{n}:{m}:{seed}")?,
+        }
+        match self.query {
+            QuerySpec::Khop { hops, start } => write!(f, " query=khop:{hops}:{start}")?,
+            QuerySpec::KhopCount { hops, start } => write!(f, " query=khopcount:{hops}:{start}")?,
+            QuerySpec::ScanCount => write!(f, " query=scancount")?,
+        }
+        let s = &self.faults;
+        write!(
+            f,
+            " nodes={} workers={} seed={:#x} faults=drop:{},dup:{},reorder:{},delay:{}:{},stall:{}:{},sidechannel:{}",
+            self.nodes,
+            self.workers,
+            self.seed,
+            s.drop_permille,
+            s.dup_permille,
+            s.reorder_permille,
+            s.delay_permille,
+            s.delay_spike.as_micros(),
+            s.stall_permille,
+            s.stall.as_micros(),
+            u8::from(s.progress_side_channel),
+        )
+    }
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|e| format!("bad u32 {s:?}: {e}"))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex {s:?}: {e}")),
+        None => s.parse().map_err(|e| format!("bad u64 {s:?}: {e}")),
+    }
+}
+
+fn parse_graph(s: &str) -> Result<GraphSpec, String> {
+    let mut it = s.split(':');
+    match it.next() {
+        Some("ring") => Ok(GraphSpec::Ring {
+            n: parse_u64(it.next().ok_or("ring needs :n")?)?,
+        }),
+        Some("gnm") => Ok(GraphSpec::Gnm {
+            n: parse_u64(it.next().ok_or("gnm needs :n")?)?,
+            m: parse_u64(it.next().ok_or("gnm needs :m")?)?,
+            seed: parse_u64(it.next().ok_or("gnm needs :seed")?)?,
+        }),
+        other => Err(format!("unknown graph kind {other:?}")),
+    }
+}
+
+fn parse_query(s: &str) -> Result<QuerySpec, String> {
+    let mut it = s.split(':');
+    match it.next() {
+        Some("khop") => Ok(QuerySpec::Khop {
+            hops: parse_u64(it.next().ok_or("khop needs :hops")?)? as i64,
+            start: parse_u64(it.next().ok_or("khop needs :start")?)?,
+        }),
+        Some("khopcount") => Ok(QuerySpec::KhopCount {
+            hops: parse_u64(it.next().ok_or("khopcount needs :hops")?)? as i64,
+            start: parse_u64(it.next().ok_or("khopcount needs :start")?)?,
+        }),
+        Some("scancount") => Ok(QuerySpec::ScanCount),
+        other => Err(format!("unknown query kind {other:?}")),
+    }
+}
+
+fn parse_faults(s: &str) -> Result<SimFaults, String> {
+    let mut out = SimFaults::default();
+    for knob in s.split(',') {
+        let mut it = knob.split(':');
+        let name = it.next().unwrap_or_default();
+        let mut next = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs :{what}"))
+                .and_then(parse_u64)
+        };
+        match name {
+            "drop" => out.drop_permille = next("permille")? as u16,
+            "dup" => out.dup_permille = next("permille")? as u16,
+            "reorder" => out.reorder_permille = next("permille")? as u16,
+            "delay" => {
+                out.delay_permille = next("permille")? as u16;
+                out.delay_spike = Duration::from_micros(next("spike_us")?);
+            }
+            "stall" => {
+                out.stall_permille = next("permille")? as u16;
+                out.stall = Duration::from_micros(next("stall_us")?);
+            }
+            "sidechannel" => out.progress_side_channel = next("flag")? != 0,
+            other => return Err(format!("unknown fault knob {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrips_exactly() {
+        let r = Repro {
+            graph: GraphSpec::Gnm {
+                n: 40,
+                m: 90,
+                seed: 5,
+            },
+            query: QuerySpec::Khop { hops: 3, start: 4 },
+            nodes: 2,
+            workers: 2,
+            seed: 0x2a,
+            faults: SimFaults {
+                drop_permille: 40,
+                dup_permille: 7,
+                reorder_permille: 100,
+                delay_permille: 9,
+                delay_spike: Duration::from_micros(200),
+                stall_permille: 3,
+                stall: Duration::from_micros(500),
+                progress_side_channel: true,
+            },
+        };
+        let line = r.to_line();
+        assert_eq!(Repro::parse(&line), Ok(r), "line was: {line}");
+    }
+
+    #[test]
+    fn documented_example_parses() {
+        let r = Repro::parse(
+            "graph=ring:32 query=khop:3:4 nodes=2 workers=2 seed=0x2a \
+             faults=drop:0,dup:0,reorder:0,delay:0:0,stall:0:0,sidechannel:0",
+        )
+        .unwrap();
+        assert_eq!(r.graph, GraphSpec::Ring { n: 32 });
+        assert_eq!(r.query, QuerySpec::Khop { hops: 3, start: 4 });
+        assert_eq!(r.seed, 0x2a);
+        assert!(r.faults.is_quiet());
+    }
+
+    #[test]
+    fn typos_fail_loudly() {
+        assert!(Repro::parse("graph=ring:8 query=warp:1:0 nodes=1 workers=1 seed=1").is_err());
+        assert!(Repro::parse("graph=ring:8 quary=khop:1:0 nodes=1 workers=1 seed=1").is_err());
+        assert!(Repro::parse("graph=ring:8 query=khop:1:0 workers=1 seed=1").is_err());
+    }
+
+    #[test]
+    fn gnm_builds_requested_edge_count() {
+        let g = GraphSpec::Gnm {
+            n: 20,
+            m: 35,
+            seed: 11,
+        }
+        .build(2, 2);
+        assert_eq!(g.partitioner().num_parts(), 4);
+        // Same spec, same graph: the builder RNG is its own stream.
+        let g2 = GraphSpec::Gnm {
+            n: 20,
+            m: 35,
+            seed: 11,
+        }
+        .build(2, 2);
+        assert_eq!(
+            g.schema().vertex_label("Person"),
+            g2.schema().vertex_label("Person")
+        );
+    }
+}

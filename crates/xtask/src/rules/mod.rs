@@ -13,6 +13,7 @@ pub mod adhoc_counter;
 pub mod codec_exhaustive;
 pub mod hot_path_panics;
 pub mod nondeterminism;
+pub mod sim_determinism;
 pub mod std_hash;
 
 /// A single named lint rule.
@@ -32,6 +33,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(hot_path_panics::HotPathPanics),
         Box::new(std_hash::StdHash),
         Box::new(nondeterminism::Nondeterminism),
+        Box::new(sim_determinism::SimDeterminism),
         Box::new(codec_exhaustive::CodecExhaustive),
         Box::new(adhoc_counter::AdhocCounter),
     ]

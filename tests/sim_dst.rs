@@ -1,0 +1,176 @@
+//! Deterministic-simulation acceptance tests: bit-identical replay,
+//! seed-sensitive scheduling, simulation-driven timeouts, and the
+//! wrong-answer → replayable-repro pipeline.
+
+use std::time::Duration;
+
+use graphdance::common::{Partitioner, Value, VertexId};
+use graphdance::engine::{EngineConfig, SimCluster};
+use graphdance::query::QueryBuilder;
+use graphdance::storage::{Graph, GraphBuilder};
+use graphdance_common::GdError;
+use graphdance_sim::{check, check_detailed, GraphSpec, QuerySpec, Repro, SimFailure, Verdict};
+
+fn ring(n: u64, parts: Partitioner) -> Graph {
+    let mut b = GraphBuilder::new(parts);
+    let person = b.schema_mut().register_vertex_label("Person");
+    let knows = b.schema_mut().register_edge_label("knows");
+    for i in 0..n {
+        b.add_vertex(VertexId(i), person, vec![]).unwrap();
+    }
+    for i in 0..n {
+        b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
+            .unwrap();
+    }
+    b.finish()
+}
+
+fn khop_plan(graph: &Graph, k: i64) -> graphdance::query::plan::Plan {
+    let mut b = QueryBuilder::new(graph.schema());
+    b.v_param(0);
+    let c = b.alloc_slot();
+    b.repeat(1, k, c, |r| {
+        r.out("knows");
+    });
+    b.dedup();
+    b.compile().unwrap()
+}
+
+/// The tentpole guarantee: the same seed produces a bit-identical event
+/// trace (every event, not just a hash) and identical query results,
+/// run after run.
+#[test]
+fn same_seed_replays_bit_identical() {
+    let run = |seed: u64| {
+        let g = ring(24, Partitioner::new(2, 2));
+        let plan = khop_plan(&g, 4);
+        let mut sim = SimCluster::new(g, EngineConfig::new(2, 2).with_seed(seed));
+        let result = sim
+            .query_timed(&plan, vec![Value::Vertex(VertexId(0))])
+            .unwrap();
+        let events = sim.trace().events().to_vec();
+        let fp = sim.trace().fingerprint();
+        let total = sim.trace().total();
+        let mut rows = result.rows;
+        rows.sort_by(|a, b| a[0].cmp_total(&b[0]));
+        (events, fp, total, rows, result.latency, sim.steps())
+    };
+    let a = run(0xD5);
+    let b = run(0xD5);
+    assert_eq!(a.0, b.0, "event-for-event identical trace");
+    assert_eq!(a.1, b.1, "identical fingerprint");
+    assert_eq!(a.2, b.2, "identical event count");
+    assert_eq!(a.3, b.3, "identical rows");
+    assert_eq!(a.4, b.4, "identical virtual latency");
+    assert_eq!(a.5, b.5, "identical step count");
+}
+
+/// Different seeds must explore different schedules, otherwise a seed
+/// sweep covers one interleaving a thousand times.
+#[test]
+fn different_seeds_schedule_differently() {
+    let fp = |seed: u64| {
+        let g = ring(24, Partitioner::new(2, 2));
+        let plan = khop_plan(&g, 4);
+        let mut sim = SimCluster::new(g, EngineConfig::new(2, 2).with_seed(seed));
+        sim.query(&plan, vec![Value::Vertex(VertexId(0))]).unwrap();
+        sim.trace().fingerprint()
+    };
+    let fingerprints: Vec<u64> = (0..4).map(fp).collect();
+    let distinct: std::collections::HashSet<u64> = fingerprints.iter().copied().collect();
+    assert!(
+        distinct.len() > 1,
+        "4 seeds produced 1 schedule: {fingerprints:?}"
+    );
+}
+
+/// Query deadlines are virtual-clock driven: a query that can never
+/// complete (every cross-node traverser batch dropped) times out at its
+/// virtual deadline without wall-clock waiting.
+#[test]
+fn deadlines_fire_on_the_virtual_clock() {
+    let wall_start = std::time::Instant::now();
+    let g = ring(16, Partitioner::new(2, 1));
+    let plan = khop_plan(&g, 3);
+    let mut config = EngineConfig::new(2, 1).with_seed(7);
+    config.query_timeout = Duration::from_millis(80);
+    // Watchdog far beyond the deadline, so the deadline is what fires.
+    config.watchdog_stall = Duration::from_secs(3600);
+    config.fault.sim.drop_permille = 1000; // every batch sinks
+    let mut sim = SimCluster::new(g, config);
+    let err = sim
+        .query(&plan, vec![Value::Vertex(VertexId(0))])
+        .expect_err("no batch is ever delivered");
+    assert!(
+        matches!(err, GdError::QueryTimeout(_)),
+        "expected a deadline timeout, got: {err:?}"
+    );
+    assert!(sim.fault_counts().drops > 0, "the fault schedule fired");
+    // 80ms of virtual waiting should take nowhere near 80ms of wall time
+    // per advance; generous bound to stay robust on loaded CI machines.
+    assert!(
+        wall_start.elapsed() < Duration::from_secs(20),
+        "virtual waiting must not spin the wall clock"
+    );
+}
+
+/// The differential-checking pipeline end to end: a fault-injected run
+/// that produces a silent wrong answer fails with a one-line repro that
+/// replays to the same wrong answer.
+#[test]
+fn wrong_answer_emits_a_replayable_repro_line() {
+    // The progress side-channel reproduces the pre-fix drain order
+    // (progress overtakes buffered result rows), a known wrong-answer bug.
+    let mut base = Repro::clean(
+        GraphSpec::Ring { n: 16 },
+        QuerySpec::Khop { hops: 3, start: 0 },
+        2,
+        2,
+        0,
+    );
+    base.faults.progress_side_channel = true;
+    let failure = (0..32u64)
+        .map(|seed| Repro { seed, ..base })
+        .find_map(|r| match check(&r) {
+            v @ Verdict::WrongAnswer { .. } => Some(SimFailure {
+                repro: r,
+                verdict: v,
+            }),
+            _ => None,
+        })
+        .expect("the side-channel bug must be reachable within 32 seeds");
+
+    // The failure prints a replayable line naming the seed…
+    let line = failure.to_string();
+    assert!(line.contains("replay with"), "got: {line}");
+    assert!(
+        line.contains(&format!("seed={:#x}", failure.repro.seed)),
+        "the seed is printed: {line}"
+    );
+    assert!(
+        line.contains("sidechannel:1"),
+        "the fault schedule too: {line}"
+    );
+
+    // …and the line replays to the same wrong answer, bit for bit.
+    let reparsed = Repro::parse(&failure.repro.to_line()).expect("line parses");
+    assert_eq!(reparsed, failure.repro);
+    let a = check_detailed(&reparsed);
+    let b = check_detailed(&reparsed);
+    assert_eq!(a.verdict, failure.verdict, "replay reproduces the verdict");
+    assert_eq!(a.fingerprint, b.fingerprint, "replay is deterministic");
+}
+
+/// A fault-free simulated run agrees with the sequential oracle on every
+/// query shape the harness generates.
+#[test]
+fn clean_runs_match_the_oracle_across_query_shapes() {
+    for query in [
+        QuerySpec::Khop { hops: 3, start: 2 },
+        QuerySpec::KhopCount { hops: 2, start: 5 },
+        QuerySpec::ScanCount,
+    ] {
+        let r = Repro::clean(GraphSpec::Ring { n: 12 }, query, 2, 2, 3);
+        assert_eq!(check(&r), Verdict::Match, "query {query:?}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Conservation under injected drop/duplicate fault schedules.
+//!
+//! The safety property: a lossy network may cost a query its *answer*
+//! (flagged as an invariant violation, a watchdog abort, or a timeout)
+//! but never its *integrity* — the engine must not return a silently
+//! wrong answer, and a quiesce with missing or surplus deliveries must
+//! be flagged by the message-conservation ledger, not terminated as if
+//! nothing happened.
+
+use graphdance_sim::{check_detailed, GraphSpec, QuerySpec, Repro, SimFailure, Verdict};
+
+fn seeds() -> u64 {
+    std::env::var("SIM_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40)
+}
+
+fn lossy_base(drop_permille: u16, dup_permille: u16) -> Repro {
+    let mut r = Repro::clean(
+        GraphSpec::Ring { n: 20 },
+        QuerySpec::Khop { hops: 3, start: 0 },
+        2,
+        2,
+        0,
+    );
+    r.faults.drop_permille = drop_permille;
+    r.faults.dup_permille = dup_permille;
+    r
+}
+
+/// Sweep a drop+duplicate schedule: every run must end in `Match` (the
+/// faults happened to miss) or `Flagged` (the engine caught the damage).
+/// A wrong answer or an unflagged failure is a conservation bug.
+#[test]
+fn drop_plus_dup_schedules_never_silently_corrupt() {
+    let base = lossy_base(150, 150);
+    let mut flagged = 0u64;
+    let mut lossy_runs = 0u64;
+    for seed in 0..seeds() {
+        let repro = Repro { seed, ..base };
+        let report = check_detailed(&repro);
+        if report.faults_fired.lossy() {
+            lossy_runs += 1;
+        }
+        match report.verdict {
+            Verdict::Match => {}
+            Verdict::Flagged(_) => flagged += 1,
+            verdict => panic!("{}", SimFailure { repro, verdict }),
+        }
+    }
+    assert!(lossy_runs > 0, "the fault schedule never fired");
+    assert!(
+        flagged > 0,
+        "{lossy_runs} lossy runs and none was flagged — losses are \
+         terminating silently"
+    );
+}
+
+/// Drop-only schedule: a dropped traverser batch strands weight, so the
+/// run must never complete normally once a drop fires — the ledger (via
+/// the liveness watchdog) or the deadline must flag it.
+#[test]
+fn dropped_batches_are_always_flagged() {
+    let base = lossy_base(200, 0);
+    let mut saw_drop = false;
+    for seed in 0..seeds() {
+        let repro = Repro { seed, ..base };
+        let report = check_detailed(&repro);
+        match (&report.verdict, report.faults_fired.drops) {
+            (Verdict::Match, 0) => {}
+            (Verdict::Match, drops) => panic!(
+                "seed {seed}: {drops} dropped batch(es) yet the query \
+                 finished clean — the loss was silent"
+            ),
+            (Verdict::Flagged(_), _) => saw_drop = true,
+            (_, _) => panic!(
+                "{}",
+                SimFailure {
+                    repro,
+                    verdict: report.verdict
+                }
+            ),
+        }
+    }
+    assert!(saw_drop, "no seed flagged a drop; raise the rate or seeds");
+}
+
+/// Duplicate-only schedule: a doubly-delivered batch doubles weight, so
+/// surplus deliveries must be flagged (the `delivered > sent` side of the
+/// ledger), never absorbed.
+#[test]
+fn duplicated_batches_are_always_flagged() {
+    let base = lossy_base(0, 200);
+    let mut saw_dup = false;
+    for seed in 0..seeds() {
+        let repro = Repro { seed, ..base };
+        let report = check_detailed(&repro);
+        match (&report.verdict, report.faults_fired.dups) {
+            (Verdict::Match, 0) => {}
+            (Verdict::Match, dups) => panic!(
+                "seed {seed}: {dups} duplicated batch(es) yet the query \
+                 finished clean — the surplus was silent"
+            ),
+            (Verdict::Flagged(_), _) => saw_dup = true,
+            (_, _) => panic!(
+                "{}",
+                SimFailure {
+                    repro,
+                    verdict: report.verdict
+                }
+            ),
+        }
+    }
+    assert!(
+        saw_dup,
+        "no seed flagged a duplicate; raise the rate or seeds"
+    );
+}
+
+/// Benign schedules (reordering, delay spikes, worker stalls) perturb
+/// timing and ordering but lose nothing: every run must still match the
+/// oracle exactly.
+#[test]
+fn benign_schedules_always_match() {
+    let mut base = Repro::clean(
+        GraphSpec::Ring { n: 20 },
+        QuerySpec::Khop { hops: 3, start: 0 },
+        2,
+        2,
+        0,
+    );
+    base.faults.reorder_permille = 300;
+    base.faults.delay_permille = 200;
+    base.faults.delay_spike = std::time::Duration::from_micros(400);
+    base.faults.stall_permille = 100;
+    base.faults.stall = std::time::Duration::from_micros(800);
+    let mut perturbed = 0u64;
+    for seed in 0..seeds() {
+        let repro = Repro { seed, ..base };
+        let report = check_detailed(&repro);
+        let f = report.faults_fired;
+        if f.reorders + f.delay_spikes + f.stalls > 0 {
+            perturbed += 1;
+        }
+        assert_eq!(
+            report.verdict,
+            Verdict::Match,
+            "{}",
+            SimFailure {
+                repro,
+                verdict: report.verdict.clone()
+            }
+        );
+    }
+    assert!(perturbed > 0, "the benign schedule never fired");
+}

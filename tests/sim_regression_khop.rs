@@ -1,0 +1,109 @@
+//! Seed-sweep regression for the `shared_state_khop` drain-order bug.
+//!
+//! Pre-fix, a worker's coalesced progress report could overtake its own
+//! buffered result rows on the way to the coordinator: the tracker saw
+//! the final weight, completed the stage, and forgot the query before
+//! the rows arrived — silently returning a truncated answer.
+//!
+//! The fixed drain order sends progress through the same per-link FIFO
+//! as the rows, making the overtake impossible. The simulator keeps the
+//! old ordering reachable behind the `progress_side_channel` fault flag,
+//! so this test proves both directions: with the flag the wrong answer
+//! is *reachable* under a seed sweep (the oracle catches it), and
+//! without it the same sweep is clean — i.e. the fix, not luck, is what
+//! protects the current engine.
+
+use graphdance_sim::{check, minimize, GraphSpec, QuerySpec, Repro, SimFailure, Verdict};
+
+const SWEEP: std::ops::Range<u64> = 0..24;
+
+fn base(side_channel: bool) -> Repro {
+    let mut r = Repro::clean(
+        GraphSpec::Ring { n: 16 },
+        QuerySpec::Khop { hops: 3, start: 0 },
+        2,
+        2,
+        0,
+    );
+    r.faults.progress_side_channel = side_channel;
+    r
+}
+
+/// With the pre-fix ordering re-enabled, the seed sweep must reach the
+/// bug: at least one seed yields a silently wrong (truncated) answer.
+#[test]
+fn old_drain_order_reaches_the_wrong_answer() {
+    let mut wrong = 0u64;
+    for seed in SWEEP {
+        let repro = Repro { seed, ..base(true) };
+        match check(&repro) {
+            Verdict::WrongAnswer { got, want } => {
+                wrong += 1;
+                assert!(
+                    got.len() < want.len(),
+                    "the bug loses rows; it must not invent them \
+                     (got {got:?}, want {want:?})"
+                );
+                // Everything returned is a true row — a strict subset.
+                for row in &got {
+                    assert!(want.contains(row), "corrupted row {row:?}");
+                }
+            }
+            Verdict::Match => {}
+            verdict => panic!("{}", SimFailure { repro, verdict }),
+        }
+    }
+    assert!(
+        wrong > 0,
+        "the old drain order never produced a wrong answer in {} seeds — \
+         the regression injection has gone stale",
+        SWEEP.end
+    );
+}
+
+/// The same sweep with the current drain order: the bug is unreachable.
+#[test]
+fn current_drain_order_is_immune_across_the_sweep() {
+    for seed in SWEEP {
+        let repro = Repro {
+            seed,
+            ..base(false)
+        };
+        let verdict = check(&repro);
+        assert_eq!(
+            verdict,
+            Verdict::Match,
+            "{}",
+            SimFailure {
+                repro,
+                verdict: verdict.clone()
+            }
+        );
+    }
+}
+
+/// Minimization keeps the failure class: shrinking a wrong-answer repro
+/// must keep it a wrong answer, keep the side-channel flag (dropping it
+/// makes the run pass, so the minimizer must reject that step), and
+/// never grow the graph.
+#[test]
+fn minimizer_preserves_the_wrong_answer_class() {
+    let failing = SWEEP
+        .map(|seed| Repro { seed, ..base(true) })
+        .find(|r| matches!(check(r), Verdict::WrongAnswer { .. }))
+        .expect("reachable per the sweep test");
+    let small = minimize(&failing);
+    assert!(
+        matches!(check(&small), Verdict::WrongAnswer { .. }),
+        "minimized repro must still fail: {}",
+        small.to_line()
+    );
+    assert!(
+        small.faults.progress_side_channel,
+        "the flag causing the failure must survive minimization"
+    );
+    assert!(small.graph.num_vertices() <= failing.graph.num_vertices());
+    // The minimized line replays from text alone.
+    let reparsed = Repro::parse(&small.to_line()).expect("parses");
+    assert!(matches!(check(&reparsed), Verdict::WrongAnswer { .. }));
+}

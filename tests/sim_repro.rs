@@ -1,0 +1,85 @@
+//! Replay the committed repro corpus (`sim-repro/*.repro`).
+//!
+//! Every line is one deterministic simulation run plus an expectation:
+//!
+//! ```text
+//! # comment
+//! graph=ring:16 query=khop:3:0 nodes=2 workers=2 seed=0x7 \
+//!   faults=drop:0,... expect=match
+//! ```
+//!
+//! * `expect=match` — the run must agree with the oracle exactly (the
+//!   corpus entry for a fixed bug: it failed once, it must pass forever).
+//! * `expect=safe`  — lossy fault schedule: `Match` or `Flagged` both
+//!   pass, a silent wrong answer fails.
+//! * `expect=wronganswer` — a pinned *injected* bug (e.g. the progress
+//!   side-channel): the run must still reproduce the wrong answer, so we
+//!   know the regression injection has not gone stale.
+//!
+//! When a DST test fails it prints a repro line; paste it here (with the
+//! expectation it *should* satisfy) to pin the schedule in CI forever.
+
+use std::path::Path;
+
+use graphdance_sim::{check, Repro, SimFailure, Verdict};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Match,
+    Safe,
+    WrongAnswer,
+}
+
+fn parse_corpus_line(line: &str) -> Result<(Repro, Expect), String> {
+    let mut expect = None;
+    let mut repro_fields = Vec::new();
+    for field in line.split_whitespace() {
+        match field.strip_prefix("expect=") {
+            Some("match") => expect = Some(Expect::Match),
+            Some("safe") => expect = Some(Expect::Safe),
+            Some("wronganswer") => expect = Some(Expect::WrongAnswer),
+            Some(other) => return Err(format!("unknown expectation {other:?}")),
+            None => repro_fields.push(field),
+        }
+    }
+    let repro = Repro::parse(&repro_fields.join(" "))?;
+    Ok((repro, expect.ok_or("missing expect=")?))
+}
+
+#[test]
+fn committed_repro_corpus_replays_green() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("sim-repro");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("sim-repro/ directory is committed")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+
+    let mut replayed = 0u64;
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let at = format!("{}:{}", path.display(), no + 1);
+            let (repro, expect) = parse_corpus_line(line).unwrap_or_else(|e| panic!("{at}: {e}"));
+            let verdict = check(&repro);
+            let pass = match expect {
+                Expect::Match => verdict == Verdict::Match,
+                Expect::Safe => verdict.acceptable(),
+                Expect::WrongAnswer => matches!(verdict, Verdict::WrongAnswer { .. }),
+            };
+            assert!(
+                pass,
+                "{at}: expected {expect:?}\n{}",
+                SimFailure { repro, verdict }
+            );
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= 5, "corpus unexpectedly thin: {replayed} lines");
+}
