@@ -39,12 +39,16 @@ cargo test -q --test sim_repro
 
 echo "==> deterministic simulation: DST suites (default seed counts)"
 cargo test -q --test sim_dst --test sim_property --test sim_faults \
-    --test sim_exhaustive --test sim_regression_khop
+    --test sim_exhaustive --test sim_regression_khop --test sim_io_scheduler
+
+echo "==> adaptive I/O scheduler: fig12 smoke (--quick)"
+cargo run -q --release -p graphdance-bench --bin fig12_io_scheduler -- --quick \
+    >/dev/null
 
 if [ "${CI_NIGHTLY:-0}" = "1" ]; then
     echo "==> nightly: SIM_SEEDS=1000 fault-schedule + exhaustive-topology sweep"
     SIM_SEEDS=1000 cargo test -q --release --test sim_faults \
-        --test sim_exhaustive --test sim_property
+        --test sim_exhaustive --test sim_property --test sim_io_scheduler
 else
     echo "==> skipping 1000-seed sim sweep (set CI_NIGHTLY=1 to enable)"
 fi

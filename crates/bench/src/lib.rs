@@ -381,4 +381,49 @@ mod tests {
         );
         assert_eq!(budget, 3.0, "budget is the PR 3 acceptance figure");
     }
+
+    /// Adaptive-scheduler acceptance: the recorded static-vs-adaptive sweep
+    /// (`BENCH_io_scheduler.json`, produced by the `fig12_io_scheduler`
+    /// bin) must show the adaptive scheduler within 5% of the best static
+    /// flush threshold on k-hop median latency, while piggybacking progress
+    /// reports onto traverser batches — strictly fewer standalone
+    /// coordinator messages than the best static run. Asserting the
+    /// committed artifact keeps the check deterministic; re-run the bin and
+    /// update the file when the scheduler or policy defaults change.
+    #[test]
+    fn recorded_adaptive_io_within_budget() {
+        let raw = include_str!("../../../BENCH_io_scheduler.json");
+        let field = |name: &str| -> f64 {
+            let at = raw.find(name).unwrap_or_else(|| panic!("{name} present"));
+            let rest = &raw[at + name.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| *c == '"' || *c == ':' || c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            num.parse().unwrap_or_else(|_| panic!("{name} numeric"))
+        };
+        let best_static = field("best_static_p50_ms");
+        let adaptive = field("adaptive_p50_ms");
+        let tolerance = field("tolerance_pct");
+        assert_eq!(tolerance, 5.0, "tolerance is the acceptance figure");
+        assert!(
+            adaptive <= best_static * (1.0 + tolerance / 100.0),
+            "recorded adaptive p50 {adaptive}ms misses best static {best_static}ms \
+             by more than {tolerance}% — re-run fig12_io_scheduler and retune \
+             AdaptivePolicy"
+        );
+        let piggybacked = field("adaptive_piggybacked");
+        assert!(
+            piggybacked > 0.0,
+            "the recorded adaptive run piggybacked no progress reports"
+        );
+        let adaptive_standalone = field("adaptive_standalone_progress");
+        let static_standalone = field("best_static_standalone_progress");
+        assert!(
+            adaptive_standalone < static_standalone,
+            "piggybacking must leave strictly fewer standalone coordinator \
+             messages ({adaptive_standalone} vs {static_standalone})"
+        );
+    }
 }

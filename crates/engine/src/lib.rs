@@ -40,10 +40,11 @@ pub mod progress;
 pub mod sim;
 pub mod worker;
 
-pub use config::{EngineConfig, FaultInjection, IoMode, NetConfig, SimFaults};
+pub use codec::{BytesPool, PoolStats, ProgressEntry};
+pub use config::{AdaptivePolicy, EngineConfig, FaultInjection, IoMode, NetConfig, SimFaults};
 pub use engine::{GraphDance, QueryHandle, QueryResult};
 pub use invariants::{MsgCounts, MsgLedger};
-pub use net::{Fabric, MsgClass, NetStats, NetStatsSnapshot};
+pub use net::{Fabric, FlushEvent, FlushTrigger, MsgClass, NetStats, NetStatsSnapshot};
 pub use sim::{
     FaultCounts, SimActor, SimCluster, SimEvent, SimEventKind, SimHandle, SimStep, SimTrace,
 };

@@ -19,20 +19,24 @@
 //! packet plus a propagation delay — reproducing the NIC message-rate
 //! bottleneck that makes tier-1 combining matter (Fig. 12).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "obs"))]
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphdance_common::time::now;
 
-use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::RngCore;
 
-use graphdance_common::{NodeId, Partitioner, QueryId, Value, WorkerId};
+use graphdance_common::{GdError, NodeId, Partitioner, QueryId, Value, WorkerId};
 use graphdance_pstm::{Row, Traverser, Weight};
 
-use crate::codec;
-use crate::config::{EngineConfig, FaultInjection, IoMode, NetConfig};
+use crate::codec::{self, BytesPool, PoolStats, ProgressEntry};
+use crate::config::{AdaptivePolicy, EngineConfig, FaultInjection, IoMode, NetConfig};
 use crate::invariants::MsgLedger;
 use crate::messages::{CoordMsg, WorkerMsg};
 
@@ -65,6 +69,9 @@ pub struct NetStats {
     wire_packets: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
     wire_bytes: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
     same_node_msgs: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
+    decode_errors: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
+    progress_piggybacked: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
+    deadline_flushes: AtomicU64, // lint: allow(adhoc-counter) obs-off fallback for NetStats
 }
 
 #[cfg(not(feature = "obs"))]
@@ -88,6 +95,9 @@ impl NetStats {
             wire_packets: self.wire_packets.load(Ordering::Relaxed),
             wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
             same_node_msgs: self.same_node_msgs.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            progress_piggybacked: self.progress_piggybacked.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +130,9 @@ impl NetStats {
             wire_packets: s.scalar("net.wire_packets"),
             wire_bytes: s.scalar("net.wire_bytes"),
             same_node_msgs: s.scalar("net.same_node_msgs"),
+            decode_errors: s.scalar("net.decode_errors"),
+            progress_piggybacked: s.scalar("net.progress_piggybacked"),
+            deadline_flushes: s.scalar("net.deadline_flushes"),
         }
     }
 }
@@ -138,6 +151,14 @@ pub struct NetStatsSnapshot {
     pub wire_packets: u64,
     pub wire_bytes: u64,
     pub same_node_msgs: u64,
+    /// Undecodable batch frames seen at ingress.
+    pub decode_errors: u64,
+    /// Progress reports that rode a traverser batch's trailer instead of
+    /// going out as standalone wire messages (`IoMode::Adaptive`).
+    pub progress_piggybacked: u64,
+    /// Tier-1 flushes triggered by an idle-flush deadline
+    /// (`IoMode::Adaptive`).
+    pub deadline_flushes: u64,
 }
 
 impl NetStatsSnapshot {
@@ -155,6 +176,9 @@ impl NetStatsSnapshot {
             wire_packets: self.wire_packets - earlier.wire_packets,
             wire_bytes: self.wire_bytes - earlier.wire_bytes,
             same_node_msgs: self.same_node_msgs - earlier.same_node_msgs,
+            decode_errors: self.decode_errors - earlier.decode_errors,
+            progress_piggybacked: self.progress_piggybacked - earlier.progress_piggybacked,
+            deadline_flushes: self.deadline_flushes - earlier.deadline_flushes,
         }
     }
 
@@ -167,8 +191,10 @@ impl NetStatsSnapshot {
 /// A message on the (simulated) wire.
 #[derive(Debug)]
 pub(crate) enum WireMsg {
-    /// Serialized traverser batch for one worker.
-    Batch { dest: WorkerId, payload: Bytes },
+    /// Serialized traverser batch for one worker: a frame leased from the
+    /// fabric's [`BytesPool`], returned to it after ingress decode. May
+    /// carry a piggybacked progress trailer (see [`codec::ProgressEntry`]).
+    Batch { dest: WorkerId, payload: Vec<u8> },
     /// Coalesced progress report (to the coordinator).
     Progress {
         query: QueryId,
@@ -217,6 +243,53 @@ pub(crate) enum IngressEvent {
     Shutdown,
 }
 
+/// Why a tier-1 buffer was flushed (adaptive-scheduler tracing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// Buffered bytes crossed the lane's (static or adaptive) threshold;
+    /// also every per-message flush under `IoMode::Sync`.
+    Threshold,
+    /// The lane's idle-flush deadline fired (`IoMode::Adaptive`).
+    Deadline,
+    /// The owning worker went idle and drained its idle-eligible lanes.
+    Idle,
+    /// A control-plane message forced the flush.
+    Control,
+    /// An explicit flush call (query lifecycle, shutdown, tests).
+    Explicit,
+}
+
+/// One tier-1 flush decision, recorded while flush tracing is on
+/// ([`Fabric::record_flushes`]). The DST replay suite compares whole
+/// traces across same-seed runs: the adaptive schedule must be
+/// bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushEvent {
+    /// Clock offset from fabric creation (virtual time under the sim).
+    pub at: Duration,
+    /// Node the flushing outbox belongs to.
+    pub src: NodeId,
+    /// Destination node of the flushed lane.
+    pub dest: NodeId,
+    /// Buffered bytes at flush time.
+    pub bytes: usize,
+    /// What tripped the flush.
+    pub trigger: FlushTrigger,
+    /// The lane's flush threshold when the decision was made.
+    pub threshold: usize,
+}
+
+/// Sequencing state for [`FaultInjection::drop_batch_nth`]: a plain
+/// counter guarded by the same mutex as an RNG derived from the engine
+/// seed on the simulator's fault-schedule stream. Each candidate batch
+/// consumes one draw, so the stream position stays in lockstep with the
+/// arrival index and probabilistic ingress faults added to this path
+/// later cannot shift an existing recorded schedule.
+struct FaultState {
+    rng: SmallRng,
+    seen: u64,
+}
+
 /// The raw channel endpoints behind the per-node network threads. The
 /// threaded engine consumes them inside [`Fabric::new`]'s spawned loops;
 /// the deterministic simulator ([`crate::sim`]) takes them from
@@ -239,9 +312,25 @@ pub struct Fabric {
     stats: Arc<NetStats>,
     invariants: Arc<MsgLedger>,
     fault: FaultInjection,
-    /// Remote traverser batches seen at ingress (drives `drop_batch_nth`).
-    /// Fault-injection bookkeeping, not a metric.
-    ingress_batches: AtomicU64, // lint: allow(adhoc-counter) fault-injection sequencing, not a metric
+    /// Deterministic `drop_batch_nth` sequencing (see [`FaultState`]).
+    fault_state: Mutex<FaultState>,
+    /// Reusable egress frame buffers (zero-copy batch codec).
+    pool: BytesPool,
+    /// Adaptive-flush policy ([`IoMode::Adaptive`]; inert otherwise).
+    adaptive: AdaptivePolicy,
+    /// Fabric creation time; flush-trace timestamps are offsets from this.
+    epoch: Instant,
+    /// Flush tracing toggle; off by default (zero steady-state cost).
+    trace_flushes: AtomicBool,
+    /// Recorded flush decisions while tracing is on.
+    flush_trace: Mutex<Vec<FlushEvent>>,
+    /// Most recent undecodable-frame error, surfaced to diagnostics
+    /// instead of stderr.
+    last_decode_error: Mutex<Option<GdError>>,
+    /// Decode errors can surface on any ingress thread, so this shard is
+    /// mutex-wrapped (the path is cold by definition).
+    #[cfg(feature = "obs")]
+    decode_shard: Mutex<crate::obs::NetShard>,
     /// Cluster-wide observability state (registry + trace sink).
     #[cfg(feature = "obs")]
     obs: Arc<crate::obs::EngineObs>,
@@ -285,7 +374,18 @@ impl Fabric {
             stats,
             invariants: Arc::new(MsgLedger::new()),
             fault: config.fault,
-            ingress_batches: AtomicU64::new(0), // lint: allow(adhoc-counter) fault-injection sequencing, not a metric
+            fault_state: Mutex::new(FaultState {
+                rng: graphdance_common::rng::derive(config.seed, crate::sim::FAULT_STREAM),
+                seen: 0,
+            }),
+            pool: BytesPool::new(),
+            adaptive: config.adaptive,
+            epoch: now(),
+            trace_flushes: AtomicBool::new(false),
+            flush_trace: Mutex::new(Vec::new()),
+            last_decode_error: Mutex::new(None),
+            #[cfg(feature = "obs")]
+            decode_shard: Mutex::new(obs.net_shard()),
             #[cfg(feature = "obs")]
             obs,
         });
@@ -367,15 +467,75 @@ impl Fabric {
         &self.obs
     }
 
+    /// Frame-pool accounting (zero-copy codec diagnostics).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The adaptive I/O scheduler policy this fabric was built with.
+    pub fn adaptive(&self) -> &AdaptivePolicy {
+        &self.adaptive
+    }
+
+    /// Return a frame to the pool without delivering it (the simulator's
+    /// fault injector uses this when it drops a wire batch, so leased
+    /// frames don't leak out of the pool's accounting).
+    pub(crate) fn pool_put(&self, frame: Vec<u8>) {
+        self.pool.put(frame);
+    }
+
+    /// Toggle flush-decision tracing (see [`FlushEvent`]).
+    pub fn record_flushes(&self, on: bool) {
+        self.trace_flushes.store(on, Ordering::Relaxed);
+    }
+
+    /// Drain the recorded flush trace.
+    pub fn take_flush_trace(&self) -> Vec<FlushEvent> {
+        std::mem::take(&mut *self.flush_trace.lock())
+    }
+
+    /// Take the most recent undecodable-frame error, if any arrived.
+    pub fn take_decode_error(&self) -> Option<GdError> {
+        self.last_decode_error.lock().take()
+    }
+
+    fn note_flush(
+        &self,
+        src: NodeId,
+        dest: NodeId,
+        bytes: usize,
+        trigger: FlushTrigger,
+        threshold: usize,
+    ) {
+        if !self.trace_flushes.load(Ordering::Relaxed) {
+            return;
+        }
+        self.flush_trace.lock().push(FlushEvent {
+            at: now() - self.epoch,
+            src,
+            dest,
+            bytes,
+            trigger,
+            threshold,
+        });
+    }
+
     /// Create an outbox for a thread running on `src_node`.
     pub fn outbox(self: &Arc<Self>, src_node: NodeId) -> Outbox {
         let n = self.partitioner.nodes() as usize;
+        let threshold = if self.io_mode == IoMode::Adaptive {
+            self.flush_threshold
+                .clamp(self.adaptive.min_threshold, self.adaptive.max_threshold)
+        } else {
+            self.flush_threshold
+        };
         Outbox {
             #[cfg(feature = "obs")]
             obs: self.obs.net_shard(),
             fabric: Arc::clone(self),
             src_node,
             bufs: (0..n).map(|_| OutBuf::default()).collect(),
+            lanes: (0..n).map(|_| LaneCtl { threshold }).collect(),
         }
     }
 
@@ -386,33 +546,69 @@ impl Fabric {
         }
     }
 
+    /// Should the next remote batch at ingress be dropped
+    /// (`drop_batch_nth`)? Consumes one fault-stream draw per candidate.
+    fn batch_drop_fault(&self) -> bool {
+        let Some(nth) = self.fault.drop_batch_nth else {
+            return false;
+        };
+        let mut st = self.fault_state.lock();
+        st.seen += 1;
+        let _ = st.rng.next_u64();
+        st.seen == nth
+    }
+
+    /// Record an undecodable batch frame: typed error for diagnostics plus
+    /// the `net.decode_errors` counter — never stderr.
+    fn note_decode_error(&self, e: GdError) {
+        #[cfg(feature = "obs")]
+        self.decode_shard.lock().decode_error();
+        #[cfg(not(feature = "obs"))]
+        self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_decode_error.lock() = Some(e);
+    }
+
     /// Deliver a wire message locally (shared-memory shortcut or post-
     /// deserialization dispatch).
     pub(crate) fn deliver(&self, msg: WireMsg) {
         match msg {
             WireMsg::Batch { dest, payload } => {
-                if let Some(nth) = self.fault.drop_batch_nth {
-                    if self.ingress_batches.fetch_add(1, Ordering::Relaxed) + 1 == nth {
-                        // Injected fault: the batch sinks without a trace.
-                        // The ledger's `delivered` count stays short, which
-                        // the watchdog turns into a diagnostic.
-                        return;
-                    }
+                if self.batch_drop_fault() {
+                    // Injected fault: the batch sinks without a trace.
+                    // The ledger's `delivered` count stays short, which
+                    // the watchdog turns into a diagnostic. The frame
+                    // itself still goes back to the pool.
+                    self.pool.put(payload);
+                    return;
                 }
-                match codec::decode_batch(payload) {
-                    Ok(batch) => {
+                match codec::decode_batch_borrowed(&payload) {
+                    Ok((batch, progress)) => {
                         self.record_delivered(&batch);
-                        let _ = self.worker_tx[dest.as_usize()].send(WorkerMsg::Batch(batch));
+                        if !batch.is_empty() {
+                            let _ = self.worker_tx[dest.as_usize()].send(WorkerMsg::Batch(batch));
+                        }
+                        // Piggybacked progress rides behind the batch it
+                        // was flushed with, preserving the rows-before-
+                        // progress FIFO (rows are never piggybacked).
+                        for p in progress {
+                            let _ = self.coord_tx.send(CoordMsg::Progress {
+                                query: p.query,
+                                weight: p.weight,
+                                steps: p.steps,
+                            });
+                        }
                     }
                     Err(e) => {
                         // A corrupt frame names no query we could fail
                         // directly. Drop it: the message-conservation
                         // watchdog then surfaces the stalled query with
                         // sent/delivered counts (debug builds), or the
-                        // query deadline fires (release).
-                        eprintln!("gd-net: dropping undecodable batch frame: {e}");
+                        // query deadline fires (release). The error and a
+                        // counter are kept for diagnostics.
+                        self.note_decode_error(e);
                     }
                 }
+                self.pool.put(payload);
             }
             WireMsg::Progress {
                 query,
@@ -535,7 +731,7 @@ impl EgressPump {
         // into per-destination wire packets.
         let mut alive = true;
         let mut groups: Vec<(NodeId, Vec<WireMsg>, usize)> = vec![first];
-        if fabric.io_mode == IoMode::TwoTier {
+        if matches!(fabric.io_mode, IoMode::TwoTier | IoMode::Adaptive) {
             for _ in 0..64 {
                 match self.rx.try_recv() {
                     Ok(EgressEvent::Packet {
@@ -624,6 +820,10 @@ struct OutBuf {
     /// Other pending wire messages (rows/progress/control), in send order.
     msgs: Vec<WireMsg>,
     bytes: usize,
+    /// When the oldest buffered message arrived (`IoMode::Adaptive` only:
+    /// drives the idle-flush deadline and the residency feedback signal).
+    /// Cleared with the rest of the buffer at flush.
+    first_at: Option<Instant>,
 }
 
 impl OutBuf {
@@ -632,11 +832,21 @@ impl OutBuf {
     }
 }
 
+/// Per-lane adaptive-flush state. Lives outside [`OutBuf`] because the
+/// buffer is reset wholesale on flush while the learned threshold must
+/// persist across flushes.
+struct LaneCtl {
+    /// Current flush threshold in bytes.
+    threshold: usize,
+}
+
 /// A sending endpoint: per-destination-node buffers (tier 1).
 pub struct Outbox {
     fabric: Arc<Fabric>,
     src_node: NodeId,
     bufs: Vec<OutBuf>,
+    /// Adaptive per-lane control state, indexed like `bufs`.
+    lanes: Vec<LaneCtl>,
     /// This sender's single-writer metrics shard.
     #[cfg(feature = "obs")]
     obs: crate::obs::NetShard,
@@ -670,35 +880,134 @@ impl Outbox {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Stamp the lane's first-arrival time (adaptive residency/deadline
+    /// signal). Called on every enqueue; free in non-adaptive modes.
+    #[inline]
+    fn note_enqueue(&mut self, node: usize) {
+        if self.fabric.io_mode == IoMode::Adaptive && self.bufs[node].first_at.is_none() {
+            self.bufs[node].first_at = Some(now());
+        }
+    }
+
+    /// Move the lane's threshold per the feedback signals observed at this
+    /// flush decision. Multiplicative in both directions, clamped to the
+    /// policy range. Every input (egress depth, residency on the virtual
+    /// clock) is deterministic under the simulator.
+    fn adapt(&mut self, node: usize, trigger: FlushTrigger) {
+        let pol = &self.fabric.adaptive;
+        let threshold = self.lanes[node].threshold;
+        let next = match trigger {
+            // A deadline fired before the batch filled: the lane is
+            // latency-bound, shrink toward smaller, quicker batches.
+            FlushTrigger::Deadline => threshold / 2,
+            FlushTrigger::Threshold => {
+                let depth = self.fabric.egress_tx[self.src_node.as_usize()].len();
+                let residency = self.bufs[node]
+                    .first_at
+                    .map(|t| now().saturating_duration_since(t))
+                    .unwrap_or_default();
+                if depth >= pol.egress_depth_high || residency < pol.residency_low {
+                    // Egress is backed up, or traversers arrive faster
+                    // than the threshold drains: bandwidth-bound, grow.
+                    threshold * 2
+                } else if residency > pol.residency_high {
+                    // The buffer sat around before filling: shrink.
+                    threshold / 2
+                } else {
+                    threshold
+                }
+            }
+            _ => threshold,
+        };
+        self.lanes[node].threshold = next.clamp(pol.min_threshold, pol.max_threshold);
+    }
+
     fn maybe_flush(&mut self, node: usize) {
         match self.fabric.io_mode {
-            IoMode::Sync => self.flush_node(NodeId(node as u32)),
+            IoMode::Sync => self.flush_node_as(NodeId(node as u32), FlushTrigger::Threshold),
             IoMode::ThreadCombining | IoMode::TwoTier => {
                 if self.bufs[node].bytes >= self.fabric.flush_threshold {
                     #[cfg(feature = "obs")]
                     self.obs.flush_threshold();
-                    self.flush_node(NodeId(node as u32));
+                    self.flush_node_as(NodeId(node as u32), FlushTrigger::Threshold);
+                }
+            }
+            IoMode::Adaptive => {
+                if self.bufs[node].bytes >= self.lanes[node].threshold {
+                    #[cfg(feature = "obs")]
+                    self.obs.flush_threshold();
+                    self.adapt(node, FlushTrigger::Threshold);
+                    self.flush_node_as(NodeId(node as u32), FlushTrigger::Threshold);
                 }
             }
         }
+    }
+
+    /// Flush every lane whose idle-flush deadline has passed
+    /// (`IoMode::Adaptive`). Returns whether anything was flushed. Workers
+    /// call this each pump so a buffered lane is never held past
+    /// `AdaptivePolicy::idle_flush` — on the virtual clock under the sim,
+    /// on the wall clock in the threaded engine.
+    pub fn poll_deadlines(&mut self) -> bool {
+        if self.fabric.io_mode != IoMode::Adaptive {
+            return false;
+        }
+        let mut flushed = false;
+        let t = now();
+        for node in 0..self.bufs.len() {
+            let Some(first) = self.bufs[node].first_at else {
+                continue;
+            };
+            if t >= first + self.fabric.adaptive.idle_flush {
+                #[cfg(feature = "obs")]
+                self.obs.deadline_flush();
+                #[cfg(not(feature = "obs"))]
+                self.fabric
+                    .stats
+                    .deadline_flushes
+                    .fetch_add(1, Ordering::Relaxed);
+                self.adapt(node, FlushTrigger::Deadline);
+                self.flush_node_as(NodeId(node as u32), FlushTrigger::Deadline);
+                flushed = true;
+            }
+        }
+        flushed
+    }
+
+    /// The earliest pending idle-flush deadline across all lanes, if any
+    /// (`IoMode::Adaptive`). Idle workers sleep no longer than this; the
+    /// simulator folds it into its timer horizon.
+    pub fn next_flush_deadline(&self) -> Option<Instant> {
+        if self.fabric.io_mode != IoMode::Adaptive {
+            return None;
+        }
+        self.bufs
+            .iter()
+            .filter_map(|b| b.first_at)
+            .min()
+            .map(|first| first + self.fabric.adaptive.idle_flush)
     }
 
     /// Queue a traverser for `dest` (tier-1 buffering; flushes at the
     /// threshold, immediately under `Sync`).
     pub fn send_traverser(&mut self, dest: WorkerId, t: Traverser) {
         let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
-        let approx = t.approx_bytes();
-        self.count(MsgClass::Traverser, approx);
+        // Exact encoded size (not the coarse `approx_bytes`): adaptive
+        // thresholds steer on real frame bytes.
+        let size = t.wire_bytes();
+        self.count(MsgClass::Traverser, size);
         self.fabric.invariants.record_sent(t.query, 1);
+        self.note_enqueue(node);
         let buf = &mut self.bufs[node];
         buf.traversers.push((dest, t));
-        buf.bytes += approx;
+        buf.bytes += size;
         self.maybe_flush(node);
     }
 
     /// Queue a progress report for the coordinator (node 0).
     pub fn send_progress(&mut self, query: QueryId, weight: Weight, steps: u64) {
         self.count(MsgClass::Progress, 32);
+        self.note_enqueue(0);
         let buf = &mut self.bufs[0];
         buf.msgs.push(WireMsg::Progress {
             query,
@@ -741,6 +1050,7 @@ impl Outbox {
             })
             .sum();
         self.count(MsgClass::Rows, approx);
+        self.note_enqueue(0);
         let buf = &mut self.bufs[0];
         buf.msgs.push(WireMsg::Rows {
             query,
@@ -760,7 +1070,7 @@ impl Outbox {
         self.count(MsgClass::Control, size);
         self.bufs[node].msgs.push(WireMsg::CtrlWorker { dest, msg });
         self.bufs[node].bytes += size;
-        self.flush_node(NodeId(node as u32));
+        self.flush_node_as(NodeId(node as u32), FlushTrigger::Control);
         size
     }
 
@@ -771,16 +1081,27 @@ impl Outbox {
         self.count(MsgClass::Control, size);
         self.bufs[0].msgs.push(WireMsg::CtrlCoord { msg });
         self.bufs[0].bytes += size;
-        self.flush_node(NodeId(0));
+        self.flush_node_as(NodeId(0), FlushTrigger::Control);
         size
     }
 
     /// Flush one destination node's buffer.
     pub fn flush_node(&mut self, node: NodeId) {
+        self.flush_node_as(node, FlushTrigger::Explicit);
+    }
+
+    fn flush_node_as(&mut self, node: NodeId, trigger: FlushTrigger) {
         let buf = std::mem::take(&mut self.bufs[node.as_usize()]);
         if buf.is_empty() {
             return;
         }
+        self.fabric.note_flush(
+            self.src_node,
+            node,
+            buf.bytes,
+            trigger,
+            self.lanes[node.as_usize()].threshold,
+        );
         #[cfg(feature = "obs")]
         self.obs.flush_buf_bytes(buf.bytes);
         if node == self.src_node {
@@ -813,11 +1134,47 @@ impl Outbox {
                 groups.push((dest, vec![t]));
             }
         }
-        for (dest, batch) in groups {
-            let payload = codec::encode_batch(&batch);
+        // Piggyback pending progress reports on the first batch frame —
+        // only when every queued wire message is a progress report, so a
+        // result row or control message can never be overtaken by a
+        // progress report that left the same buffer (the rows-before-
+        // progress FIFO invariant).
+        let mut rest = buf.msgs;
+        let mut piggyback: Vec<ProgressEntry> = Vec::new();
+        if self.fabric.io_mode == IoMode::Adaptive
+            && !groups.is_empty()
+            && !rest.is_empty()
+            && rest.iter().all(|m| matches!(m, WireMsg::Progress { .. }))
+        {
+            for m in rest.drain(..) {
+                if let WireMsg::Progress {
+                    query,
+                    weight,
+                    steps,
+                } = m
+                {
+                    piggyback.push(ProgressEntry {
+                        query,
+                        weight,
+                        steps,
+                    });
+                }
+            }
+            #[cfg(feature = "obs")]
+            self.obs.piggybacked(piggyback.len() as u64);
+            #[cfg(not(feature = "obs"))]
+            self.fabric
+                .stats
+                .progress_piggybacked
+                .fetch_add(piggyback.len() as u64, Ordering::Relaxed);
+        }
+        for (i, (dest, batch)) in groups.into_iter().enumerate() {
+            let mut payload = self.fabric.pool.get();
+            let trailer: &[ProgressEntry] = if i == 0 { &piggyback } else { &[] };
+            codec::encode_batch_into(&mut payload, &batch, trailer);
             msgs.push(WireMsg::Batch { dest, payload });
         }
-        msgs.extend(buf.msgs);
+        msgs.extend(rest);
         let bytes: usize = msgs.iter().map(WireMsg::wire_size).sum();
         let _ = self.fabric.egress_tx[self.src_node.as_usize()].send(EgressEvent::Packet {
             dest_node: node,
@@ -829,7 +1186,27 @@ impl Outbox {
     /// Flush every buffer (called before a worker sleeps, §IV-B).
     pub fn flush_all(&mut self) {
         for n in 0..self.bufs.len() {
-            self.flush_node(NodeId(n as u32));
+            self.flush_node_as(NodeId(n as u32), FlushTrigger::Explicit);
+        }
+    }
+
+    /// Idle-time flush. In the static modes this drains everything (a
+    /// sleeping worker must not strand messages). Under
+    /// [`IoMode::Adaptive`] only the same-node lane and lanes carrying
+    /// non-traverser messages are drained; pure-traverser remote lanes are
+    /// held for their threshold or idle deadline — that residual batching
+    /// while the worker naps between inbox polls is where the adaptive
+    /// policy earns its message-count savings.
+    pub fn flush_idle(&mut self) {
+        if self.fabric.io_mode != IoMode::Adaptive {
+            self.flush_all();
+            return;
+        }
+        for n in 0..self.bufs.len() {
+            let node = NodeId(n as u32);
+            if node == self.src_node || !self.bufs[n].msgs.is_empty() {
+                self.flush_node_as(node, FlushTrigger::Idle);
+            }
         }
     }
 
@@ -1023,6 +1400,232 @@ mod tests {
         match wrx[3].recv_timeout(Duration::from_secs(1)).unwrap() {
             WorkerMsg::QueryEnd { query } => assert_eq!(query, QueryId(2)),
             other => panic!("unexpected {other:?}"),
+        }
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn adaptive_idle_deadline_flushes_on_virtual_clock() {
+        use graphdance_common::time::sim as vclock;
+        let _clock = vclock::freeze_clock();
+        let (fabric, wrx, _crx, handles) = setup(IoMode::Adaptive);
+        fabric.record_flushes(true);
+        let idle = fabric.adaptive().idle_flush;
+        let mut ob = fabric.outbox(NodeId(0));
+        // One small traverser to a remote worker: far below threshold, so
+        // the lane holds it.
+        ob.send_traverser(WorkerId(2), t(1));
+        let deadline = ob.next_flush_deadline().expect("held lane arms a deadline");
+        assert!(!ob.poll_deadlines(), "deadline not due yet");
+        assert!(ob.pending_bytes() > 0, "still buffered");
+        vclock::advance(idle * 2);
+        assert!(deadline <= now());
+        assert!(ob.poll_deadlines(), "deadline flush fired");
+        assert_eq!(ob.next_flush_deadline(), None, "lane disarmed after flush");
+        match wrx[2].recv_timeout(Duration::from_secs(2)).unwrap() {
+            WorkerMsg::Batch(b) => assert_eq!(b.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.deadline_flushes, 1);
+        let trace = fabric.take_flush_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].trigger, FlushTrigger::Deadline);
+        assert_eq!(trace[0].dest, NodeId(1));
+        assert!(trace[0].bytes > 0);
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn adaptive_piggybacks_progress_on_remote_batches() {
+        let (fabric, wrx, crx, handles) = setup(IoMode::Adaptive);
+        // From node 1: both the traverser (worker 0) and the coordinator
+        // live on node 0, so they share one lane.
+        let mut ob = fabric.outbox(NodeId(1));
+        ob.send_traverser(WorkerId(0), t(7));
+        ob.send_progress(QueryId(3), Weight(11), 2);
+        ob.flush_all();
+        match wrx[0].recv_timeout(Duration::from_secs(2)).unwrap() {
+            WorkerMsg::Batch(b) => assert_eq!(b.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match crx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            CoordMsg::Progress {
+                query,
+                weight,
+                steps,
+            } => {
+                assert_eq!(query, QueryId(3));
+                assert_eq!(weight, Weight(11));
+                assert_eq!(steps, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.progress_piggybacked, 1, "progress rode the batch frame");
+        assert_eq!(
+            s.wire_packets, 1,
+            "one combined wire packet instead of batch + standalone progress"
+        );
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn rows_in_flight_block_piggybacking() {
+        let (fabric, _wrx, crx, handles) = setup(IoMode::Adaptive);
+        let mut ob = fabric.outbox(NodeId(1));
+        // Rows share the lane FIFO with progress; piggybacking progress
+        // onto the batch would let it overtake the rows, so it must stay
+        // standalone here.
+        ob.send_traverser(WorkerId(0), t(7));
+        ob.send_rows(QueryId(3), vec![vec![Value::Int(1)]]);
+        ob.send_progress(QueryId(3), Weight(11), 2);
+        ob.flush_all();
+        match crx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            CoordMsg::Rows { query, .. } => assert_eq!(query, QueryId(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match crx.recv_timeout(Duration::from_secs(2)).unwrap() {
+            CoordMsg::Progress { query, .. } => assert_eq!(query, QueryId(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.progress_piggybacked, 0, "rows pinned progress standalone");
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn undecodable_batch_routes_to_error_counter() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::TwoTier);
+        fabric.deliver(WireMsg::Batch {
+            dest: WorkerId(0),
+            payload: vec![0xFF, 0x01],
+        });
+        let s = fabric.stats().snapshot();
+        assert_eq!(s.decode_errors, 1);
+        let err = fabric.take_decode_error().expect("error retained");
+        assert!(err.to_string().contains("truncated"), "got: {err}");
+        assert!(fabric.take_decode_error().is_none(), "error was taken");
+        assert!(
+            wrx[0].try_recv().is_err(),
+            "no batch delivered from a corrupt frame"
+        );
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn flush_trace_labels_triggers_and_lanes() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::TwoTier);
+        fabric.record_flushes(true);
+        let mut ob = fabric.outbox(NodeId(0));
+        ob.send_traverser(WorkerId(2), t(1));
+        ob.flush_all();
+        ob.send_ctrl_worker(WorkerId(3), WorkerMsg::QueryEnd { query: QueryId(2) });
+        for rx in [&wrx[2], &wrx[3]] {
+            rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        }
+        let trace = fabric.take_flush_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].trigger, FlushTrigger::Explicit);
+        assert_eq!(trace[1].trigger, FlushTrigger::Control);
+        assert!(trace
+            .iter()
+            .all(|e| e.src == NodeId(0) && e.dest == NodeId(1)));
+        assert!(fabric.take_flush_trace().is_empty(), "trace was drained");
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pool_frames_return_after_ingress_decode() {
+        let (fabric, wrx, _crx, handles) = setup(IoMode::TwoTier);
+        let mut ob = fabric.outbox(NodeId(0));
+        for round in 0..4u64 {
+            for i in 0..8 {
+                ob.send_traverser(WorkerId(2), t(round * 8 + i));
+            }
+            ob.flush_all();
+            let mut got = 0;
+            while got < 8 {
+                match wrx[2].recv_timeout(Duration::from_secs(2)).unwrap() {
+                    WorkerMsg::Batch(b) => got += b.len(),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        // The ingress thread returns each frame right after handing the
+        // decoded batch over, so the lease may lag the recv by an instant.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let ps = fabric.pool_stats();
+            if ps.outstanding == 0 {
+                assert!(ps.allocated >= 1);
+                assert!(
+                    ps.recycled >= ps.allocated.saturating_sub(2),
+                    "frames were reused, not re-allocated: {ps:?}"
+                );
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "frames leaked: {ps:?}"
+            );
+            std::thread::yield_now();
+        }
+        fabric.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn adaptive_aimd_moves_lane_threshold_both_ways() {
+        use graphdance_common::time::sim as vclock;
+        let _clock = vclock::freeze_clock();
+        let (fabric, wrx, _crx, handles) = setup(IoMode::Adaptive);
+        fabric.record_flushes(true);
+        let policy = *fabric.adaptive();
+        let mut ob = fabric.outbox(NodeId(0));
+        // A deadline flush halves the lane threshold (buffer was starved).
+        ob.send_traverser(WorkerId(2), t(1));
+        vclock::advance(policy.idle_flush * 2);
+        assert!(ob.poll_deadlines());
+        let trace = fabric.take_flush_trace();
+        let before = trace[0].threshold;
+        // Refill and deadline-flush again: the recorded threshold shrank.
+        ob.send_traverser(WorkerId(2), t(2));
+        vclock::advance(policy.idle_flush * 2);
+        assert!(ob.poll_deadlines());
+        let trace = fabric.take_flush_trace();
+        let after = trace[0].threshold;
+        assert!(
+            after < before,
+            "AIMD halved the threshold: {before} -> {after}"
+        );
+        assert!(after >= policy.min_threshold);
+        let mut got = 0;
+        while got < 2 {
+            match wrx[2].recv_timeout(Duration::from_secs(2)).unwrap() {
+                WorkerMsg::Batch(b) => got += b.len(),
+                other => panic!("unexpected {other:?}"),
+            }
         }
         fabric.shutdown();
         for h in handles {

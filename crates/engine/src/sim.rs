@@ -46,8 +46,11 @@ use crate::worker::{PumpStatus, Worker};
 
 /// RNG stream ids for the simulator's own streams, far away from the
 /// worker streams (`0..num_parts`) and the coordinator stream (`u64::MAX`).
+/// `FAULT_STREAM` is `pub(crate)` because the network fabric derives its
+/// `drop_batch_nth` sequencing RNG from the same stream id, so net-level
+/// fault ordering is named by the seed alone (no ad-hoc atomics).
 const SCHED_STREAM: u64 = u64::MAX - 1;
-const FAULT_STREAM: u64 = u64::MAX - 2;
+pub(crate) const FAULT_STREAM: u64 = u64::MAX - 2;
 
 /// Hard cap on stored trace events; the fingerprint and total keep
 /// covering every event past the cap, so trace comparison stays exact
@@ -504,8 +507,9 @@ impl SimCluster {
     }
 
     /// The earliest future instant at which anything becomes runnable:
-    /// a buffered packet's delivery time, a stall expiry, a query
-    /// deadline, or the liveness watchdog.
+    /// a buffered packet's delivery time, a stall expiry, an adaptive
+    /// lane's idle-flush deadline, a query deadline, or the liveness
+    /// watchdog.
     fn next_timer(&self) -> Option<Instant> {
         let mut next: Option<Instant> = None;
         let mut fold = |t: Instant| match next {
@@ -519,6 +523,12 @@ impl SimCluster {
         }
         for s in self.stalled_until.iter().flatten() {
             fold(*s);
+        }
+        // Held adaptive lanes wake their worker on the virtual clock.
+        for w in &self.workers {
+            if let Some(t) = w.next_flush_deadline() {
+                fold(t);
+            }
         }
         match (next, self.coordinator.next_timer()) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -589,14 +599,17 @@ impl SimCluster {
     /// Deliver one wire message, rolling drop/duplicate faults for
     /// traverser batches (the payloads the conservation ledger tracks).
     fn deliver_with_faults(&mut self, msg: WireMsg) {
-        if let WireMsg::Batch { dest, payload } = &msg {
+        if let WireMsg::Batch { dest, payload } = msg {
             if self.faults.drop_permille > 0 && roll(&mut self.fault_rng, self.faults.drop_permille)
             {
                 // The batch sinks: `delivered` stays short of `sent`, which
                 // quiesce checking / the watchdog must turn into a
-                // diagnostic rather than a silent wrong answer.
+                // diagnostic rather than a silent wrong answer. The leased
+                // frame still goes back to the pool — a drop fault loses
+                // the message, not buffer capacity.
                 self.counts.drops += 1;
                 self.trace.record(SimEventKind::DropBatch);
+                self.fabric.pool_put(payload);
                 return;
             }
             if self.faults.dup_permille > 0 && roll(&mut self.fault_rng, self.faults.dup_permille) {
@@ -605,10 +618,12 @@ impl SimCluster {
                 self.counts.dups += 1;
                 self.trace.record(SimEventKind::DupBatch);
                 self.fabric.deliver(WireMsg::Batch {
-                    dest: *dest,
+                    dest,
                     payload: payload.clone(),
                 });
             }
+            self.fabric.deliver(WireMsg::Batch { dest, payload });
+            return;
         }
         self.fabric.deliver(msg);
     }

@@ -144,7 +144,15 @@ impl Worker {
                 PumpStatus::Stopped => return,
                 PumpStatus::Worked => {}
                 PumpStatus::Idle => {
-                    // Everything is flushed; block until the next message.
+                    // §IV-B: flush ALL buffers before the thread sleeps —
+                    // including adaptive lanes still holding for their idle
+                    // deadline. Waiting the deadline out on an OS timer
+                    // would add scheduler slack straight to the query tail;
+                    // held-lane combining pays only while the worker stays
+                    // awake between pump quanta. The deterministic
+                    // simulator, whose virtual-clock waits are free, drives
+                    // the deadline path through `pump` directly.
+                    self.outbox.flush_all();
                     match self.inbox.recv() {
                         Ok(WorkerMsg::Shutdown) | Err(_) => return,
                         Ok(msg) => self.handle(msg),
@@ -193,14 +201,20 @@ impl Worker {
         worked |= executed > 0;
         #[cfg(feature = "obs")]
         self.obs.queue_depth(self.queue.len() as u64);
+        // Adaptive lanes whose idle-flush deadline passed are flushed even
+        // while the worker stays busy.
+        worked |= self.outbox.poll_deadlines();
         // Keep same-node latency low.
         self.outbox.flush_local();
         if self.queue.is_empty() {
             // About to go idle: flush everything, progress included (§IV-B
             // "if there are no more traversers ready for execution, we
             // flush all the buffers before the current thread sleeps").
+            // Under `IoMode::Adaptive` pure-traverser remote lanes are held
+            // for their threshold or deadline instead (see
+            // `Outbox::flush_idle`).
             self.flush_progress();
-            self.outbox.flush_all();
+            self.outbox.flush_idle();
             if !worked {
                 return PumpStatus::Idle;
             }
@@ -208,10 +222,23 @@ impl Worker {
         PumpStatus::Worked
     }
 
-    /// Is a quantum worth scheduling — queued input or runnable traversers?
+    /// Is a quantum worth scheduling — queued input, runnable traversers,
+    /// or an adaptive flush deadline that has come due?
     /// (An all-flushed worker with an empty inbox would just report `Idle`.)
     pub fn has_work(&self) -> bool {
-        !self.inbox.is_empty() || !self.queue.is_empty()
+        !self.inbox.is_empty()
+            || !self.queue.is_empty()
+            || self
+                .outbox
+                .next_flush_deadline()
+                .is_some_and(|d| d <= graphdance_common::time::now())
+    }
+
+    /// The earliest pending adaptive flush deadline, if any. The
+    /// deterministic simulator folds this into its timer horizon so a held
+    /// lane wakes the worker on the virtual clock.
+    pub fn next_flush_deadline(&self) -> Option<std::time::Instant> {
+        self.outbox.next_flush_deadline()
     }
 
     fn handle(&mut self, msg: WorkerMsg) {

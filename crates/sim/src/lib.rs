@@ -143,7 +143,9 @@ pub fn check_detailed(repro: &Repro) -> RunReport {
             }
         }
     };
-    let mut config = EngineConfig::new(repro.nodes, repro.workers).with_seed(repro.seed);
+    let mut config = EngineConfig::new(repro.nodes, repro.workers)
+        .with_seed(repro.seed)
+        .with_io_mode(repro.io);
     config.fault.sim = repro.faults;
     let mut sim = SimCluster::new(graph, config);
     let result = sim.query(&plan, params);

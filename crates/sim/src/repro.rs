@@ -21,7 +21,7 @@ use std::time::Duration;
 use rand::Rng;
 
 use graphdance_common::{Partitioner, Value, VertexId};
-use graphdance_engine::SimFaults;
+use graphdance_engine::{IoMode, SimFaults};
 use graphdance_query::plan::Plan;
 use graphdance_query::QueryBuilder;
 use graphdance_storage::{Graph, GraphBuilder};
@@ -142,6 +142,9 @@ pub struct Repro {
     /// Master seed: scheduling, fault schedule, and weight splitting all
     /// derive from it through fixed streams.
     pub seed: u64,
+    /// The I/O scheduler the engine runs under (`io=` key; absent lines
+    /// default to the engine default, [`IoMode::TwoTier`]).
+    pub io: IoMode,
     /// Fault-injection knobs (all-zero = fault-free).
     pub faults: SimFaults,
 }
@@ -155,8 +158,15 @@ impl Repro {
             nodes,
             workers,
             seed,
+            io: IoMode::TwoTier,
             faults: SimFaults::default(),
         }
+    }
+
+    /// The same run under a different I/O scheduler.
+    pub fn with_io(mut self, io: IoMode) -> Self {
+        self.io = io;
+        self
     }
 
     /// The one-line replayable form (inverse of [`Repro::parse`]).
@@ -172,6 +182,7 @@ impl Repro {
         let mut nodes = None;
         let mut workers = None;
         let mut seed = None;
+        let mut io = None;
         let mut faults = None;
         for field in line.split_whitespace() {
             let (key, val) = field
@@ -183,6 +194,7 @@ impl Repro {
                 "nodes" => nodes = Some(parse_u32(val)?),
                 "workers" => workers = Some(parse_u32(val)?),
                 "seed" => seed = Some(parse_u64(val)?),
+                "io" => io = Some(parse_io(val)?),
                 "faults" => faults = Some(parse_faults(val)?),
                 other => return Err(format!("unknown key {other:?}")),
             }
@@ -193,6 +205,7 @@ impl Repro {
             nodes: nodes.ok_or("missing nodes=")?,
             workers: workers.ok_or("missing workers=")?,
             seed: seed.ok_or("missing seed=")?,
+            io: io.unwrap_or(IoMode::TwoTier),
             faults: faults.unwrap_or_default(),
         })
     }
@@ -212,9 +225,10 @@ impl fmt::Display for Repro {
         let s = &self.faults;
         write!(
             f,
-            " nodes={} workers={} seed={:#x} faults=drop:{},dup:{},reorder:{},delay:{}:{},stall:{}:{},sidechannel:{}",
+            " nodes={} workers={} io={} seed={:#x} faults=drop:{},dup:{},reorder:{},delay:{}:{},stall:{}:{},sidechannel:{}",
             self.nodes,
             self.workers,
+            io_name(self.io),
             self.seed,
             s.drop_permille,
             s.dup_permille,
@@ -270,6 +284,26 @@ fn parse_query(s: &str) -> Result<QuerySpec, String> {
     }
 }
 
+/// The `io=` spelling of each scheduler mode (inverse of [`parse_io`]).
+fn io_name(io: IoMode) -> &'static str {
+    match io {
+        IoMode::Sync => "sync",
+        IoMode::ThreadCombining => "threadcombining",
+        IoMode::TwoTier => "twotier",
+        IoMode::Adaptive => "adaptive",
+    }
+}
+
+fn parse_io(s: &str) -> Result<IoMode, String> {
+    match s {
+        "sync" => Ok(IoMode::Sync),
+        "threadcombining" => Ok(IoMode::ThreadCombining),
+        "twotier" => Ok(IoMode::TwoTier),
+        "adaptive" => Ok(IoMode::Adaptive),
+        other => Err(format!("unknown io mode {other:?}")),
+    }
+}
+
 fn parse_faults(s: &str) -> Result<SimFaults, String> {
     let mut out = SimFaults::default();
     for knob in s.split(',') {
@@ -315,6 +349,7 @@ mod tests {
             nodes: 2,
             workers: 2,
             seed: 0x2a,
+            io: IoMode::Adaptive,
             faults: SimFaults {
                 drop_permille: 40,
                 dup_permille: 7,
@@ -340,7 +375,27 @@ mod tests {
         assert_eq!(r.graph, GraphSpec::Ring { n: 32 });
         assert_eq!(r.query, QuerySpec::Khop { hops: 3, start: 4 });
         assert_eq!(r.seed, 0x2a);
+        assert_eq!(r.io, IoMode::TwoTier, "io-less lines take the default");
         assert!(r.faults.is_quiet());
+    }
+
+    #[test]
+    fn io_key_roundtrips_every_mode() {
+        for io in [
+            IoMode::Sync,
+            IoMode::ThreadCombining,
+            IoMode::TwoTier,
+            IoMode::Adaptive,
+        ] {
+            let r =
+                Repro::clean(GraphSpec::Ring { n: 8 }, QuerySpec::ScanCount, 1, 1, 3).with_io(io);
+            let line = r.to_line();
+            assert_eq!(Repro::parse(&line), Ok(r), "line was: {line}");
+        }
+        assert!(
+            Repro::parse("graph=ring:8 query=khop:1:0 nodes=1 workers=1 io=warp seed=1").is_err(),
+            "typoed io mode fails loudly"
+        );
     }
 
     #[test]

@@ -5,9 +5,10 @@
 
 use proptest::prelude::*;
 
-use graphdance::common::{Partitioner, Value, VertexId};
-use graphdance::engine::codec;
+use graphdance::common::{Partitioner, QueryId, Value, VertexId};
+use graphdance::engine::codec::{self, ProgressEntry};
 use graphdance::engine::{EngineConfig, GraphDance};
+use graphdance::pstm::{Traverser, Weight};
 use graphdance::query::expr::Expr;
 use graphdance::query::QueryBuilder;
 use graphdance::storage::{Direction, GraphBuilder, TelList, TS_LIVE};
@@ -29,6 +30,39 @@ fn arb_value() -> impl Strategy<Value = Value> {
     })
 }
 
+fn arb_traverser() -> impl Strategy<Value = Traverser> {
+    (
+        any::<u64>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u64>(),
+        prop::collection::vec(arb_value(), 0..4),
+        any::<u64>(),
+        any::<u32>(),
+        prop::option::of(arb_value()),
+    )
+        .prop_map(
+            |(query, pipeline, pc, vertex, locals, weight, depth, aux_key)| Traverser {
+                query: QueryId(query),
+                pipeline,
+                pc,
+                vertex: VertexId(vertex),
+                locals,
+                weight: Weight(weight),
+                depth,
+                aux_key,
+            },
+        )
+}
+
+fn arb_progress() -> impl Strategy<Value = ProgressEntry> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(q, w, s)| ProgressEntry {
+        query: QueryId(q),
+        weight: Weight(w),
+        steps: s,
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -41,6 +75,64 @@ proptest! {
         let decoded = codec::decode_value(&mut wire).expect("decodes");
         prop_assert_eq!(decoded, v);
         prop_assert!(wire.is_empty(), "no trailing bytes");
+    }
+
+    /// The zero-copy batch encoder produces byte-for-byte the legacy
+    /// encoding for any progress-free batch, and both decode paths (the
+    /// `Bytes`-cursor one and the borrowed zero-copy one) agree on it.
+    #[test]
+    fn zero_copy_batch_path_equals_legacy(ts in prop::collection::vec(arb_traverser(), 0..8)) {
+        let legacy = codec::encode_batch(&ts);
+        let mut frame = Vec::new();
+        codec::encode_batch_into(&mut frame, &ts, &[]);
+        prop_assert_eq!(&frame[..], &legacy[..], "encoders diverged");
+        let (borrowed, progress) = codec::decode_batch_borrowed(&frame).expect("decodes");
+        prop_assert_eq!(&borrowed, &ts);
+        prop_assert!(progress.is_empty());
+        let owned = codec::decode_batch(legacy).expect("legacy decodes");
+        prop_assert_eq!(owned, ts);
+    }
+
+    /// A piggybacked progress trailer rides any batch and comes back
+    /// exactly, on both decode paths; the traverser wire-size accounting
+    /// stays exact (header + per-traverser sizes + trailer).
+    #[test]
+    fn piggybacked_progress_roundtrips(
+        ts in prop::collection::vec(arb_traverser(), 0..6),
+        ps in prop::collection::vec(arb_progress(), 0..5),
+    ) {
+        let mut frame = Vec::new();
+        codec::encode_batch_into(&mut frame, &ts, &ps);
+        let body: usize = ts.iter().map(|t| t.wire_bytes()).sum();
+        prop_assert_eq!(
+            frame.len(),
+            4 + body + 2 + codec::PROGRESS_ENTRY_BYTES * ps.len(),
+            "wire_bytes accounting drifted from the encoder"
+        );
+        let (got_ts, got_ps) = codec::decode_batch_borrowed(&frame).expect("decodes");
+        prop_assert_eq!(&got_ts, &ts);
+        prop_assert_eq!(&got_ps, &ps);
+        let (full_ts, full_ps) =
+            codec::decode_batch_full(bytes::Bytes::from(frame)).expect("decodes");
+        prop_assert_eq!(full_ts, ts);
+        prop_assert_eq!(full_ps, ps);
+    }
+
+    /// Truncating an encoded frame at any point never panics the borrowed
+    /// decoder — it reports a `GdError` (the fabric routes it to the
+    /// `net_decode_errors` counter).
+    #[test]
+    fn truncated_frames_error_instead_of_panicking(
+        ts in prop::collection::vec(arb_traverser(), 1..4),
+        ps in prop::collection::vec(arb_progress(), 0..3),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut frame = Vec::new();
+        codec::encode_batch_into(&mut frame, &ts, &ps);
+        let cut = cut.index(frame.len());
+        if cut < frame.len() {
+            prop_assert!(codec::decode_batch_borrowed(&frame[..cut]).is_err());
+        }
     }
 
     /// TEL single-scan visibility equals a naive per-version filter.

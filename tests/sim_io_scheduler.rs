@@ -1,0 +1,213 @@
+//! DST battery for the adaptive two-tier I/O scheduler.
+//!
+//! The adaptive scheduler's flush decisions (per-lane thresholds moved by
+//! AIMD feedback, idle-flush deadlines, progress piggybacking) all derive
+//! from the seeded scheduler and the frozen virtual clock — so under the
+//! deterministic simulator they must be *bit-identical* on replay: same
+//! seed, same flush event trace, down to the virtual nanosecond. These
+//! tests pin that, plus the safety side: injected drop/reorder faults
+//! against piggybacked progress reports must be flagged by the
+//! conservation ledger or the oracle differential, never silently
+//! absorbed.
+
+use graphdance::engine::{EngineConfig, FlushEvent, FlushTrigger, IoMode, SimCluster};
+use graphdance_sim::{check_detailed, GraphSpec, QuerySpec, Repro, SimFailure, Verdict};
+
+fn seeds() -> u64 {
+    std::env::var("SIM_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30)
+}
+
+/// Run one adaptive k-hop query under the simulator and return the flush
+/// trace plus the scheduling-trace fingerprint.
+fn adaptive_run(seed: u64) -> (Vec<FlushEvent>, u64, u64) {
+    let spec = GraphSpec::Ring { n: 24 };
+    let graph = spec.build(2, 2);
+    let (plan, params) = QuerySpec::Khop { hops: 4, start: 0 }.build(&graph);
+    let config = EngineConfig::new(2, 2)
+        .with_seed(seed)
+        .with_io_mode(IoMode::Adaptive);
+    let mut sim = SimCluster::new(graph, config);
+    sim.fabric().record_flushes(true);
+    let rows = sim.query(&plan, params).expect("clean adaptive run");
+    assert_eq!(rows.len(), 4, "4-hop neighbourhood on a ring");
+    let flushes = sim.fabric().take_flush_trace();
+    let deadline_flushes = sim.fabric().stats().snapshot().deadline_flushes;
+    (flushes, sim.trace().fingerprint(), deadline_flushes)
+}
+
+#[test]
+fn adaptive_flush_schedule_is_bit_identical_on_replay() {
+    for seed in [0u64, 1, 7, 0x2a] {
+        let (a_flushes, a_fp, _) = adaptive_run(seed);
+        let (b_flushes, b_fp, _) = adaptive_run(seed);
+        assert!(!a_flushes.is_empty(), "seed {seed}: flushes were traced");
+        assert_eq!(
+            a_flushes, b_flushes,
+            "seed {seed}: flush event traces diverged between replays"
+        );
+        assert_eq!(a_fp, b_fp, "seed {seed}: scheduling fingerprints diverged");
+    }
+}
+
+#[test]
+fn different_seeds_explore_different_schedules() {
+    let (_, fp0, _) = adaptive_run(0);
+    let (_, fp1, _) = adaptive_run(1);
+    assert_ne!(fp0, fp1, "seed sweep explores distinct interleavings");
+}
+
+#[test]
+fn idle_deadline_flushes_fire_on_the_virtual_clock() {
+    let (flushes, _, deadline_flushes) = adaptive_run(3);
+    let deadline_events = flushes
+        .iter()
+        .filter(|e| e.trigger == FlushTrigger::Deadline)
+        .count() as u64;
+    assert!(
+        deadline_events > 0,
+        "held lanes reached their idle deadline under the virtual clock"
+    );
+    assert_eq!(
+        deadline_events, deadline_flushes,
+        "trace and counter agree on deadline flushes"
+    );
+    // The simulator is single-threaded, so trace order is flush order and
+    // the virtual timestamps must be monotonic.
+    for w in flushes.windows(2) {
+        assert!(w[0].at <= w[1].at, "flush trace timestamps ran backwards");
+    }
+    // Every flush was attributed to a real trigger with real bytes.
+    for e in &flushes {
+        assert!(e.bytes > 0, "empty buffers are never flushed: {e:?}");
+        assert!(e.threshold > 0, "lane threshold always positive: {e:?}");
+    }
+}
+
+#[test]
+fn adaptive_matches_oracle_across_topologies_and_seeds() {
+    for nodes in 1..=2u32 {
+        for workers in 1..=2u32 {
+            let base = Repro::clean(
+                GraphSpec::Ring { n: 12 },
+                QuerySpec::Khop { hops: 3, start: 1 },
+                nodes,
+                workers,
+                0,
+            )
+            .with_io(IoMode::Adaptive);
+            for seed in 0..seeds() {
+                let repro = Repro { seed, ..base };
+                let report = check_detailed(&repro);
+                assert_eq!(
+                    report.verdict,
+                    Verdict::Match,
+                    "{}",
+                    SimFailure {
+                        repro,
+                        verdict: report.verdict.clone()
+                    }
+                );
+            }
+        }
+    }
+}
+
+/// Drop faults against a scheduler that piggybacks progress on traverser
+/// batches: a dropped frame now loses traversers *and* their completion
+/// reports together. Both losses strand progression weight, so the
+/// conservation ledger / watchdog must flag the run — `Match` is only
+/// legal when no drop actually fired.
+#[test]
+fn dropped_piggybacked_progress_is_never_silently_absorbed() {
+    let mut base = Repro::clean(
+        GraphSpec::Ring { n: 20 },
+        QuerySpec::Khop { hops: 3, start: 0 },
+        2,
+        2,
+        0,
+    )
+    .with_io(IoMode::Adaptive);
+    base.faults.drop_permille = 200;
+    let mut flagged = 0u64;
+    let mut lossy = 0u64;
+    for seed in 0..seeds() {
+        let repro = Repro { seed, ..base };
+        let report = check_detailed(&repro);
+        if report.faults_fired.drops > 0 {
+            lossy += 1;
+        }
+        match (&report.verdict, report.faults_fired.drops) {
+            (Verdict::Match, 0) => {}
+            (Verdict::Match, drops) => panic!(
+                "seed {seed}: {drops} dropped frame(s) under adaptive \
+                 piggybacking yet the query finished clean"
+            ),
+            (Verdict::Flagged(_), _) => flagged += 1,
+            (verdict, _) => panic!(
+                "{}",
+                SimFailure {
+                    repro,
+                    verdict: verdict.clone()
+                }
+            ),
+        }
+    }
+    assert!(lossy > 0, "the drop schedule never fired");
+    assert!(flagged > 0, "no lossy run was flagged");
+}
+
+/// Reordered packets may deliver piggybacked progress in a surprising
+/// order relative to other lanes, but reordering loses nothing — every
+/// run must still match the oracle or be flagged, never corrupt.
+#[test]
+fn reordered_batches_with_piggybacked_progress_never_corrupt() {
+    let mut base = Repro::clean(
+        GraphSpec::Ring { n: 20 },
+        QuerySpec::Khop { hops: 3, start: 0 },
+        2,
+        2,
+        0,
+    )
+    .with_io(IoMode::Adaptive);
+    base.faults.reorder_permille = 400;
+    // Delay spikes push packets onto the same virtual delivery tick,
+    // which is what gives the reorder roll something to reorder.
+    base.faults.delay_permille = 300;
+    base.faults.delay_spike = std::time::Duration::from_micros(400);
+    let mut perturbed = 0u64;
+    for seed in 0..seeds() {
+        let repro = Repro { seed, ..base };
+        let report = check_detailed(&repro);
+        perturbed += report.faults_fired.reorders + report.faults_fired.delay_spikes;
+        match report.verdict {
+            Verdict::Match | Verdict::Flagged(_) => {}
+            verdict => panic!("{}", SimFailure { repro, verdict }),
+        }
+    }
+    assert!(perturbed > 0, "the reorder/delay schedule never fired");
+}
+
+/// The pool's frame accounting holds under simulation: after a clean run
+/// quiesces, every leased frame came back (drop faults return frames via
+/// the fault injector's explicit `pool_put`).
+#[test]
+fn pool_frames_all_return_after_a_sim_run() {
+    let spec = GraphSpec::Ring { n: 24 };
+    let graph = spec.build(2, 2);
+    let (plan, params) = QuerySpec::Khop { hops: 4, start: 0 }.build(&graph);
+    let config = EngineConfig::new(2, 2)
+        .with_seed(9)
+        .with_io_mode(IoMode::Adaptive);
+    let mut sim = SimCluster::new(graph, config);
+    sim.query(&plan, params).expect("clean run");
+    let ps = sim.fabric().pool_stats();
+    assert_eq!(ps.outstanding, 0, "leaked frames: {ps:?}");
+    assert!(ps.allocated > 0, "remote batches really used the pool");
+    assert!(
+        ps.high_water <= ps.allocated as usize,
+        "high-water accounting is consistent: {ps:?}"
+    );
+}

@@ -137,3 +137,138 @@ fn sim_khop_matches_oracle_on_random_graphs() {
         );
     }
 }
+
+/// A seeded stand-in for the proptest traverser strategy.
+fn arb_traverser(r: &mut SmallRng) -> graphdance::pstm::Traverser {
+    use graphdance::pstm::{Traverser, Weight};
+    let locals = (0..r.gen_range(0..4usize))
+        .map(|_| arb_value(r, 1))
+        .collect();
+    let aux_key = if r.gen_range(0..3u32) == 0 {
+        Some(arb_value(r, 1))
+    } else {
+        None
+    };
+    Traverser {
+        query: graphdance::common::QueryId(r.gen()),
+        pipeline: r.gen::<u32>() as u16,
+        pc: r.gen::<u32>() as u16,
+        vertex: VertexId(r.gen()),
+        locals,
+        weight: Weight(r.gen()),
+        depth: r.gen::<u32>(),
+        aux_key,
+    }
+}
+
+/// Zero-copy batch codec vs. the legacy path, for 256 fixed seeds under
+/// the simulation clock: identical bytes, identical decodes, exact
+/// trailer accounting.
+#[test]
+fn zero_copy_batch_equals_legacy_256_fixed_seeds() {
+    use graphdance::engine::codec::ProgressEntry;
+    use graphdance::pstm::Weight;
+    let clock = vclock::freeze_clock();
+    for seed in 0..FIXED_SEEDS {
+        let mut r = rng::seeded(seed ^ 0xBA7C);
+        let ts: Vec<_> = (0..r.gen_range(0..6usize))
+            .map(|_| arb_traverser(&mut r))
+            .collect();
+        let legacy = codec::encode_batch(&ts);
+        let mut frame = Vec::new();
+        codec::encode_batch_into(&mut frame, &ts, &[]);
+        assert_eq!(&frame[..], &legacy[..], "encoders diverged at seed {seed}");
+        let (got, progress) = codec::decode_batch_borrowed(&frame).expect("decodes");
+        assert_eq!(got, ts, "seed {seed}");
+        assert!(progress.is_empty(), "seed {seed}");
+        // With a trailer, both decode paths agree.
+        let ps: Vec<ProgressEntry> = (0..r.gen_range(1..4usize))
+            .map(|_| ProgressEntry {
+                query: graphdance::common::QueryId(r.gen()),
+                weight: Weight(r.gen()),
+                steps: r.gen(),
+            })
+            .collect();
+        frame.clear();
+        codec::encode_batch_into(&mut frame, &ts, &ps);
+        let (bt, bp) = codec::decode_batch_borrowed(&frame).expect("decodes");
+        let (ft, fp) =
+            codec::decode_batch_full(bytes::Bytes::from(frame.clone())).expect("decodes");
+        assert_eq!(
+            (bt, bp),
+            (ft.clone(), fp.clone()),
+            "decode paths split at seed {seed}"
+        );
+        assert_eq!((ft, fp), (ts, ps), "round-trip at seed {seed}");
+        vclock::advance(std::time::Duration::from_micros(1));
+    }
+    drop(clock);
+}
+
+/// Pooled frames never alias a live lease: for 256 fixed seeds, frames
+/// checked out together are distinct allocations, a recycled frame only
+/// reappears after its `put`, and the stats stay conserved.
+#[test]
+fn pooled_buffers_never_alias_live_frames_256_fixed_seeds() {
+    use graphdance::engine::BytesPool;
+    for seed in 0..FIXED_SEEDS {
+        let mut r = rng::seeded(seed ^ 0x9001);
+        let pool = BytesPool::new();
+        let mut live: Vec<Vec<u8>> = Vec::new();
+        for step in 0..64u64 {
+            if live.is_empty() || r.gen_range(0..2u32) == 0 {
+                let mut f = pool.get();
+                assert!(f.is_empty(), "leased frame carries stale bytes");
+                f.extend_from_slice(&step.to_le_bytes());
+                // No two live leases share an allocation.
+                let p = f.as_ptr();
+                assert!(
+                    live.iter().all(|l| l.as_ptr() != p),
+                    "aliased live frame at seed {seed} step {step}"
+                );
+                live.push(f);
+            } else {
+                let i = r.gen_range(0..live.len());
+                pool.put(live.swap_remove(i));
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(
+            stats.outstanding,
+            live.len(),
+            "lease accounting at seed {seed}"
+        );
+        assert!(
+            stats.high_water as u64 <= stats.allocated,
+            "high-water above allocations at seed {seed}: {stats:?}"
+        );
+        for f in live.drain(..) {
+            pool.put(f);
+        }
+        assert_eq!(pool.stats().outstanding, 0, "all returned at seed {seed}");
+    }
+}
+
+/// The pool's high-water mark stays bounded across a sim seed sweep: the
+/// simulated cluster is 2×2, so in-flight frames are bounded by lanes ×
+/// packets-in-flight, not by traffic volume.
+#[test]
+fn pool_high_water_is_bounded_under_sim_sweep() {
+    use graphdance::engine::{EngineConfig, IoMode, SimCluster};
+    for seed in 0..sim_seeds() {
+        let spec = GraphSpec::Ring { n: 24 };
+        let graph = spec.build(2, 2);
+        let (plan, params) = QuerySpec::Khop { hops: 4, start: 0 }.build(&graph);
+        let config = EngineConfig::new(2, 2)
+            .with_seed(seed)
+            .with_io_mode(IoMode::Adaptive);
+        let mut sim = SimCluster::new(graph, config);
+        sim.query(&plan, params).expect("clean run");
+        let ps = sim.fabric().pool_stats();
+        assert_eq!(ps.outstanding, 0, "frames leaked at seed {seed}: {ps:?}");
+        assert!(
+            ps.high_water <= 32,
+            "pool high-water unbounded at seed {seed}: {ps:?}"
+        );
+    }
+}

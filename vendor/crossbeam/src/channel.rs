@@ -121,6 +121,17 @@ impl<T> Sender<T> {
         self.chan.recv_cv.notify_one();
         Ok(())
     }
+
+    /// Number of messages currently queued (matches `crossbeam::channel`,
+    /// where both halves expose `len`).
+    pub fn len(&self) -> usize {
+        lock(&self.chan).queue.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> std::fmt::Debug for Sender<T> {

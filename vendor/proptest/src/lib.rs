@@ -295,6 +295,66 @@ tuple_strategy! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// `Option` strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Generates `None` about a quarter of the time, `Some(inner)`
+    /// otherwise (matching upstream proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Collection-index sampling (`prop::sample::Index`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+    use rand::Rng;
+
+    /// An index into a collection whose size is only known inside the
+    /// test body: generate one with `any::<Index>()`, then project it
+    /// onto a concrete length with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Map onto `0..len`.
+        ///
+        /// # Panics
+        /// Panics if `len` is zero, like upstream proptest.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.gen::<u64>() as usize)
+        }
+    }
 }
 
 /// `&'static str` patterns of the form `[class]{min,max}` generate
@@ -433,6 +493,8 @@ pub mod prelude {
     /// The `prop::` namespace (`prop::collection::vec` etc.).
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
     }
 }
 
