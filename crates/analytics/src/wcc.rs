@@ -24,6 +24,8 @@ pub fn weakly_connected_components(graph: &Graph, label: Label) -> FxHashMap<Ver
 
     let changed = AtomicBool::new(true);
     let mut rounds = 0usize;
+    // sync: convergence flag only — the scoped-thread join below is the
+    // happens-before edge for the label data itself
     while changed.swap(false, Ordering::Relaxed) {
         rounds += 1;
         assert!(rounds < 10_000, "label propagation must converge");
@@ -51,6 +53,7 @@ pub fn weakly_connected_components(graph: &Graph, label: Label) -> FxHashMap<Ver
                         }
                         if best < mine {
                             shards[pi].lock().insert(v, best);
+                            // sync: flag re-read only after scope join
                             changed.store(true, Ordering::Relaxed);
                             // Push to neighbours eagerly (min propagation).
                             for e in part

@@ -378,6 +378,8 @@ impl BspEngine {
         }
         let started = now();
         let deadline = started + self.timeout;
+        // sync: unique-id allocator — atomicity alone guarantees
+        // distinctness, no other data is published through it
         let query = QueryId(self.next_qid.fetch_add(1, Ordering::Relaxed) | (1 << 62));
         let ctx = Arc::new(QueryCtx {
             query,

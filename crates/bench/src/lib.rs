@@ -265,13 +265,15 @@ pub fn run_throughput(
                 while start.elapsed() < window {
                     let params = make_params(&mut rng);
                     if engine.query_timed(plan, params).is_ok() {
+                        // sync: throughput counter, read after scope join
                         done.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             });
         }
     });
-    done.load(std::sync::atomic::Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+    // sync: scoped-thread join above is the happens-before edge
+    done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Average sequential latency of a plan over `trials` parameter draws.

@@ -108,6 +108,8 @@ pub mod sim {
     /// # Panics
     /// Panics if the clock is not frozen.
     pub fn now_nanos() -> u64 {
+        // lint: allow(hot-path-blocking) documented misuse panic: sim code
+        // freezes the clock before stepping (see `# Panics` above)
         current_nanos().expect("virtual clock is not frozen on this thread")
     }
 
@@ -117,6 +119,8 @@ pub mod sim {
     /// Panics if the clock is not frozen.
     pub fn advance(d: Duration) {
         VIRTUAL_NANOS.with(|v| {
+            // lint: allow(hot-path-blocking) documented misuse panic: only
+            // callable after freeze(), threaded mode never reaches here
             let cur = v.get().expect("virtual clock is not frozen on this thread");
             v.set(Some(cur.saturating_add(d.as_nanos() as u64)));
         });
@@ -130,6 +134,8 @@ pub mod sim {
     pub fn advance_to(target: Instant) {
         let ns = target.saturating_duration_since(base()).as_nanos() as u64;
         VIRTUAL_NANOS.with(|v| {
+            // lint: allow(hot-path-blocking) documented misuse panic: only
+            // callable after freeze(), threaded mode never reaches here
             let cur = v.get().expect("virtual clock is not frozen on this thread");
             if ns > cur {
                 v.set(Some(ns));

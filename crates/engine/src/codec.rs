@@ -463,6 +463,8 @@ impl BytesPool {
     /// injector's duplicated payload): `outstanding` saturates at zero.
     pub fn put(&self, mut frame: Vec<u8>) {
         frame.clear();
+        // lint: allow(hot-path-blocking) bounded: pool mutex guards two
+        // integer updates and a capped Vec push, no blocking inside
         let mut inner = self.inner.lock();
         inner.outstanding = inner.outstanding.saturating_sub(1);
         if inner.free.len() < POOL_FREE_CAP && frame.capacity() <= POOL_RETAIN_MAX {

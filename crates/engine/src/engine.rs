@@ -141,6 +141,8 @@ impl GraphDance {
                 std::thread::Builder::new()
                     .name("gd-lct-broadcast".into())
                     .spawn(move || {
+                        // sync: stop flag — eventual visibility suffices,
+                        // no data is published through it
                         while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                             for c in caches.iter() {
                                 c.refresh(&mgr);
@@ -278,6 +280,7 @@ impl GraphDance {
     /// Stop all threads. In-flight queries fail with `EngineClosed`.
     pub fn shutdown(mut self) {
         self.lct_stop
+            // sync: stop flag, joined below — the join is the ordering edge
             .store(true, std::sync::atomic::Ordering::Relaxed);
         let _ = self.coord_tx.send(CoordMsg::Shutdown);
         for tx in &self.worker_tx {
@@ -294,6 +297,7 @@ impl Drop for GraphDance {
     fn drop(&mut self) {
         // Best-effort: detach threads if `shutdown` was not called.
         self.lct_stop
+            // sync: stop flag — eventual visibility suffices on this path
             .store(true, std::sync::atomic::Ordering::Relaxed);
         let _ = self.coord_tx.send(CoordMsg::Shutdown);
         for tx in &self.worker_tx {

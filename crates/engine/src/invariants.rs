@@ -70,6 +70,8 @@ impl MsgLedger {
         if !Self::ENABLED || n == 0 {
             return;
         }
+        // lint: allow(hot-path-blocking) debug-build ledger: bounded O(1)
+        // map update, compiled out of release via Self::ENABLED
         self.counts.lock().entry(query).or_default().sent += n;
     }
 
@@ -81,6 +83,8 @@ impl MsgLedger {
         if !Self::ENABLED || n == 0 {
             return;
         }
+        // lint: allow(hot-path-blocking) debug-build ledger: bounded O(1)
+        // map update, compiled out of release via Self::ENABLED
         if let Some(c) = self.counts.lock().get_mut(&query) {
             c.delivered += n;
         }
@@ -88,6 +92,8 @@ impl MsgLedger {
 
     /// Current counters for `query` (zeroes when untracked).
     pub fn counts(&self, query: QueryId) -> MsgCounts {
+        // lint: allow(hot-path-blocking) debug-build ledger: bounded O(1)
+        // map read, no blocking while held
         self.counts.lock().get(&query).copied().unwrap_or_default()
     }
 
@@ -103,6 +109,8 @@ impl MsgLedger {
         if !Self::ENABLED {
             return;
         }
+        // lint: allow(hot-path-blocking) debug-build ledger: bounded O(1)
+        // map remove at query teardown
         self.counts.lock().remove(&query);
     }
 

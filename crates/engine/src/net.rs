@@ -77,27 +77,32 @@ pub struct NetStats {
 #[cfg(not(feature = "obs"))]
 impl NetStats {
     fn count(&self, class: MsgClass, bytes: usize) {
+        // sync: monotonic diagnostic counters, no data published through them
         self.msgs[class as usize].fetch_add(1, Ordering::Relaxed);
+        // sync: monotonic diagnostic counters, no data published through them
         self.bytes[class as usize].fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Take a snapshot of the counters.
     pub fn snapshot(&self) -> NetStatsSnapshot {
+        // sync: monotonic diagnostic counters — a torn cross-counter view
+        // is acceptable in a stats snapshot
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed); // lint: allow(adhoc-counter) snapshot helper, no new counter
         NetStatsSnapshot {
-            traverser_msgs: self.msgs[0].load(Ordering::Relaxed),
-            progress_msgs: self.msgs[1].load(Ordering::Relaxed),
-            rows_msgs: self.msgs[2].load(Ordering::Relaxed),
-            control_msgs: self.msgs[3].load(Ordering::Relaxed),
-            traverser_bytes: self.bytes[0].load(Ordering::Relaxed),
-            progress_bytes: self.bytes[1].load(Ordering::Relaxed),
-            rows_bytes: self.bytes[2].load(Ordering::Relaxed),
-            control_bytes: self.bytes[3].load(Ordering::Relaxed),
-            wire_packets: self.wire_packets.load(Ordering::Relaxed),
-            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
-            same_node_msgs: self.same_node_msgs.load(Ordering::Relaxed),
-            decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            progress_piggybacked: self.progress_piggybacked.load(Ordering::Relaxed),
-            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            traverser_msgs: ld(&self.msgs[0]),
+            progress_msgs: ld(&self.msgs[1]),
+            rows_msgs: ld(&self.msgs[2]),
+            control_msgs: ld(&self.msgs[3]),
+            traverser_bytes: ld(&self.bytes[0]),
+            progress_bytes: ld(&self.bytes[1]),
+            rows_bytes: ld(&self.bytes[2]),
+            control_bytes: ld(&self.bytes[3]),
+            wire_packets: ld(&self.wire_packets),
+            wire_bytes: ld(&self.wire_bytes),
+            same_node_msgs: ld(&self.same_node_msgs),
+            decode_errors: ld(&self.decode_errors),
+            progress_piggybacked: ld(&self.progress_piggybacked),
+            deadline_flushes: ld(&self.deadline_flushes),
         }
     }
 }
@@ -486,6 +491,8 @@ impl Fabric {
 
     /// Toggle flush-decision tracing (see [`FlushEvent`]).
     pub fn record_flushes(&self, on: bool) {
+        // sync: tracing toggle — eventual visibility suffices, missed
+        // events around the flip are acceptable
         self.trace_flushes.store(on, Ordering::Relaxed);
     }
 
@@ -507,9 +514,13 @@ impl Fabric {
         trigger: FlushTrigger,
         threshold: usize,
     ) {
+        // sync: tracing toggle read, pairs with the Relaxed store in
+        // record_flushes — no data guarded by the flag itself
         if !self.trace_flushes.load(Ordering::Relaxed) {
             return;
         }
+        // lint: allow(hot-path-blocking) diagnostic trace, gated off by
+        // default: bounded Vec push while held
         self.flush_trace.lock().push(FlushEvent {
             at: now() - self.epoch,
             src,
@@ -552,6 +563,8 @@ impl Fabric {
         let Some(nth) = self.fault.drop_batch_nth else {
             return false;
         };
+        // lint: allow(hot-path-blocking) fault-injection state (tests/sim
+        // only): two integer updates while held
         let mut st = self.fault_state.lock();
         st.seen += 1;
         let _ = st.rng.next_u64();
@@ -562,9 +575,14 @@ impl Fabric {
     /// the `net.decode_errors` counter — never stderr.
     fn note_decode_error(&self, e: GdError) {
         #[cfg(feature = "obs")]
+        // lint: allow(hot-path-blocking) rare fault path (corrupt frame):
+        // bounded shard-counter bump while held
         self.decode_shard.lock().decode_error();
         #[cfg(not(feature = "obs"))]
+        // sync: monotonic diagnostic counter, no ordering dependency
         self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(hot-path-blocking) rare fault path: replaces one
+        // Option while held
         *self.last_decode_error.lock() = Some(e);
     }
 
@@ -762,10 +780,12 @@ impl EgressPump {
             self.obs.wire_packet(wire);
             #[cfg(not(feature = "obs"))]
             {
+                // sync: monotonic diagnostic counters (obs-off fallback)
                 fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
                 fabric
                     .stats
                     .wire_bytes
+                    // sync: monotonic diagnostic counter (obs-off fallback)
                     .fetch_add(wire as u64, Ordering::Relaxed);
             }
             let deliver_at = now() + fabric.net_cfg.propagation_delay;
@@ -803,6 +823,8 @@ pub fn charge(d: Duration) {
         return;
     }
     if d > Duration::from_micros(50) {
+        // lint: allow(hot-path-blocking) deliberate: charge() IS the cost
+        // model — the sleep models wire latency in threaded mode
         std::thread::sleep(d); // lint: allow(sim-determinism) unreachable under a frozen clock (see above)
     } else {
         let end = now() + d;
@@ -877,6 +899,7 @@ impl Outbox {
         self.fabric
             .stats
             .same_node_msgs
+            // sync: monotonic diagnostic counter (obs-off fallback)
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -965,6 +988,7 @@ impl Outbox {
                 self.fabric
                     .stats
                     .deadline_flushes
+                    // sync: monotonic diagnostic counter (obs-off fallback)
                     .fetch_add(1, Ordering::Relaxed);
                 self.adapt(node, FlushTrigger::Deadline);
                 self.flush_node_as(NodeId(node as u32), FlushTrigger::Deadline);
@@ -1166,6 +1190,7 @@ impl Outbox {
             self.fabric
                 .stats
                 .progress_piggybacked
+                // sync: monotonic diagnostic counter (obs-off fallback)
                 .fetch_add(piggyback.len() as u64, Ordering::Relaxed);
         }
         for (i, (dest, batch)) in groups.into_iter().enumerate() {
@@ -1572,7 +1597,7 @@ mod tests {
         }
         // The ingress thread returns each frame right after handing the
         // decoded batch over, so the lease may lag the recv by an instant.
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let deadline = Instant::now() + Duration::from_secs(2);
         loop {
             let ps = fabric.pool_stats();
             if ps.outstanding == 0 {
@@ -1583,10 +1608,7 @@ mod tests {
                 );
                 break;
             }
-            assert!(
-                std::time::Instant::now() < deadline,
-                "frames leaked: {ps:?}"
-            );
+            assert!(Instant::now() < deadline, "frames leaked: {ps:?}");
             std::thread::yield_now();
         }
         fabric.shutdown();

@@ -575,11 +575,7 @@ mod handler_tests {
 
     /// Build a worker without spawning its thread, so `handle` can be
     /// driven directly.
-    fn test_worker() -> (
-        Worker,
-        std::sync::Arc<Fabric>,
-        Vec<crossbeam::channel::Receiver<WorkerMsg>>,
-    ) {
+    fn test_worker() -> (Worker, Arc<Fabric>, Vec<Receiver<WorkerMsg>>) {
         let mut b = GraphBuilder::new(Partitioner::new(1, 2));
         let n = b.schema_mut().register_vertex_label("N");
         let e = b.schema_mut().register_edge_label("e");
@@ -587,7 +583,7 @@ mod handler_tests {
         b.add_vertex(VertexId(1), n, vec![]).unwrap();
         b.add_edge(VertexId(0), e, VertexId(1), vec![]).unwrap();
         let graph = b.finish();
-        let config = crate::config::EngineConfig::new(1, 2);
+        let config = EngineConfig::new(1, 2);
         let mut wtx = Vec::new();
         let mut wrx = Vec::new();
         for _ in 0..2 {

@@ -144,6 +144,8 @@ pub fn run_mixed(
             let stream = &stream;
             let mut crng = derive(cfg.seed, 1 + client as u64);
             scope.spawn(move || loop {
+                // sync: work-stealing index allocator — atomicity alone
+                // makes each op run once, no data rides on it
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= schedule.len() {
                     return;
@@ -164,6 +166,8 @@ pub fn run_mixed(
                         // issuing; unexecuted operations count as neither
                         // completed nor failed.
                         drop(ml);
+                        // sync: abort: racing clients may run a few more
+                        // ops, harmless for the abort path
                         next.store(schedule.len(), Ordering::Relaxed);
                         return;
                     }
@@ -181,6 +185,7 @@ pub fn run_mixed(
                 let latency = scheduled_at.elapsed();
                 match outcome {
                     Ok(()) => {
+                        // sync: result counter, read after scope join
                         completed.fetch_add(1, Ordering::Relaxed);
                         let mut s = samples.lock().expect("no poisoning");
                         match op {
@@ -190,6 +195,7 @@ pub fn run_mixed(
                         }
                     }
                     Err(_) => {
+                        // sync: result counter, read after scope join
                         failed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -205,7 +211,9 @@ pub fn run_mixed(
         is: LatencyStats::from_samples(is_s),
         up: LatencyStats::from_samples(up_s),
         issued: schedule.len(),
+        // sync: scoped-thread join above is the happens-before edge
         completed: completed.load(Ordering::Relaxed),
+        // sync: scoped-thread join above is the happens-before edge
         failed: failed.load(Ordering::Relaxed),
         sustained: lag < cfg.duration.mul_f64(0.5) && overrun < cfg.duration,
     }

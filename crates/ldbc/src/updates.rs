@@ -85,6 +85,7 @@ impl UpdateStream {
             |rng: &mut SmallRng| vid(Kind::Person, rng.gen_range(0..self.base_persons));
         match kind {
             UpdateKind::AddPerson => {
+                // sync: unique-id allocator, distinctness is all that matters
                 let i = self.next_person.fetch_add(1, Ordering::Relaxed);
                 let mut tx = txn.begin();
                 tx.insert_vertex(
@@ -106,6 +107,7 @@ impl UpdateStream {
                 tx.commit()?;
             }
             UpdateKind::AddPost => {
+                // sync: unique-id allocator, distinctness is all that matters
                 let i = self.next_post.fetch_add(1, Ordering::Relaxed);
                 let creator = rand_person(rng);
                 let forum = vid(Kind::Forum, rng.gen_range(0..self.base_forums));
@@ -123,6 +125,7 @@ impl UpdateStream {
                 tx.commit()?;
             }
             UpdateKind::AddComment => {
+                // sync: unique-id allocator, distinctness is all that matters
                 let i = self.next_comment.fetch_add(1, Ordering::Relaxed);
                 let creator = rand_person(rng);
                 let parent = vid(Kind::Post, rng.gen_range(0..self.base_posts));

@@ -594,7 +594,7 @@ mod explain_tests {
                     },
                     steps: vec![
                         PlanStep::Expand {
-                            dir: graphdance_storage::Direction::Both,
+                            dir: Direction::Both,
                             label: knows,
                             edge_loads: vec![],
                         },

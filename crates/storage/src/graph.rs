@@ -69,6 +69,8 @@ impl Graph {
     /// from the partition's owning worker, so the lock is uncontended.
     #[inline]
     pub fn read(&self, p: PartId) -> RwLockReadGuard<'_, GraphPartition> {
+        // lint: allow(hot-path-blocking) uncontended by the ownership
+        // protocol above; writers only appear between query scopes
         self.parts[p.as_usize()].read()
     }
 
@@ -80,6 +82,8 @@ impl Graph {
 
     /// Allocate a fresh edge id.
     pub fn alloc_edge_id(&self) -> EdgeId {
+        // sync: unique-id allocator — atomicity alone guarantees
+        // distinctness; edge data is published under the partition lock
         EdgeId(self.next_edge_id.fetch_add(1, Ordering::Relaxed))
     }
 

@@ -430,10 +430,10 @@ impl GraphPartition {
 
     /// Approximate heap bytes of this partition.
     pub fn approx_bytes(&self) -> usize {
-        let mut bytes = self.records.len()
-            * (std::mem::size_of::<VertexRecord>() + std::mem::size_of::<VertexId>() + 16);
+        let mut bytes =
+            self.records.len() * (size_of::<VertexRecord>() + size_of::<VertexId>() + 16);
         for r in &self.records {
-            bytes += r.props.capacity() * std::mem::size_of::<(PropKey, Value)>();
+            bytes += r.props.capacity() * size_of::<(PropKey, Value)>();
             for (_, v) in &r.props {
                 if let Value::Str(s) = v {
                     bytes += s.len();

@@ -136,11 +136,11 @@ impl TelList {
     /// Approximate heap bytes used by this log (for the Table II "raw size"
     /// report and the single-node memory-capacity simulation).
     pub fn approx_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<TelEntry>()
+        self.entries.len() * size_of::<TelEntry>()
             + self
                 .entries
                 .iter()
-                .map(|e| e.props.capacity() * std::mem::size_of::<(PropKey, Value)>())
+                .map(|e| e.props.capacity() * size_of::<(PropKey, Value)>())
                 .sum::<usize>()
     }
 }

@@ -75,6 +75,9 @@ impl TxnManager {
             None => s.next_ts - 1,
         };
         // LCT is monotone: it can only move forward.
+        // sync: Release pairs with the Acquire in lct(): a reader that
+        // observes the new LCT also observes the version writes this
+        // commit published before advancing it
         self.lct.fetch_max(new_lct, Ordering::Release);
     }
 
@@ -82,6 +85,8 @@ impl TxnManager {
     /// node-local [`LctCache`] instead, to keep load off this manager.
     #[inline]
     pub fn lct(&self) -> Timestamp {
+        // sync: Acquire pairs with the Release fetch_max in
+        // finish_commit — see the happens-before note there
         self.lct.load(Ordering::Acquire)
     }
 }
@@ -106,6 +111,8 @@ impl LctCache {
 
     /// Receive a broadcast: adopt the given LCT if it is newer.
     pub fn publish(&self, lct: Timestamp) {
+        // sync: Release re-publish keeps the manager's Release→Acquire
+        // chain intact for read_ts() readers on this node
         self.cached.fetch_max(lct, Ordering::Release);
     }
 
@@ -117,6 +124,8 @@ impl LctCache {
     /// The read timestamp a read-only query on this node should use.
     #[inline]
     pub fn read_ts(&self) -> Timestamp {
+        // sync: Acquire pairs with the Release in publish(); the chain
+        // back to finish_commit makes the snapshot at this ts complete
         self.cached.load(Ordering::Acquire)
     }
 }

@@ -75,6 +75,7 @@ impl TxnSystem {
     pub fn begin(&self) -> UpdateTxn<'_> {
         UpdateTxn {
             sys: self,
+            // sync: unique-id allocator, distinctness is all that matters
             id: self.next_txn_id.fetch_add(1, Ordering::Relaxed),
             locked: Vec::new(),
             writes: Vec::new(),
@@ -350,7 +351,7 @@ mod tests {
         let err = t2
             .insert_edge(VertexId(1), k, VertexId(2), vec![])
             .unwrap_err();
-        assert!(matches!(err, graphdance_common::GdError::TxnAborted(_)));
+        assert!(matches!(err, GdError::TxnAborted(_)));
         t1.commit().unwrap();
     }
 

@@ -1,0 +1,16 @@
+//! Seeded atomics violations: a Relaxed RMW and an Acquire load with no
+//! `// sync:` justification. The `atomics-audit` pass must flag both.
+
+pub struct Epoch {
+    current: AtomicU64,
+}
+
+impl Epoch {
+    pub fn bump(&self) -> u64 {
+        self.current.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn read(&self) -> u64 {
+        self.current.load(Ordering::Acquire)
+    }
+}

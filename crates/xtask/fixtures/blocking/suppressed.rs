@@ -1,0 +1,31 @@
+//! Same call chain as `violation.rs`, with the blocking site justified as
+//! bounded. The pass must stay quiet.
+
+pub struct Worker {
+    dirty: Vec<u64>,
+}
+
+impl Worker {
+    pub fn pump(&mut self) -> bool {
+        self.drain_dirty();
+        true
+    }
+
+    fn drain_dirty(&mut self) {
+        flush_all(&mut self.dirty);
+    }
+}
+
+fn flush_all(dirty: &mut Vec<u64>) {
+    if !dirty.is_empty() {
+        sync_to_disk(dirty);
+        dirty.clear();
+    }
+}
+
+fn sync_to_disk(dirty: &[u64]) {
+    let _ = dirty.len();
+    // lint: allow(hot-path-blocking) bounded 5ms backoff, only taken on
+    // the rare dirty-spill path
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

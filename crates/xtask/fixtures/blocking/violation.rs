@@ -1,0 +1,31 @@
+//! Seeded hot-path blocking: a wall-clock sleep buried three frames below
+//! `Worker::pump`. The `hot-path-blocking` pass must find it and report
+//! the full call chain `Worker::pump → Worker::drain_dirty → flush_all →
+//! sync_to_disk`.
+
+pub struct Worker {
+    dirty: Vec<u64>,
+}
+
+impl Worker {
+    pub fn pump(&mut self) -> bool {
+        self.drain_dirty();
+        true
+    }
+
+    fn drain_dirty(&mut self) {
+        flush_all(&mut self.dirty);
+    }
+}
+
+fn flush_all(dirty: &mut Vec<u64>) {
+    if !dirty.is_empty() {
+        sync_to_disk(dirty);
+        dirty.clear();
+    }
+}
+
+fn sync_to_disk(dirty: &[u64]) {
+    let _ = dirty.len();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,25 @@
+//! Same shape as `violation.rs`, but the inverted acquisition carries a
+//! `// lint: allow(lock-order)` justification (e.g. the caller guarantees
+//! the two paths never run concurrently). The pass must stay quiet.
+
+pub struct Bank {
+    accounts: Mutex<Vec<u64>>,
+    audit_log: Mutex<Vec<String>>,
+}
+
+impl Bank {
+    pub fn transfer(&self) {
+        let mut accounts = self.accounts.lock();
+        accounts.push(1);
+        let mut audit_log = self.audit_log.lock();
+        audit_log.push("t".into());
+    }
+
+    pub fn report(&self) {
+        // lint: allow(lock-order) report() only runs after shutdown, when
+        // transfer() can no longer be invoked
+        let log = self.audit_log.lock();
+        let accounts = self.accounts.lock();
+        let _ = (log.len(), accounts.len());
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded lock-order inversion: `transfer` holds `accounts` while taking
+//! `audit_log`; `report` holds `audit_log` while taking `accounts`. Run
+//! concurrently, the two functions deadlock. The `lock-order` pass must
+//! report the cycle between the two lock classes.
+
+pub struct Bank {
+    accounts: Mutex<Vec<u64>>,
+    audit_log: Mutex<Vec<String>>,
+}
+
+impl Bank {
+    pub fn transfer(&self) {
+        let mut accounts = self.accounts.lock();
+        accounts.push(1);
+        let mut audit_log = self.audit_log.lock();
+        audit_log.push("t".into());
+    }
+
+    pub fn report(&self) {
+        let log = self.audit_log.lock();
+        let accounts = self.accounts.lock();
+        let _ = (log.len(), accounts.len());
+    }
+}

@@ -1,0 +1,21 @@
+//! Same sites as `violation.rs`, each carrying a `// SAFETY:` argument
+//! (carried or trailing). The pass must stay quiet.
+
+pub struct Slot {
+    ptr: *mut u8,
+}
+
+impl Slot {
+    pub fn get(&self, i: usize) -> u8 {
+        // SAFETY: callers uphold i < capacity (checked in the public
+        // wrapper); ptr is valid for the arena's lifetime
+        unsafe { *self.ptr.add(i) }
+    }
+
+    // SAFETY: exposes the raw pointer; caller must not outlive the arena
+    pub unsafe fn raw(&self) -> *mut u8 {
+        self.ptr
+    }
+}
+
+unsafe impl Send for Slot {} // SAFETY: one owner per shard, handed off with the shard itself

@@ -1,0 +1,18 @@
+//! Seeded unsafe violations: an unannotated `unsafe` block, fn, and impl.
+//! The `unsafe-audit` pass must flag all three lines.
+
+pub struct Slot {
+    ptr: *mut u8,
+}
+
+impl Slot {
+    pub fn get(&self, i: usize) -> u8 {
+        unsafe { *self.ptr.add(i) }
+    }
+
+    pub unsafe fn raw(&self) -> *mut u8 {
+        self.ptr
+    }
+}
+
+unsafe impl Send for Slot {}

@@ -1,0 +1,139 @@
+//! `atomics-audit`: every atomic-ordering site outside the obs
+//! single-writer shards carries a machine-checked `// sync: <invariant>`
+//! justification.
+//!
+//! `Ordering::Relaxed` is correct only under a documented protocol (a
+//! single writer, a monotonic counter read for diagnostics, …), and
+//! `Acquire`/`Release` only when the happens-before edge it creates is
+//! named. An ordering with no stated invariant is unreviewable: nobody can
+//! tell whether weakening or strengthening it is a bug. This pass makes
+//! the justification mandatory — a trailing `// sync: …` comment on the
+//! site, or a standalone `// sync: …` comment line directly above it.
+//!
+//! The obs metrics shards (`crates/obs/src/registry.rs`, `shared.rs`) are
+//! whitelisted wholesale: their single-writer-per-shard protocol is
+//! documented once at module level (DESIGN.md §8) rather than per line,
+//! and they account for the overwhelming majority of relaxed sites.
+
+use super::{DeepRule, Workspace};
+use crate::scan::Violation;
+
+/// Files whose module-level docs already pin the protocol for every
+/// atomic inside.
+const WHITELIST: &[&str] = &["crates/obs/src/registry.rs", "crates/obs/src/shared.rs"];
+
+/// The five memory orderings (`std::sync::atomic::Ordering` variants;
+/// `std::cmp::Ordering` variants do not collide).
+const ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+pub struct AtomicsAudit;
+
+impl DeepRule for AtomicsAudit {
+    fn name(&self) -> &'static str {
+        "atomics-audit"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every non-obs atomic Ordering::* site carries a `// sync: <invariant>` justification"
+    }
+
+    fn check(&self, ws: &Workspace<'_>) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for f in ws.files {
+            if !f.rel.starts_with("crates/") || WHITELIST.contains(&f.rel.as_str()) {
+                continue;
+            }
+            for line in &f.lines {
+                if line.in_test || line.sync || line.allows(self.name()) {
+                    continue;
+                }
+                if let Some(ord) = ORDERINGS.iter().find(|o| line.code.contains(*o)) {
+                    out.push(Violation {
+                        rule: self.name(),
+                        file: f.rel.clone(),
+                        line: line.number,
+                        message: format!(
+                            "`{ord}` without a `// sync: <invariant>` justification — state the \
+                             protocol that makes this ordering sufficient (single writer? \
+                             happens-before edge? diagnostic-only read?)"
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let files = [parse_source(rel, src)];
+        let ws = Workspace::build(&files);
+        AtomicsAudit.check(&ws)
+    }
+
+    #[test]
+    fn unjustified_relaxed_is_flagged() {
+        let v = run(
+            "crates/engine/src/net.rs",
+            "fn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Relaxed)\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn sync_comment_trailing_or_above_goes_quiet() {
+        let v = run(
+            "crates/engine/src/net.rs",
+            "fn f(a: &AtomicU64) -> u64 {\n    \
+             // sync: monotonic counter, torn reads impossible on u64\n    \
+             a.fetch_add(1, Ordering::Relaxed);\n    \
+             a.load(Ordering::Acquire) // sync: pairs with Release in store_lct\n}\n",
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn obs_shards_and_test_code_are_exempt() {
+        assert!(run(
+            "crates/obs/src/registry.rs",
+            "fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }\n",
+        )
+        .is_empty());
+        assert!(run(
+            "crates/engine/src/net.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(a: &AtomicU64) { a.store(1, Ordering::SeqCst); }\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_does_not_collide() {
+        let v = run(
+            "crates/engine/src/worker.rs",
+            "fn f(a: u32, b: u32) -> Ordering {\n    a.cmp(&b).then(Ordering::Less)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn lint_allow_works_as_escape_hatch() {
+        let v = run(
+            "crates/engine/src/net.rs",
+            "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::SeqCst); // lint: allow(atomics-audit) migration shim\n}\n",
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+}

@@ -1,0 +1,216 @@
+//! `hot-path-blocking`: no blocking calls or panics transitively reachable
+//! from the scheduler hot loops.
+//!
+//! The line rule `hot-path-panics` can only flag a panic *textually inside*
+//! `engine`/`pstm`/`storage`. This pass replaces that heuristic with
+//! call-graph reachability: starting from the non-blocking scheduling
+//! quanta — `Worker::pump`, `Coordinator::pump`, and the deterministic
+//! simulator's `SimCluster::step` — every function they can (approximately)
+//! reach is scanned for blocking constructs (`.lock()`, `.recv()`,
+//! `thread::sleep`, `.join()`, …) and panicking constructs
+//! (`.unwrap()`, `panic!`, …), *whatever crate it lives in*. A worker that
+//! blocks inside its quantum stalls its whole partition; a worker that
+//! panics kills one thread of the cluster and leaves the client hanging.
+//!
+//! Short bounded critical sections are legitimate — annotate them
+//! `// lint: allow(hot-path-blocking) <why bounded>`. Panic sites already
+//! justified for the line rule (`// lint: allow(hot-path-panics)`) are
+//! honored here too, so one annotation serves both rules.
+
+use super::{DeepRule, Workspace};
+use crate::scan::Violation;
+
+/// Reachability roots: the scheduling quanta of the threaded engine and
+/// the deterministic simulator.
+const ROOTS: &[&str] = &["Worker::pump", "Coordinator::pump", "SimCluster::step"];
+
+/// Blocking constructs.
+const BLOCKING: &[(&str, &str)] = &[
+    (".lock()", "blocking mutex acquisition"),
+    (".read()", "blocking rwlock read acquisition"),
+    (".write()", "blocking rwlock write acquisition"),
+    (".recv()", "blocking channel receive"),
+    (".recv_timeout(", "bounded-blocking channel receive"),
+    ("thread::sleep", "wall-clock sleep"),
+    (".join()", "thread join"),
+    (".wait(", "condvar/barrier wait"),
+    (".park(", "thread park"),
+    ("park_timeout", "bounded thread park"),
+];
+
+/// Panicking constructs (same set as the `hot-path-panics` line rule).
+const PANICS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()`"),
+    (".expect(", "`.expect(..)`"),
+    ("panic!", "`panic!`"),
+    ("unreachable!", "`unreachable!`"),
+    ("todo!", "`todo!`"),
+    ("unimplemented!", "`unimplemented!`"),
+];
+
+pub struct HotPathBlocking;
+
+impl DeepRule for HotPathBlocking {
+    fn name(&self) -> &'static str {
+        "hot-path-blocking"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no blocking calls or panics reachable from Worker::pump / Coordinator::pump / SimCluster::step"
+    }
+
+    fn check(&self, ws: &Workspace<'_>) -> Vec<Violation> {
+        let roots: Vec<usize> = ws
+            .index
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.in_test && ROOTS.contains(&f.qual().as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        if roots.is_empty() {
+            // Misconfigured roots must fail loudly, not silently pass.
+            return vec![Violation {
+                rule: self.name(),
+                file: ws.files.first().map(|f| f.rel.clone()).unwrap_or_default(),
+                line: 1,
+                message: format!(
+                    "none of the hot-path roots ({}) exist in this workspace — \
+                     the reachability pass has nothing to anchor on",
+                    ROOTS.join(", ")
+                ),
+            }];
+        }
+        let parent = ws.graph.reach(&roots);
+
+        let mut out = Vec::new();
+        let mut seen: std::collections::BTreeSet<(usize, usize, &str)> =
+            std::collections::BTreeSet::new();
+        let mut reachable: Vec<usize> = parent.keys().copied().collect();
+        reachable.sort_by_key(|&f| (ws.index.fns[f].file, ws.index.fns[f].sig_line));
+        for fid in reachable {
+            let f = &ws.index.fns[fid];
+            if f.body.is_none() {
+                continue;
+            }
+            // Vendored shims ARE the blocking primitives — what matters is
+            // the call site in crates/ that reaches them, and that site is
+            // already scanned in its own fn body.
+            if f.crate_name.starts_with("vendor/") {
+                continue;
+            }
+            let rel = &ws.files[f.file].rel;
+            let (first, last) = f.body_lines;
+            for n in first..=last {
+                let Some(line) = ws.line(f.file, n) else {
+                    continue;
+                };
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for (tok, label) in BLOCKING {
+                    if line.code.contains(tok) && seen.insert((f.file, n, tok)) {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: rel.clone(),
+                            line: n,
+                            message: format!(
+                                "{label} (`{tok}`) reachable from a scheduler quantum: {} — \
+                                 make the path non-blocking or annotate \
+                                 `// lint: allow(hot-path-blocking) <why bounded>`",
+                                ws.graph.chain(&ws.index, &parent, fid)
+                            ),
+                        });
+                    }
+                }
+                if line.allows("hot-path-panics") {
+                    continue; // already justified for the line rule
+                }
+                for (tok, label) in PANICS {
+                    if line.code.contains(tok) && seen.insert((f.file, n, tok)) {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: rel.clone(),
+                            line: n,
+                            message: format!(
+                                "{label} reachable from a scheduler quantum: {} — \
+                                 propagate GdError instead, or annotate \
+                                 `// lint: allow(hot-path-blocking) <why impossible>`",
+                                ws.graph.chain(&ws.index, &parent, fid)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<_> = srcs.iter().map(|(rel, s)| parse_source(rel, s)).collect();
+        let ws = Workspace::build(&files);
+        HotPathBlocking.check(&ws)
+    }
+
+    #[test]
+    fn blocking_three_frames_below_the_root_is_found_with_its_chain() {
+        let src = "impl Worker {\n\
+            pub fn pump(&mut self) { self.a(); }\n\
+            fn a(&self) { self.b(); }\n\
+            fn b(&self) { deep_helper(); }\n\
+            }\n\
+            fn deep_helper() {\n    std::thread::sleep(d);\n}\n";
+        let v = run(&[("crates/engine/src/worker.rs", src)]);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(
+            v[0].message
+                .contains("Worker::pump → Worker::a → Worker::b → deep_helper"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_blocking_is_ignored() {
+        let src = "impl Worker {\n    pub fn pump(&mut self) {}\n}\n\
+            fn cold_path() { rx.recv().ok(); }\n";
+        let v = run(&[("crates/engine/src/worker.rs", src)]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn panics_outside_hot_crates_are_caught_transitively() {
+        let src = "impl Worker {\n    pub fn pump(&mut self) { shared(); }\n}\n";
+        let common = "pub fn shared() { x.unwrap(); }\n";
+        let v = run(&[
+            ("crates/engine/src/worker.rs", src),
+            ("crates/common/src/util.rs", common),
+        ]);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].file.contains("common"), "{v:#?}");
+    }
+
+    #[test]
+    fn allow_annotations_suppress_including_the_panics_alias() {
+        let src = "impl Worker {\n\
+            pub fn pump(&mut self) {\n\
+                self.m.lock(); // lint: allow(hot-path-blocking) bounded: stats only\n\
+                x.unwrap(); // lint: allow(hot-path-panics) checked above\n\
+            }\n}\n";
+        let v = run(&[("crates/engine/src/worker.rs", src)]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn missing_roots_fail_loudly() {
+        let v = run(&[("crates/engine/src/worker.rs", "fn nothing() {}\n")]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("roots"));
+    }
+}

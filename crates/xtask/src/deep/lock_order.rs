@@ -1,0 +1,392 @@
+//! `lock-order`: potential lock-order inversion cycles across
+//! `engine`/`pstm`/`storage`/`txn`/`common`.
+//!
+//! MV2PL makes lock acquisition order a correctness property (§III of the
+//! paper): two threads that acquire the same pair of locks in opposite
+//! orders can deadlock. This pass extracts every `Mutex`/`RwLock`
+//! acquisition (`.lock()`, `.read()`, `.write()` with zero args) from the
+//! scoped crates, assigns each a *lock class* named by the receiver-tail
+//! identifier — `self.fault_state.lock()` is class `fault_state` — and
+//! propagates possibly-held classes along the approximate call graph:
+//! a `let`-bound guard is assumed held until the end of its function
+//! (over-approximate; Rust drops it at end of scope), an unbound guard
+//! (temporary in a larger expression) only until the end of its statement
+//! line. An edge `A → B` means "B was acquired while A was possibly
+//! held"; a cycle among ≥ 2 classes is a potential inversion and is
+//! reported with one witness per edge. Classes unify *by name across
+//! crates* — the same `Arc<LockTable>` field reached from `engine` and
+//! `txn` is one class — so two unrelated locks that happen to share a
+//! field name may alias (over-approximate), while one lock bound to
+//! differently-named locals will not (under-approximate).
+//!
+//! Same-class edges (re-acquiring the same class, e.g. two shards of one
+//! sharded table) are deliberately *not* reported: shard guards are
+//! dropped statement-by-statement in every current caller, and flagging
+//! them would drown the signal. DESIGN.md §11 lists this as a known
+//! under-approximation.
+//!
+//! Suppress a single acquisition with `// lint: allow(lock-order) <why>`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use super::{DeepRule, Workspace};
+use crate::lex::Token;
+use crate::scan::Violation;
+
+/// Crates whose locks participate in the analysis.
+const SCOPED: &[&str] = &["engine", "pstm", "storage", "txn", "common"];
+
+/// One lock acquisition site.
+struct Acq {
+    class: usize,
+    line: usize,
+    pos: usize,
+    /// Guard bound by `let`/`if let`/`while let`/`match` — assumed held to
+    /// end of fn. Unbound temporaries die with their statement.
+    bound: bool,
+}
+
+/// One propagated hold-then-acquire edge with its witness.
+struct Edge {
+    from: usize,
+    to: usize,
+    file: String,
+    line: usize,
+    via: String,
+}
+
+pub struct LockOrder;
+
+impl DeepRule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no lock-order inversion cycles across engine/pstm/storage/txn/common"
+    }
+
+    fn check(&self, ws: &Workspace<'_>) -> Vec<Violation> {
+        let mut classes: Vec<String> = Vec::new();
+        let mut class_ids: HashMap<String, usize> = HashMap::new();
+        let nfns = ws.index.fns.len();
+
+        // Per-fn acquisition lists (scoped, non-test, unsuppressed).
+        let mut acqs: Vec<Vec<Acq>> = Vec::with_capacity(nfns);
+        for f in &ws.index.fns {
+            if f.in_test || !SCOPED.contains(&f.crate_name.as_str()) {
+                acqs.push(Vec::new());
+                continue;
+            }
+            let Some(body) = f.body else {
+                acqs.push(Vec::new());
+                continue;
+            };
+            let ts = &ws.index.toks[f.file];
+            let mut list = Vec::new();
+            for (pos, tail) in acquisitions(ts, body) {
+                let line = ts[pos].line;
+                let suppressed = ws
+                    .line(f.file, line)
+                    .is_some_and(|l| l.allows(self.name()) || l.in_test);
+                if suppressed {
+                    continue;
+                }
+                let class = *class_ids.entry(tail.clone()).or_insert_with(|| {
+                    classes.push(tail);
+                    classes.len() - 1
+                });
+                list.push(Acq {
+                    class,
+                    line,
+                    pos,
+                    bound: is_bound(ts, body.0, pos),
+                });
+            }
+            acqs.push(list);
+        }
+
+        // Transitively acquired classes per fn (fixpoint over the call
+        // graph; cycles converge because sets only grow).
+        let mut ta: Vec<BTreeSet<usize>> = acqs
+            .iter()
+            .map(|list| list.iter().map(|a| a.class).collect())
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for f in 0..nfns {
+                for &(callee, _) in &ws.graph.edges[f] {
+                    if callee == f {
+                        continue;
+                    }
+                    let add: Vec<usize> = ta[callee]
+                        .iter()
+                        .copied()
+                        .filter(|c| !ta[f].contains(c))
+                        .collect();
+                    if !add.is_empty() {
+                        ta[f].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Hold-then-acquire edges.
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (fid, f) in ws.index.fns.iter().enumerate() {
+            let rel = &ws.files[f.file].rel;
+            for (i, a) in acqs[fid].iter().enumerate() {
+                // Later acquisitions in the same fn.
+                for b in acqs[fid].iter().skip(i + 1) {
+                    if b.pos > a.pos
+                        && (a.bound || b.line == a.line)
+                        && a.class != b.class
+                        && seen.insert((a.class, b.class))
+                    {
+                        edges.push(Edge {
+                            from: a.class,
+                            to: b.class,
+                            file: rel.clone(),
+                            line: b.line,
+                            via: f.qual(),
+                        });
+                    }
+                }
+                // Acquisitions inside callees invoked while (possibly) held.
+                for &(callee, cline) in &ws.graph.edges[fid] {
+                    if cline < a.line || (!a.bound && cline != a.line) {
+                        continue;
+                    }
+                    for &c in &ta[callee] {
+                        if c != a.class && seen.insert((a.class, c)) {
+                            edges.push(Edge {
+                                from: a.class,
+                                to: c,
+                                file: rel.clone(),
+                                line: cline,
+                                via: format!("{} → {}", f.qual(), ws.index.fns[callee].qual()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection over the class graph: report every edge that lies
+        // on some cycle (its target can reach its source).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); classes.len()];
+        for e in &edges {
+            adj[e.from].push(e.to);
+        }
+        let mut out = Vec::new();
+        let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for e in &edges {
+            if reaches(&adj, e.to, e.from) && reported.insert((e.from, e.to)) {
+                let back = edges
+                    .iter()
+                    .find(|b| b.from == e.to && reaches(&adj, b.to, e.from))
+                    .map(|b| {
+                        format!(
+                            "`{}` → `{}` at {}:{} (in {})",
+                            classes[b.from], classes[b.to], b.file, b.line, b.via
+                        )
+                    })
+                    .unwrap_or_else(|| "(reverse path through further edges)".to_string());
+                out.push(Violation {
+                    rule: self.name(),
+                    file: e.file.clone(),
+                    line: e.line,
+                    message: format!(
+                        "potential lock-order inversion: `{}` acquired while `{}` may be held \
+                         (in {}), but elsewhere {} — establish one global acquisition order or \
+                         annotate `// lint: allow(lock-order) <why>` on one acquisition",
+                        classes[e.to], classes[e.from], e.via, back
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// `.lock()` / `.read()` / `.write()` (zero-arg) sites in a body, with the
+/// receiver-tail identifier naming the lock.
+fn acquisitions(ts: &[Token], body: (usize, usize)) -> Vec<(usize, String)> {
+    let (start, end) = body;
+    let mut out = Vec::new();
+    for i in start..end.min(ts.len()) {
+        let Some(name) = ts[i].ident() else { continue };
+        if !matches!(name, "lock" | "read" | "write") {
+            continue;
+        }
+        let is_method = i > start && ts[i - 1].is('.');
+        let arity0 =
+            ts.get(i + 1).is_some_and(|t| t.is('(')) && ts.get(i + 2).is_some_and(|t| t.is(')'));
+        if !is_method || !arity0 {
+            continue;
+        }
+        out.push((i, receiver_tail(ts, start, i - 1)));
+    }
+    out
+}
+
+/// The identifier naming the receiver of the method call whose `.` sits at
+/// `dot`: `self.counts.lock()` → `counts`, `self.shard(v).lock()` →
+/// `shard`, `shards[i].lock()` → `shards`.
+fn receiver_tail(ts: &[Token], start: usize, dot: usize) -> String {
+    let mut i = dot;
+    while i > start {
+        i -= 1;
+        match &ts[i].tok {
+            crate::lex::Tok::Ident(s) => return s.clone(),
+            crate::lex::Tok::Punct(')') => {
+                let mut depth = 1;
+                while i > start && depth > 0 {
+                    i -= 1;
+                    if ts[i].is(')') {
+                        depth += 1;
+                    } else if ts[i].is('(') {
+                        depth -= 1;
+                    }
+                }
+            }
+            crate::lex::Tok::Punct(']') => {
+                let mut depth = 1;
+                while i > start && depth > 0 {
+                    i -= 1;
+                    if ts[i].is(']') {
+                        depth += 1;
+                    } else if ts[i].is('[') {
+                        depth -= 1;
+                    }
+                }
+            }
+            crate::lex::Tok::Punct(_) => return "expr".to_string(),
+        }
+    }
+    "expr".to_string()
+}
+
+/// Whether the statement containing token `pos` binds the guard: it starts
+/// with `let`, `if`, `while`, or `match` (all of which can extend the
+/// guard's life past the statement's own line).
+fn is_bound(ts: &[Token], body_start: usize, pos: usize) -> bool {
+    let mut i = pos;
+    while i > body_start {
+        i -= 1;
+        match &ts[i].tok {
+            crate::lex::Tok::Punct(';')
+            | crate::lex::Tok::Punct('{')
+            | crate::lex::Tok::Punct('}') => {
+                return ts
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|s| matches!(s, "let" | "if" | "while" | "match"));
+            }
+            _ => {}
+        }
+    }
+    ts.get(body_start)
+        .and_then(|t| t.ident())
+        .is_some_and(|s| matches!(s, "let" | "if" | "while" | "match"))
+}
+
+/// DFS reachability `from → to` in the class graph.
+fn reaches(adj: &[Vec<usize>], from: usize, to: usize) -> bool {
+    let mut stack = vec![from];
+    let mut seen = vec![false; adj.len()];
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if std::mem::replace(&mut seen[n], true) {
+            continue;
+        }
+        stack.extend(adj[n].iter().copied().filter(|&m| !seen[m]));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<_> = srcs.iter().map(|(rel, s)| parse_source(rel, s)).collect();
+        let ws = Workspace::build(&files);
+        LockOrder.check(&ws)
+    }
+
+    const INVERTED_A: &str = "impl A {\n\
+        fn forward(&self) {\n    let g = self.m1.lock();\n    self.grab_two();\n}\n\
+        fn grab_two(&self) {\n    let h = self.m2.lock();\n}\n}\n";
+
+    #[test]
+    fn inverted_order_across_functions_is_a_cycle() {
+        let b = "impl B {\n\
+            fn backward(&self) {\n    let g = self.m2.lock();\n    let h = self.m1.lock();\n}\n}\n";
+        let v = run(&[
+            ("crates/engine/src/a.rs", INVERTED_A),
+            ("crates/txn/src/b.rs", b),
+        ]);
+        assert!(!v.is_empty(), "m1→m2 in A vs m2→m1 in B must cycle");
+        assert!(
+            v[0].message.contains("lock-order inversion"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let b = "impl B {\n\
+            fn same_way(&self) {\n    let g = self.m1.lock();\n    let h = self.m2.lock();\n}\n}\n";
+        let v = run(&[
+            ("crates/engine/src/a.rs", INVERTED_A),
+            ("crates/txn/src/b.rs", b),
+        ]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn statement_scoped_temporaries_do_not_hold() {
+        // Unbound guards die with their statement: no edge m1→m2.
+        let a = "impl A {\nfn f(&self) {\n    self.m1.lock().push(1);\n    let g = self.m2.lock();\n}\n}\n";
+        let b = "impl B {\nfn g(&self) {\n    let g = self.m2.lock();\n    let h = self.m1.lock();\n}\n}\n";
+        let v = run(&[("crates/engine/src/a.rs", a), ("crates/engine/src/b.rs", b)]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_the_acquisition() {
+        let b = "impl B {\n\
+            fn backward(&self) {\n    let g = self.m2.lock();\n\
+            let h = self.m1.lock(); // lint: allow(lock-order) ordered by shard id\n}\n}\n";
+        let v = run(&[
+            ("crates/engine/src/a.rs", INVERTED_A),
+            ("crates/txn/src/b.rs", b),
+        ]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn sharded_same_class_reacquisition_is_not_a_cycle() {
+        let a = "impl T {\nfn all(&self) {\n    for s in &self.shards {\n        let g = s.lock();\n    }\n}\n}\n";
+        let v = run(&[("crates/txn/src/t.rs", a)]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn unscoped_crates_are_ignored() {
+        let b = "impl B {\nfn backward(&self) {\n    let g = self.m2.lock();\n    let h = self.m1.lock();\n}\n}\n";
+        let v = run(&[
+            ("crates/bench/src/a.rs", INVERTED_A),
+            ("crates/bench/src/b.rs", b),
+        ]);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+}

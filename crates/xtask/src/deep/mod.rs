@@ -1,0 +1,64 @@
+//! The deep (item-level) analysis passes behind `cargo xtask check --deep`.
+//!
+//! Unlike the line rules in `rules`, these passes see the whole workspace
+//! at once through a shared [`Workspace`]: the token streams, the fn item
+//! index, and the approximate call graph. They are still dependency-free
+//! and approximate — DESIGN.md §11 documents exactly what each pass can
+//! and cannot prove — but they reason *across function boundaries*:
+//! lock-order inversion cycles, blocking calls transitively reachable from
+//! the scheduler hot loops, and workspace-wide audits of atomic-ordering
+//! and `unsafe` justification comments.
+
+use crate::callgraph::{self, CallGraph};
+use crate::index::{self, ItemIndex};
+use crate::scan::{SourceFile, Violation};
+
+pub mod atomics_audit;
+pub mod blocking;
+pub mod lock_order;
+pub mod unsafe_audit;
+
+/// Everything a deep pass gets to look at.
+pub struct Workspace<'a> {
+    pub files: &'a [SourceFile],
+    pub index: ItemIndex,
+    pub graph: CallGraph,
+}
+
+impl<'a> Workspace<'a> {
+    /// Index the files and build the call graph.
+    pub fn build(files: &'a [SourceFile]) -> Self {
+        let index = index::build(files);
+        let graph = callgraph::build(&index);
+        Workspace {
+            files,
+            index,
+            graph,
+        }
+    }
+
+    /// The preprocessed line a violation would anchor to (1-based).
+    pub fn line(&self, file: usize, number: usize) -> Option<&crate::scan::Line> {
+        self.files[file].lines.get(number - 1)
+    }
+}
+
+/// A deep analysis pass.
+pub trait DeepRule {
+    /// Kebab-case name, used by `--rule` and `// lint: allow(<name>)`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn describe(&self) -> &'static str;
+    /// Analyze the workspace and report violations.
+    fn check(&self, ws: &Workspace<'_>) -> Vec<Violation>;
+}
+
+/// All deep passes, in report order.
+pub fn all() -> Vec<Box<dyn DeepRule>> {
+    vec![
+        Box::new(lock_order::LockOrder),
+        Box::new(blocking::HotPathBlocking),
+        Box::new(atomics_audit::AtomicsAudit),
+        Box::new(unsafe_audit::UnsafeAudit),
+    ]
+}

@@ -1,0 +1,125 @@
+//! `unsafe-audit`: every `unsafe` block, fn, impl, or trait carries a
+//! `// SAFETY: <argument>` comment.
+//!
+//! The workspace is currently 100% safe Rust (this pass proves it and
+//! keeps it honest): the planned arena/batched hot-path work (ROADMAP item
+//! 5) is the first place `unsafe` is expected to appear, and when it does,
+//! each block must state the invariant that makes it sound — on the same
+//! line or a standalone comment line directly above. Unlike the other
+//! passes this one also covers **test code** and, under
+//! `--include-vendor`, the vendored dependency shims: an unsound vendored
+//! `unsafe` corrupts the same address space.
+
+use super::{DeepRule, Workspace};
+use crate::scan::Violation;
+
+pub struct UnsafeAudit;
+
+impl DeepRule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every `unsafe` site (crates/ and vendor/) carries a `// SAFETY:` argument"
+    }
+
+    fn check(&self, ws: &Workspace<'_>) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for f in ws.files {
+            for line in &f.lines {
+                if line.safety || line.allows(self.name()) {
+                    continue;
+                }
+                if has_word(&line.code, "unsafe") {
+                    out.push(Violation {
+                        rule: self.name(),
+                        file: f.rel.clone(),
+                        line: line.number,
+                        message: "`unsafe` without a `// SAFETY:` argument — state the invariant \
+                                  that makes this sound (and who upholds it)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Word-boundary match, so idents like `unsafe_op_in_unsafe_fn` in lint
+/// attribute lists don't trip the audit.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find(word) {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + word.len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + word.len()..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let files = [parse_source(rel, src)];
+        let ws = Workspace::build(&files);
+        UnsafeAudit.check(&ws)
+    }
+
+    #[test]
+    fn unannotated_unsafe_block_and_fn_are_flagged() {
+        let v = run(
+            "crates/pstm/src/arena.rs",
+            "fn get(&self, i: usize) -> &T {\n    unsafe { self.ptr.add(i).as_ref() }\n}\n\
+             unsafe fn raw(&self) -> *mut T { self.ptr }\n",
+        );
+        assert_eq!(v.len(), 2, "{v:#?}");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 4);
+    }
+
+    #[test]
+    fn safety_comment_above_or_trailing_goes_quiet() {
+        let v = run(
+            "crates/pstm/src/arena.rs",
+            "fn get(&self, i: usize) -> &T {\n    \
+             // SAFETY: i < self.len invariant maintained by push()\n    \
+             unsafe { self.ptr.add(i).as_ref() }\n}\n\
+             unsafe impl Send for Arena {} // SAFETY: single owner per shard\n",
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn vendor_and_test_code_are_covered() {
+        let v = run(
+            "vendor/bytes/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}\n",
+        );
+        assert_eq!(v.len(), 1, "test code is not exempt from the unsafe audit");
+    }
+
+    #[test]
+    fn word_boundary_avoids_lint_names_and_strings() {
+        let v = run(
+            "crates/common/src/lib.rs",
+            "#![deny(unsafe_op_in_unsafe_fn)]\nlet s = \"this mentions unsafe code\";\n",
+        );
+        assert!(v.is_empty(), "{v:#?}");
+    }
+}

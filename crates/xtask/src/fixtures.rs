@@ -1,0 +1,154 @@
+//! End-to-end fixture tests for the deep passes.
+//!
+//! Each fixture under `crates/xtask/fixtures/<pass>/` is a seeded-violation
+//! mini-crate in two variants: `violation.rs` (the pass must fire) and
+//! `suppressed.rs` (the same code silenced through the pass's escape hatch
+//! — `// lint: allow(<rule>)`, `// sync:`, or `// SAFETY:`). Unlike the
+//! unit tests inside each pass module, these run the full pipeline exactly
+//! as `cargo xtask check --deep` does: preprocess → lex → index → call
+//! graph → pass. The fixture sources are excluded from real workspace
+//! scans (`load_workspace` skips `crates/xtask/`), so the deliberate
+//! violations never leak into the CI gate.
+
+#![cfg(test)]
+
+use crate::deep::{self, Workspace};
+use crate::scan::{parse_source, Violation};
+
+/// Run one deep rule over fixture sources mapped to plausible
+/// workspace-relative paths.
+fn run(rule: &str, srcs: &[(&str, &str)]) -> Vec<Violation> {
+    let files: Vec<_> = srcs.iter().map(|(rel, s)| parse_source(rel, s)).collect();
+    let ws = Workspace::build(&files);
+    deep::all()
+        .iter()
+        .find(|r| r.name() == rule)
+        .expect("rule exists")
+        .check(&ws)
+}
+
+/// Roots so the blocking pass has an anchor even in fixtures that do not
+/// define one (it fails loudly on zero roots by design).
+const PUMP_STUB: (&str, &str) = (
+    "crates/engine/src/worker.rs",
+    "impl Worker {\n    pub fn pump(&mut self) -> bool { false }\n}\n",
+);
+
+#[test]
+fn lock_order_fixture_cycle_is_detected() {
+    let v = run(
+        "lock-order",
+        &[
+            PUMP_STUB,
+            (
+                "crates/txn/src/bank.rs",
+                include_str!("../fixtures/lock_order/violation.rs"),
+            ),
+        ],
+    );
+    // The inversion is reported from both sides (one violation per
+    // inverted edge), each naming both lock classes.
+    assert_eq!(v.len(), 2, "{v:#?}");
+    for viol in &v {
+        assert!(
+            viol.message.contains("accounts") && viol.message.contains("audit_log"),
+            "cycle report names both lock classes: {}",
+            viol.message
+        );
+    }
+}
+
+#[test]
+fn lock_order_fixture_allow_suppresses() {
+    let v = run(
+        "lock-order",
+        &[
+            PUMP_STUB,
+            (
+                "crates/txn/src/bank.rs",
+                include_str!("../fixtures/lock_order/suppressed.rs"),
+            ),
+        ],
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn blocking_fixture_sleep_three_frames_down_is_detected_with_chain() {
+    let v = run(
+        "hot-path-blocking",
+        &[(
+            "crates/engine/src/worker.rs",
+            include_str!("../fixtures/blocking/violation.rs"),
+        )],
+    );
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert!(
+        v[0].message
+            .contains("Worker::pump → Worker::drain_dirty → flush_all → sync_to_disk"),
+        "chain is reported: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn blocking_fixture_allow_suppresses() {
+    let v = run(
+        "hot-path-blocking",
+        &[(
+            "crates/engine/src/worker.rs",
+            include_str!("../fixtures/blocking/suppressed.rs"),
+        )],
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn atomics_fixture_unjustified_orderings_are_detected() {
+    let v = run(
+        "atomics-audit",
+        &[(
+            "crates/pstm/src/epoch.rs",
+            include_str!("../fixtures/atomics/violation.rs"),
+        )],
+    );
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v[0].message.contains("Ordering::Relaxed"));
+    assert!(v[1].message.contains("Ordering::Acquire"));
+}
+
+#[test]
+fn atomics_fixture_sync_and_allow_suppress() {
+    let v = run(
+        "atomics-audit",
+        &[(
+            "crates/pstm/src/epoch.rs",
+            include_str!("../fixtures/atomics/suppressed.rs"),
+        )],
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn unsafe_fixture_unannotated_sites_are_detected() {
+    let v = run(
+        "unsafe-audit",
+        &[(
+            "crates/pstm/src/slot.rs",
+            include_str!("../fixtures/unsafe/violation.rs"),
+        )],
+    );
+    assert_eq!(v.len(), 3, "{v:#?}");
+}
+
+#[test]
+fn unsafe_fixture_safety_comments_suppress() {
+    let v = run(
+        "unsafe-audit",
+        &[(
+            "crates/pstm/src/slot.rs",
+            include_str!("../fixtures/unsafe/suppressed.rs"),
+        )],
+    );
+    assert!(v.is_empty(), "{v:#?}");
+}

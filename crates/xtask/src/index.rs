@@ -1,0 +1,318 @@
+//! Item-level index over the workspace: every `fn`, with its impl type,
+//! crate, and body span.
+//!
+//! This is the foundation the deep passes share. It is an *approximate*
+//! parser (see DESIGN.md §11 for the soundness discussion): it recognizes
+//! `fn` items and `impl` blocks from the token stream, but performs no
+//! name resolution, type inference, or macro expansion. Functions are
+//! identified by `(self_type, name)`; two impls of the same method name on
+//! different types stay distinct, but two traits implementing the same
+//! method for the same type do not.
+
+use std::collections::HashMap;
+
+use crate::lex::{lex, Tok, Token};
+use crate::scan::SourceFile;
+
+/// One indexed function item.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// The `impl` self type this fn is a method of, if any. For
+    /// `impl Trait for Type` blocks this is `Type`.
+    pub self_ty: Option<String>,
+    /// Index of the containing file in the workspace file list.
+    pub file: usize,
+    /// Crate the file belongs to (`engine`, `txn`, `vendor/rand`, …).
+    pub crate_name: String,
+    /// 1-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// Token range of the body in the file's token stream (exclusive of
+    /// the braces), or `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// First and last 1-based line of the body (inclusive).
+    pub body_lines: (usize, usize),
+    /// True when the fn lives in test code (`#[cfg(test)]` region or a
+    /// tests/benches file).
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` for methods, bare `name` otherwise.
+    pub fn qual(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace item index: per-file token streams plus every fn item.
+pub struct ItemIndex {
+    /// Token stream per file, same order as the input file slice.
+    pub toks: Vec<Vec<Token>>,
+    /// Every indexed fn.
+    pub fns: Vec<FnItem>,
+    /// Bare name → fn ids, for approximate call resolution.
+    pub by_name: HashMap<String, Vec<usize>>,
+}
+
+/// Crate name from a workspace-relative path: `crates/engine/src/x.rs` →
+/// `engine`, `vendor/rand/src/lib.rs` → `vendor/rand`, anything else →
+/// its first path segment.
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") | Some("vendor") => {
+            let top = rel.split('/').next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            if top == "vendor" {
+                format!("vendor/{name}")
+            } else {
+                name.to_string()
+            }
+        }
+        Some(first) => first.to_string(),
+        None => String::new(),
+    }
+}
+
+/// Build the index over a preprocessed workspace.
+pub fn build(files: &[SourceFile]) -> ItemIndex {
+    let mut toks = Vec::with_capacity(files.len());
+    let mut fns = Vec::new();
+    for (fid, file) in files.iter().enumerate() {
+        let ts = lex(file);
+        index_file(fid, file, &ts, &mut fns);
+        toks.push(ts);
+    }
+    let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    ItemIndex { toks, fns, by_name }
+}
+
+/// Scan one file's tokens for `impl` blocks and `fn` items.
+fn index_file(fid: usize, file: &SourceFile, ts: &[Token], out: &mut Vec<FnItem>) {
+    let crate_name = crate_of(&file.rel);
+    // Stack of (brace depth at which the impl body opened, self type).
+    let mut impls: Vec<(u32, String)> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut i = 0;
+    while i < ts.len() {
+        match &ts[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if impls.last().is_some_and(|(d, _)| *d == depth) {
+                    impls.pop();
+                }
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                if let Some((ty, open)) = parse_impl_header(ts, i + 1) {
+                    impls.push((depth, ty));
+                    depth += 1;
+                    i = open + 1;
+                    continue;
+                }
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                // `fn` followed by an ident is an item; `fn(` is a fn-pointer
+                // type and is skipped.
+                if let Some(name) = ts.get(i + 1).and_then(|t| t.ident()) {
+                    let sig_line = ts[i].line;
+                    // Find the body `{` or a terminating `;` (trait decl).
+                    let mut j = i + 2;
+                    let mut body = None;
+                    while j < ts.len() {
+                        match ts[j].tok {
+                            Tok::Punct('{') => {
+                                let end = matching_brace(ts, j);
+                                body = Some((j + 1, end));
+                                break;
+                            }
+                            Tok::Punct(';') => break,
+                            _ => j += 1,
+                        }
+                    }
+                    let (bstart, bend) = body.unwrap_or((j, j));
+                    let body_lines = (
+                        ts.get(bstart).map_or(sig_line, |t| t.line),
+                        if bend > bstart {
+                            ts[bend - 1].line
+                        } else {
+                            sig_line
+                        },
+                    );
+                    let in_test = file.lines.get(sig_line - 1).is_some_and(|l| l.in_test);
+                    out.push(FnItem {
+                        name: name.to_string(),
+                        self_ty: impls.last().map(|(_, t)| t.clone()),
+                        file: fid,
+                        crate_name: crate_name.clone(),
+                        sig_line,
+                        body,
+                        body_lines,
+                        in_test,
+                    });
+                    // Keep scanning *inside* the body too: nested fns and the
+                    // impl/depth bookkeeping both need every brace counted.
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Parse an `impl` header starting right after the `impl` keyword. Returns
+/// the self type and the token index of the body's `{`, or `None` when the
+/// shape is not an impl block (e.g. `impl Trait` in a return type).
+fn parse_impl_header(ts: &[Token], mut i: usize) -> Option<(String, usize)> {
+    let mut angle: u32 = 0;
+    let mut after_for = false;
+    let mut last_ident: Option<String> = None;
+    let mut last_ident_after_for: Option<String> = None;
+    while i < ts.len() {
+        match &ts[i].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle = angle.saturating_sub(1),
+            Tok::Punct('{') if angle == 0 => {
+                let ty = if after_for {
+                    last_ident_after_for
+                } else {
+                    last_ident
+                };
+                return ty.map(|t| (t, i));
+            }
+            // `impl Trait` in type position never reaches a `{` before one
+            // of these terminators.
+            Tok::Punct(';') | Tok::Punct(')') | Tok::Punct(',') if angle == 0 => return None,
+            Tok::Ident(s) if angle == 0 => {
+                if s == "for" {
+                    after_for = true;
+                } else if s == "where" {
+                    // Ignore where-clause idents; the self type is fixed by
+                    // this point.
+                    let ty = if after_for {
+                        last_ident_after_for.clone()
+                    } else {
+                        last_ident.clone()
+                    };
+                    // Scan forward to the body `{`.
+                    let mut j = i;
+                    let mut a: u32 = 0;
+                    while j < ts.len() {
+                        match ts[j].tok {
+                            Tok::Punct('<') => a += 1,
+                            Tok::Punct('>') => a = a.saturating_sub(1),
+                            Tok::Punct('{') if a == 0 => return ty.map(|t| (t, j)),
+                            Tok::Punct(';') if a == 0 => return None,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    return None;
+                } else if s != "dyn" {
+                    if after_for {
+                        last_ident_after_for = Some(s.clone());
+                    } else {
+                        last_ident = Some(s.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Token index of the `}` matching the `{` at `open` (or the stream end).
+fn matching_brace(ts: &[Token], open: usize) -> usize {
+    let mut depth = 0u32;
+    for (k, t) in ts.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    ts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn index_of(src: &str) -> ItemIndex {
+        build(&[parse_source("crates/engine/src/x.rs", src)])
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_indexed() {
+        let idx = index_of(
+            "fn free() { helper(); }\n\
+             impl Worker {\n    pub fn pump(&mut self) -> u32 { 0 }\n}\n\
+             impl Rule for HotPath {\n    fn name(&self) -> &str { \"x\" }\n}\n",
+        );
+        let quals: Vec<String> = idx.fns.iter().map(|f| f.qual()).collect();
+        assert_eq!(quals, vec!["free", "Worker::pump", "HotPath::name"]);
+        assert_eq!(idx.fns[0].crate_name, "engine");
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_resolve_self_type() {
+        let idx = index_of(
+            "impl<T: Clone> Holder<T> where T: Send {\n    fn get(&self) -> &T { &self.0 }\n}\n\
+             impl<'a> std::fmt::Display for Violation {\n    fn fmt(&self) -> u32 { 1 }\n}\n",
+        );
+        assert_eq!(idx.fns[0].qual(), "Holder::get");
+        assert_eq!(idx.fns[1].qual(), "Violation::fmt");
+    }
+
+    #[test]
+    fn body_spans_cover_the_right_lines() {
+        let idx = index_of("fn a() {\n    one();\n    two();\n}\nfn b();\n");
+        assert_eq!(idx.fns[0].body_lines, (2, 3));
+        assert!(idx.fns[1].body.is_none(), "bodyless decl has no span");
+    }
+
+    #[test]
+    fn cfg_test_fns_are_flagged() {
+        let idx = index_of("fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n");
+        assert!(!idx.fns[0].in_test);
+        assert!(idx.fns[1].in_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let idx = index_of("fn takes(f: fn(u32) -> u32) -> u32 { f(1) }\n");
+        assert_eq!(idx.fns.len(), 1);
+        assert_eq!(idx.fns[0].name, "takes");
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_impl_block() {
+        let idx = index_of(
+            "fn mk() -> impl Iterator<Item = u32> {\n    std::iter::empty()\n}\nfn after() {}\n",
+        );
+        assert_eq!(idx.fns.len(), 2);
+        assert!(idx.fns[1].self_ty.is_none(), "no phantom impl context");
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/engine/src/net.rs"), "engine");
+        assert_eq!(crate_of("vendor/rand/src/lib.rs"), "vendor/rand");
+        assert_eq!(crate_of("src/lib.rs"), "src");
+    }
+}

@@ -1,0 +1,131 @@
+//! Token-tree lexer over the preprocessed source model.
+//!
+//! The deep passes (`--deep`) need more than per-line substring checks:
+//! the item index has to find `fn`/`impl` boundaries and the call-graph
+//! extractor has to see `ident (`, `. ident (`, and `path :: ident (`
+//! shapes. This lexer turns a [`SourceFile`]'s stripped `code` lines into
+//! a flat token stream with line numbers. Comments and string contents are
+//! already gone (see `scan`), so the lexer only has to split identifiers
+//! from punctuation.
+//!
+//! It is deliberately not a full Rust lexer: multi-char operators arrive
+//! as single [`Tok::Punct`] chars (`::` is two `:` tokens) and numeric
+//! literals are lumped into [`Tok::Ident`] — none of the deep passes match
+//! on numbers, and keeping one token shape keeps the index simple.
+
+use crate::scan::SourceFile;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword, or numeric literal.
+    Ident(String),
+    /// Any single punctuation character (`{`, `(`, `.`, `:`, `!`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub line: usize,
+    pub tok: Tok,
+}
+
+impl Token {
+    /// The identifier text, if this is an ident token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation char.
+    pub fn is(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Lex a preprocessed file into its token stream.
+pub fn lex(file: &SourceFile) -> Vec<Token> {
+    let mut out = Vec::new();
+    for line in &file.lines {
+        let mut chars = line.code.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_whitespace() {
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let mut ident = String::new();
+                ident.push(c);
+                while let Some(&n) = chars.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        ident.push(n);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    line: line.number,
+                    tok: Tok::Ident(ident),
+                });
+            } else {
+                out.push(Token {
+                    line: line.number,
+                    tok: Tok::Punct(c),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(&parse_source("x.rs", src))
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn splits_idents_and_punct() {
+        let t = toks("fn f(x: u32) { x.lock() }\n");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["fn", "f", "x", "u32", "x", "lock"]);
+        assert!(t.contains(&Tok::Punct('.')));
+        assert!(t.contains(&Tok::Punct('{')));
+    }
+
+    #[test]
+    fn line_numbers_track_source_lines() {
+        let f = parse_source("x.rs", "fn a() {\n    b();\n}\n");
+        let l = lex(&f);
+        let b = l.iter().find(|t| t.ident() == Some("b")).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_are_already_stripped() {
+        let t = toks("let s = \"call site()\"; // and here()\n");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+}

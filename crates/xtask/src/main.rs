@@ -6,22 +6,36 @@
 //! DESIGN.md "Invariants & how they are enforced"):
 //!
 //! ```text
-//! cargo xtask check                      # run every rule over crates/**/*.rs
-//! cargo xtask check --rule std-hash      # run one rule
+//! cargo xtask check                      # fast line rules over crates/**/*.rs
+//! cargo xtask check --deep               # + item-level concurrency passes
+//! cargo xtask check --deep --include-vendor   # deep passes over vendor/ too
+//! cargo xtask check --rule std-hash      # run one rule (line or deep)
 //! cargo xtask check --list               # list the rules
 //! ```
+//!
+//! The fast pass is per-line token scanning (pre-commit speed). `--deep`
+//! additionally builds the item index and approximate call graph (see
+//! DESIGN.md §11) and runs the concurrency passes: lock-order cycles,
+//! hot-path blocking reachability, and the atomics/unsafe audits.
 //!
 //! Violations print as `path:line: [rule] message` and the process exits
 //! non-zero, so `ci.sh` can gate on it. Individual sites are suppressed
 //! with `// lint: allow(<rule>) <justification>` on the offending line or
-//! the line above.
+//! the line above; the audits also accept their own `// sync:` /
+//! `// SAFETY:` justification comments.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod callgraph;
+mod deep;
+mod fixtures;
+mod index;
+mod lex;
 mod rules;
 mod scan;
 
+use deep::DeepRule;
 use rules::Rule;
 
 fn main() -> ExitCode {
@@ -44,14 +58,19 @@ fn usage() {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
-         check [--rule <name>] [--list]   run the workspace lint pass"
+         check [--deep] [--include-vendor] [--rule <name>] [--list]\n      \
+         run the workspace lint pass (--deep adds the item-level\n      \
+         concurrency passes; --include-vendor scans vendor/ shims too)"
     );
 }
 
 fn check(args: &[String]) -> ExitCode {
     let all = rules::all();
+    let deep_all = deep::all();
 
     let mut only: Option<String> = None;
+    let mut run_deep = false;
+    let mut include_vendor = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -59,8 +78,13 @@ fn check(args: &[String]) -> ExitCode {
                 for r in &all {
                     println!("{:<18} {}", r.name(), r.describe());
                 }
+                for r in &deep_all {
+                    println!("{:<18} [deep] {}", r.name(), r.describe());
+                }
                 return ExitCode::SUCCESS;
             }
+            "--deep" => run_deep = true,
+            "--include-vendor" => include_vendor = true,
             "--rule" => {
                 i += 1;
                 match args.get(i) {
@@ -79,20 +103,31 @@ fn check(args: &[String]) -> ExitCode {
         i += 1;
     }
 
-    let selected: Vec<&Box<dyn Rule>> = match &only {
-        None => all.iter().collect(),
+    // Selection: with --rule, run exactly the named rule, line or deep.
+    // Without, run every line rule, plus every deep pass under --deep.
+    type Selected<'a> = (Vec<&'a Box<dyn Rule>>, Vec<&'a Box<dyn DeepRule>>);
+    let (line_rules, deep_rules): Selected<'_> = match &only {
+        None => (
+            all.iter().collect(),
+            if run_deep {
+                deep_all.iter().collect()
+            } else {
+                Vec::new()
+            },
+        ),
         Some(name) => {
-            let hit: Vec<_> = all.iter().filter(|r| r.name() == name).collect();
-            if hit.is_empty() {
+            let line_hit: Vec<_> = all.iter().filter(|r| r.name() == name).collect();
+            let deep_hit: Vec<_> = deep_all.iter().filter(|r| r.name() == name).collect();
+            if line_hit.is_empty() && deep_hit.is_empty() {
                 eprintln!("xtask check: no rule named `{name}` (see --list)");
                 return ExitCode::FAILURE;
             }
-            hit
+            (line_hit, deep_hit)
         }
     };
 
     let root = workspace_root();
-    let files = load_workspace(&root);
+    let files = load_workspace(&root, include_vendor);
     if files.is_empty() {
         eprintln!(
             "xtask check: found no .rs files under {}",
@@ -101,9 +136,20 @@ fn check(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Line rules encode workspace policy (clock discipline, error style);
+    // the vendor shims *implement* those policies and are exempt. Deep
+    // passes decide vendor scope per rule. Paths are sorted, so crates/
+    // entries form a prefix of the slice.
+    let vendor_split = files.partition_point(|f| !f.rel.starts_with("vendor/"));
     let mut violations = Vec::new();
-    for rule in &selected {
-        violations.extend(rule.check(&files));
+    for rule in &line_rules {
+        violations.extend(rule.check(&files[..vendor_split]));
+    }
+    if !deep_rules.is_empty() {
+        let ws = deep::Workspace::build(&files);
+        for rule in &deep_rules {
+            violations.extend(rule.check(&ws));
+        }
     }
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
 
@@ -111,7 +157,7 @@ fn check(args: &[String]) -> ExitCode {
         println!(
             "xtask check: {} file(s) clean across {} rule(s)",
             files.len(),
-            selected.len()
+            line_rules.len() + deep_rules.len()
         );
         ExitCode::SUCCESS
     } else {
@@ -133,12 +179,15 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Load and preprocess every `.rs` file under `crates/`, sorted by path so
-/// the report order is stable. `xtask` itself is skipped: its rule fixtures
-/// contain deliberate violations.
-fn load_workspace(root: &Path) -> Vec<scan::SourceFile> {
+/// Load and preprocess every `.rs` file under `crates/` (plus `vendor/`
+/// when asked), sorted by path so the report order is stable. `xtask`
+/// itself is skipped: its rule fixtures contain deliberate violations.
+fn load_workspace(root: &Path, include_vendor: bool) -> Vec<scan::SourceFile> {
     let mut paths = Vec::new();
     collect_rs(&root.join("crates"), &mut paths);
+    if include_vendor {
+        collect_rs(&root.join("vendor"), &mut paths);
+    }
     paths.sort();
 
     let mut files = Vec::new();
@@ -187,7 +236,7 @@ mod tests {
     #[test]
     fn real_workspace_is_clean() {
         let root = workspace_root();
-        let files = load_workspace(&root);
+        let files = load_workspace(&root, false);
         assert!(
             files.len() > 50,
             "workspace scan found only {} files",
@@ -201,6 +250,27 @@ mod tests {
         assert!(
             violations.is_empty(),
             "workspace has lint violations:\n{}",
+            report.join("\n")
+        );
+    }
+
+    /// The deep concurrency passes must also hold on the real tree — this
+    /// is the `cargo xtask check --deep --include-vendor` invocation the
+    /// nightly CI lane gates on, wired in as a unit test so plain
+    /// `cargo test --workspace` exercises it too.
+    #[test]
+    fn real_workspace_is_clean_deep() {
+        let root = workspace_root();
+        let files = load_workspace(&root, true);
+        let ws = deep::Workspace::build(&files);
+        let mut violations = Vec::new();
+        for rule in deep::all() {
+            violations.extend(rule.check(&ws));
+        }
+        let report: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        assert!(
+            violations.is_empty(),
+            "workspace has deep-pass violations:\n{}",
             report.join("\n")
         );
     }

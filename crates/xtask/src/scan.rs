@@ -48,6 +48,14 @@ pub struct Line {
     pub allows: Vec<String>,
     /// True inside a `#[cfg(test)]` item or a tests/benches file.
     pub in_test: bool,
+    /// True when the line carries a `// sync: <invariant>` justification
+    /// (trailing, or on a standalone comment line directly above). The
+    /// atomics audit requires one per non-obs `Ordering::*` site.
+    pub sync: bool,
+    /// True when the line carries a `// SAFETY: <argument>` justification
+    /// (trailing or directly above). The unsafe audit requires one per
+    /// `unsafe` block/fn/impl.
+    pub safety: bool,
 }
 
 impl Line {
@@ -94,6 +102,10 @@ pub fn parse_source(rel: &str, text: &str) -> SourceFile {
     // Allow annotations from a standalone comment line waiting for the next
     // code line.
     let mut carried_allows: Vec<String> = Vec::new();
+    // `sync:` / `SAFETY:` justifications from standalone comment lines
+    // waiting for the next code line (same carry rule as allows).
+    let mut carried_sync = false;
+    let mut carried_safety = false;
 
     // Brace-depth tracking for `#[cfg(test)]` regions.
     let mut depth: i64 = 0;
@@ -218,13 +230,21 @@ pub fn parse_source(rel: &str, text: &str) -> SourceFile {
         // Allow annotations: `lint: allow(rule)` anywhere in the line's
         // comment text (possibly several).
         let mut allows = parse_allows(&comment);
+        let mut sync = has_justification(&comment, "sync:");
+        let mut safety = has_justification(&comment, "SAFETY:");
         let standalone = code.trim().is_empty();
         if standalone {
             // A comment-only line passes its allows down to the next code
             // line (and blank lines in between don't break the chain).
             carried_allows.append(&mut allows);
+            carried_sync |= sync;
+            carried_safety |= safety;
+            sync = false;
+            safety = false;
         } else {
             allows.append(&mut carried_allows);
+            sync |= std::mem::take(&mut carried_sync);
+            safety |= std::mem::take(&mut carried_safety);
         }
 
         // Test-region tracking on the stripped code.
@@ -260,6 +280,8 @@ pub fn parse_source(rel: &str, text: &str) -> SourceFile {
             code,
             allows,
             in_test,
+            sync,
+            safety,
         });
     }
 
@@ -286,6 +308,16 @@ fn parse_allows(comment: &str) -> Vec<String> {
         }
     }
     out
+}
+
+/// Whether a comment carries `<marker>` followed by a nonempty
+/// justification (`// sync: single-writer shard`, `// SAFETY: …`). A bare
+/// marker with no text does not count — the justification *is* the audit
+/// trail.
+fn has_justification(comment: &str, marker: &str) -> bool {
+    comment
+        .find(marker)
+        .is_some_and(|pos| !comment[pos + marker.len()..].trim().is_empty())
 }
 
 #[cfg(test)]
@@ -369,5 +401,32 @@ mod tests {
     fn tests_dir_files_are_entirely_test() {
         let f = parse_source("crates/foo/tests/it.rs", "fn t() { x.unwrap(); }\n");
         assert!(f.lines[0].in_test);
+    }
+
+    #[test]
+    fn sync_and_safety_justifications_trailing_and_carried() {
+        let src = "x.load(Ordering::Relaxed); // sync: single-writer shard\n\
+                   // SAFETY: ptr is valid for the shard's lifetime\n\
+                   unsafe { *p }\n\
+                   y.load(Ordering::Relaxed);\n";
+        let f = parse_source("x.rs", src);
+        assert!(f.lines[0].sync);
+        assert!(!f.lines[0].safety);
+        assert!(f.lines[2].safety, "standalone SAFETY carries to next line");
+        assert!(
+            !f.lines[3].sync,
+            "justification must not leak past one line"
+        );
+        assert!(!f.lines[3].safety);
+    }
+
+    #[test]
+    fn bare_markers_without_text_do_not_count() {
+        let f = parse_source(
+            "x.rs",
+            "a.load(Ordering::Relaxed); // sync:\nunsafe {} // SAFETY:\n",
+        );
+        assert!(!f.lines[0].sync);
+        assert!(!f.lines[1].safety);
     }
 }
