@@ -48,10 +48,20 @@ echo "==> adaptive I/O scheduler: fig12 smoke (--quick)"
 cargo run -q --release -p graphdance-bench --bin fig12_io_scheduler -- --quick \
     >/dev/null
 
+echo "==> hot-path arena: perf-regression floor (committed BENCH_hotpath.json)"
+# The floor itself is asserted by the graphdance-bench unit test
+# recorded_hotpath_within_budget (runs in the workspace pass above); this
+# lane smoke-runs the ablation bin so the measurement path stays healthy.
+cargo run -q --release -p graphdance-bench --bin hotpath_arena >/dev/null
+
 if [ "${CI_NIGHTLY:-0}" = "1" ]; then
     echo "==> nightly: SIM_SEEDS=1000 fault-schedule + exhaustive-topology sweep"
     SIM_SEEDS=1000 cargo test -q --release --test sim_faults \
         --test sim_exhaustive --test sim_property --test sim_io_scheduler
+
+    echo "==> nightly: hotpath arena ablation, paper-scale lane (--full)"
+    cargo run -q --release -p graphdance-bench --bin hotpath_arena -- --full \
+        >/dev/null
 
     echo "==> nightly: deep static analysis over the vendored shims too"
     cargo xtask check --deep --include-vendor

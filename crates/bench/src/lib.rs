@@ -255,6 +255,8 @@ pub fn run_throughput(
     window: Duration,
 ) -> f64 {
     use std::sync::atomic::{AtomicU64, Ordering};
+    // lint: allow(adhoc-counter) closed-loop completion tally local to one
+    // measurement window, joined before returning — not an engine metric
     let done = AtomicU64::new(0);
     let start = graphdance_common::time::now();
     std::thread::scope(|scope| {
@@ -426,6 +428,61 @@ mod tests {
             adaptive_standalone < static_standalone,
             "piggybacking must leave strictly fewer standalone coordinator \
              messages ({adaptive_standalone} vs {static_standalone})"
+        );
+    }
+
+    /// Hot-path arena acceptance (perf-regression floor): the recorded
+    /// ablation (`BENCH_hotpath.json`, produced by the `hotpath_arena`
+    /// bin with `--record`) must show the arena/SoA/interned-locals path
+    /// allocating at most `alloc_floor_ratio` (0.75×) per traverser-step
+    /// of what the cloned path allocates, and must not regress the fig9
+    /// k-hop p50/throughput or the fig7 mixed medians beyond tolerance.
+    /// Asserting the committed artifact keeps CI deterministic; re-record
+    /// with `cargo run --release -p graphdance-bench --bin hotpath_arena
+    /// -- --record` when the interpreter hot path changes.
+    #[test]
+    fn recorded_hotpath_within_budget() {
+        let raw = include_str!("../../../BENCH_hotpath.json");
+        let field = |name: &str| -> f64 {
+            let at = raw.find(name).unwrap_or_else(|| panic!("{name} present"));
+            let rest = &raw[at + name.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| *c == '"' || *c == ':' || c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            num.parse().unwrap_or_else(|_| panic!("{name} numeric"))
+        };
+        let alloc_cloned = field("alloc_per_step_cloned");
+        let alloc_arena = field("alloc_per_step_arena");
+        let floor = field("alloc_floor_ratio");
+        assert_eq!(floor, 0.75, "floor is the acceptance figure (≥25% fewer)");
+        assert!(
+            alloc_arena <= alloc_cloned * floor,
+            "recorded arena path allocates {alloc_arena}/step vs cloned \
+             {alloc_cloned}/step — misses the {floor}x floor; re-record \
+             hotpath_arena and profile the interpreter's arena path"
+        );
+        let tol = field("tolerance_pct");
+        assert_eq!(tol, 10.0, "tolerance is the acceptance figure");
+        let lat_ok = |name_arena: &str, name_cloned: &str| {
+            let a = field(name_arena);
+            let c = field(name_cloned);
+            assert!(
+                a <= c * (1.0 + tol / 100.0),
+                "recorded {name_arena} {a}ms regresses {name_cloned} {c}ms \
+                 beyond {tol}% — re-record hotpath_arena and investigate"
+            );
+        };
+        lat_ok("fig9_khop_p50_arena_ms", "fig9_khop_p50_cloned_ms");
+        lat_ok("fig7_ic_p50_arena_ms", "fig7_ic_p50_cloned_ms");
+        lat_ok("fig7_is_p50_arena_ms", "fig7_is_p50_cloned_ms");
+        let qps_arena = field("fig9_khop_qps_arena");
+        let qps_cloned = field("fig9_khop_qps_cloned");
+        assert!(
+            qps_arena >= qps_cloned * (1.0 - tol / 100.0),
+            "recorded arena throughput {qps_arena} qps regresses cloned \
+             {qps_cloned} qps beyond {tol}%"
         );
     }
 }

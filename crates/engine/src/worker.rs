@@ -13,7 +13,10 @@ use crossbeam::channel::Receiver;
 use rand::rngs::SmallRng;
 
 use graphdance_common::{FxHashMap, FxHashSet, GdError, QueryId, WorkerId};
-use graphdance_pstm::{Interpreter, Memo, Outcome, Traverser, Weight, WeightLedger};
+use graphdance_pstm::{
+    ExpandCache, Frontier, HandleOutcome, Interpreter, LocalsTable, Memo, Outcome, Traverser,
+    TraverserArena, TraverserHandle, Weight, WeightLedger,
+};
 use graphdance_storage::Graph;
 
 use crate::config::EngineConfig;
@@ -22,14 +25,25 @@ use crate::net::{Fabric, Outbox};
 
 use std::sync::Arc;
 
+/// A queued traverser: an arena handle on the arena execution path, an
+/// owned heap traverser on the cloned path. The two never coexist — the
+/// layout is fixed per worker by `EngineConfig::arena_frontier`.
+enum QueueItem {
+    /// Arena path: the state lives in the worker's `TraverserArena`.
+    Handle(TraverserHandle),
+    /// Cloned path: the classic per-traverser heap object.
+    Owned(Traverser),
+}
+
 /// Heap entry: smallest depth first, FIFO within a depth.
 struct Queued {
     depth: u32,
     seq: u64,
+    query: QueryId,
     /// Enqueue timestamp for queue-wait tracking (obs builds only).
     #[cfg(feature = "obs")]
     enq_ns: u64,
-    t: Traverser,
+    item: QueueItem,
 }
 
 impl PartialEq for Queued {
@@ -97,6 +111,19 @@ pub struct Worker {
     /// Interpreter outcomes seen (drives `leak_weight_nth` fault injection).
     outcomes: u64,
     fault: crate::config::FaultInjection,
+    /// Arena execution path enabled (`EngineConfig::arena_frontier`).
+    arena_frontier: bool,
+    /// Slab of live local traversers (arena path).
+    arena: TraverserArena,
+    /// Per-query interned locals tables, dropped wholesale on `QueryEnd`.
+    locals: FxHashMap<QueryId, LocalsTable>,
+    /// Reused SoA staging batch for same-depth queue runs.
+    frontier: Frontier,
+    /// Per-pump-quantum adjacency memo for batched expansion.
+    expand_cache: ExpandCache,
+    /// Reused outcome buffers for the arena path (no per-traverser
+    /// spawned/emitted Vec churn).
+    scratch: HandleOutcome,
     /// Hot-path instrumentation (metrics shard + span accumulator).
     #[cfg(feature = "obs")]
     obs: crate::obs::WorkerObs,
@@ -132,6 +159,12 @@ impl Worker {
             ledger: WeightLedger::new(),
             outcomes: 0,
             fault: config.fault,
+            arena_frontier: config.arena_frontier,
+            arena: TraverserArena::new(),
+            locals: FxHashMap::default(),
+            frontier: Frontier::new(),
+            expand_cache: ExpandCache::new(),
+            scratch: HandleOutcome::new(),
             #[cfg(feature = "obs")]
             obs: crate::obs::WorkerObs::new(fabric, id),
         }
@@ -181,22 +214,66 @@ impl Worker {
         }
         // Execute a batch of local traversers, shallow first.
         let mut executed = 0;
-        while executed < self.batch {
-            let Some(q) = self.queue.pop() else { break };
-            // Pin (query, stage) before executing; a query that died
-            // between enqueue and pop records nothing.
-            #[cfg(feature = "obs")]
-            let obs_info = self
-                .queries
-                .get(&q.t.query)
-                .map(|a| (q.t.query, a.stage, self.obs.exec_begin(q.enq_ns)));
-            self.execute(q.t);
-            #[cfg(feature = "obs")]
-            if let Some((qid, stage, (t0, wait))) = obs_info {
-                let stats = self.memo.take_stats(qid);
-                self.obs.exec_end(qid, stage, t0, wait, stats);
+        if self.arena_frontier {
+            // Arena path: stage runs of same-depth queue entries into the
+            // SoA frontier and execute them back to back. Staging a whole
+            // same-depth run up front is schedule-identical to popping one
+            // entry at a time: any child spawned mid-run is deeper or
+            // carries a larger sequence number, so it sorts after every
+            // staged entry either way. The adjacency cache spans one pump
+            // quantum — the batch window where repeated scans cluster.
+            self.expand_cache.begin_quantum();
+            while executed < self.batch {
+                let staged = self.stage_frontier(self.batch - executed);
+                if staged == 0 {
+                    break;
+                }
+                for i in 0..staged {
+                    // Pin (query, stage) before executing; a query that died
+                    // between enqueue and pop records nothing.
+                    #[cfg(feature = "obs")]
+                    let obs_info = self.queries.get(&self.frontier.queries[i]).map(|a| {
+                        (
+                            self.frontier.queries[i],
+                            a.stage,
+                            self.obs.exec_begin(self.frontier.enq_ns[i]),
+                        )
+                    });
+                    self.execute_frontier(i);
+                    #[cfg(feature = "obs")]
+                    if let Some((qid, stage, (t0, wait))) = obs_info {
+                        let stats = self.memo.take_stats(qid);
+                        self.obs.exec_end(qid, stage, t0, wait, stats);
+                    }
+                }
+                executed += staged;
             }
-            executed += 1;
+        } else {
+            while executed < self.batch {
+                let Some(q) = self.queue.pop() else { break };
+                // Pin (query, stage) before executing; a query that died
+                // between enqueue and pop records nothing.
+                #[cfg(feature = "obs")]
+                let obs_info = self
+                    .queries
+                    .get(&q.query)
+                    .map(|a| (q.query, a.stage, self.obs.exec_begin(q.enq_ns)));
+                match q.item {
+                    QueueItem::Owned(t) => self.execute(t),
+                    QueueItem::Handle(h) => {
+                        // Defensive: handles only exist on the arena path.
+                        let lt = self.locals.entry(q.query).or_default();
+                        let t = self.arena.extract(h, lt);
+                        self.execute(t);
+                    }
+                }
+                #[cfg(feature = "obs")]
+                if let Some((qid, stage, (t0, wait))) = obs_info {
+                    let stats = self.memo.take_stats(qid);
+                    self.obs.exec_end(qid, stage, t0, wait, stats);
+                }
+                executed += 1;
+            }
         }
         worked |= executed > 0;
         #[cfg(feature = "obs")]
@@ -298,9 +375,24 @@ impl Worker {
                 self.pending.remove(&query);
                 self.steps.remove(&query);
                 self.dead.insert(query);
-                // Drop any queued traversers of the dead query.
+                // Drop any queued traversers of the dead query; arena
+                // handles free their slab slots (the query's locals table
+                // is dropped wholesale below, values and all).
                 let drained: Vec<Queued> = std::mem::take(&mut self.queue).into_vec();
-                self.queue = drained.into_iter().filter(|q| q.t.query != query).collect();
+                self.queue = drained
+                    .into_iter()
+                    .filter_map(|q| {
+                        if q.query == query {
+                            if let QueueItem::Handle(h) = q.item {
+                                let _ = self.arena.remove(h);
+                            }
+                            None
+                        } else {
+                            Some(q)
+                        }
+                    })
+                    .collect();
+                self.locals.remove(&query);
             }
             WorkerMsg::Bsp(_) => {
                 // BSP signals are for the BSP baseline's workers only.
@@ -322,13 +414,30 @@ impl Worker {
                 .push(WorkerMsg::Batch(vec![t]));
             return;
         }
+        self.push_local(t);
+    }
+
+    /// Push a runnable traverser onto the local queue in the worker's
+    /// configured layout: interned into the arena on the arena path, owned
+    /// on the cloned path.
+    fn push_local(&mut self, t: Traverser) {
         self.seq += 1;
+        let (depth, query) = (t.depth, t.query);
+        #[cfg(feature = "obs")]
+        let enq_ns = self.obs.now_ns();
+        let item = if self.arena_frontier {
+            let lt = self.locals.entry(query).or_default();
+            QueueItem::Handle(self.arena.admit(t, lt))
+        } else {
+            QueueItem::Owned(t)
+        };
         self.queue.push(Queued {
-            depth: t.depth,
+            depth,
             seq: self.seq,
+            query,
             #[cfg(feature = "obs")]
-            enq_ns: self.obs.now_ns(),
-            t,
+            enq_ns,
+            item,
         });
     }
 
@@ -365,6 +474,97 @@ impl Worker {
                     .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
             }
         }
+    }
+
+    /// Stage the run of minimal-depth queue entries (up to `budget`) into
+    /// the SoA frontier. Returns the number staged.
+    fn stage_frontier(&mut self, budget: usize) -> usize {
+        self.frontier.clear();
+        let Some(top) = self.queue.peek() else {
+            return 0;
+        };
+        let depth = top.depth;
+        while self.frontier.len() < budget {
+            match self.queue.peek() {
+                Some(q) if q.depth == depth => {
+                    let q = self.queue.pop().expect("peeked entry"); // lint: allow(hot-path-panics)
+                    let h = match q.item {
+                        QueueItem::Handle(h) => h,
+                        QueueItem::Owned(t) => {
+                            // Defensive: owned entries only exist on the
+                            // cloned path; intern so the batch stays uniform.
+                            let lt = self.locals.entry(q.query).or_default();
+                            self.arena.admit(t, lt)
+                        }
+                    };
+                    let at = self.arena.get(h);
+                    let (vertex, pc, weight) = (at.vertex, at.pc, at.weight);
+                    self.frontier.push(
+                        h,
+                        q.query,
+                        vertex,
+                        pc,
+                        weight,
+                        #[cfg(feature = "obs")]
+                        q.enq_ns,
+                    );
+                }
+                _ => break,
+            }
+        }
+        self.frontier.len()
+    }
+
+    /// Execute one staged frontier entry through the arena interpreter and
+    /// route its outcome. The arena twin of [`execute`](Self::execute).
+    fn execute_frontier(&mut self, idx: usize) {
+        let query = self.frontier.queries[idx];
+        let Some(aq) = self.queries.get(&query) else {
+            // Query died between staging and execution: the queue purge
+            // already dropped its locals table; free the slab slot.
+            let _ = self.arena.remove(self.frontier.handles[idx]);
+            return;
+        };
+        let ctx = Arc::clone(&aq.ctx);
+        let stage = aq.stage as usize;
+        if !self.sched_overhead.is_zero() {
+            // Dataflow-baseline mode: model polling one operator instance
+            // per plan step per scheduled traverser (§V-B).
+            crate::net::charge(self.sched_overhead * ctx.plan.num_steps() as u32);
+        }
+        let interp = Interpreter {
+            graph: &self.graph,
+            plan: &ctx.plan,
+            stage_idx: stage,
+            query,
+            params: &ctx.params,
+            read_ts: ctx.read_ts,
+        };
+        let input = self.frontier.weights[idx];
+        let mut out = std::mem::take(&mut self.scratch);
+        let result = {
+            let locals = self.locals.entry(query).or_default();
+            let part = self.graph.read(self.id.part());
+            interp.run_frontier(
+                &self.frontier,
+                idx,
+                &mut self.arena,
+                locals,
+                &mut self.expand_cache,
+                &part,
+                self.memo.query_mut(query),
+                &mut self.rng,
+                &mut out,
+            )
+        };
+        match result {
+            Ok(()) => self.route_handles(query, input, &mut out),
+            Err(e) => {
+                self.outbox
+                    .send_ctrl_coord(CoordMsg::WorkerError { query, error: e });
+            }
+        }
+        self.scratch = out;
     }
 
     fn execute(&mut self, t: Traverser) {
@@ -430,18 +630,11 @@ impl Worker {
         let mut obs_progress = false;
         for (dest, t) in out.spawned {
             if dest == self.id.part() {
-                self.seq += 1;
                 #[cfg(feature = "obs")]
                 {
                     obs_local += 1;
                 }
-                self.queue.push(Queued {
-                    depth: t.depth,
-                    seq: self.seq,
-                    #[cfg(feature = "obs")]
-                    enq_ns: self.obs.now_ns(),
-                    t,
-                });
+                self.push_local(t);
             } else {
                 let w = self.graph.partitioner().worker_of_part(dest);
                 #[cfg(feature = "obs")]
@@ -451,6 +644,101 @@ impl Worker {
         }
         if !out.emitted.is_empty() {
             let _approx = self.outbox.send_rows(query, out.emitted);
+            #[cfg(feature = "obs")]
+            {
+                obs_rows = Some(_approx as u64);
+            }
+        }
+        *self.steps.entry(query).or_insert(0) += out.steps_executed as u64;
+        if out.finished != Weight::ZERO {
+            if self.weight_coalescing {
+                self.memo.query_mut(query).finished.add(out.finished);
+            } else {
+                // Naive progress tracking: one report per termination.
+                let steps = self.steps.remove(&query).unwrap_or(0);
+                self.outbox.send_progress(query, out.finished, steps);
+                #[cfg(feature = "obs")]
+                {
+                    obs_progress = true;
+                }
+            }
+        }
+        #[cfg(feature = "obs")]
+        self.obs.route_done(
+            query,
+            obs_stage,
+            obs_local,
+            &obs_remote,
+            obs_rows,
+            obs_progress,
+        );
+    }
+
+    /// Route one arena-path outcome: the handle twin of
+    /// [`route`](Self::route). Conservation is verified through the
+    /// arena's generation-checked accessors (debug builds), local children
+    /// stay as handles, remote children flatten to the wire format at the
+    /// outbox boundary.
+    fn route_handles(&mut self, query: QueryId, input: Weight, out: &mut HandleOutcome) {
+        self.outcomes += 1;
+        if WeightLedger::ENABLED && self.fault.leak_weight_nth == Some(self.outcomes) {
+            // Injected fault: leak one unit of weight out of this outcome.
+            out.finished = out.finished.sub(Weight(1));
+        }
+        if let Err(diag) = self.ledger.check_step_arena(query, input, out, &self.arena) {
+            // The query is being aborted; free the spawned children so the
+            // slab does not leak them.
+            for (_, h) in out.spawned.drain(..) {
+                let at = self.arena.remove(h);
+                if let Some(lt) = self.locals.get_mut(&query) {
+                    lt.unref(at.locals);
+                }
+            }
+            self.outbox.send_ctrl_coord(CoordMsg::WorkerError {
+                query,
+                error: GdError::InvariantViolation(diag),
+            });
+            return;
+        }
+        #[cfg(feature = "obs")]
+        let obs_stage = self.queries.get(&query).map_or(0, |a| a.stage);
+        #[cfg(feature = "obs")]
+        let mut obs_local = 0u64;
+        #[cfg(feature = "obs")]
+        let mut obs_remote: Vec<(u32, u64)> = Vec::new();
+        #[cfg(feature = "obs")]
+        let mut obs_rows: Option<u64> = None;
+        #[cfg(feature = "obs")]
+        let mut obs_progress = false;
+        for (dest, h) in out.spawned.drain(..) {
+            if dest == self.id.part() {
+                self.seq += 1;
+                #[cfg(feature = "obs")]
+                {
+                    obs_local += 1;
+                }
+                let depth = self.arena.get(h).depth;
+                self.queue.push(Queued {
+                    depth,
+                    seq: self.seq,
+                    query,
+                    #[cfg(feature = "obs")]
+                    enq_ns: self.obs.now_ns(),
+                    item: QueueItem::Handle(h),
+                });
+            } else {
+                let w = self.graph.partitioner().worker_of_part(dest);
+                let lt = self.locals.entry(query).or_default();
+                let t = self.arena.extract(h, lt);
+                #[cfg(feature = "obs")]
+                obs_remote.push((w.0, t.approx_bytes() as u64));
+                self.outbox.send_traverser(w, t);
+            }
+        }
+        if !out.emitted.is_empty() {
+            let _approx = self
+                .outbox
+                .send_rows(query, std::mem::take(&mut out.emitted));
             #[cfg(feature = "obs")]
             {
                 obs_rows = Some(_approx as u64);
@@ -536,9 +824,16 @@ mod tests {
         let mk = |depth, seq| Queued {
             depth,
             seq,
+            query: QueryId(1),
             #[cfg(feature = "obs")]
             enq_ns: 0,
-            t: Traverser::root(QueryId(1), 0, graphdance_common::VertexId(0), 0, Weight(0)),
+            item: QueueItem::Owned(Traverser::root(
+                QueryId(1),
+                0,
+                graphdance_common::VertexId(0),
+                0,
+                Weight(0),
+            )),
         };
         let mut h = BinaryHeap::new();
         h.push(mk(2, 1));
@@ -558,9 +853,10 @@ mod tests {
         struct Plain {
             _depth: u32,
             _seq: u64,
-            _t: Traverser,
+            _query: QueryId,
+            _item: QueueItem,
         }
-        assert_eq!(std::mem::size_of::<Queued>(), std::mem::size_of::<Plain>());
+        assert_eq!(size_of::<Queued>(), size_of::<Plain>());
     }
 }
 
@@ -668,7 +964,10 @@ mod handler_tests {
         assert_eq!(w.queue.len(), 2);
         w.handle(WorkerMsg::QueryEnd { query: QueryId(5) });
         assert_eq!(w.queue.len(), 1);
-        assert_eq!(w.queue.peek().unwrap().t.query, QueryId(6));
+        assert_eq!(w.queue.peek().unwrap().query, QueryId(6));
+        // The purged query's arena slot and locals table are gone too.
+        assert_eq!(w.arena.live(), 1);
+        assert!(!w.locals.contains_key(&QueryId(5)));
     }
 
     #[test]

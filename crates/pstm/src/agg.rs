@@ -103,21 +103,77 @@ impl AggState {
                     distinct,
                 },
             ) => {
-                let key = sort
-                    .iter()
-                    .map(|(e, _)| e.eval(ctx))
-                    .collect::<GdResult<Vec<_>>>()?;
-                let row = output
-                    .iter()
-                    .map(|e| e.eval(ctx))
-                    .collect::<GdResult<Vec<_>>>()?;
-                let dk = distinct
-                    .iter()
-                    .map(|e| Ok(e.eval(ctx)?.group_key()))
-                    .collect::<GdResult<Vec<_>>>()?;
-                rows.push((key, row, dk));
-                if rows.len() > 2 * (*k).max(16) {
-                    compact_topk(rows, *k, sort);
+                if distinct.is_empty() {
+                    // Non-distinct fast path: `rows` is kept sorted and
+                    // truncated to `k` on every insert (merge re-sorts via
+                    // `compact_topk`, so the invariant covers deserialized
+                    // partials too). A candidate that sorts at-or-after the
+                    // current k-th row can then be rejected *before* its
+                    // key and output row are materialized — zero
+                    // allocations for the common losing candidate. Ties
+                    // lose, exactly as under `compact_topk`'s stable sort +
+                    // truncate (earlier inserts win), so the final top-k is
+                    // identical to the lazy path's.
+                    if rows.len() >= *k {
+                        let mut wins = false;
+                        if let Some((worst, _, _)) = rows.last() {
+                            for (i, (e, dir)) in sort.iter().enumerate() {
+                                let v = e.eval(ctx)?;
+                                let c = v.cmp_total(worst.get(i).unwrap_or(&Value::Null));
+                                let c = match dir {
+                                    Order::Asc => c,
+                                    Order::Desc => c.reverse(),
+                                };
+                                match c {
+                                    std::cmp::Ordering::Less => {
+                                        wins = true;
+                                        break;
+                                    }
+                                    std::cmp::Ordering::Greater => break,
+                                    std::cmp::Ordering::Equal => {}
+                                }
+                            }
+                        }
+                        // `rows.last() == None` only when `k == 0`: nothing
+                        // is ever kept, every candidate loses.
+                        if !wins {
+                            return Ok(());
+                        }
+                    }
+                    let key = sort
+                        .iter()
+                        .map(|(e, _)| e.eval(ctx))
+                        .collect::<GdResult<Vec<_>>>()?;
+                    let row = output
+                        .iter()
+                        .map(|e| e.eval(ctx))
+                        .collect::<GdResult<Vec<_>>>()?;
+                    let pos = rows.partition_point(|(rk, _, _)| {
+                        cmp_sort_keys(rk, &key, sort) != std::cmp::Ordering::Greater
+                    });
+                    rows.insert(pos, (key, row, Vec::new()));
+                    rows.truncate(*k);
+                } else {
+                    // Distinct semantics: a worse candidate can still enter
+                    // the top-k when better rows collapse under one
+                    // distinct key, so candidates cannot be rejected early.
+                    // Collect lazily and compact in batches.
+                    let key = sort
+                        .iter()
+                        .map(|(e, _)| e.eval(ctx))
+                        .collect::<GdResult<Vec<_>>>()?;
+                    let row = output
+                        .iter()
+                        .map(|e| e.eval(ctx))
+                        .collect::<GdResult<Vec<_>>>()?;
+                    let dk = distinct
+                        .iter()
+                        .map(|e| Ok(e.eval(ctx)?.group_key()))
+                        .collect::<GdResult<Vec<_>>>()?;
+                    rows.push((key, row, dk));
+                    if rows.len() > 2 * (*k).max(16) {
+                        compact_topk(rows, *k, sort);
+                    }
                 }
             }
             (AggState::GroupCount { map }, AggFunc::GroupCount { key, .. }) => {

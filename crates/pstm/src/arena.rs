@@ -1,0 +1,530 @@
+//! Arena-allocated traversers and interned locals: the hot-path memory
+//! layout (ROADMAP item 5).
+//!
+//! The baseline `Traverser` is a heap object — its `locals: Vec<Value>`
+//! register file is `clone()`d on every neighbor expansion and loop
+//! continuation, so the interpreter's inner loop is allocator-bound. This
+//! module replaces that layout for the worker's local execution path:
+//!
+//! * [`TraverserArena`] — a generation-indexed slab. Live traversers are
+//!   addressed by a copyable 8-byte [`TraverserHandle`] (`u32` slot +
+//!   `u32` generation); freed slots are recycled through a free list, so
+//!   steady-state execution performs no traverser-sized allocations at
+//!   all. Debug builds detect stale handles (ABA) by checking the slot's
+//!   generation on every access and panicking on mismatch; the
+//!   `WeightLedger` re-reads every spawned child through these checked
+//!   accessors, wiring the ABA guard into the existing conservation
+//!   invariant.
+//! * [`LocalsTable`] — a per-query ref-counted store for the locals
+//!   register file (`π`). Children spawned by `Expand` share the parent's
+//!   record by bumping a refcount; the first mutation through
+//!   [`LocalsTable::make_mut`] copies-on-write. Records freed at refcount
+//!   zero donate their `Vec` back to a small pool, so even CoW copies
+//!   reuse capacity instead of allocating.
+//!
+//! The arena layout never crosses the wire: handles are flattened back to
+//! the plain [`Traverser`] at the outbox boundary ([`TraverserArena::extract`])
+//! and interned again at the inbox ([`TraverserArena::admit`]), so the
+//! codec, `net.rs`, and the sim fabric are byte-identical to the cloned
+//! path.
+
+use graphdance_common::{QueryId, Value, VertexId};
+
+use crate::traverser::Traverser;
+use crate::weight::Weight;
+
+/// Generation-indexed handle to a live traverser in a [`TraverserArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraverserHandle {
+    slot: u32,
+    gen: u32,
+}
+
+impl TraverserHandle {
+    /// The slot index (diagnostics only; the arena validates the
+    /// generation on access).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// The generation this handle was issued under.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+}
+
+/// Id of an interned locals record in a [`LocalsTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalsId(u32);
+
+impl LocalsId {
+    /// Sentinel for vacant arena slots (never a valid table index).
+    pub const INVALID: LocalsId = LocalsId(u32::MAX);
+}
+
+/// Arena-resident traverser state: the wire [`Traverser`] with its
+/// `Vec<Value>` locals replaced by an interned [`LocalsId`].
+#[derive(Debug)]
+pub struct ArenaTraverser {
+    /// The query this traverser belongs to.
+    pub query: QueryId,
+    /// Which pipeline of the current stage.
+    pub pipeline: u16,
+    /// Program counter (see [`Traverser::pc`]).
+    pub pc: u16,
+    /// Current vertex `v`.
+    pub vertex: VertexId,
+    /// Interned local variable slots `π`.
+    pub locals: LocalsId,
+    /// Progression weight `w`.
+    pub weight: Weight,
+    /// Hops travelled (scheduling depth).
+    pub depth: u32,
+    /// Pre-evaluated join routing key (see [`Traverser::aux_key`]).
+    pub aux_key: Option<Value>,
+}
+
+impl ArenaTraverser {
+    /// Placeholder stored in vacant slots so the slab never holds stale
+    /// `Value` allocations (strings/lists are dropped on `remove`). Also
+    /// used by the interpreter when a cursor's state is transferred into
+    /// the arena (join route-away, remote `MoveTo`).
+    pub(crate) fn vacant() -> Self {
+        ArenaTraverser {
+            query: QueryId(u64::MAX),
+            pipeline: 0,
+            pc: 0,
+            vertex: VertexId(u64::MAX),
+            locals: LocalsId::INVALID,
+            weight: Weight::ZERO,
+            depth: 0,
+            aux_key: None,
+        }
+    }
+}
+
+/// Generation-indexed slab of live traversers with free-list recycling.
+#[derive(Debug, Default)]
+pub struct TraverserArena {
+    slots: Vec<ArenaTraverser>,
+    /// Per-slot generation, bumped on every free; a handle whose
+    /// generation disagrees is stale (ABA) and panics in debug builds.
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl TraverserArena {
+    /// Whether stale-handle (ABA) checks are compiled in (debug builds).
+    pub const ABA_CHECKS: bool = cfg!(debug_assertions);
+
+    /// Fresh empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live traversers.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (high-water mark; recycled slots are
+    /// counted once).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn check(&self, h: TraverserHandle) {
+        if Self::ABA_CHECKS && self.gens[h.slot as usize] != h.gen {
+            // Stale handle: the slot was freed (and possibly reused) since
+            // this handle was issued. Debug-only guard; release builds
+            // trade the check for speed, like the WeightLedger.
+            // lint: allow(hot-path-panics) debug-only ABA guard
+            panic!(
+                "stale traverser handle: slot {} is at generation {}, handle was issued at {}",
+                h.slot, self.gens[h.slot as usize], h.gen
+            );
+        }
+    }
+
+    /// Insert a traverser, recycling a freed slot when one is available.
+    #[inline]
+    pub fn insert(&mut self, t: ArenaTraverser) -> TraverserHandle {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = t;
+            TraverserHandle {
+                slot,
+                gen: self.gens[slot as usize],
+            }
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(t);
+            self.gens.push(0);
+            TraverserHandle { slot, gen: 0 }
+        }
+    }
+
+    /// Read a live traverser (debug builds panic on a stale handle).
+    #[inline]
+    pub fn get(&self, h: TraverserHandle) -> &ArenaTraverser {
+        self.check(h);
+        &self.slots[h.slot as usize]
+    }
+
+    /// Mutate a live traverser (debug builds panic on a stale handle).
+    #[inline]
+    pub fn get_mut(&mut self, h: TraverserHandle) -> &mut ArenaTraverser {
+        self.check(h);
+        &mut self.slots[h.slot as usize]
+    }
+
+    /// Remove a traverser, bumping the slot's generation so every
+    /// outstanding handle to it becomes stale, and recycle the slot.
+    #[inline]
+    pub fn remove(&mut self, h: TraverserHandle) -> ArenaTraverser {
+        self.check(h);
+        let i = h.slot as usize;
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.free.push(h.slot);
+        self.live -= 1;
+        std::mem::replace(&mut self.slots[i], ArenaTraverser::vacant())
+    }
+
+    /// Intern a wire-format traverser arriving from the inbox: its locals
+    /// go into `locals`, the fixed fields into the slab.
+    pub fn admit(&mut self, t: Traverser, locals: &mut LocalsTable) -> TraverserHandle {
+        let lid = locals.alloc(t.locals);
+        self.insert(ArenaTraverser {
+            query: t.query,
+            pipeline: t.pipeline,
+            pc: t.pc,
+            vertex: t.vertex,
+            locals: lid,
+            weight: t.weight,
+            depth: t.depth,
+            aux_key: t.aux_key,
+        })
+    }
+
+    /// Flatten an arena traverser back to the wire format (outbox
+    /// boundary). The locals record is moved out when this was its last
+    /// reference, cloned otherwise — the bytes on the wire are identical
+    /// to the cloned path either way.
+    pub fn extract(&mut self, h: TraverserHandle, locals: &mut LocalsTable) -> Traverser {
+        let at = self.remove(h);
+        Traverser {
+            query: at.query,
+            pipeline: at.pipeline,
+            pc: at.pc,
+            vertex: at.vertex,
+            locals: locals.take(at.locals),
+            weight: at.weight,
+            depth: at.depth,
+            aux_key: at.aux_key,
+        }
+    }
+
+    /// Remove a traverser and release its locals without materializing a
+    /// wire traverser (dead-query purge).
+    pub fn discard(&mut self, h: TraverserHandle, locals: &mut LocalsTable) {
+        let at = self.remove(h);
+        locals.unref(at.locals);
+    }
+}
+
+/// Freed `Vec<Value>` backings kept for reuse; beyond this the extras are
+/// dropped (bounds worst-case idle memory).
+const LOCALS_POOL_CAP: usize = 256;
+
+#[derive(Debug)]
+struct LocalsEntry {
+    vals: Vec<Value>,
+    rc: u32,
+}
+
+/// Per-query ref-counted store of locals register files with copy-on-write
+/// sharing (see the module docs).
+#[derive(Debug, Default)]
+pub struct LocalsTable {
+    entries: Vec<LocalsEntry>,
+    free: Vec<u32>,
+    /// Emptied `Vec` backings recycled by [`LocalsTable::alloc_from`].
+    pool: Vec<Vec<Value>>,
+}
+
+impl LocalsTable {
+    /// Fresh empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live records.
+    pub fn live(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Current refcount of a record (tests/diagnostics).
+    pub fn refcount(&self, id: LocalsId) -> u32 {
+        self.entries[id.0 as usize].rc
+    }
+
+    fn alloc_entry(&mut self, vals: Vec<Value>) -> LocalsId {
+        if let Some(slot) = self.free.pop() {
+            let e = &mut self.entries[slot as usize];
+            e.vals = vals;
+            e.rc = 1;
+            LocalsId(slot)
+        } else {
+            let slot = self.entries.len() as u32;
+            self.entries.push(LocalsEntry { vals, rc: 1 });
+            LocalsId(slot)
+        }
+    }
+
+    /// Intern an owned register file (refcount 1).
+    pub fn alloc(&mut self, vals: Vec<Value>) -> LocalsId {
+        self.alloc_entry(vals)
+    }
+
+    /// Intern a copy of `vals`, reusing a pooled backing `Vec` when one is
+    /// available (the element clones remain; the `Vec` allocation goes).
+    pub fn alloc_from(&mut self, vals: &[Value]) -> LocalsId {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.extend_from_slice(vals);
+        self.alloc_entry(v)
+    }
+
+    /// Intern a copy of an existing record (pooled backing), leaving the
+    /// original's refcount untouched.
+    pub fn clone_entry(&mut self, id: LocalsId) -> LocalsId {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.extend_from_slice(&self.entries[id.0 as usize].vals);
+        self.alloc_entry(v)
+    }
+
+    /// Share a record with one more owner.
+    #[inline]
+    pub fn retain(&mut self, id: LocalsId) {
+        self.entries[id.0 as usize].rc += 1;
+    }
+
+    /// Drop one owner; at refcount zero the record is freed and its `Vec`
+    /// backing pooled for reuse.
+    #[inline]
+    pub fn unref(&mut self, id: LocalsId) {
+        if id == LocalsId::INVALID {
+            return;
+        }
+        let e = &mut self.entries[id.0 as usize];
+        e.rc -= 1;
+        if e.rc == 0 {
+            let mut v = std::mem::take(&mut e.vals);
+            v.clear();
+            if self.pool.len() < LOCALS_POOL_CAP {
+                self.pool.push(v);
+            }
+            self.free.push(id.0);
+        }
+    }
+
+    /// Read a record.
+    #[inline]
+    pub fn get(&self, id: LocalsId) -> &[Value] {
+        &self.entries[id.0 as usize].vals
+    }
+
+    /// Mutable access with copy-on-write: a uniquely-owned record is
+    /// returned directly; a shared one is first copied into a fresh record
+    /// (pooled backing) and `id` is re-pointed at the copy.
+    pub fn make_mut(&mut self, id: &mut LocalsId) -> &mut Vec<Value> {
+        let i = id.0 as usize;
+        if self.entries[i].rc > 1 {
+            self.entries[i].rc -= 1;
+            let mut v = self.pool.pop().unwrap_or_default();
+            v.extend_from_slice(&self.entries[i].vals);
+            *id = self.alloc_entry(v);
+        }
+        &mut self.entries[id.0 as usize].vals
+    }
+
+    /// Clone a record out (join rows parked in the memo own their values).
+    pub fn clone_out(&self, id: LocalsId) -> Vec<Value> {
+        self.entries[id.0 as usize].vals.clone()
+    }
+
+    /// Take a record out, releasing this owner: moved when uniquely owned,
+    /// cloned when shared.
+    pub fn take(&mut self, id: LocalsId) -> Vec<Value> {
+        let i = id.0 as usize;
+        if self.entries[i].rc == 1 {
+            let vals = std::mem::take(&mut self.entries[i].vals);
+            self.unref(id);
+            vals
+        } else {
+            self.entries[i].rc -= 1;
+            self.entries[i].vals.clone()
+        }
+    }
+}
+
+/// Write `v` into slot `s` of a raw register file, growing it like
+/// [`Traverser::set_slot`] does.
+#[inline]
+pub fn set_slot_vec(vals: &mut Vec<Value>, s: u8, v: Value) {
+    let i = s as usize;
+    if i >= vals.len() {
+        vals.resize(i + 1, Value::Null);
+    }
+    vals[i] = v;
+}
+
+/// Read slot `s` of a raw register file (missing slots read as `Null`),
+/// mirroring [`Traverser::slot`].
+#[inline]
+pub fn slot_of(vals: &[Value], s: u8) -> &Value {
+    vals.get(s as usize).unwrap_or(&Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(query: u64, vertex: u64, w: u64, locals: LocalsId) -> ArenaTraverser {
+        ArenaTraverser {
+            query: QueryId(query),
+            pipeline: 0,
+            pc: 0,
+            vertex: VertexId(vertex),
+            locals,
+            weight: Weight(w),
+            depth: 0,
+            aux_key: None,
+        }
+    }
+
+    #[test]
+    fn free_list_recycles_slots() {
+        let mut a = TraverserArena::new();
+        let h1 = a.insert(at(1, 1, 1, LocalsId::INVALID));
+        let h2 = a.insert(at(1, 2, 2, LocalsId::INVALID));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.capacity(), 2);
+        a.remove(h1);
+        // The freed slot is reused — no slab growth.
+        let h3 = a.insert(at(1, 3, 3, LocalsId::INVALID));
+        assert_eq!(h3.slot(), h1.slot());
+        assert_eq!(a.capacity(), 2);
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.get(h3).vertex, VertexId(3));
+        assert_eq!(a.get(h2).vertex, VertexId(2));
+    }
+
+    #[test]
+    fn generation_bumps_on_free() {
+        let mut a = TraverserArena::new();
+        let h1 = a.insert(at(1, 1, 1, LocalsId::INVALID));
+        a.remove(h1);
+        let h2 = a.insert(at(1, 2, 2, LocalsId::INVALID));
+        assert_eq!(h2.slot(), h1.slot(), "slot recycled");
+        assert_eq!(
+            h2.generation(),
+            h1.generation() + 1,
+            "generation advanced on free"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stale traverser handle")]
+    fn stale_handle_access_panics_in_debug() {
+        if !TraverserArena::ABA_CHECKS {
+            // Release builds compile the guard out; satisfy should_panic.
+            panic!("stale traverser handle (check disabled)");
+        }
+        let mut a = TraverserArena::new();
+        let h1 = a.insert(at(1, 1, 1, LocalsId::INVALID));
+        a.remove(h1);
+        // The slot is reused by a different traverser…
+        let _h2 = a.insert(at(1, 2, 2, LocalsId::INVALID));
+        // …so the stale handle must NOT silently read the new occupant.
+        let _ = a.get(h1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale traverser handle")]
+    fn double_remove_panics_in_debug() {
+        if !TraverserArena::ABA_CHECKS {
+            panic!("stale traverser handle (check disabled)");
+        }
+        let mut a = TraverserArena::new();
+        let h = a.insert(at(1, 1, 1, LocalsId::INVALID));
+        a.remove(h);
+        a.remove(h);
+    }
+
+    #[test]
+    fn admit_extract_roundtrips_the_wire_format() {
+        let mut a = TraverserArena::new();
+        let mut l = LocalsTable::new();
+        let mut t = Traverser::root(QueryId(7), 1, VertexId(42), 3, Weight(9));
+        t.set_slot(0, Value::str("hello"));
+        t.aux_key = Some(Value::Int(5));
+        t.depth = 4;
+        t.pc = 2;
+        let h = a.admit(t.clone(), &mut l);
+        assert_eq!(a.live(), 1);
+        assert_eq!(l.live(), 1);
+        let back = a.extract(h, &mut l);
+        assert_eq!(back, t);
+        assert_eq!(a.live(), 0);
+        assert_eq!(l.live(), 0);
+    }
+
+    #[test]
+    fn locals_cow_shares_until_written() {
+        let mut l = LocalsTable::new();
+        let mut parent = l.alloc(vec![Value::Int(1), Value::Int(2)]);
+        l.retain(parent); // child shares
+        let mut child = parent;
+        assert_eq!(l.refcount(parent), 2);
+        assert_eq!(l.live(), 1);
+        // Child writes: copy-on-write splits the record.
+        set_slot_vec(l.make_mut(&mut child), 0, Value::Int(99));
+        assert_ne!(child, parent);
+        assert_eq!(l.live(), 2);
+        assert_eq!(l.get(parent), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.get(child), &[Value::Int(99), Value::Int(2)]);
+        // Unique owner mutates in place — same id.
+        let before = parent;
+        set_slot_vec(l.make_mut(&mut parent), 1, Value::Int(7));
+        assert_eq!(parent, before);
+        l.unref(parent);
+        l.unref(child);
+        assert_eq!(l.live(), 0);
+    }
+
+    #[test]
+    fn released_locals_backings_are_pooled_and_reused() {
+        let mut l = LocalsTable::new();
+        let id = l.alloc(Vec::with_capacity(64));
+        l.unref(id);
+        // A fresh record from a slice reuses the pooled 64-cap backing.
+        let id2 = l.alloc_from(&[Value::Int(1)]);
+        assert!(l.get(id2).len() == 1);
+        assert_eq!(id2, id, "slot recycled through the free list");
+    }
+
+    #[test]
+    fn take_moves_when_unique_and_clones_when_shared() {
+        let mut l = LocalsTable::new();
+        let id = l.alloc(vec![Value::Int(3)]);
+        l.retain(id);
+        let first = l.take(id);
+        assert_eq!(first, vec![Value::Int(3)]);
+        assert_eq!(l.live(), 1, "still one owner left");
+        let second = l.take(id);
+        assert_eq!(second, vec![Value::Int(3)]);
+        assert_eq!(l.live(), 0);
+    }
+}

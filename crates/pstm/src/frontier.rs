@@ -1,0 +1,293 @@
+//! SoA frontier batches and the per-quantum adjacency cache.
+//!
+//! The worker's arena execution path stages a run of same-depth queued
+//! traversers into a [`Frontier`] — a structure-of-arrays batch whose
+//! columns (`vertices[]`, `pcs[]`, `weights[]`, `handles[]`) are the
+//! interpreter's inputs — instead of popping and cloning one heap
+//! traverser at a time. Staging only *same-depth* entries keeps the
+//! schedule bit-identical to the one-at-a-time heap: queue order within a
+//! depth is FIFO by sequence number, and any child spawned mid-batch
+//! (deeper, or same-depth with a larger sequence number) sorts after every
+//! entry already staged.
+//!
+//! The [`ExpandCache`] memoizes one CSR adjacency scan per distinct
+//! `(vertex, direction, label, read_ts)` within a pump quantum, so a batch
+//! of traversers sitting on the same vertex (the common case after a
+//! fan-in hop) pays for one TEL walk instead of one per traverser. Entries
+//! are keyed on the read timestamp, so snapshot reads stay correct across
+//! queries; the cache is cleared at every quantum boundary to bound
+//! memory.
+
+use graphdance_common::{FxHashMap, Label, PartId, QueryId, VertexId};
+use graphdance_storage::{Direction, Timestamp};
+
+use crate::arena::TraverserHandle;
+use crate::interp::Row;
+use crate::weight::Weight;
+
+/// A structure-of-arrays batch of same-depth traversers staged for
+/// execution. Columns are parallel: index `i` across all of them describes
+/// one traverser.
+#[derive(Debug, Default)]
+pub struct Frontier {
+    /// Arena handles (the authoritative state lives in the arena).
+    pub handles: Vec<TraverserHandle>,
+    /// Owning query of each entry.
+    pub queries: Vec<QueryId>,
+    /// Entry vertex of each traverser at staging time.
+    pub vertices: Vec<VertexId>,
+    /// Entry program counter of each traverser at staging time.
+    pub pcs: Vec<u16>,
+    /// Progression weight of each traverser at staging time (the ledger's
+    /// per-step input).
+    pub weights: Vec<Weight>,
+    /// Enqueue timestamps carried through for queue-wait accounting.
+    #[cfg(feature = "obs")]
+    pub enq_ns: Vec<u64>,
+}
+
+impl Frontier {
+    /// Fresh empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of staged traversers.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Drop all staged entries (the arena still owns the traversers).
+    pub fn clear(&mut self) {
+        self.handles.clear();
+        self.queries.clear();
+        self.vertices.clear();
+        self.pcs.clear();
+        self.weights.clear();
+        #[cfg(feature = "obs")]
+        self.enq_ns.clear();
+    }
+
+    /// Stage one traverser.
+    pub fn push(
+        &mut self,
+        handle: TraverserHandle,
+        query: QueryId,
+        vertex: VertexId,
+        pc: u16,
+        weight: Weight,
+        #[cfg(feature = "obs")] enq_ns: u64,
+    ) {
+        self.handles.push(handle);
+        self.queries.push(query);
+        self.vertices.push(vertex);
+        self.pcs.push(pc);
+        self.weights.push(weight);
+        #[cfg(feature = "obs")]
+        self.enq_ns.push(enq_ns);
+    }
+}
+
+/// What one arena-path interpreter invocation produced: the handle
+/// analogue of [`crate::interp::Outcome`]. Spawned children live in the
+/// worker's arena; the caller routes them by handle and flattens to the
+/// wire format only at the outbox boundary.
+#[derive(Debug, Default)]
+pub struct HandleOutcome {
+    /// Spawned traversers (arena handles) with their destination partitions.
+    pub spawned: Vec<(PartId, TraverserHandle)>,
+    /// Result rows emitted by a non-aggregating stage.
+    pub emitted: Vec<Row>,
+    /// Weight released by traversers that terminated here.
+    pub finished: Weight,
+    /// Number of plan steps executed (for Table I stage accounting).
+    pub steps_executed: u32,
+}
+
+impl HandleOutcome {
+    /// Fresh empty outcome.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for reuse, retaining the `spawned`/`emitted` allocations —
+    /// callers keep one scratch outcome across an execution batch so the
+    /// per-traverser hot path performs no outcome allocations at all.
+    pub fn clear(&mut self) {
+        self.spawned.clear();
+        self.emitted.clear();
+        self.finished = Weight::ZERO;
+        self.steps_executed = 0;
+    }
+}
+
+/// Cap on cached neighbor ids per quantum; past it new scans bypass the
+/// cache (bounds memory on super-node-heavy batches).
+const EXPAND_CACHE_NEIGHBOR_CAP: usize = 64 * 1024;
+
+/// Per-quantum memo of adjacency scans: `(vertex, dir, label, read_ts)` →
+/// a span of neighbor ids in a flat arena. Only consulted for `Expand`
+/// steps with no edge-property loads (the common k-hop shape) — property
+/// loads need the full `EdgeRef` and take the direct scan path.
+#[derive(Debug, Default)]
+pub struct ExpandCache {
+    spans: FxHashMap<(VertexId, Direction, Label, Timestamp), (u32, u32)>,
+    neighbors: Vec<VertexId>,
+    #[cfg(feature = "obs")]
+    hits: u64,
+    #[cfg(feature = "obs")]
+    misses: u64,
+}
+
+impl ExpandCache {
+    /// Fresh empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset at a pump-quantum boundary. Backing allocations are retained.
+    pub fn begin_quantum(&mut self) {
+        self.spans.clear();
+        self.neighbors.clear();
+    }
+
+    /// Cached neighbor span for a scan key, if this quantum already walked
+    /// it. Resolve the indices with [`Self::span`]; the slice preserves the
+    /// TEL's edge order exactly.
+    #[inline]
+    pub fn lookup(&mut self, key: (VertexId, Direction, Label, Timestamp)) -> Option<(u32, u32)> {
+        let found = self.spans.get(&key).copied();
+        #[cfg(feature = "obs")]
+        {
+            if found.is_some() {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+        }
+        found
+    }
+
+    /// Resolve a span returned by [`Self::lookup`] / [`Self::commit_scan`].
+    #[inline]
+    pub fn span(&self, (start, end): (u32, u32)) -> &[VertexId] {
+        &self.neighbors[start as usize..end as usize]
+    }
+
+    /// Begin recording a scan; pair with [`Self::push`] +
+    /// [`Self::commit_scan`]. Returns `None` when the cache is full — the
+    /// caller then scans without recording.
+    #[inline]
+    pub fn begin_insert(&mut self) -> Option<u32> {
+        if self.neighbors.len() >= EXPAND_CACHE_NEIGHBOR_CAP {
+            None
+        } else {
+            Some(self.neighbors.len() as u32)
+        }
+    }
+
+    /// Record one neighbor of an in-progress scan.
+    #[inline]
+    pub fn push(&mut self, v: VertexId) {
+        self.neighbors.push(v);
+    }
+
+    /// Finish recording a scan started at `start` and index it under `key`.
+    /// Returns the recorded span indices.
+    #[inline]
+    pub fn commit_scan(
+        &mut self,
+        key: (VertexId, Direction, Label, Timestamp),
+        start: u32,
+    ) -> (u32, u32) {
+        let end = self.neighbors.len() as u32;
+        self.spans.insert(key, (start, end));
+        (start, end)
+    }
+
+    /// `(hits, misses)` since construction.
+    #[cfg(feature = "obs")]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u64) -> (VertexId, Direction, Label, Timestamp) {
+        (VertexId(v), Direction::Out, Label(1), 7)
+    }
+
+    #[test]
+    fn expand_cache_roundtrips_spans_in_order() {
+        let mut c = ExpandCache::new();
+        assert!(c.lookup(key(1)).is_none());
+        let s = c.begin_insert().unwrap();
+        c.push(VertexId(10));
+        c.push(VertexId(30));
+        c.push(VertexId(20));
+        let span = c.commit_scan(key(1), s);
+        assert_eq!(c.span(span), &[VertexId(10), VertexId(30), VertexId(20)]);
+        // Second scan interleaves without disturbing the first.
+        let s2 = c.begin_insert().unwrap();
+        c.push(VertexId(99));
+        c.commit_scan(key(2), s2);
+        let first = c.lookup(key(1)).unwrap();
+        assert_eq!(c.span(first), &[VertexId(10), VertexId(30), VertexId(20)]);
+        let second = c.lookup(key(2)).unwrap();
+        assert_eq!(c.span(second), &[VertexId(99)]);
+        // Distinct read timestamps are distinct keys (snapshot safety).
+        let (v, d, l, _) = key(1);
+        assert!(c.lookup((v, d, l, 8)).is_none());
+    }
+
+    #[test]
+    fn expand_cache_clears_at_quantum_boundary() {
+        let mut c = ExpandCache::new();
+        let s = c.begin_insert().unwrap();
+        c.push(VertexId(1));
+        c.commit_scan(key(1), s);
+        c.begin_quantum();
+        assert!(c.lookup(key(1)).is_none());
+        assert_eq!(c.neighbors.len(), 0);
+    }
+
+    #[test]
+    fn frontier_columns_stay_parallel() {
+        let mut f = Frontier::new();
+        let mut arena = crate::arena::TraverserArena::new();
+        let h = arena.insert(crate::arena::ArenaTraverser {
+            query: QueryId(1),
+            pipeline: 0,
+            pc: 3,
+            vertex: VertexId(9),
+            locals: crate::arena::LocalsId::INVALID,
+            weight: Weight(5),
+            depth: 2,
+            aux_key: None,
+        });
+        f.push(
+            h,
+            QueryId(1),
+            VertexId(9),
+            3,
+            Weight(5),
+            #[cfg(feature = "obs")]
+            0,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.queries[0], QueryId(1));
+        assert_eq!(f.vertices[0], VertexId(9));
+        assert_eq!(f.pcs[0], 3);
+        assert_eq!(f.weights[0], Weight(5));
+        f.clear();
+        assert!(f.is_empty());
+    }
+}

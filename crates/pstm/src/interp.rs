@@ -27,6 +27,8 @@ use graphdance_query::plan::{JoinSide, Plan, PlanStep, SourceSpec, Stage};
 use graphdance_storage::{Graph, GraphPartition, Timestamp};
 
 use crate::agg::AggState;
+use crate::arena::{set_slot_vec, slot_of, ArenaTraverser, LocalsId, LocalsTable, TraverserArena};
+use crate::frontier::{ExpandCache, Frontier, HandleOutcome};
 use crate::memo::QueryMemo;
 use crate::traverser::Traverser;
 use crate::weight::Weight;
@@ -435,6 +437,465 @@ impl<'a> Interpreter<'a> {
                     if target != part.part() {
                         out.spawned.push((target, t));
                         return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance one staged traverser of an SoA [`Frontier`] batch on the
+    /// arena execution path: the allocation-free analogue of
+    /// [`run_traverser`](Self::run_traverser).
+    ///
+    /// Semantics are step-for-step identical to the cloned path — same RNG
+    /// draw order, same memo operation order, same rows and routing — only
+    /// the memory layout differs: the traverser lives in `arena`, its
+    /// register file is interned in `locals` (children share it
+    /// copy-on-write), and `Expand` steps with no edge-property loads read
+    /// neighbors through the per-quantum `cache` instead of re-walking the
+    /// TEL per traverser. The 256-seed differential proptest in
+    /// `tests/arena_equivalence.rs` pins the two paths together.
+    ///
+    /// The staged handle is removed from the arena before execution. On
+    /// error, everything this call interned or spawned is released again,
+    /// so the arena and locals table never leak across a failed step.
+    ///
+    /// Results accumulate into `out`, which is cleared first — callers
+    /// keep one scratch [`HandleOutcome`] across a batch so its buffers
+    /// are reused instead of reallocated per traverser.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_frontier(
+        &self,
+        frontier: &Frontier,
+        idx: usize,
+        arena: &mut TraverserArena,
+        locals: &mut LocalsTable,
+        cache: &mut ExpandCache,
+        part: &GraphPartition,
+        memo: &mut QueryMemo,
+        rng: &mut SmallRng,
+        out: &mut HandleOutcome,
+    ) -> GdResult<()> {
+        out.clear();
+        let mut cur = arena.remove(frontier.handles[idx]);
+        // The SoA columns are the staged entry state; nothing touches an
+        // arena record between staging and execution, so they agree with
+        // the slab and seed the cursor.
+        debug_assert_eq!(cur.vertex, frontier.vertices[idx]);
+        debug_assert_eq!(cur.pc, frontier.pcs[idx]);
+        debug_assert_eq!(cur.weight, frontier.weights[idx]);
+        cur.vertex = frontier.vertices[idx];
+        cur.pc = frontier.pcs[idx];
+        cur.weight = frontier.weights[idx];
+        match self.run_arena_cursor(&mut cur, arena, locals, cache, part, memo, rng, out) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Unwind: release the cursor's locals (if still owned) and
+                // every child spawned before the failure.
+                locals.unref(cur.locals);
+                for (_, h) in out.spawned.drain(..) {
+                    arena.discard(h, locals);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The arena-path step loop. `cur` has been removed from the arena; on
+    /// `Ok` its state has been fully handed off (finished, or transferred
+    /// back into the arena for routing) and `cur.locals` is
+    /// [`LocalsId::INVALID`] exactly when the cursor no longer owns a
+    /// locals reference.
+    #[allow(clippy::too_many_arguments)]
+    fn run_arena_cursor(
+        &self,
+        cur: &mut ArenaTraverser,
+        arena: &mut TraverserArena,
+        locals: &mut LocalsTable,
+        cache: &mut ExpandCache,
+        part: &GraphPartition,
+        memo: &mut QueryMemo,
+        rng: &mut SmallRng,
+        out: &mut HandleOutcome,
+    ) -> GdResult<()> {
+        let stage = self.stage();
+        let pipe = &stage.pipelines[cur.pipeline as usize];
+        loop {
+            // Emit position: end of pipeline.
+            if cur.pc as usize >= pipe.steps.len() {
+                out.steps_executed += 1;
+                let record = if part.contains(cur.vertex) {
+                    Some(part.vertex(cur.vertex)?)
+                } else {
+                    None
+                };
+                let ctx = EvalCtx {
+                    vertex: cur.vertex,
+                    record,
+                    locals: locals.get(cur.locals),
+                    params: self.params,
+                };
+                if let Some(agg) = &stage.agg {
+                    memo.agg_mut(|| AggState::new(&agg.func))
+                        .insert(&agg.func, &ctx)?;
+                } else {
+                    let row = stage
+                        .output
+                        .iter()
+                        .map(|e| e.eval(&ctx))
+                        .collect::<GdResult<Vec<_>>>()?;
+                    out.emitted.push(row);
+                }
+                out.finished.absorb(cur.weight);
+                locals.unref(cur.locals);
+                cur.locals = LocalsId::INVALID;
+                return Ok(());
+            }
+
+            out.steps_executed += 1;
+            match &pipe.steps[cur.pc as usize] {
+                PlanStep::Expand {
+                    dir,
+                    label,
+                    edge_loads,
+                } => {
+                    let mut w = cur.weight;
+                    if edge_loads.is_empty() {
+                        // No per-edge property loads: children share the
+                        // parent's interned locals (CoW) and neighbors come
+                        // from the per-quantum cache — one TEL walk per
+                        // distinct (vertex, dir, label, ts) per quantum.
+                        let key = (cur.vertex, *dir, *label, self.read_ts);
+                        let span = match cache.lookup(key) {
+                            Some(span) => Some(span),
+                            None => match cache.begin_insert() {
+                                Some(start) => {
+                                    for e in part.edges(cur.vertex, *dir, *label, self.read_ts)? {
+                                        cache.push(e.neighbor);
+                                    }
+                                    Some(cache.commit_scan(key, start))
+                                }
+                                None => None,
+                            },
+                        };
+                        match span {
+                            Some(span) => {
+                                for &nb in cache.span(span) {
+                                    let child_w = w.split_one(rng);
+                                    locals.retain(cur.locals);
+                                    let h = arena.insert(ArenaTraverser {
+                                        query: cur.query,
+                                        pipeline: cur.pipeline,
+                                        pc: cur.pc + 1,
+                                        vertex: nb,
+                                        locals: cur.locals,
+                                        weight: child_w,
+                                        depth: cur.depth + 1,
+                                        aux_key: cur.aux_key.clone(),
+                                    });
+                                    out.spawned.push((self.graph.part_of(nb), h));
+                                }
+                            }
+                            None => {
+                                // Cache full this quantum: scan directly.
+                                for e in part.edges(cur.vertex, *dir, *label, self.read_ts)? {
+                                    let child_w = w.split_one(rng);
+                                    locals.retain(cur.locals);
+                                    let h = arena.insert(ArenaTraverser {
+                                        query: cur.query,
+                                        pipeline: cur.pipeline,
+                                        pc: cur.pc + 1,
+                                        vertex: e.neighbor,
+                                        locals: cur.locals,
+                                        weight: child_w,
+                                        depth: cur.depth + 1,
+                                        aux_key: cur.aux_key.clone(),
+                                    });
+                                    out.spawned.push((self.graph.part_of(e.neighbor), h));
+                                }
+                            }
+                        }
+                    } else {
+                        // Edge-property loads need the full EdgeRef: scan
+                        // directly and give each child its own (pooled)
+                        // register file, like the cloned path does.
+                        for e in part.edges(cur.vertex, *dir, *label, self.read_ts)? {
+                            let child_w = w.split_one(rng);
+                            let mut lid = locals.clone_entry(cur.locals);
+                            {
+                                let vals = locals.make_mut(&mut lid);
+                                for (k, slot) in edge_loads {
+                                    set_slot_vec(
+                                        vals,
+                                        *slot,
+                                        e.entry.prop(*k).cloned().unwrap_or(Value::Null),
+                                    );
+                                }
+                            }
+                            let h = arena.insert(ArenaTraverser {
+                                query: cur.query,
+                                pipeline: cur.pipeline,
+                                pc: cur.pc + 1,
+                                vertex: e.neighbor,
+                                locals: lid,
+                                weight: child_w,
+                                depth: cur.depth + 1,
+                                aux_key: cur.aux_key.clone(),
+                            });
+                            out.spawned.push((self.graph.part_of(e.neighbor), h));
+                        }
+                    }
+                    out.finished.absorb(w);
+                    locals.unref(cur.locals);
+                    cur.locals = LocalsId::INVALID;
+                    return Ok(());
+                }
+                PlanStep::Filter(pred) => {
+                    let record = if part.contains(cur.vertex) {
+                        Some(part.vertex(cur.vertex)?)
+                    } else {
+                        None
+                    };
+                    let ctx = EvalCtx {
+                        vertex: cur.vertex,
+                        record,
+                        locals: locals.get(cur.locals),
+                        params: self.params,
+                    };
+                    if !pred.eval_bool(&ctx)? {
+                        out.finished.absorb(cur.weight);
+                        locals.unref(cur.locals);
+                        cur.locals = LocalsId::INVALID;
+                        return Ok(());
+                    }
+                    cur.pc += 1;
+                }
+                PlanStep::Load(loads) => {
+                    // Unlike the cloned path there is no temp Vec: the
+                    // vertex record borrows `part`, the register file
+                    // borrows `locals` — disjoint.
+                    let record = part.vertex(cur.vertex)?;
+                    let vals = locals.make_mut(&mut cur.locals);
+                    for (k, slot) in loads {
+                        set_slot_vec(vals, *slot, record.prop(*k).cloned().unwrap_or(Value::Null));
+                    }
+                    cur.pc += 1;
+                }
+                PlanStep::Compute(sets) => {
+                    if let [(slot, e)] = sets.as_slice() {
+                        // Single assignment (the overwhelmingly common
+                        // shape): evaluate, drop the read borrow, write —
+                        // no temp buffer.
+                        let v = {
+                            let record = if part.contains(cur.vertex) {
+                                Some(part.vertex(cur.vertex)?)
+                            } else {
+                                None
+                            };
+                            let ctx = EvalCtx {
+                                vertex: cur.vertex,
+                                record,
+                                locals: locals.get(cur.locals),
+                                params: self.params,
+                            };
+                            e.eval(&ctx)?
+                        };
+                        set_slot_vec(locals.make_mut(&mut cur.locals), *slot, v);
+                    } else {
+                        // Multi-assignment: every expression sees the
+                        // pre-write register file, so buffer the values.
+                        let values: Vec<(u8, Value)> = {
+                            let record = if part.contains(cur.vertex) {
+                                Some(part.vertex(cur.vertex)?)
+                            } else {
+                                None
+                            };
+                            let ctx = EvalCtx {
+                                vertex: cur.vertex,
+                                record,
+                                locals: locals.get(cur.locals),
+                                params: self.params,
+                            };
+                            sets.iter()
+                                .map(|(slot, e)| Ok((*slot, e.eval(&ctx)?)))
+                                .collect::<GdResult<Vec<_>>>()?
+                        };
+                        let vals = locals.make_mut(&mut cur.locals);
+                        for (slot, v) in values {
+                            set_slot_vec(vals, slot, v);
+                        }
+                    }
+                    cur.pc += 1;
+                }
+                PlanStep::Dedup { slots } => {
+                    let key: Vec<ValueKey> = {
+                        let vals = locals.get(cur.locals);
+                        slots
+                            .iter()
+                            .map(|s| slot_of(vals, *s).group_key())
+                            .collect()
+                    };
+                    if memo.dedup_insert(cur.pipeline, cur.pc, cur.vertex, key) {
+                        cur.pc += 1;
+                    } else {
+                        out.finished.absorb(cur.weight);
+                        locals.unref(cur.locals);
+                        cur.locals = LocalsId::INVALID;
+                        return Ok(());
+                    }
+                }
+                PlanStep::MinDist { dist_slot } => {
+                    let dist = slot_of(locals.get(cur.locals), *dist_slot)
+                        .as_int()
+                        .unwrap_or(0);
+                    if memo.min_dist_update(cur.pipeline, cur.pc, cur.vertex, dist) {
+                        cur.pc += 1;
+                    } else {
+                        out.finished.absorb(cur.weight);
+                        locals.unref(cur.locals);
+                        cur.locals = LocalsId::INVALID;
+                        return Ok(());
+                    }
+                }
+                PlanStep::LoopEnd {
+                    counter,
+                    min,
+                    max,
+                    back_to,
+                } => {
+                    let n = slot_of(locals.get(cur.locals), *counter)
+                        .as_int()
+                        .unwrap_or(0)
+                        + 1;
+                    set_slot_vec(locals.make_mut(&mut cur.locals), *counter, Value::Int(n));
+                    let go_back = n < *max;
+                    let fall_through = n >= *min;
+                    match (go_back, fall_through) {
+                        (true, true) => {
+                            // Fork: one copy loops, this one falls through.
+                            // The looper shares the just-updated register
+                            // file copy-on-write. `split_one` draws the
+                            // same value `split(2, rng)` puts in
+                            // `parts[0]` (the cloned path's looper share)
+                            // without materializing the parts Vec.
+                            let mut w = cur.weight;
+                            let looper_w = w.split_one(rng);
+                            locals.retain(cur.locals);
+                            let h = arena.insert(ArenaTraverser {
+                                query: cur.query,
+                                pipeline: cur.pipeline,
+                                pc: *back_to,
+                                vertex: cur.vertex,
+                                locals: cur.locals,
+                                weight: looper_w,
+                                depth: cur.depth,
+                                aux_key: cur.aux_key.clone(),
+                            });
+                            out.spawned.push((part.part(), h));
+                            cur.weight = w;
+                            cur.pc += 1;
+                        }
+                        (true, false) => cur.pc = *back_to,
+                        (false, true) => cur.pc += 1,
+                        (false, false) => {
+                            // Unreachable for validated bounds; be safe.
+                            out.finished.absorb(cur.weight);
+                            locals.unref(cur.locals);
+                            cur.locals = LocalsId::INVALID;
+                            return Ok(());
+                        }
+                    }
+                }
+                PlanStep::Join { join_id, side, key } => {
+                    // Evaluate the key once, at the traverser's own vertex.
+                    let key_val = match cur.aux_key.take() {
+                        Some(v) => v,
+                        None => {
+                            let record = if part.contains(cur.vertex) {
+                                Some(part.vertex(cur.vertex)?)
+                            } else {
+                                None
+                            };
+                            let ctx = EvalCtx {
+                                vertex: cur.vertex,
+                                record,
+                                locals: locals.get(cur.locals),
+                                params: self.params,
+                            };
+                            key.eval(&ctx)?
+                        }
+                    };
+                    let target = self.join_key_part(&key_val);
+                    if target != part.part() {
+                        // Route to the key's owner; the cursor's state
+                        // (locals ownership included) transfers back into
+                        // the arena for the outbox.
+                        cur.aux_key = Some(key_val);
+                        let h = arena.insert(std::mem::replace(cur, ArenaTraverser::vacant()));
+                        out.spawned.push((target, h));
+                        return Ok(());
+                    }
+                    let spec = stage
+                        .joins
+                        .iter()
+                        .find(|j| j.join_id == *join_id)
+                        .ok_or_else(|| GdError::Internal(format!("join {join_id} unspecified")))?;
+                    let is_probe_side = *side == JoinSide::Probe;
+                    let matches = memo.join_insert_probe(
+                        *join_id,
+                        key_val.group_key(),
+                        is_probe_side,
+                        locals.clone_out(cur.locals),
+                    );
+                    // Continuation position: after the Join step in the
+                    // probe pipeline.
+                    let cont_pipe = spec.probe_pipeline;
+                    let cont_pc = join_step_pc(stage, cont_pipe, *join_id)? + 1;
+                    let cont_vertex = key_val.as_vertex().unwrap_or(cur.vertex);
+                    let cont_part = key_val
+                        .as_vertex()
+                        .map(|v| self.graph.part_of(v))
+                        .unwrap_or(part.part());
+                    let mut w = cur.weight;
+                    for other in matches {
+                        let merged = if is_probe_side {
+                            merge_locals(locals.get(cur.locals), &other)
+                        } else {
+                            merge_locals(&other, locals.get(cur.locals))
+                        };
+                        let lid = locals.alloc(merged);
+                        let h = arena.insert(ArenaTraverser {
+                            query: cur.query,
+                            pipeline: cont_pipe,
+                            pc: cont_pc,
+                            vertex: cont_vertex,
+                            locals: lid,
+                            weight: w.split_one(rng),
+                            depth: cur.depth + 1,
+                            aux_key: None,
+                        });
+                        out.spawned.push((cont_part, h));
+                    }
+                    out.finished.absorb(w);
+                    locals.unref(cur.locals);
+                    cur.locals = LocalsId::INVALID;
+                    return Ok(());
+                }
+                PlanStep::MoveTo { vertex_slot } => {
+                    let v = slot_of(locals.get(cur.locals), *vertex_slot)
+                        .as_vertex()
+                        .ok_or_else(|| {
+                            GdError::TypeError(format!(
+                                "MoveTo slot {vertex_slot} does not hold a vertex"
+                            ))
+                        })?;
+                    cur.vertex = v;
+                    cur.pc += 1;
+                    let target = self.graph.part_of(v);
+                    if target != part.part() {
+                        let h = arena.insert(std::mem::replace(cur, ArenaTraverser::vacant()));
+                        out.spawned.push((target, h));
+                        return Ok(());
                     }
                 }
             }

@@ -19,6 +19,8 @@
 
 use graphdance_common::QueryId;
 
+use crate::arena::TraverserArena;
+use crate::frontier::HandleOutcome;
 use crate::interp::Outcome;
 use crate::weight::Weight;
 
@@ -55,6 +57,45 @@ impl WeightLedger {
             .spawned
             .iter()
             .fold(Weight::ZERO, |acc, (_, t)| acc.add(t.weight));
+        let redistributed = spawned.add(out.finished);
+        if redistributed != input {
+            return Err(format!(
+                "weight conservation violated for query {:?} (ledger step {}): \
+                 input {:?} != spawned {:?} (over {} children) + finished {:?}; \
+                 delta {:?}",
+                query,
+                self.steps,
+                input,
+                spawned,
+                out.spawned.len(),
+                out.finished,
+                input.sub(redistributed),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Arena-path twin of [`check_step`](Self::check_step): spawned
+    /// children are arena handles, so their weights are re-read through
+    /// the arena's generation-checked accessor — a stale handle (ABA)
+    /// panics right here in debug builds, wiring the arena's recycling
+    /// invariant into the conservation law.
+    #[inline]
+    pub fn check_step_arena(
+        &mut self,
+        query: QueryId,
+        input: Weight,
+        out: &HandleOutcome,
+        arena: &TraverserArena,
+    ) -> Result<(), String> {
+        if !Self::ENABLED {
+            return Ok(());
+        }
+        self.steps += 1;
+        let spawned = out
+            .spawned
+            .iter()
+            .fold(Weight::ZERO, |acc, (_, h)| acc.add(arena.get(*h).weight));
         let redistributed = spawned.add(out.finished);
         if redistributed != input {
             return Err(format!(
@@ -161,6 +202,44 @@ mod tests {
         out.spawned.push(traverser(input)); // child keeps the full weight…
         out.finished = input; // …and it is also reported finished
         assert!(ledger.check_step(QueryId(1), input, &out).is_err());
+    }
+
+    #[test]
+    fn arena_step_checks_conservation_through_handles() {
+        use crate::arena::{ArenaTraverser, LocalsId};
+        use crate::frontier::HandleOutcome;
+
+        let mut rng = seeded(9);
+        let mut arena = TraverserArena::new();
+        let mut ledger = WeightLedger::new();
+        let input = Weight(0xF00D);
+        let mut rest = input;
+        let mut out = HandleOutcome::default();
+        for _ in 0..3 {
+            let h = arena.insert(ArenaTraverser {
+                query: QueryId(1),
+                pipeline: 0,
+                pc: 0,
+                vertex: VertexId(0),
+                locals: LocalsId::INVALID,
+                weight: rest.split_one(&mut rng),
+                depth: 0,
+                aux_key: None,
+            });
+            out.spawned.push((PartId(0), h));
+        }
+        out.finished = rest;
+        assert_eq!(
+            ledger.check_step_arena(QueryId(1), input, &out, &arena),
+            Ok(())
+        );
+        // Leak a unit: caught with the same diagnostic shape.
+        out.finished = out.finished.sub(Weight(1));
+        let err = ledger
+            .check_step_arena(QueryId(3), input, &out, &arena)
+            .expect_err("ledger must flag the leak");
+        assert!(err.contains("weight conservation violated"), "got: {err}");
+        assert!(err.contains("q3"), "diagnostic names the query: {err}");
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!   interpreter outcome must redistribute its input weight exactly.
 
 pub mod agg;
+pub mod arena;
+pub mod frontier;
 pub mod interp;
 pub mod ledger;
 pub mod memo;
@@ -28,6 +30,8 @@ pub mod traverser;
 pub mod weight;
 
 pub use agg::AggState;
+pub use arena::{ArenaTraverser, LocalsId, LocalsTable, TraverserArena, TraverserHandle};
+pub use frontier::{ExpandCache, Frontier, HandleOutcome};
 pub use interp::{Interpreter, Outcome, Row};
 pub use ledger::WeightLedger;
 #[cfg(feature = "obs")]

@@ -74,26 +74,21 @@ impl Traverser {
         self.locals[i] = v;
     }
 
-    /// Approximate serialized size in bytes (drives the 8 KB flush threshold
-    /// of the two-tier I/O scheduler, §IV-B).
+    /// Serialized size in bytes (drives the 8 KB flush threshold of the
+    /// two-tier I/O scheduler, §IV-B, and obs byte accounting). This used
+    /// to be an independent estimate that drifted from the codec — it
+    /// skipped `aux_key` entirely and flat-rated nested lists at
+    /// 16 B/elem — so it now delegates to [`wire_bytes`](Self::wire_bytes)
+    /// and cannot diverge again.
+    #[inline]
     pub fn approx_bytes(&self) -> usize {
-        let mut n = 8 + 2 + 2 + 8 + 8 + 4 + 1; // fixed fields
-        for v in &self.locals {
-            n += match v {
-                Value::Str(s) => 9 + s.len(),
-                Value::List(l) => 9 + 16 * l.len(),
-                _ => 9,
-            };
-        }
-        n
+        self.wire_bytes()
     }
 
     /// Exact serialized size in bytes, mirroring the engine wire codec's
     /// layout byte for byte (the codec's tests pin the two together). The
     /// adaptive I/O scheduler sizes its per-lane buffers with this so flush
-    /// thresholds track real frame bytes, not the coarse
-    /// [`approx_bytes`](Self::approx_bytes) estimate (which, e.g., skips
-    /// `aux_key` entirely).
+    /// thresholds track real frame bytes.
     pub fn wire_bytes(&self) -> usize {
         let mut n = 8 + 2 + 2 + 8 + 8 + 4 + 1; // fixed fields + aux flag
         if let Some(k) = &self.aux_key {
@@ -145,6 +140,22 @@ mod tests {
         let base = t.approx_bytes();
         t.set_slot(0, Value::str("0123456789"));
         assert!(t.approx_bytes() >= base + 10);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_wire_bytes_exactly() {
+        // approx_bytes delegates to wire_bytes: aux keys and nested lists
+        // must count identically so the two can never drift again.
+        let mut t = Traverser::root(QueryId(1), 0, VertexId(5), 2, Weight::ROOT);
+        t.aux_key = Some(Value::str("routing-key"));
+        t.set_slot(
+            0,
+            Value::List(vec![Value::Int(1), Value::str("abc")].into()),
+        );
+        t.set_slot(1, Value::Float(2.5));
+        assert_eq!(t.approx_bytes(), t.wire_bytes());
+        t.aux_key = None;
+        assert_eq!(t.approx_bytes(), t.wire_bytes());
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Differential proptest: the arena/interned-locals execution path
+//! ([`Interpreter::run_frontier`]) must emit byte-identical rows, in the
+//! same order, with the same weight accounting, as the cloned-locals
+//! reference path ([`Interpreter::run_traverser`]) — for every plan shape
+//! the interpreter supports on the local path (expand with and without
+//! edge loads, filters, loads, computes, dedup, loops).
+//!
+//! Both drivers run the same LIFO schedule with identically-seeded RNGs,
+//! so any divergence in locals handling (copy-on-write splitting, slot
+//! growth, release order) or in the per-quantum `ExpandCache` shows up as
+//! a row or weight mismatch. 256 fixed seeds per shape.
+
+use proptest::prelude::*;
+
+use graphdance_common::rng::seeded;
+use graphdance_common::{PartId, Partitioner, QueryId, Value, VertexId};
+use graphdance_pstm::{
+    ExpandCache, Frontier, Interpreter, LocalsTable, Memo, Row, Traverser, TraverserArena,
+    TraverserHandle, Weight, WeightAccumulator,
+};
+use graphdance_query::expr::Expr;
+use graphdance_query::plan::Plan;
+use graphdance_query::{CmpOp, QueryBuilder};
+use graphdance_storage::{Direction, Graph, GraphBuilder};
+
+/// Random small multigraph over `n` vertices. Vertex prop `weight` =
+/// id*10; edge prop `since` = edge index (exercises the edge-load path).
+fn build_graph(n: u64, edges: &[(u64, u64)]) -> Graph {
+    let mut b = GraphBuilder::new(Partitioner::new(2, 2));
+    let person = b.schema_mut().register_vertex_label("Person");
+    let knows = b.schema_mut().register_edge_label("knows");
+    let weight = b.schema_mut().register_prop("weight");
+    let since = b.schema_mut().register_prop("since");
+    for i in 0..n {
+        b.add_vertex(
+            VertexId(i),
+            person,
+            vec![(weight, Value::Int(i as i64 * 10))],
+        )
+        .unwrap();
+    }
+    for (i, (s, d)) in edges.iter().enumerate() {
+        b.add_edge(
+            VertexId(s % n),
+            knows,
+            VertexId(d % n),
+            vec![(since, Value::Int(i as i64))],
+        )
+        .unwrap();
+    }
+    b.finish()
+}
+
+/// The plan shapes under test; each stresses a different locals/arena path.
+fn build_plan(shape: u8, hops: i64, schema: &graphdance_storage::Schema) -> Plan {
+    let mut qb = QueryBuilder::new(schema);
+    match shape % 4 {
+        0 => {
+            // k-hop with loop counter + dedup: LoopEnd weight splits,
+            // looper locals sharing, memo dedup through interned slots.
+            qb.v_param(0);
+            let c = qb.alloc_slot();
+            qb.repeat(1, hops, c, |r| {
+                r.expand(Direction::Out, "knows", vec![]);
+            });
+            qb.dedup();
+            qb.output(vec![Expr::VertexId]);
+        }
+        1 => {
+            // Edge loads force the direct-scan path and per-child
+            // clone_entry + set_slot_vec writes.
+            qb.v_param(0);
+            let s = qb.alloc_slot();
+            qb.expand(Direction::Out, "knows", vec![("since", s)]);
+            qb.expand(Direction::Both, "knows", vec![]);
+            qb.output(vec![Expr::VertexId, Expr::Slot(s)]);
+        }
+        2 => {
+            // Load + compute + filter: copy-on-write splits when a shared
+            // child writes a slot the parent still references.
+            qb.v();
+            qb.has_label("Person");
+            let w = qb.load("weight");
+            let doubled = qb.alloc_slot();
+            qb.compute(
+                doubled,
+                Expr::Add(Box::new(Expr::Slot(w)), Box::new(Expr::Slot(w))),
+            );
+            qb.expand(Direction::Out, "knows", vec![]);
+            qb.filter(Expr::Cmp(
+                Box::new(Expr::Slot(doubled)),
+                CmpOp::Ge,
+                Box::new(Expr::Const(Value::Int(0))),
+            ));
+            qb.output(vec![Expr::VertexId, Expr::Slot(doubled)]);
+        }
+        _ => {
+            // Fan-in heavy two-hop from every vertex: the ExpandCache's
+            // bread and butter (many traversers on few vertices).
+            qb.v();
+            qb.has_label("Person");
+            qb.expand(Direction::Out, "knows", vec![]);
+            qb.expand(Direction::Out, "knows", vec![]);
+            qb.output(vec![Expr::VertexId]);
+        }
+    }
+    qb.compile().unwrap()
+}
+
+/// Reference driver: cloned-locals `run_traverser`, LIFO schedule.
+fn drive_cloned(graph: &Graph, plan: &Plan, params: &[Value], seed: u64) -> Vec<Row> {
+    let interp = Interpreter {
+        graph,
+        plan,
+        stage_idx: 0,
+        query: QueryId(1),
+        params,
+        read_ts: 1,
+    };
+    let mut rng = seeded(seed);
+    let mut memos: Vec<Memo> = (0..graph.partitioner().num_parts())
+        .map(|_| Memo::new())
+        .collect();
+    let mut tracker = WeightAccumulator::new();
+    let mut queue: Vec<(PartId, Traverser)> = Vec::new();
+    let stage = interp.stage();
+    let pipe_weights = Weight::ROOT.split(stage.pipelines.len(), &mut rng);
+    for (pi, pw) in pipe_weights.into_iter().enumerate() {
+        let parts: Vec<PartId> = graph.partitioner().parts().collect();
+        let shares = pw.split(parts.len(), &mut rng);
+        for (p, w) in parts.into_iter().zip(shares) {
+            let out = interp
+                .run_source(pi as u16, w, &graph.read(p), &mut rng)
+                .unwrap();
+            tracker.add(out.finished);
+            queue.extend(out.spawned);
+        }
+    }
+    let mut rows = Vec::new();
+    while let Some((p, t)) = queue.pop() {
+        let part = graph.read(p);
+        let out = interp
+            .run_traverser(
+                t,
+                &part,
+                memos[p.as_usize()].query_mut(QueryId(1)),
+                &mut rng,
+            )
+            .unwrap();
+        tracker.add(out.finished);
+        rows.extend(out.emitted);
+        queue.extend(out.spawned);
+    }
+    assert!(tracker.is_complete(), "cloned path leaked weight");
+    rows
+}
+
+/// Arena driver: same schedule and RNG, but state lives in the slab and
+/// the locals table, and expansion goes through the per-quantum cache.
+fn drive_arena(graph: &Graph, plan: &Plan, params: &[Value], seed: u64) -> Vec<Row> {
+    let interp = Interpreter {
+        graph,
+        plan,
+        stage_idx: 0,
+        query: QueryId(1),
+        params,
+        read_ts: 1,
+    };
+    let mut rng = seeded(seed);
+    let mut memos: Vec<Memo> = (0..graph.partitioner().num_parts())
+        .map(|_| Memo::new())
+        .collect();
+    let mut tracker = WeightAccumulator::new();
+    let mut arena = TraverserArena::new();
+    let mut locals = LocalsTable::new();
+    let mut cache = ExpandCache::new();
+    let mut queue: Vec<(PartId, TraverserHandle)> = Vec::new();
+    let stage = interp.stage();
+    let pipe_weights = Weight::ROOT.split(stage.pipelines.len(), &mut rng);
+    for (pi, pw) in pipe_weights.into_iter().enumerate() {
+        let parts: Vec<PartId> = graph.partitioner().parts().collect();
+        let shares = pw.split(parts.len(), &mut rng);
+        for (p, w) in parts.into_iter().zip(shares) {
+            let out = interp
+                .run_source(pi as u16, w, &graph.read(p), &mut rng)
+                .unwrap();
+            tracker.add(out.finished);
+            for (dest, t) in out.spawned {
+                queue.push((dest, arena.admit(t, &mut locals)));
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    let mut pops = 0usize;
+    let mut f = Frontier::new();
+    let mut out = graphdance_pstm::HandleOutcome::new();
+    while let Some((p, h)) = queue.pop() {
+        // Quantum boundaries every few pops: exercises both cold scans and
+        // cache hits without perturbing the schedule.
+        if pops.is_multiple_of(3) {
+            cache.begin_quantum();
+        }
+        pops += 1;
+        let at = arena.get(h);
+        let (q, v, pc, w) = (at.query, at.vertex, at.pc, at.weight);
+        f.clear();
+        f.push(
+            h,
+            q,
+            v,
+            pc,
+            w,
+            #[cfg(feature = "obs")]
+            0,
+        );
+        let part = graph.read(p);
+        interp
+            .run_frontier(
+                &f,
+                0,
+                &mut arena,
+                &mut locals,
+                &mut cache,
+                &part,
+                memos[p.as_usize()].query_mut(QueryId(1)),
+                &mut rng,
+                &mut out,
+            )
+            .unwrap();
+        tracker.add(out.finished);
+        rows.append(&mut out.emitted);
+        queue.append(&mut out.spawned);
+    }
+    assert!(tracker.is_complete(), "arena path leaked weight");
+    assert_eq!(arena.live(), 0, "arena leaked traverser slots");
+    assert_eq!(locals.live(), 0, "locals table leaked records");
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arena_path_matches_cloned_path(
+        seed in 0u64..u64::MAX,
+        n in 3u64..10,
+        edges in prop::collection::vec((0u64..32, 0u64..32), 1..24),
+        shape in 0u8..4,
+        hops in 1i64..4,
+        start in 0u64..10,
+    ) {
+        let g = build_graph(n, &edges);
+        let plan = build_plan(shape, hops, g.schema());
+        let params = vec![Value::Vertex(VertexId(start % n))];
+        let reference = drive_cloned(&g, &plan, &params, seed);
+        let arena = drive_arena(&g, &plan, &params, seed);
+        prop_assert_eq!(reference, arena);
+    }
+}

@@ -5,9 +5,11 @@
 //! engine stops growing one-off `AtomicU64` / `Cell<u64>` counters that
 //! each invent their own snapshot/reset story and (worse) put contended
 //! `lock xadd`s on hot paths. New counters in the instrumented crates
-//! (`engine`, `pstm`, `storage`) must register with the obs registry
-//! instead; the rule flags any other `AtomicU64` or `Cell<u64>` appearing
-//! there.
+//! (`engine`, `pstm`, `storage`) and in the measurement crates (`bench`,
+//! `sim` — whose numbers feed committed BENCH_*.json artifacts and DST
+//! verdicts, so ad-hoc counting there corrupts the record) must register
+//! with the obs registry instead; the rule flags any other `AtomicU64` or
+//! `Cell<u64>` appearing there.
 //!
 //! Legitimate non-metric uses — id allocators, sequencing for fault
 //! injection, the obs-off `NetStats` fallback — carry a
@@ -21,10 +23,12 @@ use crate::scan::{SourceFile, Violation};
 pub struct AdhocCounter;
 
 /// Crates whose counters must live in the obs registry.
-const SCOPED: [&str; 3] = [
+const SCOPED: [&str; 5] = [
     "crates/engine/src/",
     "crates/pstm/src/",
     "crates/storage/src/",
+    "crates/bench/src/",
+    "crates/sim/src/",
 ];
 
 impl Rule for AdhocCounter {
@@ -33,7 +37,7 @@ impl Rule for AdhocCounter {
     }
 
     fn describe(&self) -> &'static str {
-        "no ad-hoc AtomicU64/Cell<u64> counters in engine/pstm/storage — register obs metrics"
+        "no ad-hoc AtomicU64/Cell<u64> counters in engine/pstm/storage/bench/sim — register obs metrics"
     }
 
     fn check(&self, files: &[SourceFile]) -> Vec<Violation> {
@@ -129,6 +133,17 @@ mod tests {
         assert!(run("crates/txn/src/manager.rs", fixture).is_empty());
         assert!(run("crates/obs/src/shared.rs", fixture).is_empty());
         assert!(run("crates/baselines/src/bsp.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn measurement_crates_are_in_scope() {
+        let fixture = "struct S { n: AtomicU64 }\n";
+        assert_eq!(run("crates/bench/src/lib.rs", fixture).len(), 1);
+        assert_eq!(
+            run("crates/bench/src/bin/hotpath_arena.rs", fixture).len(),
+            1
+        );
+        assert_eq!(run("crates/sim/src/oracle.rs", fixture).len(), 1);
     }
 
     #[test]

@@ -75,16 +75,15 @@ fn bfs_oracle(graph: &Graph, start: VertexId, k: u32) -> HashSet<VertexId> {
         if d >= k {
             continue;
         }
-        for n in graph
-            .neighbors(v, Direction::Out, link, 1)
-            .expect("vertex exists")
-        {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
-                e.insert(d + 1);
-                reached.insert(n);
-                q.push_back(n);
-            }
-        }
+        graph
+            .for_each_neighbor(v, Direction::Out, link, 1, |n| {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                    e.insert(d + 1);
+                    reached.insert(n);
+                    q.push_back(n);
+                }
+            })
+            .expect("vertex exists");
     }
     reached.remove(&start);
     reached

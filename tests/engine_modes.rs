@@ -100,10 +100,11 @@ fn distributed_group_count_matches_oracle() {
 
     let mut oracle: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
     for v in 0..200u64 {
-        for nb in g.neighbors(VertexId(v), Direction::Out, e, 1).unwrap() {
+        g.for_each_neighbor(VertexId(v), Direction::Out, e, 1, |nb| {
             let weight = g.vertex_prop(nb, w).unwrap().unwrap().as_int().unwrap();
             *oracle.entry(weight).or_insert(0) += 1;
-        }
+        })
+        .unwrap();
     }
     let want: Vec<Vec<Value>> = oracle
         .into_iter()
@@ -119,11 +120,11 @@ fn distributed_numeric_aggregates_match_oracle() {
     let w = g.schema().prop("w").unwrap();
     let engine = GraphDance::start(g.clone(), EngineConfig::new(2, 2));
     // Oracle over 1-hop neighbours of vertex 0.
-    let neighbors = g.neighbors(VertexId(0), Direction::Out, e, 1).unwrap();
-    let vals: Vec<i64> = neighbors
-        .iter()
-        .map(|n| g.vertex_prop(*n, w).unwrap().unwrap().as_int().unwrap())
-        .collect();
+    let mut vals: Vec<i64> = Vec::new();
+    g.for_each_neighbor(VertexId(0), Direction::Out, e, 1, |n| {
+        vals.push(g.vertex_prop(n, w).unwrap().unwrap().as_int().unwrap());
+    })
+    .unwrap();
     let run = |func: AggFunc| -> Vec<Vec<Value>> {
         let mut b = QueryBuilder::new(g.schema());
         b.v_param(0).out("e");

@@ -63,15 +63,14 @@ fn ic13_matches_bfs_shortest_path_oracle() {
         let mut q = VecDeque::from([start]);
         while let Some(v) = q.pop_front() {
             let d = dist[&v];
-            for n in graph
-                .neighbors(v, Direction::Both, knows, 1)
-                .expect("exists")
-            {
-                dist.entry(n).or_insert_with(|| {
-                    q.push_back(n);
-                    d + 1
-                });
-            }
+            graph
+                .for_each_neighbor(v, Direction::Both, knows, 1, |n| {
+                    dist.entry(n).or_insert_with(|| {
+                        q.push_back(n);
+                        d + 1
+                    });
+                })
+                .expect("exists");
         }
         dist
     };

@@ -207,12 +207,13 @@ proptest! {
         for _ in 0..2 {
             let mut next = Vec::new();
             for v in level {
-                for n in g.neighbors(v, Direction::Out, link, 1).expect("exists") {
+                g.for_each_neighbor(v, Direction::Out, link, 1, |n| {
                     if seen.insert(n) {
                         reach.insert(n);
                         next.push(n);
                     }
-                }
+                })
+                .expect("exists");
             }
             level = next;
         }
