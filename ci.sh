@@ -26,6 +26,7 @@ cargo test -q --workspace
 echo "==> cargo test --features obs (instrumented build: tracing + metrics)"
 cargo test -q --features obs
 cargo test -q -p graphdance-engine --features obs
+cargo test -q -p graphdance-service --features obs
 
 echo "==> obs-off bench bins still build (--no-default-features)"
 cargo check -q -p graphdance-bench --no-default-features
@@ -42,7 +43,8 @@ cargo test -q --test sim_repro
 
 echo "==> deterministic simulation: DST suites (default seed counts)"
 cargo test -q --test sim_dst --test sim_property --test sim_faults \
-    --test sim_exhaustive --test sim_regression_khop --test sim_io_scheduler
+    --test sim_exhaustive --test sim_regression_khop --test sim_io_scheduler \
+    --test sim_service
 
 echo "==> adaptive I/O scheduler: fig12 smoke (--quick)"
 cargo run -q --release -p graphdance-bench --bin fig12_io_scheduler -- --quick \
@@ -54,10 +56,19 @@ echo "==> hot-path arena: perf-regression floor (committed BENCH_hotpath.json)"
 # lane smoke-runs the ablation bin so the measurement path stays healthy.
 cargo run -q --release -p graphdance-bench --bin hotpath_arena >/dev/null
 
+echo "==> service front-end: SLO sweep smoke (--quick)"
+# The recorded SLO floor (interactive p99 < background p99, bounded
+# shedding, cancellation tolerance) is asserted by the graphdance-bench
+# unit test recorded_service_slo_within_budget in the workspace pass;
+# this lane smoke-runs the open-loop driver itself.
+cargo run -q --release -p graphdance-bench --bin service_slo -- --quick \
+    >/dev/null
+
 if [ "${CI_NIGHTLY:-0}" = "1" ]; then
     echo "==> nightly: SIM_SEEDS=1000 fault-schedule + exhaustive-topology sweep"
     SIM_SEEDS=1000 cargo test -q --release --test sim_faults \
-        --test sim_exhaustive --test sim_property --test sim_io_scheduler
+        --test sim_exhaustive --test sim_property --test sim_io_scheduler \
+        --test sim_service
 
     echo "==> nightly: hotpath arena ablation, paper-scale lane (--full)"
     cargo run -q --release -p graphdance-bench --bin hotpath_arena -- --full \

@@ -134,6 +134,10 @@ impl BspWorker {
                 self.queries.remove(&query);
                 self.state.remove(&query);
             }
+            WorkerMsg::CancelQuery { .. } => {
+                // The BSP driver never issues cancels; the async engine's
+                // drain protocol does not apply to the superstep barrier.
+            }
             WorkerMsg::Shutdown => unreachable!("handled in run()"),
         }
     }

@@ -10,7 +10,7 @@
 //! tracking, and the coordinator are identical to GraphDance.
 
 use std::collections::VecDeque;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -191,6 +191,10 @@ impl SharedWorker {
                     self.shared.queue.lock().retain(|t| t.query != query);
                 }
             }
+            WorkerMsg::CancelQuery { .. } => {
+                // The shared-state baseline never issues cancels; the async
+                // engine's drain protocol does not apply here.
+            }
             WorkerMsg::Bsp(_) => {}
             WorkerMsg::Shutdown => unreachable!("handled by run()"),
         }
@@ -270,7 +274,9 @@ pub struct NonPartitionedEngine {
     worker_tx: Vec<Sender<WorkerMsg>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     txn: Arc<graphdance_txn::TxnSystem>,
-    _qid: AtomicU64,
+    /// Client-side query-id allocator (ids are pre-assigned on submit).
+    // sync: monotonic id counter; fetch_add uniqueness is all that matters
+    qid: AtomicU64,
 }
 
 impl NonPartitionedEngine {
@@ -326,7 +332,7 @@ impl NonPartitionedEngine {
             worker_tx,
             threads: Mutex::new(threads),
             txn,
-            _qid: AtomicU64::new(1),
+            qid: AtomicU64::new(1),
         }
     }
 
@@ -351,11 +357,14 @@ impl QueryEngine for NonPartitionedEngine {
     fn query_timed(&self, plan: &Plan, params: Vec<Value>) -> GdResult<QueryResult> {
         let (reply, rx) = bounded(1);
         let msg = CoordMsg::Submit {
+            // sync: uniqueness only; see field docs
+            query: QueryId(self.qid.fetch_add(1, Ordering::Relaxed)),
             plan: plan.clone(),
             params,
             read_ts: Some(self.txn.read_ts().max(1)),
             reply,
             submitted_at: now(),
+            deadline: None,
         };
         self.coord_tx.send(msg).map_err(|_| GdError::EngineClosed)?;
         rx.recv().unwrap_or(Err(GdError::EngineClosed))

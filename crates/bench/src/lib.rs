@@ -485,4 +485,61 @@ mod tests {
              {qps_cloned} qps beyond {tol}%"
         );
     }
+
+    /// Service SLO acceptance: the recorded offered-load sweep
+    /// (`BENCH_service_slo.json`, produced by the `service_slo` bin)
+    /// must show (a) the weighted scheduler holding interactive p99
+    /// strictly below background p99 under mixed load, (b) admission
+    /// control actually shedding past saturation, and (c) the
+    /// cancellation A/B not regressing surviving interactive p99 beyond
+    /// tolerance — cooperative teardown must free capacity, never leak
+    /// it. Asserting the committed artifact keeps CI deterministic;
+    /// re-run the bin and update the file when the service or scheduler
+    /// changes.
+    #[test]
+    fn recorded_service_slo_within_budget() {
+        let raw = include_str!("../../../BENCH_service_slo.json");
+        let field = |name: &str| -> f64 {
+            let at = raw.find(name).unwrap_or_else(|| panic!("{name} present"));
+            let rest = &raw[at + name.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| *c == '"' || *c == ':' || c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            num.parse().unwrap_or_else(|_| panic!("{name} numeric"))
+        };
+        let interactive_p99 = field("mid_interactive_p99_ms");
+        let background_p99 = field("mid_background_p99_ms");
+        assert!(
+            interactive_p99 < background_p99,
+            "recorded interactive p99 {interactive_p99}ms is not strictly \
+             below background p99 {background_p99}ms — the weighted \
+             scheduler is not protecting the latency-critical class; \
+             re-run service_slo and investigate ServiceConfig weights"
+        );
+        let rejection = field("top_rejection_rate");
+        assert!(
+            rejection > 0.0,
+            "the recorded top-load window shed nothing — the sweep never \
+             saturated admission control; raise the top offered load"
+        );
+        let tol = field("cancel_tolerance_pct");
+        assert_eq!(tol, 50.0, "tolerance is the acceptance figure");
+        let baseline = field("baseline_interactive_p99_ms");
+        let surviving = field("cancel_surviving_interactive_p99_ms");
+        assert!(
+            surviving <= baseline * (1.0 + tol / 100.0),
+            "recorded surviving interactive p99 {surviving}ms regresses the \
+             no-cancel baseline {baseline}ms beyond {tol}% — cancellation is \
+             leaking capacity; re-run service_slo and check the drain \
+             protocol"
+        );
+        let cancelled = field("cancelled_mid_flight");
+        assert!(
+            cancelled > 0.0,
+            "the recorded A/B cancelled nothing mid-flight — the comparison \
+             is vacuous"
+        );
+    }
 }

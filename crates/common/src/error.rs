@@ -27,6 +27,12 @@ pub enum GdError {
     /// A query exceeded its deadline and was aborted (mirrors the 50 ms
     /// time-budget abort policy cited in §II-A).
     QueryTimeout(QueryId),
+    /// A query was cancelled by the client (or the service front-end) and
+    /// its distributed state was torn down before completion.
+    QueryCancelled(QueryId),
+    /// The service admission queue was full; the submission was shed at
+    /// the door instead of queueing unboundedly (backpressure).
+    Overloaded,
     /// A transaction was aborted by concurrency control.
     TxnAborted(String),
     /// A runtime invariant checker (weight conservation, message
@@ -50,6 +56,8 @@ impl fmt::Display for GdError {
             GdError::TypeError(m) => write!(f, "type error: {m}"),
             GdError::EngineClosed => write!(f, "engine is shut down"),
             GdError::QueryTimeout(q) => write!(f, "query {q:?} timed out"),
+            GdError::QueryCancelled(q) => write!(f, "query {q:?} was cancelled"),
+            GdError::Overloaded => write!(f, "service overloaded: admission queue full"),
             GdError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
             GdError::InvariantViolation(m) => write!(f, "invariant violation: {m}"),
             GdError::Internal(m) => write!(f, "internal error: {m}"),
@@ -76,6 +84,10 @@ mod tests {
         .to_string()
         .contains("byte 4"));
         assert!(GdError::QueryTimeout(QueryId(1)).to_string().contains("q1"));
+        assert!(GdError::QueryCancelled(QueryId(2))
+            .to_string()
+            .contains("q2"));
+        assert!(GdError::Overloaded.to_string().contains("overloaded"));
     }
 
     #[test]

@@ -539,6 +539,7 @@ pub fn worker_msg_wire_size(msg: &WorkerMsg) -> usize {
         WorkerMsg::StartSource { .. } => 24,
         WorkerMsg::GatherAgg { .. } => 12,
         WorkerMsg::QueryEnd { .. } => 12,
+        WorkerMsg::CancelQuery { .. } => 12,
         WorkerMsg::Bsp(BspSignal::RunStep { .. }) => 16,
         WorkerMsg::Bsp(BspSignal::Probe { .. }) => 20,
         WorkerMsg::Shutdown => 4,
@@ -556,6 +557,7 @@ pub fn coord_msg_wire_size(msg: &CoordMsg) -> usize {
             // so the match stays exhaustive.
             16 + plan_wire_size(plan) + params.iter().map(value_wire_size).sum::<usize>()
         }
+        CoordMsg::Cancel { .. } => 12,
         CoordMsg::Progress { .. } => 32,
         CoordMsg::Rows { rows, .. } => 12 + rows.iter().map(row_wire_size).sum::<usize>(),
         CoordMsg::AggPartial { state, .. } => 16 + state.as_ref().map_or(0, |s| s.approx_bytes()),

@@ -46,6 +46,23 @@ struct QueryState {
     /// Last time any worker message arrived for this query (drives the
     /// liveness watchdog).
     last_activity: Instant,
+    /// Set by `CoordMsg::Cancel`: the drain protocol is running. Workers
+    /// are purging and refunding this query's weight; when the tracker
+    /// lands on `Weight::ROOT` the query finishes with `QueryCancelled`
+    /// instead of advancing stages (DESIGN.md §13).
+    cancelled: bool,
+}
+
+/// A destructured `CoordMsg::Submit` (bundled so `submit` keeps a short
+/// signature).
+struct Submission {
+    query: QueryId,
+    plan: Plan,
+    params: Vec<Value>,
+    read_ts: Option<Timestamp>,
+    reply: Sender<GdResult<QueryResult>>,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
 }
 
 /// The coordinator thread state.
@@ -56,7 +73,6 @@ pub struct Coordinator {
     outbox: Outbox,
     tracker: ProgressTracker,
     queries: FxHashMap<QueryId, QueryState>,
-    next_qid: u64,
     rng: SmallRng,
     timeout: Duration,
     watchdog_stall: Duration,
@@ -80,7 +96,6 @@ impl Coordinator {
             outbox: fabric.outbox(NodeId(0)),
             tracker: ProgressTracker::new(),
             queries: FxHashMap::default(),
-            next_qid: 1,
             rng: graphdance_common::rng::derive(config.seed, u64::MAX),
             timeout: config.query_timeout,
             watchdog_stall: config.watchdog_stall,
@@ -164,13 +179,26 @@ impl Coordinator {
     fn handle(&mut self, msg: CoordMsg) {
         match msg {
             CoordMsg::Submit {
+                query,
                 plan,
                 params,
                 read_ts,
                 reply,
                 submitted_at,
+                deadline,
             } => {
-                self.submit(plan, params, read_ts, reply, submitted_at);
+                self.submit(Submission {
+                    query,
+                    plan,
+                    params,
+                    read_ts,
+                    reply,
+                    submitted_at,
+                    deadline,
+                });
+            }
+            CoordMsg::Cancel { query } => {
+                self.cancel(query);
             }
             CoordMsg::Progress {
                 query,
@@ -192,8 +220,13 @@ impl Coordinator {
             }
             CoordMsg::Rows { query, rows } => {
                 if let Some(s) = self.queries.get_mut(&query) {
-                    s.rows.extend(rows);
                     s.last_activity = now();
+                    // A cancelled query's rows are discarded — its client
+                    // already stopped caring — but the report still counts
+                    // as activity for the watchdog.
+                    if !s.cancelled {
+                        s.rows.extend(rows);
+                    }
                 }
             }
             CoordMsg::AggPartial { query, part, state } => {
@@ -214,14 +247,16 @@ impl Coordinator {
         }
     }
 
-    fn submit(
-        &mut self,
-        plan: Plan,
-        params: Vec<Value>,
-        read_ts: Option<Timestamp>,
-        reply: Sender<GdResult<QueryResult>>,
-        submitted_at: Instant,
-    ) {
+    fn submit(&mut self, sub: Submission) {
+        let Submission {
+            query,
+            plan,
+            params,
+            read_ts,
+            reply,
+            submitted_at,
+            deadline,
+        } = sub;
         if let Err(e) = plan.validate() {
             let _ = reply.send(Err(GdError::InvalidProgram(e)));
             return;
@@ -234,15 +269,19 @@ impl Coordinator {
             ))));
             return;
         }
-        let query = QueryId(self.next_qid);
-        self.next_qid += 1;
+        if self.queries.contains_key(&query) {
+            let _ = reply.send(Err(GdError::Internal(format!(
+                "duplicate query id {query:?} submitted"
+            ))));
+            return;
+        }
         let ctx = Arc::new(QueryCtx {
             query,
             plan,
             params,
             read_ts: read_ts.unwrap_or(graphdance_storage::TS_LIVE - 1),
         });
-        let deadline = submitted_at + self.timeout;
+        let deadline = deadline.unwrap_or(submitted_at + self.timeout);
         self.queries.insert(
             query,
             QueryState {
@@ -257,6 +296,7 @@ impl Coordinator {
                 submitted_at,
                 deadline,
                 last_activity: now(),
+                cancelled: false,
             },
         );
         // Register the query at every worker before any traverser can reach
@@ -273,6 +313,42 @@ impl Coordinator {
             self.obs.ctrl_sent(query, 0, _sz as u64);
         }
         self.start_stage(query);
+    }
+
+    /// Begin the cancellation drain protocol for `query` (no-op if the
+    /// query already finished or was never seen). Workers purge the
+    /// query's queued traversers and refund their weight as ordinary
+    /// `Progress`; when the tracker's wrapping sum lands on `Weight::ROOT`
+    /// the query finishes with `QueryCancelled` — through the same quiesce
+    /// check as a successful result, so a leaky teardown is an
+    /// `InvariantViolation`, never silence.
+    fn cancel(&mut self, query: QueryId) {
+        let Some(state) = self.queries.get_mut(&query) else {
+            return;
+        };
+        if state.cancelled {
+            return;
+        }
+        state.cancelled = true;
+        state.last_activity = now();
+        #[cfg(feature = "obs")]
+        let stage_no = state.stage;
+        if state.gathering {
+            // The stage scope already terminated (no weight in flight);
+            // the query was only waiting on aggregation partials, which
+            // travel on the control lane. Finish immediately — late
+            // partials for a forgotten query are ignored.
+            self.finish(query, Err(GdError::QueryCancelled(query)));
+            return;
+        }
+        for w in 0..self.fabric.partitioner().num_parts() {
+            let _sz = self
+                .outbox
+                .send_ctrl_worker(WorkerId(w), WorkerMsg::CancelQuery { query });
+            #[cfg(feature = "obs")]
+            self.obs.ctrl_sent(query, stage_no, _sz as u64);
+        }
+        self.outbox.flush_all();
     }
 
     /// Launch the current stage's sources for `query`.
@@ -380,6 +456,13 @@ impl Coordinator {
         let Some(state) = self.queries.get_mut(&query) else {
             return;
         };
+        if state.cancelled {
+            // The drain finished: every outstanding weight share (executed
+            // or refunded) has reported back. Tear down instead of
+            // advancing.
+            self.finish(query, Err(GdError::QueryCancelled(query)));
+            return;
+        }
         let stage = &state.ctx.plan.stages[state.stage as usize];
         if stage.agg.is_some() {
             #[cfg(feature = "obs")]
@@ -489,10 +572,16 @@ impl Coordinator {
     /// delivered, else the result is replaced by the ledger's diagnostic.
     fn finish(&mut self, query: QueryId, result: GdResult<QueryResult>) {
         let result = match result {
-            Ok(r) => match self.fabric.invariants().check_quiesced(query) {
-                Ok(()) => Ok(r),
-                Err(diag) => Err(GdError::InvariantViolation(diag)),
-            },
+            // A cancelled teardown must quiesce as cleanly as a successful
+            // completion: the drain refunded every in-flight weight share,
+            // so every sent traverser message must also have been
+            // delivered. A leak here is an engine bug, not a cancellation.
+            Ok(_) | Err(GdError::QueryCancelled(_)) => {
+                match self.fabric.invariants().check_quiesced(query) {
+                    Ok(()) => result,
+                    Err(diag) => Err(GdError::InvariantViolation(diag)),
+                }
+            }
             err => err,
         };
         // Capture ledger counts before `forget` wipes them; workers seal the

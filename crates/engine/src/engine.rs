@@ -37,10 +37,16 @@ pub struct QueryResult {
 
 /// A pending query; `wait()` blocks for the result.
 pub struct QueryHandle {
+    id: QueryId,
     rx: Receiver<GdResult<QueryResult>>,
 }
 
 impl QueryHandle {
+    /// The pre-assigned query id (pass to [`GraphDance::cancel`]).
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
     /// Block until the query completes.
     pub fn wait(self) -> GdResult<QueryResult> {
         self.rx.recv().unwrap_or(Err(GdError::EngineClosed))
@@ -52,6 +58,11 @@ impl QueryHandle {
             Ok(r) => r,
             Err(_) => Err(GdError::EngineClosed),
         }
+    }
+
+    /// Non-blocking poll: `Some(result)` once the query completed.
+    pub fn try_result(&self) -> Option<GdResult<QueryResult>> {
+        self.rx.try_recv().ok()
     }
 }
 
@@ -92,6 +103,13 @@ pub struct GraphDance {
     /// transaction manager. Refreshed by the broadcaster thread.
     lct_caches: Arc<Vec<LctCache>>,
     lct_stop: Arc<std::sync::atomic::AtomicBool>,
+    /// Client-side query-id allocator. Ids are assigned *before* the
+    /// `Submit` message is sent so a caller can cancel a query it has not
+    /// yet seen complete (the service front-end depends on this).
+    // sync: monotonic id counter shared by submitting threads; fetch_add
+    // uniqueness is the only property used, no other data rides on it
+    // lint: allow(adhoc-counter) query-id allocator, not a metric
+    next_qid: std::sync::atomic::AtomicU64,
 }
 
 impl GraphDance {
@@ -165,6 +183,8 @@ impl GraphDance {
             config,
             lct_caches,
             lct_stop,
+            // lint: allow(adhoc-counter) query-id allocator, not a metric
+            next_qid: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -203,21 +223,48 @@ impl GraphDance {
 
     /// Submit at an explicit snapshot timestamp.
     pub fn submit_at(&self, plan: &Plan, params: Vec<Value>, read_ts: Timestamp) -> QueryHandle {
+        self.submit_with_deadline(plan, params, read_ts, None)
+    }
+
+    /// Submit at an explicit snapshot timestamp with a per-query deadline
+    /// override (`None` = the engine-wide `query_timeout` default).
+    pub fn submit_with_deadline(
+        &self,
+        plan: &Plan,
+        params: Vec<Value>,
+        read_ts: Timestamp,
+        deadline: Option<std::time::Instant>,
+    ) -> QueryHandle {
+        let id = QueryId(
+            self.next_qid
+                // sync: uniqueness only; see field docs
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
         let (reply, rx) = bounded(1);
         let msg = CoordMsg::Submit {
+            query: id,
             plan: plan.clone(),
             params,
             read_ts: Some(read_ts),
             reply,
             submitted_at: now(),
+            deadline,
         };
         if self.coord_tx.send(msg).is_err() {
             // Coordinator gone: synthesize the failure.
             let (tx, rx2) = bounded(1);
             let _ = tx.send(Err(GdError::EngineClosed));
-            return QueryHandle { rx: rx2 };
+            return QueryHandle { id, rx: rx2 };
         }
-        QueryHandle { rx }
+        QueryHandle { id, rx }
+    }
+
+    /// Request prompt cancellation of an in-flight query. Asynchronous and
+    /// idempotent: the query's handle resolves to `QueryCancelled` once
+    /// the drain protocol completes (or to its actual result if the query
+    /// finished first).
+    pub fn cancel(&self, query: QueryId) {
+        let _ = self.coord_tx.send(CoordMsg::Cancel { query });
     }
 
     /// Submit and wait; returns just the rows.

@@ -49,6 +49,13 @@ pub enum WorkerMsg {
     GatherAgg { query: QueryId },
     /// The query finished or failed: release its memoranda.
     QueryEnd { query: QueryId },
+    /// Cancel a query mid-flight: purge its queued traversers and refund
+    /// their weight to the coordinator as ordinary progress so the weight
+    /// tracker still lands exactly on `Weight::ROOT` (the drain protocol,
+    /// DESIGN.md §13). The worker keeps the query in a `cancelled` set so
+    /// late-delivered traversers are refunded too; `QueryEnd` follows once
+    /// the coordinator observes completion and finishes the teardown.
+    CancelQuery { query: QueryId },
     /// BSP control signal (used only by the BSP baseline engine, which
     /// reuses this fabric; the asynchronous worker ignores these).
     Bsp(BspSignal),
@@ -73,6 +80,9 @@ pub enum BspSignal {
 pub enum CoordMsg {
     /// Client submission.
     Submit {
+        /// Query id, pre-assigned by the submitter so the client can
+        /// cancel the query before the coordinator has even seen it.
+        query: QueryId,
         /// Compiled plan.
         plan: Plan,
         /// Parameters.
@@ -83,7 +93,14 @@ pub enum CoordMsg {
         reply: Sender<GdResult<super::engine::QueryResult>>,
         /// Submission instant (latency measurement starts here).
         submitted_at: Instant,
+        /// Per-query deadline override (None = coordinator default,
+        /// `submitted_at + EngineConfig::query_timeout`).
+        deadline: Option<Instant>,
     },
+    /// Client cancellation: abort `query` promptly, tearing down its
+    /// traversers, memos, and in-flight weight via the worker drain
+    /// protocol. The query's reply channel receives `QueryCancelled`.
+    Cancel { query: QueryId },
     /// A (possibly coalesced) finished-weight report. `steps` carries the
     /// number of plan steps executed since the last report (drives the
     /// Table I accessed-data accounting).

@@ -183,10 +183,16 @@ pub enum SimStep {
 /// [`SimCluster::run`]; there is no blocking `wait` because nothing makes
 /// progress unless the simulation is stepped.
 pub struct SimHandle {
+    id: graphdance_common::QueryId,
     rx: Receiver<GdResult<QueryResult>>,
 }
 
 impl SimHandle {
+    /// The pre-assigned query id (pass to [`SimCluster::cancel`]).
+    pub fn id(&self) -> graphdance_common::QueryId {
+        self.id
+    }
+
     /// The result, if the simulation has produced it.
     pub fn try_result(&self) -> Option<GdResult<QueryResult>> {
         self.rx.try_recv().ok()
@@ -260,6 +266,8 @@ pub struct SimCluster {
     trace: SimTrace,
     steps: u64,
     max_steps: u64,
+    /// Pre-assigned query ids (single-threaded, so a plain counter).
+    next_qid: u64,
     /// Unfreezes the thread's clock when the cluster drops. Declared last:
     /// the actors above read `now()` during their own teardown.
     _clock: vclock::ClockGuard,
@@ -328,6 +336,7 @@ impl SimCluster {
             trace: SimTrace::default(),
             steps: 0,
             max_steps: 20_000_000,
+            next_qid: 1,
             _clock: clock,
         }
     }
@@ -362,17 +371,43 @@ impl SimCluster {
     /// sees everything). Nothing runs until [`SimCluster::step`] or
     /// [`SimCluster::run`] is called.
     pub fn submit_at(&mut self, plan: &Plan, params: Vec<Value>, read_ts: Timestamp) -> SimHandle {
+        self.submit_with_deadline(plan, params, read_ts, None)
+    }
+
+    /// Submit with a per-query deadline override on the virtual clock
+    /// (`None` = the engine-wide `query_timeout` default).
+    pub fn submit_with_deadline(
+        &mut self,
+        plan: &Plan,
+        params: Vec<Value>,
+        read_ts: Timestamp,
+        deadline: Option<Instant>,
+    ) -> SimHandle {
+        let id = graphdance_common::QueryId(self.next_qid);
+        self.next_qid += 1;
         let (reply, rx) = bounded(1);
         let msg = CoordMsg::Submit {
+            query: id,
             plan: plan.clone(),
             params,
             read_ts: Some(read_ts),
             reply,
             submitted_at: now(),
+            deadline,
         };
         // The coordinator owns the receiver for the cluster's lifetime.
         self.coord_tx.send(msg).expect("sim coordinator inbox open"); // lint: allow(hot-path-panics)
-        SimHandle { rx }
+        SimHandle { id, rx }
+    }
+
+    /// Request cancellation of an in-flight query. Takes effect as the
+    /// simulation steps; the handle resolves to `QueryCancelled` once the
+    /// drain protocol completes (or to the actual result if the query
+    /// beat the cancel to the finish line).
+    pub fn cancel(&mut self, query: graphdance_common::QueryId) {
+        self.coord_tx
+            .send(CoordMsg::Cancel { query })
+            .expect("sim coordinator inbox open"); // lint: allow(hot-path-panics)
     }
 
     /// Submit at the initial snapshot.

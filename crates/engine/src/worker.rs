@@ -98,6 +98,12 @@ pub struct Worker {
     pending: FxHashMap<QueryId, Vec<WorkerMsg>>,
     /// Queries that have ended; late traversers for them are dropped.
     dead: FxHashSet<QueryId>,
+    /// Queries in the cancellation drain: queued work was purged and its
+    /// weight refunded, and any late-delivered traverser or source for
+    /// them is refunded too (never silently dropped) so the coordinator's
+    /// tracker still lands on `Weight::ROOT`. Entries move to `dead` when
+    /// the `QueryEnd` broadcast arrives.
+    cancelled: FxHashSet<QueryId>,
     queue: BinaryHeap<Queued>,
     /// Plan steps executed per query since the last progress flush.
     steps: FxHashMap<QueryId, u64>,
@@ -149,6 +155,7 @@ impl Worker {
             queries: FxHashMap::default(),
             pending: FxHashMap::default(),
             dead: FxHashSet::default(),
+            cancelled: FxHashSet::default(),
             queue: BinaryHeap::new(),
             steps: FxHashMap::default(),
             seq: 0,
@@ -367,6 +374,9 @@ impl Worker {
                     self.obs.note_ctrl(query, stage, _sz as u64);
                 }
             }
+            WorkerMsg::CancelQuery { query } => {
+                self.cancel_query(query);
+            }
             WorkerMsg::QueryEnd { query } => {
                 #[cfg(feature = "obs")]
                 self.obs.end_query(query);
@@ -374,6 +384,7 @@ impl Worker {
                 self.queries.remove(&query);
                 self.pending.remove(&query);
                 self.steps.remove(&query);
+                self.cancelled.remove(&query);
                 self.dead.insert(query);
                 // Drop any queued traversers of the dead query; arena
                 // handles free their slab slots (the query's locals table
@@ -402,9 +413,80 @@ impl Worker {
         }
     }
 
+    /// The cancellation drain (DESIGN.md §13): purge every queued
+    /// traverser and stashed message of `query`, absorb this worker's
+    /// coalesced finished weight, and refund the total to the coordinator
+    /// as one ordinary `Progress` report. The query stays in `cancelled`
+    /// so weight still in flight when the purge ran is refunded on
+    /// arrival; once every share has reported, the coordinator's tracker
+    /// completes and its `QueryEnd` finishes the teardown.
+    fn cancel_query(&mut self, query: QueryId) {
+        if self.dead.contains(&query) || !self.cancelled.insert(query) {
+            return;
+        }
+        let mut refund = Weight::ZERO;
+        // Queued traversers (arena handles free their slab slots and
+        // release their interned locals — the table itself lives until
+        // `QueryEnd` drops it wholesale).
+        let drained: Vec<Queued> = std::mem::take(&mut self.queue).into_vec();
+        self.queue = drained
+            .into_iter()
+            .filter_map(|q| {
+                if q.query == query {
+                    match q.item {
+                        QueueItem::Handle(h) => {
+                            let at = self.arena.remove(h);
+                            if let Some(lt) = self.locals.get_mut(&query) {
+                                lt.unref(at.locals);
+                            }
+                            refund.absorb(at.weight);
+                        }
+                        QueueItem::Owned(t) => refund.absorb(t.weight),
+                    }
+                    None
+                } else {
+                    Some(q)
+                }
+            })
+            .collect();
+        // Messages stashed before `QueryBegin` (reordered delivery).
+        if let Some(stash) = self.pending.remove(&query) {
+            for m in stash {
+                match m {
+                    WorkerMsg::Batch(ts) => {
+                        for t in ts {
+                            refund.absorb(t.weight);
+                        }
+                    }
+                    WorkerMsg::StartSource { weight, .. } => refund.absorb(weight),
+                    _ => {}
+                }
+            }
+        }
+        // Finished weight coalesced but not yet reported.
+        if let Some(w) = self.memo.query_mut(query).finished.drain() {
+            refund.absorb(w);
+        }
+        let steps = self.steps.remove(&query).unwrap_or(0);
+        if refund != Weight::ZERO || steps > 0 {
+            self.outbox.send_progress(query, refund, steps);
+            #[cfg(feature = "obs")]
+            {
+                let stage = self.queries.get(&query).map_or(0, |a| a.stage);
+                self.obs.note_progress(query, stage);
+            }
+        }
+    }
+
     fn enqueue(&mut self, t: Traverser) {
         let q = t.query;
         if self.dead.contains(&q) {
+            return;
+        }
+        if self.cancelled.contains(&q) {
+            // Late delivery during the drain: refund instead of running
+            // (or silently dropping — the tracker is owed this weight).
+            self.outbox.send_progress(q, t.weight, 0);
             return;
         }
         if !self.queries.contains_key(&q) {
@@ -442,6 +524,12 @@ impl Worker {
     }
 
     fn start_source(&mut self, query: QueryId, pipeline: u16, weight: Weight) {
+        if self.cancelled.contains(&query) {
+            // The drain already ran on this worker: refund the source's
+            // whole share instead of expanding it.
+            self.outbox.send_progress(query, weight, 0);
+            return;
+        }
         let Some(aq) = self.queries.get(&query) else {
             self.pending
                 .entry(query)

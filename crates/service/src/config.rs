@@ -1,0 +1,127 @@
+//! Service-level knobs: priority classes and admission/scheduling limits.
+
+use std::time::Duration;
+
+/// Number of priority classes (one lane per [`Priority`] variant).
+pub const NUM_CLASSES: usize = 3;
+
+/// The three workload classes of Table I, mapped onto service priorities.
+///
+/// * `Interactive` — short point lookups (LDBC IS): latency-critical.
+/// * `Heavy` — complex multi-hop reads (LDBC IC): throughput-oriented.
+/// * `Background` — full-graph analytics: best-effort, must still make
+///   progress (the weighted scheduler never starves it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    Interactive,
+    Heavy,
+    Background,
+}
+
+impl Priority {
+    /// All classes, lane order (also the weighted-round-robin visit order).
+    pub const ALL: [Priority; NUM_CLASSES] =
+        [Priority::Interactive, Priority::Heavy, Priority::Background];
+
+    /// The class's lane index (`0..NUM_CLASSES`).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Heavy => 1,
+            Priority::Background => 2,
+        }
+    }
+
+    /// Lane index back to class (modulo, so any integer is a valid mix
+    /// selector in seeded schedules).
+    pub fn from_index(i: usize) -> Priority {
+        Priority::ALL[i % NUM_CLASSES]
+    }
+
+    /// Stable lowercase name (metric suffixes, bench JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Heavy => "heavy",
+            Priority::Background => "background",
+        }
+    }
+}
+
+/// Admission and scheduling configuration for [`crate::Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Total queued submissions across all classes. A submission arriving
+    /// with the queue full is shed with
+    /// [`GdError::Overloaded`](graphdance_common::GdError::Overloaded)
+    /// instead of queueing unboundedly (backpressure at the door).
+    pub queue_capacity: usize,
+    /// Queries dispatched to the engine but not yet finished. The engine
+    /// itself interleaves the active set per worker quantum; this cap
+    /// bounds the engine-side working set per tenant-facing service.
+    pub max_concurrent: usize,
+    /// Deficit-round-robin quantum per class, [`Priority`] lane order.
+    /// A backlogged class receives `weight / Σ weights` of dispatch slots.
+    pub weights: [u32; NUM_CLASSES],
+    /// Default admission-to-completion deadline per class, lane order.
+    /// Applied when the submitter does not pass an explicit deadline; the
+    /// engine enforces it on `common::time::now()` so the DST virtual
+    /// clock exercises the same code path.
+    pub default_deadline: [Duration; NUM_CLASSES],
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 256,
+            max_concurrent: 8,
+            // 8:3:1 — interactive dominates, background is guaranteed one
+            // dispatch per rotation (never starved).
+            weights: [8, 3, 1],
+            default_deadline: [
+                Duration::from_secs(2),
+                Duration::from_secs(15),
+                Duration::from_secs(60),
+            ],
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Default knobs with a different queue bound.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Default knobs with a different concurrency cap.
+    pub fn with_concurrency(mut self, max_concurrent: usize) -> Self {
+        self.max_concurrent = max_concurrent;
+        self
+    }
+
+    /// The default deadline for `class`.
+    pub fn deadline_for(&self, class: Priority) -> Duration {
+        self.default_deadline[class.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_indices_roundtrip() {
+        for c in Priority::ALL {
+            assert_eq!(Priority::from_index(c.index()), c);
+        }
+        assert_eq!(Priority::from_index(NUM_CLASSES + 1), Priority::Heavy);
+    }
+
+    #[test]
+    fn default_weights_are_all_nonzero() {
+        let c = ServiceConfig::default();
+        assert!(c.weights.iter().all(|&w| w > 0), "zero weight = starvation");
+        assert!(c.queue_capacity > 0 && c.max_concurrent > 0);
+    }
+}

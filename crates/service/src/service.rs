@@ -1,0 +1,435 @@
+//! The multi-tenant service front-end over a running [`GraphDance`]
+//! cluster.
+//!
+//! Clients submit `(priority class, plan, params)`; the service applies
+//! **admission control** (bounded queue, [`GdError::Overloaded`] shed),
+//! **weighted scheduling** (deficit round robin across the three classes,
+//! capped at `max_concurrent` engine-side queries — the engine itself
+//! interleaves the active set per worker quantum), **per-query deadlines**
+//! (queued entries expire in the queue; dispatched entries carry the
+//! deadline into the coordinator, which enforces it on
+//! `common::time::now()`), and **cooperative cancellation** (queued
+//! entries are dequeued; in-flight queries go through the engine's
+//! `CancelQuery` drain protocol — see DESIGN.md §13).
+//!
+//! One dispatcher thread owns the transition queue→engine; submitters
+//! only take the state mutex long enough for the admission decision, so
+//! backpressure is synchronous (a full queue rejects on the caller's
+//! thread, before any engine resources are touched).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use graphdance_common::time::now;
+use graphdance_common::{GdError, GdResult, QueryId, Value};
+use graphdance_engine::{GraphDance, QueryHandle, QueryResult};
+use graphdance_query::plan::Plan;
+
+use crate::config::{Priority, ServiceConfig};
+use crate::obs::SvcObs;
+use crate::queue::AdmissionQueue;
+
+/// A submission waiting in the admission queue.
+struct Pending {
+    plan: Plan,
+    params: Vec<Value>,
+    reply: Sender<GdResult<QueryResult>>,
+}
+
+/// A dispatched query the dispatcher is tracking to completion.
+struct Running {
+    token: u64,
+    handle: QueryHandle,
+    reply: Sender<GdResult<QueryResult>>,
+}
+
+/// Mutable service state, all under one mutex (admission decisions,
+/// dispatch, completion reaping, and the counters the reconciliation
+/// invariant is stated over are serialized against each other, so
+/// [`Service::stats`] is always an exact cut).
+struct SvcState {
+    queue: AdmissionQueue<Pending>,
+    running: Vec<Running>,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    cancelled: u64,
+    deadline_expired: u64,
+}
+
+struct Shared {
+    engine: GraphDance,
+    config: ServiceConfig,
+    state: Mutex<SvcState>,
+    /// Nudges the dispatcher out of its idle park.
+    wake: Sender<()>,
+    stop: AtomicBool,
+    obs: SvcObs,
+}
+
+/// A point-in-time cut of the service counters. Taken under the state
+/// mutex, so the conservation identity holds exactly at every cut:
+///
+/// `admitted == completed + cancelled + deadline_expired + in_flight`
+///
+/// (`rejected` submissions were never admitted and appear in no other
+/// column.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SvcStats {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub cancelled: u64,
+    pub deadline_expired: u64,
+    /// Admitted but unresolved: still queued or running in the engine.
+    pub in_flight: u64,
+    /// Of `in_flight`, still in the admission queue.
+    pub queued: u64,
+}
+
+impl SvcStats {
+    /// Does the admission conservation identity hold for this cut?
+    pub fn reconciles(&self) -> bool {
+        self.admitted == self.completed + self.cancelled + self.deadline_expired + self.in_flight
+    }
+}
+
+/// A pending service submission; resolves to the query's result, or to
+/// `QueryCancelled` / `QueryTimeout` / `Overloaded`-class errors when the
+/// service tore it down first.
+pub struct Ticket {
+    token: u64,
+    class: Priority,
+    rx: Receiver<GdResult<QueryResult>>,
+}
+
+impl Ticket {
+    /// The admission token (pass to [`Service::cancel`]). For a query
+    /// torn down before dispatch, error payloads echo this token as the
+    /// `QueryId`.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// The class the submission was admitted under.
+    pub fn class(&self) -> Priority {
+        self.class
+    }
+
+    /// Non-blocking poll: `Some(result)` once resolved.
+    pub fn try_result(&self) -> Option<GdResult<QueryResult>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until the submission resolves.
+    pub fn wait(self) -> GdResult<QueryResult> {
+        self.rx.recv().unwrap_or(Err(GdError::EngineClosed))
+    }
+
+    /// Block up to `timeout`.
+    pub fn wait_timeout(self, timeout: Duration) -> GdResult<QueryResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(_) => Err(GdError::EngineClosed),
+        }
+    }
+}
+
+/// The service front-end; see the module docs.
+pub struct Service {
+    shared: Arc<Shared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Front a running engine with an admission-controlled service.
+    pub fn start(engine: GraphDance, config: ServiceConfig) -> Service {
+        // Coalesced wake token: submitters nudge only when no nudge is
+        // already pending, so the channel stays O(1) under bursts.
+        let (wake, wake_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            engine,
+            state: Mutex::new(SvcState {
+                queue: AdmissionQueue::new(config.queue_capacity, config.weights),
+                running: Vec::with_capacity(config.max_concurrent),
+                admitted: 0,
+                rejected: 0,
+                completed: 0,
+                cancelled: 0,
+                deadline_expired: 0,
+            }),
+            config,
+            wake,
+            stop: AtomicBool::new(false),
+            obs: SvcObs::fresh(),
+        });
+        let disp = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("gd-service".into())
+            .spawn(move || dispatch_loop(&disp, &wake_rx))
+            // Service startup, before any submission: a failed spawn is an
+            // unusable service, not a wedged query.
+            .expect("spawn service dispatcher"); // lint: allow(hot-path-panics)
+        Service {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submit under `class` with the class's default deadline.
+    pub fn submit(&self, class: Priority, plan: &Plan, params: Vec<Value>) -> GdResult<Ticket> {
+        self.submit_with_deadline(class, plan, params, None)
+    }
+
+    /// Submit under `class`, overriding the admission-to-completion
+    /// deadline. Rejects **synchronously** with [`GdError::Overloaded`]
+    /// when the admission queue is full — backpressure at the door, no
+    /// unbounded buildup.
+    pub fn submit_with_deadline(
+        &self,
+        class: Priority,
+        plan: &Plan,
+        params: Vec<Value>,
+        deadline: Option<Duration>,
+    ) -> GdResult<Ticket> {
+        // sync: stop flag; a submission racing shutdown may still be
+        // admitted — the dispatcher's drain then fails it with EngineClosed
+        if self.shared.stop.load(Ordering::Relaxed) {
+            return Err(GdError::EngineClosed);
+        }
+        let submitted_at = now();
+        let deadline = submitted_at + deadline.unwrap_or(self.shared.config.deadline_for(class));
+        let (reply, rx) = bounded(1);
+        let mut st = self.shared.state.lock();
+        match st.queue.try_admit(
+            class,
+            submitted_at,
+            deadline,
+            Pending {
+                plan: plan.clone(),
+                params,
+                reply,
+            },
+        ) {
+            Ok(token) => {
+                st.admitted += 1;
+                self.shared.obs.admitted();
+                self.shared.obs.queue_depth(st.queue.len() as u64);
+                drop(st);
+                self.shared.nudge();
+                Ok(Ticket { token, class, rx })
+            }
+            Err(e) => {
+                st.rejected += 1;
+                self.shared.obs.rejected();
+                Err(e)
+            }
+        }
+    }
+
+    /// Request prompt cancellation of a ticket. Idempotent and
+    /// asynchronous: a still-queued submission is dequeued immediately
+    /// (its ticket resolves to `QueryCancelled`); an in-flight query goes
+    /// through the engine's drain protocol and resolves when its weight
+    /// has been returned to the ledger. A ticket that already resolved is
+    /// left untouched.
+    pub fn cancel(&self, token: u64) {
+        let mut st = self.shared.state.lock();
+        if let Some(a) = st.queue.remove(token) {
+            st.cancelled += 1;
+            self.shared.obs.cancelled();
+            self.shared.obs.queue_depth(st.queue.len() as u64);
+            self.shared
+                .obs
+                .queue_wait(a.class, micros_between(a.enqueued_at, now()));
+            let _ = a
+                .item
+                .reply
+                .send(Err(GdError::QueryCancelled(QueryId(a.token))));
+            return;
+        }
+        if let Some(r) = st.running.iter().find(|r| r.token == token) {
+            // Count it when the drain completes and the handle resolves.
+            self.shared.engine.cancel(r.handle.id());
+        }
+        drop(st);
+        self.shared.nudge();
+    }
+
+    /// An exact cut of the service counters (see [`SvcStats`]).
+    pub fn stats(&self) -> SvcStats {
+        let st = self.shared.state.lock();
+        SvcStats {
+            admitted: st.admitted,
+            rejected: st.rejected,
+            completed: st.completed,
+            cancelled: st.cancelled,
+            deadline_expired: st.deadline_expired,
+            in_flight: (st.queue.len() + st.running.len()) as u64,
+            queued: st.queue.len() as u64,
+        }
+    }
+
+    /// The engine configuration knobs the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// The fronted engine (e.g. for transactional updates).
+    pub fn engine(&self) -> &GraphDance {
+        &self.shared.engine
+    }
+
+    /// Merged metrics export: every engine metric plus the `svc.*` series
+    /// (admission counters, queue-depth gauge, per-class queue-wait
+    /// histograms). Export with
+    /// [`graphdance_obs::MetricsSnapshot::to_json`] or `to_prometheus`.
+    #[cfg(feature = "obs")]
+    pub fn metrics(&self) -> graphdance_obs::MetricsSnapshot {
+        let mut snap = self.shared.engine.metrics();
+        snap.metrics
+            .extend(self.shared.obs.registry().snapshot().metrics);
+        snap
+    }
+
+    /// Stop the dispatcher and shut the engine down. Unresolved tickets
+    /// fail with `EngineClosed`.
+    pub fn shutdown(mut self) {
+        // sync: stop flag; the dispatcher join below is the ordering edge
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.nudge();
+        if let Some(t) = self.dispatcher.take() {
+            let _ = t.join();
+        }
+        let shared = Arc::clone(&self.shared);
+        drop(self); // release our Arc so the unwrap below can succeed
+        if let Ok(sh) = Arc::try_unwrap(shared) {
+            sh.engine.shutdown();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Best-effort if `shutdown` was not called: stop the dispatcher;
+        // the engine's own Drop detaches its threads.
+        // sync: stop flag; the dispatcher join below is the ordering edge
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.nudge();
+        if let Some(t) = self.dispatcher.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Shared {
+    /// Wake the dispatcher, coalescing: skip the send when a nudge is
+    /// already pending (benign race — a redundant token only costs one
+    /// extra loop iteration).
+    fn nudge(&self) {
+        if self.wake.is_empty() {
+            let _ = self.wake.send(());
+        }
+    }
+}
+
+fn micros_between(from: std::time::Instant, to: std::time::Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
+}
+
+/// The dispatcher: expire queued deadlines, dispatch under the weighted
+/// policy while concurrency slots are free, reap engine completions, park
+/// briefly when idle.
+fn dispatch_loop(shared: &Shared, wake_rx: &Receiver<()>) {
+    loop {
+        let mut worked = false;
+        {
+            let mut st = shared.state.lock();
+            let t = now();
+            // 1) Queued entries whose deadline passed never reach the
+            //    engine; their tickets fail with QueryTimeout.
+            for a in st.queue.expire(t) {
+                st.deadline_expired += 1;
+                shared.obs.deadline_expired();
+                shared
+                    .obs
+                    .queue_wait(a.class, micros_between(a.enqueued_at, t));
+                let _ = a
+                    .item
+                    .reply
+                    .send(Err(GdError::QueryTimeout(QueryId(a.token))));
+                worked = true;
+            }
+            // 2) Dispatch in deficit-round-robin order up to the
+            //    concurrency cap. The deadline travels into the
+            //    coordinator, which enforces it on common::time::now().
+            while st.running.len() < shared.config.max_concurrent {
+                let Some(a) = st.queue.pop_next() else { break };
+                shared
+                    .obs
+                    .queue_wait(a.class, micros_between(a.enqueued_at, t));
+                let read_ts = shared.engine.txn().read_ts().max(1);
+                let handle = shared.engine.submit_with_deadline(
+                    &a.item.plan,
+                    a.item.params,
+                    read_ts,
+                    Some(a.deadline),
+                );
+                st.running.push(Running {
+                    token: a.token,
+                    handle,
+                    reply: a.item.reply,
+                });
+                worked = true;
+            }
+            shared.obs.queue_depth(st.queue.len() as u64);
+            // 3) Reap completions; classify into the conservation columns.
+            let mut i = 0;
+            while i < st.running.len() {
+                match st.running[i].handle.try_result() {
+                    Some(result) => {
+                        let run = st.running.swap_remove(i);
+                        match &result {
+                            Err(GdError::QueryCancelled(_)) => {
+                                st.cancelled += 1;
+                                shared.obs.cancelled();
+                            }
+                            Err(GdError::QueryTimeout(_)) => {
+                                st.deadline_expired += 1;
+                                shared.obs.deadline_expired();
+                            }
+                            // Successes and hard errors both count as
+                            // completed: the engine resolved them.
+                            _ => st.completed += 1,
+                        }
+                        let _ = run.reply.send(result);
+                        worked = true;
+                    }
+                    None => i += 1,
+                }
+            }
+            // sync: stop flag read under the state lock so the drain
+            // decision and the queue contents are one consistent cut
+            if shared.stop.load(Ordering::Relaxed) {
+                // Drain: fail everything still queued; drop running reply
+                // channels (their tickets observe EngineClosed when the
+                // engine is shut down next).
+                while let Some(a) = st.queue.pop_next() {
+                    let _ = a.item.reply.send(Err(GdError::EngineClosed));
+                }
+                shared.obs.queue_depth(0);
+                return;
+            }
+        }
+        if !worked {
+            // Idle: park until a submit/cancel nudge or a short poll tick
+            // (completion reaping and queued-deadline expiry have no event
+            // channel of their own, so the park is bounded).
+            let _ = wake_rx.recv_timeout(Duration::from_micros(200));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Property tests for the admission/priority queue in isolation
+//! (satellite of the service subsystem; the policy is pure, so these
+//! run with no engine and no threads).
+//!
+//! Properties:
+//! 1. **Bounded capacity** — `len() <= capacity` through any op
+//!    sequence, and admission past the bound sheds with `Overloaded`.
+//! 2. **FIFO within a class** — per class, dispatch order equals
+//!    admission order.
+//! 3. **No starvation** — under the weighted scheduler, every admitted
+//!    entry dispatches within a computable bound of dispatches on any
+//!    fixed-seed schedule that keeps popping (the background class is
+//!    never starved by higher-weight backlog).
+//! 4. **Snapshot-stable deadline ordering** — incremental expiry sweeps
+//!    at increasing instants observe exactly the cumulative `(deadline,
+//!    token)` order one final sweep would (`since()`-style incremental
+//!    scrapes agree with the full scrape).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use graphdance_common::GdError;
+use graphdance_service::{AdmissionQueue, Priority, NUM_CLASSES};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Admit into the class lane with a deadline offset (ms from base).
+    Admit(usize, u64),
+    /// Dispatch one entry.
+    Pop,
+    /// Advance virtual time by `ms` and sweep expired entries.
+    Expire(u64),
+}
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..NUM_CLASSES, 1u64..500).prop_map(|(c, d)| Op::Admit(c, d)),
+            Just(Op::Pop),
+            (0u64..200).prop_map(Op::Expire),
+        ],
+        0..max_len,
+    )
+}
+
+fn arb_weights() -> impl Strategy<Value = [u32; NUM_CLASSES]> {
+    (1u32..9, 1u32..9, 1u32..9).prop_map(|(a, b, c)| [a, b, c])
+}
+
+proptest! {
+    /// Property 1: the bound holds through arbitrary op sequences, and
+    /// the queue sheds with `Overloaded` exactly when full.
+    #[test]
+    fn capacity_is_never_exceeded(
+        ops in arb_ops(64),
+        capacity in 1usize..12,
+        weights in arb_weights(),
+    ) {
+        let base = graphdance_common::time::now();
+        let mut at = base;
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(capacity, weights);
+        let mut id = 0u32;
+        for op in ops {
+            match op {
+                Op::Admit(c, d) => {
+                    let was_full = q.len() >= capacity;
+                    let r = q.try_admit(
+                        Priority::from_index(c),
+                        at,
+                        at + Duration::from_millis(d),
+                        id,
+                    );
+                    id += 1;
+                    prop_assert_eq!(was_full, matches!(r, Err(GdError::Overloaded)));
+                }
+                Op::Pop => { q.pop_next(); }
+                Op::Expire(ms) => {
+                    at += Duration::from_millis(ms);
+                    q.expire(at);
+                }
+            }
+            prop_assert!(q.len() <= capacity, "len {} > cap {}", q.len(), capacity);
+        }
+    }
+
+    /// Property 2: within each class, dispatch order is admission order
+    /// (expiry removes entries but never reorders the survivors).
+    #[test]
+    fn fifo_within_each_class(
+        ops in arb_ops(64),
+        weights in arb_weights(),
+    ) {
+        let base = graphdance_common::time::now();
+        let mut at = base;
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(64, weights);
+        let mut id = 0u32;
+        let mut dispatched: Vec<(Priority, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Admit(c, d) => {
+                    let _ = q.try_admit(
+                        Priority::from_index(c),
+                        at,
+                        at + Duration::from_millis(d),
+                        id,
+                    );
+                    id += 1;
+                }
+                Op::Pop => {
+                    if let Some(a) = q.pop_next() {
+                        dispatched.push((a.class, a.token));
+                    }
+                }
+                Op::Expire(ms) => {
+                    at += Duration::from_millis(ms);
+                    // Expired entries resolve without dispatching; they
+                    // must not break FIFO among the survivors, which the
+                    // subsequent pops verify.
+                    q.expire(at);
+                }
+            }
+        }
+        // Drain: the tail must still come out in FIFO order per class.
+        while let Some(a) = q.pop_next() {
+            dispatched.push((a.class, a.token));
+        }
+        let mut last: [Option<u64>; NUM_CLASSES] = [None; NUM_CLASSES];
+        for (class, token) in dispatched {
+            if let Some(prev) = last[class.index()] {
+                prop_assert!(
+                    token > prev,
+                    "class {:?} dispatched token {} after {}", class, token, prev
+                );
+            }
+            last[class.index()] = Some(token);
+        }
+    }
+
+    /// Property 3: every admitted entry dispatches within
+    /// `(capacity + 1) × Σ weights` dispatches of its admission, for any
+    /// admission schedule — the weighted rotation serves every backlogged
+    /// lane at least once per `Σ weights` dispatches, and a lane of
+    /// weight w drains ≥ w entries per rotation.
+    #[test]
+    fn no_admitted_entry_starves(
+        ops in arb_ops(96),
+        capacity in 1usize..16,
+        weights in arb_weights(),
+    ) {
+        let base = graphdance_common::time::now();
+        let far = base + Duration::from_secs(3600);
+        let sum_w: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        let bound = (capacity as u64 + 1) * sum_w;
+        let mut q: AdmissionQueue<u32> = AdmissionQueue::new(capacity, weights);
+        let mut id = 0u32;
+        let mut pops = 0u64;
+        // admission token → pop count at admission
+        let mut admitted_at_pop = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Admit(c, _) => {
+                    if let Ok(tok) = q.try_admit(Priority::from_index(c), base, far, id) {
+                        admitted_at_pop.insert(tok, pops);
+                    }
+                    id += 1;
+                }
+                // No expiry in this schedule: deadlines are far-future so
+                // "eventually dispatches" is purely the scheduler's duty.
+                Op::Pop | Op::Expire(_) => {
+                    if let Some(a) = q.pop_next() {
+                        pops += 1;
+                        let since = pops - admitted_at_pop[&a.token];
+                        prop_assert!(
+                            since <= bound,
+                            "token {} ({:?}) waited {since} dispatches (bound {bound})",
+                            a.token, a.class
+                        );
+                    }
+                }
+            }
+        }
+        // Keep popping: everything admitted must drain within the bound.
+        while let Some(a) = q.pop_next() {
+            pops += 1;
+            let since = pops - admitted_at_pop[&a.token];
+            prop_assert!(since <= bound, "tail token {} waited {since}", a.token);
+        }
+    }
+
+    /// Property 4: expiry order is snapshot-stable — sweeping at
+    /// increasing instants t₁ < t₂ < … yields, concatenated, exactly the
+    /// `(deadline, token)` order a single sweep at tₙ yields on an
+    /// identical queue.
+    #[test]
+    fn deadline_order_is_stable_across_incremental_sweeps(
+        entries in prop::collection::vec((0..NUM_CLASSES, 1u64..400), 0..24),
+        sweep_offsets in prop::collection::vec(1u64..450, 1..6),
+    ) {
+        let mut sweep_offsets = sweep_offsets;
+        let base = graphdance_common::time::now();
+        let mut incremental: AdmissionQueue<u32> = AdmissionQueue::new(64, [2, 2, 1]);
+        let mut oneshot: AdmissionQueue<u32> = AdmissionQueue::new(64, [2, 2, 1]);
+        for (i, &(c, d)) in entries.iter().enumerate() {
+            let dl = base + Duration::from_millis(d);
+            incremental
+                .try_admit(Priority::from_index(c), base, dl, i as u32)
+                .expect("under capacity");
+            oneshot
+                .try_admit(Priority::from_index(c), base, dl, i as u32)
+                .expect("under capacity");
+        }
+        sweep_offsets.sort_unstable();
+        let last = *sweep_offsets.last().expect("non-empty by construction");
+        let mut swept_incrementally = Vec::new();
+        for off in &sweep_offsets {
+            let batch = incremental.expire(base + Duration::from_millis(*off));
+            // Each batch is internally (deadline, token)-ordered.
+            for w in batch.windows(2) {
+                prop_assert!((w[0].deadline, w[0].token) <= (w[1].deadline, w[1].token));
+            }
+            swept_incrementally.extend(batch.into_iter().map(|a| a.token));
+        }
+        let swept_once: Vec<u64> = oneshot
+            .expire(base + Duration::from_millis(last))
+            .into_iter()
+            .map(|a| a.token)
+            .collect();
+        prop_assert_eq!(swept_incrementally, swept_once);
+        prop_assert_eq!(incremental.len(), oneshot.len());
+    }
+}

@@ -1,0 +1,278 @@
+//! Threaded front-end integration: admission backpressure, weighted
+//! dispatch, per-query deadlines, cancellation of queued and in-flight
+//! work, and the admission-conservation identity
+//! (`admitted == completed + cancelled + deadline_expired + in_flight`)
+//! at every observable cut.
+//!
+//! The strict determinism story for cancellation (bit-identical replay,
+//! ledger quiesce under faults) lives in the DST suite
+//! (`tests/sim_service.rs` at the workspace root); these tests exercise
+//! the real threaded stack with loose timing.
+
+use std::time::Duration;
+
+use graphdance_common::{GdError, Partitioner, Value, VertexId};
+use graphdance_engine::{EngineConfig, GraphDance};
+use graphdance_query::plan::Plan;
+use graphdance_query::QueryBuilder;
+use graphdance_service::{Priority, Service, ServiceConfig};
+use graphdance_storage::{Graph, GraphBuilder};
+
+/// `n` vertices; vertex `i` knows the next `deg` vertices around the
+/// ring, so `khop-count` fan-out is `deg^hops` — an arbitrarily slow,
+/// cancellable workload at small graph sizes.
+fn chord_graph(n: u64, deg: u64, nodes: u32, workers: u32) -> Graph {
+    let mut b = GraphBuilder::new(Partitioner::new(nodes, workers));
+    let person = b.schema_mut().register_vertex_label("Person");
+    let knows = b.schema_mut().register_edge_label("knows");
+    for i in 0..n {
+        b.add_vertex(VertexId(i), person, vec![]).expect("fresh id");
+    }
+    for i in 0..n {
+        for d in 1..=deg {
+            b.add_edge(VertexId(i), knows, VertexId((i + d) % n), vec![])
+                .expect("valid endpoints");
+        }
+    }
+    b.finish()
+}
+
+fn khop_plan(graph: &Graph, hops: i64) -> Plan {
+    let mut b = QueryBuilder::new(graph.schema());
+    b.v_param(0);
+    let c = b.alloc_slot();
+    b.repeat(1, hops, c, |r| {
+        r.out("knows");
+    });
+    b.dedup();
+    b.compile().expect("khop compiles")
+}
+
+fn khopcount_plan(graph: &Graph, hops: i64) -> Plan {
+    let mut b = QueryBuilder::new(graph.schema());
+    b.v_param(0);
+    let c = b.alloc_slot();
+    b.repeat(1, hops, c, |r| {
+        r.out("knows");
+    });
+    b.count();
+    b.compile().expect("khop-count compiles")
+}
+
+fn start(graph: &Graph, config: ServiceConfig) -> Service {
+    let engine = GraphDance::start(graph.clone(), EngineConfig::new(1, 2));
+    Service::start(engine, config)
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..5000 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for: {what}");
+}
+
+const WAIT: Duration = Duration::from_secs(60);
+
+#[test]
+fn all_three_classes_complete_and_reconcile() {
+    let graph = chord_graph(32, 1, 1, 2);
+    let svc = start(&graph, ServiceConfig::default());
+    let plan = khop_plan(&graph, 3);
+    let mut tickets = Vec::new();
+    for class in Priority::ALL {
+        tickets.push(
+            svc.submit(class, &plan, vec![Value::Vertex(VertexId(0))])
+                .expect("queue has room"),
+        );
+    }
+    for t in tickets {
+        let r = t.wait_timeout(WAIT).expect("query completes");
+        assert_eq!(r.rows.len(), 3, "3-hop on a plain ring reaches 3 vertices");
+    }
+    let s = svc.stats();
+    assert_eq!((s.admitted, s.completed, s.in_flight), (3, 3, 0));
+    assert!(s.reconciles(), "{s:?}");
+    svc.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_overloaded() {
+    let graph = chord_graph(64, 8, 1, 2);
+    let svc = start(
+        &graph,
+        ServiceConfig::default()
+            .with_capacity(2)
+            .with_concurrency(1),
+    );
+    // Occupy the single concurrency slot with a deep fan-out count.
+    let hog = svc
+        .submit(
+            Priority::Background,
+            &khopcount_plan(&graph, 8),
+            vec![Value::Vertex(VertexId(0))],
+        )
+        .expect("empty queue admits");
+    wait_until(
+        || {
+            let s = svc.stats();
+            s.queued == 0 && s.in_flight == 1
+        },
+        "hog dispatched",
+    );
+    // Fill the queue, then the door must shed synchronously.
+    let quick = khop_plan(&graph, 1);
+    let q1 = svc
+        .submit(
+            Priority::Interactive,
+            &quick,
+            vec![Value::Vertex(VertexId(1))],
+        )
+        .expect("slot 1");
+    let q2 = svc
+        .submit(Priority::Heavy, &quick, vec![Value::Vertex(VertexId(2))])
+        .expect("slot 2");
+    let shed = svc.submit(
+        Priority::Interactive,
+        &quick,
+        vec![Value::Vertex(VertexId(3))],
+    );
+    match shed {
+        Err(GdError::Overloaded) => {}
+        Err(e) => panic!("expected Overloaded, got {e}"),
+        Ok(_) => panic!("expected Overloaded, got an admission"),
+    }
+    let s = svc.stats();
+    assert_eq!((s.rejected, s.queued), (1, 2));
+    assert!(s.reconciles(), "{s:?}");
+    // Cancel the hog; the queued pair must then complete normally.
+    svc.cancel(hog.token());
+    let hog_result = hog.wait_timeout(WAIT);
+    assert!(
+        matches!(hog_result, Err(GdError::QueryCancelled(_)) | Ok(_)),
+        "hog must resolve via the drain protocol (or win the race): {hog_result:?}"
+    );
+    assert_eq!(q1.wait_timeout(WAIT).expect("q1 completes").rows.len(), 8);
+    assert_eq!(q2.wait_timeout(WAIT).expect("q2 completes").rows.len(), 8);
+    let s = svc.stats();
+    assert_eq!(s.admitted, 3);
+    assert_eq!(s.in_flight, 0);
+    assert!(s.reconciles(), "{s:?}");
+    svc.shutdown();
+}
+
+#[test]
+fn queued_cancellation_resolves_without_dispatch() {
+    let graph = chord_graph(64, 8, 1, 2);
+    let svc = start(&graph, ServiceConfig::default().with_concurrency(1));
+    let hog = svc
+        .submit(
+            Priority::Background,
+            &khopcount_plan(&graph, 8),
+            vec![Value::Vertex(VertexId(0))],
+        )
+        .expect("admit hog");
+    wait_until(|| svc.stats().queued == 0, "hog dispatched");
+    let queued = svc
+        .submit(
+            Priority::Interactive,
+            &khop_plan(&graph, 1),
+            vec![Value::Vertex(VertexId(1))],
+        )
+        .expect("admit queued");
+    svc.cancel(queued.token());
+    let token = queued.token();
+    match queued.wait_timeout(WAIT) {
+        Err(GdError::QueryCancelled(q)) => {
+            assert_eq!(q.0, token, "queued teardown echoes the admission token")
+        }
+        other => panic!("expected QueryCancelled, got {other:?}"),
+    }
+    svc.cancel(hog.token());
+    let _ = hog.wait_timeout(WAIT);
+    let s = svc.stats();
+    assert!(s.cancelled >= 1, "{s:?}");
+    assert_eq!(s.in_flight, 0);
+    assert!(s.reconciles(), "{s:?}");
+    svc.shutdown();
+}
+
+#[test]
+fn queued_deadline_expires_before_dispatch() {
+    let graph = chord_graph(64, 8, 1, 2);
+    let svc = start(&graph, ServiceConfig::default().with_concurrency(1));
+    let hog = svc
+        .submit(
+            Priority::Background,
+            &khopcount_plan(&graph, 8),
+            vec![Value::Vertex(VertexId(0))],
+        )
+        .expect("admit hog");
+    wait_until(|| svc.stats().queued == 0, "hog dispatched");
+    let doomed = svc
+        .submit_with_deadline(
+            Priority::Interactive,
+            &khop_plan(&graph, 1),
+            vec![Value::Vertex(VertexId(1))],
+            Some(Duration::from_millis(1)),
+        )
+        .expect("admit doomed");
+    match doomed.wait_timeout(WAIT) {
+        Err(GdError::QueryTimeout(_)) => {}
+        other => panic!("expected queued-deadline QueryTimeout, got {other:?}"),
+    }
+    let s = svc.stats();
+    assert_eq!(s.deadline_expired, 1, "{s:?}");
+    assert!(s.reconciles(), "{s:?}");
+    svc.cancel(hog.token());
+    let _ = hog.wait_timeout(WAIT);
+    svc.shutdown();
+}
+
+/// The conservation identity holds at *every* polled cut while a mixed
+/// workload (completions, cancellations, rejections) is in flight — not
+/// just at quiesce.
+#[test]
+fn stats_reconcile_at_every_cut() {
+    let graph = chord_graph(48, 3, 1, 2);
+    let svc = start(
+        &graph,
+        ServiceConfig::default()
+            .with_capacity(8)
+            .with_concurrency(2),
+    );
+    let quick = khop_plan(&graph, 2);
+    let slow = khopcount_plan(&graph, 7);
+    let mut tickets = Vec::new();
+    for i in 0..24u64 {
+        let class = Priority::from_index(i as usize);
+        let plan = if i % 5 == 0 { &slow } else { &quick };
+        match svc.submit(class, plan, vec![Value::Vertex(VertexId(i % 48))]) {
+            Ok(t) => {
+                if i % 7 == 0 {
+                    svc.cancel(t.token());
+                }
+                tickets.push(t);
+            }
+            Err(GdError::Overloaded) => {}
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+        let s = svc.stats();
+        assert!(s.reconciles(), "mid-flight cut diverged: {s:?}");
+    }
+    for t in tickets {
+        let _ = t.wait_timeout(WAIT);
+        let s = svc.stats();
+        assert!(s.reconciles(), "drain cut diverged: {s:?}");
+    }
+    wait_until(|| svc.stats().in_flight == 0, "service drains");
+    let s = svc.stats();
+    assert_eq!(
+        s.admitted,
+        s.completed + s.cancelled + s.deadline_expired,
+        "{s:?}"
+    );
+    svc.shutdown();
+}

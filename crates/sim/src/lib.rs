@@ -23,6 +23,7 @@
 
 pub mod oracle;
 pub mod repro;
+pub mod service;
 
 use std::fmt;
 
@@ -31,7 +32,8 @@ use graphdance_engine::{EngineConfig, FaultCounts, SimCluster};
 use graphdance_pstm::Row;
 
 pub use oracle::oracle_rows;
-pub use repro::{GraphSpec, QuerySpec, Repro};
+pub use repro::{GraphSpec, QuerySpec, Repro, SvcSpec};
+pub use service::{check_service_detailed, QueryOutcome, ServiceReport};
 
 /// The outcome of one differentially-checked simulation run.
 #[derive(Clone, Debug, PartialEq)]
@@ -115,7 +117,7 @@ impl fmt::Display for SimFailure {
 /// Sort rows into a canonical multiset representation. Row order is an
 /// execution artifact in both the engine and the oracle, so comparisons
 /// are order-insensitive.
-fn normalize(rows: &[Row]) -> Vec<String> {
+pub(crate) fn normalize(rows: &[Row]) -> Vec<String> {
     let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
     v.sort();
     v
@@ -128,7 +130,22 @@ pub fn check(repro: &Repro) -> Verdict {
 
 /// [`check`], plus the trace fingerprint and fault/step counters (for
 /// determinism assertions and sweep statistics).
+///
+/// A repro carrying a `svc=` key routes through the service-workload
+/// runner instead: the report's verdict is the aggregate (worst
+/// per-query) verdict, so corpus `expect=` lines and [`sweep`] /
+/// [`minimize`] work unchanged over service repros.
 pub fn check_detailed(repro: &Repro) -> RunReport {
+    if repro.svc.is_some() {
+        let report = check_service_detailed(repro);
+        return RunReport {
+            verdict: report.verdict,
+            fingerprint: report.fingerprint,
+            trace_len: report.trace_len,
+            faults_fired: report.faults_fired,
+            steps: report.steps,
+        };
+    }
     let graph = repro.graph.build(repro.nodes, repro.workers);
     let (plan, params) = repro.query.build(&graph);
     let want = match oracle_rows(&graph, &plan, &params, 1, repro.seed) {

@@ -129,6 +129,33 @@ impl QuerySpec {
     }
 }
 
+/// A multi-query service workload layered over a base [`Repro`]
+/// (`svc=` key): seeded open-loop arrivals across the three priority
+/// classes plus a cancellation schedule. When present, the run goes
+/// through the service path ([`crate::check_service_detailed`]) instead
+/// of the single-query differential check — the base `query=` key then
+/// only names the *interactive-class* shape; heavy and background
+/// classes use fixed per-class shapes (see [`crate::service`]).
+///
+/// Spelled `svc=<arrival_seed>:<queries>:<mix>:<cancel_mask>:<cancel_after>`:
+///
+/// * `arrival_seed` — RNG stream for arrival steps, class draws, and
+///   start vertices (independent of the scheduler seed).
+/// * `queries` — how many queries arrive (≤ 32, the cancel-mask width).
+/// * `mix` — class-mix code: `0` all-interactive, `1` round-robin over
+///   the three classes, `2` seeded-uniform over the three classes.
+/// * `cancel_mask` — bit `i` set ⇒ query `i` is cancelled mid-flight.
+/// * `cancel_after` — scheduling quanta between a masked query's
+///   submission and its cancel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SvcSpec {
+    pub arrival_seed: u64,
+    pub queries: u8,
+    pub mix: u8,
+    pub cancel_mask: u32,
+    pub cancel_after: u16,
+}
+
 /// One fully-specified simulation run: everything the deterministic
 /// scheduler consumes, in one copyable value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -147,6 +174,9 @@ pub struct Repro {
     pub io: IoMode,
     /// Fault-injection knobs (all-zero = fault-free).
     pub faults: SimFaults,
+    /// Optional service-workload layer (`svc=` key; absent lines run the
+    /// classic single-query differential check).
+    pub svc: Option<SvcSpec>,
 }
 
 impl Repro {
@@ -160,12 +190,19 @@ impl Repro {
             seed,
             io: IoMode::TwoTier,
             faults: SimFaults::default(),
+            svc: None,
         }
     }
 
     /// The same run under a different I/O scheduler.
     pub fn with_io(mut self, io: IoMode) -> Self {
         self.io = io;
+        self
+    }
+
+    /// The same run with a service workload layered on top.
+    pub fn with_svc(mut self, svc: SvcSpec) -> Self {
+        self.svc = Some(svc);
         self
     }
 
@@ -184,6 +221,7 @@ impl Repro {
         let mut seed = None;
         let mut io = None;
         let mut faults = None;
+        let mut svc = None;
         for field in line.split_whitespace() {
             let (key, val) = field
                 .split_once('=')
@@ -196,6 +234,7 @@ impl Repro {
                 "seed" => seed = Some(parse_u64(val)?),
                 "io" => io = Some(parse_io(val)?),
                 "faults" => faults = Some(parse_faults(val)?),
+                "svc" => svc = Some(parse_svc(val)?),
                 other => return Err(format!("unknown key {other:?}")),
             }
         }
@@ -207,6 +246,7 @@ impl Repro {
             seed: seed.ok_or("missing seed=")?,
             io: io.unwrap_or(IoMode::TwoTier),
             faults: faults.unwrap_or_default(),
+            svc,
         })
     }
 }
@@ -238,7 +278,15 @@ impl fmt::Display for Repro {
             s.stall_permille,
             s.stall.as_micros(),
             u8::from(s.progress_side_channel),
-        )
+        )?;
+        if let Some(svc) = self.svc {
+            write!(
+                f,
+                " svc={:#x}:{}:{}:{:#x}:{}",
+                svc.arrival_seed, svc.queries, svc.mix, svc.cancel_mask, svc.cancel_after
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -304,6 +352,26 @@ fn parse_io(s: &str) -> Result<IoMode, String> {
     }
 }
 
+fn parse_svc(s: &str) -> Result<SvcSpec, String> {
+    let mut it = s.split(':');
+    let mut next = |what: &str| {
+        it.next()
+            .ok_or_else(|| format!("svc needs :{what}"))
+            .and_then(parse_u64)
+    };
+    let spec = SvcSpec {
+        arrival_seed: next("arrival_seed")?,
+        queries: next("queries")? as u8,
+        mix: next("mix")? as u8,
+        cancel_mask: next("cancel_mask")? as u32,
+        cancel_after: next("cancel_after")? as u16,
+    };
+    if it.next().is_some() {
+        return Err(format!("svc has trailing fields in {s:?}"));
+    }
+    Ok(spec)
+}
+
 fn parse_faults(s: &str) -> Result<SimFaults, String> {
     let mut out = SimFaults::default();
     for knob in s.split(',') {
@@ -360,9 +428,40 @@ mod tests {
                 stall: Duration::from_micros(500),
                 progress_side_channel: true,
             },
+            svc: None,
         };
         let line = r.to_line();
         assert_eq!(Repro::parse(&line), Ok(r), "line was: {line}");
+    }
+
+    #[test]
+    fn svc_key_roundtrips() {
+        let r = Repro::clean(
+            GraphSpec::Ring { n: 24 },
+            QuerySpec::Khop { hops: 2, start: 0 },
+            2,
+            2,
+            7,
+        )
+        .with_svc(SvcSpec {
+            arrival_seed: 0xbeef,
+            queries: 6,
+            mix: 1,
+            cancel_mask: 0b10010,
+            cancel_after: 40,
+        });
+        let line = r.to_line();
+        assert!(line.contains("svc=0xbeef:6:1:0x12:40"), "line was: {line}");
+        assert_eq!(Repro::parse(&line), Ok(r), "line was: {line}");
+        assert!(
+            Repro::parse("graph=ring:8 query=khop:1:0 nodes=1 workers=1 seed=1 svc=1:2").is_err(),
+            "truncated svc key fails loudly"
+        );
+        assert!(
+            Repro::parse("graph=ring:8 query=khop:1:0 nodes=1 workers=1 seed=1 svc=1:2:0:0:5:9")
+                .is_err(),
+            "over-long svc key fails loudly"
+        );
     }
 
     #[test]

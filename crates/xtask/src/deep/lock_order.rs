@@ -34,7 +34,7 @@ use crate::lex::Token;
 use crate::scan::Violation;
 
 /// Crates whose locks participate in the analysis.
-const SCOPED: &[&str] = &["engine", "pstm", "storage", "txn", "common"];
+const SCOPED: &[&str] = &["engine", "pstm", "storage", "txn", "common", "service"];
 
 /// One lock acquisition site.
 struct Acq {

@@ -23,12 +23,13 @@ use crate::scan::{SourceFile, Violation};
 pub struct AdhocCounter;
 
 /// Crates whose counters must live in the obs registry.
-const SCOPED: [&str; 5] = [
+const SCOPED: [&str; 6] = [
     "crates/engine/src/",
     "crates/pstm/src/",
     "crates/storage/src/",
     "crates/bench/src/",
     "crates/sim/src/",
+    "crates/service/src/",
 ];
 
 impl Rule for AdhocCounter {
@@ -37,7 +38,7 @@ impl Rule for AdhocCounter {
     }
 
     fn describe(&self) -> &'static str {
-        "no ad-hoc AtomicU64/Cell<u64> counters in engine/pstm/storage/bench/sim — register obs metrics"
+        "no ad-hoc AtomicU64/Cell<u64> counters in engine/pstm/storage/bench/sim/service — register obs metrics"
     }
 
     fn check(&self, files: &[SourceFile]) -> Vec<Violation> {

@@ -14,7 +14,12 @@ use super::Rule;
 use crate::scan::{SourceFile, Violation};
 
 /// Crates whose `src/` is on the query execution path.
-const HOT_CRATES: &[&str] = &["crates/engine/src", "crates/pstm/src", "crates/storage/src"];
+const HOT_CRATES: &[&str] = &[
+    "crates/engine/src",
+    "crates/pstm/src",
+    "crates/storage/src",
+    "crates/service/src",
+];
 
 /// Panicking constructs and the advice attached to each.
 const TOKENS: &[(&str, &str)] = &[
@@ -34,7 +39,7 @@ impl Rule for HotPathPanics {
     }
 
     fn describe(&self) -> &'static str {
-        "no unwrap/expect/panic! in crates/{engine,pstm,storage} non-test code"
+        "no unwrap/expect/panic! in crates/{engine,pstm,storage,service} non-test code"
     }
 
     fn check(&self, files: &[SourceFile]) -> Vec<Violation> {

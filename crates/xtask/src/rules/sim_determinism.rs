@@ -23,7 +23,9 @@
 use super::Rule;
 use crate::scan::{SourceFile, Violation};
 
-/// Crates the simulator can schedule code from. Baselines, the LDBC
+/// Crates the simulator can schedule code from, plus the service layer
+/// (its deadline/queue policy must stay a pure function of
+/// `common::time::now()` so `svc=` repros replay). Baselines, the LDBC
 /// driver, and the bench harness never run under `SimCluster`.
 const SIM_REACHABLE: &[&str] = &[
     "crates/common/",
@@ -32,6 +34,7 @@ const SIM_REACHABLE: &[&str] = &[
     "crates/pstm/",
     "crates/engine/",
     "crates/sim/",
+    "crates/service/",
 ];
 
 /// Forbidden construct → why it breaks seeded replay.

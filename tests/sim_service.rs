@@ -1,0 +1,152 @@
+//! Service-workload DST (`svc=` repros): multi-query arrivals with
+//! mid-flight cancellation, under clean and lossy fault schedules.
+//!
+//! The safety property for cancellation: tearing down a query may cost
+//! its *answer* (that is the point) but never the *cluster* — after
+//! every query resolves, the post-cancel drain must reach full
+//! quiescence (no stranded traversers, no undrained refunds: the
+//! WeightLedger/MsgLedger conservation argument of DESIGN.md §13), the
+//! surviving queries must still match the oracle or be flagged, and the
+//! whole interleaving must replay bit-identically from the repro line.
+
+use graphdance_sim::{
+    check_service_detailed, GraphSpec, QuerySpec, Repro, SimFailure, SvcSpec, Verdict,
+};
+
+fn seeds() -> u64 {
+    std::env::var("SIM_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40)
+}
+
+fn base(cancel_mask: u32, cancel_after: u16) -> Repro {
+    Repro::clean(
+        GraphSpec::Ring { n: 20 },
+        QuerySpec::Khop { hops: 3, start: 0 },
+        2,
+        2,
+        0,
+    )
+    .with_svc(SvcSpec {
+        arrival_seed: 0x5eed,
+        queries: 6,
+        mix: 1,
+        cancel_mask,
+        cancel_after,
+    })
+}
+
+/// Fault-free mixed workload, no cancels: every query of every class
+/// must match the oracle and the cluster must drain.
+#[test]
+fn clean_mixed_workload_matches_across_seeds() {
+    for seed in 0..seeds() {
+        let repro = Repro { seed, ..base(0, 0) };
+        let report = check_service_detailed(&repro);
+        assert!(report.quiesced, "seed {seed} leaked: {report:?}");
+        if report.verdict != Verdict::Match {
+            panic!(
+                "{}",
+                SimFailure {
+                    repro,
+                    verdict: report.verdict
+                }
+            );
+        }
+    }
+}
+
+/// Fault-free cancellation: the masked queries resolve (cancelled or
+/// completed, if they won the race), the survivors match exactly, and —
+/// the leak check — the cluster quiesces after the drain protocol
+/// returns the cancelled weight.
+#[test]
+fn clean_cancellation_never_leaks() {
+    let mut cancels_landed = 0u64;
+    for seed in 0..seeds() {
+        let repro = Repro {
+            seed,
+            ..base(0b010101, 3)
+        };
+        let report = check_service_detailed(&repro);
+        assert!(
+            report.quiesced,
+            "seed {seed}: post-cancel drain never quiesced: {report:?}"
+        );
+        cancels_landed += report.cancelled;
+        for o in &report.outcomes {
+            if !o.cancel_requested {
+                assert_eq!(o.verdict, Verdict::Match, "seed {seed} survivor: {o:?}");
+            } else {
+                // Masked queries either got cancelled or beat the cancel
+                // to the finish line — both must still be clean.
+                assert_eq!(o.verdict, Verdict::Match, "seed {seed} masked: {o:?}");
+            }
+        }
+    }
+    assert!(
+        cancels_landed > 0,
+        "no cancel ever landed; lower cancel_after"
+    );
+}
+
+/// Cancellation under drop/dup/reorder faults: a lossy network may cost
+/// any query its answer (flagged), but never silently corrupt a
+/// survivor, never strand the cluster short of quiescence, and never
+/// leave a query unresolved (the watchdog/deadline must break every
+/// stall the lost refunds cause).
+#[test]
+fn cancellation_under_faults_quiesces_and_never_corrupts() {
+    let mut lossy_runs = 0u64;
+    for seed in 0..seeds() {
+        let mut repro = Repro {
+            seed,
+            ..base(0b001010, 4)
+        };
+        repro.faults.drop_permille = 60;
+        repro.faults.dup_permille = 60;
+        repro.faults.reorder_permille = 200;
+        let report = check_service_detailed(&repro);
+        if report.faults_fired.lossy() {
+            lossy_runs += 1;
+        }
+        assert!(
+            report.quiesced,
+            "seed {seed}: faulted cancel run never quiesced: {report:?}"
+        );
+        if !report.verdict.acceptable() {
+            panic!(
+                "{}",
+                SimFailure {
+                    repro,
+                    verdict: report.verdict
+                }
+            );
+        }
+    }
+    assert!(lossy_runs > 0, "the fault schedule never fired");
+}
+
+/// The whole service interleaving — arrivals, cancels, faults, drain —
+/// replays bit-identically from the repro line.
+#[test]
+fn service_schedules_replay_bit_identically() {
+    for seed in 0..seeds().min(10) {
+        let mut repro = Repro {
+            seed,
+            ..base(0b000110, 5)
+        };
+        repro.faults.drop_permille = 40;
+        repro.faults.reorder_permille = 150;
+        let line = repro.to_line();
+        let reparsed = Repro::parse(&line).expect("service repro line parses");
+        assert_eq!(reparsed, repro, "line was: {line}");
+        let a = check_service_detailed(&repro);
+        let b = check_service_detailed(&reparsed);
+        assert_eq!(a.verdict, b.verdict, "replay of {line}");
+        assert_eq!(a.fingerprint, b.fingerprint, "replay of {line}");
+        assert_eq!(a.trace_len, b.trace_len, "replay of {line}");
+        assert_eq!(a.steps, b.steps, "replay of {line}");
+    }
+}
