@@ -44,7 +44,7 @@ cargo test -q --test sim_repro
 echo "==> deterministic simulation: DST suites (default seed counts)"
 cargo test -q --test sim_dst --test sim_property --test sim_faults \
     --test sim_exhaustive --test sim_regression_khop --test sim_io_scheduler \
-    --test sim_service
+    --test sim_service --test sim_partition
 
 echo "==> adaptive I/O scheduler: fig12 smoke (--quick)"
 cargo run -q --release -p graphdance-bench --bin fig12_io_scheduler -- --quick \
@@ -64,11 +64,19 @@ echo "==> service front-end: SLO sweep smoke (--quick)"
 cargo run -q --release -p graphdance-bench --bin service_slo -- --quick \
     >/dev/null
 
+echo "==> partitioning: hash-vs-fennel A/B smoke (--quick)"
+# The recorded cross-node floor (≥40% fewer traverser messages, p50/p99
+# within tolerance) is asserted by the graphdance-bench unit test
+# recorded_partitioning_within_budget in the workspace pass; this lane
+# smoke-runs the A/B itself.
+cargo run -q --release -p graphdance-bench --bin partitioning_ab -- --quick \
+    >/dev/null
+
 if [ "${CI_NIGHTLY:-0}" = "1" ]; then
     echo "==> nightly: SIM_SEEDS=1000 fault-schedule + exhaustive-topology sweep"
     SIM_SEEDS=1000 cargo test -q --release --test sim_faults \
         --test sim_exhaustive --test sim_property --test sim_io_scheduler \
-        --test sim_service
+        --test sim_service --test sim_partition
 
     echo "==> nightly: hotpath arena ablation, paper-scale lane (--full)"
     cargo run -q --release -p graphdance-bench --bin hotpath_arena -- --full \

@@ -45,6 +45,7 @@ fn make_interp<'a>(graph: &'a Graph, ctx: &'a QueryCtx, stage: u16) -> Interpret
         query: ctx.query,
         params: &ctx.params,
         read_ts: ctx.read_ts,
+        routing_version: ctx.routing_version,
     }
 }
 
@@ -137,6 +138,13 @@ impl BspWorker {
             WorkerMsg::CancelQuery { .. } => {
                 // The BSP driver never issues cancels; the async engine's
                 // drain protocol does not apply to the superstep barrier.
+            }
+            WorkerMsg::MigrateFreeze { .. }
+            | WorkerMsg::MigrateInstall { .. }
+            | WorkerMsg::MigrateCommit { .. }
+            | WorkerMsg::MigrateRetire { .. } => {
+                // The BSP baseline runs on a static hash placement; live
+                // migration is an async-engine feature.
             }
             WorkerMsg::Shutdown => unreachable!("handled in run()"),
         }
@@ -390,6 +398,7 @@ impl BspEngine {
             plan: plan.clone(),
             params,
             read_ts: graphdance_storage::TS_LIVE - 1,
+            routing_version: self.graph.routing_version(),
         });
         let mut d = self.driver.lock();
         // Drain any stale messages from a previously aborted query.
@@ -491,6 +500,7 @@ impl BspEngine {
                         query,
                         params: &ctx.params,
                         read_ts: ctx.read_ts,
+                        routing_version: ctx.routing_version,
                     };
                     let out = interp.seed_prev_rows(pi as u16, &prev_rows, pw, &mut d.rng)?;
                     for (dest, t) in out.spawned {

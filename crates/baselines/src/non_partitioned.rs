@@ -42,6 +42,7 @@ fn make_interp<'a>(graph: &'a Graph, ctx: &'a QueryCtx, stage: u16) -> Interpret
         query: ctx.query,
         params: &ctx.params,
         read_ts: ctx.read_ts,
+        routing_version: ctx.routing_version,
     }
 }
 
@@ -194,6 +195,13 @@ impl SharedWorker {
             WorkerMsg::CancelQuery { .. } => {
                 // The shared-state baseline never issues cancels; the async
                 // engine's drain protocol does not apply here.
+            }
+            WorkerMsg::MigrateFreeze { .. }
+            | WorkerMsg::MigrateInstall { .. }
+            | WorkerMsg::MigrateCommit { .. }
+            | WorkerMsg::MigrateRetire { .. } => {
+                // The shared-state baseline has no partitions to migrate
+                // between; live migration is an async-engine feature.
             }
             WorkerMsg::Bsp(_) => {}
             WorkerMsg::Shutdown => unreachable!("handled by run()"),

@@ -542,4 +542,66 @@ mod tests {
              is vacuous"
         );
     }
+
+    /// Partitioning acceptance: the recorded hash-vs-Fennel A/B
+    /// (`BENCH_partitioning.json`, produced by the `partitioning_ab` bin
+    /// with `--record`) must show the Fennel placement cutting cross-node
+    /// traverser messages by at least the 40% floor on the
+    /// community-structured Fig. 9 3-hop workload, with p50/p99 latency
+    /// within tolerance of the hash baseline. Asserting the committed
+    /// artifact keeps CI deterministic; re-record with `cargo run
+    /// --release -p graphdance-bench --bin partitioning_ab -- --record`
+    /// when the partitioner, router, or engine hot path changes.
+    #[test]
+    fn recorded_partitioning_within_budget() {
+        let raw = include_str!("../../../BENCH_partitioning.json");
+        let field = |name: &str| -> f64 {
+            let at = raw.find(name).unwrap_or_else(|| panic!("{name} present"));
+            let rest = &raw[at + name.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| *c == '"' || *c == ':' || c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            num.parse().unwrap_or_else(|_| panic!("{name} numeric"))
+        };
+        let floor = field("reduction_floor_pct");
+        assert_eq!(floor, 40.0, "floor is the acceptance figure");
+        let hash_cross = field("hash_cross_node_msgs");
+        let fennel_cross = field("fennel_cross_node_msgs");
+        let reduction = field("reduction_pct");
+        assert!(
+            hash_cross > 0.0 && fennel_cross > 0.0,
+            "the recorded A/B moved no cross-node traffic — the comparison \
+             is vacuous"
+        );
+        assert!(
+            reduction >= floor,
+            "recorded cross-node reduction {reduction}% misses the {floor}% \
+             floor ({fennel_cross} vs {hash_cross} msgs) — re-record \
+             partitioning_ab and investigate partition_stream / the \
+             community locality of the workload"
+        );
+        // The recorded reduction must agree with the recorded raw counts.
+        let recomputed = 100.0 * (1.0 - fennel_cross / hash_cross);
+        assert!(
+            (recomputed - reduction).abs() < 0.5,
+            "recorded reduction_pct {reduction} disagrees with the raw \
+             counts ({recomputed:.1})"
+        );
+        let tol = field("latency_tolerance_pct");
+        assert_eq!(tol, 25.0, "tolerance is the acceptance figure");
+        let lat_ok = |fennel_name: &str, hash_name: &str| {
+            let f = field(fennel_name);
+            let h = field(hash_name);
+            assert!(
+                f <= h * (1.0 + tol / 100.0),
+                "recorded {fennel_name} {f}ms regresses {hash_name} {h}ms \
+                 beyond {tol}% — locality gains must not cost latency; \
+                 re-record partitioning_ab and check partition balance"
+            );
+        };
+        lat_ok("fennel_p50_ms", "hash_p50_ms");
+        lat_ok("fennel_p99_ms", "hash_p99_ms");
+    }
 }

@@ -10,8 +10,10 @@
 use rand::Rng;
 
 use graphdance_common::rng::{derive, PowerLaw};
-use graphdance_common::{GdResult, Partitioner, Value, VertexId};
-use graphdance_storage::{Graph, GraphBuilder};
+use graphdance_common::{FxHashMap, GdResult, Partitioner, Value, VertexId};
+use graphdance_storage::{
+    adjacency, partition_stream, FennelConfig, Graph, GraphBuilder, PartitionMode,
+};
 
 use crate::DatasetSummary;
 
@@ -28,6 +30,14 @@ pub struct KhopParams {
     pub alpha: f64,
     /// Master seed.
     pub seed: u64,
+    /// Community-locality axis: probability that an edge targets a
+    /// vertex inside the source's community instead of the global
+    /// popularity draw. `0.0` (the default) reproduces the original
+    /// hub-dominated structure bit-for-bit.
+    pub locality: f64,
+    /// Community width: consecutive-id blocks of this many vertices.
+    /// Ignored while `locality == 0.0`.
+    pub community: u64,
 }
 
 impl KhopParams {
@@ -40,6 +50,8 @@ impl KhopParams {
             avg_degree: 8.7,
             alpha: 1.7,
             seed: 0x11_AE90,
+            locality: 0.0,
+            community: 0,
         }
     }
 
@@ -52,7 +64,21 @@ impl KhopParams {
             avg_degree: 27.5,
             alpha: 1.6,
             seed: 0xF2_EE5D,
+            locality: 0.0,
+            community: 0,
         }
+    }
+
+    /// Enable the community-locality axis: each edge targets a vertex in
+    /// the source's `community`-wide consecutive-id block with probability
+    /// `locality` (power-law within the block), and falls back to the
+    /// global popularity draw otherwise. Models the community structure
+    /// real social graphs have and hash partitioning destroys — the
+    /// workload where a graph-aware placement (Fennel) pays off.
+    pub fn with_locality(mut self, locality: f64, community: u64) -> Self {
+        self.locality = locality.clamp(0.0, 1.0);
+        self.community = community;
+        self
     }
 }
 
@@ -89,13 +115,25 @@ impl KhopDataset {
             let j = rng.gen_range(0..=i);
             perm.swap(i, j);
         }
+        // Community-local targets (power law inside the source's
+        // consecutive-id block). The `locality > 0.0` short-circuit keeps
+        // the RNG stream bit-identical to the original generator when the
+        // axis is off, so existing datasets do not change.
+        let comm = params.community.max(1);
+        let local_pop = PowerLaw::new(comm as usize, params.alpha - 0.5);
         let mut edges = Vec::with_capacity((n as f64 * params.avg_degree) as usize);
         for (src, &d) in degs.iter().enumerate() {
             let mut emitted = 0;
             let mut attempts = 0;
             while emitted < d && attempts < d * 4 {
                 attempts += 1;
-                let dst = perm[pop.sample(&mut rng)];
+                let dst = if params.locality > 0.0 && comm > 1 && rng.gen_bool(params.locality) {
+                    let base = (src as u64 / comm) * comm;
+                    let span = comm.min(params.vertices - base);
+                    base + local_pop.sample(&mut rng) as u64 % span
+                } else {
+                    perm[pop.sample(&mut rng)]
+                };
                 if dst != src as u64 {
                     edges.push((src as u64, dst));
                     emitted += 1;
@@ -123,9 +161,37 @@ impl KhopDataset {
         self.edges.len() as u64
     }
 
-    /// Materialize for a cluster topology.
+    /// Materialize for a cluster topology with hash placement.
     pub fn build(&self, partitioner: Partitioner) -> GdResult<Graph> {
-        let mut b = GraphBuilder::new(partitioner);
+        self.build_with_mode(partitioner, PartitionMode::Hash)
+    }
+
+    /// Materialize for a cluster topology under the given placement mode.
+    /// `Fennel` streams the edge list through the one-pass partitioner
+    /// (id order) and layers the resulting assignment over the hash.
+    pub fn build_with_mode(
+        &self,
+        partitioner: Partitioner,
+        mode: PartitionMode,
+    ) -> GdResult<Graph> {
+        let assignments = match mode {
+            PartitionMode::Hash => FxHashMap::default(),
+            PartitionMode::Fennel => {
+                let edges: Vec<(VertexId, VertexId)> = self
+                    .edges
+                    .iter()
+                    .map(|&(s, d)| (VertexId(s), VertexId(d)))
+                    .collect();
+                let order: Vec<VertexId> = (0..self.params.vertices).map(VertexId).collect();
+                partition_stream(
+                    partitioner.num_parts(),
+                    &order,
+                    &adjacency(&edges),
+                    &FennelConfig::default(),
+                )
+            }
+        };
+        let mut b = GraphBuilder::with_assignments(partitioner, assignments);
         let node = b.schema_mut().register_vertex_label("Node");
         let link = b.schema_mut().register_edge_label("link");
         let weight = b.schema_mut().register_prop("weight");
@@ -231,5 +297,50 @@ mod tests {
     fn no_self_loops() {
         let d = KhopDataset::generate(KhopParams::fs_sim(500));
         assert!(d.edges.iter().all(|(s, t)| s != t));
+    }
+
+    #[test]
+    fn locality_zero_is_bit_identical_to_original() {
+        let a = KhopDataset::generate(KhopParams::lj_sim(500));
+        let b = KhopDataset::generate(KhopParams::lj_sim(500).with_locality(0.0, 64));
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn locality_concentrates_edges_within_communities() {
+        let comm = 50u64;
+        let local = KhopDataset::generate(KhopParams::lj_sim(2000).with_locality(0.8, comm));
+        let global = KhopDataset::generate(KhopParams::lj_sim(2000));
+        let within_frac = |d: &KhopDataset| {
+            let within = d.edges.iter().filter(|(s, t)| s / comm == t / comm).count();
+            within as f64 / d.edges.len() as f64
+        };
+        let (l, g) = (within_frac(&local), within_frac(&global));
+        assert!(l > 0.5, "locality 0.8 should keep most edges local ({l})");
+        assert!(l > 4.0 * g, "local {l} vs global {g}");
+    }
+
+    #[test]
+    fn fennel_build_preserves_graph_and_cuts_fewer_edges() {
+        use graphdance_common::PartId;
+        let d = KhopDataset::generate(KhopParams::lj_sim(400).with_locality(0.8, 40));
+        let part = Partitioner::new(2, 2);
+        let h = d.build(part).unwrap();
+        let f = d.build_with_mode(part, PartitionMode::Fennel).unwrap();
+        assert_eq!(f.total_vertices(), 400);
+        assert_eq!(f.total_edges(), d.num_edges());
+        let edges: Vec<(VertexId, VertexId)> = d
+            .edges
+            .iter()
+            .map(|&(s, t)| (VertexId(s), VertexId(t)))
+            .collect();
+        let cut = |g: &Graph| graphdance_storage::edge_cut(&edges, |v| -> PartId { g.part_of(v) });
+        assert!(
+            cut(&f) < cut(&h),
+            "fennel cut {} vs hash cut {}",
+            cut(&f),
+            cut(&h)
+        );
     }
 }

@@ -540,6 +540,12 @@ pub fn worker_msg_wire_size(msg: &WorkerMsg) -> usize {
         WorkerMsg::GatherAgg { .. } => 12,
         WorkerMsg::QueryEnd { .. } => 12,
         WorkerMsg::CancelQuery { .. } => 12,
+        // Migration control plane (DESIGN.md §14): fixed headers, except
+        // the install which ships the whole vertex segment.
+        WorkerMsg::MigrateFreeze { .. } => 28,
+        WorkerMsg::MigrateInstall { segment, .. } => 24 + segment.approx_bytes(),
+        WorkerMsg::MigrateCommit { .. } => 36,
+        WorkerMsg::MigrateRetire { .. } => 20,
         WorkerMsg::Bsp(BspSignal::RunStep { .. }) => 16,
         WorkerMsg::Bsp(BspSignal::Probe { .. }) => 20,
         WorkerMsg::Shutdown => 4,
@@ -564,6 +570,8 @@ pub fn coord_msg_wire_size(msg: &CoordMsg) -> usize {
         CoordMsg::WorkerError { .. } => 64,
         CoordMsg::BspStepDone { .. } => 56,
         CoordMsg::BspParked { .. } => 32,
+        CoordMsg::Rebalance { moves } => 8 + 16 * moves.len(),
+        CoordMsg::MigrateAck { .. } => 24,
         CoordMsg::Tick => 4,
         CoordMsg::Shutdown => 4,
     }

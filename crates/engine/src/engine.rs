@@ -267,6 +267,16 @@ impl GraphDance {
         let _ = self.coord_tx.send(CoordMsg::Cancel { query });
     }
 
+    /// Ask the coordinator to migrate the given vertices to new home
+    /// partitions while queries keep running (an empty list requests a
+    /// plan from the fabric's hot-vertex sketch — enable it first with
+    /// `fabric().hot_tracker().set_enabled(true)`). Asynchronous: each
+    /// migration runs the freeze → install → commit → retire protocol of
+    /// DESIGN.md §14; in-flight queries keep their pinned routing.
+    pub fn rebalance(&self, moves: Vec<(graphdance_common::VertexId, graphdance_common::PartId)>) {
+        let _ = self.coord_tx.send(CoordMsg::Rebalance { moves });
+    }
+
     /// Submit and wait; returns just the rows.
     pub fn query(&self, plan: &Plan, params: Vec<Value>) -> GdResult<Vec<Row>> {
         Ok(self.submit(plan, params).wait()?.rows)
@@ -280,6 +290,12 @@ impl GraphDance {
     /// Snapshot the network counters.
     pub fn net_stats(&self) -> NetStatsSnapshot {
         self.fabric.stats().snapshot()
+    }
+
+    /// The network fabric (counters, conservation ledger, hot-vertex
+    /// sketch).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
     }
 
     /// Merged point-in-time snapshot of every engine metric, including the

@@ -37,6 +37,7 @@ pub mod messages;
 pub mod net;
 pub mod obs;
 pub mod progress;
+pub mod rebalance;
 pub mod sim;
 pub mod worker;
 
@@ -44,7 +45,9 @@ pub use codec::{BytesPool, PoolStats, ProgressEntry};
 pub use config::{AdaptivePolicy, EngineConfig, FaultInjection, IoMode, NetConfig, SimFaults};
 pub use engine::{GraphDance, QueryHandle, QueryResult};
 pub use invariants::{MsgCounts, MsgLedger};
+pub use messages::MigPhase;
 pub use net::{Fabric, FlushEvent, FlushTrigger, MsgClass, NetStats, NetStatsSnapshot};
+pub use rebalance::{HotTracker, HotVertex, RebalanceConfig};
 pub use sim::{
     FaultCounts, SimActor, SimCluster, SimEvent, SimEventKind, SimHandle, SimStep, SimTrace,
 };

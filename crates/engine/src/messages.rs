@@ -6,10 +6,10 @@ use std::time::Instant;
 
 use crossbeam::channel::Sender;
 
-use graphdance_common::{GdError, GdResult, PartId, QueryId, Value};
+use graphdance_common::{GdError, GdResult, PartId, QueryId, Value, VertexId};
 use graphdance_pstm::{AggState, Row, Traverser, Weight};
 use graphdance_query::plan::Plan;
-use graphdance_storage::Timestamp;
+use graphdance_storage::{Timestamp, VertexSegment};
 
 /// Immutable per-query context, shipped once per query to every worker.
 /// (Control-plane messages carry it by `Arc`; the network layer charges a
@@ -24,6 +24,11 @@ pub struct QueryCtx {
     pub params: Vec<Value>,
     /// Snapshot timestamp.
     pub read_ts: Timestamp,
+    /// Routing version captured at submit: every ownership decision the
+    /// query makes (spawn routing, scan filters, memo placement) resolves
+    /// against this pinned version, so a migration committing mid-query
+    /// cannot split one vertex's deduplication across two partitions.
+    pub routing_version: u64,
 }
 
 /// Messages delivered to a worker's inbox.
@@ -56,6 +61,34 @@ pub enum WorkerMsg {
     /// late-delivered traversers are refunded too; `QueryEnd` follows once
     /// the coordinator observes completion and finishes the teardown.
     CancelQuery { query: QueryId },
+    /// Migration phase 1 (coordinator → source worker): freeze `v`'s
+    /// segment (writes abort) and ship its clone to `to`'s owner. `seq`
+    /// threads the coordinator's migration state machine through every
+    /// phase; acks echo it.
+    MigrateFreeze { seq: u64, v: VertexId, to: PartId },
+    /// Migration phase 2 (source worker → destination worker): install
+    /// the cloned segment. Idempotent at the destination, so fault
+    /// duplication is safe.
+    MigrateInstall {
+        seq: u64,
+        v: VertexId,
+        from: PartId,
+        segment: Box<VertexSegment>,
+    },
+    /// Migration phase 3 (coordinator → source worker): routing has
+    /// committed at `version`; arm the forwarding stub so traversers of
+    /// queries pinned at `>= version` that still arrive here are
+    /// forwarded to `to`.
+    MigrateCommit {
+        seq: u64,
+        v: VertexId,
+        to: PartId,
+        version: u64,
+    },
+    /// Migration phase 4 (coordinator → source worker): no live query can
+    /// route `v` here any more — purge the retained frozen copy. The stub
+    /// stays as a backstop for stragglers.
+    MigrateRetire { seq: u64, v: VertexId },
     /// BSP control signal (used only by the BSP baseline engine, which
     /// reuses this fabric; the asynchronous worker ignores these).
     Bsp(BspSignal),
@@ -142,10 +175,103 @@ pub enum CoordMsg {
         parked: Weight,
         round: u64,
     },
+    /// Ask the coordinator to migrate each `(vertex, dest)` pair through
+    /// the live-migration state machine (freeze → install → commit →
+    /// retire). Sent by the rebalance planner or injected by the DST
+    /// harness; moves whose vertex already routes to `dest` are skipped.
+    Rebalance { moves: Vec<(VertexId, PartId)> },
+    /// A worker's acknowledgement of a migration phase for `seq`.
+    MigrateAck {
+        seq: u64,
+        v: VertexId,
+        phase: MigPhase,
+    },
     /// Periodic tick for deadline enforcement.
     Tick,
     /// Stop the coordinator thread.
     Shutdown,
+}
+
+/// Migration phases acknowledged by workers (DESIGN.md §14). Ordered by
+/// protocol progress; `Failed` aborts the migration (e.g. freezing a
+/// vertex that is absent or already frozen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MigPhase {
+    /// Destination installed the segment.
+    Installed,
+    /// Source armed the forwarding stub after routing commit.
+    Committed,
+    /// Source purged the retained frozen copy.
+    Retired,
+    /// The migration cannot proceed; the coordinator drops its state.
+    Failed,
+}
+
+/// Migration control messages are tracked in the [`crate::invariants::MsgLedger`]
+/// under pseudo query ids in a namespace disjoint from real queries
+/// (engine qids count up from 1, the sim oracle uses `u64::MAX`).
+pub const MIG_QID_BASE: u64 = 1 << 63;
+
+/// The ledger pseudo-qid for migration `seq`.
+#[inline]
+pub fn migration_qid(seq: u64) -> QueryId {
+    QueryId(MIG_QID_BASE | seq)
+}
+
+/// If `msg` is a migration control message, its ledger pseudo-qid.
+pub fn worker_migration_qid(msg: &WorkerMsg) -> Option<QueryId> {
+    match msg {
+        WorkerMsg::MigrateFreeze { seq, .. }
+        | WorkerMsg::MigrateInstall { seq, .. }
+        | WorkerMsg::MigrateCommit { seq, .. }
+        | WorkerMsg::MigrateRetire { seq, .. } => Some(migration_qid(*seq)),
+        _ => None,
+    }
+}
+
+/// If `msg` is a migration ack, its ledger pseudo-qid.
+pub fn coord_migration_qid(msg: &CoordMsg) -> Option<QueryId> {
+    match msg {
+        CoordMsg::MigrateAck { seq, .. } => Some(migration_qid(*seq)),
+        _ => None,
+    }
+}
+
+/// Clone a migration control message for fault-injected duplication
+/// (`WorkerMsg` as a whole is not `Clone`: traverser batches must not be
+/// duplicated structurally). Returns `None` for non-migration messages.
+pub fn clone_migration_worker_msg(msg: &WorkerMsg) -> Option<WorkerMsg> {
+    match msg {
+        WorkerMsg::MigrateFreeze { seq, v, to } => Some(WorkerMsg::MigrateFreeze {
+            seq: *seq,
+            v: *v,
+            to: *to,
+        }),
+        WorkerMsg::MigrateInstall {
+            seq,
+            v,
+            from,
+            segment,
+        } => Some(WorkerMsg::MigrateInstall {
+            seq: *seq,
+            v: *v,
+            from: *from,
+            segment: segment.clone(),
+        }),
+        WorkerMsg::MigrateCommit {
+            seq,
+            v,
+            to,
+            version,
+        } => Some(WorkerMsg::MigrateCommit {
+            seq: *seq,
+            v: *v,
+            to: *to,
+            version: *version,
+        }),
+        WorkerMsg::MigrateRetire { seq, v } => Some(WorkerMsg::MigrateRetire { seq: *seq, v: *v }),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

@@ -332,6 +332,9 @@ pub struct Fabric {
     /// Most recent undecodable-frame error, surfaced to diagnostics
     /// instead of stderr.
     last_decode_error: Mutex<Option<GdError>>,
+    /// Remote-traffic sketch feeding the rebalance planner (off by
+    /// default; see [`crate::rebalance`]).
+    hot: crate::rebalance::HotTracker,
     /// Decode errors can surface on any ingress thread, so this shard is
     /// mutex-wrapped (the path is cold by definition).
     #[cfg(feature = "obs")]
@@ -389,6 +392,7 @@ impl Fabric {
             trace_flushes: AtomicBool::new(false),
             flush_trace: Mutex::new(Vec::new()),
             last_decode_error: Mutex::new(None),
+            hot: crate::rebalance::HotTracker::new(),
             #[cfg(feature = "obs")]
             decode_shard: Mutex::new(obs.net_shard()),
             #[cfg(feature = "obs")]
@@ -464,6 +468,11 @@ impl Fabric {
     /// The message-conservation ledger (debug-build invariant checker).
     pub fn invariants(&self) -> &Arc<MsgLedger> {
         &self.invariants
+    }
+
+    /// The hot-vertex sketch feeding the rebalance planner.
+    pub fn hot_tracker(&self) -> &crate::rebalance::HotTracker {
+        &self.hot
     }
 
     /// The cluster's observability state (metrics registry + trace sink).
@@ -643,9 +652,19 @@ impl Fabric {
                 let _ = self.coord_tx.send(CoordMsg::Rows { query, rows });
             }
             WireMsg::CtrlWorker { dest, msg } => {
+                if MsgLedger::ENABLED {
+                    if let Some(q) = crate::messages::worker_migration_qid(&msg) {
+                        self.invariants.record_delivered(q, 1);
+                    }
+                }
                 let _ = self.worker_tx[dest.as_usize()].send(msg);
             }
             WireMsg::CtrlCoord { msg } => {
+                if MsgLedger::ENABLED {
+                    if let Some(q) = crate::messages::coord_migration_qid(&msg) {
+                        self.invariants.record_delivered(q, 1);
+                    }
+                }
                 let _ = self.coord_tx.send(msg);
             }
         }
@@ -880,6 +899,12 @@ impl Outbox {
         self.fabric.partitioner()
     }
 
+    /// The owning fabric (workers reach shared fabric state — e.g. the
+    /// hot-vertex sketch — through their outbox).
+    pub(crate) fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
     /// Count one logical message of `class` (shard under obs, atomics
     /// otherwise).
     #[inline]
@@ -1092,6 +1117,11 @@ impl Outbox {
         let node = self.fabric.partitioner.node_of_worker(dest).as_usize();
         let size = codec::worker_msg_wire_size(&msg);
         self.count(MsgClass::Control, size);
+        if MsgLedger::ENABLED {
+            if let Some(q) = crate::messages::worker_migration_qid(&msg) {
+                self.fabric.invariants.record_sent(q, 1);
+            }
+        }
         self.bufs[node].msgs.push(WireMsg::CtrlWorker { dest, msg });
         self.bufs[node].bytes += size;
         self.flush_node_as(NodeId(node as u32), FlushTrigger::Control);
@@ -1103,6 +1133,11 @@ impl Outbox {
     pub fn send_ctrl_coord(&mut self, msg: CoordMsg) -> usize {
         let size = codec::coord_msg_wire_size(&msg);
         self.count(MsgClass::Control, size);
+        if MsgLedger::ENABLED {
+            if let Some(q) = crate::messages::coord_migration_qid(&msg) {
+                self.fabric.invariants.record_sent(q, 1);
+            }
+        }
         self.bufs[0].msgs.push(WireMsg::CtrlCoord { msg });
         self.bufs[0].bytes += size;
         self.flush_node_as(NodeId(0), FlushTrigger::Control);

@@ -1,0 +1,307 @@
+//! Query-driven rebalancing: the hot-vertex tracker and the migration
+//! planner (DESIGN.md §14).
+//!
+//! The fabric records which vertices receive remote traverser traffic and
+//! from which partitions ([`HotTracker`], off by default — zero cost until
+//! a rebalance-aware deployment enables it). The planner turns that signal
+//! into a bounded set of `(vertex, destination)` moves: each hot vertex is
+//! pulled toward its heaviest remote sender, subject to a balance guard so
+//! migration cannot concentrate the graph onto one partition. Candidate
+//! ordering ties are broken through a *seeded* RNG salt, never map
+//! iteration order, so a recorded sim schedule replays bit-identically.
+
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+use graphdance_common::{FxHashMap, PartId, VertexId};
+use graphdance_storage::Graph;
+
+/// RNG stream id for the coordinator's migration planner (workers use
+/// `0..num_parts`; the coordinator, scheduler, fault injector and oracle
+/// hold `u64::MAX` down through `u64::MAX - 3`).
+pub const REBALANCE_STREAM: u64 = u64::MAX - 4;
+
+/// Bound on tracked vertices: the tracker is a sketch of the hot set, not
+/// an exact census. Once full, unseen vertices are not admitted until
+/// [`HotTracker::drain`] resets it.
+const HOT_CAP: usize = 4096;
+
+#[derive(Default)]
+struct PerVertex {
+    total: u64,
+    by_sender: FxHashMap<PartId, u64>,
+}
+
+/// Remote-traffic sketch: destination vertex → per-sender-partition counts
+/// of traversers that crossed partitions to reach it. Shared through the
+/// fabric; workers record on their egress path, the planner drains.
+#[derive(Default)]
+pub struct HotTracker {
+    /// Recording toggle (off = the hot path pays one relaxed load).
+    enabled: AtomicBool,
+    inner: Mutex<FxHashMap<VertexId, PerVertex>>,
+}
+
+/// One drained tracker entry, senders sorted heaviest-first (ties by
+/// partition id, so the ordering is deterministic).
+#[derive(Clone, Debug)]
+pub struct HotVertex {
+    /// The vertex remote traversers were routed to.
+    pub v: VertexId,
+    /// Total remote traversers received.
+    pub total: u64,
+    /// Per-sender-partition counts, heaviest first.
+    pub senders: Vec<(PartId, u64)>,
+}
+
+impl HotTracker {
+    /// A disabled, empty tracker.
+    pub fn new() -> Self {
+        HotTracker::default()
+    }
+
+    /// Toggle recording.
+    pub fn set_enabled(&self, on: bool) {
+        // sync: recording toggle — eventual visibility suffices
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording on?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        // sync: recording toggle, pairs with the Relaxed store above
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one remote traverser headed for `v`, sent by partition
+    /// `from`. No-op while disabled.
+    pub fn record(&self, v: VertexId, from: PartId) {
+        if !self.is_enabled() {
+            return;
+        }
+        // lint: allow(hot-path-blocking) bounded map update while held;
+        // only taken when rebalance tracking is explicitly enabled
+        let mut inner = self.inner.lock();
+        if inner.len() >= HOT_CAP && !inner.contains_key(&v) {
+            return;
+        }
+        let e = inner.entry(v).or_default();
+        e.total += 1;
+        *e.by_sender.entry(from).or_default() += 1;
+    }
+
+    /// Number of tracked vertices (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Is the sketch empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the sketch: return every entry (unsorted totals, but each
+    /// entry's sender list is sorted heaviest-first) and reset.
+    pub fn drain(&self) -> Vec<HotVertex> {
+        let drained = std::mem::take(&mut *self.inner.lock());
+        let mut out: Vec<HotVertex> = drained
+            .into_iter()
+            .map(|(v, pv)| {
+                let mut senders: Vec<(PartId, u64)> = pv.by_sender.into_iter().collect();
+                senders.sort_unstable_by_key(|(p, c)| (Reverse(*c), p.0));
+                HotVertex {
+                    v,
+                    total: pv.total,
+                    senders,
+                }
+            })
+            .collect();
+        // Deterministic base order; the planner applies its own salted sort.
+        out.sort_unstable_by_key(|h| h.v.0);
+        out
+    }
+}
+
+/// Planner knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// Most migrations one planning round may start.
+    pub max_moves: usize,
+    /// A vertex is a candidate only at or above this remote-traverser
+    /// count (filters one-off traffic).
+    pub min_traffic: u64,
+    /// Balance guard: a move is allowed only while the destination holds
+    /// fewer than `ceil((1 + slack) · n / k)` vertices.
+    pub slack: f64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            max_moves: 8,
+            min_traffic: 4,
+            slack: 0.10,
+        }
+    }
+}
+
+/// Turn the drained hot-vertex sketch into concrete moves. Pure given its
+/// inputs: candidate ties are broken by hashing the vertex id against one
+/// salt drawn from `rng` (the coordinator's dedicated planner stream), so
+/// two runs with the same seed plan the same moves regardless of map
+/// iteration order.
+pub fn plan_moves(
+    hot: Vec<HotVertex>,
+    graph: &Graph,
+    cfg: &RebalanceConfig,
+    rng: &mut SmallRng,
+) -> Vec<(VertexId, PartId)> {
+    if hot.is_empty() || cfg.max_moves == 0 {
+        return Vec::new();
+    }
+    let partitioner = graph.partitioner();
+    let k = partitioner.num_parts() as usize;
+    let mut loads: FxHashMap<PartId, usize> = FxHashMap::default();
+    let mut n = 0usize;
+    for p in partitioner.parts() {
+        let c = graph.read(p).num_vertices();
+        loads.insert(p, c);
+        n += c;
+    }
+    let cap = (((1.0 + cfg.slack) * n as f64) / k as f64).ceil() as usize;
+    let salt = rng.next_u64();
+    let mut cands = hot;
+    cands.retain(|h| h.total >= cfg.min_traffic);
+    cands.sort_unstable_by_key(|h| {
+        (
+            Reverse(h.total),
+            graphdance_common::fxhash::hash_u64(h.v.0 ^ salt),
+        )
+    });
+    let mut moves = Vec::new();
+    for h in cands {
+        if moves.len() >= cfg.max_moves {
+            break;
+        }
+        let cur = graph.part_of(h.v);
+        // Pull toward the heaviest sender that is not already home.
+        let Some(&(to, _)) = h.senders.iter().find(|(p, _)| *p != cur) else {
+            continue;
+        };
+        let dest_load = loads.get(&to).copied().unwrap_or(0);
+        if dest_load + 1 > cap {
+            continue;
+        }
+        *loads.entry(to).or_default() += 1;
+        if let Some(l) = loads.get_mut(&cur) {
+            *l = l.saturating_sub(1);
+        }
+        moves.push((h.v, to));
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_common::{Partitioner, VertexId};
+    use graphdance_storage::GraphBuilder;
+
+    fn test_graph(parts: u32) -> Graph {
+        let mut b = GraphBuilder::new(Partitioner::new(parts, 1));
+        let person = b.schema_mut().register_vertex_label("Person");
+        for i in 0..40u64 {
+            b.add_vertex(VertexId(i), person, vec![]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn hot(v: u64, total: u64, senders: &[(u32, u64)]) -> HotVertex {
+        HotVertex {
+            v: VertexId(v),
+            total,
+            senders: senders.iter().map(|(p, c)| (PartId(*p), *c)).collect(),
+        }
+    }
+
+    #[test]
+    fn tracker_records_and_drains_deterministically() {
+        let t = HotTracker::new();
+        t.record(VertexId(1), PartId(0));
+        assert!(t.is_empty(), "disabled tracker records nothing");
+        t.set_enabled(true);
+        for _ in 0..3 {
+            t.record(VertexId(1), PartId(2));
+        }
+        t.record(VertexId(1), PartId(0));
+        t.record(VertexId(9), PartId(1));
+        let drained = t.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].v, VertexId(1));
+        assert_eq!(drained[0].total, 4);
+        assert_eq!(
+            drained[0].senders[0],
+            (PartId(2), 3),
+            "heaviest sender first"
+        );
+        assert!(t.is_empty(), "drain resets the sketch");
+    }
+
+    #[test]
+    fn planner_pulls_toward_heaviest_sender() {
+        let g = test_graph(2);
+        let mut rng = graphdance_common::rng::derive(7, 0);
+        let v = VertexId(0);
+        let home = g.part_of(v);
+        let other = PartId((home.0 + 1) % 2);
+        let moves = plan_moves(
+            vec![hot(v.0, 10, &[(other.0, 9), (home.0, 1)])],
+            &g,
+            &RebalanceConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(moves, vec![(v, other)]);
+    }
+
+    #[test]
+    fn planner_respects_balance_cap_and_move_budget() {
+        let g = test_graph(2);
+        let mut rng = graphdance_common::rng::derive(7, 0);
+        let cfg = RebalanceConfig {
+            max_moves: 3,
+            min_traffic: 1,
+            slack: 0.0,
+        };
+        // Everything wants to move to partition 1; the zero-slack cap
+        // allows at most ceil(n/k) there.
+        let cands: Vec<HotVertex> = (0..40)
+            .filter(|i| g.part_of(VertexId(*i)) == PartId(0))
+            .map(|i| hot(i, 10, &[(1, 10)]))
+            .collect();
+        let moves = plan_moves(cands, &g, &cfg, &mut rng);
+        assert!(moves.len() <= 3, "move budget respected");
+        let p1 = g.read(PartId(1)).num_vertices();
+        let cap = (40.0f64 / 2.0).ceil() as usize;
+        assert!(p1 + moves.len() <= cap, "balance cap respected");
+    }
+
+    #[test]
+    fn planner_is_seed_stable() {
+        let g = test_graph(2);
+        let cands: Vec<HotVertex> = (0..8).map(|i| hot(i, 5, &[(1, 5), (0, 1)])).collect();
+        let cfg = RebalanceConfig {
+            max_moves: 4,
+            min_traffic: 1,
+            slack: 0.5,
+        };
+        let mut r1 = graphdance_common::rng::derive(42, 99);
+        let mut r2 = graphdance_common::rng::derive(42, 99);
+        let a = plan_moves(cands.clone(), &g, &cfg, &mut r1);
+        let b = plan_moves(cands, &g, &cfg, &mut r2);
+        assert_eq!(a, b, "same seed, same plan");
+    }
+}

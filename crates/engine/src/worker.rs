@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 use crossbeam::channel::Receiver;
 use rand::rngs::SmallRng;
 
-use graphdance_common::{FxHashMap, FxHashSet, GdError, QueryId, WorkerId};
+use graphdance_common::{FxHashMap, FxHashSet, GdError, PartId, QueryId, VertexId, WorkerId};
 use graphdance_pstm::{
     ExpandCache, Frontier, HandleOutcome, Interpreter, LocalsTable, Memo, Outcome, Traverser,
     TraverserArena, TraverserHandle, Weight, WeightLedger,
@@ -20,7 +20,7 @@ use graphdance_pstm::{
 use graphdance_storage::Graph;
 
 use crate::config::EngineConfig;
-use crate::messages::{CoordMsg, QueryCtx, WorkerMsg};
+use crate::messages::{CoordMsg, MigPhase, QueryCtx, WorkerMsg};
 use crate::net::{Fabric, Outbox};
 
 use std::sync::Arc;
@@ -130,6 +130,16 @@ pub struct Worker {
     /// Reused outcome buffers for the arena path (no per-traverser
     /// spawned/emitted Vec churn).
     scratch: HandleOutcome,
+    /// Forwarding stubs for vertices migrated away from this partition:
+    /// `v → (commit routing version, destination)`. Armed by
+    /// `MigrateCommit` and kept after retirement as a backstop: a
+    /// traverser whose query routes `v` at or past the commit version but
+    /// that still lands here (it raced the commit) is bounced to the
+    /// destination instead of executing against the stale frozen copy.
+    stubs: FxHashMap<VertexId, (u64, PartId)>,
+    /// Traversers bounced through a forwarding stub (diagnostics / the
+    /// `part.forwarded` counter).
+    forwarded: u64,
     /// Hot-path instrumentation (metrics shard + span accumulator).
     #[cfg(feature = "obs")]
     obs: crate::obs::WorkerObs,
@@ -172,6 +182,8 @@ impl Worker {
             frontier: Frontier::new(),
             expand_cache: ExpandCache::new(),
             scratch: HandleOutcome::new(),
+            stubs: FxHashMap::default(),
+            forwarded: 0,
             #[cfg(feature = "obs")]
             obs: crate::obs::WorkerObs::new(fabric, id),
         }
@@ -405,6 +417,32 @@ impl Worker {
                     .collect();
                 self.locals.remove(&query);
             }
+            WorkerMsg::MigrateFreeze { seq, v, to } => self.migrate_freeze(seq, v, to),
+            WorkerMsg::MigrateInstall {
+                seq, v, segment, ..
+            } => {
+                // Idempotent at the store: a duplicated install is Ok(false).
+                match self.graph.install_segment(self.id.part(), *segment) {
+                    Ok(_) => self.migrate_ack(seq, v, MigPhase::Installed),
+                    Err(_) => self.migrate_ack(seq, v, MigPhase::Failed),
+                }
+            }
+            WorkerMsg::MigrateCommit {
+                seq,
+                v,
+                to,
+                version,
+            } => {
+                // Arm (or re-arm, under duplication) the forwarding stub.
+                self.stubs.insert(v, (version, to));
+                self.migrate_ack(seq, v, MigPhase::Committed);
+            }
+            WorkerMsg::MigrateRetire { seq, v } => {
+                // Idempotent purge of the retained frozen copy; the stub
+                // stays armed as a backstop for stragglers.
+                self.graph.purge_vertex(self.id.part(), v);
+                self.migrate_ack(seq, v, MigPhase::Retired);
+            }
             WorkerMsg::Bsp(_) => {
                 // BSP signals are for the BSP baseline's workers only.
             }
@@ -478,6 +516,39 @@ impl Worker {
         }
     }
 
+    /// Migration phase 1 at the source: freeze `v` (idempotent — a
+    /// duplicated freeze re-clones and re-sends the install, which the
+    /// destination deduplicates) and ship the segment to `to`'s owner. A
+    /// vertex this partition never held fails the migration instead.
+    fn migrate_freeze(&mut self, seq: u64, v: VertexId, to: PartId) {
+        match self.graph.freeze_and_clone(self.id.part(), v) {
+            Ok(seg) => {
+                let dest = self.graph.partitioner().worker_of_part(to);
+                let _ = self.outbox.send_ctrl_worker(
+                    dest,
+                    WorkerMsg::MigrateInstall {
+                        seq,
+                        v,
+                        from: self.id.part(),
+                        segment: Box::new(seg),
+                    },
+                );
+            }
+            Err(_) => self.migrate_ack(seq, v, MigPhase::Failed),
+        }
+    }
+
+    fn migrate_ack(&mut self, seq: u64, v: VertexId, phase: MigPhase) {
+        let _ = self
+            .outbox
+            .send_ctrl_coord(CoordMsg::MigrateAck { seq, v, phase });
+    }
+
+    /// Traversers bounced through a forwarding stub so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
     fn enqueue(&mut self, t: Traverser) {
         let q = t.query;
         if self.dead.contains(&q) {
@@ -488,6 +559,34 @@ impl Worker {
             // (or silently dropping — the tracker is owed this weight).
             self.outbox.send_progress(q, t.weight, 0);
             return;
+        }
+        // Forwarding-stub backstop: the traverser's query routes its
+        // vertex to the migration destination (its pinned routing version
+        // is at or past the commit), but the traverser landed here anyway
+        // — it was spawned against the pre-commit routing and raced the
+        // commit. Bounce it to the destination rather than executing
+        // against the retained frozen copy. Queries pinned *before* the
+        // commit still execute here: the frozen copy is exactly the state
+        // their snapshot routes to.
+        if !self.stubs.is_empty() {
+            if let Some(&(commit_ver, dest)) = self.stubs.get(&t.vertex) {
+                // A query whose ctx has not arrived yet stashes below and
+                // re-enters here after `QueryBegin`, so 0 (never forward
+                // blind) is safe.
+                let pinned = self
+                    .queries
+                    .get(&q)
+                    .map(|aq| aq.ctx.routing_version)
+                    .unwrap_or(0);
+                if pinned >= commit_ver {
+                    self.forwarded += 1;
+                    #[cfg(feature = "obs")]
+                    self.obs.stub_forwarded();
+                    let w = self.graph.partitioner().worker_of_part(dest);
+                    self.outbox.send_traverser(w, t);
+                    return;
+                }
+            }
         }
         if !self.queries.contains_key(&q) {
             self.pending
@@ -550,6 +649,7 @@ impl Worker {
             query,
             params: &ctx.params,
             read_ts: ctx.read_ts,
+            routing_version: ctx.routing_version,
         };
         let result = {
             let part = self.graph.read(self.id.part());
@@ -627,6 +727,7 @@ impl Worker {
             query,
             params: &ctx.params,
             read_ts: ctx.read_ts,
+            routing_version: ctx.routing_version,
         };
         let input = self.frontier.weights[idx];
         let mut out = std::mem::take(&mut self.scratch);
@@ -674,6 +775,7 @@ impl Worker {
             query,
             params: &ctx.params,
             read_ts: ctx.read_ts,
+            routing_version: ctx.routing_version,
         };
         let input = t.weight;
         let result = {
@@ -725,6 +827,10 @@ impl Worker {
                 self.push_local(t);
             } else {
                 let w = self.graph.partitioner().worker_of_part(dest);
+                let hot = self.outbox.fabric().hot_tracker();
+                if hot.is_enabled() {
+                    hot.record(t.vertex, self.id.part());
+                }
                 #[cfg(feature = "obs")]
                 obs_remote.push((w.0, t.approx_bytes() as u64));
                 self.outbox.send_traverser(w, t);
@@ -818,6 +924,10 @@ impl Worker {
                 let w = self.graph.partitioner().worker_of_part(dest);
                 let lt = self.locals.entry(query).or_default();
                 let t = self.arena.extract(h, lt);
+                let hot = self.outbox.fabric().hot_tracker();
+                if hot.is_enabled() {
+                    hot.record(t.vertex, self.id.part());
+                }
                 #[cfg(feature = "obs")]
                 obs_remote.push((w.0, t.approx_bytes() as u64));
                 self.outbox.send_traverser(w, t);
@@ -915,13 +1025,7 @@ mod tests {
             query: QueryId(1),
             #[cfg(feature = "obs")]
             enq_ns: 0,
-            item: QueueItem::Owned(Traverser::root(
-                QueryId(1),
-                0,
-                graphdance_common::VertexId(0),
-                0,
-                Weight(0),
-            )),
+            item: QueueItem::Owned(Traverser::root(QueryId(1), 0, VertexId(0), 0, Weight(0))),
         };
         let mut h = BinaryHeap::new();
         h.push(mk(2, 1));
@@ -992,6 +1096,7 @@ mod handler_tests {
             plan: qb.compile().unwrap(),
             params: vec![Value::Vertex(VertexId(0))],
             read_ts: 1,
+            routing_version: 0,
         })
     }
 
@@ -1036,6 +1141,7 @@ mod handler_tests {
             plan: qb.compile().unwrap(),
             params: vec![Value::Vertex(VertexId(0))],
             read_ts: 1,
+            routing_version: 0,
         });
         w.handle(WorkerMsg::QueryBegin {
             ctx: ctx5,
@@ -1072,5 +1178,80 @@ mod handler_tests {
         // The replayed source spawned the root traverser (vertex 0 is local
         // to this worker by construction).
         assert_eq!(w.queue.len(), 1);
+    }
+
+    #[test]
+    fn migrate_freeze_clones_and_ships_the_segment() {
+        let (mut w, _fabric, wrx) = test_worker();
+        let own = w.id.part();
+        let other = PartId(1 - own.0);
+        // `test_worker` builds the worker that owns vertex 0.
+        w.handle(WorkerMsg::MigrateFreeze {
+            seq: 3,
+            v: VertexId(0),
+            to: other,
+        });
+        let dest = w.graph.partitioner().worker_of_part(other);
+        match wrx[dest.0 as usize].try_recv() {
+            Ok(WorkerMsg::MigrateInstall {
+                seq,
+                v,
+                from,
+                segment,
+            }) => {
+                assert_eq!(seq, 3);
+                assert_eq!(v, VertexId(0));
+                assert_eq!(from, own);
+                assert_eq!(segment.v, VertexId(0));
+            }
+            got => panic!("expected MigrateInstall at the destination, got {got:?}"),
+        }
+    }
+
+    #[test]
+    fn forwarding_stub_respects_pinned_routing_version() {
+        let (mut w, _fabric, _wrx) = test_worker();
+        let ctx = ctx_for(&w); // QueryId(5), pinned at routing version 0
+        w.handle(WorkerMsg::QueryBegin {
+            ctx: Arc::clone(&ctx),
+            stage: 0,
+        });
+        let other = PartId(1 - w.id.part().0);
+        // Arm a stub: vertex 0 committed to `other` at routing version 1.
+        w.handle(WorkerMsg::MigrateCommit {
+            seq: 0,
+            v: VertexId(0),
+            to: other,
+            version: 1,
+        });
+        // Pinned below the commit: the retained frozen copy here is exactly
+        // the state this query's snapshot routes to — execute locally.
+        let t = Traverser::root(QueryId(5), 0, VertexId(0), 0, Weight::ROOT);
+        w.handle(WorkerMsg::Batch(vec![t]));
+        assert_eq!(w.queue.len(), 1, "pre-commit query executes locally");
+        assert_eq!(w.forwarded(), 0);
+        // Pinned at the commit: the traverser raced the routing flip and
+        // must bounce to the new home instead of running on the old copy.
+        let mut qb = QueryBuilder::new(w.graph.schema());
+        qb.v_param(0).out("e");
+        let ctx2 = Arc::new(QueryCtx {
+            query: QueryId(6),
+            plan: qb.compile().unwrap(),
+            params: vec![Value::Vertex(VertexId(0))],
+            read_ts: 1,
+            routing_version: 1,
+        });
+        w.handle(WorkerMsg::QueryBegin {
+            ctx: ctx2,
+            stage: 0,
+        });
+        let t = Traverser::root(QueryId(6), 0, VertexId(0), 0, Weight::ROOT);
+        w.handle(WorkerMsg::Batch(vec![t]));
+        assert_eq!(
+            w.queue.len(),
+            1,
+            "post-commit traverser was forwarded, not queued"
+        );
+        assert_eq!(w.forwarded(), 1);
     }
 }

@@ -116,6 +116,7 @@ fn drive_cloned(graph: &Graph, plan: &Plan, params: &[Value], seed: u64) -> Vec<
         query: QueryId(1),
         params,
         read_ts: 1,
+        routing_version: 0,
     };
     let mut rng = seeded(seed);
     let mut memos: Vec<Memo> = (0..graph.partitioner().num_parts())
@@ -165,6 +166,7 @@ fn drive_arena(graph: &Graph, plan: &Plan, params: &[Value], seed: u64) -> Vec<R
         query: QueryId(1),
         params,
         read_ts: 1,
+        routing_version: 0,
     };
     let mut rng = seeded(seed);
     let mut memos: Vec<Memo> = (0..graph.partitioner().num_parts())

@@ -22,6 +22,7 @@
 //! bug; [`Verdict::Flagged`] never is under injected faults.
 
 pub mod oracle;
+pub mod partition;
 pub mod repro;
 pub mod service;
 
@@ -31,8 +32,13 @@ use graphdance_common::GdError;
 use graphdance_engine::{EngineConfig, FaultCounts, SimCluster};
 use graphdance_pstm::Row;
 
+pub use graphdance_common::{PartId, VertexId};
+pub use graphdance_storage::fennel::{
+    adjacency, balance_ok, edge_cut, partition_stream, FennelConfig, PartitionMode,
+};
 pub use oracle::oracle_rows;
-pub use repro::{GraphSpec, QuerySpec, Repro, SvcSpec};
+pub use partition::{check_partition_detailed, PartitionReport};
+pub use repro::{GraphSpec, PartSpec, QuerySpec, Repro, SvcSpec};
 pub use service::{check_service_detailed, QueryOutcome, ServiceReport};
 
 /// The outcome of one differentially-checked simulation run.
@@ -132,12 +138,23 @@ pub fn check(repro: &Repro) -> Verdict {
 /// determinism assertions and sweep statistics).
 ///
 /// A repro carrying a `svc=` key routes through the service-workload
-/// runner instead: the report's verdict is the aggregate (worst
+/// runner, and one carrying a `part=` key through the live-migration
+/// runner: in both cases the report's verdict is the aggregate (worst
 /// per-query) verdict, so corpus `expect=` lines and [`sweep`] /
-/// [`minimize`] work unchanged over service repros.
+/// [`minimize`] work unchanged over either.
 pub fn check_detailed(repro: &Repro) -> RunReport {
     if repro.svc.is_some() {
         let report = check_service_detailed(repro);
+        return RunReport {
+            verdict: report.verdict,
+            fingerprint: report.fingerprint,
+            trace_len: report.trace_len,
+            faults_fired: report.faults_fired,
+            steps: report.steps,
+        };
+    }
+    if repro.part.is_some() {
+        let report = check_partition_detailed(repro);
         return RunReport {
             verdict: report.verdict,
             fingerprint: report.fingerprint,
@@ -293,6 +310,28 @@ fn shrink_candidates(r: &Repro) -> Vec<Repro> {
             ..*r
         }),
         _ => {}
+    }
+    // Strip or thin the migration workload.
+    if let Some(p) = r.part {
+        push(Repro { part: None, ..*r });
+        if p.migrations > 1 {
+            push(Repro {
+                part: Some(PartSpec {
+                    migrations: p.migrations / 2,
+                    ..p
+                }),
+                ..*r
+            });
+        }
+        if p.mode == PartitionMode::Fennel {
+            push(Repro {
+                part: Some(PartSpec {
+                    mode: PartitionMode::Hash,
+                    ..p
+                }),
+                ..*r
+            });
+        }
     }
     // Collapse the topology.
     if r.workers > 1 {

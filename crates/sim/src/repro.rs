@@ -14,7 +14,7 @@
 //!
 //! (`delay` is `permille:spike_us`, `stall` is `permille:stall_us`.)
 
-use graphdance_common::FxHashSet;
+use graphdance_common::{FxHashMap, FxHashSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -24,7 +24,9 @@ use graphdance_common::{Partitioner, Value, VertexId};
 use graphdance_engine::{IoMode, SimFaults};
 use graphdance_query::plan::Plan;
 use graphdance_query::QueryBuilder;
-use graphdance_storage::{Graph, GraphBuilder};
+use graphdance_storage::{adjacency, partition_stream, FennelConfig, Graph, GraphBuilder};
+
+pub use graphdance_storage::PartitionMode;
 
 /// A procedurally-generated test graph, named compactly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,39 +40,65 @@ pub enum GraphSpec {
 }
 
 impl GraphSpec {
-    /// Materialize the graph for a `nodes × workers` topology.
-    pub fn build(&self, nodes: u32, workers: u32) -> Graph {
-        let mut b = GraphBuilder::new(Partitioner::new(nodes, workers));
-        let person = b.schema_mut().register_vertex_label("Person");
-        let knows = b.schema_mut().register_edge_label("knows");
+    /// The deterministic edge list — the single source of truth for both
+    /// [`GraphSpec::build_with_mode`] and the Fennel placement stream, so
+    /// the partitioner sees exactly the graph that gets built.
+    pub fn edge_list(&self) -> Vec<(VertexId, VertexId)> {
         match *self {
-            GraphSpec::Ring { n } => {
-                for i in 0..n {
-                    b.add_vertex(VertexId(i), person, vec![]).expect("fresh id");
-                }
-                for i in 0..n {
-                    b.add_edge(VertexId(i), knows, VertexId((i + 1) % n), vec![])
-                        .expect("valid endpoints");
-                }
-            }
+            GraphSpec::Ring { n } => (0..n)
+                .map(|i| (VertexId(i), VertexId((i + 1) % n)))
+                .collect(),
             GraphSpec::Gnm { n, m, seed } => {
-                for i in 0..n {
-                    b.add_vertex(VertexId(i), person, vec![]).expect("fresh id");
-                }
                 let mut rng = graphdance_common::rng::seeded(seed);
                 let mut seen = FxHashSet::default();
-                let mut added = 0u64;
+                let mut edges = Vec::new();
                 // n*(n-1) distinct non-loop pairs bound the loop.
-                while added < m.min(n.saturating_mul(n - 1)) {
+                while (edges.len() as u64) < m.min(n.saturating_mul(n - 1)) {
                     let s = rng.gen_range(0..n);
                     let d = (s + 1 + rng.gen_range(0..n - 1)) % n;
                     if seen.insert((s, d)) {
-                        b.add_edge(VertexId(s), knows, VertexId(d), vec![])
-                            .expect("valid endpoints");
-                        added += 1;
+                        edges.push((VertexId(s), VertexId(d)));
                     }
                 }
+                edges
             }
+        }
+    }
+
+    /// Materialize the graph for a `nodes × workers` topology with hash
+    /// placement (the seed behaviour).
+    pub fn build(&self, nodes: u32, workers: u32) -> Graph {
+        self.build_with_mode(nodes, workers, PartitionMode::Hash)
+    }
+
+    /// Materialize the graph under an explicit placement mode:
+    /// [`PartitionMode::Fennel`] streams the vertices (in id order)
+    /// through [`partition_stream`] and loads each vertex at its
+    /// graph-aware home instead of its hash home.
+    pub fn build_with_mode(&self, nodes: u32, workers: u32, mode: PartitionMode) -> Graph {
+        let partitioner = Partitioner::new(nodes, workers);
+        let n = self.num_vertices();
+        let edges = self.edge_list();
+        let assignments = match mode {
+            PartitionMode::Hash => FxHashMap::default(),
+            PartitionMode::Fennel => {
+                let order: Vec<VertexId> = (0..n).map(VertexId).collect();
+                partition_stream(
+                    partitioner.num_parts(),
+                    &order,
+                    &adjacency(&edges),
+                    &FennelConfig::default(),
+                )
+            }
+        };
+        let mut b = GraphBuilder::with_assignments(partitioner, assignments);
+        let person = b.schema_mut().register_vertex_label("Person");
+        let knows = b.schema_mut().register_edge_label("knows");
+        for i in 0..n {
+            b.add_vertex(VertexId(i), person, vec![]).expect("fresh id");
+        }
+        for (s, d) in edges {
+            b.add_edge(s, knows, d, vec![]).expect("valid endpoints");
         }
         b.finish()
     }
@@ -156,6 +184,28 @@ pub struct SvcSpec {
     pub cancel_after: u16,
 }
 
+/// A live-migration workload layered over a base [`Repro`] (`part=`
+/// key). When present, the run goes through the partition-migration
+/// runner ([`crate::check_partition_detailed`]) instead of the
+/// single-query differential check: a small batch of staggered queries
+/// (the base `query=` shape with shifted start vertices) executes while
+/// seeded single-vertex migrations are injected mid-flight.
+///
+/// Spelled `part=<mode>:<mig_seed>:<migrations>:<every>`:
+///
+/// * `mode` — initial placement: `hash` or `fennel`.
+/// * `mig_seed` — RNG stream for picking which vertices migrate and
+///   where to (independent of the scheduler seed).
+/// * `migrations` — how many single-vertex migrations are injected.
+/// * `every` — scheduling quanta between successive injections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartSpec {
+    pub mode: PartitionMode,
+    pub mig_seed: u64,
+    pub migrations: u16,
+    pub every: u16,
+}
+
 /// One fully-specified simulation run: everything the deterministic
 /// scheduler consumes, in one copyable value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -177,6 +227,9 @@ pub struct Repro {
     /// Optional service-workload layer (`svc=` key; absent lines run the
     /// classic single-query differential check).
     pub svc: Option<SvcSpec>,
+    /// Optional partition-migration workload (`part=` key; placement
+    /// mode plus a seeded live-migration schedule).
+    pub part: Option<PartSpec>,
 }
 
 impl Repro {
@@ -191,6 +244,7 @@ impl Repro {
             io: IoMode::TwoTier,
             faults: SimFaults::default(),
             svc: None,
+            part: None,
         }
     }
 
@@ -203,6 +257,12 @@ impl Repro {
     /// The same run with a service workload layered on top.
     pub fn with_svc(mut self, svc: SvcSpec) -> Self {
         self.svc = Some(svc);
+        self
+    }
+
+    /// The same run with a partition-migration workload layered on top.
+    pub fn with_part(mut self, part: PartSpec) -> Self {
+        self.part = Some(part);
         self
     }
 
@@ -222,6 +282,7 @@ impl Repro {
         let mut io = None;
         let mut faults = None;
         let mut svc = None;
+        let mut part = None;
         for field in line.split_whitespace() {
             let (key, val) = field
                 .split_once('=')
@@ -235,6 +296,7 @@ impl Repro {
                 "io" => io = Some(parse_io(val)?),
                 "faults" => faults = Some(parse_faults(val)?),
                 "svc" => svc = Some(parse_svc(val)?),
+                "part" => part = Some(parse_part(val)?),
                 other => return Err(format!("unknown key {other:?}")),
             }
         }
@@ -247,6 +309,7 @@ impl Repro {
             io: io.unwrap_or(IoMode::TwoTier),
             faults: faults.unwrap_or_default(),
             svc,
+            part,
         })
     }
 }
@@ -284,6 +347,13 @@ impl fmt::Display for Repro {
                 f,
                 " svc={:#x}:{}:{}:{:#x}:{}",
                 svc.arrival_seed, svc.queries, svc.mix, svc.cancel_mask, svc.cancel_after
+            )?;
+        }
+        if let Some(part) = self.part {
+            write!(
+                f,
+                " part={}:{:#x}:{}:{}",
+                part.mode, part.mig_seed, part.migrations, part.every
             )?;
         }
         Ok(())
@@ -372,6 +442,29 @@ fn parse_svc(s: &str) -> Result<SvcSpec, String> {
     Ok(spec)
 }
 
+fn parse_part(s: &str) -> Result<PartSpec, String> {
+    let mut it = s.split(':');
+    let mode = it
+        .next()
+        .and_then(PartitionMode::parse)
+        .ok_or_else(|| format!("bad part mode in {s:?}"))?;
+    let mut next = |what: &str| {
+        it.next()
+            .ok_or_else(|| format!("part needs :{what}"))
+            .and_then(parse_u64)
+    };
+    let spec = PartSpec {
+        mode,
+        mig_seed: next("mig_seed")?,
+        migrations: next("migrations")? as u16,
+        every: next("every")? as u16,
+    };
+    if it.next().is_some() {
+        return Err(format!("part has trailing fields in {s:?}"));
+    }
+    Ok(spec)
+}
+
 fn parse_faults(s: &str) -> Result<SimFaults, String> {
     let mut out = SimFaults::default();
     for knob in s.split(',') {
@@ -429,9 +522,71 @@ mod tests {
                 progress_side_channel: true,
             },
             svc: None,
+            part: None,
         };
         let line = r.to_line();
         assert_eq!(Repro::parse(&line), Ok(r), "line was: {line}");
+    }
+
+    #[test]
+    fn part_key_roundtrips() {
+        let r = Repro::clean(
+            GraphSpec::Ring { n: 16 },
+            QuerySpec::Khop { hops: 3, start: 0 },
+            2,
+            2,
+            5,
+        )
+        .with_part(PartSpec {
+            mode: PartitionMode::Fennel,
+            mig_seed: 0xfeed,
+            migrations: 4,
+            every: 24,
+        });
+        let line = r.to_line();
+        assert!(line.contains("part=fennel:0xfeed:4:24"), "line was: {line}");
+        assert_eq!(Repro::parse(&line), Ok(r), "line was: {line}");
+        assert!(
+            Repro::parse("graph=ring:8 query=khop:1:0 nodes=1 workers=1 seed=1 part=warp:1:1:1")
+                .is_err(),
+            "unknown placement mode fails loudly"
+        );
+        assert!(
+            Repro::parse("graph=ring:8 query=khop:1:0 nodes=1 workers=1 seed=1 part=hash:1:1")
+                .is_err(),
+            "truncated part key fails loudly"
+        );
+        assert!(
+            Repro::parse("graph=ring:8 query=khop:1:0 nodes=1 workers=1 seed=1 part=hash:1:1:1:9")
+                .is_err(),
+            "over-long part key fails loudly"
+        );
+    }
+
+    #[test]
+    fn fennel_mode_builds_the_same_logical_graph() {
+        let spec = GraphSpec::Ring { n: 16 };
+        let hash = spec.build_with_mode(2, 2, PartitionMode::Hash);
+        let fennel = spec.build_with_mode(2, 2, PartitionMode::Fennel);
+        // Same logical content, different physical placement.
+        let count = |g: &Graph| -> usize {
+            g.partitioner()
+                .parts()
+                .map(|p| g.read(p).num_vertices())
+                .sum()
+        };
+        assert_eq!(count(&hash), 16);
+        assert_eq!(count(&fennel), 16);
+        // Fennel on a ring must co-locate runs of consecutive vertices:
+        // strictly fewer cut edges than hash placement.
+        let edges = spec.edge_list();
+        let cut = |g: &Graph| graphdance_storage::edge_cut(&edges, |v| g.part_of(v));
+        assert!(
+            cut(&fennel) < cut(&hash),
+            "fennel {} vs hash {}",
+            cut(&fennel),
+            cut(&hash)
+        );
     }
 
     #[test]

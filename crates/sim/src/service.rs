@@ -120,7 +120,7 @@ fn plan_workload(repro: &Repro, spec: &SvcSpec) -> Vec<PlannedQuery> {
 }
 
 /// Worst verdict wins: `Failed` > `WrongAnswer` > `Flagged` > `Match`.
-fn severity(v: &Verdict) -> u8 {
+pub(crate) fn severity(v: &Verdict) -> u8 {
     match v {
         Verdict::Match => 0,
         Verdict::Flagged(_) => 1,

@@ -18,16 +18,20 @@
 //! shared-nothing workers take uncontended locks on their own partition,
 //! while the non-partitioned baseline (§V-A2) deliberately shares them.
 
+pub mod fennel;
 pub mod graph;
 pub mod partition_store;
+pub mod routing;
 pub mod schema;
 pub mod stats;
 pub mod tel;
 
+pub use fennel::{adjacency, edge_cut, partition_stream, FennelConfig, PartitionMode};
 pub use graph::{Graph, GraphBuilder};
 #[cfg(feature = "obs")]
 pub use partition_store::ScanStats;
-pub use partition_store::{Direction, EdgeRef, GraphPartition, VertexRecord};
+pub use partition_store::{Direction, EdgeRef, GraphPartition, VertexRecord, VertexSegment};
+pub use routing::{RoutingTable, ROUTING_NOW};
 pub use schema::Schema;
 pub use stats::GraphStats;
 pub use tel::{TelEntry, TelList, Timestamp, TS_BULK, TS_LIVE};
