@@ -46,6 +46,25 @@ cargo test -q --test sim_dst --test sim_property --test sim_faults \
     --test sim_exhaustive --test sim_regression_khop --test sim_io_scheduler \
     --test sim_service --test sim_partition
 
+echo "==> transport: conformance battery (channel + tcp + unix loopback)"
+# One generic battery against every Transport backend — FIFO/no-loss,
+# control legs, observable flushes, ledger quiesce, drain-before-close —
+# plus the 256-seed framing fuzz and live-socket garbage test. Loopback
+# sockets only; no external network.
+cargo test -q --test transport_conformance --test frame_robustness
+
+echo "==> transport: sim/TCP parity (multi-process loopback clusters)"
+# SimCluster and live 2-/3-process clusters (TCP and Unix sockets) must
+# produce identical row multisets on the same seeds.
+cargo test -q --test sim_tcp_parity
+
+echo "==> transport: loopback A/B smoke (--quick)"
+# The recorded batching/latency budgets are asserted by the
+# graphdance-bench unit test recorded_transport_within_budget in the
+# workspace pass; this lane smoke-runs the A/B itself.
+cargo run -q --release -p graphdance-bench --bin transport_ab -- --quick \
+    >/dev/null
+
 echo "==> adaptive I/O scheduler: fig12 smoke (--quick)"
 cargo run -q --release -p graphdance-bench --bin fig12_io_scheduler -- --quick \
     >/dev/null
@@ -81,6 +100,15 @@ if [ "${CI_NIGHTLY:-0}" = "1" ]; then
     echo "==> nightly: hotpath arena ablation, paper-scale lane (--full)"
     cargo run -q --release -p graphdance-bench --bin hotpath_arena -- --full \
         >/dev/null
+
+    echo "==> nightly: multi-process parity sweep (release, x10)"
+    # Race-hunting lane: the parity battery spawns real OS processes and a
+    # full socket mesh each iteration, so repeated release runs shake out
+    # timing-dependent transport bugs the single debug run can miss.
+    for i in $(seq 1 10); do
+        cargo test -q --release --test sim_tcp_parity >/dev/null 2>&1 \
+            || { echo "sim_tcp_parity failed on iteration $i"; exit 1; }
+    done
 
     echo "==> nightly: deep static analysis over the vendored shims too"
     cargo xtask check --deep --include-vendor

@@ -604,4 +604,76 @@ mod tests {
         lat_ok("fennel_p50_ms", "hash_p50_ms");
         lat_ok("fennel_p99_ms", "hash_p99_ms");
     }
+
+    /// Transport acceptance: the recorded channel-vs-socket A/B
+    /// (`BENCH_transport.json`, produced by the `transport_ab` bin with
+    /// `--record`) must show the socket backends (a) batching — a flushed
+    /// 32-traverser batch ships in at most 2 frames and 2 write syscalls,
+    /// never per-message writes — and (b) keeping loopback batch latency
+    /// under generous absolute ceilings that would catch a transport that
+    /// starts sleeping, retrying, or copying per message. Asserting the
+    /// committed artifact keeps CI deterministic; re-record with `cargo
+    /// run --release -p graphdance-bench --bin transport_ab -- --record`
+    /// when the framing, egress pump, or socket I/O changes.
+    #[test]
+    fn recorded_transport_within_budget() {
+        let raw = include_str!("../../../BENCH_transport.json");
+        let field = |name: &str| -> f64 {
+            let at = raw.find(name).unwrap_or_else(|| panic!("{name} present"));
+            let rest = &raw[at + name.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| *c == '"' || *c == ':' || c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            num.parse().unwrap_or_else(|_| panic!("{name} numeric"))
+        };
+        let frame_budget = field("frames_per_batch_budget");
+        let syscall_budget = field("syscalls_per_batch_budget");
+        assert_eq!(frame_budget, 2.0, "budget is the acceptance figure");
+        assert_eq!(syscall_budget, 2.0, "budget is the acceptance figure");
+        for arm in ["tcp", "unix"] {
+            let frames = field(&format!("{arm}_frames_per_batch"));
+            let syscalls = field(&format!("{arm}_syscalls_per_batch"));
+            assert!(
+                frames > 0.0,
+                "the recorded {arm} arm shipped no frames — the A/B is vacuous"
+            );
+            assert!(
+                frames <= frame_budget,
+                "recorded {arm} arm ships {frames} frames/batch, over the \
+                 {frame_budget} budget — the egress pump stopped coalescing; \
+                 re-record transport_ab and inspect EgressPump/TcpTransport"
+            );
+            assert!(
+                syscalls <= syscall_budget,
+                "recorded {arm} arm spends {syscalls} write syscalls/batch, \
+                 over the {syscall_budget} budget — the socket path is \
+                 writing per message; re-record transport_ab"
+            );
+        }
+        let p50_budget = field("p50_budget_ms");
+        let p99_budget = field("p99_budget_ms");
+        for arm in ["tcp", "unix"] {
+            let p50 = field(&format!("{arm}_p50_ms"));
+            let p99 = field(&format!("{arm}_p99_ms"));
+            assert!(
+                p50 > 0.0 && p50 <= p50_budget,
+                "recorded {arm} p50 {p50}ms outside (0, {p50_budget}] — \
+                 re-record transport_ab and profile the socket path"
+            );
+            assert!(
+                p99 <= p99_budget,
+                "recorded {arm} p99 {p99}ms over the {p99_budget}ms ceiling — \
+                 re-record transport_ab and look for retry/backoff sleeps on \
+                 the hot path"
+            );
+        }
+        // The cost-model arm must have produced a real figure too, or the
+        // comparison column is meaningless.
+        assert!(
+            field("channel_p50_ms") > 0.0,
+            "channel arm measured nothing"
+        );
+    }
 }

@@ -262,18 +262,19 @@ pub fn decode_batch(buf: Bytes) -> GdResult<Vec<Traverser>> {
 }
 
 /// A bounds-checked cursor over a borrowed frame — the zero-copy ingress
-/// read path (no `Arc` wrapping, no upfront copy into `Bytes`).
-struct Reader<'a> {
+/// read path (no `Arc` wrapping, no upfront copy into `Bytes`). Shared
+/// with the control-plane codec in [`crate::wire`].
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> GdResult<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> GdResult<&'a [u8]> {
         if self.buf.len() - self.pos < n {
             return Err(GdError::Internal("wire message truncated".into()));
         }
@@ -282,36 +283,36 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.pos == self.buf.len()
     }
 
-    fn u8(&mut self) -> GdResult<u8> {
+    pub(crate) fn u8(&mut self) -> GdResult<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> GdResult<u16> {
+    pub(crate) fn u16(&mut self) -> GdResult<u16> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap())) // lint: allow(hot-path-panics) take(2) returned exactly 2 bytes
     }
 
-    fn u32(&mut self) -> GdResult<u32> {
+    pub(crate) fn u32(&mut self) -> GdResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap())) // lint: allow(hot-path-panics) take(4) returned exactly 4 bytes
     }
 
-    fn u64(&mut self) -> GdResult<u64> {
+    pub(crate) fn u64(&mut self) -> GdResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap())) // lint: allow(hot-path-panics) take(8) returned exactly 8 bytes
     }
 
-    fn i64(&mut self) -> GdResult<i64> {
+    pub(crate) fn i64(&mut self) -> GdResult<i64> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap())) // lint: allow(hot-path-panics) take(8) returned exactly 8 bytes
     }
 
-    fn f64(&mut self) -> GdResult<f64> {
+    pub(crate) fn f64(&mut self) -> GdResult<f64> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap())) // lint: allow(hot-path-panics) take(8) returned exactly 8 bytes
     }
 }
 
-fn decode_value_borrowed(r: &mut Reader<'_>) -> GdResult<Value> {
+pub(crate) fn decode_value_borrowed(r: &mut Reader<'_>) -> GdResult<Value> {
     match r.u8()? {
         TAG_NULL => Ok(Value::Null),
         TAG_BOOL_FALSE => Ok(Value::Bool(false)),
@@ -337,7 +338,7 @@ fn decode_value_borrowed(r: &mut Reader<'_>) -> GdResult<Value> {
     }
 }
 
-fn decode_traverser_borrowed(r: &mut Reader<'_>) -> GdResult<Traverser> {
+pub(crate) fn decode_traverser_borrowed(r: &mut Reader<'_>) -> GdResult<Traverser> {
     let query = QueryId(r.u64()?);
     let pipeline = r.u16()?;
     let pc = r.u16()?;

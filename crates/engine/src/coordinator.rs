@@ -109,6 +109,14 @@ pub struct Coordinator {
     rng: SmallRng,
     timeout: Duration,
     watchdog_stall: Duration,
+    /// Whether this process's [`MsgLedger`] sees the whole cluster (see
+    /// [`Fabric::ledger_is_global`]). In a multi-process cluster a send is
+    /// recorded in the sender's ledger and its delivery in the receiver's,
+    /// so per-process `sent == delivered` never holds mid-query — the
+    /// watchdog and the quiesce check must stand down, and cross-node
+    /// conservation is instead asserted by summing ledgers across
+    /// processes (the transport conformance suite does exactly that).
+    ledger_global: bool,
     /// In-flight vertex migrations keyed by sequence number.
     migrations: FxHashMap<u64, Migration>,
     next_mig_seq: u64,
@@ -139,6 +147,7 @@ impl Coordinator {
             rng: graphdance_common::rng::derive(config.seed, u64::MAX),
             timeout: config.query_timeout,
             watchdog_stall: config.watchdog_stall,
+            ledger_global: fabric.ledger_is_global(),
             migrations: FxHashMap::default(),
             next_mig_seq: 0,
             migs_done: 0,
@@ -217,7 +226,10 @@ impl Coordinator {
         };
         for (q, s) in &self.queries {
             fold(s.deadline);
-            if MsgLedger::ENABLED && self.fabric.invariants().has_imbalance(*q) {
+            if MsgLedger::ENABLED
+                && self.ledger_global
+                && self.fabric.invariants().has_imbalance(*q)
+            {
                 fold(s.last_activity + self.watchdog_stall);
             }
         }
@@ -634,13 +646,15 @@ impl Coordinator {
             // completion: the drain refunded every in-flight weight share,
             // so every sent traverser message must also have been
             // delivered. A leak here is an engine bug, not a cancellation.
-            Ok(_) | Err(GdError::QueryCancelled(_)) => {
+            // Only meaningful when this process's ledger sees both sides
+            // of every send (see the `ledger_global` field docs).
+            Ok(_) | Err(GdError::QueryCancelled(_)) if self.ledger_global => {
                 match self.fabric.invariants().check_quiesced(query) {
                     Ok(()) => result,
                     Err(diag) => Err(GdError::InvariantViolation(diag)),
                 }
             }
-            err => err,
+            other => other,
         };
         // Capture ledger counts before `forget` wipes them; workers seal the
         // trace when their QueryEnd (broadcast below) arrives.
@@ -832,6 +846,7 @@ impl Coordinator {
             if now >= s.deadline {
                 timed_out.push(*q);
             } else if MsgLedger::ENABLED
+                && self.ledger_global
                 && now.duration_since(s.last_activity) >= self.watchdog_stall
                 && self.fabric.invariants().has_imbalance(*q)
             {

@@ -42,6 +42,12 @@ pub struct QueryHandle {
 }
 
 impl QueryHandle {
+    /// Build a handle around a reply channel (the multi-process
+    /// [`crate::node::NodeRuntime`] mints its own handles).
+    pub(crate) fn internal_new(id: QueryId, rx: Receiver<GdResult<QueryResult>>) -> QueryHandle {
+        QueryHandle { id, rx }
+    }
+
     /// The pre-assigned query id (pass to [`GraphDance::cancel`]).
     pub fn id(&self) -> QueryId {
         self.id

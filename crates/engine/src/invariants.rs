@@ -21,6 +21,8 @@
 //! The ledger is active in debug builds only ([`MsgLedger::ENABLED`]); in
 //! release builds every method is a no-op and the hot-path cost vanishes.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use parking_lot::Mutex;
 
 use graphdance_common::{FxHashMap, QueryId};
@@ -53,6 +55,13 @@ impl MsgCounts {
 #[derive(Debug, Default)]
 pub struct MsgLedger {
     counts: Mutex<FxHashMap<QueryId, MsgCounts>>,
+    /// Per-process ledger mode (multi-process clusters, see
+    /// [`crate::net::Fabric::new_with_transport`]): a delivery may
+    /// legitimately arrive for a query this process never sent for, so
+    /// [`MsgLedger::record_delivered`] must create the entry instead of
+    /// dropping the count — conservation only holds **summed across** the
+    /// processes' ledgers, and an uncounted delivery would skew the sum.
+    local: AtomicBool,
 }
 
 impl MsgLedger {
@@ -75,12 +84,22 @@ impl MsgLedger {
         self.counts.lock().entry(query).or_default().sent += n;
     }
 
-    /// Record traversers delivered to a worker inbox for `query`. Only
-    /// queries with a live `sent` entry are updated, so late deliveries for
-    /// forgotten queries do not repopulate the map.
+    /// Record traversers delivered to a worker inbox for `query`. In the
+    /// default (global-ledger) mode only queries with a live `sent` entry
+    /// are updated, so late deliveries for forgotten queries do not
+    /// repopulate the map; in per-process mode ([`MsgLedger::set_local`])
+    /// the entry is created, because the matching `sent` lives in another
+    /// process's ledger.
     #[inline]
     pub fn record_delivered(&self, query: QueryId, n: u64) {
         if !Self::ENABLED || n == 0 {
+            return;
+        }
+        // sync: mode flag, set once at fabric construction
+        if self.local.load(Ordering::Relaxed) {
+            // lint: allow(hot-path-blocking) debug-build ledger: bounded
+            // O(1) map update, compiled out of release via Self::ENABLED
+            self.counts.lock().entry(query).or_default().delivered += n;
             return;
         }
         // lint: allow(hot-path-blocking) debug-build ledger: bounded O(1)
@@ -88,6 +107,15 @@ impl MsgLedger {
         if let Some(c) = self.counts.lock().get_mut(&query) {
             c.delivered += n;
         }
+    }
+
+    /// Switch to per-process mode: deliveries are counted even when this
+    /// process never sent for the query (the send happened in a peer
+    /// process). Set once, before any traffic, by
+    /// [`crate::net::Fabric::new_with_transport`].
+    pub fn set_local(&self, on: bool) {
+        // sync: mode flag, set once at fabric construction
+        self.local.store(on, Ordering::Relaxed);
     }
 
     /// Current counters for `query` (zeroes when untracked).

@@ -35,10 +35,13 @@ pub mod engine;
 pub mod invariants;
 pub mod messages;
 pub mod net;
+pub mod node;
 pub mod obs;
 pub mod progress;
 pub mod rebalance;
 pub mod sim;
+pub mod transport;
+pub mod wire;
 pub mod worker;
 
 pub use codec::{BytesPool, PoolStats, ProgressEntry};
@@ -47,9 +50,13 @@ pub use engine::{GraphDance, QueryHandle, QueryResult};
 pub use invariants::{MsgCounts, MsgLedger};
 pub use messages::MigPhase;
 pub use net::{Fabric, FlushEvent, FlushTrigger, MsgClass, NetStats, NetStatsSnapshot};
+pub use node::NodeRuntime;
 pub use rebalance::{HotTracker, HotVertex, RebalanceConfig};
 pub use sim::{
     FaultCounts, SimActor, SimCluster, SimEvent, SimEventKind, SimHandle, SimStep, SimTrace,
+};
+pub use transport::{
+    PeerAddr, TcpStatsSnapshot, TcpTransport, TcpTransportConfig, Transport, WirePacket,
 };
 pub use worker::PumpStatus;
 

@@ -193,34 +193,56 @@ impl NetStatsSnapshot {
     }
 }
 
-/// A message on the (simulated) wire.
+/// A message on the wire (simulated or real — the [`crate::transport`]
+/// seam moves these between nodes).
 #[derive(Debug)]
-pub(crate) enum WireMsg {
+pub enum WireMsg {
     /// Serialized traverser batch for one worker: a frame leased from the
     /// fabric's [`BytesPool`], returned to it after ingress decode. May
     /// carry a piggybacked progress trailer (see [`codec::ProgressEntry`]).
-    Batch { dest: WorkerId, payload: Vec<u8> },
+    Batch {
+        /// Destination worker.
+        dest: WorkerId,
+        /// Encoded batch frame (`codec::encode_batch_into` layout).
+        payload: Vec<u8>,
+    },
     /// Coalesced progress report (to the coordinator).
     Progress {
+        /// Reporting query.
         query: QueryId,
+        /// Finished weight.
         weight: Weight,
+        /// Steps executed.
         steps: u64,
     },
     /// Result rows (to the coordinator). Passed by value; the cost model
     /// charges their approximate encoded size.
     Rows {
+        /// Producing query.
         query: QueryId,
+        /// The rows.
         rows: Vec<Row>,
+        /// Approximate encoded size, charged to the cost model.
         approx: usize,
     },
     /// Control-plane message for a worker.
-    CtrlWorker { dest: WorkerId, msg: WorkerMsg },
+    CtrlWorker {
+        /// Destination worker.
+        dest: WorkerId,
+        /// The message.
+        msg: WorkerMsg,
+    },
     /// Control-plane message for the coordinator.
-    CtrlCoord { msg: CoordMsg },
+    CtrlCoord {
+        /// The message.
+        msg: CoordMsg,
+    },
 }
 
 impl WireMsg {
-    fn wire_size(&self) -> usize {
+    /// Modeled wire size (the cost model charges this, not the exact
+    /// socket encoding).
+    pub fn wire_size(&self) -> usize {
         match self {
             WireMsg::Batch { payload, .. } => payload.len() + 8,
             WireMsg::Progress { .. } => 32,
@@ -321,6 +343,10 @@ pub struct Fabric {
     fault_state: Mutex<FaultState>,
     /// Reusable egress frame buffers (zero-copy batch codec).
     pool: BytesPool,
+    /// Whether this process sees the whole cluster's ledger (see
+    /// [`Fabric::ledger_is_global`]). Cleared by
+    /// [`Fabric::new_with_transport`].
+    ledger_global: AtomicBool,
     /// Adaptive-flush policy ([`IoMode::Adaptive`]; inert otherwise).
     adaptive: AdaptivePolicy,
     /// Fabric creation time; flush-trace timestamps are offsets from this.
@@ -387,6 +413,7 @@ impl Fabric {
                 seen: 0,
             }),
             pool: BytesPool::new(),
+            ledger_global: AtomicBool::new(true),
             adaptive: config.adaptive,
             epoch: now(),
             trace_flushes: AtomicBool::new(false),
@@ -443,6 +470,44 @@ impl Fabric {
         (fabric, handles)
     }
 
+    /// Build the fabric for one node of a **multi-process** cluster: the
+    /// given transport backend carries packets between processes. Only the
+    /// local node's egress pump is spawned (remote nodes run their own
+    /// processes), and no ingress threads exist — the transport's reader
+    /// threads deliver straight into [`Fabric::deliver`]. The message
+    /// ledger stays per-process (sends to remote nodes are recorded here,
+    /// their deliveries in the receiving process), so
+    /// [`Fabric::ledger_is_global`] reports `false` and cross-node
+    /// conservation checks must be summed across processes.
+    pub fn new_with_transport(
+        config: &EngineConfig,
+        local_node: NodeId,
+        worker_tx: Vec<Sender<WorkerMsg>>,
+        coord_tx: Sender<CoordMsg>,
+        transport: Arc<dyn crate::transport::Transport>,
+    ) -> (Arc<Fabric>, Vec<std::thread::JoinHandle<()>>) {
+        let (fabric, channels) = Fabric::build(config, worker_tx, coord_tx);
+        // sync: single-writer flag set before any reader thread exists
+        fabric.ledger_global.store(false, Ordering::Relaxed);
+        // Deliveries for queries whose sends happened in a peer process
+        // must still be counted here (cross-process conservation is checked
+        // by summing the per-process ledgers).
+        fabric.invariants.set_local(true);
+        transport.start(Arc::clone(&fabric));
+        let mut egress_rx = channels.egress_rx;
+        let rx = egress_rx.remove(local_node.as_usize());
+        // The other nodes' egress/ingress endpoints die here: their outbox
+        // lanes exist in *their* processes, and `Fabric::shutdown`'s sends
+        // to the dead channels are ignored.
+        let pump = EgressPump::with_transport(Arc::clone(&fabric), rx, transport);
+        let handle = std::thread::Builder::new()
+            .name(format!("gd-egress-{}", local_node.as_usize()))
+            .spawn(move || pump.run())
+            // Fabric construction precedes all queries.
+            .expect("spawn egress"); // lint: allow(hot-path-panics)
+        (fabric, vec![handle])
+    }
+
     /// Build the fabric for the deterministic simulator: no threads are
     /// spawned; the caller receives the raw channel endpoints and pumps
     /// them itself (egress via [`EgressPump::pump`], ingress by draining
@@ -468,6 +533,16 @@ impl Fabric {
     /// The message-conservation ledger (debug-build invariant checker).
     pub fn invariants(&self) -> &Arc<MsgLedger> {
         &self.invariants
+    }
+
+    /// Does this process see the whole cluster's ledger? `true` for the
+    /// in-process fabrics; `false` under [`Fabric::new_with_transport`],
+    /// where a cross-process send is recorded in the sender's ledger and
+    /// its delivery in the receiver's — per-process sent==delivered checks
+    /// would misfire, so the coordinator watchdog skips them.
+    pub fn ledger_is_global(&self) -> bool {
+        // sync: single-writer flag set at construction, read-only after
+        self.ledger_global.load(Ordering::Relaxed)
     }
 
     /// The hot-vertex sketch feeding the rebalance planner.
@@ -581,8 +656,9 @@ impl Fabric {
     }
 
     /// Record an undecodable batch frame: typed error for diagnostics plus
-    /// the `net.decode_errors` counter — never stderr.
-    fn note_decode_error(&self, e: GdError) {
+    /// the `net.decode_errors` counter — never stderr. Shared with the
+    /// socket transport's reassembly path.
+    pub(crate) fn note_decode_error(&self, e: GdError) {
         #[cfg(feature = "obs")]
         // lint: allow(hot-path-blocking) rare fault path (corrupt frame):
         // bounded shard-counter bump while held
@@ -690,30 +766,105 @@ impl Fabric {
     }
 }
 
-/// One node's tier-2 sender (node-level combining). The threaded engine
-/// runs [`EgressPump::run`] on a dedicated `gd-egress-N` thread; the
-/// deterministic simulator holds the pump directly and calls
-/// [`EgressPump::pump`] as a cooperatively-scheduled actor.
-pub(crate) struct EgressPump {
+/// The in-process transport backend: charge the modeled send cost, stamp
+/// the propagation delay, and forward the packet to the destination node's
+/// ingress channel. Used by both the threaded engine (ingress threads
+/// drain the channels) and the deterministic simulator (the sim drains
+/// them under the virtual clock) — the charge → count → stamp → send
+/// sequence is exactly the pre-seam fabric's, so sim replays stay
+/// bit-identical.
+pub(crate) struct ChannelTransport {
     fabric: Arc<Fabric>,
-    rx: Receiver<EgressEvent>,
     ingress: Vec<Sender<IngressEvent>>,
     #[cfg(feature = "obs")]
     obs: crate::obs::NetShard,
 }
 
+impl crate::transport::Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn start(&self, _fabric: Arc<Fabric>) {}
+
+    fn ship(&self, pkt: crate::transport::WirePacket) {
+        let crate::transport::WirePacket {
+            dest_node,
+            msgs,
+            bytes,
+        } = pkt;
+        let fabric = &self.fabric;
+        let wire = bytes + 64; // packet header
+        charge(fabric.net_cfg.send_cost(wire));
+        #[cfg(feature = "obs")]
+        self.obs.wire_packet(wire);
+        #[cfg(not(feature = "obs"))]
+        {
+            // sync: monotonic diagnostic counters (obs-off fallback)
+            fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
+            fabric
+                .stats
+                .wire_bytes
+                // sync: monotonic diagnostic counter (obs-off fallback)
+                .fetch_add(wire as u64, Ordering::Relaxed);
+        }
+        let deliver_at = now() + fabric.net_cfg.propagation_delay;
+        let _ = self.ingress[dest_node.as_usize()].send(IngressEvent::Packet { deliver_at, msgs });
+    }
+
+    fn end_of_stream(&self) {
+        // Propagate shutdown to every ingress thread once (node 0's egress
+        // is guaranteed to exist; have each egress notify its own node's
+        // ingress).
+        for tx in &self.ingress {
+            let _ = tx.send(IngressEvent::Shutdown);
+        }
+    }
+}
+
+/// One node's tier-2 sender (node-level combining). The threaded engine
+/// runs [`EgressPump::run`] on a dedicated `gd-egress-N` thread; the
+/// deterministic simulator holds the pump directly and calls
+/// [`EgressPump::pump`] as a cooperatively-scheduled actor. Combined
+/// packets leave through the [`crate::transport::Transport`] seam.
+pub(crate) struct EgressPump {
+    fabric: Arc<Fabric>,
+    rx: Receiver<EgressEvent>,
+    transport: Arc<dyn crate::transport::Transport>,
+}
+
 impl EgressPump {
+    /// In-process pump (threaded and simulated engines): packets ship over
+    /// the [`ChannelTransport`].
     pub(crate) fn new(
         fabric: Arc<Fabric>,
         rx: Receiver<EgressEvent>,
         ingress: Vec<Sender<IngressEvent>>,
     ) -> Self {
-        EgressPump {
+        let transport = Arc::new(ChannelTransport {
             #[cfg(feature = "obs")]
             obs: fabric.obs.net_shard(),
+            fabric: Arc::clone(&fabric),
+            ingress,
+        });
+        EgressPump {
             fabric,
             rx,
-            ingress,
+            transport,
+        }
+    }
+
+    /// Pump shipping over an arbitrary transport backend (the real-socket
+    /// multi-process engine).
+    pub(crate) fn with_transport(
+        fabric: Arc<Fabric>,
+        rx: Receiver<EgressEvent>,
+        transport: Arc<dyn crate::transport::Transport>,
+    ) -> Self {
+        EgressPump {
+            fabric,
+            rx,
+            transport,
         }
     }
 
@@ -743,16 +894,13 @@ impl EgressPump {
                 break;
             }
         }
-        // Propagate shutdown to every ingress thread once (node 0's egress
-        // is guaranteed to exist; have each egress notify its own node's
-        // ingress).
-        for tx in &self.ingress {
-            let _ = tx.send(IngressEvent::Shutdown);
-        }
+        // All flushed packets are shipped (FIFO): let the transport drain
+        // and propagate shutdown downstream.
+        self.transport.end_of_stream();
     }
 
-    /// Combine `first` with whatever else is queued right now (tier 2),
-    /// charge the cost model, and hand the wire packets to ingress.
+    /// Combine `first` with whatever else is queued right now (tier 2) and
+    /// ship the per-destination wire packets through the transport seam.
     /// Returns `false` if a `Shutdown` was consumed.
     fn round(&self, first: EgressEvent) -> bool {
         let fabric = &self.fabric;
@@ -793,39 +941,40 @@ impl EgressPump {
             }
         }
         for (dest_node, msgs, bytes) in groups {
-            let wire = bytes + 64; // packet header
-            charge(fabric.net_cfg.send_cost(wire));
-            #[cfg(feature = "obs")]
-            self.obs.wire_packet(wire);
-            #[cfg(not(feature = "obs"))]
-            {
-                // sync: monotonic diagnostic counters (obs-off fallback)
-                fabric.stats.wire_packets.fetch_add(1, Ordering::Relaxed);
-                fabric
-                    .stats
-                    .wire_bytes
-                    // sync: monotonic diagnostic counter (obs-off fallback)
-                    .fetch_add(wire as u64, Ordering::Relaxed);
-            }
-            let deliver_at = now() + fabric.net_cfg.propagation_delay;
-            let _ =
-                self.ingress[dest_node.as_usize()].send(IngressEvent::Packet { deliver_at, msgs });
+            self.transport.ship(crate::transport::WirePacket {
+                dest_node,
+                msgs,
+                bytes,
+            });
         }
         alive
     }
 }
 
 fn ingress_loop(fabric: Arc<Fabric>, rx: Receiver<IngressEvent>) {
-    while let Ok(IngressEvent::Packet { deliver_at, msgs }) = rx.recv() {
-        let now = now();
-        if deliver_at > now {
-            std::thread::sleep(deliver_at - now); // lint: allow(sim-determinism) threaded-mode only; sim pumps ingress itself
-        }
-        for m in msgs {
-            fabric.deliver(m);
+    // Drain-before-close: every egress pump broadcasts one `Shutdown` after
+    // its last packet, and this channel is per-sender FIFO — so after one
+    // `Shutdown` per pump has arrived, no pump can still have packets
+    // queued here. Exiting on the *first* `Shutdown` instead would race a
+    // quick-to-stop pump against another node's still-draining egress and
+    // truncate its tail.
+    let pumps = fabric.partitioner().nodes() as usize;
+    let mut shutdowns = 0usize;
+    while shutdowns < pumps {
+        match rx.recv() {
+            Ok(IngressEvent::Packet { deliver_at, msgs }) => {
+                let now = now();
+                if deliver_at > now {
+                    std::thread::sleep(deliver_at - now); // lint: allow(sim-determinism) threaded-mode only; sim pumps ingress itself
+                }
+                for m in msgs {
+                    fabric.deliver(m);
+                }
+            }
+            Ok(IngressEvent::Shutdown) => shutdowns += 1,
+            Err(_) => break, // all senders gone: nothing more can arrive
         }
     }
-    // `Shutdown` or a closed channel ends the loop.
 }
 
 /// Burn (or sleep) a simulated cost: spins for sub-50 µs durations (sleep

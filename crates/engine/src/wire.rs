@@ -1,0 +1,1985 @@
+//! Full control-plane wire codec for real (socket) transports.
+//!
+//! The in-process fabrics move [`WorkerMsg`] / [`CoordMsg`] values through
+//! channels and only *model* their wire size ([`crate::codec`]). A real
+//! transport has to put the bytes on a socket, so this module gives every
+//! cross-node message an exact, deterministic binary encoding. Hand-rolled
+//! like the batch codec — no serde format — so the layout is stable and the
+//! decoder surfaces `GdError` on any truncation or corruption instead of
+//! panicking.
+//!
+//! Matches are deliberately exhaustive (no wildcard arms): adding a message
+//! or plan variant is a compile error until its encoding is defined here.
+//!
+//! Two messages intentionally do not cross the wire:
+//! - [`CoordMsg::Submit`] carries the client's crossbeam reply channel;
+//!   clients always talk to the coordinator's own node. Encoding it is an
+//!   error, not a panic.
+//! - Map-shaped aggregation partials ([`AggState::GroupCount`]/`GroupSum`)
+//!   are encoded with entries sorted by key so the same state always
+//!   produces the same bytes (hash-map iteration order is not stable).
+
+use std::sync::Arc;
+
+use bytes::BufMut;
+
+use graphdance_common::value::ValueKey;
+use graphdance_common::{
+    EdgeId, FxHashMap, GdError, GdResult, Label, PartId, PropKey, QueryId, Value, VertexId,
+    WorkerId,
+};
+use graphdance_pstm::{AggState, Row, Weight};
+use graphdance_query::expr::{CmpOp, Expr};
+use graphdance_query::plan::{
+    AggFunc, AggSpec, GroupOrder, JoinSide, JoinSpec, Order, Pipeline, Plan, PlanStep, SourceSpec,
+    Stage,
+};
+use graphdance_storage::{Direction, TelEntry, TelList, VertexRecord, VertexSegment};
+
+use crate::codec::{self, Reader};
+use crate::messages::{BspSignal, CoordMsg, MigPhase, QueryCtx, WorkerMsg};
+use crate::net::WireMsg;
+
+fn bad(what: &str, tag: u8) -> GdError {
+    GdError::Internal(format!("wire: unknown {what} tag {tag}"))
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut Reader<'_>) -> GdResult<String> {
+    let n = r.u32()? as usize;
+    let raw = r.take(n)?;
+    std::str::from_utf8(raw)
+        .map(str::to_owned)
+        .map_err(|_| GdError::Internal("wire: invalid utf8".into()))
+}
+
+fn put_usize(buf: &mut Vec<u8>, n: usize) {
+    buf.put_u32_le(n as u32);
+}
+
+fn get_usize(r: &mut Reader<'_>) -> GdResult<usize> {
+    Ok(r.u32()? as usize)
+}
+
+fn put_values(buf: &mut Vec<u8>, vs: &[Value]) {
+    put_usize(buf, vs.len());
+    for v in vs {
+        codec::encode_value(buf, v);
+    }
+}
+
+fn get_values(r: &mut Reader<'_>) -> GdResult<Vec<Value>> {
+    let n = get_usize(r)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(codec::decode_value_borrowed(r)?);
+    }
+    Ok(out)
+}
+
+fn put_rows(buf: &mut Vec<u8>, rows: &[Row]) {
+    put_usize(buf, rows.len());
+    for row in rows {
+        put_values(buf, row);
+    }
+}
+
+fn get_rows(r: &mut Reader<'_>) -> GdResult<Vec<Row>> {
+    let n = get_usize(r)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_values(r)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// ValueKey
+// ---------------------------------------------------------------------------
+//
+// Same tag space as the Value codec, with `Float` keyed by IEEE-754 bits.
+
+fn encode_value_key(buf: &mut Vec<u8>, k: &ValueKey) {
+    match k {
+        ValueKey::Null => buf.put_u8(0),
+        ValueKey::Bool(false) => buf.put_u8(1),
+        ValueKey::Bool(true) => buf.put_u8(2),
+        ValueKey::Int(i) => {
+            buf.put_u8(3);
+            buf.put_i64_le(*i);
+        }
+        ValueKey::Float(bits) => {
+            buf.put_u8(4);
+            buf.put_u64_le(*bits);
+        }
+        ValueKey::Str(s) => {
+            buf.put_u8(5);
+            put_str(buf, s);
+        }
+        ValueKey::Vertex(v) => {
+            buf.put_u8(6);
+            buf.put_u64_le(v.0);
+        }
+        ValueKey::List(l) => {
+            buf.put_u8(7);
+            put_usize(buf, l.len());
+            for x in l {
+                encode_value_key(buf, x);
+            }
+        }
+    }
+}
+
+fn decode_value_key(r: &mut Reader<'_>) -> GdResult<ValueKey> {
+    match r.u8()? {
+        0 => Ok(ValueKey::Null),
+        1 => Ok(ValueKey::Bool(false)),
+        2 => Ok(ValueKey::Bool(true)),
+        3 => Ok(ValueKey::Int(r.i64()?)),
+        4 => Ok(ValueKey::Float(r.u64()?)),
+        5 => Ok(ValueKey::Str(Arc::from(get_str(r)?.as_str()))),
+        6 => Ok(ValueKey::Vertex(VertexId(r.u64()?))),
+        7 => {
+            let n = get_usize(r)?;
+            let mut out = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                out.push(decode_value_key(r)?);
+            }
+            Ok(ValueKey::List(out))
+        }
+        t => Err(bad("value-key", t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+fn encode_cmp_op(buf: &mut Vec<u8>, op: CmpOp) {
+    buf.put_u8(match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    });
+}
+
+fn decode_cmp_op(r: &mut Reader<'_>) -> GdResult<CmpOp> {
+    match r.u8()? {
+        0 => Ok(CmpOp::Eq),
+        1 => Ok(CmpOp::Ne),
+        2 => Ok(CmpOp::Lt),
+        3 => Ok(CmpOp::Le),
+        4 => Ok(CmpOp::Gt),
+        5 => Ok(CmpOp::Ge),
+        t => Err(bad("cmp-op", t)),
+    }
+}
+
+fn put_exprs(buf: &mut Vec<u8>, xs: &[Expr]) {
+    put_usize(buf, xs.len());
+    for x in xs {
+        encode_expr(buf, x);
+    }
+}
+
+fn get_exprs(r: &mut Reader<'_>) -> GdResult<Vec<Expr>> {
+    let n = get_usize(r)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(decode_expr(r)?);
+    }
+    Ok(out)
+}
+
+fn encode_expr(buf: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Const(v) => {
+            buf.put_u8(0);
+            codec::encode_value(buf, v);
+        }
+        Expr::Param(i) => {
+            buf.put_u8(1);
+            put_usize(buf, *i);
+        }
+        Expr::Slot(s) => {
+            buf.put_u8(2);
+            buf.put_u8(*s);
+        }
+        Expr::VertexId => buf.put_u8(3),
+        Expr::Prop(k) => {
+            buf.put_u8(4);
+            buf.put_u16_le(k.0);
+        }
+        Expr::LabelIs(l) => {
+            buf.put_u8(5);
+            buf.put_u16_le(l.0);
+        }
+        Expr::Cmp(a, op, b) => {
+            buf.put_u8(6);
+            encode_expr(buf, a);
+            encode_cmp_op(buf, *op);
+            encode_expr(buf, b);
+        }
+        Expr::And(xs) => {
+            buf.put_u8(7);
+            put_exprs(buf, xs);
+        }
+        Expr::Or(xs) => {
+            buf.put_u8(8);
+            put_exprs(buf, xs);
+        }
+        Expr::Not(x) => {
+            buf.put_u8(9);
+            encode_expr(buf, x);
+        }
+        Expr::In(x, set) => {
+            buf.put_u8(10);
+            encode_expr(buf, x);
+            put_values(buf, set);
+        }
+        Expr::IsNull(x) => {
+            buf.put_u8(11);
+            encode_expr(buf, x);
+        }
+        Expr::Add(a, b) => {
+            buf.put_u8(12);
+            encode_expr(buf, a);
+            encode_expr(buf, b);
+        }
+        Expr::Sub(a, b) => {
+            buf.put_u8(13);
+            encode_expr(buf, a);
+            encode_expr(buf, b);
+        }
+        Expr::Mul(a, b) => {
+            buf.put_u8(14);
+            encode_expr(buf, a);
+            encode_expr(buf, b);
+        }
+        Expr::Tuple(xs) => {
+            buf.put_u8(15);
+            put_exprs(buf, xs);
+        }
+        Expr::Month(x) => {
+            buf.put_u8(16);
+            encode_expr(buf, x);
+        }
+        Expr::Day(x) => {
+            buf.put_u8(17);
+            encode_expr(buf, x);
+        }
+    }
+}
+
+fn decode_expr(r: &mut Reader<'_>) -> GdResult<Expr> {
+    match r.u8()? {
+        0 => Ok(Expr::Const(codec::decode_value_borrowed(r)?)),
+        1 => Ok(Expr::Param(get_usize(r)?)),
+        2 => Ok(Expr::Slot(r.u8()?)),
+        3 => Ok(Expr::VertexId),
+        4 => Ok(Expr::Prop(PropKey(r.u16()?))),
+        5 => Ok(Expr::LabelIs(Label(r.u16()?))),
+        6 => {
+            let a = decode_expr(r)?;
+            let op = decode_cmp_op(r)?;
+            let b = decode_expr(r)?;
+            Ok(Expr::Cmp(Box::new(a), op, Box::new(b)))
+        }
+        7 => Ok(Expr::And(get_exprs(r)?)),
+        8 => Ok(Expr::Or(get_exprs(r)?)),
+        9 => Ok(Expr::Not(Box::new(decode_expr(r)?))),
+        10 => {
+            let x = decode_expr(r)?;
+            let set = get_values(r)?;
+            Ok(Expr::In(Box::new(x), set))
+        }
+        11 => Ok(Expr::IsNull(Box::new(decode_expr(r)?))),
+        12 => {
+            let a = decode_expr(r)?;
+            let b = decode_expr(r)?;
+            Ok(Expr::Add(Box::new(a), Box::new(b)))
+        }
+        13 => {
+            let a = decode_expr(r)?;
+            let b = decode_expr(r)?;
+            Ok(Expr::Sub(Box::new(a), Box::new(b)))
+        }
+        14 => {
+            let a = decode_expr(r)?;
+            let b = decode_expr(r)?;
+            Ok(Expr::Mul(Box::new(a), Box::new(b)))
+        }
+        15 => Ok(Expr::Tuple(get_exprs(r)?)),
+        16 => Ok(Expr::Month(Box::new(decode_expr(r)?))),
+        17 => Ok(Expr::Day(Box::new(decode_expr(r)?))),
+        t => Err(bad("expr", t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------------
+
+fn encode_order(buf: &mut Vec<u8>, o: Order) {
+    buf.put_u8(match o {
+        Order::Asc => 0,
+        Order::Desc => 1,
+    });
+}
+
+fn decode_order(r: &mut Reader<'_>) -> GdResult<Order> {
+    match r.u8()? {
+        0 => Ok(Order::Asc),
+        1 => Ok(Order::Desc),
+        t => Err(bad("order", t)),
+    }
+}
+
+fn encode_group_order(buf: &mut Vec<u8>, o: GroupOrder) {
+    buf.put_u8(match o {
+        GroupOrder::CountDesc => 0,
+        GroupOrder::CountAsc => 1,
+        GroupOrder::KeyAsc => 2,
+    });
+}
+
+fn decode_group_order(r: &mut Reader<'_>) -> GdResult<GroupOrder> {
+    match r.u8()? {
+        0 => Ok(GroupOrder::CountDesc),
+        1 => Ok(GroupOrder::CountAsc),
+        2 => Ok(GroupOrder::KeyAsc),
+        t => Err(bad("group-order", t)),
+    }
+}
+
+fn encode_direction(buf: &mut Vec<u8>, d: Direction) {
+    buf.put_u8(match d {
+        Direction::Out => 0,
+        Direction::In => 1,
+        Direction::Both => 2,
+    });
+}
+
+fn decode_direction(r: &mut Reader<'_>) -> GdResult<Direction> {
+    match r.u8()? {
+        0 => Ok(Direction::Out),
+        1 => Ok(Direction::In),
+        2 => Ok(Direction::Both),
+        t => Err(bad("direction", t)),
+    }
+}
+
+fn encode_source(buf: &mut Vec<u8>, s: &SourceSpec) {
+    match s {
+        SourceSpec::Param { param } => {
+            buf.put_u8(0);
+            put_usize(buf, *param);
+        }
+        SourceSpec::IndexLookup { label, key, value } => {
+            buf.put_u8(1);
+            buf.put_u16_le(label.0);
+            buf.put_u16_le(key.0);
+            encode_expr(buf, value);
+        }
+        SourceSpec::ScanLabel { label } => {
+            buf.put_u8(2);
+            buf.put_u16_le(label.0);
+        }
+        SourceSpec::PrevRows { vertex_col, seed } => {
+            buf.put_u8(3);
+            put_usize(buf, *vertex_col);
+            put_usize(buf, seed.len());
+            for (slot, col) in seed {
+                buf.put_u8(*slot);
+                put_usize(buf, *col);
+            }
+        }
+    }
+}
+
+fn decode_source(r: &mut Reader<'_>) -> GdResult<SourceSpec> {
+    match r.u8()? {
+        0 => Ok(SourceSpec::Param {
+            param: get_usize(r)?,
+        }),
+        1 => Ok(SourceSpec::IndexLookup {
+            label: Label(r.u16()?),
+            key: PropKey(r.u16()?),
+            value: decode_expr(r)?,
+        }),
+        2 => Ok(SourceSpec::ScanLabel {
+            label: Label(r.u16()?),
+        }),
+        3 => {
+            let vertex_col = get_usize(r)?;
+            let n = get_usize(r)?;
+            let mut seed = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let slot = r.u8()?;
+                let col = get_usize(r)?;
+                seed.push((slot, col));
+            }
+            Ok(SourceSpec::PrevRows { vertex_col, seed })
+        }
+        t => Err(bad("source", t)),
+    }
+}
+
+fn put_prop_slots(buf: &mut Vec<u8>, loads: &[(PropKey, u8)]) {
+    put_usize(buf, loads.len());
+    for (k, s) in loads {
+        buf.put_u16_le(k.0);
+        buf.put_u8(*s);
+    }
+}
+
+fn get_prop_slots(r: &mut Reader<'_>) -> GdResult<Vec<(PropKey, u8)>> {
+    let n = get_usize(r)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let k = PropKey(r.u16()?);
+        let s = r.u8()?;
+        out.push((k, s));
+    }
+    Ok(out)
+}
+
+fn encode_step(buf: &mut Vec<u8>, step: &PlanStep) {
+    match step {
+        PlanStep::Expand {
+            dir,
+            label,
+            edge_loads,
+        } => {
+            buf.put_u8(0);
+            encode_direction(buf, *dir);
+            buf.put_u16_le(label.0);
+            put_prop_slots(buf, edge_loads);
+        }
+        PlanStep::Filter(e) => {
+            buf.put_u8(1);
+            encode_expr(buf, e);
+        }
+        PlanStep::Load(loads) => {
+            buf.put_u8(2);
+            put_prop_slots(buf, loads);
+        }
+        PlanStep::Compute(assigns) => {
+            buf.put_u8(3);
+            put_usize(buf, assigns.len());
+            for (slot, e) in assigns {
+                buf.put_u8(*slot);
+                encode_expr(buf, e);
+            }
+        }
+        PlanStep::Dedup { slots } => {
+            buf.put_u8(4);
+            put_usize(buf, slots.len());
+            for s in slots {
+                buf.put_u8(*s);
+            }
+        }
+        PlanStep::MinDist { dist_slot } => {
+            buf.put_u8(5);
+            buf.put_u8(*dist_slot);
+        }
+        PlanStep::LoopEnd {
+            counter,
+            min,
+            max,
+            back_to,
+        } => {
+            buf.put_u8(6);
+            buf.put_u8(*counter);
+            buf.put_i64_le(*min);
+            buf.put_i64_le(*max);
+            buf.put_u16_le(*back_to);
+        }
+        PlanStep::Join { join_id, side, key } => {
+            buf.put_u8(7);
+            buf.put_u16_le(*join_id);
+            buf.put_u8(match side {
+                JoinSide::Probe => 0,
+                JoinSide::Build => 1,
+            });
+            encode_expr(buf, key);
+        }
+        PlanStep::MoveTo { vertex_slot } => {
+            buf.put_u8(8);
+            buf.put_u8(*vertex_slot);
+        }
+    }
+}
+
+fn decode_step(r: &mut Reader<'_>) -> GdResult<PlanStep> {
+    match r.u8()? {
+        0 => Ok(PlanStep::Expand {
+            dir: decode_direction(r)?,
+            label: Label(r.u16()?),
+            edge_loads: get_prop_slots(r)?,
+        }),
+        1 => Ok(PlanStep::Filter(decode_expr(r)?)),
+        2 => Ok(PlanStep::Load(get_prop_slots(r)?)),
+        3 => {
+            let n = get_usize(r)?;
+            let mut assigns = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let slot = r.u8()?;
+                let e = decode_expr(r)?;
+                assigns.push((slot, e));
+            }
+            Ok(PlanStep::Compute(assigns))
+        }
+        4 => {
+            let n = get_usize(r)?;
+            let mut slots = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                slots.push(r.u8()?);
+            }
+            Ok(PlanStep::Dedup { slots })
+        }
+        5 => Ok(PlanStep::MinDist { dist_slot: r.u8()? }),
+        6 => Ok(PlanStep::LoopEnd {
+            counter: r.u8()?,
+            min: r.i64()?,
+            max: r.i64()?,
+            back_to: r.u16()?,
+        }),
+        7 => {
+            let join_id = r.u16()?;
+            let side = match r.u8()? {
+                0 => JoinSide::Probe,
+                1 => JoinSide::Build,
+                t => return Err(bad("join-side", t)),
+            };
+            let key = decode_expr(r)?;
+            Ok(PlanStep::Join { join_id, side, key })
+        }
+        8 => Ok(PlanStep::MoveTo {
+            vertex_slot: r.u8()?,
+        }),
+        t => Err(bad("plan-step", t)),
+    }
+}
+
+fn encode_agg_func(buf: &mut Vec<u8>, f: &AggFunc) {
+    match f {
+        AggFunc::Count => buf.put_u8(0),
+        AggFunc::Sum(e) => {
+            buf.put_u8(1);
+            encode_expr(buf, e);
+        }
+        AggFunc::Min(e) => {
+            buf.put_u8(2);
+            encode_expr(buf, e);
+        }
+        AggFunc::Max(e) => {
+            buf.put_u8(3);
+            encode_expr(buf, e);
+        }
+        AggFunc::Avg(e) => {
+            buf.put_u8(4);
+            encode_expr(buf, e);
+        }
+        AggFunc::TopK {
+            k,
+            sort,
+            output,
+            distinct,
+        } => {
+            buf.put_u8(5);
+            put_usize(buf, *k);
+            put_usize(buf, sort.len());
+            for (e, o) in sort {
+                encode_expr(buf, e);
+                encode_order(buf, *o);
+            }
+            put_exprs(buf, output);
+            put_exprs(buf, distinct);
+        }
+        AggFunc::GroupCount { key, order, limit } => {
+            buf.put_u8(6);
+            encode_expr(buf, key);
+            encode_group_order(buf, *order);
+            put_usize(buf, *limit);
+        }
+        AggFunc::GroupSum {
+            key,
+            value,
+            order,
+            limit,
+        } => {
+            buf.put_u8(7);
+            encode_expr(buf, key);
+            encode_expr(buf, value);
+            encode_group_order(buf, *order);
+            put_usize(buf, *limit);
+        }
+        AggFunc::Collect { output, limit } => {
+            buf.put_u8(8);
+            put_exprs(buf, output);
+            put_usize(buf, *limit);
+        }
+    }
+}
+
+fn decode_agg_func(r: &mut Reader<'_>) -> GdResult<AggFunc> {
+    match r.u8()? {
+        0 => Ok(AggFunc::Count),
+        1 => Ok(AggFunc::Sum(decode_expr(r)?)),
+        2 => Ok(AggFunc::Min(decode_expr(r)?)),
+        3 => Ok(AggFunc::Max(decode_expr(r)?)),
+        4 => Ok(AggFunc::Avg(decode_expr(r)?)),
+        5 => {
+            let k = get_usize(r)?;
+            let n = get_usize(r)?;
+            let mut sort = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let e = decode_expr(r)?;
+                let o = decode_order(r)?;
+                sort.push((e, o));
+            }
+            let output = get_exprs(r)?;
+            let distinct = get_exprs(r)?;
+            Ok(AggFunc::TopK {
+                k,
+                sort,
+                output,
+                distinct,
+            })
+        }
+        6 => Ok(AggFunc::GroupCount {
+            key: decode_expr(r)?,
+            order: decode_group_order(r)?,
+            limit: get_usize(r)?,
+        }),
+        7 => Ok(AggFunc::GroupSum {
+            key: decode_expr(r)?,
+            value: decode_expr(r)?,
+            order: decode_group_order(r)?,
+            limit: get_usize(r)?,
+        }),
+        8 => Ok(AggFunc::Collect {
+            output: get_exprs(r)?,
+            limit: get_usize(r)?,
+        }),
+        t => Err(bad("agg-func", t)),
+    }
+}
+
+/// Encode a full plan.
+pub fn encode_plan(buf: &mut Vec<u8>, plan: &Plan) {
+    put_usize(buf, plan.num_params);
+    put_usize(buf, plan.stages.len());
+    for stage in &plan.stages {
+        put_usize(buf, stage.num_slots);
+        put_usize(buf, stage.pipelines.len());
+        for p in &stage.pipelines {
+            encode_source(buf, &p.source);
+            put_usize(buf, p.steps.len());
+            for s in &p.steps {
+                encode_step(buf, s);
+            }
+        }
+        put_usize(buf, stage.joins.len());
+        for j in &stage.joins {
+            buf.put_u16_le(j.join_id);
+            buf.put_u16_le(j.probe_pipeline);
+        }
+        put_exprs(buf, &stage.output);
+        match &stage.agg {
+            None => buf.put_u8(0),
+            Some(spec) => {
+                buf.put_u8(1);
+                encode_agg_func(buf, &spec.func);
+            }
+        }
+    }
+}
+
+/// Decode a full plan.
+pub(crate) fn decode_plan(r: &mut Reader<'_>) -> GdResult<Plan> {
+    let num_params = get_usize(r)?;
+    let n_stages = get_usize(r)?;
+    let mut stages = Vec::with_capacity(n_stages.min(64));
+    for _ in 0..n_stages {
+        let num_slots = get_usize(r)?;
+        let n_pipes = get_usize(r)?;
+        let mut pipelines = Vec::with_capacity(n_pipes.min(64));
+        for _ in 0..n_pipes {
+            let source = decode_source(r)?;
+            let n_steps = get_usize(r)?;
+            let mut steps = Vec::with_capacity(n_steps.min(1024));
+            for _ in 0..n_steps {
+                steps.push(decode_step(r)?);
+            }
+            pipelines.push(Pipeline { source, steps });
+        }
+        let n_joins = get_usize(r)?;
+        let mut joins = Vec::with_capacity(n_joins.min(64));
+        for _ in 0..n_joins {
+            joins.push(JoinSpec {
+                join_id: r.u16()?,
+                probe_pipeline: r.u16()?,
+            });
+        }
+        let output = get_exprs(r)?;
+        let agg = match r.u8()? {
+            0 => None,
+            1 => Some(AggSpec {
+                func: decode_agg_func(r)?,
+            }),
+            t => return Err(bad("agg-option", t)),
+        };
+        stages.push(Stage {
+            pipelines,
+            joins,
+            output,
+            agg,
+            num_slots,
+        });
+    }
+    Ok(Plan { stages, num_params })
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation partials
+// ---------------------------------------------------------------------------
+
+fn put_sorted_map(buf: &mut Vec<u8>, map: &FxHashMap<ValueKey, i64>) {
+    let mut entries: Vec<(&ValueKey, &i64)> = map.iter().collect();
+    // Sorted by the key's total order so identical states are identical
+    // bytes regardless of hash-map iteration order.
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    put_usize(buf, entries.len());
+    for (k, v) in entries {
+        encode_value_key(buf, k);
+        buf.put_i64_le(*v);
+    }
+}
+
+fn get_map(r: &mut Reader<'_>) -> GdResult<FxHashMap<ValueKey, i64>> {
+    let n = get_usize(r)?;
+    let mut map = FxHashMap::default();
+    map.reserve(n.min(4096));
+    for _ in 0..n {
+        let k = decode_value_key(r)?;
+        let v = r.i64()?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+/// Encode an aggregation partial.
+pub fn encode_agg_state(buf: &mut Vec<u8>, s: &AggState) {
+    match s {
+        AggState::Count(n) => {
+            buf.put_u8(0);
+            buf.put_u64_le(*n);
+        }
+        AggState::Sum(v) => {
+            buf.put_u8(1);
+            codec::encode_value(buf, v);
+        }
+        AggState::Min(v) => {
+            buf.put_u8(2);
+            match v {
+                None => buf.put_u8(0),
+                Some(v) => {
+                    buf.put_u8(1);
+                    codec::encode_value(buf, v);
+                }
+            }
+        }
+        AggState::Max(v) => {
+            buf.put_u8(3);
+            match v {
+                None => buf.put_u8(0),
+                Some(v) => {
+                    buf.put_u8(1);
+                    codec::encode_value(buf, v);
+                }
+            }
+        }
+        AggState::Avg { sum, count } => {
+            buf.put_u8(4);
+            buf.put_f64_le(*sum);
+            buf.put_u64_le(*count);
+        }
+        AggState::TopK { rows } => {
+            buf.put_u8(5);
+            put_usize(buf, rows.len());
+            for (sort, row, distinct) in rows {
+                put_values(buf, sort);
+                put_values(buf, row);
+                put_usize(buf, distinct.len());
+                for k in distinct {
+                    encode_value_key(buf, k);
+                }
+            }
+        }
+        AggState::GroupCount { map } => {
+            buf.put_u8(6);
+            put_sorted_map(buf, map);
+        }
+        AggState::GroupSum { map } => {
+            buf.put_u8(7);
+            put_sorted_map(buf, map);
+        }
+        AggState::Collect { rows } => {
+            buf.put_u8(8);
+            put_rows(buf, rows);
+        }
+    }
+}
+
+/// Decode an aggregation partial.
+pub(crate) fn decode_agg_state(r: &mut Reader<'_>) -> GdResult<AggState> {
+    match r.u8()? {
+        0 => Ok(AggState::Count(r.u64()?)),
+        1 => Ok(AggState::Sum(codec::decode_value_borrowed(r)?)),
+        2 => {
+            let present = r.u8()? != 0;
+            Ok(AggState::Min(if present {
+                Some(codec::decode_value_borrowed(r)?)
+            } else {
+                None
+            }))
+        }
+        3 => {
+            let present = r.u8()? != 0;
+            Ok(AggState::Max(if present {
+                Some(codec::decode_value_borrowed(r)?)
+            } else {
+                None
+            }))
+        }
+        4 => Ok(AggState::Avg {
+            sum: r.f64()?,
+            count: r.u64()?,
+        }),
+        5 => {
+            let n = get_usize(r)?;
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let sort = get_values(r)?;
+                let row = get_values(r)?;
+                let nd = get_usize(r)?;
+                let mut distinct = Vec::with_capacity(nd.min(1024));
+                for _ in 0..nd {
+                    distinct.push(decode_value_key(r)?);
+                }
+                rows.push((sort, row, distinct));
+            }
+            Ok(AggState::TopK { rows })
+        }
+        6 => Ok(AggState::GroupCount { map: get_map(r)? }),
+        7 => Ok(AggState::GroupSum { map: get_map(r)? }),
+        8 => Ok(AggState::Collect { rows: get_rows(r)? }),
+        t => Err(bad("agg-state", t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+fn encode_error(buf: &mut Vec<u8>, e: &GdError) {
+    match e {
+        GdError::VertexNotFound(v) => {
+            buf.put_u8(0);
+            buf.put_u64_le(v.0);
+        }
+        GdError::UnknownSymbol(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+        GdError::InvalidProgram(s) => {
+            buf.put_u8(2);
+            put_str(buf, s);
+        }
+        GdError::Parse { offset, message } => {
+            buf.put_u8(3);
+            put_usize(buf, *offset);
+            put_str(buf, message);
+        }
+        GdError::TypeError(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+        GdError::EngineClosed => buf.put_u8(5),
+        GdError::QueryTimeout(q) => {
+            buf.put_u8(6);
+            buf.put_u64_le(q.0);
+        }
+        GdError::QueryCancelled(q) => {
+            buf.put_u8(7);
+            buf.put_u64_le(q.0);
+        }
+        GdError::Overloaded => buf.put_u8(8),
+        GdError::TxnAborted(s) => {
+            buf.put_u8(9);
+            put_str(buf, s);
+        }
+        GdError::InvariantViolation(s) => {
+            buf.put_u8(10);
+            put_str(buf, s);
+        }
+        GdError::Internal(s) => {
+            buf.put_u8(11);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn decode_error(r: &mut Reader<'_>) -> GdResult<GdError> {
+    match r.u8()? {
+        0 => Ok(GdError::VertexNotFound(VertexId(r.u64()?))),
+        1 => Ok(GdError::UnknownSymbol(get_str(r)?)),
+        2 => Ok(GdError::InvalidProgram(get_str(r)?)),
+        3 => Ok(GdError::Parse {
+            offset: get_usize(r)?,
+            message: get_str(r)?,
+        }),
+        4 => Ok(GdError::TypeError(get_str(r)?)),
+        5 => Ok(GdError::EngineClosed),
+        6 => Ok(GdError::QueryTimeout(QueryId(r.u64()?))),
+        7 => Ok(GdError::QueryCancelled(QueryId(r.u64()?))),
+        8 => Ok(GdError::Overloaded),
+        9 => Ok(GdError::TxnAborted(get_str(r)?)),
+        10 => Ok(GdError::InvariantViolation(get_str(r)?)),
+        11 => Ok(GdError::Internal(get_str(r)?)),
+        t => Err(bad("error", t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Migration segments
+// ---------------------------------------------------------------------------
+
+fn put_props(buf: &mut Vec<u8>, props: &[(PropKey, Value)]) {
+    put_usize(buf, props.len());
+    for (k, v) in props {
+        buf.put_u16_le(k.0);
+        codec::encode_value(buf, v);
+    }
+}
+
+fn get_props(r: &mut Reader<'_>) -> GdResult<Vec<(PropKey, Value)>> {
+    let n = get_usize(r)?;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let k = PropKey(r.u16()?);
+        let v = codec::decode_value_borrowed(r)?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+fn encode_tel(buf: &mut Vec<u8>, tel: &TelList) {
+    let entries = tel.entries();
+    put_usize(buf, entries.len());
+    for e in entries {
+        buf.put_u16_le(e.label.0);
+        buf.put_u64_le(e.other.0);
+        buf.put_u64_le(e.eid.0);
+        buf.put_u64_le(e.create_ts);
+        buf.put_u64_le(e.delete_ts);
+        put_props(buf, &e.props);
+    }
+}
+
+fn decode_tel(r: &mut Reader<'_>) -> GdResult<TelList> {
+    let n = get_usize(r)?;
+    let mut entries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        entries.push(TelEntry {
+            label: Label(r.u16()?),
+            other: VertexId(r.u64()?),
+            eid: EdgeId(r.u64()?),
+            create_ts: r.u64()?,
+            delete_ts: r.u64()?,
+            props: get_props(r)?,
+        });
+    }
+    Ok(TelList::from_entries(entries))
+}
+
+fn encode_segment(buf: &mut Vec<u8>, seg: &VertexSegment) {
+    buf.put_u64_le(seg.v.0);
+    buf.put_u16_le(seg.record.label.0);
+    buf.put_u64_le(seg.record.create_ts);
+    put_props(buf, &seg.record.props);
+    encode_tel(buf, &seg.out);
+    encode_tel(buf, &seg.inn);
+}
+
+fn decode_segment(r: &mut Reader<'_>) -> GdResult<VertexSegment> {
+    let v = VertexId(r.u64()?);
+    let label = Label(r.u16()?);
+    let create_ts = r.u64()?;
+    let props = get_props(r)?;
+    let out = decode_tel(r)?;
+    let inn = decode_tel(r)?;
+    Ok(VertexSegment {
+        v,
+        record: VertexRecord {
+            label,
+            create_ts,
+            props,
+        },
+        out,
+        inn,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// WorkerMsg / CoordMsg
+// ---------------------------------------------------------------------------
+
+/// Encode a worker control message. Every variant crosses the wire.
+pub fn encode_worker_msg(buf: &mut Vec<u8>, msg: &WorkerMsg) -> GdResult<()> {
+    match msg {
+        WorkerMsg::Batch(ts) => {
+            buf.put_u8(0);
+            put_usize(buf, ts.len());
+            for t in ts {
+                codec::encode_traverser(buf, t);
+            }
+        }
+        WorkerMsg::QueryBegin { ctx, stage } => {
+            buf.put_u8(1);
+            buf.put_u16_le(*stage);
+            buf.put_u64_le(ctx.query.0);
+            encode_plan(buf, &ctx.plan);
+            put_values(buf, &ctx.params);
+            buf.put_u64_le(ctx.read_ts);
+            buf.put_u64_le(ctx.routing_version);
+        }
+        WorkerMsg::StageBegin { query, stage } => {
+            buf.put_u8(2);
+            buf.put_u64_le(query.0);
+            buf.put_u16_le(*stage);
+        }
+        WorkerMsg::StartSource {
+            query,
+            pipeline,
+            weight,
+        } => {
+            buf.put_u8(3);
+            buf.put_u64_le(query.0);
+            buf.put_u16_le(*pipeline);
+            buf.put_u64_le(weight.0);
+        }
+        WorkerMsg::GatherAgg { query } => {
+            buf.put_u8(4);
+            buf.put_u64_le(query.0);
+        }
+        WorkerMsg::QueryEnd { query } => {
+            buf.put_u8(5);
+            buf.put_u64_le(query.0);
+        }
+        WorkerMsg::CancelQuery { query } => {
+            buf.put_u8(6);
+            buf.put_u64_le(query.0);
+        }
+        WorkerMsg::MigrateFreeze { seq, v, to } => {
+            buf.put_u8(7);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(v.0);
+            buf.put_u32_le(to.0);
+        }
+        WorkerMsg::MigrateInstall {
+            seq,
+            v,
+            from,
+            segment,
+        } => {
+            buf.put_u8(8);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(v.0);
+            buf.put_u32_le(from.0);
+            encode_segment(buf, segment);
+        }
+        WorkerMsg::MigrateCommit {
+            seq,
+            v,
+            to,
+            version,
+        } => {
+            buf.put_u8(9);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(v.0);
+            buf.put_u32_le(to.0);
+            buf.put_u64_le(*version);
+        }
+        WorkerMsg::MigrateRetire { seq, v } => {
+            buf.put_u8(10);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(v.0);
+        }
+        WorkerMsg::Bsp(BspSignal::RunStep { query, depth }) => {
+            buf.put_u8(11);
+            buf.put_u64_le(query.0);
+            buf.put_u32_le(*depth);
+        }
+        WorkerMsg::Bsp(BspSignal::Probe { query, round }) => {
+            buf.put_u8(12);
+            buf.put_u64_le(query.0);
+            buf.put_u64_le(*round);
+        }
+        WorkerMsg::Shutdown => buf.put_u8(13),
+    }
+    Ok(())
+}
+
+/// Decode a worker control message.
+pub(crate) fn decode_worker_msg(r: &mut Reader<'_>) -> GdResult<WorkerMsg> {
+    match r.u8()? {
+        0 => {
+            let n = get_usize(r)?;
+            let mut ts = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                ts.push(codec::decode_traverser_borrowed(r)?);
+            }
+            Ok(WorkerMsg::Batch(ts))
+        }
+        1 => {
+            let stage = r.u16()?;
+            let query = QueryId(r.u64()?);
+            let plan = decode_plan(r)?;
+            let params = get_values(r)?;
+            let read_ts = r.u64()?;
+            let routing_version = r.u64()?;
+            Ok(WorkerMsg::QueryBegin {
+                ctx: Arc::new(QueryCtx {
+                    query,
+                    plan,
+                    params,
+                    read_ts,
+                    routing_version,
+                }),
+                stage,
+            })
+        }
+        2 => Ok(WorkerMsg::StageBegin {
+            query: QueryId(r.u64()?),
+            stage: r.u16()?,
+        }),
+        3 => Ok(WorkerMsg::StartSource {
+            query: QueryId(r.u64()?),
+            pipeline: r.u16()?,
+            weight: Weight(r.u64()?),
+        }),
+        4 => Ok(WorkerMsg::GatherAgg {
+            query: QueryId(r.u64()?),
+        }),
+        5 => Ok(WorkerMsg::QueryEnd {
+            query: QueryId(r.u64()?),
+        }),
+        6 => Ok(WorkerMsg::CancelQuery {
+            query: QueryId(r.u64()?),
+        }),
+        7 => Ok(WorkerMsg::MigrateFreeze {
+            seq: r.u64()?,
+            v: VertexId(r.u64()?),
+            to: PartId(r.u32()?),
+        }),
+        8 => Ok(WorkerMsg::MigrateInstall {
+            seq: r.u64()?,
+            v: VertexId(r.u64()?),
+            from: PartId(r.u32()?),
+            segment: Box::new(decode_segment(r)?),
+        }),
+        9 => Ok(WorkerMsg::MigrateCommit {
+            seq: r.u64()?,
+            v: VertexId(r.u64()?),
+            to: PartId(r.u32()?),
+            version: r.u64()?,
+        }),
+        10 => Ok(WorkerMsg::MigrateRetire {
+            seq: r.u64()?,
+            v: VertexId(r.u64()?),
+        }),
+        11 => Ok(WorkerMsg::Bsp(BspSignal::RunStep {
+            query: QueryId(r.u64()?),
+            depth: r.u32()?,
+        })),
+        12 => Ok(WorkerMsg::Bsp(BspSignal::Probe {
+            query: QueryId(r.u64()?),
+            round: r.u64()?,
+        })),
+        13 => Ok(WorkerMsg::Shutdown),
+        t => Err(bad("worker-msg", t)),
+    }
+}
+
+fn encode_mig_phase(buf: &mut Vec<u8>, p: MigPhase) {
+    buf.put_u8(match p {
+        MigPhase::Installed => 0,
+        MigPhase::Committed => 1,
+        MigPhase::Retired => 2,
+        MigPhase::Failed => 3,
+    });
+}
+
+fn decode_mig_phase(r: &mut Reader<'_>) -> GdResult<MigPhase> {
+    match r.u8()? {
+        0 => Ok(MigPhase::Installed),
+        1 => Ok(MigPhase::Committed),
+        2 => Ok(MigPhase::Retired),
+        3 => Ok(MigPhase::Failed),
+        t => Err(bad("mig-phase", t)),
+    }
+}
+
+/// Encode a coordinator message. [`CoordMsg::Submit`] is the one variant
+/// that legitimately never crosses node boundaries (it carries the client's
+/// in-process reply channel), so encoding it is an error.
+pub fn encode_coord_msg(buf: &mut Vec<u8>, msg: &CoordMsg) -> GdResult<()> {
+    match msg {
+        CoordMsg::Submit { .. } => {
+            return Err(GdError::Internal(
+                "wire: CoordMsg::Submit cannot cross node boundaries".into(),
+            ));
+        }
+        CoordMsg::Cancel { query } => {
+            buf.put_u8(1);
+            buf.put_u64_le(query.0);
+        }
+        CoordMsg::Progress {
+            query,
+            weight,
+            steps,
+        } => {
+            buf.put_u8(2);
+            buf.put_u64_le(query.0);
+            buf.put_u64_le(weight.0);
+            buf.put_u64_le(*steps);
+        }
+        CoordMsg::Rows { query, rows } => {
+            buf.put_u8(3);
+            buf.put_u64_le(query.0);
+            put_rows(buf, rows);
+        }
+        CoordMsg::AggPartial { query, part, state } => {
+            buf.put_u8(4);
+            buf.put_u64_le(query.0);
+            buf.put_u32_le(part.0);
+            match state {
+                None => buf.put_u8(0),
+                Some(s) => {
+                    buf.put_u8(1);
+                    encode_agg_state(buf, s);
+                }
+            }
+        }
+        CoordMsg::WorkerError { query, error } => {
+            buf.put_u8(5);
+            buf.put_u64_le(query.0);
+            encode_error(buf, error);
+        }
+        CoordMsg::BspStepDone {
+            query,
+            part,
+            finished,
+            issued,
+            count,
+            consumed,
+            consumed_count,
+        } => {
+            buf.put_u8(6);
+            buf.put_u64_le(query.0);
+            buf.put_u32_le(part.0);
+            buf.put_u64_le(finished.0);
+            buf.put_u64_le(issued.0);
+            buf.put_u64_le(*count);
+            buf.put_u64_le(consumed.0);
+            buf.put_u64_le(*consumed_count);
+        }
+        CoordMsg::BspParked {
+            query,
+            part,
+            parked,
+            round,
+        } => {
+            buf.put_u8(7);
+            buf.put_u64_le(query.0);
+            buf.put_u32_le(part.0);
+            buf.put_u64_le(parked.0);
+            buf.put_u64_le(*round);
+        }
+        CoordMsg::Rebalance { moves } => {
+            buf.put_u8(8);
+            put_usize(buf, moves.len());
+            for (v, p) in moves {
+                buf.put_u64_le(v.0);
+                buf.put_u32_le(p.0);
+            }
+        }
+        CoordMsg::MigrateAck { seq, v, phase } => {
+            buf.put_u8(9);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(v.0);
+            encode_mig_phase(buf, *phase);
+        }
+        CoordMsg::Tick => buf.put_u8(10),
+        CoordMsg::Shutdown => buf.put_u8(11),
+    }
+    Ok(())
+}
+
+/// Decode a coordinator message.
+pub(crate) fn decode_coord_msg(r: &mut Reader<'_>) -> GdResult<CoordMsg> {
+    match r.u8()? {
+        1 => Ok(CoordMsg::Cancel {
+            query: QueryId(r.u64()?),
+        }),
+        2 => Ok(CoordMsg::Progress {
+            query: QueryId(r.u64()?),
+            weight: Weight(r.u64()?),
+            steps: r.u64()?,
+        }),
+        3 => Ok(CoordMsg::Rows {
+            query: QueryId(r.u64()?),
+            rows: get_rows(r)?,
+        }),
+        4 => {
+            let query = QueryId(r.u64()?);
+            let part = PartId(r.u32()?);
+            let state = match r.u8()? {
+                0 => None,
+                1 => Some(Box::new(decode_agg_state(r)?)),
+                t => return Err(bad("agg-partial-option", t)),
+            };
+            Ok(CoordMsg::AggPartial { query, part, state })
+        }
+        5 => Ok(CoordMsg::WorkerError {
+            query: QueryId(r.u64()?),
+            error: decode_error(r)?,
+        }),
+        6 => Ok(CoordMsg::BspStepDone {
+            query: QueryId(r.u64()?),
+            part: PartId(r.u32()?),
+            finished: Weight(r.u64()?),
+            issued: Weight(r.u64()?),
+            count: r.u64()?,
+            consumed: Weight(r.u64()?),
+            consumed_count: r.u64()?,
+        }),
+        7 => Ok(CoordMsg::BspParked {
+            query: QueryId(r.u64()?),
+            part: PartId(r.u32()?),
+            parked: Weight(r.u64()?),
+            round: r.u64()?,
+        }),
+        8 => {
+            let n = get_usize(r)?;
+            let mut moves = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let v = VertexId(r.u64()?);
+                let p = PartId(r.u32()?);
+                moves.push((v, p));
+            }
+            Ok(CoordMsg::Rebalance { moves })
+        }
+        9 => Ok(CoordMsg::MigrateAck {
+            seq: r.u64()?,
+            v: VertexId(r.u64()?),
+            phase: decode_mig_phase(r)?,
+        }),
+        10 => Ok(CoordMsg::Tick),
+        11 => Ok(CoordMsg::Shutdown),
+        t => Err(bad("coord-msg", t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WireMsg — the unit a transport packet carries
+// ---------------------------------------------------------------------------
+
+/// Encode one wire message into a packet body.
+pub(crate) fn encode_wire_msg(buf: &mut Vec<u8>, msg: &WireMsg) -> GdResult<()> {
+    match msg {
+        WireMsg::Batch { dest, payload } => {
+            buf.put_u8(0);
+            buf.put_u32_le(dest.0);
+            put_usize(buf, payload.len());
+            buf.put_slice(payload);
+        }
+        WireMsg::Progress {
+            query,
+            weight,
+            steps,
+        } => {
+            buf.put_u8(1);
+            buf.put_u64_le(query.0);
+            buf.put_u64_le(weight.0);
+            buf.put_u64_le(*steps);
+        }
+        WireMsg::Rows {
+            query,
+            rows,
+            approx,
+        } => {
+            buf.put_u8(2);
+            buf.put_u64_le(query.0);
+            put_usize(buf, *approx);
+            put_rows(buf, rows);
+        }
+        WireMsg::CtrlWorker { dest, msg } => {
+            buf.put_u8(3);
+            buf.put_u32_le(dest.0);
+            encode_worker_msg(buf, msg)?;
+        }
+        WireMsg::CtrlCoord { msg } => {
+            buf.put_u8(4);
+            encode_coord_msg(buf, msg)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode one wire message from a packet body.
+pub(crate) fn decode_wire_msg(r: &mut Reader<'_>) -> GdResult<WireMsg> {
+    match r.u8()? {
+        0 => {
+            let dest = WorkerId(r.u32()?);
+            let n = get_usize(r)?;
+            let payload = r.take(n)?.to_vec();
+            Ok(WireMsg::Batch { dest, payload })
+        }
+        1 => Ok(WireMsg::Progress {
+            query: QueryId(r.u64()?),
+            weight: Weight(r.u64()?),
+            steps: r.u64()?,
+        }),
+        2 => Ok(WireMsg::Rows {
+            query: QueryId(r.u64()?),
+            approx: get_usize(r)?,
+            rows: get_rows(r)?,
+        }),
+        3 => {
+            let dest = WorkerId(r.u32()?);
+            let msg = decode_worker_msg(r)?;
+            Ok(WireMsg::CtrlWorker { dest, msg })
+        }
+        4 => Ok(WireMsg::CtrlCoord {
+            msg: decode_coord_msg(r)?,
+        }),
+        t => Err(bad("wire-msg", t)),
+    }
+}
+
+/// Encode a full packet body: `u16 count | count × wire msg`. The socket
+/// transport wraps this in a length-prefixed PACKET frame.
+pub(crate) fn encode_packet(buf: &mut Vec<u8>, msgs: &[WireMsg]) -> GdResult<()> {
+    buf.put_u16_le(msgs.len() as u16);
+    for m in msgs {
+        encode_wire_msg(buf, m)?;
+    }
+    Ok(())
+}
+
+/// Decode a full packet body. Rejects trailing garbage: a packet must be
+/// consumed exactly.
+pub(crate) fn decode_packet(body: &[u8]) -> GdResult<Vec<WireMsg>> {
+    let mut r = Reader::new(body);
+    let n = r.u16()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        out.push(decode_wire_msg(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(GdError::Internal(
+            "wire: trailing bytes after packet body".into(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphdance_pstm::Traverser;
+
+    fn sample_plan() -> Plan {
+        Plan {
+            stages: vec![Stage {
+                pipelines: vec![Pipeline {
+                    source: SourceSpec::IndexLookup {
+                        label: Label(1),
+                        key: PropKey(2),
+                        value: Expr::Param(0),
+                    },
+                    steps: vec![
+                        PlanStep::Expand {
+                            dir: Direction::Both,
+                            label: Label(3),
+                            edge_loads: vec![(PropKey(4), 1)],
+                        },
+                        PlanStep::Filter(Expr::And(vec![
+                            Expr::lt(Expr::Slot(0), Expr::int(9)),
+                            Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::Prop(PropKey(1)))))),
+                        ])),
+                        PlanStep::Compute(vec![(
+                            0,
+                            Expr::Add(Box::new(Expr::Slot(0)), Box::new(Expr::int(1))),
+                        )]),
+                        PlanStep::LoopEnd {
+                            counter: 2,
+                            min: 1,
+                            max: 3,
+                            back_to: 0,
+                        },
+                        PlanStep::Dedup { slots: vec![0, 2] },
+                        PlanStep::MinDist { dist_slot: 2 },
+                        PlanStep::Join {
+                            join_id: 0,
+                            side: JoinSide::Probe,
+                            key: Expr::Tuple(vec![
+                                Expr::VertexId,
+                                Expr::Month(Box::new(Expr::Slot(1))),
+                            ]),
+                        },
+                        PlanStep::MoveTo { vertex_slot: 1 },
+                    ],
+                }],
+                joins: vec![JoinSpec {
+                    join_id: 0,
+                    probe_pipeline: 0,
+                }],
+                output: vec![Expr::VertexId, Expr::Day(Box::new(Expr::Slot(1)))],
+                agg: Some(AggSpec {
+                    func: AggFunc::TopK {
+                        k: 5,
+                        sort: vec![(Expr::Slot(0), Order::Desc)],
+                        output: vec![Expr::VertexId],
+                        distinct: vec![Expr::VertexId],
+                    },
+                }),
+                num_slots: 3,
+            }],
+            num_params: 1,
+        }
+    }
+
+    fn roundtrip_worker(msg: &WorkerMsg) -> WorkerMsg {
+        let mut buf = Vec::new();
+        encode_worker_msg(&mut buf, msg).unwrap();
+        let mut r = Reader::new(&buf);
+        let back = decode_worker_msg(&mut r).unwrap();
+        assert!(r.is_empty(), "worker msg fully consumed");
+        back
+    }
+
+    fn roundtrip_coord(msg: &CoordMsg) -> CoordMsg {
+        let mut buf = Vec::new();
+        encode_coord_msg(&mut buf, msg).unwrap();
+        let mut r = Reader::new(&buf);
+        let back = decode_coord_msg(&mut r).unwrap();
+        assert!(r.is_empty(), "coord msg fully consumed");
+        back
+    }
+
+    #[test]
+    fn plan_roundtrips() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        encode_plan(&mut buf, &plan);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_plan(&mut r).unwrap(), plan);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn every_source_and_agg_variant_roundtrips() {
+        for src in [
+            SourceSpec::Param { param: 2 },
+            SourceSpec::ScanLabel { label: Label(7) },
+            SourceSpec::PrevRows {
+                vertex_col: 1,
+                seed: vec![(0, 2), (1, 0)],
+            },
+        ] {
+            let mut buf = Vec::new();
+            encode_source(&mut buf, &src);
+            assert_eq!(decode_source(&mut Reader::new(&buf)).unwrap(), src);
+        }
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum(Expr::Slot(0)),
+            AggFunc::Min(Expr::Slot(0)),
+            AggFunc::Max(Expr::Slot(0)),
+            AggFunc::Avg(Expr::Slot(0)),
+            AggFunc::GroupCount {
+                key: Expr::VertexId,
+                order: GroupOrder::CountDesc,
+                limit: 10,
+            },
+            AggFunc::GroupSum {
+                key: Expr::VertexId,
+                value: Expr::Slot(1),
+                order: GroupOrder::KeyAsc,
+                limit: 3,
+            },
+            AggFunc::Collect {
+                output: vec![Expr::VertexId],
+                limit: 100,
+            },
+        ] {
+            let mut buf = Vec::new();
+            encode_agg_func(&mut buf, &f);
+            assert_eq!(decode_agg_func(&mut Reader::new(&buf)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn query_begin_roundtrips_with_full_plan() {
+        let msg = WorkerMsg::QueryBegin {
+            ctx: Arc::new(QueryCtx {
+                query: QueryId(42),
+                plan: sample_plan(),
+                params: vec![Value::str("alice"), Value::Int(7)],
+                read_ts: 9,
+                routing_version: 3,
+            }),
+            stage: 1,
+        };
+        match roundtrip_worker(&msg) {
+            WorkerMsg::QueryBegin { ctx, stage } => {
+                assert_eq!(stage, 1);
+                assert_eq!(ctx.query, QueryId(42));
+                assert_eq!(ctx.plan, sample_plan());
+                assert_eq!(ctx.params, vec![Value::str("alice"), Value::Int(7)]);
+                assert_eq!(ctx.read_ts, 9);
+                assert_eq!(ctx.routing_version, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_worker_msg_variant_roundtrips() {
+        let seg = VertexSegment {
+            v: VertexId(5),
+            record: VertexRecord {
+                label: Label(1),
+                create_ts: 0,
+                props: vec![(PropKey(0), Value::str("x"))],
+            },
+            out: {
+                let mut t = TelList::new();
+                t.insert(Label(2), VertexId(6), EdgeId(1), 3, vec![]);
+                t.delete(Label(2), VertexId(6), 9);
+                t
+            },
+            inn: TelList::new(),
+        };
+        let msgs = vec![
+            WorkerMsg::Batch(vec![Traverser::root(
+                QueryId(1),
+                0,
+                VertexId(2),
+                2,
+                Weight(5),
+            )]),
+            WorkerMsg::StageBegin {
+                query: QueryId(1),
+                stage: 2,
+            },
+            WorkerMsg::StartSource {
+                query: QueryId(1),
+                pipeline: 0,
+                weight: Weight(u64::MAX),
+            },
+            WorkerMsg::GatherAgg { query: QueryId(1) },
+            WorkerMsg::QueryEnd { query: QueryId(1) },
+            WorkerMsg::CancelQuery { query: QueryId(1) },
+            WorkerMsg::MigrateFreeze {
+                seq: 9,
+                v: VertexId(5),
+                to: PartId(3),
+            },
+            WorkerMsg::MigrateInstall {
+                seq: 9,
+                v: VertexId(5),
+                from: PartId(1),
+                segment: Box::new(seg),
+            },
+            WorkerMsg::MigrateCommit {
+                seq: 9,
+                v: VertexId(5),
+                to: PartId(3),
+                version: 11,
+            },
+            WorkerMsg::MigrateRetire {
+                seq: 9,
+                v: VertexId(5),
+            },
+            WorkerMsg::Bsp(BspSignal::RunStep {
+                query: QueryId(1),
+                depth: 4,
+            }),
+            WorkerMsg::Bsp(BspSignal::Probe {
+                query: QueryId(1),
+                round: 7,
+            }),
+            WorkerMsg::Shutdown,
+        ];
+        for msg in &msgs {
+            let back = roundtrip_worker(msg);
+            // WorkerMsg is not PartialEq (Arc ctx); compare debug renders,
+            // which include every payload field.
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn migrate_install_preserves_mvcc_history() {
+        let mut out = TelList::new();
+        out.insert(Label(1), VertexId(2), EdgeId(1), 1, vec![]);
+        out.delete(Label(1), VertexId(2), 5);
+        out.insert(Label(1), VertexId(2), EdgeId(2), 8, vec![]);
+        let msg = WorkerMsg::MigrateInstall {
+            seq: 1,
+            v: VertexId(1),
+            from: PartId(0),
+            segment: Box::new(VertexSegment {
+                v: VertexId(1),
+                record: VertexRecord {
+                    label: Label(0),
+                    create_ts: 0,
+                    props: vec![],
+                },
+                out,
+                inn: TelList::new(),
+            }),
+        };
+        match roundtrip_worker(&msg) {
+            WorkerMsg::MigrateInstall { segment, .. } => {
+                assert_eq!(segment.out.len_versions(), 2);
+                assert_eq!(segment.out.scan_visible(Label(1), 3).count(), 1);
+                assert_eq!(segment.out.scan_visible(Label(1), 6).count(), 0);
+                assert_eq!(segment.out.scan_visible(Label(1), 9).count(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_coord_msg_variant_roundtrips() {
+        let mut map = FxHashMap::default();
+        map.insert(ValueKey::Int(1), 5i64);
+        map.insert(ValueKey::Str(Arc::from("k")), -2);
+        let msgs = vec![
+            CoordMsg::Cancel { query: QueryId(3) },
+            CoordMsg::Progress {
+                query: QueryId(3),
+                weight: Weight(77),
+                steps: 5,
+            },
+            CoordMsg::Rows {
+                query: QueryId(3),
+                rows: vec![vec![Value::Int(1), Value::str("x")], vec![Value::Null]],
+            },
+            CoordMsg::AggPartial {
+                query: QueryId(3),
+                part: PartId(2),
+                state: Some(Box::new(AggState::GroupCount { map })),
+            },
+            CoordMsg::AggPartial {
+                query: QueryId(3),
+                part: PartId(2),
+                state: None,
+            },
+            CoordMsg::WorkerError {
+                query: QueryId(3),
+                error: GdError::VertexNotFound(VertexId(9)),
+            },
+            CoordMsg::BspStepDone {
+                query: QueryId(3),
+                part: PartId(0),
+                finished: Weight(1),
+                issued: Weight(2),
+                count: 3,
+                consumed: Weight(4),
+                consumed_count: 5,
+            },
+            CoordMsg::BspParked {
+                query: QueryId(3),
+                part: PartId(1),
+                parked: Weight(6),
+                round: 2,
+            },
+            CoordMsg::Rebalance {
+                moves: vec![(VertexId(1), PartId(2)), (VertexId(3), PartId(0))],
+            },
+            CoordMsg::MigrateAck {
+                seq: 4,
+                v: VertexId(1),
+                phase: MigPhase::Installed,
+            },
+            CoordMsg::Tick,
+            CoordMsg::Shutdown,
+        ];
+        for msg in &msgs {
+            let back = roundtrip_coord(msg);
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn submit_refuses_to_cross_the_wire() {
+        let (reply, _rx) = crossbeam::channel::unbounded();
+        let msg = CoordMsg::Submit {
+            query: QueryId(1),
+            plan: sample_plan(),
+            params: vec![],
+            read_ts: None,
+            reply,
+            submitted_at: std::time::Instant::now(), // lint: allow(sim-determinism) test constructs a never-sent message
+            deadline: None,
+        };
+        let mut buf = Vec::new();
+        assert!(encode_coord_msg(&mut buf, &msg).is_err());
+        assert!(buf.is_empty(), "nothing written before the refusal");
+    }
+
+    #[test]
+    fn agg_state_map_encoding_is_deterministic() {
+        // Build two maps with different insertion orders; bytes must match.
+        let mut a = FxHashMap::default();
+        let mut b = FxHashMap::default();
+        for i in 0..20i64 {
+            a.insert(ValueKey::Int(i), i * 2);
+        }
+        for i in (0..20i64).rev() {
+            b.insert(ValueKey::Int(i), i * 2);
+        }
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        encode_agg_state(&mut ba, &AggState::GroupSum { map: a });
+        encode_agg_state(&mut bb, &AggState::GroupSum { map: b });
+        assert_eq!(ba, bb, "sorted-entry encoding is order independent");
+    }
+
+    #[test]
+    fn all_agg_states_roundtrip() {
+        let states = vec![
+            AggState::Count(9),
+            AggState::Sum(Value::Float(1.5)),
+            AggState::Min(None),
+            AggState::Min(Some(Value::Int(-3))),
+            AggState::Max(Some(Value::str("z"))),
+            AggState::Avg { sum: 2.5, count: 4 },
+            AggState::TopK {
+                rows: vec![(
+                    vec![Value::Int(1)],
+                    vec![Value::str("row")],
+                    vec![ValueKey::Vertex(VertexId(4))],
+                )],
+            },
+            AggState::Collect {
+                rows: vec![vec![Value::Int(1)], vec![]],
+            },
+        ];
+        for s in &states {
+            let mut buf = Vec::new();
+            encode_agg_state(&mut buf, s);
+            let mut r = Reader::new(&buf);
+            assert_eq!(&decode_agg_state(&mut r).unwrap(), s);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_errors_roundtrip() {
+        let errs = vec![
+            GdError::VertexNotFound(VertexId(1)),
+            GdError::UnknownSymbol("name".into()),
+            GdError::InvalidProgram("bad".into()),
+            GdError::Parse {
+                offset: 3,
+                message: "oops".into(),
+            },
+            GdError::TypeError("t".into()),
+            GdError::EngineClosed,
+            GdError::QueryTimeout(QueryId(2)),
+            GdError::QueryCancelled(QueryId(3)),
+            GdError::Overloaded,
+            GdError::TxnAborted("w".into()),
+            GdError::InvariantViolation("inv".into()),
+            GdError::Internal("i".into()),
+        ];
+        for e in &errs {
+            let mut buf = Vec::new();
+            encode_error(&mut buf, e);
+            let mut r = Reader::new(&buf);
+            assert_eq!(
+                format!("{:?}", decode_error(&mut r).unwrap()),
+                format!("{e:?}")
+            );
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn packet_roundtrips_and_rejects_garbage() {
+        let msgs = vec![
+            WireMsg::Batch {
+                dest: WorkerId(3),
+                payload: {
+                    let mut p = Vec::new();
+                    codec::encode_batch_into(
+                        &mut p,
+                        &[Traverser::root(QueryId(1), 0, VertexId(1), 1, Weight(1))],
+                        &[],
+                    );
+                    p
+                },
+            },
+            WireMsg::Progress {
+                query: QueryId(1),
+                weight: Weight(2),
+                steps: 3,
+            },
+            WireMsg::Rows {
+                query: QueryId(1),
+                rows: vec![vec![Value::Int(5)]],
+                approx: 17,
+            },
+            WireMsg::CtrlWorker {
+                dest: WorkerId(0),
+                msg: WorkerMsg::QueryEnd { query: QueryId(1) },
+            },
+            WireMsg::CtrlCoord {
+                msg: CoordMsg::Tick,
+            },
+        ];
+        let mut body = Vec::new();
+        encode_packet(&mut body, &msgs).unwrap();
+        let back = decode_packet(&body).unwrap();
+        assert_eq!(back.len(), msgs.len());
+        assert_eq!(format!("{back:?}"), format!("{msgs:?}"));
+        // Truncations at every boundary fail loudly, never panic.
+        for cut in 0..body.len() {
+            assert!(decode_packet(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut noisy = body.clone();
+        noisy.push(0xAB);
+        assert!(decode_packet(&noisy).is_err());
+    }
+}

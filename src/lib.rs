@@ -35,6 +35,8 @@
 //! engine.shutdown();
 //! ```
 
+pub mod proc;
+
 pub use graphdance_analytics as analytics;
 pub use graphdance_baselines as baselines;
 pub use graphdance_common as common;
@@ -43,6 +45,7 @@ pub use graphdance_engine as engine;
 pub use graphdance_ldbc as ldbc;
 pub use graphdance_pstm as pstm;
 pub use graphdance_query as query;
+pub use graphdance_sim as sim;
 pub use graphdance_storage as storage;
 pub use graphdance_txn as txn;
 
